@@ -1,0 +1,122 @@
+// Ablation — the allocation design choices §IV/§V call out, measured on the
+// default cluster workload:
+//   (i)   factor rule: Theorem 1 (sqrt q), Theorem 2 (sqrt(1+beta q)),
+//         general (sqrt(p q));
+//   (ii)  granularity: per-home-node aggregated tables (§V) vs per-term
+//         tables (§IV) — throughput AND maintenance cost (tables/slots);
+//   (iii) pure replication vs pure separation vs the adaptive grid (§IV-A);
+//   (iv)  Bloom pre-screen on/off;
+//   (v)   no allocation at all (the IL degenerate case).
+
+#include "bench_util.hpp"
+
+using namespace move;
+
+namespace {
+
+struct VariantResult {
+  double tput = 0;
+  std::size_t tables = 0;      ///< forwarding tables maintained (§V cost)
+  std::size_t grid_slots = 0;  ///< total grid entries across tables
+  std::uint64_t copies = 0;    ///< filter copies stored cluster-wide
+};
+
+VariantResult run_variant(const bench::PaperDefaults& d,
+                          const bench::FilterWorkload& filters,
+                          const workload::TraceStats& corpus_stats,
+                          const workload::TermSetTable& docs,
+                          core::MoveOptions opts, bool allocate = true) {
+  cluster::Cluster c(bench::cluster_config(d, d.nodes));
+  core::MoveScheme scheme(c, opts);
+  scheme.register_filters(filters.table);
+  if (allocate) scheme.allocate(filters.stats, corpus_stats);
+
+  VariantResult r;
+  for (const auto& t : scheme.tables()) {
+    if (t.has_value()) {
+      ++r.tables;
+      r.grid_slots += t->node_count();
+    }
+  }
+  for (const auto& [term, t] : scheme.term_tables()) {
+    ++r.tables;
+    r.grid_slots += t.node_count();
+  }
+  for (auto copies : scheme.storage_per_node()) r.copies += copies;
+  r.tput = bench::run_burst(scheme, docs, d.batch_docs).throughput_per_sec();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Ablation", "allocation design choices");
+  const bench::PaperDefaults d;
+  const auto filters = bench::make_filters(d.filters);
+  const auto docs = bench::wt_generator(filters.vocabulary)
+                        .generate(static_cast<std::size_t>(d.batch_docs));
+  const auto corpus_stats = workload::compute_stats(docs, filters.vocabulary);
+
+  std::printf("P=%zu, N=%zu, Q=%zu docs, C=%.3g\n\n", filters.table.size(),
+              d.nodes, d.batch_docs, d.capacity);
+  std::printf("%-40s %-12s %-9s %-11s %-12s\n", "variant", "throughput/s",
+              "tables", "grid slots", "copies");
+  auto report = [](const char* name, const VariantResult& r) {
+    std::printf("%-40s %-12.4g %-9zu %-11zu %-12llu\n", name, r.tput,
+                r.tables, r.grid_slots,
+                static_cast<unsigned long long>(r.copies));
+  };
+
+  const auto base = bench::move_options(d);
+
+  // (v) baseline without allocation.
+  report("no allocation (IL behaviour)",
+         run_variant(d, filters, corpus_stats, docs, base, false));
+
+  // (i) factor rules.
+  for (auto [name, rule] :
+       {std::pair{"factor: theorem-1 sqrt(q)",
+                  core::FactorRule::kTheorem1SqrtQ},
+        std::pair{"factor: theorem-2 sqrt(1+bq)",
+                  core::FactorRule::kTheorem2SqrtBetaQ},
+        std::pair{"factor: general sqrt(pq)",
+                  core::FactorRule::kGeneralSqrtPQ}}) {
+    auto o = base;
+    o.rule = rule;
+    report(name, run_variant(d, filters, corpus_stats, docs, o));
+  }
+
+  // (ii) granularity: throughput vs the §V maintenance argument.
+  {
+    auto o = base;
+    o.per_node_aggregation = false;
+    report("granularity: per-term tables (sec IV)",
+           run_variant(d, filters, corpus_stats, docs, o));
+    report("granularity: per-node tables (sec V)",
+           run_variant(d, filters, corpus_stats, docs, base));
+  }
+
+  // (iii) the §IV-A design space: both pure corners vs the adaptive ratio.
+  for (auto [name, ratio] :
+       {std::pair{"ratio: pure replication (r = 1/n)",
+                  core::RatioPolicy::kPureReplication},
+        std::pair{"ratio: pure separation (r = 1)",
+                  core::RatioPolicy::kPureSeparation},
+        std::pair{"ratio: adaptive (paper)",
+                  core::RatioPolicy::kAdaptive}}) {
+    auto o = base;
+    o.ratio = ratio;
+    report(name, run_variant(d, filters, corpus_stats, docs, o));
+  }
+
+  // (iv) Bloom pre-screen.
+  {
+    auto o = base;
+    o.use_bloom = false;
+    report("bloom pre-screen: off",
+           run_variant(d, filters, corpus_stats, docs, o));
+    report("bloom pre-screen: on",
+           run_variant(d, filters, corpus_stats, docs, base));
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Ablation — allocation *policy* (§V "Allocation Policy"): proactive
+// allocation from offline statistics vs passive allocation learned from the
+// first K observed documents vs never allocating. The paper argues for the
+// proactive policy because the passive one re-shuffles filters exactly when
+// the home nodes are already hot.
+
+#include "bench_util.hpp"
+
+using namespace move;
+
+int main() {
+  bench::print_banner("Ablation", "proactive vs passive allocation policy");
+  const bench::PaperDefaults d;
+  const auto filters = bench::make_filters(d.filters);
+  const auto total_docs =
+      d.batch_docs;
+  const auto docs =
+      bench::wt_generator(filters.vocabulary).generate(total_docs);
+  const auto corpus_stats = workload::compute_stats(docs, filters.vocabulary);
+
+  std::printf("P=%zu, N=%zu, Q=%.0f docs/s\n\n", filters.table.size(), d.nodes,
+              (double)d.batch_docs);
+  std::printf("%-44s %-14s\n", "policy", "throughput/s");
+
+  // Proactive: allocate from the offline corpus before any document flows.
+  {
+    cluster::Cluster c(bench::cluster_config(d, d.nodes));
+    core::MoveScheme scheme(c, bench::move_options(d));
+    scheme.register_filters(filters.table);
+    scheme.allocate(filters.stats, corpus_stats);
+    const auto m = bench::run_burst(scheme, docs, d.batch_docs);
+    std::printf("%-44s %-14.4g\n", "proactive (offline corpus stats)",
+                m.throughput_per_sec());
+  }
+
+  // Passive: serve the first 10% unallocated, learn statistics from the
+  // meta stores, then allocate and serve the rest. Throughput over the
+  // whole stream includes the slow learning phase.
+  {
+    cluster::Cluster c(bench::cluster_config(d, d.nodes));
+    core::MoveScheme scheme(c, bench::move_options(d));
+    scheme.register_filters(filters.table);
+    const std::size_t learn = docs.size() / 10;
+    workload::TermSetTable phase1, phase2;
+    for (std::size_t i = 0; i < docs.size(); ++i) {
+      (i < learn ? phase1 : phase2).add(docs.row(i));
+    }
+    core::RunConfig rc;
+    rc.inject_rate_per_sec = 50'000.0;
+    rc.collect_latencies = false;
+    const auto m1 = core::run_dissemination(scheme, phase1, rc);
+    scheme.allocate_from_observed();
+    const auto m2 = core::run_dissemination(scheme, phase2, rc);
+    const double total_sec =
+        (m1.makespan_us + m2.makespan_us) / 1e6;
+    const double tput =
+        total_sec > 0
+            ? static_cast<double>(m1.documents_completed +
+                                  m2.documents_completed) /
+                  total_sec
+            : 0.0;
+    std::printf("%-44s %-14.4g\n", "passive (learned from first 10% of docs)",
+                tput);
+  }
+
+  // Never allocate.
+  {
+    cluster::Cluster c(bench::cluster_config(d, d.nodes));
+    core::MoveScheme scheme(c, bench::move_options(d));
+    scheme.register_filters(filters.table);
+    const auto m = bench::run_burst(scheme, docs, d.batch_docs);
+    std::printf("%-44s %-14.4g\n", "never (IL degenerate)",
+                m.throughput_per_sec());
+  }
+  return 0;
+}

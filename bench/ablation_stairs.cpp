@@ -1,0 +1,95 @@
+// Ablation — term-selection (STAIRS [17],[21]) vs IL vs MOVE, the §V design
+// decision: "the previous work can help select a smaller number of terms,
+// but leading to high latency. Thus, for high throughput, we discard the
+// selection algorithm." Run under conjunctive and threshold semantics
+// (where selection is sound); expected shape: STAIRS stores far fewer
+// copies, MOVE wins throughput.
+
+#include "bench_util.hpp"
+#include "core/stairs_scheme.hpp"
+
+using namespace move;
+
+namespace {
+
+struct Row {
+  const char* name;
+  double tput = 0;
+  std::uint64_t copies = 0;
+  double latency_us = 0;
+};
+
+void print_row(const Row& r) {
+  std::printf("%-10s %-14.4g %-14llu %-14.4g\n", r.name, r.tput,
+              static_cast<unsigned long long>(r.copies), r.latency_us);
+}
+
+std::uint64_t total_copies(core::Scheme& s) {
+  std::uint64_t n = 0;
+  for (auto v : s.storage_per_node()) n += v;
+  return n;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Ablation", "STAIRS term selection vs IL vs MOVE");
+  const bench::PaperDefaults d;
+  const auto filters = bench::make_filters(d.filters);
+  const auto docs = bench::wt_generator(filters.vocabulary)
+                        .generate(static_cast<std::size_t>(d.batch_docs));
+  const auto corpus_stats = workload::compute_stats(docs, filters.vocabulary);
+
+  for (auto [sem_name, match] :
+       {std::pair{"conjunctive (all terms)",
+                  index::MatchOptions{index::MatchSemantics::kAllTerms, 0.0}},
+        std::pair{"threshold theta=0.5",
+                  index::MatchOptions{index::MatchSemantics::kThreshold,
+                                      0.5}}}) {
+    std::printf("\n[%s]  P=%zu, N=%zu, Q=%zu docs\n", sem_name,
+                filters.table.size(), d.nodes, d.batch_docs);
+    std::printf("%-10s %-14s %-14s %-14s\n", "scheme", "throughput/s",
+                "copies", "mean lat us");
+
+    {
+      cluster::Cluster c(bench::cluster_config(d, d.nodes));
+      core::IlOptions o;
+      o.match = match;
+      core::StairsScheme scheme(c, o);
+      scheme.register_filters(filters.table);
+      core::RunConfig rc;
+      rc.inject_rate_per_sec = 50'000.0;
+      const auto m = core::run_dissemination(scheme, docs, rc);
+      print_row(Row{"STAIRS", m.throughput_per_sec(), total_copies(scheme),
+                    m.mean_latency_us()});
+    }
+    {
+      cluster::Cluster c(bench::cluster_config(d, d.nodes));
+      core::IlOptions o;
+      o.match = match;
+      core::IlScheme scheme(c, o);
+      scheme.register_filters(filters.table);
+      core::RunConfig rc;
+      rc.inject_rate_per_sec = 50'000.0;
+      const auto m = core::run_dissemination(scheme, docs, rc);
+      print_row(Row{"IL", m.throughput_per_sec(), total_copies(scheme),
+                    m.mean_latency_us()});
+    }
+    {
+      cluster::Cluster c(bench::cluster_config(d, d.nodes));
+      auto o = bench::move_options(d);
+      o.match = match;
+      core::MoveScheme scheme(c, o);
+      scheme.register_filters(filters.table);
+      scheme.allocate(filters.stats, corpus_stats);
+      core::RunConfig rc;
+      rc.inject_rate_per_sec = 50'000.0;
+      const auto m = core::run_dissemination(scheme, docs, rc);
+      print_row(Row{"Move", m.throughput_per_sec(), total_copies(scheme),
+                    m.mean_latency_us()});
+    }
+  }
+  std::printf("\n(paper: selection saves storage but MOVE discards it for "
+              "throughput)\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "cluster/cluster.hpp"
+#include "core/experiment.hpp"
+#include "core/il_scheme.hpp"
+#include "core/move_scheme.hpp"
+#include "core/rs_scheme.hpp"
+#include "workload/corpus.hpp"
+#include "workload/query_trace.hpp"
+#include "workload/trace_stats.hpp"
+
+/// Shared plumbing for the figure benches.
+///
+/// Every bench reads MOVE_BENCH_SCALE (default 0.1) and multiplies the
+/// paper-scale workload parameters by it: filters P, per-node capacity C,
+/// vocabulary, and corpus size shrink together so distributions and the
+/// P/C ratio stay fixed. Results are therefore comparable in *shape* to the
+/// paper at any scale; EXPERIMENTS.md records the scale used per number.
+namespace move::bench {
+
+inline double scale() {
+  static const double s = [] {
+    if (const char* env = std::getenv("MOVE_BENCH_SCALE")) {
+      const double v = std::atof(env);
+      if (v > 0.0) return v;
+    }
+    return 0.1;
+  }();
+  return s;
+}
+
+/// Paper §VI-C defaults, scaled.
+struct PaperDefaults {
+  double s = scale();
+  std::size_t filters = static_cast<std::size_t>(4e6 * s);   // P
+  double capacity = 3e6 * s;                                 // C
+  std::size_t nodes = 20;                                    // N
+  std::size_t racks = 4;
+  std::size_t batch_docs = 1000;  ///< Q, the default document batch (§VI-C)
+};
+
+/// The scaled MSN-like filter trace and its statistics.
+struct FilterWorkload {
+  workload::TermSetTable table;
+  workload::TraceStats stats;
+  std::size_t vocabulary;
+  double fitted_skew;
+};
+
+inline FilterWorkload make_filters(std::size_t count) {
+  auto cfg = workload::QueryTraceConfig::msn_like(scale());
+  cfg.num_filters = count;
+  const workload::QueryTraceGenerator gen(cfg);
+  FilterWorkload w;
+  w.table = gen.generate();
+  w.vocabulary = cfg.vocabulary_size;
+  w.fitted_skew = gen.fitted_skew();
+  w.stats = workload::compute_stats(w.table, cfg.vocabulary_size);
+  return w;
+}
+
+/// Scaled TREC-like corpora sharing the filter vocabulary.
+inline workload::CorpusGenerator wt_generator(std::size_t vocabulary) {
+  return workload::CorpusGenerator(
+      workload::CorpusConfig::trec_wt_like(scale(), vocabulary));
+}
+
+inline workload::CorpusGenerator ap_generator(std::size_t vocabulary) {
+  return workload::CorpusGenerator(
+      workload::CorpusConfig::trec_ap_like(scale(), vocabulary));
+}
+
+inline cluster::ClusterConfig cluster_config(const PaperDefaults& d,
+                                             std::size_t nodes) {
+  cluster::ClusterConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.num_racks = d.racks;
+  return cfg;
+}
+
+inline core::MoveOptions move_options(const PaperDefaults& d) {
+  core::MoveOptions o;
+  o.capacity = d.capacity;
+  return o;
+}
+
+/// Injects the first `batch` documents as a fast burst (50k docs/s client
+/// pool, §VI-A3) and returns metrics; throughput = batch / makespan.
+inline sim::RunMetrics run_burst(core::Scheme& scheme,
+                                 const workload::TermSetTable& docs,
+                                 std::size_t batch) {
+  core::RunConfig rc;
+  rc.inject_rate_per_sec = 50'000.0;
+  rc.collect_latencies = false;
+  if (docs.size() <= batch) return core::run_dissemination(scheme, docs, rc);
+  workload::TermSetTable subset;
+  for (std::size_t i = 0; i < batch; ++i) subset.add(docs.row(i));
+  return core::run_dissemination(scheme, subset, rc);
+}
+
+inline void print_banner(const char* figure, const char* title) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure, title);
+  std::printf("MOVE_BENCH_SCALE=%.3g (paper scale = 1.0)\n", scale());
+  std::printf("==============================================================\n");
+}
+
+}  // namespace move::bench

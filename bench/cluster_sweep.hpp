@@ -1,0 +1,132 @@
+#pragma once
+
+// Shared driver for the Fig. 8 cluster benches: builds the three schemes
+// (Move / RS / IL) once per cluster configuration and measures burst
+// throughput for one or more document batch sizes.
+//
+// Measurement semantics. §VI-A3/§VI-C: Q is the *number of documents*
+// (default 1e3); clients inject them as fast as they can ("each client
+// injects 1000 documents per second; by using more clients, we can
+// increase the rate"), and throughput is the number of completed documents
+// per second over the whole run — i.e. Q / makespan, including the queue
+// drain behind the bottleneck node. That is why Fig. 8(b)'s curves fall as
+// Q grows (small bursts finish at pipeline latency; large bursts converge
+// to the bottleneck capacity) and why the scheme orderings reflect each
+// scheme's bottleneck service time.
+//
+// Paper setup: defaults P = 4e6 filters, Q = 1e3 docs, N = 20 nodes,
+// C = 3e6 filter copies per node, TREC WT documents. Expected shapes:
+//  * Fig. 8(a) P sweep: throughput falls with P; Move > RS > IL
+//    (93 / 70 / 42 at P = 1e7);
+//  * Fig. 8(b) Q sweep: all fall as the batch grows; Move degrades least
+//    (3.62x vs 6.09x RS and 14.11x IL from Q=10 to Q=1000);
+//  * Fig. 8(c) N sweep: all rise with more nodes; Move stays highest.
+
+#include <memory>
+
+#include "bench_util.hpp"
+
+namespace move::bench {
+
+/// Aggregate injection rate of the client pool (fast enough that injection
+/// is never the bottleneck for the sweeps we run).
+inline constexpr double kBurstRate = 50'000.0;
+
+struct SweepResult {
+  double move_tput = 0;
+  double rs_tput = 0;
+  double il_tput = 0;
+};
+
+/// The three schemes registered over the same filter subset on three
+/// identical clusters; reusable across batch sizes so the expensive
+/// registration happens once per configuration.
+class SchemeSet {
+ public:
+  SchemeSet(const PaperDefaults& d, const FilterWorkload& filters,
+            const workload::TraceStats& corpus_stats, std::size_t num_filters,
+            std::size_t nodes)
+      : defaults_(d) {
+    const workload::TermSetTable* use = &filters.table;
+    const workload::TraceStats* use_stats = &filters.stats;
+    if (num_filters < filters.table.size()) {
+      for (std::size_t i = 0; i < num_filters; ++i) {
+        subset_.add(filters.table.row(i));
+      }
+      subset_stats_ = workload::compute_stats(subset_, filters.vocabulary);
+      use = &subset_;
+      use_stats = &subset_stats_;
+    }
+
+    c_mv_ = std::make_unique<cluster::Cluster>(cluster_config(d, nodes));
+    mv_ = std::make_unique<core::MoveScheme>(*c_mv_, move_options(d));
+    mv_->register_filters(*use);
+    mv_->allocate(*use_stats, corpus_stats);
+
+    c_rs_ = std::make_unique<cluster::Cluster>(cluster_config(d, nodes));
+    rs_ = std::make_unique<core::RsScheme>(*c_rs_);
+    rs_->register_filters(*use);
+
+    c_il_ = std::make_unique<cluster::Cluster>(cluster_config(d, nodes));
+    il_ = std::make_unique<core::IlScheme>(*c_il_);
+    il_->register_filters(*use);
+  }
+
+  /// Injects the first `batch` documents as a burst into each scheme and
+  /// returns Q/makespan per scheme.
+  [[nodiscard]] SweepResult run_batch(const workload::TermSetTable& docs,
+                                      std::size_t batch) const {
+    SweepResult out;
+    out.move_tput = one(*mv_, docs, batch);
+    out.rs_tput = one(*rs_, docs, batch);
+    out.il_tput = one(*il_, docs, batch);
+    return out;
+  }
+
+  [[nodiscard]] core::MoveScheme& move_scheme() { return *mv_; }
+  [[nodiscard]] core::RsScheme& rs_scheme() { return *rs_; }
+  [[nodiscard]] core::IlScheme& il_scheme() { return *il_; }
+
+  /// Runs one scheme on a burst of `batch` docs; exposed for the fig9
+  /// benches that need per-node metrics rather than just throughput.
+  static sim::RunMetrics run_metrics(core::Scheme& scheme,
+                                     const workload::TermSetTable& docs,
+                                     std::size_t batch) {
+    core::RunConfig rc;
+    rc.inject_rate_per_sec = kBurstRate;
+    rc.collect_latencies = false;
+    if (batch == docs.size()) return core::run_dissemination(scheme, docs, rc);
+    // Cycle the pool when the batch exceeds it (distributionally identical,
+    // far cheaper than generating hundreds of thousands of distinct docs).
+    workload::TermSetTable subset;
+    for (std::size_t i = 0; i < batch; ++i) {
+      subset.add(docs.row(i % docs.size()));
+    }
+    return core::run_dissemination(scheme, subset, rc);
+  }
+
+ private:
+  static double one(core::Scheme& scheme, const workload::TermSetTable& docs,
+                    std::size_t batch) {
+    return run_metrics(scheme, docs, batch).throughput_per_sec();
+  }
+
+  PaperDefaults defaults_;
+  workload::TermSetTable subset_;
+  workload::TraceStats subset_stats_;
+  std::unique_ptr<cluster::Cluster> c_mv_, c_rs_, c_il_;
+  std::unique_ptr<core::MoveScheme> mv_;
+  std::unique_ptr<core::RsScheme> rs_;
+  std::unique_ptr<core::IlScheme> il_;
+};
+
+inline void print_sweep_header(const char* xlabel) {
+  std::printf("%-14s %-12s %-12s %-12s\n", xlabel, "Move", "RS", "IL");
+}
+
+inline void print_sweep_row(double x, const SweepResult& r) {
+  std::printf("%-14.4g %-12.4g %-12.4g %-12.4g\n", x, r.move_tput, r.rs_tput,
+              r.il_tput);
+}
+
+}  // namespace move::bench

@@ -1,0 +1,7 @@
+// Fig. 7 — single-node throughput on TREC-WT-like documents.
+// See single_node_sweep.hpp for the shared driver and the paper
+// observations reproduced.
+
+#include "single_node_sweep.hpp"
+
+int main() { return move::bench::run_single_node_sweep(/*wt_mode=*/true); }

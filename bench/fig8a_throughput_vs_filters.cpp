@@ -1,0 +1,29 @@
+// Fig. 8(a) — cluster throughput vs total number of filters P
+// (paper sweep 1e5..1e7 at N=20, Q=1e3 docs, TREC-WT docs; expected ordering
+// Move > RS > IL, e.g. 93 / 70 / 42 at P=1e7).
+
+#include "cluster_sweep.hpp"
+
+using namespace move;
+
+int main() {
+  bench::print_banner("Figure 8(a)", "cluster throughput vs number of filters");
+  const bench::PaperDefaults d;
+  const double s = bench::scale();
+  const auto batch = static_cast<std::size_t>(d.batch_docs);
+  const auto max_filters = static_cast<std::size_t>(1e7 * s);
+  const auto filters = bench::make_filters(max_filters);
+  const auto docs = bench::wt_generator(filters.vocabulary).generate(batch);
+  const auto corpus_stats = workload::compute_stats(docs, filters.vocabulary);
+
+  std::printf("N=%zu nodes, Q=%zu docs, C=%.3g copies/node\n\n", d.nodes,
+              batch, d.capacity);
+  bench::print_sweep_header("P (filters)");
+  for (double p_paper : {1e5, 5e5, 2e6, 4e6, 7e6, 1e7}) {
+    const auto p = static_cast<std::size_t>(p_paper * s);
+    if (p == 0 || p > filters.table.size()) continue;
+    bench::SchemeSet set(d, filters, corpus_stats, p, d.nodes);
+    bench::print_sweep_row(static_cast<double>(p), set.run_batch(docs, batch));
+  }
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Fig. 8(c) — cluster throughput vs cluster size N
+// (paper sweep up to ~100 nodes at P=4e6, Q=1e3 docs; expected: every scheme
+// gains with more nodes; Move stays highest).
+
+#include "cluster_sweep.hpp"
+
+using namespace move;
+
+int main() {
+  bench::print_banner("Figure 8(c)", "cluster throughput vs number of nodes");
+  const bench::PaperDefaults d;
+  const auto batch = static_cast<std::size_t>(d.batch_docs);
+  const auto filters = bench::make_filters(d.filters);
+  const auto docs = bench::wt_generator(filters.vocabulary).generate(batch);
+  const auto corpus_stats = workload::compute_stats(docs, filters.vocabulary);
+
+  std::printf("P=%zu filters, Q=%zu docs, C=%.3g copies/node\n\n",
+              filters.table.size(), batch, d.capacity);
+  bench::print_sweep_header("N (nodes)");
+  for (std::size_t n : {5ul, 10ul, 20ul, 40ul, 60ul, 80ul, 100ul}) {
+    bench::SchemeSet set(d, filters, corpus_stats, filters.table.size(), n);
+    bench::print_sweep_row(static_cast<double>(n), set.run_batch(docs, batch));
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Fig. 9(c) — effect of node failure on throughput for the three replica
+// placement policies of §V: ring successors, rack-aware, and the MOVE hybrid
+// (half ring / half rack). Measured at failure rates 0 and 0.3. Expected
+// shape: rack-aware highest throughput (cheap intra-rack forwarding), ring
+// lowest, hybrid between — in both the no-failure and 0.3-failure cases.
+
+#include "bench_util.hpp"
+
+using namespace move;
+
+int main() {
+  bench::print_banner("Figure 9(c)", "node failure vs throughput by placement");
+  const bench::PaperDefaults d;
+  const auto filters = bench::make_filters(d.filters);
+  const auto docs = bench::wt_generator(filters.vocabulary)
+                        .generate(static_cast<std::size_t>(
+                            d.batch_docs));
+  const auto corpus_stats = workload::compute_stats(docs, filters.vocabulary);
+
+  struct Policy {
+    const char* name;
+    kv::PlacementPolicy policy;
+  };
+  const Policy policies[] = {
+      {"move", kv::PlacementPolicy::kHybrid},
+      {"ring", kv::PlacementPolicy::kRingSuccessors},
+      {"rack", kv::PlacementPolicy::kRackAware},
+  };
+
+  std::printf("P=%zu, N=%zu, Q=%.0f docs/s\n\n", filters.table.size(), d.nodes,
+              (double)d.batch_docs);
+  std::printf("%-10s %-18s %-18s\n", "placement", "tput @ fail=0",
+              "tput @ fail=0.3");
+  for (const auto& p : policies) {
+    double tput[2] = {0, 0};
+    int idx = 0;
+    for (double fail : {0.0, 0.3}) {
+      cluster::Cluster c(bench::cluster_config(d, d.nodes));
+      auto opts = bench::move_options(d);
+      opts.placement = p.policy;
+      core::MoveScheme scheme(c, opts);
+      scheme.register_filters(filters.table);
+      scheme.allocate(filters.stats, corpus_stats);
+      common::SplitMix64 rng(0xfa11 + idx);
+      c.fail_fraction(fail, rng);
+      tput[idx++] = bench::run_burst(scheme, docs, d.batch_docs)
+                        .throughput_per_sec();
+    }
+    std::printf("%-10s %-18.4g %-18.4g\n", p.name, tput[0], tput[1]);
+  }
+  std::printf("\n(paper: rack highest, ring lowest, move between)\n");
+  return 0;
+}

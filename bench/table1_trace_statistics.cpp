@@ -1,0 +1,66 @@
+// Table 1 (§VI-A prose statistics) — every dataset number the paper quotes,
+// computed from our synthetic traces so EXPERIMENTS.md can record
+// paper-vs-measured side by side:
+//   * MSN: 4e6 queries, 757,996 distinct terms, 2.843 terms/query, length
+//     CDF 31.33/67.75/85.31 %, top-1000 popularity mass 0.437;
+//   * TREC WT: 1.69e6 docs, 64.8 terms/doc, entropy 6.7593;
+//   * TREC AP: 1,050 docs, 6,054.9 terms/doc, entropy 9.4473;
+//   * top-1000 query/document term overlap 26.9 % (AP) / 31.3 % (WT).
+
+#include <algorithm>
+
+#include "bench_util.hpp"
+
+using namespace move;
+
+int main() {
+  bench::print_banner("Table 1", "trace statistics (paper vs measured)");
+  const bench::PaperDefaults d;
+  const double s = bench::scale();
+  const auto filters = bench::make_filters(d.filters);
+
+  const auto wt_sample = std::min<std::size_t>(
+      static_cast<std::size_t>(1.69e6 * s), 40'000);
+  const auto wt = bench::wt_generator(filters.vocabulary).generate(wt_sample);
+  const auto ap_gen = bench::ap_generator(filters.vocabulary);
+  const auto ap =
+      ap_gen.generate(std::min<std::size_t>(ap_gen.config().num_docs, 1'500));
+
+  const auto wt_stats = workload::compute_stats(wt, filters.vocabulary);
+  const auto ap_stats = workload::compute_stats(ap, filters.vocabulary);
+
+  const auto hist = workload::row_size_histogram(filters.table);
+  const double n = static_cast<double>(filters.table.size());
+  double cdf[4] = {0, 0, 0, 0};
+  for (std::size_t len = 1; len <= 3; ++len) {
+    cdf[len] = cdf[len - 1] +
+               (len < hist.size() ? static_cast<double>(hist[len]) : 0.0) / n;
+  }
+  const std::size_t head = std::max<std::size_t>(
+      10, static_cast<std::size_t>(1000 * s * 10));
+  const auto entropy_limit = static_cast<std::size_t>(1e5 * s);
+
+  std::printf("%-34s %-14s %-14s\n", "statistic", "paper", "measured");
+  auto row = [](const char* name, double paper, double measured) {
+    std::printf("%-34s %-14.4g %-14.4g\n", name, paper, measured);
+  };
+  row("MSN queries (P)", 4e6 * s, static_cast<double>(filters.table.size()));
+  row("MSN distinct terms", 757'996 * s,
+      static_cast<double>(filters.stats.distinct_terms()));
+  row("terms per query", 2.843, filters.table.mean_row_size());
+  row("query-length CDF <=1 (%)", 31.33, 100 * cdf[1]);
+  row("query-length CDF <=2 (%)", 67.75, 100 * cdf[2]);
+  row("query-length CDF <=3 (%)", 85.31, 100 * cdf[3]);
+  row("top-head popularity mass", 0.437, filters.stats.head_mass(head));
+  row("WT docs sampled", 1.69e6 * s, static_cast<double>(wt.size()));
+  row("WT terms per doc", 64.8, wt.mean_row_size());
+  row("WT entropy (top ranks)", 6.7593, wt_stats.entropy(entropy_limit));
+  row("AP docs", 1'050, static_cast<double>(ap.size()));
+  row("AP terms per doc", 6054.9, ap.mean_row_size());
+  row("AP entropy (top ranks)", 9.4473, ap_stats.entropy(entropy_limit));
+  row("AP p/q head overlap", 0.269,
+      workload::top_k_overlap(filters.stats, ap_stats, head));
+  row("WT p/q head overlap", 0.313,
+      workload::top_k_overlap(filters.stats, wt_stats, head));
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Quickstart — the smallest end-to-end MOVE program.
+//
+// Builds a 8-node simulated cluster, registers a handful of keyword filters
+// (raw text through the same tokenize/stop-word/Porter pipeline the paper
+// applies to TREC), allocates them with the MOVE optimizer, publishes a few
+// documents, and prints who gets notified.
+//
+//   $ ./quickstart
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "core/experiment.hpp"
+#include "core/move_scheme.hpp"
+#include "text/pipeline.hpp"
+#include "workload/term_set_table.hpp"
+#include "workload/trace_stats.hpp"
+
+using namespace move;
+
+int main() {
+  // --- 1. a cluster of commodity machines (simulated) ----------------------
+  cluster::ClusterConfig ccfg;
+  ccfg.num_nodes = 8;
+  ccfg.num_racks = 2;
+  cluster::Cluster cluster(ccfg);
+
+  // --- 2. user profiles: keywords through the text pipeline ----------------
+  text::Vocabulary vocabulary;
+  text::Pipeline pipeline(vocabulary);
+
+  const std::vector<std::pair<std::string, std::string>> users = {
+      {"alice", "distributed systems"},
+      {"bob", "football world cup"},
+      {"carol", "climate energy policy"},
+      {"dave", "football transfers"},
+      {"erin", "cassandra storage"},
+  };
+
+  workload::TermSetTable filters;
+  for (const auto& [user, keywords] : users) {
+    filters.add(pipeline.process(keywords));
+  }
+
+  // --- 3. register + allocate with the MOVE scheme -------------------------
+  core::MoveOptions mopts;
+  mopts.capacity = 16;  // tiny demo capacity: forces visible allocation
+  core::MoveScheme scheme(cluster, mopts);
+  scheme.register_filters(filters);
+
+  // Proactive allocation needs p (from the filters) and a q estimate; with
+  // no corpus yet, bootstrap q from the filters themselves.
+  const auto stats = workload::compute_stats(filters, vocabulary.size());
+  scheme.allocate(stats, stats);
+
+  // --- 4. publish documents ------------------------------------------------
+  const std::vector<std::pair<std::string, std::string>> articles = {
+      {"sports-desk", "The football world cup final drew record crowds"},
+      {"tech-wire", "Apache Cassandra ships a new storage engine for "
+                    "distributed key value systems"},
+      {"newsroom", "New climate policy trades energy subsidies for carbon "
+                   "pricing"},
+  };
+
+  std::printf("published documents and notified users:\n");
+  for (const auto& [source, body] : articles) {
+    const auto doc_terms = pipeline.process_readonly(body);
+    const auto plan = scheme.plan_publish(doc_terms);
+    std::printf("  [%s] ->", source.c_str());
+    for (FilterId f : plan.matches) {
+      std::printf(" %s", users[f.value].first.c_str());
+    }
+    std::printf("\n");
+  }
+
+  // --- 5. where did the filters land? ---------------------------------------
+  std::printf("\nper-node filter copies:");
+  for (auto copies : scheme.storage_per_node()) {
+    std::printf(" %llu", static_cast<unsigned long long>(copies));
+  }
+  std::printf("\nfilter availability: %.0f%%\n",
+              100.0 * scheme.filter_availability());
+  return 0;
+}

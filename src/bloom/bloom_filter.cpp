@@ -1,0 +1,86 @@
+#include "bloom/bloom_filter.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/hash.hpp"
+
+namespace move::bloom {
+
+namespace {
+
+std::size_t bits_for(std::size_t n, double p) {
+  if (n == 0) n = 1;
+  p = std::clamp(p, 1e-9, 0.5);
+  const double ln2 = std::log(2.0);
+  const double m = -static_cast<double>(n) * std::log(p) / (ln2 * ln2);
+  return std::max<std::size_t>(64, static_cast<std::size_t>(std::ceil(m)));
+}
+
+std::uint32_t hashes_for(std::size_t m, std::size_t n) {
+  if (n == 0) n = 1;
+  const double k = static_cast<double>(m) / static_cast<double>(n) *
+                   std::log(2.0);
+  return std::max<std::uint32_t>(1, static_cast<std::uint32_t>(std::round(k)));
+}
+
+}  // namespace
+
+BloomFilter::BloomFilter(std::size_t expected_items, double target_fpr)
+    : BloomFilter(bits_for(expected_items, target_fpr),
+                  hashes_for(bits_for(expected_items, target_fpr),
+                             expected_items)) {}
+
+BloomFilter::BloomFilter(std::size_t num_bits, std::uint32_t num_hashes)
+    : num_bits_(num_bits), hashes_(num_hashes) {
+  if (num_bits == 0) throw std::invalid_argument("BloomFilter: zero bits");
+  if (num_hashes == 0) throw std::invalid_argument("BloomFilter: zero hashes");
+  bits_.assign((num_bits + 63) / 64, 0);
+}
+
+std::pair<std::uint64_t, std::uint64_t> BloomFilter::base_hashes(
+    TermId term) const noexcept {
+  const std::uint64_t h1 = common::mix64(term.value);
+  const std::uint64_t h2 = common::fnv1a64(static_cast<std::uint64_t>(term.value));
+  return {h1, h2};
+}
+
+void BloomFilter::insert(TermId term) noexcept {
+  const auto [h1, h2] = base_hashes(term);
+  for (std::uint32_t i = 0; i < hashes_; ++i) {
+    const std::uint64_t bit = common::double_hash(h1, h2, i) % num_bits_;
+    bits_[bit >> 6] |= (1ULL << (bit & 63));
+  }
+  ++insertions_;
+}
+
+bool BloomFilter::may_contain(TermId term) const noexcept {
+  const auto [h1, h2] = base_hashes(term);
+  for (std::uint32_t i = 0; i < hashes_; ++i) {
+    const std::uint64_t bit = common::double_hash(h1, h2, i) % num_bits_;
+    if ((bits_[bit >> 6] & (1ULL << (bit & 63))) == 0) return false;
+  }
+  return true;
+}
+
+void BloomFilter::clear() noexcept {
+  std::fill(bits_.begin(), bits_.end(), 0);
+  insertions_ = 0;
+}
+
+double BloomFilter::expected_fpr() const noexcept {
+  const double k = hashes_;
+  const double n = static_cast<double>(insertions_);
+  const double m = static_cast<double>(num_bits_);
+  return std::pow(1.0 - std::exp(-k * n / m), k);
+}
+
+double BloomFilter::fill_ratio() const noexcept {
+  std::size_t set = 0;
+  for (std::uint64_t word : bits_) set += std::popcount(word);
+  return static_cast<double>(set) / static_cast<double>(num_bits_);
+}
+
+}  // namespace move::bloom

@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+/// Bloom filter over TermIds.
+///
+/// §V of the paper: during dissemination a document term t_i is only
+/// forwarded to its home node if "t_i ∈ BF, where BF is the bloom filter
+/// summarizing all terms in registered filters". This cuts forwarding cost
+/// for document terms that no filter subscribes to. Standard double-hashing
+/// construction (Kirsch–Mitzenmacher).
+namespace move::bloom {
+
+class BloomFilter {
+ public:
+  /// Sizes the filter for `expected_items` insertions at `target_fpr` false
+  /// positive rate: m = -n ln p / (ln 2)^2 bits, k = (m/n) ln 2 hashes.
+  BloomFilter(std::size_t expected_items, double target_fpr);
+
+  /// Explicit geometry (for tests and serialization round-trips).
+  BloomFilter(std::size_t num_bits, std::uint32_t num_hashes);
+
+  void insert(TermId term) noexcept;
+  /// True if `term` might have been inserted; false only if definitely not.
+  [[nodiscard]] bool may_contain(TermId term) const noexcept;
+
+  void clear() noexcept;
+
+  [[nodiscard]] std::size_t bit_count() const noexcept { return num_bits_; }
+  [[nodiscard]] std::uint32_t hash_count() const noexcept { return hashes_; }
+  [[nodiscard]] std::size_t insertion_count() const noexcept {
+    return insertions_;
+  }
+
+  /// Expected false-positive rate given the current number of insertions:
+  /// (1 - e^(-kn/m))^k.
+  [[nodiscard]] double expected_fpr() const noexcept;
+
+  /// Fraction of set bits (diagnostic; ~50 % at design load).
+  [[nodiscard]] double fill_ratio() const noexcept;
+
+ private:
+  [[nodiscard]] std::pair<std::uint64_t, std::uint64_t> base_hashes(
+      TermId term) const noexcept;
+
+  std::size_t num_bits_;
+  std::uint32_t hashes_;
+  std::size_t insertions_ = 0;
+  std::vector<std::uint64_t> bits_;
+};
+
+}  // namespace move::bloom

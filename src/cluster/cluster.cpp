@@ -1,0 +1,86 @@
+#include "cluster/cluster.hpp"
+
+#include <stdexcept>
+
+namespace move::cluster {
+
+Cluster::Cluster(ClusterConfig config)
+    : config_(config),
+      ring_(config.vnodes_per_node),
+      topology_(config.num_nodes, config.num_racks) {
+  if (config_.num_nodes == 0) {
+    throw std::invalid_argument("Cluster: num_nodes must be >= 1");
+  }
+  nodes_.reserve(config_.num_nodes);
+  servers_.reserve(config_.num_nodes);
+  alive_.assign(config_.num_nodes, true);
+  for (std::uint32_t i = 0; i < config_.num_nodes; ++i) {
+    const NodeId id{i};
+    nodes_.emplace_back(id);
+    servers_.emplace_back(engine_);
+    servers_.back().set_congestion(config_.cost.congestion_per_queued_sec,
+                                   config_.cost.congestion_max_inflation);
+    ring_.add_node(id);
+  }
+}
+
+void Cluster::revive_all() { alive_.assign(nodes_.size(), true); }
+
+void Cluster::fail_fraction(double fraction, common::SplitMix64& rng) {
+  const auto target = static_cast<std::size_t>(
+      fraction * static_cast<double>(nodes_.size()));
+  std::size_t failed = 0;
+  std::size_t guard = 0;
+  while (failed < target && guard++ < nodes_.size() * 64) {
+    const auto pick = common::uniform_below(rng, nodes_.size());
+    if (alive_[pick]) {
+      alive_[pick] = false;
+      ++failed;
+    }
+  }
+}
+
+std::size_t Cluster::live_count() const {
+  std::size_t n = 0;
+  for (bool a : alive_) n += a;
+  return n;
+}
+
+std::vector<NodeId> Cluster::live_nodes() const {
+  std::vector<NodeId> out;
+  for (std::uint32_t i = 0; i < alive_.size(); ++i) {
+    if (alive_[i]) out.push_back(NodeId{i});
+  }
+  return out;
+}
+
+void Cluster::reset_servers() {
+  for (auto& s : servers_) s.reset();
+}
+
+NodeId Cluster::add_node() {
+  const NodeId id{static_cast<std::uint32_t>(nodes_.size())};
+  nodes_.emplace_back(id);
+  servers_.emplace_back(engine_);
+  servers_.back().set_congestion(config_.cost.congestion_per_queued_sec,
+                                 config_.cost.congestion_max_inflation);
+  alive_.push_back(true);
+  topology_.add_node();
+  ring_.add_node(id);
+  return id;
+}
+
+void Cluster::remove_node(NodeId id) {
+  if (id.value >= nodes_.size()) {
+    throw std::out_of_range("Cluster::remove_node: unknown node");
+  }
+  ring_.remove_node(id);
+  nodes_[id.value].clear();
+  alive_[id.value] = false;
+}
+
+void Cluster::wipe_storage() {
+  for (auto& node : nodes_) node.clear();
+}
+
+}  // namespace move::cluster

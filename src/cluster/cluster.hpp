@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/storage_node.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "kv/ring.hpp"
+#include "kv/topology.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/event_engine.hpp"
+
+/// The simulated commodity-machine cluster the schemes run on: N storage
+/// nodes joined to one consistent-hash ring, racked by a RackTopology, each
+/// fronted by a serial FifoServer on a shared virtual clock. Stands in for
+/// the paper's ~100-node Ukko/Cassandra deployment.
+namespace move::cluster {
+
+struct ClusterConfig {
+  std::size_t num_nodes = 20;  ///< paper default for the cluster experiments
+  std::size_t num_racks = 4;
+  std::uint32_t vnodes_per_node = 64;
+  sim::CostModel cost;
+  std::uint64_t seed = 0x5eedc1u;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config);
+
+  // Non-copyable: servers hold a pointer to the engine.
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return nodes_.size(); }
+  [[nodiscard]] const ClusterConfig& config() const noexcept {
+    return config_;
+  }
+
+  [[nodiscard]] StorageNode& node(NodeId id) { return nodes_[id.value]; }
+  [[nodiscard]] const StorageNode& node(NodeId id) const {
+    return nodes_[id.value];
+  }
+  [[nodiscard]] sim::FifoServer& server(NodeId id) {
+    return servers_[id.value];
+  }
+
+  [[nodiscard]] kv::HashRing& ring() noexcept { return ring_; }
+  [[nodiscard]] const kv::HashRing& ring() const noexcept { return ring_; }
+  [[nodiscard]] const kv::RackTopology& topology() const noexcept {
+    return topology_;
+  }
+  [[nodiscard]] sim::EventEngine& engine() noexcept { return engine_; }
+  [[nodiscard]] const sim::CostModel& cost() const noexcept {
+    return config_.cost;
+  }
+
+  // --- failure injection (Fig. 9 c-d) --------------------------------------
+
+  [[nodiscard]] bool alive(NodeId id) const { return alive_[id.value]; }
+  void fail_node(NodeId id) { alive_[id.value] = false; }
+  void revive_all();
+
+  /// Fails floor(fraction * N) distinct nodes chosen uniformly.
+  void fail_fraction(double fraction, common::SplitMix64& rng);
+
+  [[nodiscard]] std::size_t live_count() const;
+  [[nodiscard]] std::vector<NodeId> live_nodes() const;
+
+  /// Resets all per-run simulation state (servers, engine stays monotonic).
+  void reset_servers();
+
+  // --- membership changes ---------------------------------------------------
+
+  /// Joins a fresh node (next dense id): added to the ring, racked
+  /// round-robin, alive, empty stores. Schemes must rebuild() afterwards so
+  /// filters move to their new homes.
+  NodeId add_node();
+
+  /// Decommissions a node: leaves the ring, drops its stored filters, and
+  /// is marked not-alive (ids are never reused). Schemes must rebuild().
+  void remove_node(NodeId id);
+
+  /// Clears every node's stores (registration is about to be replayed).
+  void wipe_storage();
+
+ private:
+  ClusterConfig config_;
+  kv::HashRing ring_;
+  kv::RackTopology topology_;
+  sim::EventEngine engine_;
+  std::vector<StorageNode> nodes_;
+  std::vector<sim::FifoServer> servers_;
+  std::vector<bool> alive_;
+};
+
+}  // namespace move::cluster

@@ -1,0 +1,3 @@
+#include "cluster/meta_store.hpp"
+
+// MetaStore is fully inline; this TU anchors the library target.

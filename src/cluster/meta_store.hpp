@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hpp"
+
+/// Per-node meta-data store (Fig. 3).
+///
+/// Each node records, per term it is home for, how many filters registered
+/// with that term (popularity numerator) and how many documents arrived for
+/// it (frequency numerator). A dedicated collector node aggregates these
+/// into the p'/q' statistics that drive re-allocation (§V "Solving the Move
+/// optimization problem"); the passive allocation policy is fed from here.
+namespace move::cluster {
+
+class MetaStore {
+ public:
+  void record_filter(TermId term, std::uint64_t copies = 1) {
+    filters_per_term_[term] += copies;
+    total_filters_ += copies;
+  }
+
+  void record_document(TermId term) {
+    ++docs_per_term_[term];
+    ++total_docs_;
+  }
+
+  [[nodiscard]] std::uint64_t filters_for(TermId term) const {
+    auto it = filters_per_term_.find(term);
+    return it == filters_per_term_.end() ? 0 : it->second;
+  }
+  [[nodiscard]] std::uint64_t docs_for(TermId term) const {
+    auto it = docs_per_term_.find(term);
+    return it == docs_per_term_.end() ? 0 : it->second;
+  }
+
+  [[nodiscard]] std::uint64_t total_filters() const noexcept {
+    return total_filters_;
+  }
+  [[nodiscard]] std::uint64_t total_docs() const noexcept {
+    return total_docs_;
+  }
+  [[nodiscard]] std::size_t tracked_terms() const noexcept {
+    return filters_per_term_.size();
+  }
+
+  /// Clears the document counters (the paper renews q_i estimates every 10
+  /// minutes from fresh arrivals).
+  void reset_document_counters() {
+    docs_per_term_.clear();
+    total_docs_ = 0;
+  }
+
+ private:
+  std::unordered_map<TermId, std::uint64_t> filters_per_term_;
+  std::unordered_map<TermId, std::uint64_t> docs_per_term_;
+  std::uint64_t total_filters_ = 0;
+  std::uint64_t total_docs_ = 0;
+};
+
+}  // namespace move::cluster

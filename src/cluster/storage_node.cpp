@@ -1,0 +1,70 @@
+#include "cluster/storage_node.hpp"
+
+#include <algorithm>
+
+namespace move::cluster {
+
+void StorageNode::register_copy(FilterId global,
+                                std::span<const TermId> terms,
+                                std::span<const TermId> index_terms) {
+  FilterId local;
+  if (auto it = global_to_local_.find(global); it != global_to_local_.end()) {
+    local = it->second;
+  } else {
+    local = store_.add(terms);
+    global_to_local_.emplace(global, local);
+    local_to_global_.push_back(global);
+  }
+  // Index under each requested term, skipping lists that already reference
+  // this copy (re-registration of the same filter under the same term).
+  for (TermId term : index_terms) {
+    const auto list = index_.postings(term);
+    if (std::find(list.begin(), list.end(), local) == list.end()) {
+      const TermId one[] = {term};
+      index_.add(local, one);
+      meta_.record_filter(term);
+    }
+  }
+}
+
+void StorageNode::translate(std::vector<FilterId>& ids) const {
+  for (FilterId& id : ids) id = local_to_global_[id.value];
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+}
+
+index::MatchAccounting StorageNode::match_full(
+    std::span<const TermId> doc_terms, const index::MatchOptions& options,
+    std::vector<FilterId>& out_global) const {
+  const index::SiftMatcher matcher(store_, index_);
+  const auto acc = matcher.match(doc_terms, options, out_global);
+  translate(out_global);
+  return acc;
+}
+
+index::MatchAccounting StorageNode::match_single(
+    TermId context_term, std::span<const TermId> doc_terms,
+    const index::MatchOptions& options,
+    std::vector<FilterId>& out_global) const {
+  const index::SiftMatcher matcher(store_, index_);
+  const auto acc =
+      matcher.match_single_list(context_term, doc_terms, options, out_global);
+  translate(out_global);
+  return acc;
+}
+
+void StorageNode::clear() {
+  store_ = index::FilterStore();
+  index_ = index::InvertedIndex();
+  meta_ = MetaStore();
+  global_to_local_.clear();
+  local_to_global_.clear();
+}
+
+std::vector<FilterId> StorageNode::stored_filters() const {
+  std::vector<FilterId> out = local_to_global_;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace move::cluster

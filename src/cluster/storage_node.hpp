@@ -1,0 +1,81 @@
+#pragma once
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/meta_store.hpp"
+#include "common/types.hpp"
+#include "index/filter_store.hpp"
+#include "index/inverted_index.hpp"
+#include "index/sift_matcher.hpp"
+
+/// One logical storage/matching node — the Fig. 3 internals: a filter store
+/// (full term sets of locally held filter copies), a local inverted list,
+/// and a meta-data store.
+///
+/// Filter ids are global (minted by the scheme); the node keeps a
+/// global->local translation so a filter registered here twice (e.g. the
+/// home node of both its terms) is stored once and merely indexed under both
+/// terms, matching Cassandra's column-family upsert semantics.
+namespace move::cluster {
+
+class StorageNode {
+ public:
+  explicit StorageNode(NodeId id) : id_(id) {}
+
+  [[nodiscard]] NodeId id() const noexcept { return id_; }
+
+  /// Stores a copy of a global filter (idempotent per filter) and indexes it
+  /// under each of `index_terms` (deduplicated against existing entries).
+  /// Pass the filter's full term set as `index_terms` for RS-style full
+  /// indexing, or the single home term for IL/MOVE-style indexing.
+  void register_copy(FilterId global, std::span<const TermId> terms,
+                     std::span<const TermId> index_terms);
+
+  /// Full SIFT match over every locally indexed document term; results are
+  /// global filter ids, ascending.
+  index::MatchAccounting match_full(std::span<const TermId> doc_terms,
+                                    const index::MatchOptions& options,
+                                    std::vector<FilterId>& out_global) const;
+
+  /// Single-posting-list match for the home/context term (§III-B fast path).
+  index::MatchAccounting match_single(TermId context_term,
+                                      std::span<const TermId> doc_terms,
+                                      const index::MatchOptions& options,
+                                      std::vector<FilterId>& out_global) const;
+
+  /// Global ids of every filter with a copy on this node.
+  [[nodiscard]] std::vector<FilterId> stored_filters() const;
+
+  /// Number of filter copies stored (the paper's storage-cost unit).
+  [[nodiscard]] std::size_t stored_count() const noexcept {
+    return local_to_global_.size();
+  }
+  /// Term slots consumed by stored copies (finer-grained storage cost).
+  [[nodiscard]] std::size_t term_slots() const noexcept {
+    return store_.term_slots();
+  }
+
+  [[nodiscard]] const index::InvertedIndex& index() const noexcept {
+    return index_;
+  }
+  [[nodiscard]] MetaStore& meta() noexcept { return meta_; }
+  [[nodiscard]] const MetaStore& meta() const noexcept { return meta_; }
+
+  /// Drops every stored filter copy and index entry (used when the ring
+  /// changes and schemes re-register; meta counters reset too).
+  void clear();
+
+ private:
+  void translate(std::vector<FilterId>& local_ids) const;
+
+  NodeId id_;
+  index::FilterStore store_;                 // local copies, local ids
+  index::InvertedIndex index_;               // local ids in posting lists
+  MetaStore meta_;
+  std::unordered_map<FilterId, FilterId> global_to_local_;
+  std::vector<FilterId> local_to_global_;
+};
+
+}  // namespace move::cluster

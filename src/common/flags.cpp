@@ -1,0 +1,66 @@
+#include "common/flags.hpp"
+
+#include <cstdlib>
+
+namespace move::common {
+
+Flags Flags::parse(int argc, char** argv) {
+  Flags flags;
+  if (argc > 0) flags.program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string_view arg = argv[i];
+    if (arg.size() < 3 || arg.substr(0, 2) != "--") {
+      flags.positionals_.emplace_back(arg);
+      continue;
+    }
+    arg.remove_prefix(2);
+    if (const auto eq = arg.find('='); eq != std::string_view::npos) {
+      flags.values_.insert_or_assign(std::string(arg.substr(0, eq)),
+                                     std::string(arg.substr(eq + 1)));
+    } else if (i + 1 < argc && std::string_view(argv[i + 1]).substr(0, 2) !=
+                                   "--") {
+      flags.values_.insert_or_assign(std::string(arg), argv[i + 1]);
+      ++i;
+    } else {
+      flags.values_.insert_or_assign(std::string(arg), "true");
+    }
+  }
+  return flags;
+}
+
+bool Flags::has(std::string_view name) const {
+  return values_.find(name) != values_.end();
+}
+
+std::string Flags::get(std::string_view name, std::string_view fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? std::string(fallback) : it->second;
+}
+
+std::int64_t Flags::get_int(std::string_view name,
+                            std::int64_t fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const auto v = std::strtoll(it->second.c_str(), &end, 10);
+  return end != it->second.c_str() ? v : fallback;
+}
+
+double Flags::get_double(std::string_view name, double fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  return end != it->second.c_str() ? v : fallback;
+}
+
+bool Flags::get_bool(std::string_view name, bool fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  return fallback;
+}
+
+}  // namespace move::common

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// Minimal command-line flag parsing for the examples and the CLI driver.
+///
+/// Accepts `--name=value`, `--name value`, and bare `--name` (boolean true).
+/// Unknown positional arguments are collected in order. No dependencies, no
+/// global state.
+namespace move::common {
+
+class Flags {
+ public:
+  /// Parses argv; never throws — malformed input just becomes positionals.
+  static Flags parse(int argc, char** argv);
+
+  [[nodiscard]] bool has(std::string_view name) const;
+
+  /// String value of a flag, or `fallback` when absent.
+  [[nodiscard]] std::string get(std::string_view name,
+                                std::string_view fallback = "") const;
+
+  /// Numeric accessors; malformed numbers fall back too.
+  [[nodiscard]] std::int64_t get_int(std::string_view name,
+                                     std::int64_t fallback) const;
+  [[nodiscard]] double get_double(std::string_view name,
+                                  double fallback) const;
+  [[nodiscard]] bool get_bool(std::string_view name, bool fallback) const;
+
+  [[nodiscard]] const std::vector<std::string>& positionals() const noexcept {
+    return positionals_;
+  }
+  [[nodiscard]] const std::string& program() const noexcept {
+    return program_;
+  }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string, std::less<>> values_;
+  std::vector<std::string> positionals_;
+};
+
+}  // namespace move::common

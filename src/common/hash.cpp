@@ -1,0 +1,29 @@
+#include "common/hash.hpp"
+
+namespace move::common {
+
+namespace {
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+}  // namespace
+
+std::uint64_t fnv1a64(std::string_view bytes) noexcept {
+  std::uint64_t h = kFnvOffset;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a64(std::uint64_t key) noexcept {
+  std::uint64_t h = kFnvOffset;
+  for (int i = 0; i < 8; ++i) {
+    h ^= key & 0xffU;
+    h *= kFnvPrime;
+    key >>= 8;
+  }
+  return h;
+}
+
+}  // namespace move::common

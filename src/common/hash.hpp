@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+/// Hashing primitives used for DHT key placement and Bloom filters.
+///
+/// Everything here is deterministic across platforms and process runs: the
+/// ring position of a term and the bit pattern of a Bloom filter must not
+/// depend on libstdc++'s seed-randomized std::hash.
+namespace move::common {
+
+/// 64-bit FNV-1a over an arbitrary byte string.
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes) noexcept;
+
+/// 64-bit FNV-1a over an integer key (hashes its little-endian bytes).
+[[nodiscard]] std::uint64_t fnv1a64(std::uint64_t key) noexcept;
+
+/// SplitMix64 step — a fast bijective mixer. Good enough to decorrelate
+/// dense ids before placing them on the ring. The pre-increment keeps small
+/// keys (notably 0) away from their own fixed points.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Boost-style combination of two 64-bit hashes.
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t seed,
+                                                   std::uint64_t v) noexcept {
+  return seed ^ (mix64(v) + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+/// Derives the i-th hash of a double-hashing family h_i = h1 + i*h2
+/// (Kirsch–Mitzenmacher); used by the Bloom filter.
+[[nodiscard]] constexpr std::uint64_t double_hash(std::uint64_t h1,
+                                                  std::uint64_t h2,
+                                                  std::uint32_t i) noexcept {
+  return h1 + static_cast<std::uint64_t>(i) * (h2 | 1ULL);
+}
+
+}  // namespace move::common

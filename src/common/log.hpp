@@ -1,0 +1,48 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+/// Minimal leveled logging.
+///
+/// Kept deliberately tiny: benches and examples print their own tables; the
+/// library itself only logs configuration summaries and rare anomalies.
+/// Thread-safe at line granularity.
+namespace move::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide minimum level; lines below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emits one formatted line ("LEVEL component: message") to stderr.
+void log_line(LogLevel level, std::string_view component,
+              std::string_view message);
+
+/// Stream-style convenience: LOG(kInfo, "cluster") << "N=" << n;
+class LogStream {
+ public:
+  LogStream(LogLevel level, std::string_view component)
+      : level_(level), component_(component) {}
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+  ~LogStream() { log_line(level_, component_, out_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    out_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream out_;
+};
+
+}  // namespace move::common
+
+#define MOVE_LOG(level, component) \
+  ::move::common::LogStream(::move::common::LogLevel::level, component)

@@ -1,0 +1,29 @@
+#include "common/rng.hpp"
+
+namespace move::common {
+
+std::uint64_t uniform_below(SplitMix64& rng, std::uint64_t bound) noexcept {
+  if (bound <= 1) return 0;
+  // Lemire's nearly-divisionless method, 64x64 -> 128 bit.
+  while (true) {
+    const std::uint64_t x = rng();
+    const __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    const std::uint64_t low = static_cast<std::uint64_t>(m);
+    if (low >= bound || low >= (-bound) % bound) {
+      return static_cast<std::uint64_t>(m >> 64);
+    }
+  }
+}
+
+double uniform_unit(SplitMix64& rng) noexcept {
+  // 53 random mantissa bits -> uniform double in [0, 1).
+  return static_cast<double>(rng() >> 11) * 0x1.0p-53;
+}
+
+bool bernoulli(SplitMix64& rng, double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform_unit(rng) < p;
+}
+
+}  // namespace move::common

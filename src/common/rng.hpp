@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+/// Deterministic random number generation.
+///
+/// Every stochastic decision in MOVE (workload synthesis, randomized
+/// rounding, partition selection, failure injection) draws from a SplitMix64
+/// stream seeded explicitly, so experiments replay bit-identically.
+namespace move::common {
+
+/// SplitMix64 — tiny, fast, passes BigCrush; satisfies
+/// std::uniform_random_bit_generator so it plugs into <random> distributions.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  constexpr explicit SplitMix64(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+      : state_(seed) {}
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Forks an independent stream; used to give each generator component its
+  /// own stream so adding draws to one does not perturb another.
+  [[nodiscard]] constexpr SplitMix64 fork() noexcept {
+    return SplitMix64((*this)() ^ 0x6a09e667f3bcc909ULL);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+[[nodiscard]] std::uint64_t uniform_below(SplitMix64& rng,
+                                          std::uint64_t bound) noexcept;
+
+/// Uniform double in [0, 1).
+[[nodiscard]] double uniform_unit(SplitMix64& rng) noexcept;
+
+/// Bernoulli draw with success probability p (clamped to [0,1]).
+[[nodiscard]] bool bernoulli(SplitMix64& rng, double p) noexcept;
+
+}  // namespace move::common

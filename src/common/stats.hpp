@@ -1,0 +1,51 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+/// Descriptive statistics used by the evaluation harness.
+///
+/// The paper characterizes its traces through ranked distributions, Shannon
+/// entropy (Fig. 5: 9.4473 for TREC AP vs 6.7593 for TREC WT) and top-k
+/// overlap between query-term popularity and document-term frequency
+/// (26.9 % / 31.3 %). These helpers compute those quantities.
+namespace move::common {
+
+/// Arithmetic mean; 0 for an empty span.
+[[nodiscard]] double mean(std::span<const double> xs) noexcept;
+
+/// Sample standard deviation; 0 for fewer than two samples.
+[[nodiscard]] double stddev(std::span<const double> xs) noexcept;
+
+/// p-th percentile (p in [0,100]) with linear interpolation; input is copied
+/// and sorted internally. Returns 0 for an empty span.
+[[nodiscard]] double percentile(std::span<const double> xs, double p);
+
+/// Shannon entropy (base 2) of a discrete distribution given as
+/// non-negative weights; weights are normalized internally. Zero weights
+/// contribute nothing. Returns 0 for an empty or all-zero input.
+[[nodiscard]] double shannon_entropy(std::span<const double> weights);
+
+/// Gini coefficient of non-negative values — 0 is perfectly balanced load,
+/// 1 is maximally concentrated. Used to summarize Fig. 9(a,b) load skew.
+[[nodiscard]] double gini(std::span<const double> xs);
+
+/// Normalizes weights to sum to 1 (returns empty if the sum is zero).
+[[nodiscard]] std::vector<double> normalize(std::span<const double> weights);
+
+/// Returns the indices of the k largest values, in descending value order.
+[[nodiscard]] std::vector<std::size_t> top_k_indices(
+    std::span<const double> values, std::size_t k);
+
+/// Fraction of `a`'s elements that also appear in `b` (as sets).
+/// With a = top-1000 query terms and b = top-1000 document terms this is the
+/// paper's popular/frequent overlap statistic.
+[[nodiscard]] double overlap_fraction(std::span<const std::size_t> a,
+                                      std::span<const std::size_t> b);
+
+/// Max over mean of a load vector (1.0 = perfectly balanced). Used to report
+/// hot-spot severity in the cluster benches.
+[[nodiscard]] double peak_to_mean(std::span<const double> xs) noexcept;
+
+}  // namespace move::common

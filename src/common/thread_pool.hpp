@@ -1,0 +1,53 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+/// Fixed-size worker pool for real-parallel matching.
+///
+/// Deliberately minimal: submit() enqueues a task; wait_idle() blocks until
+/// every submitted task finished. Exceptions escaping a task terminate (by
+/// design — tasks here are noexcept-by-contract matching shards; a throwing
+/// task is a bug, not a recoverable condition). Destruction drains the
+/// queue first.
+namespace move::common {
+
+class ThreadPool {
+ public:
+  /// @param threads worker count; 0 picks hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Thread-safe.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is executing.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return workers_.size();
+  }
+  [[nodiscard]] std::uint64_t tasks_completed() const;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t active_ = 0;
+  std::uint64_t completed_ = 0;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace move::common

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+/// Strongly-typed identifiers shared by every MOVE module.
+///
+/// All identifiers are dense 32-bit indices minted by the owning component
+/// (Vocabulary mints TermId, a Scheme mints FilterId/DocId, the Cluster mints
+/// NodeId). Using distinct wrapper types prevents the classic bug of passing a
+/// filter id where a term id is expected; the wrappers are trivially copyable
+/// and hash/compare like their underlying integer.
+namespace move {
+
+namespace detail {
+
+/// CRTP-free tagged integer. `Tag` only differentiates the type.
+template <typename Tag>
+struct Id {
+  std::uint32_t value = 0;
+
+  constexpr Id() = default;
+  constexpr explicit Id(std::uint32_t v) : value(v) {}
+
+  friend constexpr bool operator==(Id, Id) = default;
+  friend constexpr auto operator<=>(Id, Id) = default;
+};
+
+}  // namespace detail
+
+struct TermTag {};
+struct FilterTag {};
+struct DocTag {};
+struct NodeTag {};
+
+/// A term (word) after preprocessing, interned by move::text::Vocabulary.
+using TermId = detail::Id<TermTag>;
+/// A registered keyword filter (a user profile / subscription).
+using FilterId = detail::Id<FilterTag>;
+/// A published content document.
+using DocId = detail::Id<DocTag>;
+/// A logical storage/matching node in the cluster.
+using NodeId = detail::Id<NodeTag>;
+
+}  // namespace move
+
+namespace std {
+
+template <typename Tag>
+struct hash<move::detail::Id<Tag>> {
+  size_t operator()(move::detail::Id<Tag> id) const noexcept {
+    // SplitMix64 step: cheap and well-distributed for dense ids.
+    std::uint64_t x = id.value;
+    x += 0x9e3779b97f4a7c15ULL;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<size_t>(x);
+  }
+};
+
+}  // namespace std

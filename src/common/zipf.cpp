@@ -1,0 +1,119 @@
+#include "common/zipf.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace move::common {
+
+namespace {
+
+/// Antiderivative of h(x) = x^-s on x > 0 (constant of integration chosen so
+/// the s -> 1 limit is continuous): H(x) = (x^(1-s) - 1) / (1 - s), log(x) at
+/// s == 1.
+double h_antiderivative(double x, double s) {
+  const double one_minus_s = 1.0 - s;
+  if (std::abs(one_minus_s) < 1e-12) return std::log(x);
+  return std::expm1(one_minus_s * std::log(x)) / one_minus_s;
+}
+
+/// Inverse of h_antiderivative.
+double h_antiderivative_inverse(double y, double s) {
+  const double one_minus_s = 1.0 - s;
+  if (std::abs(one_minus_s) < 1e-12) return std::exp(y);
+  return std::exp(std::log1p(y * one_minus_s) / one_minus_s);
+}
+
+}  // namespace
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double s) : n_(n), s_(s) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: n must be >= 1");
+  if (s < 0.0) throw std::invalid_argument("ZipfSampler: s must be >= 0");
+  h_integral_x1_ = h_antiderivative(1.5, s_) - 1.0;
+  h_integral_n_ = h_antiderivative(static_cast<double>(n_) + 0.5, s_);
+  s_div_ = 2.0 - h_antiderivative_inverse(
+                     h_antiderivative(2.5, s_) - h(2.0), s_);
+  harmonic_ = 0.0;
+  // Exact generalized harmonic sum; O(n) once per sampler, used only by
+  // pmf() in tests and analytical expectations.
+  for (std::uint64_t k = 1; k <= n_; ++k) {
+    harmonic_ += std::pow(static_cast<double>(k), -s_);
+  }
+}
+
+double ZipfSampler::h(double x) const { return std::exp(-s_ * std::log(x)); }
+
+double ZipfSampler::h_integral(double x) const {
+  return h_antiderivative(x, s_);
+}
+
+double ZipfSampler::h_integral_inverse(double x) const {
+  return h_antiderivative_inverse(x, s_);
+}
+
+double ZipfSampler::pmf(std::uint64_t rank) const {
+  if (rank >= n_) return 0.0;
+  return std::pow(static_cast<double>(rank + 1), -s_) / harmonic_;
+}
+
+std::uint64_t ZipfSampler::operator()(SplitMix64& rng) const {
+  // Rejection-inversion sampling (Hörmann & Derflinger 1996) over the
+  // continuous envelope h(x) on [0.5, n + 0.5]; O(1) expected per draw.
+  while (true) {
+    const double u = h_integral_n_ +
+                     uniform_unit(rng) * (h_integral_x1_ - h_integral_n_);
+    const double x = h_integral_inverse(u);
+    std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    const double kd = static_cast<double>(k);
+    if (kd - x <= s_div_ || u >= h_integral(kd + 0.5) - h(kd)) {
+      return k - 1;  // external ranks are 0-based
+    }
+  }
+}
+
+AliasSampler::AliasSampler(const std::vector<double>& weights) {
+  if (weights.empty()) {
+    throw std::invalid_argument("AliasSampler: weights must be non-empty");
+  }
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("AliasSampler: negative weight");
+    total += w;
+  }
+  if (total <= 0.0) {
+    throw std::invalid_argument("AliasSampler: all weights are zero");
+  }
+
+  const std::size_t n = weights.size();
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+
+  // Walker/Vose alias construction: split scaled weights into under- and
+  // over-full buckets and pair them.
+  std::vector<double> scaled(n);
+  std::vector<std::uint32_t> small, large;
+  for (std::size_t i = 0; i < n; ++i) {
+    scaled[i] = weights[i] * static_cast<double>(n) / total;
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+  }
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    const std::uint32_t l = large.back();
+    small.pop_back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (std::uint32_t i : large) prob_[i] = 1.0;
+  for (std::uint32_t i : small) prob_[i] = 1.0;  // numerical leftovers
+}
+
+std::uint64_t AliasSampler::operator()(SplitMix64& rng) const {
+  const std::uint64_t bucket = uniform_below(rng, prob_.size());
+  return uniform_unit(rng) < prob_[bucket] ? bucket : alias_[bucket];
+}
+
+}  // namespace move::common

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+
+/// Zipf-distributed sampling.
+///
+/// Both published traces the paper relies on are heavily skewed: MSN query
+/// term popularity (Fig. 4) and TREC document term frequency (Fig. 5) follow
+/// power laws. The workload generators draw term ranks from this sampler.
+namespace move::common {
+
+/// Samples ranks in [0, n) with P(rank = k) proportional to 1/(k+1)^s.
+///
+/// Uses the rejection-inversion method of Hörmann & Derflinger (1996), which
+/// is O(1) per draw regardless of n — essential for synthesizing corpora with
+/// hundreds of thousands of distinct terms.
+class ZipfSampler {
+ public:
+  /// @param n number of distinct ranks (must be >= 1)
+  /// @param s skew exponent (s >= 0; s = 0 degenerates to uniform)
+  ZipfSampler(std::uint64_t n, double s);
+
+  /// Draws one rank in [0, n).
+  [[nodiscard]] std::uint64_t operator()(SplitMix64& rng) const;
+
+  [[nodiscard]] std::uint64_t size() const noexcept { return n_; }
+  [[nodiscard]] double skew() const noexcept { return s_; }
+
+  /// Exact probability mass of a rank (for tests and analytical expectations).
+  [[nodiscard]] double pmf(std::uint64_t rank) const;
+
+ private:
+  [[nodiscard]] double h(double x) const;
+  [[nodiscard]] double h_integral(double x) const;
+  [[nodiscard]] double h_integral_inverse(double x) const;
+
+  std::uint64_t n_;
+  double s_;
+  double h_integral_x1_;
+  double h_integral_n_;
+  double s_div_;  // shortcut used by the sampler
+  double harmonic_;  // generalized harmonic number H_{n,s} for pmf()
+};
+
+/// Samples from an arbitrary discrete distribution in O(1) via Walker's alias
+/// method. Used when a workload must match an *empirical* distribution (e.g.
+/// the published 1/2/3-terms-per-query CDF) rather than a closed-form Zipf.
+class AliasSampler {
+ public:
+  /// @param weights non-negative, not all zero.
+  explicit AliasSampler(const std::vector<double>& weights);
+
+  [[nodiscard]] std::uint64_t operator()(SplitMix64& rng) const;
+  [[nodiscard]] std::uint64_t size() const noexcept { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::uint32_t> alias_;
+};
+
+}  // namespace move::common

@@ -1,0 +1,51 @@
+#include "core/adaptive.hpp"
+
+#include <algorithm>
+
+namespace move::core {
+
+AdaptiveResult run_adaptive(MoveScheme& scheme,
+                            const workload::TermSetTable& docs,
+                            const AdaptiveConfig& config) {
+  AdaptiveResult result;
+  auto& m = result.metrics;
+  const std::size_t window =
+      std::max<std::size_t>(1, config.window_docs);
+
+  scheme.reset_observation_window();
+  for (std::size_t start = 0; start < docs.size(); start += window) {
+    const std::size_t end = std::min(docs.size(), start + window);
+    workload::TermSetTable chunk;
+    for (std::size_t i = start; i < end; ++i) chunk.add(docs.row(i));
+
+    const auto wm = run_dissemination(scheme, chunk, config.run);
+
+    // Aggregate window metrics.
+    m.documents_published += wm.documents_published;
+    m.documents_completed += wm.documents_completed;
+    m.notifications += wm.notifications;
+    m.makespan_us += wm.makespan_us;
+    m.latencies_us.insert(m.latencies_us.end(), wm.latencies_us.begin(),
+                          wm.latencies_us.end());
+    if (m.node_busy_us.size() < wm.node_busy_us.size()) {
+      m.node_busy_us.resize(wm.node_busy_us.size(), 0.0);
+      m.node_docs.resize(wm.node_docs.size(), 0);
+    }
+    for (std::size_t n = 0; n < wm.node_busy_us.size(); ++n) {
+      m.node_busy_us[n] += wm.node_busy_us[n];
+      m.node_docs[n] += wm.node_docs[n];
+    }
+    m.node_storage = wm.node_storage;
+
+    // Renew q estimates from this window's fresh counters and re-allocate
+    // (§V), then open the next observation window.
+    if (end - start >= config.min_observations && end < docs.size()) {
+      scheme.allocate_from_observed();
+      ++result.reallocations;
+    }
+    scheme.reset_observation_window();
+  }
+  return result;
+}
+
+}  // namespace move::core

@@ -1,0 +1,39 @@
+#pragma once
+
+#include "core/experiment.hpp"
+#include "core/move_scheme.hpp"
+
+/// Periodic re-allocation (§V "Allocation Policy": "every 10 minutes, the
+/// values of q_i are renewed based on new incoming documents. Based on the
+/// statistics of p_i and q_i, filters are then allocated periodically").
+///
+/// The controller splits a document stream into windows; after each window
+/// it re-estimates per-home frequencies from the meta stores' *fresh*
+/// counters (old traffic is forgotten, so the estimate tracks drift) and
+/// re-runs the allocation. This is what lets MOVE recover throughput when
+/// the document distribution shifts under it — the drift ablation bench
+/// exercises exactly that.
+namespace move::core {
+
+struct AdaptiveConfig {
+  /// Documents per observation window (the paper's 10-minute renewal at
+  /// 1000 docs/s would be 600k; benches use stream-proportional windows).
+  std::size_t window_docs = 1'000;
+  /// Skip re-allocation while fewer than this many documents were observed
+  /// in the window (estimates would be noise).
+  std::size_t min_observations = 100;
+  RunConfig run;
+};
+
+struct AdaptiveResult {
+  sim::RunMetrics metrics;          ///< aggregated over all windows
+  std::size_t reallocations = 0;    ///< windows that triggered a re-allocation
+};
+
+/// Streams `docs` through `scheme` in windows, re-allocating between them.
+/// The scheme must already be registered (and may be pre-allocated).
+[[nodiscard]] AdaptiveResult run_adaptive(MoveScheme& scheme,
+                                          const workload::TermSetTable& docs,
+                                          const AdaptiveConfig& config);
+
+}  // namespace move::core

@@ -1,0 +1,117 @@
+#include "core/allocation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace move::core {
+
+namespace {
+
+double weight_for(const AllocationInput& in, const AllocationParams& params) {
+  switch (params.rule) {
+    case FactorRule::kTheorem1SqrtQ:
+      return std::sqrt(std::max(in.q, 0.0));
+    case FactorRule::kTheorem2SqrtBetaQ:
+      return std::sqrt(1.0 + params.beta * std::max(in.q, 0.0));
+    case FactorRule::kGeneralSqrtPQ:
+      return std::sqrt(std::max(in.p, 0.0) * std::max(in.q, 0.0));
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+Allocation shape_allocation(std::uint32_t n, double p,
+                            const AllocationParams& params) {
+  Allocation alloc;
+  alloc.n = std::max<std::uint32_t>(1, n);
+  const double nd = static_cast<double>(alloc.n);
+
+  // r starts at the most-parallel point 1/n (pure replication) and is tuned
+  // up until each node's share p*P/(n*r) fits capacity C (§IV-B2). The pure
+  // policies pin it to the corners for the §IV-A ablation.
+  double r = 1.0 / nd;
+  switch (params.ratio) {
+    case RatioPolicy::kAdaptive:
+      if (params.capacity > 0.0 && p > 0.0 && params.total_filters > 0.0) {
+        const double required =
+            p * params.total_filters / (nd * params.capacity);
+        r = std::max(r, required);
+      }
+      break;
+    case RatioPolicy::kPureReplication:
+      r = 1.0 / nd;
+      break;
+    case RatioPolicy::kPureSeparation:
+      r = 1.0;
+      break;
+  }
+  alloc.r = std::clamp(r, 1.0 / nd, 1.0);
+
+  // Realize the grid: 1/r partitions of r*n columns, never using more than
+  // n nodes after integer rounding.
+  alloc.partitions = std::clamp<std::uint32_t>(
+      static_cast<std::uint32_t>(std::floor(1.0 / alloc.r + 1e-9)), 1,
+      alloc.n);
+  alloc.columns = std::max<std::uint32_t>(1, alloc.n / alloc.partitions);
+  return alloc;
+}
+
+std::vector<Allocation> compute_allocations(
+    std::span<const AllocationInput> inputs, const AllocationParams& params,
+    common::SplitMix64& rng) {
+  if (params.cluster_size == 0) {
+    throw std::invalid_argument("compute_allocations: empty cluster");
+  }
+  std::vector<Allocation> out(inputs.size());
+  if (inputs.empty()) return out;
+
+  // Lagrange solution scale: n_i = kappa * w_i with the storage constraint
+  // sum(n_i * p_i * P) = N * C  =>  kappa = N*C / sum(w_i * p_i * P).
+  double denom = 0.0;
+  for (const auto& in : inputs) {
+    denom += weight_for(in, params) * std::max(in.p, 0.0) *
+             params.total_filters;
+  }
+  const double budget =
+      static_cast<double>(params.cluster_size) * params.capacity;
+  const double kappa = denom > 0.0 ? budget / denom : 0.0;
+
+  const auto n_max = static_cast<std::uint32_t>(params.cluster_size);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const auto& in = inputs[i];
+    if (in.p <= 0.0) {
+      out[i] = Allocation{};  // no filters here, nothing to allocate
+      continue;
+    }
+    const double n_real = kappa * weight_for(in, params);
+    // Randomized rounding ([12]): floor + Bernoulli(frac) keeps the expected
+    // budget equal to the continuous optimum's.
+    const double fl = std::floor(n_real);
+    std::uint32_t n = static_cast<std::uint32_t>(fl) +
+                      (common::bernoulli(rng, n_real - fl) ? 1u : 0u);
+    n = std::clamp<std::uint32_t>(n, 1, n_max);
+    out[i] = shape_allocation(n, in.p, params);
+  }
+  return out;
+}
+
+double objective_latency(std::span<const AllocationInput> inputs,
+                         std::span<const Allocation> allocs, double P,
+                         double Q) {
+  if (inputs.size() != allocs.size()) {
+    throw std::invalid_argument("objective_latency: size mismatch");
+  }
+  double sum = 0.0;
+  std::size_t active = 0;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    if (inputs[i].p <= 0.0) continue;
+    ++active;
+    sum += inputs[i].p * P * inputs[i].q * Q /
+           static_cast<double>(allocs[i].n);
+  }
+  return active > 0 ? sum / static_cast<double>(active) : 0.0;
+}
+
+}  // namespace move::core

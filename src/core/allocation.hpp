@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+/// The MOVE filter-allocation optimizer (§IV).
+///
+/// Given the per-home popularity p (fraction of the P filters whose home is
+/// here) and frequency q (fraction of the Q documents that will route here),
+/// decide for each home:
+///  * n — how many nodes its filter set is allocated onto, maximizing
+///    throughput under the cluster-wide storage constraint
+///    sum(n_i * p_i * P) = N * C (Theorems 1/2: n_i proportional to sqrt(q_i),
+///    sqrt(1 + beta*q_i), or in the capacity-limited general case
+///    sqrt(p_i * q_i));
+///  * r — the allocation ratio in [1/n, 1] splitting those n nodes into 1/r
+///    partitions (replication degree) of r*n columns (separation degree);
+///    r is tuned up from 1/n until each node's share p*P/(n*r) fits the
+///    per-node capacity C (§IV-B2's alpha tuning).
+///
+/// The continuous optimum is made integral by randomized rounding ([12]).
+namespace move::core {
+
+/// Which optimal-factor rule to apply (the paper derives all three).
+enum class FactorRule {
+  kTheorem1SqrtQ,      ///< n_i ∝ sqrt(q_i)        (Eq. 1 cost, ample capacity)
+  kTheorem2SqrtBetaQ,  ///< n_i ∝ sqrt(1 + β q_i)  (Eq. 2 cost, ample capacity)
+  kGeneralSqrtPQ,      ///< n_i ∝ sqrt(p_i q_i)    (capacity-limited; §V uses this)
+};
+
+/// How the allocation ratio r is chosen (§IV-A's design space). The paper's
+/// scheme is adaptive; the two pure policies are its degenerate corners and
+/// exist for the ablation study ("neither the replication nor separation
+/// scheme alone can minimize the latency").
+enum class RatioPolicy {
+  kAdaptive,         ///< r = max(1/n, p·P/(C·n)) — the paper's tuning
+  kPureReplication,  ///< r = 1/n: n partitions of 1 column (copies only)
+  kPureSeparation,   ///< r = 1: 1 partition of n columns (subsets only)
+};
+
+struct AllocationInput {
+  double p = 0.0;  ///< aggregated popularity share of this home
+  double q = 0.0;  ///< aggregated frequency share of this home
+};
+
+struct AllocationParams {
+  std::size_t cluster_size = 1;   ///< N
+  double total_filters = 0.0;     ///< P
+  double capacity = 0.0;          ///< C, max filter copies per node
+  FactorRule rule = FactorRule::kGeneralSqrtPQ;
+  RatioPolicy ratio = RatioPolicy::kAdaptive;
+  /// β = y_p * P / y_d for Theorem 2 (ignored by the other rules).
+  double beta = 1.0;
+};
+
+struct Allocation {
+  std::uint32_t n = 1;          ///< nodes assigned (including capacity for home's set)
+  double r = 1.0;               ///< allocation ratio in [1/n, 1]
+  std::uint32_t partitions = 1; ///< 1/r rows (replication degree)
+  std::uint32_t columns = 1;    ///< r*n columns (separation degree)
+
+  /// Filter copies this allocation stores per grid node: p*P/(n*r).
+  [[nodiscard]] double copies_per_node(double p, double P) const {
+    return p * P / (static_cast<double>(n) * r);
+  }
+};
+
+/// Computes one allocation for a single home (deterministic part; no
+/// rounding randomness — n is supplied).
+[[nodiscard]] Allocation shape_allocation(std::uint32_t n, double p,
+                                          const AllocationParams& params);
+
+/// Solves the whole-cluster problem: optimal real-valued n_i from the factor
+/// rule, scaled to exhaust the storage budget N*C, then randomized-rounded.
+/// Homes with p == 0 (no filters) get n = 1 (nothing to allocate).
+[[nodiscard]] std::vector<Allocation> compute_allocations(
+    std::span<const AllocationInput> inputs, const AllocationParams& params,
+    common::SplitMix64& rng);
+
+/// The analytic average latency objective the optimizer minimizes
+/// (Y = (1/T) * sum p_i*P*q_i*Q / n_i, Eq. 1 summed) — exposed so tests can
+/// verify the optimal factors beat perturbed ones.
+[[nodiscard]] double objective_latency(std::span<const AllocationInput> inputs,
+                                       std::span<const Allocation> allocs,
+                                       double P, double Q);
+
+}  // namespace move::core

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/scheme.hpp"
+#include "sim/metrics.hpp"
+#include "workload/term_set_table.hpp"
+
+/// The experiment driver: replays the paper's methodology (§VI-A3) on the
+/// virtual clock. All filters are registered first; then clients inject
+/// documents at a fixed rate; each document's routing plan (from the scheme)
+/// is executed over the cluster's FIFO servers; a document counts toward
+/// throughput once every hop of its plan has completed ("if all matching
+/// filters are found, we add the throughput by 1").
+namespace move::core {
+
+struct RunConfig {
+  /// Aggregate injection rate (documents per second across all clients; the
+  /// paper uses 1000 per client).
+  double inject_rate_per_sec = 1000.0;
+  /// Collect per-document latencies (costs memory at large Q).
+  bool collect_latencies = true;
+};
+
+/// Executes one dissemination run of `docs` through `scheme`.
+/// Resets the cluster's servers; does NOT reset filter placement or node
+/// liveness, so callers stage failures before invoking.
+[[nodiscard]] sim::RunMetrics run_dissemination(
+    Scheme& scheme, const workload::TermSetTable& docs,
+    const RunConfig& config = {});
+
+}  // namespace move::core

@@ -1,0 +1,82 @@
+#include "core/forwarding_table.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/hash.hpp"
+
+namespace move::core {
+
+ForwardingTable::ForwardingTable(std::uint32_t partitions,
+                                 std::uint32_t columns,
+                                 std::vector<NodeId> nodes)
+    : partitions_(partitions), columns_(columns), grid_(std::move(nodes)) {
+  if (partitions_ == 0 || columns_ == 0) {
+    throw std::invalid_argument("ForwardingTable: empty grid shape");
+  }
+  if (grid_.size() != static_cast<std::size_t>(partitions_) * columns_) {
+    throw std::invalid_argument("ForwardingTable: grid size mismatch");
+  }
+}
+
+NodeId ForwardingTable::at(std::uint32_t row, std::uint32_t col) const {
+  if (row >= partitions_ || col >= columns_) {
+    throw std::out_of_range("ForwardingTable::at");
+  }
+  return grid_[static_cast<std::size_t>(row) * columns_ + col];
+}
+
+std::span<const NodeId> ForwardingTable::row(std::uint32_t r) const {
+  if (r >= partitions_) throw std::out_of_range("ForwardingTable::row");
+  return {grid_.data() + static_cast<std::size_t>(r) * columns_, columns_};
+}
+
+std::uint32_t ForwardingTable::column_of(FilterId filter) const {
+  return static_cast<std::uint32_t>(common::mix64(filter.value) % columns_);
+}
+
+std::vector<NodeId> ForwardingTable::column_nodes(std::uint32_t col) const {
+  if (col >= columns_) throw std::out_of_range("ForwardingTable::column_nodes");
+  std::vector<NodeId> out;
+  out.reserve(partitions_);
+  for (std::uint32_t r = 0; r < partitions_; ++r) out.push_back(at(r, col));
+  return out;
+}
+
+std::uint32_t ForwardingTable::random_row(common::SplitMix64& rng) const {
+  return static_cast<std::uint32_t>(common::uniform_below(rng, partitions_));
+}
+
+std::optional<std::uint32_t> ForwardingTable::pick_live_row(
+    const std::vector<bool>& alive, common::SplitMix64& rng) const {
+  auto is_live = [&](NodeId n) {
+    return n.value < alive.size() && alive[n.value];
+  };
+  // Count fully-live rows first.
+  std::vector<std::uint32_t> fully_live;
+  std::uint32_t best_row = 0;
+  std::size_t best_live = 0;
+  for (std::uint32_t r = 0; r < partitions_; ++r) {
+    std::size_t live = 0;
+    for (NodeId n : row(r)) live += is_live(n);
+    if (live == columns_) fully_live.push_back(r);
+    if (live > best_live) {
+      best_live = live;
+      best_row = r;
+    }
+  }
+  if (!fully_live.empty()) {
+    return fully_live[common::uniform_below(rng, fully_live.size())];
+  }
+  if (best_live == 0) return std::nullopt;
+  return best_row;
+}
+
+std::vector<NodeId> ForwardingTable::all_nodes() const {
+  std::vector<NodeId> out = grid_;
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace move::core

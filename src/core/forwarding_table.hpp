@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+/// The main-memory forwarding table of a home node's forwarding engine (§V).
+///
+/// A two-dimensional array of node ids: `partitions` rows (each row is one
+/// complete replica of the home's allocated filter set) by `columns` columns
+/// (each column holds one separated subset). A document picks one random row
+/// and is forwarded in parallel to every node in that row; a filter is
+/// hashed to one column and copied onto every node in that column.
+///
+/// Per §V's maintenance-cost optimization, a node keeps ONE table covering
+/// all terms it is home for (the aggregated p'/q' variant), not one table
+/// per term.
+namespace move::core {
+
+class ForwardingTable {
+ public:
+  /// @param nodes row-major grid contents, size == partitions * columns.
+  ForwardingTable(std::uint32_t partitions, std::uint32_t columns,
+                  std::vector<NodeId> nodes);
+
+  [[nodiscard]] std::uint32_t partitions() const noexcept {
+    return partitions_;
+  }
+  [[nodiscard]] std::uint32_t columns() const noexcept { return columns_; }
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return grid_.size();
+  }
+
+  [[nodiscard]] NodeId at(std::uint32_t row, std::uint32_t col) const;
+
+  /// All nodes in one row (one partition) — the fan-out set for a document.
+  [[nodiscard]] std::span<const NodeId> row(std::uint32_t r) const;
+
+  /// The column a filter is separated into.
+  [[nodiscard]] std::uint32_t column_of(FilterId filter) const;
+
+  /// All nodes in a column — the copy set for a filter in that column.
+  [[nodiscard]] std::vector<NodeId> column_nodes(std::uint32_t col) const;
+
+  /// Uniformly random row index.
+  [[nodiscard]] std::uint32_t random_row(common::SplitMix64& rng) const;
+
+  /// Picks a row for dissemination given node liveness: prefers a uniformly
+  /// random fully-live row; if none is fully live, returns the row with the
+  /// most live nodes (ties broken by lowest index). Returns nullopt if no
+  /// row has any live node.
+  [[nodiscard]] std::optional<std::uint32_t> pick_live_row(
+      const std::vector<bool>& alive, common::SplitMix64& rng) const;
+
+  /// Every distinct node in the grid.
+  [[nodiscard]] std::vector<NodeId> all_nodes() const;
+
+ private:
+  std::uint32_t partitions_;
+  std::uint32_t columns_;
+  std::vector<NodeId> grid_;  // row-major
+};
+
+}  // namespace move::core

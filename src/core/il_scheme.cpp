@@ -1,0 +1,91 @@
+#include "core/il_scheme.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace move::core {
+
+IlScheme::IlScheme(cluster::Cluster& cluster, IlOptions options)
+    : cluster_(&cluster), options_(options), rng_(options.seed) {}
+
+void IlScheme::register_filters(const workload::TermSetTable& filters) {
+  registered_filters_ = &filters;
+  registered_ = filters.size();
+  // Size the Bloom summary by the number of (filter, term) pairs — an upper
+  // bound on distinct filter terms, giving an FPR at or below target.
+  if (options_.use_bloom) {
+    bloom_.emplace(
+        std::max<std::size_t>(64, static_cast<std::size_t>(
+                                      filters.total_terms())),
+        options_.bloom_fpr);
+  } else {
+    bloom_.reset();
+  }
+
+  for (std::size_t i = 0; i < filters.size(); ++i) {
+    const FilterId global{static_cast<std::uint32_t>(i)};
+    const auto terms = filters.row(i);
+    for (TermId t : terms) {
+      const NodeId home = cluster_->ring().home_of_term(t);
+      const TermId one[] = {t};
+      cluster_->node(home).register_copy(global, terms, one);
+      if (bloom_) bloom_->insert(t);
+    }
+  }
+}
+
+void IlScheme::rebuild() {
+  if (registered_filters_ == nullptr) {
+    throw std::logic_error("IlScheme::rebuild before register_filters");
+  }
+  cluster_->wipe_storage();
+  register_filters(*registered_filters_);
+}
+
+std::vector<std::pair<NodeId, std::vector<TermId>>>
+IlScheme::group_terms_by_home(std::span<const TermId> doc_terms) const {
+  std::vector<std::pair<NodeId, std::vector<TermId>>> groups;
+  for (TermId t : doc_terms) {
+    if (bloom_ && !bloom_->may_contain(t)) continue;
+    const NodeId home = cluster_->ring().home_of_term(t);
+    auto it = std::find_if(groups.begin(), groups.end(),
+                           [home](const auto& g) { return g.first == home; });
+    if (it == groups.end()) {
+      groups.emplace_back(home, std::vector<TermId>{t});
+    } else {
+      it->second.push_back(t);
+    }
+  }
+  return groups;
+}
+
+PublishPlan IlScheme::plan_publish(std::span<const TermId> doc_terms) {
+  PublishPlan plan;
+  const auto& cost = cluster_->cost();
+
+  std::vector<FilterId> local_matches;
+  for (auto& [home, terms] : group_terms_by_home(doc_terms)) {
+    if (!cluster_->alive(home)) continue;  // matches behind a dead home lost
+    const auto& node = cluster_->node(home);
+    const double transfer = cost.transfer_us(doc_terms.size());
+    double service = cost.handle_base_us + cost.receive_service_us(transfer);
+    std::vector<FilterId> node_matches;
+    for (TermId t : terms) {
+      const auto acc = node.match_single(t, doc_terms, options_.match,
+                                         local_matches);
+      service += cost.match_us(acc);
+      node_matches.insert(node_matches.end(), local_matches.begin(),
+                          local_matches.end());
+      cluster_->node(home).meta().record_document(t);
+    }
+    plan.hops.push_back(Hop{home, transfer, service, {}});
+    plan.matches.insert(plan.matches.end(), node_matches.begin(),
+                        node_matches.end());
+  }
+  std::sort(plan.matches.begin(), plan.matches.end());
+  plan.matches.erase(std::unique(plan.matches.begin(), plan.matches.end()),
+                     plan.matches.end());
+  return plan;
+}
+
+}  // namespace move::core

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "bloom/bloom_filter.hpp"
+#include "core/scheme.hpp"
+
+/// IL — the pure distributed-inverted-list baseline (§III-B, "Baseline
+/// Solution"), i.e. MOVE without filter allocation.
+///
+/// Registration: a filter is stored (full term set) on the home node of each
+/// of its terms; the home node of t builds ONLY the posting list for t.
+/// Dissemination: a document is forwarded in parallel to the home nodes of
+/// its terms (pre-screened by the cluster Bloom filter over registered
+/// filter terms, §V); each home node retrieves the single posting list of
+/// its term. Correct, but hot terms create hot-spot nodes and popular terms
+/// create storage-bound nodes — the weaknesses Fig. 8 quantifies.
+namespace move::core {
+
+struct IlOptions {
+  index::MatchOptions match;
+  bool use_bloom = true;
+  double bloom_fpr = 0.01;
+  std::uint64_t seed = 0x5eed11u;
+};
+
+class IlScheme : public Scheme {
+ public:
+  IlScheme(cluster::Cluster& cluster, IlOptions options = {});
+
+  [[nodiscard]] std::string_view name() const override { return "IL"; }
+
+  void register_filters(const workload::TermSetTable& filters) override;
+  void rebuild() override;
+
+  [[nodiscard]] PublishPlan plan_publish(
+      std::span<const TermId> doc_terms) override;
+
+  [[nodiscard]] std::vector<std::uint64_t> storage_per_node() const override {
+    return scan_storage(*cluster_);
+  }
+  [[nodiscard]] double filter_availability() const override {
+    return scan_availability(*cluster_, registered_);
+  }
+  [[nodiscard]] cluster::Cluster& cluster() override { return *cluster_; }
+
+  [[nodiscard]] const bloom::BloomFilter* bloom() const {
+    return bloom_ ? &*bloom_ : nullptr;
+  }
+
+ protected:
+  /// Terms of `doc_terms` that pass the Bloom pre-screen, grouped by their
+  /// home node (one network hop per home regardless of how many of the
+  /// document's terms live there).
+  [[nodiscard]] std::vector<std::pair<NodeId, std::vector<TermId>>>
+  group_terms_by_home(std::span<const TermId> doc_terms) const;
+
+  cluster::Cluster* cluster_;
+  IlOptions options_;
+  std::optional<bloom::BloomFilter> bloom_;
+  const workload::TermSetTable* registered_filters_ = nullptr;
+  std::size_t registered_ = 0;
+  common::SplitMix64 rng_;
+};
+
+}  // namespace move::core

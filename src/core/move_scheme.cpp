@@ -1,0 +1,411 @@
+#include "core/move_scheme.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/hash.hpp"
+
+namespace move::core {
+
+MoveScheme::MoveScheme(cluster::Cluster& cluster, MoveOptions options)
+    : IlScheme(cluster,
+               IlOptions{options.match, options.use_bloom, options.bloom_fpr,
+                         options.seed}),
+      move_options_(options) {}
+
+void MoveScheme::register_filters(const workload::TermSetTable& filters) {
+  filters_ = &filters;
+  home_entries_.assign(cluster_->size(), {});
+  allocations_.assign(cluster_->size(), Allocation{});
+  tables_.assign(cluster_->size(), std::nullopt);
+  term_tables_.clear();
+  publish_count_ = 0;
+
+  // Same distributed-inverted-list registration as IL, but additionally
+  // remember which (filter, home-term) pairs landed on each home so the
+  // allocation pass can copy exactly those subsets.
+  IlScheme::register_filters(filters);
+  for (std::size_t i = 0; i < filters.size(); ++i) {
+    const FilterId global{static_cast<std::uint32_t>(i)};
+    for (TermId t : filters.row(i)) {
+      const NodeId home = cluster_->ring().home_of_term(t);
+      home_entries_[home.value].push_back(HomeEntry{global, t});
+    }
+  }
+}
+
+std::vector<AllocationInput> MoveScheme::aggregate_inputs(
+    const workload::TraceStats& filter_stats,
+    const workload::TraceStats& corpus_stats) const {
+  std::vector<AllocationInput> inputs(cluster_->size());
+  const std::size_t universe = filter_stats.share.size();
+  for (std::size_t t = 0; t < universe; ++t) {
+    const double p = filter_stats.share[t];
+    if (p <= 0.0) continue;  // documents for filterless terms never route
+    const double q =
+        t < corpus_stats.share.size() ? corpus_stats.share[t] : 0.0;
+    const NodeId home =
+        cluster_->ring().home_of_term(TermId{static_cast<std::uint32_t>(t)});
+    inputs[home.value].p += p;
+    inputs[home.value].q += q;
+  }
+  return inputs;
+}
+
+void MoveScheme::allocate(const workload::TraceStats& filter_stats,
+                          const workload::TraceStats& corpus_stats) {
+  if (filters_ == nullptr) {
+    throw std::logic_error("MoveScheme::allocate before register_filters");
+  }
+  last_stats_ = std::make_pair(filter_stats, corpus_stats);
+  if (move_options_.per_node_aggregation) {
+    build_grids(aggregate_inputs(filter_stats, corpus_stats));
+  } else {
+    build_term_grids(filter_stats, corpus_stats);
+  }
+}
+
+void MoveScheme::rebuild() {
+  if (filters_ == nullptr) {
+    throw std::logic_error("MoveScheme::rebuild before register_filters");
+  }
+  cluster_->wipe_storage();
+  // Keep the stats across register_filters (which resets transient state).
+  auto stats = std::move(last_stats_);
+  register_filters(*filters_);
+  if (stats.has_value()) {
+    allocate(stats->first, stats->second);
+  }
+}
+
+void MoveScheme::allocate_from_observed() {
+  if (filters_ == nullptr) {
+    throw std::logic_error(
+        "MoveScheme::allocate_from_observed before register_filters");
+  }
+  // Reconstruct per-home aggregates from the meta stores (§V: the dedicated
+  // collector node gathers p', q' from every node). q' is normalized by the
+  // documents published in the current observation window.
+  std::vector<AllocationInput> inputs(cluster_->size());
+  const double published =
+      publish_count_ > window_base_
+          ? static_cast<double>(publish_count_ - window_base_)
+          : 1.0;
+  for (std::uint32_t m = 0; m < cluster_->size(); ++m) {
+    const auto& meta = cluster_->node(NodeId{m}).meta();
+    inputs[m].p = registered_ > 0
+                      ? static_cast<double>(meta.total_filters()) /
+                            static_cast<double>(registered_)
+                      : 0.0;
+    inputs[m].q = static_cast<double>(meta.total_docs()) / published;
+  }
+  build_grids(inputs);
+}
+
+void MoveScheme::reset_observation_window() {
+  window_base_ = publish_count_;
+  for (std::uint32_t m = 0; m < cluster_->size(); ++m) {
+    cluster_->node(NodeId{m}).meta().reset_document_counters();
+  }
+}
+
+std::optional<ForwardingTable> MoveScheme::make_grid(
+    NodeId home, const Allocation& alloc, std::uint64_t salt,
+    std::span<const double> slot_load) const {
+  const std::size_t wanted =
+      static_cast<std::size_t>(alloc.partitions) * alloc.columns;
+  if (wanted <= 1) return std::nullopt;
+
+  auto candidates = kv::select_replica_nodes_weighted(
+      move_options_.placement, home, common::mix64(home.value + salt), wanted,
+      cluster_->ring(), cluster_->topology(), slot_load);
+  if (candidates.empty()) return std::nullopt;
+
+  // Shrink the grid if the cluster could not supply enough distinct nodes.
+  std::uint32_t columns = std::min<std::uint32_t>(
+      alloc.columns, static_cast<std::uint32_t>(candidates.size()));
+  std::uint32_t partitions = std::min<std::uint32_t>(
+      alloc.partitions,
+      static_cast<std::uint32_t>(candidates.size()) / columns);
+  if (partitions == 0) partitions = 1;
+  if (static_cast<std::size_t>(partitions) * columns <= 1) {
+    return std::nullopt;
+  }
+
+  std::vector<NodeId> grid(
+      candidates.begin(),
+      candidates.begin() + static_cast<std::size_t>(partitions) * columns);
+  return ForwardingTable(partitions, columns, std::move(grid));
+}
+
+void MoveScheme::copy_entries(const ForwardingTable& table,
+                              std::span<const HomeEntry> entries) {
+  for (const HomeEntry& entry : entries) {
+    const std::uint32_t col = table.column_of(entry.filter);
+    const auto terms = filters_->row(entry.filter.value);
+    const TermId one[] = {entry.term};
+    for (std::uint32_t row = 0; row < table.partitions(); ++row) {
+      cluster_->node(table.at(row, col)).register_copy(entry.filter, terms,
+                                                       one);
+    }
+  }
+}
+
+void MoveScheme::build_grids(const std::vector<AllocationInput>& inputs) {
+  AllocationParams params;
+  params.cluster_size = cluster_->size();
+  params.total_filters = static_cast<double>(registered_);
+  params.capacity = move_options_.capacity;
+  params.rule = move_options_.rule;
+  params.ratio = move_options_.ratio;
+  params.beta = cluster_->cost().beta(params.total_filters, 500.0);
+
+  common::SplitMix64 rng(move_options_.seed ^ 0xa110ca7eULL);
+  allocations_ = compute_allocations(inputs, params, rng);
+
+  // Place the hottest homes first and track the document-rate share each
+  // grid slot will carry, so the weighted selection spreads hot grids
+  // instead of stacking them on the same few nodes (the collector node has
+  // the global view, §V).
+  std::vector<std::uint32_t> order(cluster_->size());
+  for (std::uint32_t m = 0; m < cluster_->size(); ++m) order[m] = m;
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return inputs[a].q * inputs[a].p > inputs[b].q * inputs[b].p;
+  });
+
+  std::vector<double> slot_load(cluster_->size(), 0.0);
+  for (std::uint32_t m : order) {
+    tables_[m].reset();
+    if (home_entries_[m].empty()) continue;
+    auto table = make_grid(NodeId{m}, allocations_[m], 0x5a5aULL, slot_load);
+    if (!table.has_value()) continue;
+    copy_entries(*table, home_entries_[m]);
+    // Expected matching work a grid node absorbs from this home: its docs
+    // arrive at rate q/partitions and each scans p*P/columns postings, so
+    // the work share is proportional to p*q/(partitions*columns).
+    const double share =
+        inputs[m].p * inputs[m].q /
+        (static_cast<double>(table->partitions()) * table->columns());
+    for (NodeId n : table->all_nodes()) slot_load[n.value] += share;
+    tables_[m] = std::move(*table);
+  }
+}
+
+void MoveScheme::build_term_grids(const workload::TraceStats& filter_stats,
+                                  const workload::TraceStats& corpus_stats) {
+  // §IV granularity ablation: one allocation problem over all filter terms.
+  std::vector<AllocationInput> inputs;
+  std::vector<std::uint32_t> term_of_input;
+  for (std::size_t t = 0; t < filter_stats.share.size(); ++t) {
+    const double p = filter_stats.share[t];
+    if (p <= 0.0) continue;
+    const double q =
+        t < corpus_stats.share.size() ? corpus_stats.share[t] : 0.0;
+    inputs.push_back(AllocationInput{p, q});
+    term_of_input.push_back(static_cast<std::uint32_t>(t));
+  }
+
+  AllocationParams params;
+  params.cluster_size = cluster_->size();
+  params.total_filters = static_cast<double>(registered_);
+  params.capacity = move_options_.capacity;
+  params.rule = move_options_.rule;
+  params.ratio = move_options_.ratio;
+  params.beta = cluster_->cost().beta(params.total_filters, 500.0);
+
+  common::SplitMix64 rng(move_options_.seed ^ 0x7e4aa110ULL);
+  const auto allocs = compute_allocations(inputs, params, rng);
+
+  term_tables_.clear();
+  // Group the home entries by term once (home_entries_ are per home node).
+  std::unordered_map<std::uint32_t, std::vector<HomeEntry>> by_term;
+  for (const auto& entries : home_entries_) {
+    for (const HomeEntry& e : entries) by_term[e.term.value].push_back(e);
+  }
+
+  // Hot terms first, load-aware, as in the per-node variant.
+  std::vector<std::size_t> order(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return inputs[a].q * inputs[a].p > inputs[b].q * inputs[b].p;
+  });
+
+  std::vector<double> slot_load(cluster_->size(), 0.0);
+  for (std::size_t i : order) {
+    const std::uint32_t term = term_of_input[i];
+    auto it = by_term.find(term);
+    if (it == by_term.end()) continue;
+    const NodeId home = cluster_->ring().home_of_term(TermId{term});
+    auto table = make_grid(home, allocs[i], 0x7e57ULL + term, slot_load);
+    if (!table.has_value()) continue;
+    copy_entries(*table, it->second);
+    const double share =
+        inputs[i].p * inputs[i].q /
+        (static_cast<double>(table->partitions()) * table->columns());
+    for (NodeId n : table->all_nodes()) slot_load[n.value] += share;
+    term_tables_.emplace(term, std::move(*table));
+  }
+}
+
+void MoveScheme::plan_at_home(NodeId home, std::span<const TermId> terms,
+                              std::span<const TermId> doc_terms,
+                              const std::vector<bool>& alive,
+                              PublishPlan& plan) {
+  if (!alive[home.value]) return;  // matches behind a dead, unallocated home
+  const auto& cost = cluster_->cost();
+  const double transfer = cost.transfer_us(doc_terms.size());
+  double service = cost.handle_base_us + cost.receive_service_us(transfer);
+  std::vector<FilterId> scratch;
+  for (TermId t : terms) {
+    const auto acc = cluster_->node(home).match_single(
+        t, doc_terms, move_options_.match, scratch);
+    service += cost.match_us(acc);
+    plan.matches.insert(plan.matches.end(), scratch.begin(), scratch.end());
+  }
+  plan.hops.push_back(Hop{home, transfer, service, {}});
+}
+
+void MoveScheme::plan_via_table(const ForwardingTable& table, NodeId home,
+                                std::span<const TermId> terms,
+                                std::span<const TermId> doc_terms,
+                                const std::vector<bool>& alive,
+                                PublishPlan& plan) {
+  const auto& cost = cluster_->cost();
+  const auto& topo = cluster_->topology();
+  const bool home_alive = alive[home.value];
+
+  // The home stores the full filter set itself (§V: filters live on the
+  // home AND the forwarding-table nodes), so it acts as one extra virtual
+  // partition: with probability 1/(partitions+1) the document is served
+  // locally with no second hop.
+  if (home_alive &&
+      common::uniform_below(rng_, table.partitions() + 1) == 0) {
+    plan_at_home(home, terms, doc_terms, alive, plan);
+    return;
+  }
+
+  const auto row = table.pick_live_row(alive, rng_);
+  if (!row.has_value()) {
+    // Entire grid is dead; the home's own copy is the last resort.
+    plan_at_home(home, terms, doc_terms, alive, plan);
+    return;
+  }
+
+  // Build the partition fan-out (skipping dead columns — their subsets'
+  // matches are lost, which the availability metric accounts for).
+  std::vector<Hop> fanout;
+  std::vector<FilterId> scratch;
+  for (NodeId target : table.row(*row)) {
+    if (!alive[target.value]) continue;
+    const bool same_rack =
+        home_alive && topo.rack_of(target) == topo.rack_of(home);
+    const double transfer = cost.transfer_us(doc_terms.size(), same_rack);
+    double service = cost.handle_base_us + cost.receive_service_us(transfer);
+    for (TermId t : terms) {
+      const auto acc = cluster_->node(target).match_single(
+          t, doc_terms, move_options_.match, scratch);
+      service += cost.match_us(acc);
+      plan.matches.insert(plan.matches.end(), scratch.begin(), scratch.end());
+    }
+    fanout.push_back(Hop{target, transfer, service, {}});
+  }
+  if (fanout.empty()) {
+    plan_at_home(home, terms, doc_terms, alive, plan);
+    return;
+  }
+
+  if (home_alive) {
+    // Two-hop route: the home only consults its forwarding table.
+    const double transfer = cost.transfer_us(doc_terms.size());
+    const double service =
+        cost.handle_base_us + cost.receive_service_us(transfer) +
+        cost.forward_decision_us * static_cast<double>(terms.size());
+    plan.hops.push_back(Hop{home, transfer, service, std::move(fanout)});
+  } else {
+    // Home is down: the publisher (full-membership routing) sends straight
+    // to the partition nodes.
+    for (Hop& h : fanout) plan.hops.push_back(std::move(h));
+  }
+}
+
+double MoveScheme::routable_availability() const {
+  if (filters_ == nullptr || filters_->size() == 0) return 1.0;
+
+  auto column_reachable = [&](const ForwardingTable& table, FilterId f) {
+    const std::uint32_t col = table.column_of(f);
+    for (std::uint32_t row = 0; row < table.partitions(); ++row) {
+      if (cluster_->alive(table.at(row, col))) return true;
+    }
+    return false;
+  };
+
+  std::size_t reachable = 0;
+  for (std::size_t i = 0; i < filters_->size(); ++i) {
+    const FilterId f{static_cast<std::uint32_t>(i)};
+    bool ok = false;
+    for (TermId t : filters_->row(i)) {
+      const NodeId home = cluster_->ring().home_of_term(t);
+      if (cluster_->alive(home)) {
+        ok = true;  // the home's own copy serves as the last resort
+        break;
+      }
+      if (move_options_.per_node_aggregation) {
+        const auto& table = tables_[home.value];
+        if (table.has_value() && column_reachable(*table, f)) {
+          ok = true;
+          break;
+        }
+      } else {
+        auto it = term_tables_.find(t.value);
+        if (it != term_tables_.end() && column_reachable(it->second, f)) {
+          ok = true;
+          break;
+        }
+      }
+    }
+    reachable += ok;
+  }
+  return static_cast<double>(reachable) /
+         static_cast<double>(filters_->size());
+}
+
+PublishPlan MoveScheme::plan_publish(std::span<const TermId> doc_terms) {
+  ++publish_count_;
+  PublishPlan plan;
+
+  std::vector<bool> alive(cluster_->size());
+  for (std::uint32_t i = 0; i < cluster_->size(); ++i) {
+    alive[i] = cluster_->alive(NodeId{i});
+  }
+
+  for (auto& [home, terms] : group_terms_by_home(doc_terms)) {
+    for (TermId t : terms) cluster_->node(home).meta().record_document(t);
+
+    if (move_options_.per_node_aggregation) {
+      const auto& table = tables_[home.value];
+      if (table.has_value()) {
+        plan_via_table(*table, home, terms, doc_terms, alive, plan);
+      } else {
+        plan_at_home(home, terms, doc_terms, alive, plan);
+      }
+    } else {
+      // Per-term tables: each term routes independently.
+      for (TermId t : terms) {
+        const TermId one[] = {t};
+        auto it = term_tables_.find(t.value);
+        if (it != term_tables_.end()) {
+          plan_via_table(it->second, home, one, doc_terms, alive, plan);
+        } else {
+          plan_at_home(home, one, doc_terms, alive, plan);
+        }
+      }
+    }
+  }
+
+  std::sort(plan.matches.begin(), plan.matches.end());
+  plan.matches.erase(std::unique(plan.matches.begin(), plan.matches.end()),
+                     plan.matches.end());
+  return plan;
+}
+
+}  // namespace move::core

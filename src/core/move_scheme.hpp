@@ -1,0 +1,159 @@
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/allocation.hpp"
+#include "core/forwarding_table.hpp"
+#include "core/il_scheme.hpp"
+#include "kv/placement.hpp"
+#include "workload/trace_stats.hpp"
+
+/// MOVE — the paper's adaptive filter-allocation scheme (§IV-V).
+///
+/// Starts from the distributed inverted list (registration and Bloom
+/// pre-screen identical to IL), then *allocates* each home node's filter set
+/// over an n-node grid of 1/r partitions x r*n columns:
+///  * documents arriving at the home are redirected to ONE random partition
+///    (replication removes the hot-spot),
+///  * each partition splits the filters over its columns (separation removes
+///    the storage bottleneck),
+/// with n from the optimal factor rule (Theorems 1/2 or the general
+/// sqrt(p*q)) under the cluster storage budget N*C, and r tuned to fit the
+/// per-node capacity C.
+///
+/// Granularity: per the §V maintenance optimization, statistics are
+/// aggregated per home node (p', q') and one forwarding table is kept per
+/// home; `per_node_aggregation = false` switches to the per-term tables of
+/// §IV for the ablation bench.
+namespace move::core {
+
+struct MoveOptions {
+  index::MatchOptions match;
+  bool use_bloom = true;
+  double bloom_fpr = 0.01;
+  FactorRule rule = FactorRule::kGeneralSqrtPQ;
+  RatioPolicy ratio = RatioPolicy::kAdaptive;
+  kv::PlacementPolicy placement = kv::PlacementPolicy::kHybrid;
+  /// Per-node capacity C in filter copies. The paper's cluster runs use
+  /// C = 3e6 at P = 4e6; benches scale it with the trace.
+  double capacity = 3e6;
+  bool per_node_aggregation = true;
+  std::uint64_t seed = 0x5eed33u;
+};
+
+class MoveScheme : public IlScheme {
+ public:
+  MoveScheme(cluster::Cluster& cluster, MoveOptions options);
+
+  [[nodiscard]] std::string_view name() const override { return "Move"; }
+
+  void register_filters(const workload::TermSetTable& filters) override;
+
+  /// Re-registers and, if allocate() had run, re-allocates with the last
+  /// statistics — the full membership-change recovery path.
+  void rebuild() override;
+
+  /// Proactive allocation (§V "Allocation Policy"): computes allocation
+  /// factors from the filter-popularity stats and an offline document-corpus
+  /// frequency estimate, then replicates/separates filters onto the grids.
+  /// Must be called after register_filters; callable again after stats are
+  /// renewed (the paper refreshes q_i every 10 minutes).
+  void allocate(const workload::TraceStats& filter_stats,
+                const workload::TraceStats& corpus_stats);
+
+  /// Passive variant: allocates from the statistics the meta stores observed
+  /// during the current observation window (all traffic since registration,
+  /// or since the last reset_observation_window()).
+  void allocate_from_observed();
+
+  /// Starts a fresh observation window: document counters in every meta
+  /// store are cleared and the publish counter is checkpointed, so the next
+  /// allocate_from_observed() estimates q from the new window only (§V's
+  /// periodic renewal of q_i).
+  void reset_observation_window();
+
+  [[nodiscard]] PublishPlan plan_publish(
+      std::span<const TermId> doc_terms) override;
+
+  /// Routing-level availability: the fraction of registered filters that a
+  /// document containing their terms can still reach — i.e. for at least
+  /// one of the filter's terms, the home is alive (it holds the original)
+  /// or some grid row holds a live copy of the filter's column. Stricter
+  /// than filter_availability(), which only counts surviving copies.
+  [[nodiscard]] double routable_availability() const;
+
+  /// Allocation decisions per home node (empty optional = not allocated).
+  /// Only populated in per-node aggregation mode.
+  [[nodiscard]] const std::vector<std::optional<ForwardingTable>>& tables()
+      const noexcept {
+    return tables_;
+  }
+  [[nodiscard]] const std::vector<Allocation>& allocations() const noexcept {
+    return allocations_;
+  }
+  /// Per-term forwarding tables (only populated when
+  /// per_node_aggregation == false).
+  [[nodiscard]] const std::unordered_map<std::uint32_t, ForwardingTable>&
+  term_tables() const noexcept {
+    return term_tables_;
+  }
+
+ private:
+  struct HomeEntry {
+    FilterId filter;
+    TermId term;  ///< the home term under which the filter registered here
+  };
+
+  /// Computes per-home (p', q') aggregates from trace statistics.
+  [[nodiscard]] std::vector<AllocationInput> aggregate_inputs(
+      const workload::TraceStats& filter_stats,
+      const workload::TraceStats& corpus_stats) const;
+
+  void build_grids(const std::vector<AllocationInput>& inputs);
+  void build_term_grids(const workload::TraceStats& filter_stats,
+                        const workload::TraceStats& corpus_stats);
+
+  /// Builds one grid for `wanted` nodes around `home`; empty optional if the
+  /// cluster cannot supply at least two grid slots. `slot_load` carries the
+  /// expected document-rate already assigned to each node, so hot grids
+  /// spread out (load-aware placement by the collector node).
+  [[nodiscard]] std::optional<ForwardingTable> make_grid(
+      NodeId home, const Allocation& alloc, std::uint64_t salt,
+      std::span<const double> slot_load) const;
+
+  /// Copies the given home entries onto the grid (separation by filter hash
+  /// into columns, replication down rows).
+  void copy_entries(const ForwardingTable& table,
+                    std::span<const HomeEntry> entries);
+
+  /// Emits the hops for serving `terms` of the current document at the
+  /// nodes of a grid row (or at the home if the grid is unusable).
+  void plan_via_table(const ForwardingTable& table, NodeId home,
+                      std::span<const TermId> terms,
+                      std::span<const TermId> doc_terms,
+                      const std::vector<bool>& alive, PublishPlan& plan);
+
+  /// IL-style direct service at the home node.
+  void plan_at_home(NodeId home, std::span<const TermId> terms,
+                    std::span<const TermId> doc_terms,
+                    const std::vector<bool>& alive, PublishPlan& plan);
+
+  MoveOptions move_options_;
+  const workload::TermSetTable* filters_ = nullptr;  ///< set by register_filters
+  /// (filter, home-term) registrations per home node, recorded during
+  /// registration so allocation can copy the right subsets.
+  std::vector<std::vector<HomeEntry>> home_entries_;
+  std::vector<Allocation> allocations_;             // per home node
+  std::vector<std::optional<ForwardingTable>> tables_;  // per home node
+  std::unordered_map<std::uint32_t, ForwardingTable> term_tables_;
+  std::uint64_t publish_count_ = 0;
+  std::uint64_t window_base_ = 0;  ///< publish_count_ at window start
+  /// Last statistics passed to allocate(), kept so rebuild() can re-run the
+  /// allocation after a membership change.
+  std::optional<std::pair<workload::TraceStats, workload::TraceStats>>
+      last_stats_;
+};
+
+}  // namespace move::core

@@ -1,0 +1,69 @@
+#include "core/rs_scheme.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/hash.hpp"
+
+namespace move::core {
+
+RsScheme::RsScheme(cluster::Cluster& cluster, RsOptions options)
+    : cluster_(&cluster), options_(options) {
+  if (options_.replicas == 0) options_.replicas = 1;
+}
+
+void RsScheme::register_filters(const workload::TermSetTable& filters) {
+  registered_filters_ = &filters;
+  registered_ = filters.size();
+  for (std::size_t i = 0; i < filters.size(); ++i) {
+    const FilterId global{static_cast<std::uint32_t>(i)};
+    const auto terms = filters.row(i);
+    // Hash of the filter's unique name decides the home; replicas go to the
+    // ring successors, as a key/value store would place them.
+    const std::uint64_t key = common::mix64(
+        common::hash_combine(options_.seed, global.value));
+    const NodeId home = cluster_->ring().home_of_hash(key);
+    cluster_->node(home).register_copy(global, terms, terms);
+    for (NodeId succ :
+         cluster_->ring().successors(key, options_.replicas - 1)) {
+      cluster_->node(succ).register_copy(global, terms, terms);
+    }
+  }
+}
+
+void RsScheme::rebuild() {
+  if (registered_filters_ == nullptr) {
+    throw std::logic_error("RsScheme::rebuild before register_filters");
+  }
+  cluster_->wipe_storage();
+  register_filters(*registered_filters_);
+}
+
+PublishPlan RsScheme::plan_publish(std::span<const TermId> doc_terms) {
+  PublishPlan plan;
+  const auto& cost = cluster_->cost();
+
+  // Blind flooding: every live node receives the document and runs the full
+  // SIFT match over all |d| posting lists it holds.
+  std::vector<FilterId> node_matches;
+  for (std::uint32_t i = 0; i < cluster_->size(); ++i) {
+    const NodeId id{i};
+    if (!cluster_->alive(id)) continue;
+    const auto acc =
+        cluster_->node(id).match_full(doc_terms, options_.match, node_matches);
+    const double transfer = cost.transfer_us(doc_terms.size());
+    plan.hops.push_back(Hop{id, transfer,
+                            cost.handle_base_us +
+                                cost.receive_service_us(transfer) +
+                                cost.match_us(acc),
+                            {}});
+    plan.matches.insert(plan.matches.end(), node_matches.begin(),
+                        node_matches.end());
+  }
+  std::sort(plan.matches.begin(), plan.matches.end());
+  plan.matches.erase(std::unique(plan.matches.begin(), plan.matches.end()),
+                     plan.matches.end());
+  return plan;
+}
+
+}  // namespace move::core

@@ -1,0 +1,53 @@
+#pragma once
+
+#include "core/scheme.hpp"
+
+/// RS — the distributed rendezvous / flooding baseline (§I, §VI-A3; the
+/// partition-flexible variant of [16] built on [5]).
+///
+/// Registration: each filter's unique name is hashed onto a home node
+/// (perfectly even storage), then replicated onto `replicas - 1` ring
+/// successors, the standard key/value triple-replication the paper assumes.
+/// Each node indexes its local filters under EVERY filter term (a full local
+/// inverted list) and matches with the classic centralized SIFT algorithm.
+/// Dissemination: every document is flooded to every (live) node, each of
+/// which retrieves a posting list for each of the document's |d| terms —
+/// the blind-flooding cost the paper's introduction argues against.
+namespace move::core {
+
+struct RsOptions {
+  index::MatchOptions match;
+  /// Copies per filter (Dynamo/Cassandra-style replication; the paper's
+  /// capacity argument assumes 3).
+  std::uint32_t replicas = 3;
+  std::uint64_t seed = 0x5eed22u;
+};
+
+class RsScheme : public Scheme {
+ public:
+  RsScheme(cluster::Cluster& cluster, RsOptions options = {});
+
+  [[nodiscard]] std::string_view name() const override { return "RS"; }
+
+  void register_filters(const workload::TermSetTable& filters) override;
+  void rebuild() override;
+
+  [[nodiscard]] PublishPlan plan_publish(
+      std::span<const TermId> doc_terms) override;
+
+  [[nodiscard]] std::vector<std::uint64_t> storage_per_node() const override {
+    return scan_storage(*cluster_);
+  }
+  [[nodiscard]] double filter_availability() const override {
+    return scan_availability(*cluster_, registered_);
+  }
+  [[nodiscard]] cluster::Cluster& cluster() override { return *cluster_; }
+
+ private:
+  cluster::Cluster* cluster_;
+  RsOptions options_;
+  const workload::TermSetTable* registered_filters_ = nullptr;
+  std::size_t registered_ = 0;
+};
+
+}  // namespace move::core

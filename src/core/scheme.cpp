@@ -1,0 +1,28 @@
+#include "core/scheme.hpp"
+
+#include <unordered_set>
+
+namespace move::core {
+
+std::vector<std::uint64_t> scan_storage(const cluster::Cluster& c) {
+  std::vector<std::uint64_t> out(c.size());
+  for (std::uint32_t i = 0; i < c.size(); ++i) {
+    out[i] = c.node(NodeId{i}).stored_count();
+  }
+  return out;
+}
+
+double scan_availability(const cluster::Cluster& c,
+                         std::size_t total_filters) {
+  if (total_filters == 0) return 1.0;
+  std::unordered_set<FilterId> reachable;
+  for (std::uint32_t i = 0; i < c.size(); ++i) {
+    const NodeId id{i};
+    if (!c.alive(id)) continue;
+    for (FilterId f : c.node(id).stored_filters()) reachable.insert(f);
+  }
+  return static_cast<double>(reachable.size()) /
+         static_cast<double>(total_filters);
+}
+
+}  // namespace move::core

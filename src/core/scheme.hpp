@@ -1,0 +1,82 @@
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "common/types.hpp"
+#include "index/filter_store.hpp"
+#include "workload/term_set_table.hpp"
+
+/// Common interface of the three dissemination systems the paper compares:
+/// MOVE, the pure distributed inverted list (IL), and the rendezvous/
+/// flooding baseline (RS). A scheme owns how filters are placed on the
+/// cluster and how a published document is routed and matched; everything
+/// else (virtual-time execution, metrics) is shared by the experiment
+/// driver.
+namespace move::core {
+
+/// One network/service step in a document's dissemination, possibly fanning
+/// out into further hops once the node finishes serving it (MOVE's
+/// home-then-partition forwarding is a two-level tree).
+struct Hop {
+  NodeId node;                ///< serving node (must be alive when planned)
+  double transfer_us = 0.0;   ///< network delay before arrival at `node`
+  double service_us = 0.0;    ///< serial service demand at `node`
+  std::vector<Hop> then;      ///< hops triggered when service completes
+};
+
+/// The complete, deterministic routing/matching decision for one document.
+/// Matching results are computed at planning time (they do not depend on
+/// virtual time); the hop tree carries the costs the simulator charges.
+struct PublishPlan {
+  std::vector<Hop> hops;            ///< first-level hops (fan out at publish)
+  std::vector<FilterId> matches;    ///< union of matches over scheduled hops
+};
+
+class Scheme {
+ public:
+  virtual ~Scheme() = default;
+
+  [[nodiscard]] virtual std::string_view name() const = 0;
+
+  /// Bulk-registers the whole filter trace (the paper registers all filters
+  /// before injecting documents, §VI-A3). FilterId i corresponds to row i.
+  /// The table must outlive the scheme (rebuild() re-reads it).
+  virtual void register_filters(const workload::TermSetTable& filters) = 0;
+
+  /// Re-registers every filter according to the *current* ring membership —
+  /// invoked after Cluster::add_node/remove_node. The simulator's stand-in
+  /// for Cassandra's range streaming: all placement (homes, replicas,
+  /// grids) is recomputed from scratch. Precondition: register_filters ran.
+  virtual void rebuild() = 0;
+
+  /// Routes one document: which nodes serve it, at what cost, and which
+  /// filters match. Respects current node liveness (dead nodes are skipped
+  /// or failed over per scheme policy).
+  [[nodiscard]] virtual PublishPlan plan_publish(
+      std::span<const TermId> doc_terms) = 0;
+
+  /// Total filter copies per node (Fig. 9a storage-cost vector).
+  [[nodiscard]] virtual std::vector<std::uint64_t> storage_per_node()
+      const = 0;
+
+  /// Fraction of registered filters with at least one copy on a live node
+  /// (Fig. 9d availability).
+  [[nodiscard]] virtual double filter_availability() const = 0;
+
+  [[nodiscard]] virtual cluster::Cluster& cluster() = 0;
+};
+
+/// Computes the per-node storage vector by scanning node stores — shared by
+/// all schemes.
+[[nodiscard]] std::vector<std::uint64_t> scan_storage(
+    const cluster::Cluster& c);
+
+/// Availability by scanning live nodes' stored global filter ids.
+[[nodiscard]] double scan_availability(const cluster::Cluster& c,
+                                       std::size_t total_filters);
+
+}  // namespace move::core

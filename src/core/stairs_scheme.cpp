@@ -1,0 +1,83 @@
+#include "core/stairs_scheme.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "workload/trace_stats.hpp"
+
+namespace move::core {
+
+StairsScheme::StairsScheme(cluster::Cluster& cluster, IlOptions options)
+    : IlScheme(cluster, options) {}
+
+std::size_t StairsScheme::designated_count(std::size_t filter_size) const {
+  switch (options_.match.semantics) {
+    case index::MatchSemantics::kAnyTerm:
+      // No pruning is sound: any single shared term is a match.
+      return filter_size;
+    case index::MatchSemantics::kAllTerms:
+      return 1;
+    case index::MatchSemantics::kThreshold: {
+      const auto needed = std::max<std::size_t>(
+          1, static_cast<std::size_t>(std::ceil(
+                 options_.match.threshold * static_cast<double>(filter_size))));
+      // Pigeonhole: a matching doc holds `needed` of the filter's terms, so
+      // it must hit one of any (|f| - needed + 1)-subset.
+      return filter_size - needed + 1;
+    }
+  }
+  return filter_size;
+}
+
+void StairsScheme::register_filters(const workload::TermSetTable& filters) {
+  registered_filters_ = &filters;
+  registered_ = filters.size();
+  registrations_ = 0;
+
+  // Popularity of each term within this filter trace (the STAIRS selection
+  // statistic): count of filters containing the term.
+  std::size_t universe = 0;
+  for (std::size_t i = 0; i < filters.size(); ++i) {
+    for (TermId t : filters.row(i)) {
+      universe = std::max<std::size_t>(universe, t.value + 1);
+    }
+  }
+  const auto stats = workload::compute_stats(filters, universe);
+
+  if (options_.use_bloom) {
+    bloom_.emplace(std::max<std::size_t>(
+                       64, static_cast<std::size_t>(filters.total_terms())),
+                   options_.bloom_fpr);
+  } else {
+    bloom_.reset();
+  }
+
+  std::vector<TermId> designated;
+  for (std::size_t i = 0; i < filters.size(); ++i) {
+    const FilterId global{static_cast<std::uint32_t>(i)};
+    const auto terms = filters.row(i);
+
+    designated.assign(terms.begin(), terms.end());
+    const std::size_t k = designated_count(designated.size());
+    if (k < designated.size()) {
+      // Keep the k least-popular terms (ties by TermId for determinism).
+      std::sort(designated.begin(), designated.end(),
+                [&](TermId a, TermId b) {
+                  const auto ca = stats.count[a.value];
+                  const auto cb = stats.count[b.value];
+                  return ca < cb || (ca == cb && a < b);
+                });
+      designated.resize(k);
+    }
+
+    for (TermId t : designated) {
+      const NodeId home = cluster_->ring().home_of_term(t);
+      const TermId one[] = {t};
+      cluster_->node(home).register_copy(global, terms, one);
+      if (bloom_) bloom_->insert(t);
+      ++registrations_;
+    }
+  }
+}
+
+}  // namespace move::core

@@ -1,0 +1,51 @@
+#pragma once
+
+#include "core/il_scheme.hpp"
+
+/// STAIRS-style selective registration ([17],[21] — the prior work §V
+/// discusses: "the previous work can help select a smaller number of terms
+/// t_i, but leading to high latency. Thus, for high throughput, we discard
+/// the selection algorithm").
+///
+/// Idea: under similarity-threshold semantics a document matching filter f
+/// must contain at least ceil(theta * |f|) of f's terms, so registering f at
+/// only its k = |f| - ceil(theta*|f|) + 1 least-popular terms is lossless by
+/// pigeonhole — any matching document contains at least one designated
+/// term. Conjunctive semantics (theta = 1) need just one designated term per
+/// filter, slashing storage and registration traffic.
+///
+/// The trade-offs the paper alludes to, reproducible with this scheme:
+///  * storage drops (fewer copies per filter) but the *matching* latency
+///    rises: every single-list hit must now be verified against the full
+///    term set, and rare-term homes receive documents they can rarely serve
+///    from one cheap list;
+///  * kAnyTerm semantics cannot be pruned at all (every term of f may be
+///    the only shared one), so this scheme degenerates to IL there.
+namespace move::core {
+
+class StairsScheme : public IlScheme {
+ public:
+  StairsScheme(cluster::Cluster& cluster, IlOptions options = {});
+
+  [[nodiscard]] std::string_view name() const override { return "STAIRS"; }
+
+  /// Registers each filter at its designated (least-popular) terms only.
+  /// Popularity is estimated from the filter trace itself, exactly the
+  /// statistic STAIRS's selection uses.
+  void register_filters(const workload::TermSetTable& filters) override;
+
+  /// Designated-term count for a filter of the given size under the
+  /// configured semantics (exposed for tests).
+  [[nodiscard]] std::size_t designated_count(std::size_t filter_size) const;
+
+  /// Total (filter, term) registrations performed — the storage the
+  /// selection saved is visible against IL's total_terms().
+  [[nodiscard]] std::uint64_t registrations() const noexcept {
+    return registrations_;
+  }
+
+ private:
+  std::uint64_t registrations_ = 0;
+};
+
+}  // namespace move::core

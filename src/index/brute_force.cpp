@@ -1,0 +1,16 @@
+#include "index/brute_force.hpp"
+
+namespace move::index {
+
+std::vector<FilterId> brute_force_match(const FilterStore& store,
+                                        std::span<const TermId> doc_terms,
+                                        const MatchOptions& options) {
+  std::vector<FilterId> out;
+  for (std::uint32_t i = 0; i < store.size(); ++i) {
+    const FilterId id{i};
+    if (store.matches(id, doc_terms, options)) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace move::index

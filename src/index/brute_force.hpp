@@ -1,0 +1,18 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "index/filter_store.hpp"
+
+/// Reference matcher: checks every filter in a store against a document.
+/// O(P) and index-free — used only by tests as ground truth for the property
+/// "every scheme notifies exactly the matching filter set".
+namespace move::index {
+
+[[nodiscard]] std::vector<FilterId> brute_force_match(
+    const FilterStore& store, std::span<const TermId> doc_terms,
+    const MatchOptions& options);
+
+}  // namespace move::index

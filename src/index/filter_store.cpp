@@ -1,0 +1,68 @@
+#include "index/filter_store.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace move::index {
+
+FilterId FilterStore::add(std::span<const TermId> terms) {
+  if (terms.empty()) {
+    throw std::invalid_argument("FilterStore::add: empty filter");
+  }
+  if (size() >= 0xffffffffULL) {
+    throw std::length_error("FilterStore: filter id space exhausted");
+  }
+  const FilterId id{static_cast<std::uint32_t>(size())};
+  flat_terms_.insert(flat_terms_.end(), terms.begin(), terms.end());
+  offsets_.push_back(flat_terms_.size());
+  return id;
+}
+
+std::span<const TermId> FilterStore::terms(FilterId id) const {
+  if (id.value >= size()) {
+    throw std::out_of_range("FilterStore::terms: invalid FilterId");
+  }
+  const auto begin = offsets_[id.value];
+  const auto end = offsets_[id.value + 1];
+  return {flat_terms_.data() + begin, end - begin};
+}
+
+std::size_t FilterStore::intersection_size(
+    std::span<const TermId> doc_terms, std::span<const TermId> filter_terms) {
+  std::size_t count = 0;
+  auto d = doc_terms.begin();
+  auto f = filter_terms.begin();
+  while (d != doc_terms.end() && f != filter_terms.end()) {
+    if (*d < *f) {
+      ++d;
+    } else if (*f < *d) {
+      ++f;
+    } else {
+      ++count;
+      ++d;
+      ++f;
+    }
+  }
+  return count;
+}
+
+bool FilterStore::matches(FilterId id, std::span<const TermId> doc_terms,
+                          const MatchOptions& options) const {
+  const auto filter_terms = terms(id);
+  const std::size_t common = intersection_size(doc_terms, filter_terms);
+  switch (options.semantics) {
+    case MatchSemantics::kAnyTerm:
+      return common >= 1;
+    case MatchSemantics::kAllTerms:
+      return common == filter_terms.size();
+    case MatchSemantics::kThreshold: {
+      const auto needed = static_cast<std::size_t>(std::ceil(
+          options.threshold * static_cast<double>(filter_terms.size())));
+      return common >= std::max<std::size_t>(1, needed);
+    }
+  }
+  return false;
+}
+
+}  // namespace move::index

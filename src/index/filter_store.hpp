@@ -1,0 +1,68 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+/// Storage for registered filters.
+///
+/// A filter is a user profile: a small set of terms (the MSN trace averages
+/// 2.843 terms per query). The store keeps all term ids in one flat array
+/// with per-filter offsets — compact, cache-friendly, and cheap to snapshot;
+/// this is the in-memory stand-in for the paper's Cassandra "filter store"
+/// column family (Fig. 3).
+namespace move::index {
+
+/// Matching semantics between a document and a filter (§III-A).
+enum class MatchSemantics {
+  /// Paper default: match if the document and filter share >= 1 term.
+  kAnyTerm,
+  /// Conjunctive: every filter term must appear in the document.
+  kAllTerms,
+  /// Similarity-threshold extension ([25],[17]): match if
+  /// |d ∩ f| >= ceil(theta * |f|).
+  kThreshold,
+};
+
+struct MatchOptions {
+  MatchSemantics semantics = MatchSemantics::kAnyTerm;
+  double threshold = 0.5;  ///< only used by kThreshold
+};
+
+class FilterStore {
+ public:
+  FilterStore() = default;
+
+  /// Registers a filter. `terms` must be sorted and deduplicated (the text
+  /// pipeline and workload generators guarantee this).
+  /// @returns the dense id assigned to the filter.
+  FilterId add(std::span<const TermId> terms);
+
+  /// Term set of a filter. Valid for the store's lifetime.
+  [[nodiscard]] std::span<const TermId> terms(FilterId id) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return offsets_.size() - 1; }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+
+  /// Total stored term slots — the paper's "storage cost" unit for a node
+  /// (replicated filters count once per copy).
+  [[nodiscard]] std::size_t term_slots() const noexcept {
+    return flat_terms_.size();
+  }
+
+  /// True if document terms (sorted) match the filter under `options`.
+  [[nodiscard]] bool matches(FilterId id, std::span<const TermId> doc_terms,
+                             const MatchOptions& options) const;
+
+  /// |d ∩ f| for sorted inputs.
+  [[nodiscard]] static std::size_t intersection_size(
+      std::span<const TermId> doc_terms, std::span<const TermId> filter_terms);
+
+ private:
+  std::vector<std::uint64_t> offsets_{0};  // size == filter count + 1
+  std::vector<TermId> flat_terms_;
+};
+
+}  // namespace move::index

@@ -1,0 +1,39 @@
+#include "index/inverted_index.hpp"
+
+#include <algorithm>
+
+namespace move::index {
+
+void InvertedIndex::add(FilterId filter, std::span<const TermId> index_terms) {
+  for (TermId term : index_terms) {
+    lists_[term].push_back(filter);
+    ++total_postings_;
+  }
+}
+
+void InvertedIndex::remove(FilterId filter,
+                           std::span<const TermId> index_terms) {
+  for (TermId term : index_terms) {
+    auto it = lists_.find(term);
+    if (it == lists_.end()) continue;
+    auto& list = it->second;
+    const auto removed = std::erase(list, filter);
+    total_postings_ -= removed;
+    if (list.empty()) lists_.erase(it);
+  }
+}
+
+std::span<const FilterId> InvertedIndex::postings(TermId term) const {
+  auto it = lists_.find(term);
+  if (it == lists_.end()) return {};
+  return it->second;
+}
+
+std::vector<TermId> InvertedIndex::indexed_terms() const {
+  std::vector<TermId> terms;
+  terms.reserve(lists_.size());
+  for (const auto& [term, list] : lists_) terms.push_back(term);
+  return terms;
+}
+
+}  // namespace move::index

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "index/filter_store.hpp"
+
+/// Local inverted list over registered filters (Fig. 3, "local inverted
+/// list" store).
+///
+/// Maps TermId -> posting list of FilterIds. Two indexing modes mirror the
+/// paper:
+///  * full indexing (RS baseline): every term of every local filter gets a
+///    posting entry — SIFT then retrieves |d| lists per document;
+///  * single-term indexing (IL / MOVE): the home node of term t builds ONLY
+///    the posting list for t, even though it stores the filters' full term
+///    sets (§III-B) — matching retrieves exactly one list.
+namespace move::index {
+
+/// Disk/compute accounting for one match operation; the simulator turns
+/// these counters into latency via the CostModel.
+struct MatchAccounting {
+  std::uint64_t lists_retrieved = 0;   ///< posting lists fetched (seeks)
+  std::uint64_t postings_scanned = 0;  ///< posting entries read
+  std::uint64_t candidates_verified = 0;  ///< filters checked against doc
+
+  MatchAccounting& operator+=(const MatchAccounting& other) noexcept {
+    lists_retrieved += other.lists_retrieved;
+    postings_scanned += other.postings_scanned;
+    candidates_verified += other.candidates_verified;
+    return *this;
+  }
+};
+
+class InvertedIndex {
+ public:
+  InvertedIndex() = default;
+
+  /// Adds posting entries for `filter`: one per term in `index_terms`.
+  /// For full indexing pass the filter's whole term set; for single-term
+  /// indexing pass just the home term.
+  void add(FilterId filter, std::span<const TermId> index_terms);
+
+  /// Removes the filter's entries from the given lists (linear per list).
+  void remove(FilterId filter, std::span<const TermId> index_terms);
+
+  /// Posting list for a term (empty span if absent).
+  [[nodiscard]] std::span<const FilterId> postings(TermId term) const;
+
+  [[nodiscard]] bool contains_term(TermId term) const {
+    return lists_.contains(term);
+  }
+  [[nodiscard]] std::size_t distinct_terms() const noexcept {
+    return lists_.size();
+  }
+  [[nodiscard]] std::uint64_t total_postings() const noexcept {
+    return total_postings_;
+  }
+
+  /// All indexed terms (unordered). Used to build Bloom summaries.
+  [[nodiscard]] std::vector<TermId> indexed_terms() const;
+
+ private:
+  std::unordered_map<TermId, std::vector<FilterId>> lists_;
+  std::uint64_t total_postings_ = 0;
+};
+
+}  // namespace move::index

@@ -1,0 +1,99 @@
+#include "index/parallel_matcher.hpp"
+
+#include <algorithm>
+
+#include "common/hash.hpp"
+#include "index/sift_matcher.hpp"
+
+namespace move::index {
+
+ParallelMatcher::ParallelMatcher(const workload::TermSetTable& filters,
+                                 std::size_t shards, std::size_t threads)
+    : pool_(threads) {
+  if (shards == 0) shards = pool_.thread_count();
+  shards_.resize(std::max<std::size_t>(1, shards));
+  filter_count_ = filters.size();
+
+  for (std::size_t i = 0; i < filters.size(); ++i) {
+    const FilterId global{static_cast<std::uint32_t>(i)};
+    const auto terms = filters.row(i);
+    for (TermId t : terms) {
+      Shard& shard = shards_[shard_of(t)];
+      FilterId local;
+      if (auto it = shard.local_of.find(global.value);
+          it != shard.local_of.end()) {
+        local = it->second;
+      } else {
+        local = shard.store.add(terms);
+        shard.local_of.emplace(global.value, local);
+        shard.global_ids.push_back(global);
+      }
+      const TermId one[] = {t};
+      shard.index.add(local, one);
+    }
+  }
+}
+
+std::size_t ParallelMatcher::shard_of(TermId t) const noexcept {
+  return static_cast<std::size_t>(common::mix64(t.value) % shards_.size());
+}
+
+void ParallelMatcher::match_shard(const Shard& shard,
+                                  std::span<const TermId> shard_terms,
+                                  std::span<const TermId> doc_terms,
+                                  const MatchOptions& options,
+                                  std::vector<FilterId>& out) const {
+  out.clear();
+  const SiftMatcher matcher(shard.store, shard.index);
+  std::vector<FilterId> partial;
+  for (TermId t : shard_terms) {
+    matcher.match_single_list(t, doc_terms, options, partial);
+    out.insert(out.end(), partial.begin(), partial.end());
+  }
+  for (FilterId& id : out) id = shard.global_ids[id.value];
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+}
+
+std::vector<FilterId> ParallelMatcher::match(std::span<const TermId> doc_terms,
+                                             const MatchOptions& options) {
+  // Slice the document's terms by owning shard once, up front.
+  std::vector<std::vector<TermId>> slices(shards_.size());
+  for (TermId t : doc_terms) slices[shard_of(t)].push_back(t);
+
+  std::vector<std::vector<FilterId>> partials(shards_.size());
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (slices[s].empty()) continue;
+    pool_.submit([this, s, doc_terms, &options, &slices, &partials] {
+      match_shard(shards_[s], slices[s], doc_terms, options, partials[s]);
+    });
+  }
+  pool_.wait_idle();
+
+  std::vector<FilterId> out;
+  std::size_t total = 0;
+  for (const auto& p : partials) total += p.size();
+  out.reserve(total);
+  for (const auto& p : partials) out.insert(out.end(), p.begin(), p.end());
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<FilterId> ParallelMatcher::match_sequential(
+    std::span<const TermId> doc_terms, const MatchOptions& options) {
+  std::vector<std::vector<TermId>> slices(shards_.size());
+  for (TermId t : doc_terms) slices[shard_of(t)].push_back(t);
+
+  std::vector<FilterId> out, partial;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (slices[s].empty()) continue;
+    match_shard(shards_[s], slices[s], doc_terms, options, partial);
+    out.insert(out.end(), partial.begin(), partial.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace move::index

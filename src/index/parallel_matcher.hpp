@@ -1,0 +1,81 @@
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <span>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "common/types.hpp"
+#include "index/filter_store.hpp"
+#include "index/inverted_index.hpp"
+#include "workload/term_set_table.hpp"
+
+/// Real-parallel single-node matcher.
+///
+/// Terms are hash-partitioned into shards (the same IL-style partitioning
+/// the cluster uses across nodes, §III-B, collapsed onto one machine's
+/// cores): shard s owns every posting list of terms with hash(t) % S == s
+/// and stores the full term set of each filter it indexes, so it can verify
+/// threshold/conjunctive candidates locally. Matching a document fans its
+/// terms out to the owning shards on a thread pool; the union of shard
+/// results is exactly the sequential result.
+///
+/// Term sharding (rather than filter sharding) is what makes large articles
+/// parallelize: each shard touches only its own slice of the document's
+/// terms instead of re-scanning all |d| of them.
+namespace move::index {
+
+class ParallelMatcher {
+ public:
+  /// Builds shards from the filter trace. FilterId i == row i, as for the
+  /// schemes.
+  /// @param shards   number of partitions (0 = one per pool thread)
+  /// @param threads  worker threads (0 = hardware concurrency)
+  ParallelMatcher(const workload::TermSetTable& filters, std::size_t shards,
+                  std::size_t threads = 0);
+
+  /// Matches one document across all shards in parallel; global FilterIds,
+  /// ascending. Safe to call from one thread at a time (each call uses the
+  /// whole pool).
+  [[nodiscard]] std::vector<FilterId> match(std::span<const TermId> doc_terms,
+                                            const MatchOptions& options = {});
+
+  /// Sequential reference (same shards, no pool) for verification/benching.
+  [[nodiscard]] std::vector<FilterId> match_sequential(
+      std::span<const TermId> doc_terms, const MatchOptions& options = {});
+
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return pool_.thread_count();
+  }
+  [[nodiscard]] std::size_t filter_count() const noexcept {
+    return filter_count_;
+  }
+
+ private:
+  struct Shard {
+    FilterStore store;                 // filters owning >= 1 term here
+    InvertedIndex index;               // posting lists of owned terms only
+    std::vector<FilterId> global_ids;  // local id -> global id
+    std::unordered_map<std::uint32_t, FilterId> local_of;  // global -> local
+  };
+
+  [[nodiscard]] std::size_t shard_of(TermId t) const noexcept;
+
+  /// Matches the shard's slice of the document (verifying candidates
+  /// against the full document under non-boolean semantics).
+  void match_shard(const Shard& shard,
+                   std::span<const TermId> shard_terms,
+                   std::span<const TermId> doc_terms,
+                   const MatchOptions& options,
+                   std::vector<FilterId>& out) const;
+
+  std::vector<Shard> shards_;
+  std::size_t filter_count_ = 0;
+  common::ThreadPool pool_;
+};
+
+}  // namespace move::index

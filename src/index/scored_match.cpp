@@ -1,0 +1,56 @@
+#include "index/scored_match.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace move::index {
+
+double cosine_score(std::span<const TermId> doc_terms,
+                    std::span<const TermId> filter_terms) {
+  if (doc_terms.empty() || filter_terms.empty()) return 0.0;
+  const auto common = FilterStore::intersection_size(doc_terms, filter_terms);
+  if (common == 0) return 0.0;
+  return static_cast<double>(common) /
+         std::sqrt(static_cast<double>(doc_terms.size()) *
+                   static_cast<double>(filter_terms.size()));
+}
+
+std::vector<ScoredMatch> scored_match(const FilterStore& store,
+                                      const InvertedIndex& index,
+                                      std::span<const TermId> doc_terms,
+                                      const ScoredMatchOptions& options,
+                                      MatchAccounting* accounting) {
+  MatchAccounting acc;
+  std::unordered_map<FilterId, std::uint32_t> counts;
+  for (TermId term : doc_terms) {
+    const auto list = index.postings(term);
+    if (list.empty()) continue;
+    ++acc.lists_retrieved;
+    acc.postings_scanned += list.size();
+    for (FilterId f : list) ++counts[f];
+  }
+
+  std::vector<ScoredMatch> out;
+  out.reserve(counts.size());
+  for (const auto& [filter, count] : counts) {
+    ++acc.candidates_verified;
+    // With a full index, `count` already equals |d ∩ f|; with single-term
+    // indexing the stored set gives the exact intersection either way.
+    const double score = cosine_score(doc_terms, store.terms(filter));
+    if (score >= options.min_score && score > 0.0) {
+      out.push_back(ScoredMatch{filter, score});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.score > b.score ||
+           (a.score == b.score && a.filter < b.filter);
+  });
+  if (options.top_k > 0 && out.size() > options.top_k) {
+    out.resize(options.top_k);
+  }
+  if (accounting) *accounting = acc;
+  return out;
+}
+
+}  // namespace move::index

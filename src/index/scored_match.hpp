@@ -1,0 +1,46 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "index/filter_store.hpp"
+#include "index/inverted_index.hpp"
+
+/// Vector-space-model scoring (§I: "a boolean model or vector space model
+/// (VSM) can check whether a content item matches a filter").
+///
+/// Filters and documents are term sets, so the natural VSM instance is the
+/// cosine of their binary incidence vectors:
+///   score(d, f) = |d ∩ f| / sqrt(|d| * |f|)   in [0, 1].
+/// A scored match returns every filter whose score reaches `min_score`,
+/// optionally truncated to the `top_k` best — the ranked-alerts use case
+/// (show a user only their strongest hits).
+namespace move::index {
+
+struct ScoredMatch {
+  FilterId filter;
+  double score = 0.0;
+
+  friend bool operator==(const ScoredMatch&, const ScoredMatch&) = default;
+};
+
+struct ScoredMatchOptions {
+  double min_score = 0.0;   ///< inclusive lower bound; 0 keeps any overlap
+  std::size_t top_k = 0;    ///< 0 = unbounded
+};
+
+/// Binary-incidence cosine between sorted term sets.
+[[nodiscard]] double cosine_score(std::span<const TermId> doc_terms,
+                                  std::span<const TermId> filter_terms);
+
+/// SIFT-style scored match over an inverted index: accumulates per-filter
+/// hit counts from the document's posting lists, converts counts to cosine
+/// scores, filters by `min_score`, and returns matches ordered by
+/// descending score (ties by ascending FilterId).
+[[nodiscard]] std::vector<ScoredMatch> scored_match(
+    const FilterStore& store, const InvertedIndex& index,
+    std::span<const TermId> doc_terms, const ScoredMatchOptions& options,
+    MatchAccounting* accounting = nullptr);
+
+}  // namespace move::index

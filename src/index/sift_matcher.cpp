@@ -1,0 +1,72 @@
+#include "index/sift_matcher.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace move::index {
+
+MatchAccounting SiftMatcher::match(std::span<const TermId> doc_terms,
+                                   const MatchOptions& options,
+                                   std::vector<FilterId>& out) const {
+  out.clear();
+  MatchAccounting acc;
+
+  if (options.semantics == MatchSemantics::kAnyTerm) {
+    // Counter pass alone decides: any posting hit is a match.
+    for (TermId term : doc_terms) {
+      const auto list = index_->postings(term);
+      if (list.empty() && !index_->contains_term(term)) continue;
+      ++acc.lists_retrieved;
+      acc.postings_scanned += list.size();
+      out.insert(out.end(), list.begin(), list.end());
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return acc;
+  }
+
+  // Threshold / conjunctive: accumulate hit counts, then test.
+  std::unordered_map<FilterId, std::uint32_t> counts;
+  for (TermId term : doc_terms) {
+    const auto list = index_->postings(term);
+    if (list.empty() && !index_->contains_term(term)) continue;
+    ++acc.lists_retrieved;
+    acc.postings_scanned += list.size();
+    for (FilterId f : list) ++counts[f];
+  }
+  for (const auto& [filter, count] : counts) {
+    ++acc.candidates_verified;
+    // The counter already equals |d ∩ f| when the index is full, but the
+    // index may be single-term (IL mode), so verify against the stored set.
+    if (store_->matches(filter, doc_terms, options)) out.push_back(filter);
+  }
+  std::sort(out.begin(), out.end());
+  return acc;
+}
+
+MatchAccounting SiftMatcher::match_single_list(
+    TermId home_term, std::span<const TermId> doc_terms,
+    const MatchOptions& options, std::vector<FilterId>& out) const {
+  out.clear();
+  MatchAccounting acc;
+  const auto list = index_->postings(home_term);
+  if (list.empty()) return acc;
+  acc.lists_retrieved = 1;
+  acc.postings_scanned = list.size();
+
+  if (options.semantics == MatchSemantics::kAnyTerm) {
+    // Every filter on this list contains home_term, which the document also
+    // contains — all are matches, no verification needed.
+    out.assign(list.begin(), list.end());
+  } else {
+    for (FilterId f : list) {
+      ++acc.candidates_verified;
+      if (store_->matches(f, doc_terms, options)) out.push_back(f);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return acc;
+}
+
+}  // namespace move::index

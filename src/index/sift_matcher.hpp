@@ -1,0 +1,54 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "index/filter_store.hpp"
+#include "index/inverted_index.hpp"
+
+/// SIFT-style centralized matcher (Yan & Garcia-Molina, TODS 1999).
+///
+/// The classic counter algorithm the paper uses on every node: retrieve the
+/// posting lists of the document's terms from the local inverted list,
+/// accumulate per-filter hit counts, and emit the filters whose counts
+/// satisfy the match semantics. Both the RS baseline (full |d|-list
+/// retrieval) and MOVE/IL (single-list retrieval + verification against the
+/// stored term set) are expressed through this class.
+namespace move::index {
+
+class SiftMatcher {
+ public:
+  /// @param store   full filter term sets (for candidate verification)
+  /// @param index   local inverted list (full or single-term mode)
+  SiftMatcher(const FilterStore& store, const InvertedIndex& index)
+      : store_(&store), index_(&index) {}
+
+  /// Full SIFT match: retrieves the posting list of every document term that
+  /// is locally indexed. With kAnyTerm semantics the counter pass alone
+  /// decides; with kAllTerms/kThreshold candidates are verified against the
+  /// stored filter term sets.
+  ///
+  /// @param doc_terms  sorted, deduplicated document term set
+  /// @param out        matching FilterIds, ascending, deduplicated
+  /// @returns accounting of the IO this match performed
+  MatchAccounting match(std::span<const TermId> doc_terms,
+                        const MatchOptions& options,
+                        std::vector<FilterId>& out) const;
+
+  /// Single-list match (the MOVE/IL home-node fast path, §III-B): retrieves
+  /// only the posting list of `home_term`, then verifies candidates under
+  /// `options`. Correct for any semantics because every filter registered
+  /// here contains `home_term`, and across the document's home nodes the
+  /// union covers every filter sharing a term with the document.
+  MatchAccounting match_single_list(TermId home_term,
+                                    std::span<const TermId> doc_terms,
+                                    const MatchOptions& options,
+                                    std::vector<FilterId>& out) const;
+
+ private:
+  const FilterStore* store_;
+  const InvertedIndex* index_;
+};
+
+}  // namespace move::index

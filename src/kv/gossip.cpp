@@ -1,0 +1,173 @@
+#include "kv/gossip.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace move::kv {
+
+GossipMembership::GossipMembership(GossipConfig config)
+    : config_(config), rng_(config.seed) {
+  if (config_.fanout == 0) {
+    throw std::invalid_argument("GossipMembership: fanout must be >= 1");
+  }
+}
+
+void GossipMembership::add_node(NodeId node) {
+  auto& state = states_[node.value];
+  state.crashed = false;
+  state.heartbeat = 1;
+  state.view[node.value] = PeerInfo{state.heartbeat, 0, false};
+}
+
+void GossipMembership::introduce(NodeId node, NodeId peer) {
+  auto it = states_.find(node.value);
+  auto pit = states_.find(peer.value);
+  if (it == states_.end() || pit == states_.end()) {
+    throw std::out_of_range("GossipMembership::introduce: unknown node");
+  }
+  it->second.view[peer.value] = PeerInfo{pit->second.heartbeat, 0, false};
+}
+
+void GossipMembership::crash(NodeId node) {
+  auto it = states_.find(node.value);
+  if (it == states_.end()) {
+    throw std::out_of_range("GossipMembership::crash: unknown node");
+  }
+  it->second.crashed = true;
+}
+
+void GossipMembership::restart(NodeId node) {
+  auto it = states_.find(node.value);
+  if (it == states_.end()) {
+    throw std::out_of_range("GossipMembership::restart: unknown node");
+  }
+  it->second.crashed = false;
+  it->second.heartbeat += 1;
+  it->second.view[node.value] = PeerInfo{it->second.heartbeat, 0, false};
+}
+
+std::vector<std::uint32_t> GossipMembership::live_peers_of(
+    const NodeState& s, std::uint32_t self) const {
+  std::vector<std::uint32_t> peers;
+  for (const auto& [id, info] : s.view) {
+    if (id != self && !info.suspected_dead) peers.push_back(id);
+  }
+  std::sort(peers.begin(), peers.end());  // deterministic iteration order
+  return peers;
+}
+
+void GossipMembership::exchange(NodeState& a, NodeState& b) {
+  // Push-pull: both sides end with the element-wise freshest view. A
+  // freshly advanced heartbeat clears suspicion and the silence clock.
+  auto merge_into = [](NodeState& dst, const NodeState& src) {
+    for (const auto& [id, info] : src.view) {
+      auto& mine = dst.view[id];
+      if (info.heartbeat > mine.heartbeat) {
+        mine.heartbeat = info.heartbeat;
+        mine.silent_rounds = 0;
+        mine.suspected_dead = false;
+      }
+    }
+  };
+  merge_into(a, b);
+  merge_into(b, a);
+}
+
+void GossipMembership::run_round() {
+  ++rounds_;
+  // 1. Every live node bumps its own heartbeat.
+  for (auto& [id, state] : states_) {
+    if (state.crashed) continue;
+    ++state.heartbeat;
+    auto& self = state.view[id];
+    self.heartbeat = state.heartbeat;
+    self.silent_rounds = 0;
+    self.suspected_dead = false;
+  }
+  // 2. Each live node push-pulls with `fanout` random live-believed peers.
+  //    Iterate ids in sorted order for determinism.
+  std::vector<std::uint32_t> ids;
+  ids.reserve(states_.size());
+  for (const auto& [id, state] : states_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  for (std::uint32_t id : ids) {
+    NodeState& me = states_[id];
+    if (me.crashed) continue;
+    auto peers = live_peers_of(me, id);
+    for (std::size_t k = 0; k < config_.fanout && !peers.empty(); ++k) {
+      const auto pick = common::uniform_below(rng_, peers.size());
+      const std::uint32_t peer = peers[pick];
+      peers.erase(peers.begin() + static_cast<std::ptrdiff_t>(pick));
+      NodeState& other = states_[peer];
+      if (other.crashed) continue;  // message to a dead node is lost
+      exchange(me, other);
+    }
+  }
+  // 3. Advance suspicion clocks: entries whose heartbeat did not move this
+  //    round age toward suspicion.
+  for (auto& [id, state] : states_) {
+    if (state.crashed) continue;
+    for (auto& [peer, info] : state.view) {
+      if (peer == id) continue;
+      ++info.silent_rounds;
+      if (info.silent_rounds > config_.suspicion_rounds) {
+        info.suspected_dead = true;
+      }
+    }
+  }
+}
+
+void GossipMembership::run_rounds(std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) run_round();
+}
+
+std::size_t GossipMembership::live_view_size(NodeId node) const {
+  auto it = states_.find(node.value);
+  if (it == states_.end()) {
+    throw std::out_of_range("GossipMembership::live_view_size: unknown node");
+  }
+  std::size_t n = 0;
+  for (const auto& [id, info] : it->second.view) {
+    n += !info.suspected_dead;
+  }
+  return n;
+}
+
+bool GossipMembership::believes_alive(NodeId observer, NodeId subject) const {
+  auto it = states_.find(observer.value);
+  if (it == states_.end()) {
+    throw std::out_of_range("GossipMembership::believes_alive: unknown node");
+  }
+  auto pit = it->second.view.find(subject.value);
+  return pit != it->second.view.end() && !pit->second.suspected_dead;
+}
+
+std::size_t GossipMembership::true_live_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, state] : states_) n += !state.crashed;
+  return n;
+}
+
+bool GossipMembership::converged() const {
+  for (const auto& [id, state] : states_) {
+    if (state.crashed) continue;
+    // Every truly-live node must be believed alive, every crashed one dead.
+    for (const auto& [other, other_state] : states_) {
+      auto it = state.view.find(other);
+      const bool believed =
+          it != state.view.end() && !it->second.suspected_dead;
+      if (other_state.crashed == believed) return false;
+    }
+  }
+  return true;
+}
+
+std::size_t GossipMembership::rounds_to_convergence(std::size_t max_rounds) {
+  for (std::size_t r = 0; r < max_rounds; ++r) {
+    if (converged()) return r;
+    run_round();
+  }
+  return max_rounds;
+}
+
+}  // namespace move::kv

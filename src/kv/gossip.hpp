@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+/// Gossip-based membership (§II: "With the help of Gossip protocol, every
+/// node in Dynamo maintains information about all other nodes") — the
+/// mechanism that justifies MOVE's O(1)-hop routing assumption.
+///
+/// Round-based anti-entropy simulation: each round every live node picks
+/// `fanout` random peers it knows and exchanges heartbeat tables
+/// (push-pull). A node's entry carries a monotonically increasing heartbeat
+/// version; a peer whose heartbeat has not advanced for
+/// `suspicion_rounds` rounds is locally marked dead. The simulation answers
+/// the questions the paper waves at: how many rounds until a join is known
+/// everywhere, and how quickly failures are detected.
+namespace move::kv {
+
+struct GossipConfig {
+  std::size_t fanout = 2;            ///< peers contacted per round per node
+  std::uint32_t suspicion_rounds = 6;  ///< silence before marking dead
+  std::uint64_t seed = 0x90551bULL;
+};
+
+class GossipMembership {
+ public:
+  explicit GossipMembership(GossipConfig config = {});
+
+  /// Adds a live node; it initially knows only itself (and learns the rest
+  /// through gossip) unless seeded via introduce().
+  void add_node(NodeId node);
+
+  /// Makes `node` aware of `peer` (a join contact / seed node).
+  void introduce(NodeId node, NodeId peer);
+
+  /// Marks a node as crashed: it stops gossiping and its heartbeat freezes.
+  void crash(NodeId node);
+  /// Restarts a crashed node with a fresh heartbeat epoch.
+  void restart(NodeId node);
+
+  /// Executes one gossip round (every live node push-pulls with `fanout`
+  /// random known-live peers), then advances suspicion clocks.
+  void run_round();
+  void run_rounds(std::size_t n);
+
+  [[nodiscard]] std::size_t rounds_elapsed() const noexcept {
+    return rounds_;
+  }
+
+  /// Number of members `node` currently believes are alive (itself
+  /// included).
+  [[nodiscard]] std::size_t live_view_size(NodeId node) const;
+
+  /// Whether `observer` currently believes `subject` is alive.
+  [[nodiscard]] bool believes_alive(NodeId observer, NodeId subject) const;
+
+  /// True when every live node's live-view equals the true live set — the
+  /// converged state the paper's routing relies on.
+  [[nodiscard]] bool converged() const;
+
+  /// Rounds of run_round() needed from the current state until converged(),
+  /// capped at `max_rounds` (returns max_rounds if not reached).
+  std::size_t rounds_to_convergence(std::size_t max_rounds);
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return states_.size();
+  }
+  [[nodiscard]] std::size_t true_live_count() const;
+
+ private:
+  struct PeerInfo {
+    std::uint64_t heartbeat = 0;  ///< highest heartbeat seen
+    std::uint32_t silent_rounds = 0;
+    bool suspected_dead = false;
+  };
+  struct NodeState {
+    bool crashed = false;
+    std::uint64_t heartbeat = 0;
+    std::unordered_map<std::uint32_t, PeerInfo> view;  // keyed by NodeId
+  };
+
+  void exchange(NodeState& a, NodeState& b);
+  [[nodiscard]] std::vector<std::uint32_t> live_peers_of(
+      const NodeState& s, std::uint32_t self) const;
+
+  GossipConfig config_;
+  common::SplitMix64 rng_;
+  std::size_t rounds_ = 0;
+  std::unordered_map<std::uint32_t, NodeState> states_;
+};
+
+}  // namespace move::kv

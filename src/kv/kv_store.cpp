@@ -1,0 +1,93 @@
+#include "kv/kv_store.hpp"
+
+#include <algorithm>
+
+#include "common/hash.hpp"
+
+namespace move::kv {
+
+KeyValueStore::KeyValueStore(const HashRing& ring, std::size_t replicas,
+                             LivenessFn alive)
+    : ring_(&ring), replicas_(std::max<std::size_t>(1, replicas)),
+      alive_(std::move(alive)) {}
+
+std::unordered_map<std::string, std::string>& KeyValueStore::shard(
+    NodeId node) {
+  return shards_[node.value];
+}
+
+std::vector<NodeId> KeyValueStore::owners(std::string_view key) const {
+  std::vector<NodeId> out;
+  if (ring_->node_count() == 0) return out;
+  const std::uint64_t h = common::fnv1a64(key);
+  out.push_back(ring_->home_of_hash(h));
+  for (NodeId succ : ring_->successors(h, replicas_ - 1)) {
+    out.push_back(succ);
+  }
+  return out;
+}
+
+std::size_t KeyValueStore::put(std::string_view key, std::string_view value) {
+  std::size_t written = 0;
+  for (NodeId node : owners(key)) {
+    if (!alive(node)) continue;
+    shard(node).insert_or_assign(std::string(key), std::string(value));
+    ++written;
+  }
+  return written;
+}
+
+std::optional<std::string> KeyValueStore::get(std::string_view key) const {
+  for (NodeId node : owners(key)) {
+    if (!alive(node)) continue;
+    auto shard_it = shards_.find(node.value);
+    if (shard_it == shards_.end()) continue;
+    auto it = shard_it->second.find(std::string(key));
+    if (it != shard_it->second.end()) return it->second;
+  }
+  return std::nullopt;
+}
+
+std::size_t KeyValueStore::erase(std::string_view key) {
+  // Admin operation: scrub every shard, not just current owners, so erase
+  // composes with membership changes that happened since the put.
+  std::size_t removed = 0;
+  const std::string k(key);
+  for (auto& [node, data] : shards_) {
+    removed += data.erase(k);
+  }
+  return removed;
+}
+
+bool KeyValueStore::contains(std::string_view key) const {
+  return get(key).has_value();
+}
+
+std::size_t KeyValueStore::keys_on(NodeId node) const {
+  auto it = shards_.find(node.value);
+  return it == shards_.end() ? 0 : it->second.size();
+}
+
+std::size_t KeyValueStore::total_entries() const {
+  std::size_t n = 0;
+  for (const auto& [node, data] : shards_) n += data.size();
+  return n;
+}
+
+void KeyValueStore::rebalance() {
+  // Gather every (key, value) pair once, then re-place under current
+  // ownership. Last-write-wins across stale replicas is fine because puts
+  // overwrite all owners at once.
+  std::unordered_map<std::string, std::string> all;
+  for (auto& [node, data] : shards_) {
+    for (auto& [k, v] : data) all.insert_or_assign(k, v);
+  }
+  shards_.clear();
+  for (auto& [k, v] : all) {
+    for (NodeId node : owners(k)) {
+      shard(node).insert_or_assign(k, v);
+    }
+  }
+}
+
+}  // namespace move::kv

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "kv/ring.hpp"
+
+/// Replicated in-memory key/value store over the consistent-hash ring — the
+/// put/get substrate the paper's registration protocol is phrased in (§II
+/// "Key/value platforms": "the put function is used to store the object, and
+/// the get function to lookup an object associated with an input key").
+///
+/// Dynamo-style semantics, simplified to what MOVE needs:
+///  * a key is owned by its home node plus `replicas - 1` ring successors;
+///  * put writes every live owner (sloppy write, no hinted handoff);
+///  * get reads the first live owner holding the key;
+///  * node liveness is supplied by the caller (the Cluster), so failure
+///    experiments compose naturally.
+namespace move::kv {
+
+class KeyValueStore {
+ public:
+  using LivenessFn = std::function<bool(NodeId)>;
+
+  /// @param ring      membership/ownership oracle (must outlive the store)
+  /// @param replicas  total copies per key (Cassandra-style default 3)
+  /// @param alive     liveness predicate; nullptr means "everything is up"
+  explicit KeyValueStore(const HashRing& ring, std::size_t replicas = 3,
+                         LivenessFn alive = nullptr);
+
+  /// Writes `value` under `key` on every live owner.
+  /// @returns number of replicas written (0 if all owners are down).
+  std::size_t put(std::string_view key, std::string_view value);
+
+  /// Reads the value from the first live owner that has it.
+  [[nodiscard]] std::optional<std::string> get(std::string_view key) const;
+
+  /// Removes the key from every owner (live or not — an admin operation).
+  /// @returns number of replicas deleted.
+  std::size_t erase(std::string_view key);
+
+  /// True if any live owner holds the key.
+  [[nodiscard]] bool contains(std::string_view key) const;
+
+  /// The nodes that should own `key` (home first, then successors).
+  [[nodiscard]] std::vector<NodeId> owners(std::string_view key) const;
+
+  /// Keys stored on one node (for rebalancing tests and introspection).
+  [[nodiscard]] std::size_t keys_on(NodeId node) const;
+  [[nodiscard]] std::size_t total_entries() const;
+
+  /// Re-replicates every key according to current ring ownership: keys
+  /// whose owner set changed (after a join/leave) are copied to their new
+  /// owners and dropped from nodes that no longer own them. This is the
+  /// simulator's stand-in for Cassandra's range streaming.
+  void rebalance();
+
+  [[nodiscard]] std::size_t replicas() const noexcept { return replicas_; }
+
+ private:
+  [[nodiscard]] bool alive(NodeId node) const {
+    return !alive_ || alive_(node);
+  }
+  std::unordered_map<std::string, std::string>& shard(NodeId node);
+
+  const HashRing* ring_;
+  std::size_t replicas_;
+  LivenessFn alive_;
+  // Sparse per-node shards, keyed by node id (nodes can join later).
+  std::unordered_map<std::uint32_t,
+                     std::unordered_map<std::string, std::string>>
+      shards_;
+};
+
+}  // namespace move::kv

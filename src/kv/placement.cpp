@@ -1,0 +1,114 @@
+#include "kv/placement.hpp"
+
+#include <algorithm>
+
+namespace move::kv {
+
+namespace {
+
+/// Appends members of `pool` to `out` (skipping duplicates and `home`) until
+/// `out` reaches `count`.
+void take_from(std::vector<NodeId>& out, const std::vector<NodeId>& pool,
+               NodeId home, std::size_t count) {
+  for (NodeId node : pool) {
+    if (out.size() >= count) return;
+    if (node == home) continue;
+    if (std::find(out.begin(), out.end(), node) == out.end()) {
+      out.push_back(node);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<NodeId> select_replica_nodes(PlacementPolicy policy, NodeId home,
+                                         std::uint64_t key_hash,
+                                         std::size_t count,
+                                         const HashRing& ring,
+                                         const RackTopology& topology,
+                                         common::SplitMix64& rng) {
+  std::vector<NodeId> out;
+  if (ring.node_count() <= 1 || count == 0) return out;
+  count = std::min(count, ring.node_count() - 1);
+  out.reserve(count);
+
+  switch (policy) {
+    case PlacementPolicy::kRingSuccessors:
+      take_from(out, ring.successors(key_hash, count), home, count);
+      break;
+    case PlacementPolicy::kRackAware:
+      take_from(out, topology.rack_peers(home), home, count);
+      break;
+    case PlacementPolicy::kHybrid: {
+      // §V: "we choose one half of the n_i nodes based on the successors,
+      // and another half based on the rack-aware nodes."
+      const std::size_t half = (count + 1) / 2;
+      take_from(out, topology.rack_peers(home), home, half);
+      take_from(out, ring.successors(key_hash, count), home, count);
+      break;
+    }
+  }
+
+  if (out.size() < count) {
+    // Top up from full membership, starting at a random offset so overflow
+    // load spreads instead of always hitting the lowest node ids.
+    const std::vector<NodeId> all = ring.members();
+    if (!all.empty()) {
+      const std::size_t start = common::uniform_below(rng, all.size());
+      std::vector<NodeId> rotated;
+      rotated.reserve(all.size());
+      for (std::size_t i = 0; i < all.size(); ++i) {
+        rotated.push_back(all[(start + i) % all.size()]);
+      }
+      take_from(out, rotated, home, count);
+    }
+  }
+  return out;
+}
+
+std::vector<NodeId> select_replica_nodes_weighted(
+    PlacementPolicy policy, NodeId home, std::uint64_t key_hash,
+    std::size_t count, const HashRing& ring, const RackTopology& topology,
+    std::span<const double> slot_load) {
+  std::vector<NodeId> out;
+  if (ring.node_count() <= 1 || count == 0) return out;
+  count = std::min(count, ring.node_count() - 1);
+  out.reserve(count);
+
+  auto by_load = [&](std::vector<NodeId> pool) {
+    // Stable sort keeps the policy's own order as the tie-break.
+    std::stable_sort(pool.begin(), pool.end(), [&](NodeId a, NodeId b) {
+      const double la = a.value < slot_load.size() ? slot_load[a.value] : 0.0;
+      const double lb = b.value < slot_load.size() ? slot_load[b.value] : 0.0;
+      return la < lb;
+    });
+    return pool;
+  };
+
+  switch (policy) {
+    case PlacementPolicy::kRingSuccessors:
+      // Keep the pure successor walk verbatim: its placement (and its
+      // availability behaviour) is the point of the Fig. 9 comparison.
+      take_from(out, ring.successors(key_hash, count), home, count);
+      break;
+    case PlacementPolicy::kRackAware:
+      take_from(out, by_load(topology.rack_peers(home)), home, count);
+      break;
+    case PlacementPolicy::kHybrid: {
+      // Half from the rack, half from the ring; both pools are offered in
+      // full so the load-aware ordering has freedom to avoid hot nodes.
+      const std::size_t half = (count + 1) / 2;
+      take_from(out, by_load(topology.rack_peers(home)), home, half);
+      take_from(out, by_load(ring.successors(key_hash, ring.node_count())),
+                home, count);
+      break;
+    }
+  }
+
+  if (out.size() < count) {
+    take_from(out, by_load(ring.members()), home, count);
+  }
+  return out;
+}
+
+}  // namespace move::kv

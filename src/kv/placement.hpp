@@ -1,0 +1,50 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "kv/ring.hpp"
+#include "kv/topology.hpp"
+
+/// Replica-node selection strategies (§V "Selection of allocated nodes").
+///
+/// When MOVE allocates the filters of a home node onto n extra nodes it must
+/// pick *which* nodes. The paper discusses three policies:
+///  * ring successors — spreads replicas across racks (availability) but
+///    moves filters over inter-rack links (throughput cost);
+///  * rack-aware    — same-rack peers (cheap, fast) but a whole-rack failure
+///    loses every copy;
+///  * hybrid (MOVE) — half successors, half rack peers, balancing both.
+namespace move::kv {
+
+enum class PlacementPolicy { kRingSuccessors, kRackAware, kHybrid };
+
+/// Returns up to `count` distinct nodes (never including `home`) on which to
+/// place filters allocated from `home`. If the rack (or ring) cannot supply
+/// enough nodes, the other pool tops the selection up; the result is capped
+/// at cluster size - 1.
+///
+/// @param key_hash ring position of the home node's key (used for the
+///                 successor walk so placement is deterministic per term).
+/// @param rng      used only to break ties when topping up from the full
+///                 membership list.
+[[nodiscard]] std::vector<NodeId> select_replica_nodes(
+    PlacementPolicy policy, NodeId home, std::uint64_t key_hash,
+    std::size_t count, const HashRing& ring, const RackTopology& topology,
+    common::SplitMix64& rng);
+
+/// Load-aware variant used by the MOVE allocator: the dedicated collector
+/// node (§V) computes every home's allocation at once, so it can order each
+/// policy pool by the expected load already assigned to the candidates
+/// (`slot_load`, indexed by NodeId) instead of placing blindly. The policy
+/// still bounds *which* nodes are eligible (rack peers / ring successors /
+/// both); the weighting only decides among them, keeping the availability
+/// characteristics of the policy intact.
+[[nodiscard]] std::vector<NodeId> select_replica_nodes_weighted(
+    PlacementPolicy policy, NodeId home, std::uint64_t key_hash,
+    std::size_t count, const HashRing& ring, const RackTopology& topology,
+    std::span<const double> slot_load);
+
+}  // namespace move::kv

@@ -1,0 +1,104 @@
+#include "kv/ring.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/hash.hpp"
+
+namespace move::kv {
+
+HashRing::HashRing(std::uint32_t vnodes_per_node) : vnodes_(vnodes_per_node) {
+  if (vnodes_ == 0) {
+    throw std::invalid_argument("HashRing: vnodes_per_node must be >= 1");
+  }
+}
+
+void HashRing::add_node(NodeId node) {
+  if (contains(node)) return;
+  nodes_.insert(std::lower_bound(nodes_.begin(), nodes_.end(), node), node);
+  tokens_.reserve(tokens_.size() + vnodes_);
+  for (std::uint32_t v = 0; v < vnodes_; ++v) {
+    // Token positions depend only on (node, vnode index), so every member
+    // derives the identical ring — no gossip rounds needed.
+    const std::uint64_t pos =
+        common::hash_combine(common::mix64(node.value + 1), v);
+    tokens_.push_back(Token{pos, node});
+  }
+  std::sort(tokens_.begin(), tokens_.end());
+}
+
+void HashRing::remove_node(NodeId node) {
+  auto it = std::lower_bound(nodes_.begin(), nodes_.end(), node);
+  if (it == nodes_.end() || *it != node) return;
+  nodes_.erase(it);
+  std::erase_if(tokens_, [node](const Token& t) { return t.owner == node; });
+}
+
+bool HashRing::contains(NodeId node) const {
+  return std::binary_search(nodes_.begin(), nodes_.end(), node);
+}
+
+std::vector<HashRing::Token>::const_iterator HashRing::token_for(
+    std::uint64_t key_hash) const {
+  if (tokens_.empty()) {
+    throw std::logic_error("HashRing: lookup on empty ring");
+  }
+  auto it = std::lower_bound(
+      tokens_.begin(), tokens_.end(), key_hash,
+      [](const Token& t, std::uint64_t h) { return t.position < h; });
+  if (it == tokens_.end()) it = tokens_.begin();  // wrap around
+  return it;
+}
+
+NodeId HashRing::home_of_hash(std::uint64_t key_hash) const {
+  return token_for(key_hash)->owner;
+}
+
+NodeId HashRing::home_of_key(std::string_view key) const {
+  return home_of_hash(common::fnv1a64(key));
+}
+
+NodeId HashRing::home_of_term(TermId term) const {
+  return home_of_hash(common::mix64(term.value));
+}
+
+std::vector<NodeId> HashRing::successors(std::uint64_t key_hash,
+                                         std::size_t count) const {
+  std::vector<NodeId> out;
+  if (tokens_.empty() || count == 0) return out;
+  count = std::min(count, nodes_.size() - 1);
+  const NodeId home = home_of_hash(key_hash);
+  auto it = token_for(key_hash);
+  // Walk clockwise collecting distinct physical owners, skipping the home
+  // node itself and nodes already collected.
+  for (std::size_t steps = 0; steps < tokens_.size() && out.size() < count;
+       ++steps) {
+    ++it;
+    if (it == tokens_.end()) it = tokens_.begin();
+    const NodeId owner = it->owner;
+    if (owner == home) continue;
+    if (std::find(out.begin(), out.end(), owner) == out.end()) {
+      out.push_back(owner);
+    }
+  }
+  return out;
+}
+
+std::vector<NodeId> HashRing::members() const { return nodes_; }
+
+std::vector<double> HashRing::ownership() const {
+  std::vector<double> shares(nodes_.empty() ? 0 : nodes_.back().value + 1,
+                             0.0);
+  if (tokens_.empty()) return shares;
+  const double full = 18446744073709551616.0;  // 2^64
+  for (std::size_t i = 0; i < tokens_.size(); ++i) {
+    const Token& cur = tokens_[i];
+    const Token& prev = tokens_[i == 0 ? tokens_.size() - 1 : i - 1];
+    // Arc owned by cur: (prev.position, cur.position], wrapping at i == 0.
+    const std::uint64_t arc = cur.position - prev.position;  // wraps mod 2^64
+    shares[cur.owner.value] += static_cast<double>(arc) / full;
+  }
+  return shares;
+}
+
+}  // namespace move::kv

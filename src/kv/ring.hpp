@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+
+/// Dynamo/Cassandra-style consistent-hash ring with virtual nodes.
+///
+/// This is the O(1)-hop DHT substrate the paper builds on (§II "Key/value
+/// platforms"): every member holds the full ring (as gossip converges to in
+/// Dynamo), so the home node of any key is resolved locally in one hop. The
+/// ring maps a 64-bit key hash to the first virtual-node token clockwise;
+/// virtual nodes smooth the load imbalance of random token assignment.
+namespace move::kv {
+
+class HashRing {
+ public:
+  /// @param vnodes_per_node number of tokens each physical node owns.
+  explicit HashRing(std::uint32_t vnodes_per_node = 64);
+
+  /// Adds a node; its tokens are derived deterministically from the node id,
+  /// so all members compute an identical ring without coordination.
+  void add_node(NodeId node);
+
+  /// Removes a node and its tokens; keys it owned fall to ring successors.
+  void remove_node(NodeId node);
+
+  [[nodiscard]] bool contains(NodeId node) const;
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return nodes_.size();
+  }
+  [[nodiscard]] std::uint32_t vnodes_per_node() const noexcept {
+    return vnodes_;
+  }
+
+  /// Home node of a raw 64-bit key hash. Precondition: ring is non-empty.
+  [[nodiscard]] NodeId home_of_hash(std::uint64_t key_hash) const;
+
+  /// Home node of a string key (hashed with FNV-1a).
+  [[nodiscard]] NodeId home_of_key(std::string_view key) const;
+
+  /// Home node of a term (the paper's primary placement: the home node of
+  /// term t registers all filters containing t).
+  [[nodiscard]] NodeId home_of_term(TermId term) const;
+
+  /// The `count` distinct physical nodes that follow the key's home node
+  /// clockwise (home excluded). This is Cassandra's successor walk, used for
+  /// ring-based replica placement (§V "Selection of allocated nodes").
+  [[nodiscard]] std::vector<NodeId> successors(std::uint64_t key_hash,
+                                               std::size_t count) const;
+
+  /// All member nodes, ascending by id (for enumeration in benches/tests).
+  [[nodiscard]] std::vector<NodeId> members() const;
+
+  /// Fraction of hash space owned by each node (diagnostic for balance
+  /// tests; with enough vnodes each share approaches 1/N).
+  [[nodiscard]] std::vector<double> ownership() const;
+
+ private:
+  struct Token {
+    std::uint64_t position;
+    NodeId owner;
+    friend bool operator<(const Token& a, const Token& b) {
+      return a.position < b.position ||
+             (a.position == b.position && a.owner < b.owner);
+    }
+  };
+
+  [[nodiscard]] std::vector<Token>::const_iterator token_for(
+      std::uint64_t key_hash) const;
+
+  std::uint32_t vnodes_;
+  std::vector<Token> tokens_;  // sorted by position
+  std::vector<NodeId> nodes_;  // sorted by id
+};
+
+}  // namespace move::kv

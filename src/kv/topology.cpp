@@ -1,0 +1,45 @@
+#include "kv/topology.hpp"
+
+#include <stdexcept>
+
+namespace move::kv {
+
+RackTopology::RackTopology(std::size_t node_count, std::size_t rack_count)
+    : rack_count_(rack_count) {
+  if (rack_count == 0) {
+    throw std::invalid_argument("RackTopology: rack_count must be >= 1");
+  }
+  rack_of_.resize(node_count);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    rack_of_[i] = static_cast<std::uint32_t>(i % rack_count);
+  }
+}
+
+std::size_t RackTopology::rack_of(NodeId node) const {
+  if (node.value >= rack_of_.size()) {
+    throw std::out_of_range("RackTopology::rack_of: unknown node");
+  }
+  return rack_of_[node.value];
+}
+
+std::vector<NodeId> RackTopology::nodes_in_rack(std::size_t rack) const {
+  std::vector<NodeId> out;
+  for (std::uint32_t i = 0; i < rack_of_.size(); ++i) {
+    if (rack_of_[i] == rack) out.push_back(NodeId{i});
+  }
+  return out;
+}
+
+std::vector<NodeId> RackTopology::rack_peers(NodeId node) const {
+  std::vector<NodeId> out = nodes_in_rack(rack_of(node));
+  std::erase(out, node);
+  return out;
+}
+
+std::size_t RackTopology::add_node() {
+  const auto rack = static_cast<std::uint32_t>(rack_of_.size() % rack_count_);
+  rack_of_.push_back(rack);
+  return rack;
+}
+
+}  // namespace move::kv

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+/// Rack topology ("snitch" in Cassandra terms).
+///
+/// §V of the paper selects replica nodes either along the ring or inside the
+/// same rack as the home node, and Fig. 9(c,d) shows the
+/// throughput/availability trade-off when whole racks fail. The topology
+/// assigns each node to a rack and answers rack-locality queries.
+namespace move::kv {
+
+class RackTopology {
+ public:
+  /// Distributes `node_count` nodes round-robin over `rack_count` racks
+  /// (node i lives in rack i % rack_count), mirroring how sequentially
+  /// racked blades are cabled in a real cluster row.
+  RackTopology(std::size_t node_count, std::size_t rack_count);
+
+  [[nodiscard]] std::size_t rack_of(NodeId node) const;
+  [[nodiscard]] std::size_t rack_count() const noexcept { return rack_count_; }
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return rack_of_.size();
+  }
+
+  /// All nodes in the given rack, ascending.
+  [[nodiscard]] std::vector<NodeId> nodes_in_rack(std::size_t rack) const;
+
+  /// Nodes sharing a rack with `node`, excluding `node` itself.
+  [[nodiscard]] std::vector<NodeId> rack_peers(NodeId node) const;
+
+  /// Registers one more node (rack chosen round-robin, continuing the
+  /// construction pattern). Returns its rack.
+  std::size_t add_node();
+
+ private:
+  std::size_t rack_count_;
+  std::vector<std::uint32_t> rack_of_;  // indexed by NodeId
+};
+
+}  // namespace move::kv

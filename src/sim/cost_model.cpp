@@ -1,0 +1,3 @@
+#include "sim/cost_model.hpp"
+
+// CostModel is fully inline; this TU anchors the library target.

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+
+#include "index/inverted_index.hpp"
+
+/// Latency cost model for the simulated cluster.
+///
+/// The paper's Eq. 2 models the latency of serving a document at a node as
+///   y_d + y_p * (#filters matched locally)
+/// where y_d is the document transfer latency and y_p the per-filter match
+/// latency, and cites EC2 measurements [24] showing disk IO dominates. We
+/// refine this slightly: a match costs one disk seek per posting list
+/// retrieved plus a per-posting scan cost (y_p), and transfer costs a fixed
+/// network round-trip plus a per-term serialization cost, which is what makes
+/// 6000-term TREC-AP articles far more expensive to ship and match than
+/// 65-term TREC-WT pages — the asymmetry the whole paper exploits.
+namespace move::sim {
+
+struct CostModel {
+  // --- network -------------------------------------------------------------
+  double transfer_base_us = 200.0;   ///< per-hop fixed cost (y_d fixed part)
+  double transfer_per_term_us = 0.5; ///< serialization cost per doc term
+  /// Multiplier on transfer cost when source and destination are in
+  /// different racks — why §V's rack-aware placement wins on throughput.
+  double cross_rack_penalty = 1.8;
+  /// Fraction of a transfer that occupies the receiving node (NIC/stack
+  /// service time) rather than being pure wire latency. This is what makes
+  /// rack locality matter at saturation, not just for latency.
+  double net_service_fraction = 0.3;
+
+  // --- disk/CPU on the serving node ---------------------------------------
+  double handle_base_us = 25.0;     ///< fixed per-document receive/dispatch
+  double forward_decision_us = 5.0; ///< forwarding-table lookup at a home
+  double seek_per_list_us = 40.0;  ///< posting-list retrieval (cached disk)
+  double scan_per_posting_us = 0.4; ///< per posting entry scanned (y_p)
+  double verify_per_candidate_us = 0.8;  ///< per candidate verified
+  /// Service inflation per second of queueing backlog (memtable flushes and
+  /// cache misses under pressure); drives Fig. 8(b)'s falling curve. The cap
+  /// models throttling: a node degrades to a floor rate, never collapses.
+  double congestion_per_queued_sec = 0.6;
+  double congestion_max_inflation = 12.0;
+
+  /// y_d for a document with `doc_terms` terms (Eq. 2's transfer latency).
+  [[nodiscard]] double transfer_us(std::size_t doc_terms) const noexcept {
+    return transfer_base_us +
+           transfer_per_term_us * static_cast<double>(doc_terms);
+  }
+
+  /// y_d with rack locality applied (second-hop forwarding inside the
+  /// cluster).
+  [[nodiscard]] double transfer_us(std::size_t doc_terms,
+                                   bool same_rack) const noexcept {
+    return transfer_us(doc_terms) * (same_rack ? 1.0 : cross_rack_penalty);
+  }
+
+  /// Receiver-side service time consumed by accepting a transfer.
+  [[nodiscard]] double receive_service_us(double transfer_cost_us)
+      const noexcept {
+    return net_service_fraction * transfer_cost_us;
+  }
+
+  /// Node-local service latency for one match operation.
+  [[nodiscard]] double match_us(
+      const index::MatchAccounting& acc) const noexcept {
+    return seek_per_list_us * static_cast<double>(acc.lists_retrieved) +
+           scan_per_posting_us * static_cast<double>(acc.postings_scanned) +
+           verify_per_candidate_us *
+               static_cast<double>(acc.candidates_verified);
+  }
+
+  /// The paper's beta = y_p * P / y_d ratio (Theorem 2), with y_p taken as
+  /// the per-posting scan cost and y_d evaluated for an average document.
+  [[nodiscard]] double beta(double total_filters,
+                            double avg_doc_terms) const noexcept {
+    return scan_per_posting_us * total_filters / transfer_us(
+        static_cast<std::size_t>(avg_doc_terms));
+  }
+};
+
+}  // namespace move::sim

@@ -1,0 +1,55 @@
+#include "sim/event_engine.hpp"
+
+#include <algorithm>
+
+namespace move::sim {
+
+void EventEngine::schedule_at(Time t, Callback cb) {
+  queue_.push(Event{std::max(t, now_), next_seq_++, std::move(cb)});
+}
+
+Time EventEngine::run() {
+  while (!queue_.empty()) {
+    // Moving out of a priority_queue requires const_cast of top(); copy the
+    // metadata first, then pop before invoking so callbacks can schedule.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.at;
+    ++processed_;
+    ev.cb();
+  }
+  return now_;
+}
+
+Time EventEngine::run_until(Time horizon) {
+  while (!queue_.empty() && queue_.top().at <= horizon) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.at;
+    ++processed_;
+    ev.cb();
+  }
+  now_ = std::max(now_, horizon);
+  return now_;
+}
+
+void FifoServer::submit(Time service_us, std::function<void(Time)> on_done) {
+  const Time arrival = engine_->now();
+  const Time start = std::max(arrival, free_at_);
+  const Time wait = start - arrival;
+  if (congestion_coeff_ > 0.0) {
+    service_us *=
+        std::min(congestion_cap_, 1.0 + congestion_coeff_ * (wait / 1e6));
+  }
+  const Time completion = start + service_us;
+  wait_us_ += wait;
+  busy_us_ += service_us;
+  free_at_ = completion;
+  ++jobs_;
+  if (on_done) {
+    engine_->schedule_at(completion,
+                         [cb = std::move(on_done), completion] { cb(completion); });
+  }
+}
+
+}  // namespace move::sim

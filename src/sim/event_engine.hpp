@@ -1,0 +1,121 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+/// Discrete-event simulation core.
+///
+/// The cluster benches replay the paper's experiments in virtual time: the
+/// engine orders events on a virtual clock (microseconds), and each logical
+/// node is a serial FIFO server (`FifoServer`) — the paper's model of a
+/// disk-bound matcher that serves one document at a time. Results are
+/// deterministic and independent of host load, unlike wall-clock timing.
+namespace move::sim {
+
+/// Virtual time in microseconds.
+using Time = double;
+
+class EventEngine {
+ public:
+  using Callback = std::function<void()>;
+
+  EventEngine() = default;
+
+  [[nodiscard]] Time now() const noexcept { return now_; }
+
+  /// Schedules `cb` at absolute time `t` (clamped to now if in the past).
+  /// Events at equal times fire in scheduling order (stable).
+  void schedule_at(Time t, Callback cb);
+
+  /// Schedules `cb` `delay_us` after the current time.
+  void schedule_after(Time delay_us, Callback cb) {
+    schedule_at(now_ + delay_us, std::move(cb));
+  }
+
+  /// Runs events until the queue drains. Returns the final clock value.
+  Time run();
+
+  /// Runs events with time <= horizon; later events stay queued.
+  Time run_until(Time horizon);
+
+  [[nodiscard]] std::uint64_t events_processed() const noexcept {
+    return processed_;
+  }
+  [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
+
+ private:
+  struct Event {
+    Time at;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      return a.at > b.at || (a.at == b.at && a.seq > b.seq);
+    }
+  };
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+/// A serial FIFO service station — one per simulated node. Jobs submitted
+/// while the server is busy queue behind it; this is what turns a hot-spot
+/// node into the cluster's throughput bottleneck, exactly the effect MOVE's
+/// allocation is designed to remove.
+///
+/// Congestion model: real storage nodes degrade under backlog (memtable
+/// flushes, compaction, page-cache misses), which is why the paper's
+/// throughput *falls* as the injected batch grows (Fig. 8b) instead of
+/// saturating. With a non-zero `congestion_coeff`, a job's service time is
+/// inflated by (1 + coeff * queue_wait_seconds) — deterministic, and zero
+/// overhead when disabled.
+class FifoServer {
+ public:
+  explicit FifoServer(EventEngine& engine) : engine_(&engine) {}
+
+  /// Service-time inflation per second of queueing delay (0 = ideal server)
+  /// and the cap on the total inflation (a throttled real node degrades to
+  /// a floor rate rather than collapsing).
+  void set_congestion(double coeff, double max_inflation) noexcept {
+    congestion_coeff_ = coeff;
+    congestion_cap_ = max_inflation;
+  }
+  [[nodiscard]] double congestion_coeff() const noexcept {
+    return congestion_coeff_;
+  }
+
+  /// Submits a job arriving *now* that needs `service_us` of server time.
+  /// `on_done` fires at the job's completion time.
+  void submit(Time service_us, std::function<void(Time)> on_done);
+
+  /// Total service time performed (the node's busy time).
+  [[nodiscard]] Time busy_us() const noexcept { return busy_us_; }
+  /// Total time jobs spent waiting in queue before service began.
+  [[nodiscard]] Time queue_wait_us() const noexcept { return wait_us_; }
+  [[nodiscard]] std::uint64_t jobs_served() const noexcept { return jobs_; }
+  /// Time at which the server becomes free given current commitments.
+  [[nodiscard]] Time free_at() const noexcept { return free_at_; }
+
+  void reset() noexcept {
+    free_at_ = 0;
+    busy_us_ = 0;
+    wait_us_ = 0;
+    jobs_ = 0;
+  }
+
+ private:
+  EventEngine* engine_;
+  double congestion_coeff_ = 0.0;
+  double congestion_cap_ = 12.0;
+  Time free_at_ = 0;
+  Time busy_us_ = 0;
+  Time wait_us_ = 0;
+  std::uint64_t jobs_ = 0;
+};
+
+}  // namespace move::sim

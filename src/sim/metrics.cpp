@@ -1,0 +1,22 @@
+#include "sim/metrics.hpp"
+
+#include "common/stats.hpp"
+
+namespace move::sim {
+
+double RunMetrics::mean_latency_us() const noexcept {
+  return common::mean(latencies_us);
+}
+
+double RunMetrics::p99_latency_us() const {
+  return common::percentile(latencies_us, 99.0);
+}
+
+std::vector<double> RunMetrics::storage_cost() const {
+  std::vector<double> out;
+  out.reserve(node_storage.size());
+  for (std::uint64_t s : node_storage) out.push_back(static_cast<double>(s));
+  return out;
+}
+
+}  // namespace move::sim

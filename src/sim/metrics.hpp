@@ -1,0 +1,44 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/event_engine.hpp"
+
+/// Run-level measurement collected during a simulated dissemination run.
+///
+/// Mirrors what the paper reports: throughput (documents fully matched per
+/// second, §VI-A3), per-node storage cost and matching cost distributions
+/// (Fig. 9 a-b), and end-to-end latency statistics.
+namespace move::sim {
+
+struct RunMetrics {
+  std::uint64_t documents_published = 0;
+  std::uint64_t documents_completed = 0;   ///< all matching filters found
+  std::uint64_t notifications = 0;         ///< matched (doc, filter) pairs
+  Time makespan_us = 0;                    ///< completion time of last doc
+
+  std::vector<double> latencies_us;        ///< per-document publish->complete
+  std::vector<double> node_busy_us;        ///< per-node service time
+  std::vector<std::uint64_t> node_docs;    ///< per-node docs served
+  std::vector<std::uint64_t> node_storage; ///< per-node stored filter copies
+
+  /// Paper's headline metric: completed documents per (virtual) second.
+  [[nodiscard]] double throughput_per_sec() const noexcept {
+    if (makespan_us <= 0) return 0.0;
+    return static_cast<double>(documents_completed) /
+           (makespan_us / 1'000'000.0);
+  }
+
+  [[nodiscard]] double mean_latency_us() const noexcept;
+  [[nodiscard]] double p99_latency_us() const;
+
+  /// Matching-cost vector (Fig. 9b): per-node busy time.
+  [[nodiscard]] const std::vector<double>& matching_cost() const noexcept {
+    return node_busy_us;
+  }
+  /// Storage-cost vector (Fig. 9a): per-node filter copies as doubles.
+  [[nodiscard]] std::vector<double> storage_cost() const;
+};
+
+}  // namespace move::sim

@@ -1,0 +1,45 @@
+#include "text/pipeline.hpp"
+
+#include <algorithm>
+
+#include "text/porter.hpp"
+#include "text/stopwords.hpp"
+
+namespace move::text {
+
+std::vector<TermId> Pipeline::run(std::string_view raw,
+                                  bool allow_intern) const {
+  std::vector<TermId> ids;
+  tokenize_into(raw, options_.tokenizer, [&](std::string_view token) {
+    if (options_.remove_stopwords && is_stopword(token)) return;
+    if (options_.stem) {
+      const std::string stem = porter_stem(token);
+      if (allow_intern) {
+        ids.push_back(vocabulary_->intern(stem));
+      } else if (auto id = vocabulary_->lookup(stem)) {
+        ids.push_back(*id);
+      }
+    } else {
+      if (allow_intern) {
+        ids.push_back(vocabulary_->intern(token));
+      } else if (auto id = vocabulary_->lookup(token)) {
+        ids.push_back(*id);
+      }
+    }
+  });
+  if (options_.dedupe) {
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  }
+  return ids;
+}
+
+std::vector<TermId> Pipeline::process(std::string_view raw) const {
+  return run(raw, /*allow_intern=*/true);
+}
+
+std::vector<TermId> Pipeline::process_readonly(std::string_view raw) const {
+  return run(raw, /*allow_intern=*/false);
+}
+
+}  // namespace move::text

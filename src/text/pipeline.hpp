@@ -1,0 +1,47 @@
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "common/types.hpp"
+#include "text/tokenizer.hpp"
+#include "text/vocabulary.hpp"
+
+/// End-to-end text preprocessing: tokenize -> stop-word filter -> Porter stem
+/// -> intern -> dedupe. This is the pipeline the paper applies to the TREC
+/// corpora (§VI-A) and to filter keywords; examples feed raw text through it.
+namespace move::text {
+
+struct PipelineOptions {
+  TokenizerOptions tokenizer;
+  bool remove_stopwords = true;
+  bool stem = true;
+  bool dedupe = true;  ///< both documents and filters are *sets* of terms
+};
+
+class Pipeline {
+ public:
+  /// @param vocabulary shared term interner; must outlive the pipeline.
+  explicit Pipeline(Vocabulary& vocabulary, PipelineOptions options = {})
+      : vocabulary_(&vocabulary), options_(options) {}
+
+  /// Preprocesses raw text into a sorted, deduplicated set of TermIds.
+  [[nodiscard]] std::vector<TermId> process(std::string_view raw) const;
+
+  /// Like process() but only looks terms up (no interning); terms never seen
+  /// before are dropped. Used when matching ad-hoc text against an existing
+  /// registration vocabulary.
+  [[nodiscard]] std::vector<TermId> process_readonly(
+      std::string_view raw) const;
+
+  [[nodiscard]] const Vocabulary& vocabulary() const { return *vocabulary_; }
+  [[nodiscard]] Vocabulary& vocabulary() { return *vocabulary_; }
+
+ private:
+  std::vector<TermId> run(std::string_view raw, bool allow_intern) const;
+
+  Vocabulary* vocabulary_;
+  PipelineOptions options_;
+};
+
+}  // namespace move::text

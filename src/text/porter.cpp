@@ -1,0 +1,249 @@
+#include "text/porter.hpp"
+
+#include <array>
+
+namespace move::text {
+
+namespace {
+
+/// Working buffer for one word plus the measure/condition helpers the Porter
+/// rules are expressed in. The algorithm operates on a prefix [0, end) of the
+/// buffer, shrinking `end` as suffixes are stripped.
+class Stemmer {
+ public:
+  explicit Stemmer(std::string_view word) : b_(word), end_(word.size()) {}
+
+  std::string run() {
+    if (end_ > 2) {
+      step1a();
+      step1b();
+      step1c();
+      step2();
+      step3();
+      step4();
+      step5a();
+      step5b();
+    }
+    return b_.substr(0, end_);
+  }
+
+ private:
+  // --- character classification -------------------------------------------
+
+  /// True if b_[i] is a consonant in Porter's sense ('y' is a consonant when
+  /// word-initial or preceded by a vowel-position consonant).
+  bool is_consonant(std::size_t i) const {
+    switch (b_[i]) {
+      case 'a': case 'e': case 'i': case 'o': case 'u':
+        return false;
+      case 'y':
+        return i == 0 ? true : !is_consonant(i - 1);
+      default:
+        return true;
+    }
+  }
+
+  /// Porter's measure m of the prefix [0, k): the number of VC sequences in
+  /// the form C?(VC){m}V?.
+  std::size_t measure(std::size_t k) const {
+    std::size_t n = 0;
+    std::size_t i = 0;
+    while (i < k && is_consonant(i)) ++i;       // skip initial C*
+    while (i < k) {
+      while (i < k && !is_consonant(i)) ++i;    // V+
+      if (i >= k) break;
+      ++n;                                       // ...followed by C -> one VC
+      while (i < k && is_consonant(i)) ++i;     // C+
+    }
+    return n;
+  }
+
+  /// True if the prefix [0, k) contains a vowel.
+  bool has_vowel(std::size_t k) const {
+    for (std::size_t i = 0; i < k; ++i) {
+      if (!is_consonant(i)) return true;
+    }
+    return false;
+  }
+
+  /// True if the prefix ends in a double consonant (e.g. -tt, -ss).
+  bool ends_double_consonant(std::size_t k) const {
+    return k >= 2 && b_[k - 1] == b_[k - 2] && is_consonant(k - 1);
+  }
+
+  /// True if positions (k-3, k-2, k-1) are consonant-vowel-consonant and the
+  /// final consonant is not w, x, or y (Porter's *o condition).
+  bool cvc(std::size_t k) const {
+    if (k < 3) return false;
+    if (!is_consonant(k - 3) || is_consonant(k - 2) || !is_consonant(k - 1)) {
+      return false;
+    }
+    const char c = b_[k - 1];
+    return c != 'w' && c != 'x' && c != 'y';
+  }
+
+  // --- suffix machinery ----------------------------------------------------
+
+  bool ends_with(std::string_view suffix) const {
+    if (suffix.size() > end_) return false;
+    return std::string_view(b_).substr(end_ - suffix.size(),
+                                       suffix.size()) == suffix;
+  }
+
+  /// Stem length if `suffix` were removed.
+  std::size_t stem_len(std::string_view suffix) const {
+    return end_ - suffix.size();
+  }
+
+  /// Replaces a matched suffix with `repl`, keeping end_ consistent.
+  void replace_suffix(std::string_view suffix, std::string_view repl) {
+    const std::size_t k = stem_len(suffix);
+    b_.replace(k, b_.size() - k, repl);
+    end_ = k + repl.size();
+  }
+
+  /// Rule "(m > threshold) SUFFIX -> REPL"; returns true if the suffix
+  /// matched (whether or not the condition passed), per Porter's longest-
+  /// match-then-test semantics.
+  bool rule_m(std::string_view suffix, std::string_view repl,
+              std::size_t m_greater_than) {
+    if (!ends_with(suffix)) return false;
+    if (measure(stem_len(suffix)) > m_greater_than) {
+      replace_suffix(suffix, repl);
+    }
+    return true;
+  }
+
+  // --- the five steps ------------------------------------------------------
+
+  /// Plurals: SSES -> SS, IES -> I, SS -> SS, S -> (drop).
+  void step1a() {
+    if (ends_with("sses")) {
+      replace_suffix("sses", "ss");
+    } else if (ends_with("ies")) {
+      replace_suffix("ies", "i");
+    } else if (ends_with("ss")) {
+      // keep
+    } else if (ends_with("s")) {
+      replace_suffix("s", "");
+    }
+  }
+
+  /// Past participles: (m>0) EED -> EE; (*v*) ED / ING -> drop, then tidy.
+  void step1b() {
+    if (ends_with("eed")) {
+      if (measure(stem_len("eed")) > 0) replace_suffix("eed", "ee");
+      return;
+    }
+    bool stripped = false;
+    if (ends_with("ed") && has_vowel(stem_len("ed"))) {
+      replace_suffix("ed", "");
+      stripped = true;
+    } else if (ends_with("ing") && has_vowel(stem_len("ing"))) {
+      replace_suffix("ing", "");
+      stripped = true;
+    }
+    if (!stripped) return;
+    // Post-strip tidy-up: AT -> ATE, BL -> BLE, IZ -> IZE, undouble final
+    // consonant (unless l/s/z), or add 'e' after a short stem.
+    if (ends_with("at")) {
+      replace_suffix("at", "ate");
+    } else if (ends_with("bl")) {
+      replace_suffix("bl", "ble");
+    } else if (ends_with("iz")) {
+      replace_suffix("iz", "ize");
+    } else if (ends_double_consonant(end_)) {
+      const char c = b_[end_ - 1];
+      if (c != 'l' && c != 's' && c != 'z') --end_;
+    } else if (measure(end_) == 1 && cvc(end_)) {
+      b_.replace(end_, b_.size() - end_, "e");
+      end_ += 1;
+    }
+  }
+
+  /// (*v*) Y -> I.
+  void step1c() {
+    if (ends_with("y") && has_vowel(stem_len("y"))) {
+      b_[end_ - 1] = 'i';
+    }
+  }
+
+  /// (m>0) double-suffix normalization, longest match on penultimate letter.
+  void step2() {
+    static constexpr std::array<std::array<std::string_view, 2>, 20> rules = {{
+        {"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"},
+        {"anci", "ance"},   {"izer", "ize"},    {"abli", "able"},
+        {"alli", "al"},     {"entli", "ent"},   {"eli", "e"},
+        {"ousli", "ous"},   {"ization", "ize"}, {"ation", "ate"},
+        {"ator", "ate"},    {"alism", "al"},    {"iveness", "ive"},
+        {"fulness", "ful"}, {"ousness", "ous"}, {"aliti", "al"},
+        {"iviti", "ive"},   {"biliti", "ble"},
+    }};
+    for (const auto& [suffix, repl] : rules) {
+      if (rule_m(suffix, repl, 0)) return;
+    }
+  }
+
+  /// (m>0) -icate/-ative/-alize/-iciti/-ical/-ful/-ness.
+  void step3() {
+    static constexpr std::array<std::array<std::string_view, 2>, 7> rules = {{
+        {"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+        {"ical", "ic"},  {"ful", ""},   {"ness", ""},
+    }};
+    for (const auto& [suffix, repl] : rules) {
+      if (rule_m(suffix, repl, 0)) return;
+    }
+  }
+
+  /// (m>1) strip residual suffixes; -ion requires preceding s or t.
+  void step4() {
+    static constexpr std::array<std::string_view, 18> suffixes = {
+        "al",   "ance", "ence", "er",  "ic",  "able", "ible", "ant",
+        "ement","ment", "ent",  "ou",  "ism", "ate",  "iti",  "ous",
+        "ive",  "ize",
+    };
+    // -ion handled specially (longest-match ordering puts it after -tion
+    // forms already covered by step 2's normalization).
+    for (std::string_view suffix : suffixes) {
+      if (!ends_with(suffix)) continue;
+      // "ement"/"ment"/"ent" overlap: ends_with picks the first match in
+      // declaration order, which lists the longest first.
+      if (measure(stem_len(suffix)) > 1) replace_suffix(suffix, "");
+      return;
+    }
+    if (ends_with("ion")) {
+      const std::size_t k = stem_len("ion");
+      if (k > 0 && (b_[k - 1] == 's' || b_[k - 1] == 't') && measure(k) > 1) {
+        replace_suffix("ion", "");
+      }
+    }
+  }
+
+  /// (m>1) E -> drop; (m=1 and not *o) E -> drop.
+  void step5a() {
+    if (!ends_with("e")) return;
+    const std::size_t k = end_ - 1;
+    const std::size_t m = measure(k);
+    if (m > 1 || (m == 1 && !cvc(k))) end_ = k;
+  }
+
+  /// (m>1 and *d and *L) undouble final -ll.
+  void step5b() {
+    if (end_ >= 2 && b_[end_ - 1] == 'l' && ends_double_consonant(end_) &&
+        measure(end_) > 1) {
+      --end_;
+    }
+  }
+
+  std::string b_;
+  std::size_t end_;
+};
+
+}  // namespace
+
+std::string porter_stem(std::string_view word) {
+  if (word.size() < 3) return std::string(word);
+  return Stemmer(word).run();
+}
+
+}  // namespace move::text

@@ -1,0 +1,19 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+/// Porter stemming algorithm (M. F. Porter, "An algorithm for suffix
+/// stripping", Program 14(3), 1980).
+///
+/// The paper preprocesses the TREC corpora with the Porter algorithm
+/// (§VI-A). This is a from-scratch implementation of the five-step rule
+/// cascade described in the original publication.
+namespace move::text {
+
+/// Returns the stem of `word`. The input must be lower-case ASCII letters;
+/// words shorter than 3 characters are returned unchanged (per the original
+/// algorithm's convention).
+[[nodiscard]] std::string porter_stem(std::string_view word);
+
+}  // namespace move::text

@@ -1,0 +1,48 @@
+#include "text/stopwords.hpp"
+
+#include <array>
+#include <unordered_set>
+
+namespace move::text {
+
+namespace {
+
+// A standard compact English stop list (function words only), comparable to
+// the default lists shipped with classic IR engines.
+constexpr std::array kStopwords = {
+    "a",       "about",   "above",  "after",   "again",  "against", "all",
+    "am",      "an",      "and",    "any",     "are",    "as",      "at",
+    "be",      "because", "been",   "before",  "being",  "below",   "between",
+    "both",    "but",     "by",     "can",     "cannot", "could",   "did",
+    "do",      "does",    "doing",  "down",    "during", "each",    "few",
+    "for",     "from",    "further","had",     "has",    "have",    "having",
+    "he",      "her",     "here",   "hers",    "herself","him",     "himself",
+    "his",     "how",     "i",      "if",      "in",     "into",    "is",
+    "it",      "its",     "itself", "just",    "me",     "more",    "most",
+    "my",      "myself",  "no",     "nor",     "not",    "now",     "of",
+    "off",     "on",      "once",   "only",    "or",     "other",   "our",
+    "ours",    "ourselves","out",   "over",    "own",    "same",    "she",
+    "should",  "so",      "some",   "such",    "than",   "that",    "the",
+    "their",   "theirs",  "them",   "themselves","then", "there",   "these",
+    "they",    "this",    "those",  "through", "to",     "too",     "under",
+    "until",   "up",      "very",   "was",     "we",     "were",    "what",
+    "when",    "where",   "which",  "while",   "who",    "whom",    "why",
+    "with",    "would",   "you",    "your",    "yours",  "yourself",
+    "yourselves",
+};
+
+const std::unordered_set<std::string_view>& stopword_set() {
+  static const std::unordered_set<std::string_view> set(kStopwords.begin(),
+                                                        kStopwords.end());
+  return set;
+}
+
+}  // namespace
+
+bool is_stopword(std::string_view word) noexcept {
+  return stopword_set().contains(word);
+}
+
+std::size_t stopword_count() noexcept { return kStopwords.size(); }
+
+}  // namespace move::text

@@ -1,0 +1,18 @@
+#pragma once
+
+#include <string_view>
+
+/// English stop-word filtering.
+///
+/// The paper removes common stop words ("the", "and", ...) from the TREC
+/// corpora before indexing (§VI-A). We ship a standard small English list;
+/// callers needing a custom list can compose their own predicate.
+namespace move::text {
+
+/// True if `word` (already lower-cased) is on the built-in English stop list.
+[[nodiscard]] bool is_stopword(std::string_view word) noexcept;
+
+/// Number of entries on the built-in list (exposed for tests).
+[[nodiscard]] std::size_t stopword_count() noexcept;
+
+}  // namespace move::text

@@ -1,0 +1,60 @@
+#include "text/tokenizer.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace move::text {
+
+namespace {
+
+bool is_word_char(unsigned char c) noexcept {
+  return std::isalnum(c) != 0 || c == '\'';
+}
+
+bool all_digits(std::string_view token) noexcept {
+  return std::all_of(token.begin(), token.end(), [](unsigned char c) {
+    return std::isdigit(c) != 0;
+  });
+}
+
+}  // namespace
+
+void tokenize_into(std::string_view input, const TokenizerOptions& options,
+                   const std::function<void(std::string_view)>& sink) {
+  std::string token;
+  token.reserve(options.max_length);
+
+  auto flush = [&] {
+    // Trim apostrophes kept by is_word_char (possessives like "user's").
+    while (!token.empty() && token.back() == '\'') token.pop_back();
+    std::size_t start = 0;
+    while (start < token.size() && token[start] == '\'') ++start;
+    std::string_view view(token.data() + start, token.size() - start);
+    if (view.size() >= options.min_length && view.size() <= options.max_length &&
+        !(options.drop_numeric && all_digits(view))) {
+      sink(view);
+    }
+    token.clear();
+  };
+
+  for (unsigned char c : input) {
+    if (is_word_char(c)) {
+      if (token.size() < options.max_length + 1) {
+        token.push_back(static_cast<char>(std::tolower(c)));
+      }
+    } else if (!token.empty()) {
+      flush();
+    }
+  }
+  if (!token.empty()) flush();
+}
+
+std::vector<std::string> tokenize(std::string_view input,
+                                  const TokenizerOptions& options) {
+  std::vector<std::string> tokens;
+  tokenize_into(input, options,
+                [&](std::string_view t) { tokens.emplace_back(t); });
+  return tokens;
+}
+
+}  // namespace move::text

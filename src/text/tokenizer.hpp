@@ -1,0 +1,30 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// Raw-text tokenization.
+///
+/// The paper preprocesses TREC documents with the Porter algorithm and a
+/// stop-word list (§VI-A). The tokenizer is the first stage of that pipeline:
+/// it lower-cases, splits on non-alphanumeric characters, and drops tokens
+/// that are too short/long or purely numeric.
+namespace move::text {
+
+struct TokenizerOptions {
+  std::size_t min_length = 2;   ///< tokens shorter than this are dropped
+  std::size_t max_length = 40;  ///< pathological tokens are dropped
+  bool drop_numeric = true;     ///< drop tokens that are all digits
+};
+
+/// Splits `input` into lower-cased word tokens.
+[[nodiscard]] std::vector<std::string> tokenize(
+    std::string_view input, const TokenizerOptions& options = {});
+
+/// Streaming variant: invokes `sink` per token without building a vector.
+void tokenize_into(std::string_view input, const TokenizerOptions& options,
+                   const std::function<void(std::string_view)>& sink);
+
+}  // namespace move::text

@@ -1,0 +1,39 @@
+#include "text/vocabulary.hpp"
+
+#include <stdexcept>
+
+namespace move::text {
+
+TermId Vocabulary::intern(std::string_view term) {
+  if (auto it = ids_.find(term); it != ids_.end()) return it->second;
+  if (terms_.size() >= 0xffffffffULL) {
+    throw std::length_error("Vocabulary: term id space exhausted");
+  }
+  const TermId id{static_cast<std::uint32_t>(terms_.size())};
+  const std::string& stored = terms_.emplace_back(term);
+  ids_.emplace(std::string_view(stored), id);
+  return id;
+}
+
+std::optional<TermId> Vocabulary::lookup(std::string_view term) const {
+  if (auto it = ids_.find(term); it != ids_.end()) return it->second;
+  return std::nullopt;
+}
+
+std::string_view Vocabulary::spelling(TermId id) const {
+  if (id.value >= terms_.size()) {
+    throw std::out_of_range("Vocabulary::spelling: invalid TermId");
+  }
+  return terms_[id.value];
+}
+
+void Vocabulary::grow_synthetic(std::size_t count, std::string_view prefix) {
+  std::string name;
+  for (std::size_t i = 0; i < count; ++i) {
+    name.assign(prefix);
+    name += std::to_string(terms_.size());
+    intern(name);
+  }
+}
+
+}  // namespace move::text

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/types.hpp"
+
+/// Term interning.
+///
+/// All downstream components (indexes, schemes, workload generators) operate
+/// on dense 32-bit TermIds rather than strings; the Vocabulary owns the
+/// bidirectional mapping. Interning also gives deterministic ids (insertion
+/// order) for reproducible experiments.
+namespace move::text {
+
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+  // The map keys view into terms_; moving the container would be safe (deque
+  // elements keep their addresses) but copying would not, so forbid both and
+  // keep the type simple.
+  Vocabulary(const Vocabulary&) = delete;
+  Vocabulary& operator=(const Vocabulary&) = delete;
+
+  /// Returns the id for `term`, interning it on first sight.
+  TermId intern(std::string_view term);
+
+  /// Returns the id if `term` is already interned.
+  [[nodiscard]] std::optional<TermId> lookup(std::string_view term) const;
+
+  /// Returns the string for an interned id. Precondition: id is valid.
+  [[nodiscard]] std::string_view spelling(TermId id) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return terms_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return terms_.empty(); }
+
+  /// Mints `count` synthetic terms named "<prefix><index>"; the workload
+  /// generators use these when no real spelling exists.
+  void grow_synthetic(std::size_t count, std::string_view prefix = "t");
+
+ private:
+  // deque: element addresses are stable across push_back, so the
+  // string_view keys in ids_ never dangle.
+  std::deque<std::string> terms_;
+  std::unordered_map<std::string_view, TermId> ids_;
+};
+
+}  // namespace move::text

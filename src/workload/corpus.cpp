@@ -1,0 +1,170 @@
+#include "workload/corpus.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "common/zipf.hpp"
+
+namespace move::workload {
+
+CorpusConfig CorpusConfig::trec_ap_like(double scale,
+                                        std::size_t vocabulary) {
+  if (scale <= 0.0) throw std::invalid_argument("trec_ap_like: scale <= 0");
+  CorpusConfig cfg;
+  cfg.name = "trec-ap";
+  // AP is tiny (1,050 articles) — never scale it below its real size.
+  cfg.num_docs = std::max<std::size_t>(
+      200, static_cast<std::size_t>(1050.0 * std::max(scale, 1.0)));
+  cfg.vocabulary_size = vocabulary;
+  cfg.mean_terms_per_doc = 6054.9;
+  // Flatter frequency profile than WT (paper: entropy 9.4473 vs 6.7593).
+  cfg.zipf_skew = 0.72;
+  cfg.size_sigma = 0.35;
+  cfg.head_overlap = 0.269;
+  cfg.seed = 0x5eedaa01;
+  return cfg;
+}
+
+CorpusConfig CorpusConfig::trec_wt_like(double scale,
+                                        std::size_t vocabulary) {
+  if (scale <= 0.0) throw std::invalid_argument("trec_wt_like: scale <= 0");
+  CorpusConfig cfg;
+  cfg.name = "trec-wt";
+  cfg.num_docs =
+      std::max<std::size_t>(1000, static_cast<std::size_t>(1.69e6 * scale));
+  cfg.vocabulary_size = vocabulary;
+  cfg.mean_terms_per_doc = 64.8;
+  cfg.zipf_skew = 1.05;  // skewer than AP
+  cfg.size_sigma = 0.55;
+  cfg.head_overlap = 0.313;
+  cfg.seed = 0x5eedaa02;
+  return cfg;
+}
+
+CorpusGenerator::CorpusGenerator(CorpusConfig config)
+    : config_(std::move(config)) {
+  if (config_.vocabulary_size == 0) {
+    throw std::invalid_argument("CorpusGenerator: empty vocabulary");
+  }
+  if (config_.head_count > config_.vocabulary_size) {
+    config_.head_count = config_.vocabulary_size;
+  }
+
+  // Build the doc-rank -> term permutation that realizes the head overlap.
+  // Query terms are popularity-ranked by construction, so "top-1000 query
+  // terms" are simply ids [0, head_count). We route `head_overlap` of our
+  // own head ranks there and the rest into the tail id space, then fill the
+  // remaining ranks with the unused ids in shuffled order.
+  const std::size_t n = config_.vocabulary_size;
+  const std::size_t head = config_.head_count;
+  common::SplitMix64 rng(config_.seed ^ 0x9e3779b97f4a7c15ULL);
+
+  // Head ids stay in popularity-rank order with only a local jitter: when a
+  // hot document rank maps into the query head it lands on a comparably hot
+  // query term. This models the real co-occurrence of top terms in both
+  // distributions (the paper's hot terms are hot in p AND q, which is what
+  // creates the IL hot spots its allocation removes); a full shuffle here
+  // would decorrelate the heads and erase the effect while keeping the same
+  // set-overlap statistic.
+  std::vector<std::uint32_t> head_ids(head);
+  std::iota(head_ids.begin(), head_ids.end(), 0u);
+  constexpr std::size_t kJitterWindow = 16;
+  for (std::size_t start = 0; start < head_ids.size();
+       start += kJitterWindow) {
+    const std::size_t len = std::min(kJitterWindow, head_ids.size() - start);
+    for (std::size_t i = len; i > 1; --i) {
+      std::swap(head_ids[start + i - 1],
+                head_ids[start + common::uniform_below(rng, i)]);
+    }
+  }
+  std::vector<std::uint32_t> tail_ids(n - head);
+  std::iota(tail_ids.begin(), tail_ids.end(),
+            static_cast<std::uint32_t>(head));
+  for (std::size_t i = tail_ids.size(); i > 1; --i) {
+    std::swap(tail_ids[i - 1], tail_ids[common::uniform_below(rng, i)]);
+  }
+
+  rank_to_term_.resize(n);
+  const auto head_hits =
+      static_cast<std::size_t>(std::round(config_.head_overlap *
+                                          static_cast<double>(head)));
+  std::size_t next_head = 0, next_tail = 0;
+  // Choose which of our head ranks land in the query head: spread them
+  // evenly so the very top doc terms include query-popular terms (matching
+  // the paper's observation that hot terms co-occur in both distributions).
+  for (std::size_t r = 0; r < head; ++r) {
+    const bool into_query_head =
+        head_hits > 0 &&
+        (r * head_hits) / head != ((r + 1) * head_hits) / head;
+    if (into_query_head && next_head < head_ids.size()) {
+      rank_to_term_[r] = head_ids[next_head++];
+    } else if (next_tail < tail_ids.size()) {
+      rank_to_term_[r] = tail_ids[next_tail++];
+    } else {
+      rank_to_term_[r] = head_ids[next_head++];
+    }
+  }
+  // Remaining ranks take whatever ids are left, heads first (they are still
+  // moderately frequent), then tails.
+  for (std::size_t r = head; r < n; ++r) {
+    if (next_head < head_ids.size()) {
+      rank_to_term_[r] = head_ids[next_head++];
+    } else {
+      rank_to_term_[r] = tail_ids[next_tail++];
+    }
+  }
+}
+
+TermSetTable CorpusGenerator::generate(std::size_t count) const {
+  common::SplitMix64 rng(config_.seed);
+  common::SplitMix64 size_rng = rng.fork();
+  common::SplitMix64 term_rng = rng.fork();
+
+  const common::ZipfSampler zipf(config_.vocabulary_size, config_.zipf_skew);
+
+  // Lognormal document sizes with the configured mean:
+  // E[lognormal(mu, sigma)] = exp(mu + sigma^2/2)  =>  solve for mu.
+  const double sigma = config_.size_sigma;
+  const double mu = std::log(config_.mean_terms_per_doc) - sigma * sigma / 2.0;
+
+  TermSetTable table;
+  table.reserve(count,
+                static_cast<std::uint64_t>(static_cast<double>(count) *
+                                           config_.mean_terms_per_doc));
+
+  std::vector<TermId> terms;
+  std::unordered_set<std::uint32_t> seen;
+  for (std::size_t i = 0; i < count; ++i) {
+    // Box-Muller normal draw for the lognormal size.
+    const double u1 = std::max(common::uniform_unit(size_rng), 1e-12);
+    const double u2 = common::uniform_unit(size_rng);
+    const double z =
+        std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+    auto target = static_cast<std::size_t>(std::llround(
+        std::exp(mu + sigma * z)));
+    target = std::clamp(target, config_.min_terms,
+                        std::min(config_.max_terms,
+                                 config_.vocabulary_size / 2));
+
+    terms.clear();
+    seen.clear();
+    // Rejection-deduplication; the cap bounds the coupon-collector tail on
+    // very large documents drawn from a skewed distribution.
+    std::size_t attempts = 0;
+    const std::size_t max_attempts = target * 12 + 64;
+    while (terms.size() < target && attempts < max_attempts) {
+      ++attempts;
+      const auto rank = zipf(term_rng);
+      const std::uint32_t id = rank_to_term_[rank];
+      if (seen.insert(id).second) terms.push_back(TermId{id});
+    }
+    std::sort(terms.begin(), terms.end());
+    table.add(terms);
+  }
+  return table;
+}
+
+}  // namespace move::workload

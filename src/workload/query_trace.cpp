@@ -1,0 +1,154 @@
+#include "workload/query_trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace move::workload {
+
+namespace {
+
+/// Head-mass of Zipf(n, s) at a given exponent: sum of the first k
+/// probabilities. O(n) per evaluation using precomputed log ranks.
+double head_mass_at(const std::vector<double>& log_ranks, std::size_t k,
+                    double s) {
+  double head = 0.0, total = 0.0;
+  for (std::size_t i = 0; i < log_ranks.size(); ++i) {
+    const double w = std::exp(-s * log_ranks[i]);
+    total += w;
+    if (i < k) head += w;
+  }
+  return head / total;
+}
+
+/// Geometric tail pmf on lengths [4, max_len] with decay rho, scaled to
+/// total mass `tail_mass`. Returns the mean length contribution of the tail.
+double tail_mean(double rho, double tail_mass, std::size_t max_len,
+                 std::vector<double>* out_pmf) {
+  double norm = 0.0;
+  for (std::size_t len = 4; len <= max_len; ++len) {
+    norm += std::pow(rho, static_cast<double>(len - 4));
+  }
+  double mean = 0.0;
+  for (std::size_t len = 4; len <= max_len; ++len) {
+    const double p =
+        tail_mass * std::pow(rho, static_cast<double>(len - 4)) / norm;
+    if (out_pmf) (*out_pmf)[len] = p;
+    mean += p * static_cast<double>(len);
+  }
+  return mean;
+}
+
+}  // namespace
+
+double fit_zipf_head_mass(std::size_t vocabulary, std::size_t head_count,
+                          double head_mass) {
+  if (head_count >= vocabulary) return 1.0;
+  std::vector<double> log_ranks(vocabulary);
+  for (std::size_t i = 0; i < vocabulary; ++i) {
+    log_ranks[i] = std::log(static_cast<double>(i + 1));
+  }
+  double lo = 0.3, hi = 2.5;
+  // head_mass_at is monotonically increasing in s.
+  for (int iter = 0; iter < 40; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (head_mass_at(log_ranks, head_count, mid) < head_mass) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+QueryTraceConfig QueryTraceConfig::msn_like(double scale) {
+  if (scale <= 0.0) throw std::invalid_argument("msn_like: scale must be > 0");
+  QueryTraceConfig cfg;
+  cfg.num_filters =
+      std::max<std::size_t>(1000, static_cast<std::size_t>(4e6 * scale));
+  cfg.vocabulary_size =
+      std::max<std::size_t>(2000, static_cast<std::size_t>(757'996 * scale));
+  cfg.head_count = std::max<std::size_t>(
+      10, static_cast<std::size_t>(1000.0 * std::min(1.0, scale * 10)));
+  return cfg;
+}
+
+QueryTraceGenerator::QueryTraceGenerator(QueryTraceConfig config)
+    : config_(config) {
+  if (config_.vocabulary_size == 0 || config_.num_filters == 0) {
+    throw std::invalid_argument("QueryTraceGenerator: empty config");
+  }
+  skew_ = fit_zipf_head_mass(config_.vocabulary_size, config_.head_count,
+                             config_.head_mass);
+
+  // Length model: the three published CDF points pin P(1..3); the remaining
+  // mass sits on a geometric tail whose decay is bisected so the overall
+  // mean hits the published 2.843 terms/query.
+  const auto& cdf = config_.short_length_cdf;
+  const double p1 = cdf[0];
+  const double p2 = cdf[1] - cdf[0];
+  const double p3 = cdf[2] - cdf[1];
+  const double tail_mass = 1.0 - cdf[2];
+  if (p1 < 0 || p2 < 0 || p3 < 0 || tail_mass < 0) {
+    throw std::invalid_argument("QueryTraceGenerator: CDF not monotone");
+  }
+  length_pmf_.assign(config_.max_terms + 1, 0.0);
+  length_pmf_[1] = p1;
+  length_pmf_[2] = p2;
+  length_pmf_[3] = p3;
+  const double short_mean = p1 + 2 * p2 + 3 * p3;
+  const double needed_tail_mean = config_.mean_terms - short_mean;
+  if (tail_mass > 1e-12) {
+    double lo = 0.05, hi = 0.999;  // tail_mean is increasing in rho
+    for (int iter = 0; iter < 60; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      if (tail_mean(mid, tail_mass, config_.max_terms, nullptr) <
+          needed_tail_mean) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    tail_mean(0.5 * (lo + hi), tail_mass, config_.max_terms, &length_pmf_);
+  }
+}
+
+TermSetTable QueryTraceGenerator::generate() const {
+  return generate(config_.num_filters);
+}
+
+TermSetTable QueryTraceGenerator::generate(std::size_t count) const {
+  common::SplitMix64 rng(config_.seed);
+  common::SplitMix64 length_rng = rng.fork();
+  common::SplitMix64 term_rng = rng.fork();
+
+  const common::ZipfSampler zipf(config_.vocabulary_size, skew_);
+  const common::AliasSampler lengths(length_pmf_);
+
+  TermSetTable table;
+  table.reserve(count, static_cast<std::uint64_t>(
+                           static_cast<double>(count) * config_.mean_terms));
+
+  std::vector<TermId> terms;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::size_t len = lengths(length_rng);
+    if (len == 0) len = 1;  // index 0 of the pmf is unused padding
+    terms.clear();
+    // Rejection-deduplicate: queries are tiny relative to the vocabulary,
+    // so a handful of extra draws suffices.
+    std::size_t attempts = 0;
+    while (terms.size() < len && attempts < len * 20 + 20) {
+      ++attempts;
+      const TermId t{static_cast<std::uint32_t>(zipf(term_rng))};
+      if (std::find(terms.begin(), terms.end(), t) == terms.end()) {
+        terms.push_back(t);
+      }
+    }
+    std::sort(terms.begin(), terms.end());
+    table.add(terms);
+  }
+  return table;
+}
+
+}  // namespace move::workload

@@ -1,0 +1,22 @@
+#include "workload/term_set_table.hpp"
+
+#include <stdexcept>
+
+namespace move::workload {
+
+void TermSetTable::add(std::span<const TermId> terms) {
+  flat_.insert(flat_.end(), terms.begin(), terms.end());
+  offsets_.push_back(flat_.size());
+}
+
+std::span<const TermId> TermSetTable::row(std::size_t i) const {
+  if (i >= size()) throw std::out_of_range("TermSetTable::row");
+  return {flat_.data() + offsets_[i], offsets_[i + 1] - offsets_[i]};
+}
+
+void TermSetTable::reserve(std::size_t rows, std::uint64_t terms) {
+  offsets_.reserve(rows + 1);
+  flat_.reserve(terms);
+}
+
+}  // namespace move::workload

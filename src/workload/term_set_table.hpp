@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+/// Flat row-oriented storage for many small term sets.
+///
+/// Both workload artifacts — the filter trace (millions of 2-3 term queries)
+/// and the document corpus (tens to thousands of terms per document) — are
+/// lists of term sets. Storing them as one flat TermId array plus offsets
+/// avoids millions of small vector allocations and keeps scans sequential.
+namespace move::workload {
+
+class TermSetTable {
+ public:
+  TermSetTable() = default;
+
+  /// Appends a row. Rows are stored as given; generators append sorted,
+  /// deduplicated sets.
+  void add(std::span<const TermId> terms);
+
+  [[nodiscard]] std::span<const TermId> row(std::size_t i) const;
+  [[nodiscard]] std::size_t size() const noexcept {
+    return offsets_.size() - 1;
+  }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+  [[nodiscard]] std::uint64_t total_terms() const noexcept {
+    return flat_.size();
+  }
+  [[nodiscard]] double mean_row_size() const noexcept {
+    return empty() ? 0.0
+                   : static_cast<double>(total_terms()) /
+                         static_cast<double>(size());
+  }
+
+  void reserve(std::size_t rows, std::uint64_t terms);
+
+ private:
+  std::vector<std::uint64_t> offsets_{0};
+  std::vector<TermId> flat_;
+};
+
+}  // namespace move::workload

@@ -1,0 +1,100 @@
+#include "workload/trace_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace move::workload {
+
+namespace {
+
+constexpr char kMagic[4] = {'M', 'V', 'T', 'S'};
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) throw std::runtime_error("trace_io: truncated input");
+  return value;
+}
+
+}  // namespace
+
+void save_table(const TermSetTable& table, std::ostream& out) {
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, kVersion);
+  write_pod(out, static_cast<std::uint64_t>(table.size()));
+  write_pod(out, table.total_terms());
+  // Offsets reconstructed from row sizes: rows are contiguous by design.
+  std::uint64_t offset = 0;
+  write_pod(out, offset);
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    offset += table.row(i).size();
+    write_pod(out, offset);
+  }
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    const auto row = table.row(i);
+    out.write(reinterpret_cast<const char*>(row.data()),
+              static_cast<std::streamsize>(row.size() * sizeof(TermId)));
+  }
+  if (!out) throw std::runtime_error("trace_io: write failed");
+}
+
+TermSetTable load_table(std::istream& in) {
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("trace_io: bad magic");
+  }
+  const auto version = read_pod<std::uint32_t>(in);
+  if (version != kVersion) {
+    throw std::runtime_error("trace_io: unsupported version");
+  }
+  const auto rows = read_pod<std::uint64_t>(in);
+  const auto total_terms = read_pod<std::uint64_t>(in);
+
+  std::vector<std::uint64_t> offsets(rows + 1);
+  for (auto& o : offsets) o = read_pod<std::uint64_t>(in);
+  if (offsets.front() != 0 || offsets.back() != total_terms) {
+    throw std::runtime_error("trace_io: inconsistent offsets");
+  }
+  for (std::size_t i = 1; i < offsets.size(); ++i) {
+    if (offsets[i] < offsets[i - 1]) {
+      throw std::runtime_error("trace_io: non-monotone offsets");
+    }
+  }
+
+  TermSetTable table;
+  table.reserve(rows, total_terms);
+  std::vector<TermId> row;
+  for (std::uint64_t i = 0; i < rows; ++i) {
+    const auto len = offsets[i + 1] - offsets[i];
+    row.resize(len);
+    in.read(reinterpret_cast<char*>(row.data()),
+            static_cast<std::streamsize>(len * sizeof(TermId)));
+    if (!in) throw std::runtime_error("trace_io: truncated rows");
+    table.add(row);
+  }
+  return table;
+}
+
+void save_table_file(const TermSetTable& table, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("trace_io: cannot open " + path);
+  save_table(table, out);
+}
+
+TermSetTable load_table_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("trace_io: cannot open " + path);
+  return load_table(in);
+}
+
+}  // namespace move::workload

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/term_set_table.hpp"
+
+/// Binary serialization of term-set tables (filter traces and corpora).
+///
+/// Generating a paper-scale trace takes minutes; serializing it lets bench
+/// runs share exact inputs across machines and records the precise workload
+/// behind every number in EXPERIMENTS.md. Format (little-endian):
+///
+///   magic   "MVTS"            4 bytes
+///   version u32               currently 1
+///   rows    u64
+///   terms   u64               total term count
+///   offsets u64[rows + 1]
+///   termid  u32[terms]
+///
+/// Self-describing and versioned; loads validate structure (monotone
+/// offsets, matching totals) and fail with std::runtime_error on corruption.
+namespace move::workload {
+
+/// Writes `table` to a binary stream. Throws std::runtime_error on I/O
+/// failure.
+void save_table(const TermSetTable& table, std::ostream& out);
+
+/// Reads a table back. Throws std::runtime_error on malformed input.
+[[nodiscard]] TermSetTable load_table(std::istream& in);
+
+/// Convenience file wrappers.
+void save_table_file(const TermSetTable& table, const std::string& path);
+[[nodiscard]] TermSetTable load_table_file(const std::string& path);
+
+}  // namespace move::workload

@@ -1,0 +1,98 @@
+#include "workload/trace_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.hpp"
+
+namespace move::workload {
+
+std::vector<double> TraceStats::ranked() const {
+  std::vector<double> sorted;
+  sorted.reserve(share.size());
+  for (double s : share) {
+    if (s > 0.0) sorted.push_back(s);
+  }
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  return sorted;
+}
+
+double TraceStats::head_mass(std::size_t k) const {
+  const auto r = ranked();
+  double total = 0.0, head = 0.0;
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    total += r[i];
+    if (i < k) head += r[i];
+  }
+  return total > 0.0 ? head / total : 0.0;
+}
+
+std::vector<TermId> TraceStats::top_terms(std::size_t k) const {
+  const auto idx = common::top_k_indices(share, k);
+  std::vector<TermId> out;
+  out.reserve(idx.size());
+  for (std::size_t i : idx) {
+    if (share[i] <= 0.0) break;  // ran out of non-zero terms
+    out.push_back(TermId{static_cast<std::uint32_t>(i)});
+  }
+  return out;
+}
+
+double TraceStats::entropy(std::size_t limit) const {
+  auto r = ranked();
+  if (limit > 0 && r.size() > limit) r.resize(limit);
+  return common::shannon_entropy(r);
+}
+
+std::size_t TraceStats::distinct_terms() const {
+  std::size_t n = 0;
+  for (double s : share) {
+    if (s > 0.0) ++n;
+  }
+  return n;
+}
+
+TraceStats compute_stats(const TermSetTable& table, std::size_t universe) {
+  TraceStats stats;
+  stats.rows = table.size();
+  stats.count.assign(universe, 0);
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    for (TermId t : table.row(i)) {
+      if (t.value < universe) ++stats.count[t.value];
+    }
+  }
+  stats.share.assign(universe, 0.0);
+  if (stats.rows > 0) {
+    for (std::size_t t = 0; t < universe; ++t) {
+      stats.share[t] = static_cast<double>(stats.count[t]) /
+                       static_cast<double>(stats.rows);
+    }
+  }
+  return stats;
+}
+
+double top_k_overlap(const TraceStats& a, const TraceStats& b,
+                     std::size_t k) {
+  const auto ta = a.top_terms(k);
+  const auto tb = b.top_terms(k);
+  if (ta.empty()) return 0.0;
+  std::vector<std::size_t> ia, ib;
+  ia.reserve(ta.size());
+  ib.reserve(tb.size());
+  for (TermId t : ta) ia.push_back(t.value);
+  for (TermId t : tb) ib.push_back(t.value);
+  return common::overlap_fraction(ia, ib);
+}
+
+std::vector<std::uint64_t> row_size_histogram(const TermSetTable& table) {
+  std::vector<std::uint64_t> hist;
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    const std::size_t len = table.row(i).size();
+    if (len >= hist.size()) hist.resize(len + 1, 0);
+    ++hist[len];
+  }
+  if (hist.empty()) hist.resize(1, 0);
+  return hist;
+}
+
+}  // namespace move::workload

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "workload/term_set_table.hpp"
+
+/// Trace statistics — the quantities §VI-A derives from its datasets.
+///
+/// For a filter trace this yields the term *popularity* p_i (fraction of
+/// filters containing term i, Fig. 4); for a corpus it yields the term
+/// *frequency* q_i (fraction of documents containing term i, Fig. 5). The
+/// same p_i/q_i vectors drive the MOVE optimizer's proactive allocation.
+namespace move::workload {
+
+struct TraceStats {
+  /// share[t] = fraction of rows containing TermId t (p_i or q_i).
+  std::vector<double> share;
+  /// count[t] = absolute number of rows containing TermId t.
+  std::vector<std::uint64_t> count;
+  std::size_t rows = 0;
+
+  /// Ranked shares, descending (the y-values of Fig. 4 / Fig. 5).
+  [[nodiscard]] std::vector<double> ranked() const;
+
+  /// Sum of the top-k ranked shares (e.g. the paper's "top-1000 terms
+  /// accumulate 0.437").
+  [[nodiscard]] double head_mass(std::size_t k) const;
+
+  /// TermIds of the k most frequent/popular terms, descending.
+  [[nodiscard]] std::vector<TermId> top_terms(std::size_t k) const;
+
+  /// Shannon entropy (bits) of the occurrence distribution over the top
+  /// `limit` ranked terms (the paper computes its Fig. 5 entropies over the
+  /// plotted top-1e5 ranks); pass 0 for all terms.
+  [[nodiscard]] double entropy(std::size_t limit = 0) const;
+
+  /// Number of terms with non-zero share.
+  [[nodiscard]] std::size_t distinct_terms() const;
+};
+
+/// Scans a table and computes per-term occurrence statistics.
+/// @param universe size of the TermId space (stats are indexed by TermId).
+[[nodiscard]] TraceStats compute_stats(const TermSetTable& table,
+                                       std::size_t universe);
+
+/// Fraction of `a`'s top-k terms that are also among `b`'s top-k terms —
+/// the paper's popular-query-term vs frequent-document-term overlap
+/// (26.9 % AP / 31.3 % WT).
+[[nodiscard]] double top_k_overlap(const TraceStats& a, const TraceStats& b,
+                                   std::size_t k);
+
+/// Histogram of row sizes (index = size); entry 0 counts empty rows.
+[[nodiscard]] std::vector<std::uint64_t> row_size_histogram(
+    const TermSetTable& table);
+
+}  // namespace move::workload

@@ -1,0 +1,86 @@
+#include "bloom/bloom_filter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace move::bloom {
+namespace {
+
+TEST(BloomFilter, RejectsDegenerateGeometry) {
+  EXPECT_THROW(BloomFilter(0, 3u), std::invalid_argument);
+  EXPECT_THROW(BloomFilter(64, 0u), std::invalid_argument);
+}
+
+TEST(BloomFilter, NoFalseNegatives) {
+  BloomFilter bf(1000, 0.01);
+  for (std::uint32_t i = 0; i < 1000; ++i) bf.insert(TermId{i * 7});
+  for (std::uint32_t i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(bf.may_contain(TermId{i * 7})) << i;
+  }
+}
+
+TEST(BloomFilter, FalsePositiveRateNearTarget) {
+  constexpr std::size_t kItems = 10'000;
+  constexpr double kTarget = 0.01;
+  BloomFilter bf(kItems, kTarget);
+  for (std::uint32_t i = 0; i < kItems; ++i) bf.insert(TermId{i});
+  std::size_t fps = 0;
+  constexpr std::size_t kProbes = 50'000;
+  for (std::uint32_t i = 0; i < kProbes; ++i) {
+    fps += bf.may_contain(TermId{static_cast<std::uint32_t>(kItems) + i});
+  }
+  const double fpr = static_cast<double>(fps) / kProbes;
+  EXPECT_LT(fpr, kTarget * 3);   // generous upper bound
+  EXPECT_GT(fpr, kTarget / 50);  // and it is not trivially zero-sized
+}
+
+TEST(BloomFilter, ExpectedFprTracksLoad) {
+  BloomFilter bf(1000, 0.01);
+  EXPECT_EQ(bf.expected_fpr(), 0.0);
+  for (std::uint32_t i = 0; i < 1000; ++i) bf.insert(TermId{i});
+  EXPECT_NEAR(bf.expected_fpr(), 0.01, 0.01);
+  for (std::uint32_t i = 1000; i < 5000; ++i) bf.insert(TermId{i});
+  EXPECT_GT(bf.expected_fpr(), 0.05);  // overloaded filter degrades
+}
+
+TEST(BloomFilter, FillRatioNearHalfAtDesignLoad) {
+  BloomFilter bf(5000, 0.01);
+  for (std::uint32_t i = 0; i < 5000; ++i) bf.insert(TermId{i});
+  EXPECT_NEAR(bf.fill_ratio(), 0.5, 0.05);
+}
+
+TEST(BloomFilter, ClearResets) {
+  BloomFilter bf(100, 0.01);
+  bf.insert(TermId{1});
+  ASSERT_TRUE(bf.may_contain(TermId{1}));
+  bf.clear();
+  EXPECT_FALSE(bf.may_contain(TermId{1}));
+  EXPECT_EQ(bf.insertion_count(), 0u);
+  EXPECT_EQ(bf.fill_ratio(), 0.0);
+}
+
+TEST(BloomFilter, EmptyFilterContainsNothing) {
+  BloomFilter bf(1000, 0.01);
+  common::SplitMix64 rng(61);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(bf.may_contain(
+        TermId{static_cast<std::uint32_t>(common::uniform_below(rng, 1u << 30))}));
+  }
+}
+
+TEST(BloomFilter, GeometryScalesWithTargets) {
+  const BloomFilter loose(1000, 0.1);
+  const BloomFilter tight(1000, 0.001);
+  EXPECT_GT(tight.bit_count(), loose.bit_count());
+  EXPECT_GT(tight.hash_count(), loose.hash_count());
+}
+
+TEST(BloomFilter, TinyExpectedItemsStillValid) {
+  BloomFilter bf(std::size_t{0}, 0.01);  // clamped internally
+  bf.insert(TermId{3});
+  EXPECT_TRUE(bf.may_contain(TermId{3}));
+}
+
+}  // namespace
+}  // namespace move::bloom

@@ -1,0 +1,135 @@
+#include "cluster/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+namespace move::cluster {
+namespace {
+
+std::vector<TermId> ids(std::initializer_list<std::uint32_t> xs) {
+  std::vector<TermId> out;
+  for (auto x : xs) out.push_back(TermId{x});
+  return out;
+}
+
+TEST(StorageNode, RegisterIsIdempotentPerTerm) {
+  StorageNode node(NodeId{0});
+  const auto terms = ids({1, 2});
+  const auto one = ids({1});
+  node.register_copy(FilterId{9}, terms, one);
+  node.register_copy(FilterId{9}, terms, one);
+  EXPECT_EQ(node.stored_count(), 1u);
+  EXPECT_EQ(node.index().postings(TermId{1}).size(), 1u);
+}
+
+TEST(StorageNode, SecondTermAddsIndexNotStorage) {
+  StorageNode node(NodeId{0});
+  const auto terms = ids({1, 2});
+  node.register_copy(FilterId{9}, terms, ids({1}));
+  node.register_copy(FilterId{9}, terms, ids({2}));
+  EXPECT_EQ(node.stored_count(), 1u);
+  EXPECT_EQ(node.index().total_postings(), 2u);
+}
+
+TEST(StorageNode, MatchTranslatesToGlobalIds) {
+  StorageNode node(NodeId{0});
+  node.register_copy(FilterId{42}, ids({7}), ids({7}));
+  std::vector<FilterId> out;
+  node.match_single(TermId{7}, ids({7, 9}), index::MatchOptions{}, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], FilterId{42});
+}
+
+TEST(StorageNode, MatchFullAcrossFilters) {
+  StorageNode node(NodeId{0});
+  node.register_copy(FilterId{10}, ids({1, 2}), ids({1, 2}));
+  node.register_copy(FilterId{20}, ids({3}), ids({3}));
+  std::vector<FilterId> out;
+  node.match_full(ids({2, 3}), index::MatchOptions{}, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], FilterId{10});
+  EXPECT_EQ(out[1], FilterId{20});
+}
+
+TEST(StorageNode, StoredFiltersSortedGlobal) {
+  StorageNode node(NodeId{0});
+  node.register_copy(FilterId{5}, ids({1}), ids({1}));
+  node.register_copy(FilterId{2}, ids({1}), ids({1}));
+  const auto stored = node.stored_filters();
+  ASSERT_EQ(stored.size(), 2u);
+  EXPECT_EQ(stored[0], FilterId{2});
+  EXPECT_EQ(stored[1], FilterId{5});
+}
+
+TEST(StorageNode, MetaRecordsRegistrations) {
+  StorageNode node(NodeId{0});
+  node.register_copy(FilterId{1}, ids({4}), ids({4}));
+  node.register_copy(FilterId{2}, ids({4}), ids({4}));
+  EXPECT_EQ(node.meta().filters_for(TermId{4}), 2u);
+  EXPECT_EQ(node.meta().total_filters(), 2u);
+}
+
+TEST(MetaStore, DocumentCounters) {
+  MetaStore meta;
+  meta.record_document(TermId{1});
+  meta.record_document(TermId{1});
+  meta.record_document(TermId{2});
+  EXPECT_EQ(meta.docs_for(TermId{1}), 2u);
+  EXPECT_EQ(meta.total_docs(), 3u);
+  meta.reset_document_counters();
+  EXPECT_EQ(meta.docs_for(TermId{1}), 0u);
+  EXPECT_EQ(meta.total_docs(), 0u);
+}
+
+TEST(MetaStore, MissingTermIsZero) {
+  MetaStore meta;
+  EXPECT_EQ(meta.filters_for(TermId{9}), 0u);
+  EXPECT_EQ(meta.docs_for(TermId{9}), 0u);
+}
+
+TEST(Cluster, ConstructionWiresRingAndRacks) {
+  Cluster c(ClusterConfig{.num_nodes = 12, .num_racks = 3});
+  EXPECT_EQ(c.size(), 12u);
+  EXPECT_EQ(c.ring().node_count(), 12u);
+  EXPECT_EQ(c.topology().rack_count(), 3u);
+  EXPECT_EQ(c.live_count(), 12u);
+}
+
+TEST(Cluster, RejectsEmpty) {
+  EXPECT_THROW(Cluster(ClusterConfig{.num_nodes = 0}), std::invalid_argument);
+}
+
+TEST(Cluster, FailAndRevive) {
+  Cluster c(ClusterConfig{.num_nodes = 10});
+  c.fail_node(NodeId{3});
+  EXPECT_FALSE(c.alive(NodeId{3}));
+  EXPECT_EQ(c.live_count(), 9u);
+  EXPECT_EQ(c.live_nodes().size(), 9u);
+  c.revive_all();
+  EXPECT_EQ(c.live_count(), 10u);
+}
+
+TEST(Cluster, FailFractionExactCount) {
+  Cluster c(ClusterConfig{.num_nodes = 20});
+  common::SplitMix64 rng(97);
+  c.fail_fraction(0.3, rng);
+  EXPECT_EQ(c.live_count(), 14u);
+}
+
+TEST(Cluster, FailFractionZeroIsNoop) {
+  Cluster c(ClusterConfig{.num_nodes = 20});
+  common::SplitMix64 rng(101);
+  c.fail_fraction(0.0, rng);
+  EXPECT_EQ(c.live_count(), 20u);
+}
+
+TEST(Cluster, ResetServersClearsAccounting) {
+  Cluster c(ClusterConfig{.num_nodes = 2});
+  c.engine().schedule_at(0, [&] { c.server(NodeId{0}).submit(10, nullptr); });
+  c.engine().run();
+  ASSERT_GT(c.server(NodeId{0}).busy_us(), 0.0);
+  c.reset_servers();
+  EXPECT_EQ(c.server(NodeId{0}).busy_us(), 0.0);
+}
+
+}  // namespace
+}  // namespace move::cluster

@@ -1,0 +1,81 @@
+#include "common/flags.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace move::common {
+namespace {
+
+Flags parse(std::initializer_list<const char*> args) {
+  std::vector<char*> argv;
+  for (const char* a : args) argv.push_back(const_cast<char*>(a));
+  return Flags::parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, EqualsForm) {
+  const auto f = parse({"prog", "--nodes=20", "--scheme=move"});
+  EXPECT_EQ(f.get_int("nodes", 0), 20);
+  EXPECT_EQ(f.get("scheme"), "move");
+  EXPECT_EQ(f.program(), "prog");
+}
+
+TEST(Flags, SpaceForm) {
+  const auto f = parse({"prog", "--nodes", "42"});
+  EXPECT_EQ(f.get_int("nodes", 0), 42);
+}
+
+TEST(Flags, BareFlagIsBooleanTrue) {
+  const auto f = parse({"prog", "--csv"});
+  EXPECT_TRUE(f.has("csv"));
+  EXPECT_TRUE(f.get_bool("csv", false));
+}
+
+TEST(Flags, BareFlagBeforeAnotherFlag) {
+  const auto f = parse({"prog", "--csv", "--nodes=3"});
+  EXPECT_TRUE(f.get_bool("csv", false));
+  EXPECT_EQ(f.get_int("nodes", 0), 3);
+}
+
+TEST(Flags, MissingFlagUsesFallback) {
+  const auto f = parse({"prog"});
+  EXPECT_EQ(f.get("scheme", "move"), "move");
+  EXPECT_EQ(f.get_int("nodes", 7), 7);
+  EXPECT_DOUBLE_EQ(f.get_double("theta", 0.5), 0.5);
+  EXPECT_FALSE(f.has("anything"));
+}
+
+TEST(Flags, MalformedNumberFallsBack) {
+  const auto f = parse({"prog", "--nodes=abc"});
+  EXPECT_EQ(f.get_int("nodes", 9), 9);
+}
+
+TEST(Flags, DoubleParsing) {
+  const auto f = parse({"prog", "--fail=0.3"});
+  EXPECT_DOUBLE_EQ(f.get_double("fail", 0), 0.3);
+}
+
+TEST(Flags, BoolSpellings) {
+  const auto f = parse({"prog", "--a=true", "--b=0", "--c=yes", "--d=off",
+                        "--e=weird"});
+  EXPECT_TRUE(f.get_bool("a", false));
+  EXPECT_FALSE(f.get_bool("b", true));
+  EXPECT_TRUE(f.get_bool("c", false));
+  EXPECT_FALSE(f.get_bool("d", true));
+  EXPECT_TRUE(f.get_bool("e", true));  // unparseable -> fallback
+}
+
+TEST(Flags, PositionalsCollected) {
+  const auto f = parse({"prog", "input.txt", "--n=1", "output.txt"});
+  ASSERT_EQ(f.positionals().size(), 2u);
+  EXPECT_EQ(f.positionals()[0], "input.txt");
+  EXPECT_EQ(f.positionals()[1], "output.txt");
+}
+
+TEST(Flags, LastValueWins) {
+  const auto f = parse({"prog", "--n=1", "--n=2"});
+  EXPECT_EQ(f.get_int("n", 0), 2);
+}
+
+}  // namespace
+}  // namespace move::common

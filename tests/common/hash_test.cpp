@@ -1,0 +1,58 @@
+#include "common/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace move::common {
+namespace {
+
+TEST(Fnv1a64, MatchesKnownVectors) {
+  // Published FNV-1a 64-bit reference values.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Fnv1a64, IntegerOverloadIsDeterministic) {
+  EXPECT_EQ(fnv1a64(std::uint64_t{42}), fnv1a64(std::uint64_t{42}));
+  EXPECT_NE(fnv1a64(std::uint64_t{42}), fnv1a64(std::uint64_t{43}));
+}
+
+TEST(Fnv1a64, IntegerOverloadHashesAllBytes) {
+  // Keys differing only in the top byte must differ.
+  EXPECT_NE(fnv1a64(std::uint64_t{1}), fnv1a64(1ULL << 56));
+}
+
+TEST(Mix64, IsBijectiveOnSamples) {
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t i = 0; i < 10'000; ++i) {
+    outputs.insert(mix64(i));
+  }
+  EXPECT_EQ(outputs.size(), 10'000u);
+}
+
+TEST(Mix64, ZeroDoesNotMapToZero) { EXPECT_NE(mix64(0), 0u); }
+
+TEST(HashCombine, OrderMatters) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+TEST(HashCombine, SeedChangesResult) {
+  EXPECT_NE(hash_combine(1, 7), hash_combine(2, 7));
+}
+
+TEST(DoubleHash, StrideIsForcedOdd) {
+  // h2 even would cycle through only half the slots of a power-of-two table;
+  // the implementation ors in 1.
+  const std::uint64_t a = double_hash(10, 4, 1);
+  EXPECT_EQ(a, 10 + (4 | 1));
+}
+
+TEST(DoubleHash, IndexZeroIsBaseHash) {
+  EXPECT_EQ(double_hash(123, 456, 0), 123u);
+}
+
+}  // namespace
+}  // namespace move::common

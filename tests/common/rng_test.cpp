@@ -1,0 +1,97 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace move::common {
+namespace {
+
+TEST(SplitMix64, SameSeedSameStream) {
+  SplitMix64 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(7), b(8);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a() == b());
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(SplitMix64, ForkIsIndependentOfParentDraws) {
+  SplitMix64 a(7);
+  SplitMix64 fork1 = a.fork();
+  // Re-derive: a fresh generator with the same seed forks identically.
+  SplitMix64 b(7);
+  SplitMix64 fork2 = b.fork();
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(fork1(), fork2());
+}
+
+TEST(UniformBelow, RespectsBound) {
+  SplitMix64 rng(1);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(uniform_below(rng, 7), 7u);
+  }
+}
+
+TEST(UniformBelow, BoundOneAlwaysZero) {
+  SplitMix64 rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(uniform_below(rng, 1), 0u);
+}
+
+TEST(UniformBelow, CoversAllResidues) {
+  SplitMix64 rng(3);
+  std::vector<int> seen(10, 0);
+  for (int i = 0; i < 10'000; ++i) ++seen[uniform_below(rng, 10)];
+  for (int count : seen) EXPECT_GT(count, 0);
+}
+
+TEST(UniformBelow, ApproximatelyUniform) {
+  SplitMix64 rng(5);
+  constexpr int kBuckets = 8;
+  constexpr int kDraws = 80'000;
+  std::vector<int> seen(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++seen[uniform_below(rng, kBuckets)];
+  for (int count : seen) {
+    EXPECT_NEAR(count, kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(UniformUnit, InHalfOpenInterval) {
+  SplitMix64 rng(11);
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = uniform_unit(rng);
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(UniformUnit, MeanNearHalf) {
+  SplitMix64 rng(13);
+  double sum = 0;
+  constexpr int kDraws = 100'000;
+  for (int i = 0; i < kDraws; ++i) sum += uniform_unit(rng);
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+TEST(Bernoulli, DegenerateProbabilities) {
+  SplitMix64 rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(bernoulli(rng, 0.0));
+    EXPECT_TRUE(bernoulli(rng, 1.0));
+    EXPECT_FALSE(bernoulli(rng, -1.0));
+    EXPECT_TRUE(bernoulli(rng, 2.0));
+  }
+}
+
+TEST(Bernoulli, FrequencyTracksProbability) {
+  SplitMix64 rng(19);
+  int hits = 0;
+  constexpr int kDraws = 100'000;
+  for (int i = 0; i < kDraws; ++i) hits += bernoulli(rng, 0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+}  // namespace
+}  // namespace move::common

@@ -1,0 +1,138 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace move::common {
+namespace {
+
+TEST(Mean, EmptyIsZero) { EXPECT_EQ(mean({}), 0.0); }
+
+TEST(Mean, Basic) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Stddev, FewerThanTwoIsZero) {
+  const std::vector<double> one{5.0};
+  EXPECT_EQ(stddev({}), 0.0);
+  EXPECT_EQ(stddev(one), 0.0);
+}
+
+TEST(Stddev, KnownValue) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(stddev(xs), 2.138, 0.001);  // sample stddev
+}
+
+TEST(Percentile, EmptyIsZero) { EXPECT_EQ(percentile({}, 50), 0.0); }
+
+TEST(Percentile, MedianAndExtremes) {
+  const std::vector<double> xs{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 5.0);
+}
+
+TEST(Percentile, Interpolates) {
+  const std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 25), 2.5);
+}
+
+TEST(Percentile, ClampsOutOfRangeP) {
+  const std::vector<double> xs{1.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, -5), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 150), 2.0);
+}
+
+TEST(ShannonEntropy, UniformIsLogN) {
+  const std::vector<double> w{1.0, 1.0, 1.0, 1.0};
+  EXPECT_NEAR(shannon_entropy(w), 2.0, 1e-12);
+}
+
+TEST(ShannonEntropy, DegenerateIsZero) {
+  const std::vector<double> w{1.0, 0.0, 0.0};
+  EXPECT_EQ(shannon_entropy(w), 0.0);
+  EXPECT_EQ(shannon_entropy({}), 0.0);
+}
+
+TEST(ShannonEntropy, SkewLowersEntropy) {
+  const std::vector<double> uniform{1.0, 1.0, 1.0, 1.0};
+  const std::vector<double> skewed{100.0, 1.0, 1.0, 1.0};
+  EXPECT_LT(shannon_entropy(skewed), shannon_entropy(uniform));
+}
+
+TEST(ShannonEntropy, ScaleInvariant) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const std::vector<double> b{10.0, 20.0, 30.0};
+  EXPECT_NEAR(shannon_entropy(a), shannon_entropy(b), 1e-12);
+}
+
+TEST(Gini, PerfectlyBalancedIsZero) {
+  const std::vector<double> xs{3.0, 3.0, 3.0, 3.0};
+  EXPECT_NEAR(gini(xs), 0.0, 1e-12);
+}
+
+TEST(Gini, ConcentrationApproachesOne) {
+  std::vector<double> xs(100, 0.0);
+  xs[0] = 1000.0;
+  EXPECT_GT(gini(xs), 0.95);
+}
+
+TEST(Gini, MoreSkewMoreGini) {
+  const std::vector<double> mild{4.0, 5.0, 6.0};
+  const std::vector<double> wild{1.0, 5.0, 20.0};
+  EXPECT_GT(gini(wild), gini(mild));
+}
+
+TEST(Normalize, SumsToOne) {
+  const std::vector<double> xs{2.0, 3.0, 5.0};
+  const auto out = normalize(xs);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out[0] + out[1] + out[2], 1.0);
+  EXPECT_DOUBLE_EQ(out[2], 0.5);
+}
+
+TEST(Normalize, ZeroSumIsEmpty) {
+  const std::vector<double> xs{0.0, 0.0};
+  EXPECT_TRUE(normalize(xs).empty());
+}
+
+TEST(TopKIndices, ReturnsDescendingByValue) {
+  const std::vector<double> xs{0.1, 0.9, 0.5, 0.7};
+  const auto idx = top_k_indices(xs, 3);
+  ASSERT_EQ(idx.size(), 3u);
+  EXPECT_EQ(idx[0], 1u);
+  EXPECT_EQ(idx[1], 3u);
+  EXPECT_EQ(idx[2], 2u);
+}
+
+TEST(TopKIndices, KLargerThanInput) {
+  const std::vector<double> xs{1.0, 2.0};
+  EXPECT_EQ(top_k_indices(xs, 10).size(), 2u);
+}
+
+TEST(OverlapFraction, Basic) {
+  const std::vector<std::size_t> a{1, 2, 3, 4};
+  const std::vector<std::size_t> b{3, 4, 5, 6};
+  EXPECT_DOUBLE_EQ(overlap_fraction(a, b), 0.5);
+}
+
+TEST(OverlapFraction, EmptyAIsZero) {
+  const std::vector<std::size_t> b{1};
+  EXPECT_EQ(overlap_fraction({}, b), 0.0);
+}
+
+TEST(PeakToMean, BalancedIsOne) {
+  const std::vector<double> xs{2.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(peak_to_mean(xs), 1.0);
+}
+
+TEST(PeakToMean, HotspotDetected) {
+  const std::vector<double> xs{1.0, 1.0, 10.0};
+  EXPECT_NEAR(peak_to_mean(xs), 2.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace move::common

@@ -1,0 +1,89 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+
+namespace move::common {
+namespace {
+
+TEST(ThreadPool, ZeroThreadsPicksHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  constexpr int kTasks = 500;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), kTasks);
+  EXPECT_EQ(pool.tasks_completed(), static_cast<std::uint64_t>(kTasks));
+}
+
+TEST(ThreadPool, WaitIdleOnFreshPoolReturns) {
+  ThreadPool pool(2);
+  pool.wait_idle();  // must not hang
+  EXPECT_EQ(pool.tasks_completed(), 0u);
+}
+
+TEST(ThreadPool, TasksRunOnMultipleThreads) {
+  ThreadPool pool(4);
+  std::mutex mutex;
+  std::set<std::thread::id> seen;
+  // Tasks long enough that one worker cannot drain the queue alone.
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      std::lock_guard lock(mutex);
+      seen.insert(std::this_thread::get_id());
+    });
+  }
+  pool.wait_idle();
+  EXPECT_GE(seen.size(), 2u);
+}
+
+TEST(ThreadPool, DestructorDrainsQueuedWork) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+    // No wait_idle: the destructor must finish the queue before joining.
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, TasksCanSubmitMoreTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  pool.submit([&] {
+    counter.fetch_add(1);
+    for (int i = 0; i < 10; ++i) {
+      pool.submit([&counter] { counter.fetch_add(1); });
+    }
+  });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 11);
+}
+
+TEST(ThreadPool, HeavyContention) {
+  ThreadPool pool(8);
+  std::atomic<std::uint64_t> sum{0};
+  constexpr int kTasks = 2'000;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.submit([&sum, i] { sum.fetch_add(static_cast<std::uint64_t>(i)); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(sum.load(),
+            static_cast<std::uint64_t>(kTasks) * (kTasks - 1) / 2);
+}
+
+}  // namespace
+}  // namespace move::common

@@ -1,0 +1,131 @@
+#include "common/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace move::common {
+namespace {
+
+TEST(ZipfSampler, RejectsInvalidArguments) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(10, -0.1), std::invalid_argument);
+}
+
+TEST(ZipfSampler, PmfSumsToOne) {
+  const ZipfSampler zipf(1000, 1.1);
+  double sum = 0;
+  for (std::uint64_t k = 0; k < 1000; ++k) sum += zipf.pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfSampler, PmfIsMonotoneDecreasing) {
+  const ZipfSampler zipf(100, 0.9);
+  for (std::uint64_t k = 1; k < 100; ++k) {
+    EXPECT_GT(zipf.pmf(k - 1), zipf.pmf(k));
+  }
+}
+
+TEST(ZipfSampler, PmfOutOfRangeIsZero) {
+  const ZipfSampler zipf(10, 1.0);
+  EXPECT_EQ(zipf.pmf(10), 0.0);
+  EXPECT_EQ(zipf.pmf(999), 0.0);
+}
+
+TEST(ZipfSampler, SamplesStayInRange) {
+  const ZipfSampler zipf(50, 1.2);
+  SplitMix64 rng(23);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(zipf(rng), 50u);
+  }
+}
+
+TEST(ZipfSampler, EmpiricalMatchesPmf) {
+  constexpr std::uint64_t kN = 200;
+  const ZipfSampler zipf(kN, 1.0);
+  SplitMix64 rng(29);
+  constexpr int kDraws = 200'000;
+  std::vector<int> counts(kN, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf(rng)];
+  // Check the head ranks where counts are large enough for a tight bound.
+  for (std::uint64_t k = 0; k < 10; ++k) {
+    const double expected = zipf.pmf(k) * kDraws;
+    EXPECT_NEAR(counts[k], expected, expected * 0.1 + 30)
+        << "rank " << k;
+  }
+}
+
+TEST(ZipfSampler, SkewZeroIsUniform) {
+  constexpr std::uint64_t kN = 16;
+  const ZipfSampler zipf(kN, 0.0);
+  for (std::uint64_t k = 0; k < kN; ++k) {
+    EXPECT_NEAR(zipf.pmf(k), 1.0 / kN, 1e-12);
+  }
+  SplitMix64 rng(31);
+  std::vector<int> counts(kN, 0);
+  constexpr int kDraws = 64'000;
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf(rng)];
+  for (int c : counts) EXPECT_NEAR(c, kDraws / kN, kDraws / kN * 0.15);
+}
+
+TEST(ZipfSampler, SkewNearOneIsStable) {
+  // s == 1 exercises the log/exp branch of the antiderivative.
+  const ZipfSampler zipf(1000, 1.0);
+  SplitMix64 rng(37);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(zipf(rng), 1000u);
+}
+
+TEST(ZipfSampler, HigherSkewConcentratesHead) {
+  SplitMix64 rng_a(41), rng_b(41);
+  const ZipfSampler flat(1000, 0.6), steep(1000, 1.4);
+  int head_flat = 0, head_steep = 0;
+  for (int i = 0; i < 20'000; ++i) {
+    head_flat += flat(rng_a) < 10;
+    head_steep += steep(rng_b) < 10;
+  }
+  EXPECT_GT(head_steep, head_flat);
+}
+
+TEST(ZipfSampler, SingleElementAlwaysZero) {
+  const ZipfSampler zipf(1, 1.3);
+  SplitMix64 rng(43);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(zipf(rng), 0u);
+}
+
+TEST(AliasSampler, RejectsBadWeights) {
+  EXPECT_THROW(AliasSampler({}), std::invalid_argument);
+  EXPECT_THROW(AliasSampler({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(AliasSampler({1.0, -0.5}), std::invalid_argument);
+}
+
+TEST(AliasSampler, MatchesWeights) {
+  const AliasSampler alias({1.0, 2.0, 3.0, 4.0});
+  SplitMix64 rng(47);
+  constexpr int kDraws = 100'000;
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[alias(rng)];
+  for (int k = 0; k < 4; ++k) {
+    const double expected = (k + 1) / 10.0 * kDraws;
+    EXPECT_NEAR(counts[k], expected, expected * 0.05);
+  }
+}
+
+TEST(AliasSampler, ZeroWeightNeverDrawn) {
+  const AliasSampler alias({0.0, 1.0, 0.0, 1.0});
+  SplitMix64 rng(53);
+  for (int i = 0; i < 10'000; ++i) {
+    const auto k = alias(rng);
+    EXPECT_TRUE(k == 1 || k == 3);
+  }
+}
+
+TEST(AliasSampler, SingleBucket) {
+  const AliasSampler alias({5.0});
+  SplitMix64 rng(59);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(alias(rng), 0u);
+}
+
+}  // namespace
+}  // namespace move::common

@@ -1,0 +1,145 @@
+// Tests for the §V periodic re-allocation controller and the observation
+// windows behind it.
+
+#include "core/adaptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "index/brute_force.hpp"
+#include "workload/corpus.hpp"
+#include "workload/query_trace.hpp"
+#include "workload/trace_stats.hpp"
+
+namespace move::core {
+namespace {
+
+constexpr std::size_t kVocab = 1'500;
+
+struct AdaptiveFixture {
+  AdaptiveFixture() {
+    workload::QueryTraceConfig qcfg;
+    qcfg.num_filters = 3'000;
+    qcfg.vocabulary_size = kVocab;
+    qcfg.head_count = 40;
+    filters = workload::QueryTraceGenerator(qcfg).generate();
+    auto cfg_a = workload::CorpusConfig::trec_wt_like(0.001, kVocab);
+    auto cfg_b = cfg_a;
+    cfg_b.seed ^= 0xd21f7;
+    docs_a = workload::CorpusGenerator(cfg_a).generate(120);
+    docs_b = workload::CorpusGenerator(cfg_b).generate(120);
+    stats_a = workload::compute_stats(docs_a, kVocab);
+    p_stats = workload::compute_stats(filters, kVocab);
+    for (std::size_t i = 0; i < filters.size(); ++i) {
+      reference.add(filters.row(i));
+    }
+  }
+  workload::TermSetTable filters, docs_a, docs_b;
+  workload::TraceStats p_stats, stats_a;
+  index::FilterStore reference;
+};
+
+const AdaptiveFixture& fx() {
+  static const AdaptiveFixture f;
+  return f;
+}
+
+cluster::ClusterConfig cfg() {
+  cluster::ClusterConfig c;
+  c.num_nodes = 10;
+  c.num_racks = 2;
+  return c;
+}
+
+MoveOptions opts() {
+  MoveOptions o;
+  o.capacity = 1'200;
+  return o;
+}
+
+workload::TermSetTable concat(const workload::TermSetTable& a,
+                              const workload::TermSetTable& b) {
+  workload::TermSetTable out;
+  for (std::size_t i = 0; i < a.size(); ++i) out.add(a.row(i));
+  for (std::size_t i = 0; i < b.size(); ++i) out.add(b.row(i));
+  return out;
+}
+
+TEST(Adaptive, ProcessesWholeStream) {
+  const auto& f = fx();
+  cluster::Cluster c(cfg());
+  MoveScheme scheme(c, opts());
+  scheme.register_filters(f.filters);
+  scheme.allocate(f.p_stats, f.stats_a);
+  AdaptiveConfig acfg;
+  acfg.window_docs = 50;
+  acfg.min_observations = 10;
+  const auto stream = concat(f.docs_a, f.docs_b);
+  const auto r = run_adaptive(scheme, stream, acfg);
+  EXPECT_EQ(r.metrics.documents_published, stream.size());
+  EXPECT_EQ(r.metrics.documents_completed, stream.size());
+  // 240 docs in windows of 50 -> re-allocations after all but the last
+  // window: floor((240-1)/50) = 4.
+  EXPECT_EQ(r.reallocations, 4u);
+}
+
+TEST(Adaptive, MatchingStaysCorrectAcrossReallocations) {
+  const auto& f = fx();
+  cluster::Cluster c(cfg());
+  MoveScheme scheme(c, opts());
+  scheme.register_filters(f.filters);
+  scheme.allocate(f.p_stats, f.stats_a);
+  AdaptiveConfig acfg;
+  acfg.window_docs = 40;
+  acfg.min_observations = 10;
+  (void)run_adaptive(scheme, concat(f.docs_a, f.docs_b), acfg);
+  // After several live re-allocations, results must still be exact.
+  for (std::size_t d = 0; d < f.docs_b.size(); d += 11) {
+    EXPECT_EQ(scheme.plan_publish(f.docs_b.row(d)).matches,
+              index::brute_force_match(f.reference, f.docs_b.row(d), {}));
+  }
+}
+
+TEST(Adaptive, SmallWindowsSkipNoisyReallocation) {
+  const auto& f = fx();
+  cluster::Cluster c(cfg());
+  MoveScheme scheme(c, opts());
+  scheme.register_filters(f.filters);
+  AdaptiveConfig acfg;
+  acfg.window_docs = 5;
+  acfg.min_observations = 50;  // never reached
+  const auto r = run_adaptive(scheme, f.docs_a, acfg);
+  EXPECT_EQ(r.reallocations, 0u);
+  EXPECT_EQ(r.metrics.documents_completed, f.docs_a.size());
+}
+
+TEST(Adaptive, EmptyStreamIsHarmless) {
+  const auto& f = fx();
+  cluster::Cluster c(cfg());
+  MoveScheme scheme(c, opts());
+  scheme.register_filters(f.filters);
+  workload::TermSetTable empty;
+  const auto r = run_adaptive(scheme, empty, AdaptiveConfig{});
+  EXPECT_EQ(r.metrics.documents_published, 0u);
+  EXPECT_EQ(r.reallocations, 0u);
+}
+
+TEST(ObservationWindow, ResetClearsCountersAndBase) {
+  const auto& f = fx();
+  cluster::Cluster c(cfg());
+  MoveScheme scheme(c, opts());
+  scheme.register_filters(f.filters);
+  for (std::size_t d = 0; d < 30; ++d) scheme.plan_publish(f.docs_a.row(d));
+  scheme.reset_observation_window();
+  for (std::uint32_t m = 0; m < c.size(); ++m) {
+    EXPECT_EQ(c.node(NodeId{m}).meta().total_docs(), 0u);
+  }
+  // A window with traffic after the reset still allocates correctly.
+  for (std::size_t d = 30; d < 90; ++d) scheme.plan_publish(f.docs_a.row(d));
+  scheme.allocate_from_observed();
+  bool any = false;
+  for (const auto& t : scheme.tables()) any |= t.has_value();
+  EXPECT_TRUE(any);
+}
+
+}  // namespace
+}  // namespace move::core

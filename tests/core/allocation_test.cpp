@@ -1,0 +1,185 @@
+#include "core/allocation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace move::core {
+namespace {
+
+AllocationParams params(std::size_t n, double P, double C,
+                        FactorRule rule = FactorRule::kGeneralSqrtPQ) {
+  AllocationParams p;
+  p.cluster_size = n;
+  p.total_filters = P;
+  p.capacity = C;
+  p.rule = rule;
+  return p;
+}
+
+TEST(ShapeAllocation, PureReplicationWhenCapacityAmple) {
+  // Tiny filter share + huge capacity -> r = 1/n: n partitions of 1 column.
+  const auto a = shape_allocation(8, 0.001, params(20, 1e5, 1e9));
+  EXPECT_EQ(a.n, 8u);
+  EXPECT_NEAR(a.r, 1.0 / 8.0, 1e-12);
+  EXPECT_EQ(a.partitions, 8u);
+  EXPECT_EQ(a.columns, 1u);
+}
+
+TEST(ShapeAllocation, PureSeparationWhenCapacityTight) {
+  // p*P == n*C forces r = 1: one partition of n columns.
+  const auto a = shape_allocation(4, 0.4, params(20, 1e6, 1e5));
+  EXPECT_NEAR(a.r, 1.0, 1e-12);
+  EXPECT_EQ(a.partitions, 1u);
+  EXPECT_EQ(a.columns, 4u);
+}
+
+TEST(ShapeAllocation, MixedGridBetweenExtremes) {
+  // Require r = 0.5: 2 partitions x 2 columns on n=4.
+  const auto a = shape_allocation(4, 0.2, params(20, 1e6, 1e5));
+  EXPECT_NEAR(a.r, 0.5, 1e-12);
+  EXPECT_EQ(a.partitions, 2u);
+  EXPECT_EQ(a.columns, 2u);
+}
+
+TEST(ShapeAllocation, GridFitsCapacity) {
+  for (double p : {0.01, 0.1, 0.3, 0.7}) {
+    for (std::uint32_t n : {1u, 2u, 5u, 13u}) {
+      const auto prm = params(20, 2e6, 3e5);
+      const auto a = shape_allocation(n, p, prm);
+      // Per-node copies p*P/(n*r) must fit capacity whenever it is feasible
+      // at all (p*P/n <= C means some r in range works).
+      if (p * prm.total_filters / a.n <= prm.capacity) {
+        EXPECT_LE(a.copies_per_node(p, prm.total_filters),
+                  prm.capacity * 1.0001)
+            << "p=" << p << " n=" << n;
+      }
+      EXPECT_GE(a.r, 1.0 / a.n - 1e-12);
+      EXPECT_LE(a.r, 1.0 + 1e-12);
+      EXPECT_LE(a.partitions * a.columns, a.n);
+      EXPECT_GE(a.partitions * a.columns, 1u);
+    }
+  }
+}
+
+TEST(ShapeAllocation, ZeroNodesClampedToOne) {
+  const auto a = shape_allocation(0, 0.1, params(10, 1e5, 1e5));
+  EXPECT_EQ(a.n, 1u);
+}
+
+TEST(ComputeAllocations, EmptyInputs) {
+  common::SplitMix64 rng(103);
+  EXPECT_TRUE(
+      compute_allocations({}, params(10, 1e5, 1e5), rng).empty());
+}
+
+TEST(ComputeAllocations, ThrowsOnEmptyCluster) {
+  common::SplitMix64 rng(107);
+  std::vector<AllocationInput> in{{0.5, 0.5}};
+  EXPECT_THROW(compute_allocations(in, params(0, 1e5, 1e5), rng),
+               std::invalid_argument);
+}
+
+TEST(ComputeAllocations, ZeroPopularityGetsUnitAllocation) {
+  common::SplitMix64 rng(109);
+  std::vector<AllocationInput> in{{0.0, 0.9}, {0.5, 0.5}};
+  const auto out = compute_allocations(in, params(10, 1e6, 1e6), rng);
+  EXPECT_EQ(out[0].n, 1u);
+}
+
+TEST(ComputeAllocations, RespectsStorageBudgetInExpectation) {
+  common::SplitMix64 rng(113);
+  // Several homes with varied loads.
+  std::vector<AllocationInput> in;
+  for (int i = 0; i < 16; ++i) {
+    in.push_back({0.05 + 0.01 * i, 0.02 * (16 - i)});
+  }
+  const auto prm = params(20, 1e6, 2e5);
+  double used = 0.0;
+  constexpr int kTrials = 30;
+  for (int t = 0; t < kTrials; ++t) {
+    const auto out = compute_allocations(in, prm, rng);
+    for (std::size_t i = 0; i < in.size(); ++i) {
+      used += static_cast<double>(out[i].n) * in[i].p * prm.total_filters;
+    }
+  }
+  used /= kTrials;
+  const double budget =
+      static_cast<double>(prm.cluster_size) * prm.capacity;
+  // Expected usage tracks the budget (clamping to [1, N] distorts slightly).
+  EXPECT_NEAR(used / budget, 1.0, 0.35);
+}
+
+TEST(ComputeAllocations, HigherFrequencyGetsMoreNodes) {
+  common::SplitMix64 rng(127);
+  std::vector<AllocationInput> in{{0.2, 0.01}, {0.2, 0.81}};
+  // sqrt(p*q) ratio is 9; with a roomy budget the hot home gets more nodes.
+  const auto out =
+      compute_allocations(in, params(64, 1e6, 1e6), rng);
+  EXPECT_GT(out[1].n, out[0].n);
+}
+
+TEST(ComputeAllocations, Theorem1IgnoresPopularity) {
+  common::SplitMix64 rng(131);
+  std::vector<AllocationInput> in{{0.1, 0.4}, {0.6, 0.4}};
+  const auto out = compute_allocations(
+      in, params(64, 1e6, 1e6, FactorRule::kTheorem1SqrtQ), rng);
+  // Same q -> same continuous n (rounding may differ by 1).
+  EXPECT_NEAR(static_cast<double>(out[0].n),
+              static_cast<double>(out[1].n), 1.0);
+}
+
+TEST(ComputeAllocations, Theorem2ApproachesTheorem1AtLargeBeta) {
+  // beta >> 1 makes sqrt(1 + beta*q) proportional to sqrt(q).
+  std::vector<AllocationInput> in{{0.3, 0.1}, {0.3, 0.4}};
+  auto p2 = params(64, 1e6, 1e6, FactorRule::kTheorem2SqrtBetaQ);
+  p2.beta = 1e6;
+  common::SplitMix64 rng_a(137), rng_b(137);
+  const auto thm2 = compute_allocations(in, p2, rng_a);
+  const auto thm1 = compute_allocations(
+      in, params(64, 1e6, 1e6, FactorRule::kTheorem1SqrtQ), rng_b);
+  EXPECT_NEAR(static_cast<double>(thm2[1].n) / thm2[0].n,
+              static_cast<double>(thm1[1].n) / thm1[0].n, 0.5);
+}
+
+TEST(ComputeAllocations, NodesClampedToClusterSize) {
+  common::SplitMix64 rng(139);
+  std::vector<AllocationInput> in{{0.9, 0.9}};
+  const auto out = compute_allocations(in, params(4, 1e6, 1e9), rng);
+  EXPECT_LE(out[0].n, 4u);
+  EXPECT_GE(out[0].n, 1u);
+}
+
+TEST(ObjectiveLatency, OptimalFactorBeatsUniform) {
+  // Property from Theorem 1's proof: among allocations with the same total
+  // budget, n_i proportional to the optimal factor minimizes the objective.
+  std::vector<AllocationInput> in;
+  common::SplitMix64 seed_rng(149);
+  for (int i = 0; i < 12; ++i) {
+    in.push_back({0.02 + 0.03 * (i % 5), 0.01 + 0.05 * (i % 7)});
+  }
+  const auto prm = params(1000, 1e6, 5e4);
+  common::SplitMix64 rng(151);
+  const auto opt = compute_allocations(in, prm, rng);
+
+  // Uniform allocation with the same total node budget.
+  double total_nodes = 0;
+  for (const auto& a : opt) total_nodes += a.n;
+  std::vector<Allocation> uniform(in.size());
+  for (auto& a : uniform) {
+    a.n = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(total_nodes / in.size()));
+  }
+  EXPECT_LE(objective_latency(in, opt, prm.total_filters, 1e3),
+            objective_latency(in, uniform, prm.total_filters, 1e3) * 1.10);
+}
+
+TEST(ObjectiveLatency, SizeMismatchThrows) {
+  std::vector<AllocationInput> in{{0.1, 0.1}};
+  std::vector<Allocation> allocs;
+  EXPECT_THROW(objective_latency(in, allocs, 1e5, 1e3),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace move::core

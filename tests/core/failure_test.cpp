@@ -1,0 +1,208 @@
+// Failure-injection and availability tests for the MOVE scheme: routing
+// around dead homes, partial grids, the routable-availability metric, and
+// the §IV-A ratio-policy corners.
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "core/move_scheme.hpp"
+#include "index/brute_force.hpp"
+#include "workload/corpus.hpp"
+#include "workload/query_trace.hpp"
+#include "workload/trace_stats.hpp"
+
+namespace move::core {
+namespace {
+
+constexpr std::size_t kVocab = 1'500;
+
+struct FailureFixture {
+  FailureFixture() {
+    workload::QueryTraceConfig qcfg;
+    qcfg.num_filters = 3'000;
+    qcfg.vocabulary_size = kVocab;
+    qcfg.head_count = 40;
+    filters = workload::QueryTraceGenerator(qcfg).generate();
+    auto ccfg = workload::CorpusConfig::trec_wt_like(0.001, kVocab);
+    docs = workload::CorpusGenerator(ccfg).generate(80);
+    p_stats = workload::compute_stats(filters, kVocab);
+    q_stats = workload::compute_stats(docs, kVocab);
+    for (std::size_t i = 0; i < filters.size(); ++i) {
+      reference.add(filters.row(i));
+    }
+  }
+  workload::TermSetTable filters, docs;
+  workload::TraceStats p_stats, q_stats;
+  index::FilterStore reference;
+};
+
+const FailureFixture& fx() {
+  static const FailureFixture f;
+  return f;
+}
+
+cluster::ClusterConfig cfg() {
+  cluster::ClusterConfig c;
+  c.num_nodes = 12;
+  c.num_racks = 3;
+  return c;
+}
+
+MoveOptions opts() {
+  MoveOptions o;
+  o.capacity = 1'200;
+  return o;
+}
+
+TEST(MoveFailure, MatchesAreSubsetOfTruthUnderFailure) {
+  const auto& f = fx();
+  cluster::Cluster c(cfg());
+  MoveScheme scheme(c, opts());
+  scheme.register_filters(f.filters);
+  scheme.allocate(f.p_stats, f.q_stats);
+  common::SplitMix64 rng(211);
+  c.fail_fraction(0.25, rng);
+  for (std::size_t d = 0; d < f.docs.size(); ++d) {
+    const auto got = scheme.plan_publish(f.docs.row(d)).matches;
+    const auto truth =
+        index::brute_force_match(f.reference, f.docs.row(d), {});
+    // No false positives: every reported match is a true match.
+    EXPECT_TRUE(std::includes(truth.begin(), truth.end(), got.begin(),
+                              got.end()));
+  }
+}
+
+TEST(MoveFailure, NoFailureMeansNoLoss) {
+  const auto& f = fx();
+  cluster::Cluster c(cfg());
+  MoveScheme scheme(c, opts());
+  scheme.register_filters(f.filters);
+  scheme.allocate(f.p_stats, f.q_stats);
+  EXPECT_DOUBLE_EQ(scheme.routable_availability(), 1.0);
+  EXPECT_DOUBLE_EQ(scheme.filter_availability(), 1.0);
+}
+
+TEST(MoveFailure, RoutableAvailabilityDegradesGracefully) {
+  const auto& f = fx();
+  cluster::Cluster c(cfg());
+  MoveScheme scheme(c, opts());
+  scheme.register_filters(f.filters);
+  scheme.allocate(f.p_stats, f.q_stats);
+  common::SplitMix64 rng(223);
+  c.fail_fraction(0.5, rng);
+  const double routable = scheme.routable_availability();
+  const double copies = scheme.filter_availability();
+  EXPECT_GT(routable, 0.4);
+  EXPECT_LE(routable, 1.0);
+  // Routable reachability can never exceed surviving copies.
+  EXPECT_LE(routable, copies + 1e-12);
+}
+
+TEST(MoveFailure, AllNodesDeadMeansNothingRoutable) {
+  const auto& f = fx();
+  cluster::Cluster c(cfg());
+  MoveScheme scheme(c, opts());
+  scheme.register_filters(f.filters);
+  scheme.allocate(f.p_stats, f.q_stats);
+  for (std::uint32_t i = 0; i < c.size(); ++i) c.fail_node(NodeId{i});
+  EXPECT_DOUBLE_EQ(scheme.routable_availability(), 0.0);
+  EXPECT_DOUBLE_EQ(scheme.filter_availability(), 0.0);
+  for (std::size_t d = 0; d < 5; ++d) {
+    EXPECT_TRUE(scheme.plan_publish(f.docs.row(d)).matches.empty());
+    EXPECT_TRUE(scheme.plan_publish(f.docs.row(d)).hops.empty());
+  }
+}
+
+TEST(MoveFailure, DeadHomeRoutesDirectlyToPartition) {
+  const auto& f = fx();
+  cluster::Cluster c(cfg());
+  MoveScheme scheme(c, opts());
+  scheme.register_filters(f.filters);
+  scheme.allocate(f.p_stats, f.q_stats);
+  // Kill a node that owns a forwarding table; docs for its terms must still
+  // find matches via the publisher-side table.
+  std::optional<NodeId> victim;
+  for (std::uint32_t m = 0; m < c.size(); ++m) {
+    if (scheme.tables()[m].has_value()) {
+      victim = NodeId{m};
+      break;
+    }
+  }
+  ASSERT_TRUE(victim.has_value());
+  c.fail_node(*victim);
+  std::size_t found = 0;
+  for (std::size_t d = 0; d < f.docs.size(); ++d) {
+    found += scheme.plan_publish(f.docs.row(d)).matches.size();
+  }
+  EXPECT_GT(found, 0u);
+}
+
+TEST(RatioPolicy, PureReplicationShapesGrids) {
+  const auto& f = fx();
+  cluster::Cluster c(cfg());
+  auto o = opts();
+  o.ratio = RatioPolicy::kPureReplication;
+  MoveScheme scheme(c, o);
+  scheme.register_filters(f.filters);
+  scheme.allocate(f.p_stats, f.q_stats);
+  for (const auto& t : scheme.tables()) {
+    if (!t.has_value()) continue;
+    EXPECT_EQ(t->columns(), 1u);  // no separation
+    EXPECT_GE(t->partitions(), 2u);
+  }
+}
+
+TEST(RatioPolicy, PureSeparationShapesGrids) {
+  const auto& f = fx();
+  cluster::Cluster c(cfg());
+  auto o = opts();
+  o.ratio = RatioPolicy::kPureSeparation;
+  MoveScheme scheme(c, o);
+  scheme.register_filters(f.filters);
+  scheme.allocate(f.p_stats, f.q_stats);
+  bool any = false;
+  for (const auto& t : scheme.tables()) {
+    if (!t.has_value()) continue;
+    any = true;
+    EXPECT_EQ(t->partitions(), 1u);  // no replication
+    EXPECT_GE(t->columns(), 2u);
+  }
+  EXPECT_TRUE(any);
+}
+
+TEST(RatioPolicy, AllPoliciesStayCorrect) {
+  const auto& f = fx();
+  for (auto ratio : {RatioPolicy::kAdaptive, RatioPolicy::kPureReplication,
+                     RatioPolicy::kPureSeparation}) {
+    cluster::Cluster c(cfg());
+    auto o = opts();
+    o.ratio = ratio;
+    MoveScheme scheme(c, o);
+    scheme.register_filters(f.filters);
+    scheme.allocate(f.p_stats, f.q_stats);
+    for (std::size_t d = 0; d < f.docs.size(); d += 9) {
+      EXPECT_EQ(scheme.plan_publish(f.docs.row(d)).matches,
+                index::brute_force_match(f.reference, f.docs.row(d), {}));
+    }
+  }
+}
+
+TEST(RatioPolicy, SeparationStoresFewerCopiesThanReplication) {
+  const auto& f = fx();
+  std::uint64_t copies_sep = 0, copies_rep = 0;
+  for (auto [ratio, out] :
+       {std::pair{RatioPolicy::kPureSeparation, &copies_sep},
+        std::pair{RatioPolicy::kPureReplication, &copies_rep}}) {
+    cluster::Cluster c(cfg());
+    auto o = opts();
+    o.ratio = ratio;
+    MoveScheme scheme(c, o);
+    scheme.register_filters(f.filters);
+    scheme.allocate(f.p_stats, f.q_stats);
+    for (auto v : scheme.storage_per_node()) *out += v;
+  }
+  EXPECT_LT(copies_sep, copies_rep);
+}
+
+}  // namespace
+}  // namespace move::core

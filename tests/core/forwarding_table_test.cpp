@@ -1,0 +1,137 @@
+#include "core/forwarding_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace move::core {
+namespace {
+
+std::vector<NodeId> nodes(std::initializer_list<std::uint32_t> xs) {
+  std::vector<NodeId> out;
+  for (auto x : xs) out.push_back(NodeId{x});
+  return out;
+}
+
+/// The paper's Figure 2 example: n = 12, r = 1/3 -> 3 partitions x 4 columns.
+ForwardingTable figure2() {
+  return ForwardingTable(
+      3, 4, nodes({1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}));
+}
+
+TEST(ForwardingTable, RejectsBadShapes) {
+  EXPECT_THROW(ForwardingTable(0, 2, nodes({})), std::invalid_argument);
+  EXPECT_THROW(ForwardingTable(2, 0, nodes({})), std::invalid_argument);
+  EXPECT_THROW(ForwardingTable(2, 2, nodes({1, 2, 3})),
+               std::invalid_argument);
+}
+
+TEST(ForwardingTable, Figure2Shape) {
+  const auto t = figure2();
+  EXPECT_EQ(t.partitions(), 3u);
+  EXPECT_EQ(t.columns(), 4u);
+  EXPECT_EQ(t.node_count(), 12u);
+}
+
+TEST(ForwardingTable, RowMajorAccess) {
+  const auto t = figure2();
+  EXPECT_EQ(t.at(0, 0), NodeId{1});
+  EXPECT_EQ(t.at(0, 3), NodeId{4});
+  EXPECT_EQ(t.at(2, 0), NodeId{9});
+  EXPECT_THROW(t.at(3, 0), std::out_of_range);
+  EXPECT_THROW(t.at(0, 4), std::out_of_range);
+}
+
+TEST(ForwardingTable, RowSpans) {
+  const auto t = figure2();
+  const auto r1 = t.row(1);
+  ASSERT_EQ(r1.size(), 4u);
+  EXPECT_EQ(r1[0], NodeId{5});
+  EXPECT_EQ(r1[3], NodeId{8});
+  EXPECT_THROW(t.row(3), std::out_of_range);
+}
+
+TEST(ForwardingTable, ColumnNodesWalkRows) {
+  const auto t = figure2();
+  // Figure 2: filters f1,f2 in subset 1 are replicated to nodes n1, n5, n9.
+  const auto col0 = t.column_nodes(0);
+  ASSERT_EQ(col0.size(), 3u);
+  EXPECT_EQ(col0[0], NodeId{1});
+  EXPECT_EQ(col0[1], NodeId{5});
+  EXPECT_EQ(col0[2], NodeId{9});
+}
+
+TEST(ForwardingTable, ColumnOfIsStableAndInRange) {
+  const auto t = figure2();
+  for (std::uint32_t f = 0; f < 100; ++f) {
+    const auto c = t.column_of(FilterId{f});
+    EXPECT_LT(c, 4u);
+    EXPECT_EQ(c, t.column_of(FilterId{f}));
+  }
+}
+
+TEST(ForwardingTable, ColumnOfSpreadsFilters) {
+  const auto t = figure2();
+  std::set<std::uint32_t> used;
+  for (std::uint32_t f = 0; f < 64; ++f) used.insert(t.column_of(FilterId{f}));
+  EXPECT_EQ(used.size(), 4u);
+}
+
+TEST(ForwardingTable, RandomRowCoversAllPartitions) {
+  const auto t = figure2();
+  common::SplitMix64 rng(157);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(t.random_row(rng));
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(ForwardingTable, PickLiveRowPrefersFullyLive) {
+  const auto t = figure2();
+  // Kill node 2 (row 0); rows 1 and 2 remain fully live.
+  std::vector<bool> alive(13, true);
+  alive[2] = false;
+  common::SplitMix64 rng(163);
+  for (int i = 0; i < 50; ++i) {
+    const auto row = t.pick_live_row(alive, rng);
+    ASSERT_TRUE(row.has_value());
+    EXPECT_NE(*row, 0u);
+  }
+}
+
+TEST(ForwardingTable, PickLiveRowFallsBackToBestPartial) {
+  const auto t = figure2();
+  std::vector<bool> alive(13, false);
+  // Row 1 has 2 live nodes, rows 0/2 have 1.
+  alive[1] = true;
+  alive[5] = true;
+  alive[6] = true;
+  alive[9] = true;
+  common::SplitMix64 rng(167);
+  const auto row = t.pick_live_row(alive, rng);
+  ASSERT_TRUE(row.has_value());
+  EXPECT_EQ(*row, 1u);
+}
+
+TEST(ForwardingTable, PickLiveRowNulloptWhenAllDead) {
+  const auto t = figure2();
+  std::vector<bool> alive(13, false);
+  common::SplitMix64 rng(173);
+  EXPECT_FALSE(t.pick_live_row(alive, rng).has_value());
+}
+
+TEST(ForwardingTable, AllNodesDistinctSorted) {
+  const auto t = figure2();
+  const auto all = t.all_nodes();
+  ASSERT_EQ(all.size(), 12u);
+  EXPECT_TRUE(std::is_sorted(all.begin(), all.end()));
+}
+
+TEST(ForwardingTable, SingleCellGrid) {
+  ForwardingTable t(1, 1, nodes({7}));
+  EXPECT_EQ(t.column_of(FilterId{99}), 0u);
+  common::SplitMix64 rng(179);
+  EXPECT_EQ(t.random_row(rng), 0u);
+}
+
+}  // namespace
+}  // namespace move::core

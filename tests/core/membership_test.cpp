@@ -1,0 +1,179 @@
+// Elasticity tests: nodes joining and leaving the ring, followed by scheme
+// rebuild (the simulator's stand-in for Cassandra range streaming). The
+// invariant throughout: matching results never change.
+
+#include <gtest/gtest.h>
+
+#include "core/il_scheme.hpp"
+#include "core/move_scheme.hpp"
+#include "core/rs_scheme.hpp"
+#include "index/brute_force.hpp"
+#include "workload/corpus.hpp"
+#include "workload/query_trace.hpp"
+#include "workload/trace_stats.hpp"
+
+namespace move::core {
+namespace {
+
+constexpr std::size_t kVocab = 1'200;
+
+struct MembershipFixture {
+  MembershipFixture() {
+    workload::QueryTraceConfig qcfg;
+    qcfg.num_filters = 2'500;
+    qcfg.vocabulary_size = kVocab;
+    qcfg.head_count = 40;
+    filters = workload::QueryTraceGenerator(qcfg).generate();
+    auto ccfg = workload::CorpusConfig::trec_wt_like(0.001, kVocab);
+    docs = workload::CorpusGenerator(ccfg).generate(60);
+    p_stats = workload::compute_stats(filters, kVocab);
+    q_stats = workload::compute_stats(docs, kVocab);
+    for (std::size_t i = 0; i < filters.size(); ++i) {
+      reference.add(filters.row(i));
+    }
+  }
+  workload::TermSetTable filters, docs;
+  workload::TraceStats p_stats, q_stats;
+  index::FilterStore reference;
+};
+
+const MembershipFixture& fx() {
+  static const MembershipFixture f;
+  return f;
+}
+
+cluster::ClusterConfig cfg() {
+  cluster::ClusterConfig c;
+  c.num_nodes = 8;
+  c.num_racks = 2;
+  return c;
+}
+
+void expect_all_match(Scheme& scheme, const MembershipFixture& f) {
+  for (std::size_t d = 0; d < f.docs.size(); d += 4) {
+    EXPECT_EQ(scheme.plan_publish(f.docs.row(d)).matches,
+              index::brute_force_match(f.reference, f.docs.row(d), {}))
+        << "doc " << d;
+  }
+}
+
+TEST(Membership, ClusterAddNodeGrowsEverything) {
+  cluster::Cluster c(cfg());
+  const NodeId id = c.add_node();
+  EXPECT_EQ(id, NodeId{8});
+  EXPECT_EQ(c.size(), 9u);
+  EXPECT_TRUE(c.alive(id));
+  EXPECT_TRUE(c.ring().contains(id));
+  EXPECT_EQ(c.topology().rack_of(id), 0u);  // 8 % 2 racks, round-robin
+}
+
+TEST(Membership, ClusterRemoveNodeLeavesRing) {
+  cluster::Cluster c(cfg());
+  c.remove_node(NodeId{3});
+  EXPECT_FALSE(c.ring().contains(NodeId{3}));
+  EXPECT_FALSE(c.alive(NodeId{3}));
+  EXPECT_EQ(c.node(NodeId{3}).stored_count(), 0u);
+  EXPECT_THROW(c.remove_node(NodeId{99}), std::out_of_range);
+}
+
+TEST(Membership, RebuildBeforeRegisterThrows) {
+  cluster::Cluster c(cfg());
+  IlScheme il(c);
+  RsScheme rs(c);
+  MoveScheme mv(c, MoveOptions{});
+  EXPECT_THROW(il.rebuild(), std::logic_error);
+  EXPECT_THROW(rs.rebuild(), std::logic_error);
+  EXPECT_THROW(mv.rebuild(), std::logic_error);
+}
+
+TEST(Membership, IlCorrectAfterJoin) {
+  const auto& f = fx();
+  cluster::Cluster c(cfg());
+  IlScheme scheme(c);
+  scheme.register_filters(f.filters);
+  c.add_node();
+  c.add_node();
+  scheme.rebuild();
+  // The new nodes actually took ownership of some filters.
+  EXPECT_GT(c.node(NodeId{8}).stored_count() +
+                c.node(NodeId{9}).stored_count(),
+            0u);
+  expect_all_match(scheme, f);
+}
+
+TEST(Membership, IlCorrectAfterLeave) {
+  const auto& f = fx();
+  cluster::Cluster c(cfg());
+  IlScheme scheme(c);
+  scheme.register_filters(f.filters);
+  c.remove_node(NodeId{2});
+  scheme.rebuild();
+  EXPECT_EQ(c.node(NodeId{2}).stored_count(), 0u);
+  expect_all_match(scheme, f);
+}
+
+TEST(Membership, RsCorrectAfterJoinAndLeave) {
+  const auto& f = fx();
+  cluster::Cluster c(cfg());
+  RsScheme scheme(c);
+  scheme.register_filters(f.filters);
+  c.add_node();
+  c.remove_node(NodeId{0});
+  scheme.rebuild();
+  expect_all_match(scheme, f);
+}
+
+TEST(Membership, MoveCorrectAfterJoinWithReallocation) {
+  const auto& f = fx();
+  cluster::Cluster c(cfg());
+  MoveOptions o;
+  o.capacity = 1'200;
+  MoveScheme scheme(c, o);
+  scheme.register_filters(f.filters);
+  scheme.allocate(f.p_stats, f.q_stats);
+  c.add_node();
+  c.add_node();
+  c.add_node();
+  scheme.rebuild();
+  // Re-allocation happened (tables exist over the grown cluster).
+  bool any_table = false;
+  for (const auto& t : scheme.tables()) any_table |= t.has_value();
+  EXPECT_TRUE(any_table);
+  EXPECT_EQ(scheme.tables().size(), 11u);
+  expect_all_match(scheme, f);
+}
+
+TEST(Membership, MoveCorrectAfterLeaveWithoutAllocation) {
+  const auto& f = fx();
+  cluster::Cluster c(cfg());
+  MoveOptions o;
+  o.capacity = 1'200;
+  MoveScheme scheme(c, o);
+  scheme.register_filters(f.filters);
+  c.remove_node(NodeId{5});
+  scheme.rebuild();
+  expect_all_match(scheme, f);
+}
+
+TEST(Membership, StorageMovesOnlyPartially) {
+  // Consistent hashing: after one join, most filters stay where they were.
+  const auto& f = fx();
+  cluster::Cluster c(cfg());
+  IlScheme scheme(c);
+  scheme.register_filters(f.filters);
+  const auto before = scheme.storage_per_node();
+  c.add_node();
+  scheme.rebuild();
+  const auto after = scheme.storage_per_node();
+  std::uint64_t unchanged_mass = 0, total = 0;
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    unchanged_mass += std::min(before[i], after[i]);
+    total += before[i];
+  }
+  // At least ~2/3 of placements survive a single join of 1-of-9 nodes.
+  EXPECT_GT(static_cast<double>(unchanged_mass) / static_cast<double>(total),
+            0.66);
+}
+
+}  // namespace
+}  // namespace move::core

@@ -1,0 +1,305 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/il_scheme.hpp"
+#include "core/move_scheme.hpp"
+#include "core/rs_scheme.hpp"
+#include "index/brute_force.hpp"
+#include "index/filter_store.hpp"
+#include "workload/corpus.hpp"
+#include "workload/query_trace.hpp"
+#include "common/stats.hpp"
+#include "workload/trace_stats.hpp"
+
+namespace move::core {
+namespace {
+
+constexpr std::size_t kVocab = 2'000;
+constexpr std::size_t kFilters = 4'000;
+constexpr std::size_t kDocs = 120;
+
+/// Shared workload + ground truth for all scheme correctness tests.
+class SchemeWorkload {
+ public:
+  SchemeWorkload() {
+    workload::QueryTraceConfig qcfg;
+    qcfg.num_filters = kFilters;
+    qcfg.vocabulary_size = kVocab;
+    qcfg.head_count = 50;
+    filters_ = workload::QueryTraceGenerator(qcfg).generate();
+
+    auto ccfg = workload::CorpusConfig::trec_wt_like(0.001, kVocab);
+    ccfg.head_count = 50;
+    docs_ = workload::CorpusGenerator(ccfg).generate(kDocs);
+
+    for (std::size_t i = 0; i < filters_.size(); ++i) {
+      reference_.add(filters_.row(i));
+    }
+    filter_stats_ = workload::compute_stats(filters_, kVocab);
+    corpus_stats_ = workload::compute_stats(docs_, kVocab);
+  }
+
+  std::vector<FilterId> truth(std::size_t doc,
+                              const index::MatchOptions& opt = {}) const {
+    return index::brute_force_match(reference_, docs_.row(doc), opt);
+  }
+
+  workload::TermSetTable filters_;
+  workload::TermSetTable docs_;
+  index::FilterStore reference_;
+  workload::TraceStats filter_stats_;
+  workload::TraceStats corpus_stats_;
+};
+
+const SchemeWorkload& shared_workload() {
+  static const SchemeWorkload w;
+  return w;
+}
+
+cluster::ClusterConfig small_cluster() {
+  cluster::ClusterConfig cfg;
+  cfg.num_nodes = 12;
+  cfg.num_racks = 3;
+  return cfg;
+}
+
+MoveOptions small_move_options() {
+  MoveOptions o;
+  // Capacity scaled to the test trace: P=4000 over 12 nodes.
+  o.capacity = 1'500;
+  return o;
+}
+
+TEST(IlScheme, MatchesBruteForceOnEveryDocument) {
+  const auto& w = shared_workload();
+  cluster::Cluster c(small_cluster());
+  IlScheme scheme(c);
+  scheme.register_filters(w.filters_);
+  for (std::size_t d = 0; d < w.docs_.size(); ++d) {
+    const auto plan = scheme.plan_publish(w.docs_.row(d));
+    EXPECT_EQ(plan.matches, w.truth(d)) << "doc " << d;
+  }
+}
+
+TEST(RsScheme, MatchesBruteForceOnEveryDocument) {
+  const auto& w = shared_workload();
+  cluster::Cluster c(small_cluster());
+  RsScheme scheme(c);
+  scheme.register_filters(w.filters_);
+  for (std::size_t d = 0; d < w.docs_.size(); ++d) {
+    const auto plan = scheme.plan_publish(w.docs_.row(d));
+    EXPECT_EQ(plan.matches, w.truth(d)) << "doc " << d;
+  }
+}
+
+TEST(MoveScheme, MatchesBruteForceWithoutAllocation) {
+  const auto& w = shared_workload();
+  cluster::Cluster c(small_cluster());
+  MoveScheme scheme(c, small_move_options());
+  scheme.register_filters(w.filters_);
+  for (std::size_t d = 0; d < w.docs_.size(); ++d) {
+    const auto plan = scheme.plan_publish(w.docs_.row(d));
+    EXPECT_EQ(plan.matches, w.truth(d)) << "doc " << d;
+  }
+}
+
+TEST(MoveScheme, MatchesBruteForceAfterAllocation) {
+  const auto& w = shared_workload();
+  cluster::Cluster c(small_cluster());
+  MoveScheme scheme(c, small_move_options());
+  scheme.register_filters(w.filters_);
+  scheme.allocate(w.filter_stats_, w.corpus_stats_);
+  for (std::size_t d = 0; d < w.docs_.size(); ++d) {
+    const auto plan = scheme.plan_publish(w.docs_.row(d));
+    EXPECT_EQ(plan.matches, w.truth(d)) << "doc " << d;
+  }
+}
+
+TEST(MoveScheme, MatchesBruteForceWithPerTermTables) {
+  const auto& w = shared_workload();
+  cluster::Cluster c(small_cluster());
+  auto opts = small_move_options();
+  opts.per_node_aggregation = false;
+  MoveScheme scheme(c, opts);
+  scheme.register_filters(w.filters_);
+  scheme.allocate(w.filter_stats_, w.corpus_stats_);
+  EXPECT_FALSE(scheme.term_tables().empty());
+  for (std::size_t d = 0; d < w.docs_.size(); ++d) {
+    const auto plan = scheme.plan_publish(w.docs_.row(d));
+    EXPECT_EQ(plan.matches, w.truth(d)) << "doc " << d;
+  }
+}
+
+TEST(MoveScheme, MatchesBruteForceUnderEveryPlacement) {
+  const auto& w = shared_workload();
+  for (auto placement :
+       {kv::PlacementPolicy::kRingSuccessors, kv::PlacementPolicy::kRackAware,
+        kv::PlacementPolicy::kHybrid}) {
+    cluster::Cluster c(small_cluster());
+    auto opts = small_move_options();
+    opts.placement = placement;
+    MoveScheme scheme(c, opts);
+    scheme.register_filters(w.filters_);
+    scheme.allocate(w.filter_stats_, w.corpus_stats_);
+    for (std::size_t d = 0; d < w.docs_.size(); d += 7) {
+      EXPECT_EQ(scheme.plan_publish(w.docs_.row(d)).matches, w.truth(d));
+    }
+  }
+}
+
+TEST(MoveScheme, MatchesBruteForceUnderEveryFactorRule) {
+  const auto& w = shared_workload();
+  for (auto rule : {FactorRule::kTheorem1SqrtQ, FactorRule::kTheorem2SqrtBetaQ,
+                    FactorRule::kGeneralSqrtPQ}) {
+    cluster::Cluster c(small_cluster());
+    auto opts = small_move_options();
+    opts.rule = rule;
+    MoveScheme scheme(c, opts);
+    scheme.register_filters(w.filters_);
+    scheme.allocate(w.filter_stats_, w.corpus_stats_);
+    for (std::size_t d = 0; d < w.docs_.size(); d += 7) {
+      EXPECT_EQ(scheme.plan_publish(w.docs_.row(d)).matches, w.truth(d));
+    }
+  }
+}
+
+class SemanticsParam
+    : public ::testing::TestWithParam<index::MatchOptions> {};
+
+TEST_P(SemanticsParam, AllSchemesAgreeWithBruteForce) {
+  const auto& w = shared_workload();
+  const auto opt = GetParam();
+
+  cluster::Cluster c_il(small_cluster()), c_rs(small_cluster()),
+      c_mv(small_cluster());
+  IlScheme il(c_il, IlOptions{opt, true, 0.01, 1});
+  RsScheme rs(c_rs, RsOptions{opt, 3, 2});
+  auto mopts = small_move_options();
+  mopts.match = opt;
+  MoveScheme mv(c_mv, mopts);
+  il.register_filters(w.filters_);
+  rs.register_filters(w.filters_);
+  mv.register_filters(w.filters_);
+  mv.allocate(w.filter_stats_, w.corpus_stats_);
+
+  for (std::size_t d = 0; d < w.docs_.size(); d += 5) {
+    const auto expected = w.truth(d, opt);
+    EXPECT_EQ(il.plan_publish(w.docs_.row(d)).matches, expected);
+    EXPECT_EQ(rs.plan_publish(w.docs_.row(d)).matches, expected);
+    EXPECT_EQ(mv.plan_publish(w.docs_.row(d)).matches, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AcrossSemantics, SemanticsParam,
+    ::testing::Values(
+        index::MatchOptions{index::MatchSemantics::kAnyTerm, 0.0},
+        index::MatchOptions{index::MatchSemantics::kAllTerms, 0.0},
+        index::MatchOptions{index::MatchSemantics::kThreshold, 0.5},
+        index::MatchOptions{index::MatchSemantics::kThreshold, 1.0}));
+
+TEST(IlScheme, BloomOffStillCorrect) {
+  const auto& w = shared_workload();
+  cluster::Cluster c(small_cluster());
+  IlOptions o;
+  o.use_bloom = false;
+  IlScheme scheme(c, o);
+  scheme.register_filters(w.filters_);
+  EXPECT_EQ(scheme.bloom(), nullptr);
+  for (std::size_t d = 0; d < w.docs_.size(); d += 11) {
+    EXPECT_EQ(scheme.plan_publish(w.docs_.row(d)).matches, w.truth(d));
+  }
+}
+
+TEST(RsScheme, StorageIsEvenAcrossNodes) {
+  const auto& w = shared_workload();
+  cluster::Cluster c(small_cluster());
+  RsScheme scheme(c);
+  scheme.register_filters(w.filters_);
+  const auto storage = scheme.storage_per_node();
+  std::vector<double> s(storage.begin(), storage.end());
+  EXPECT_LT(common::peak_to_mean(s), 1.6);
+  // 3 replicas of every filter.
+  std::uint64_t total = 0;
+  for (auto v : storage) total += v;
+  EXPECT_EQ(total, w.filters_.size() * 3);
+}
+
+TEST(IlScheme, StorageIsSkewedByPopularity) {
+  const auto& w = shared_workload();
+  cluster::Cluster c(small_cluster());
+  IlScheme scheme(c);
+  scheme.register_filters(w.filters_);
+  std::vector<double> s;
+  for (auto v : scheme.storage_per_node()) s.push_back(static_cast<double>(v));
+  // Skewed term popularity concentrates filters on a few home nodes.
+  EXPECT_GT(common::peak_to_mean(s), 1.5);
+}
+
+TEST(MoveScheme, AllocationAddsBoundedCopies) {
+  const auto& w = shared_workload();
+  cluster::Cluster c(small_cluster());
+  MoveScheme scheme(c, small_move_options());
+  scheme.register_filters(w.filters_);
+  std::uint64_t before = 0;
+  for (auto v : scheme.storage_per_node()) before += v;
+  scheme.allocate(w.filter_stats_, w.corpus_stats_);
+  std::uint64_t after = 0;
+  for (auto v : scheme.storage_per_node()) after += v;
+  EXPECT_GT(after, before);  // replication happened
+  // Total stays within the cluster budget N*C plus the IL originals.
+  EXPECT_LE(after, before + static_cast<std::uint64_t>(
+                                12 * small_move_options().capacity * 1.3));
+}
+
+TEST(MoveScheme, FullAvailabilityWithoutFailures) {
+  const auto& w = shared_workload();
+  cluster::Cluster c(small_cluster());
+  MoveScheme scheme(c, small_move_options());
+  scheme.register_filters(w.filters_);
+  EXPECT_DOUBLE_EQ(scheme.filter_availability(), 1.0);
+}
+
+TEST(MoveScheme, AllocateBeforeRegisterThrows) {
+  const auto& w = shared_workload();
+  cluster::Cluster c(small_cluster());
+  MoveScheme scheme(c, small_move_options());
+  EXPECT_THROW(scheme.allocate(w.filter_stats_, w.corpus_stats_),
+               std::logic_error);
+  EXPECT_THROW(scheme.allocate_from_observed(), std::logic_error);
+}
+
+TEST(MoveScheme, PassiveAllocationFromObservedTraffic) {
+  const auto& w = shared_workload();
+  cluster::Cluster c(small_cluster());
+  MoveScheme scheme(c, small_move_options());
+  scheme.register_filters(w.filters_);
+  // Let some documents flow to populate the meta stores, then allocate.
+  for (std::size_t d = 0; d < 40; ++d) scheme.plan_publish(w.docs_.row(d));
+  scheme.allocate_from_observed();
+  bool any_table = false;
+  for (const auto& t : scheme.tables()) any_table |= t.has_value();
+  EXPECT_TRUE(any_table);
+  for (std::size_t d = 40; d < w.docs_.size(); d += 5) {
+    EXPECT_EQ(scheme.plan_publish(w.docs_.row(d)).matches, w.truth(d));
+  }
+}
+
+TEST(MoveScheme, TwoHopPlansForAllocatedHomes) {
+  const auto& w = shared_workload();
+  cluster::Cluster c(small_cluster());
+  MoveScheme scheme(c, small_move_options());
+  scheme.register_filters(w.filters_);
+  scheme.allocate(w.filter_stats_, w.corpus_stats_);
+  bool saw_two_hop = false;
+  for (std::size_t d = 0; d < w.docs_.size(); ++d) {
+    for (const auto& hop : scheme.plan_publish(w.docs_.row(d)).hops) {
+      saw_two_hop |= !hop.then.empty();
+    }
+  }
+  EXPECT_TRUE(saw_two_hop);
+}
+
+}  // namespace
+}  // namespace move::core

@@ -1,0 +1,166 @@
+#include "core/stairs_scheme.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/il_scheme.hpp"
+#include "index/brute_force.hpp"
+#include "workload/corpus.hpp"
+#include "workload/query_trace.hpp"
+
+namespace move::core {
+namespace {
+
+constexpr std::size_t kVocab = 1'500;
+
+struct StairsFixture {
+  StairsFixture() {
+    workload::QueryTraceConfig qcfg;
+    qcfg.num_filters = 3'000;
+    qcfg.vocabulary_size = kVocab;
+    qcfg.head_count = 40;
+    filters = workload::QueryTraceGenerator(qcfg).generate();
+    auto ccfg = workload::CorpusConfig::trec_wt_like(0.001, kVocab);
+    docs = workload::CorpusGenerator(ccfg).generate(80);
+    for (std::size_t i = 0; i < filters.size(); ++i) {
+      reference.add(filters.row(i));
+    }
+  }
+  workload::TermSetTable filters, docs;
+  index::FilterStore reference;
+};
+
+const StairsFixture& fx() {
+  static const StairsFixture f;
+  return f;
+}
+
+cluster::ClusterConfig cfg() {
+  cluster::ClusterConfig c;
+  c.num_nodes = 10;
+  c.num_racks = 2;
+  return c;
+}
+
+TEST(Stairs, DesignatedCountAllTermsIsOne) {
+  cluster::Cluster c(cfg());
+  IlOptions o;
+  o.match.semantics = index::MatchSemantics::kAllTerms;
+  StairsScheme scheme(c, o);
+  EXPECT_EQ(scheme.designated_count(1), 1u);
+  EXPECT_EQ(scheme.designated_count(5), 1u);
+}
+
+TEST(Stairs, DesignatedCountThresholdPigeonhole) {
+  cluster::Cluster c(cfg());
+  IlOptions o;
+  o.match.semantics = index::MatchSemantics::kThreshold;
+  o.match.threshold = 0.5;
+  StairsScheme scheme(c, o);
+  // |f|=4, needed=2 -> k=3; |f|=3, needed=2 -> k=2; |f|=1, needed=1 -> k=1.
+  EXPECT_EQ(scheme.designated_count(4), 3u);
+  EXPECT_EQ(scheme.designated_count(3), 2u);
+  EXPECT_EQ(scheme.designated_count(1), 1u);
+}
+
+TEST(Stairs, DesignatedCountAnyTermDegeneratesToIl) {
+  cluster::Cluster c(cfg());
+  StairsScheme scheme(c);  // default kAnyTerm
+  EXPECT_EQ(scheme.designated_count(3), 3u);
+}
+
+TEST(Stairs, CorrectUnderConjunctiveSemantics) {
+  const auto& f = fx();
+  cluster::Cluster c(cfg());
+  IlOptions o;
+  o.match.semantics = index::MatchSemantics::kAllTerms;
+  StairsScheme scheme(c, o);
+  scheme.register_filters(f.filters);
+  for (std::size_t d = 0; d < f.docs.size(); ++d) {
+    EXPECT_EQ(scheme.plan_publish(f.docs.row(d)).matches,
+              index::brute_force_match(f.reference, f.docs.row(d), o.match))
+        << "doc " << d;
+  }
+}
+
+TEST(Stairs, CorrectUnderThresholdSemantics) {
+  const auto& f = fx();
+  for (double theta : {0.4, 0.6, 1.0}) {
+    cluster::Cluster c(cfg());
+    IlOptions o;
+    o.match.semantics = index::MatchSemantics::kThreshold;
+    o.match.threshold = theta;
+    StairsScheme scheme(c, o);
+    scheme.register_filters(f.filters);
+    for (std::size_t d = 0; d < f.docs.size(); d += 5) {
+      EXPECT_EQ(scheme.plan_publish(f.docs.row(d)).matches,
+                index::brute_force_match(f.reference, f.docs.row(d), o.match))
+          << "theta " << theta << " doc " << d;
+    }
+  }
+}
+
+TEST(Stairs, CorrectUnderAnyTermByDegeneration) {
+  const auto& f = fx();
+  cluster::Cluster c(cfg());
+  StairsScheme scheme(c);
+  scheme.register_filters(f.filters);
+  for (std::size_t d = 0; d < f.docs.size(); d += 7) {
+    EXPECT_EQ(scheme.plan_publish(f.docs.row(d)).matches,
+              index::brute_force_match(f.reference, f.docs.row(d), {}));
+  }
+}
+
+TEST(Stairs, StoresFewerCopiesThanIl) {
+  const auto& f = fx();
+  IlOptions o;
+  o.match.semantics = index::MatchSemantics::kAllTerms;
+
+  cluster::Cluster c_stairs(cfg()), c_il(cfg());
+  StairsScheme stairs(c_stairs, o);
+  IlScheme il(c_il, o);
+  stairs.register_filters(f.filters);
+  il.register_filters(f.filters);
+
+  std::uint64_t stairs_copies = 0, il_copies = 0;
+  for (auto v : stairs.storage_per_node()) stairs_copies += v;
+  for (auto v : il.storage_per_node()) il_copies += v;
+  // Conjunctive STAIRS registers one designated term per filter.
+  EXPECT_EQ(stairs.registrations(), f.filters.size());
+  EXPECT_LT(stairs_copies, il_copies);
+}
+
+TEST(Stairs, RegistrationsShrinkWithTheta) {
+  const auto& f = fx();
+  std::uint64_t regs_low = 0, regs_high = 0;
+  for (auto [theta, out] :
+       {std::pair{0.3, &regs_low}, std::pair{1.0, &regs_high}}) {
+    cluster::Cluster c(cfg());
+    IlOptions o;
+    o.match.semantics = index::MatchSemantics::kThreshold;
+    o.match.threshold = theta;
+    StairsScheme scheme(c, o);
+    scheme.register_filters(f.filters);
+    *out = scheme.registrations();
+  }
+  // Higher theta -> fewer designated terms -> fewer registrations.
+  EXPECT_LT(regs_high, regs_low);
+}
+
+TEST(Stairs, RebuildKeepsSelectiveRegistration) {
+  const auto& f = fx();
+  cluster::Cluster c(cfg());
+  IlOptions o;
+  o.match.semantics = index::MatchSemantics::kAllTerms;
+  StairsScheme scheme(c, o);
+  scheme.register_filters(f.filters);
+  c.add_node();
+  scheme.rebuild();
+  EXPECT_EQ(scheme.registrations(), f.filters.size());
+  for (std::size_t d = 0; d < f.docs.size(); d += 9) {
+    EXPECT_EQ(scheme.plan_publish(f.docs.row(d)).matches,
+              index::brute_force_match(f.reference, f.docs.row(d), o.match));
+  }
+}
+
+}  // namespace
+}  // namespace move::core

@@ -1,0 +1,98 @@
+#include "index/filter_store.hpp"
+
+#include <gtest/gtest.h>
+
+namespace move::index {
+namespace {
+
+std::vector<TermId> ids(std::initializer_list<std::uint32_t> xs) {
+  std::vector<TermId> out;
+  for (auto x : xs) out.push_back(TermId{x});
+  return out;
+}
+
+TEST(FilterStore, AddAssignsDenseIds) {
+  FilterStore s;
+  EXPECT_EQ(s.add(ids({1, 2})).value, 0u);
+  EXPECT_EQ(s.add(ids({3})).value, 1u);
+  EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(FilterStore, RejectsEmptyFilter) {
+  FilterStore s;
+  EXPECT_THROW(s.add({}), std::invalid_argument);
+}
+
+TEST(FilterStore, TermsRoundTrip) {
+  FilterStore s;
+  const auto f = s.add(ids({5, 9, 11}));
+  const auto t = s.terms(f);
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0].value, 5u);
+  EXPECT_EQ(t[2].value, 11u);
+}
+
+TEST(FilterStore, TermsThrowsOnBadId) {
+  FilterStore s;
+  EXPECT_THROW(s.terms(FilterId{0}), std::out_of_range);
+}
+
+TEST(FilterStore, TermSlotsCountCopies) {
+  FilterStore s;
+  s.add(ids({1, 2}));
+  s.add(ids({1, 2, 3}));
+  EXPECT_EQ(s.term_slots(), 5u);
+}
+
+TEST(IntersectionSize, Basics) {
+  EXPECT_EQ(FilterStore::intersection_size(ids({1, 2, 3}), ids({2, 3, 4})),
+            2u);
+  EXPECT_EQ(FilterStore::intersection_size(ids({1}), ids({2})), 0u);
+  EXPECT_EQ(FilterStore::intersection_size({}, ids({1})), 0u);
+  EXPECT_EQ(FilterStore::intersection_size(ids({7}), ids({7})), 1u);
+}
+
+TEST(Matches, AnyTermSemantics) {
+  FilterStore s;
+  const auto f = s.add(ids({10, 20}));
+  MatchOptions any;  // default kAnyTerm
+  EXPECT_TRUE(s.matches(f, ids({20, 99}), any));
+  EXPECT_FALSE(s.matches(f, ids({30, 99}), any));
+}
+
+TEST(Matches, AllTermsSemantics) {
+  FilterStore s;
+  const auto f = s.add(ids({10, 20}));
+  MatchOptions all{MatchSemantics::kAllTerms, 0.0};
+  EXPECT_TRUE(s.matches(f, ids({5, 10, 20}), all));
+  EXPECT_FALSE(s.matches(f, ids({10, 99}), all));
+}
+
+TEST(Matches, ThresholdSemantics) {
+  FilterStore s;
+  const auto f = s.add(ids({1, 2, 3, 4}));
+  // theta = 0.5 on a 4-term filter needs >= 2 common terms.
+  MatchOptions half{MatchSemantics::kThreshold, 0.5};
+  EXPECT_FALSE(s.matches(f, ids({1, 99}), half));
+  EXPECT_TRUE(s.matches(f, ids({1, 2}), half));
+}
+
+TEST(Matches, ThresholdAtLeastOne) {
+  FilterStore s;
+  const auto f = s.add(ids({1, 2, 3}));
+  // A tiny theta still requires one shared term.
+  MatchOptions tiny{MatchSemantics::kThreshold, 0.01};
+  EXPECT_FALSE(s.matches(f, ids({9}), tiny));
+  EXPECT_TRUE(s.matches(f, ids({3}), tiny));
+}
+
+TEST(Matches, ThresholdOneEqualsAllTerms) {
+  FilterStore s;
+  const auto f = s.add(ids({1, 2, 3}));
+  MatchOptions full{MatchSemantics::kThreshold, 1.0};
+  EXPECT_TRUE(s.matches(f, ids({1, 2, 3, 4}), full));
+  EXPECT_FALSE(s.matches(f, ids({1, 2}), full));
+}
+
+}  // namespace
+}  // namespace move::index

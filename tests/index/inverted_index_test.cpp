@@ -1,0 +1,83 @@
+#include "index/inverted_index.hpp"
+
+#include <gtest/gtest.h>
+
+namespace move::index {
+namespace {
+
+std::vector<TermId> ids(std::initializer_list<std::uint32_t> xs) {
+  std::vector<TermId> out;
+  for (auto x : xs) out.push_back(TermId{x});
+  return out;
+}
+
+TEST(InvertedIndex, AddCreatesPostings) {
+  InvertedIndex idx;
+  idx.add(FilterId{0}, ids({1, 2}));
+  EXPECT_EQ(idx.postings(TermId{1}).size(), 1u);
+  EXPECT_EQ(idx.postings(TermId{2}).size(), 1u);
+  EXPECT_EQ(idx.total_postings(), 2u);
+  EXPECT_EQ(idx.distinct_terms(), 2u);
+}
+
+TEST(InvertedIndex, MissingTermIsEmpty) {
+  InvertedIndex idx;
+  EXPECT_TRUE(idx.postings(TermId{42}).empty());
+  EXPECT_FALSE(idx.contains_term(TermId{42}));
+}
+
+TEST(InvertedIndex, SingleTermIndexingMode) {
+  // IL/MOVE mode: a filter with many terms indexed under only one.
+  InvertedIndex idx;
+  idx.add(FilterId{7}, ids({3}));
+  EXPECT_EQ(idx.postings(TermId{3}).size(), 1u);
+  EXPECT_TRUE(idx.postings(TermId{4}).empty());
+}
+
+TEST(InvertedIndex, MultipleFiltersShareList) {
+  InvertedIndex idx;
+  idx.add(FilterId{0}, ids({5}));
+  idx.add(FilterId{1}, ids({5}));
+  idx.add(FilterId{2}, ids({5}));
+  EXPECT_EQ(idx.postings(TermId{5}).size(), 3u);
+}
+
+TEST(InvertedIndex, RemoveDeletesEntries) {
+  InvertedIndex idx;
+  idx.add(FilterId{0}, ids({1, 2}));
+  idx.add(FilterId{1}, ids({1}));
+  idx.remove(FilterId{0}, ids({1, 2}));
+  EXPECT_EQ(idx.postings(TermId{1}).size(), 1u);
+  EXPECT_EQ(idx.postings(TermId{1})[0], FilterId{1});
+  EXPECT_FALSE(idx.contains_term(TermId{2}));  // emptied list pruned
+  EXPECT_EQ(idx.total_postings(), 1u);
+}
+
+TEST(InvertedIndex, RemoveMissingIsNoop) {
+  InvertedIndex idx;
+  idx.add(FilterId{0}, ids({1}));
+  idx.remove(FilterId{9}, ids({1, 2}));
+  EXPECT_EQ(idx.total_postings(), 1u);
+}
+
+TEST(InvertedIndex, IndexedTermsEnumerates) {
+  InvertedIndex idx;
+  idx.add(FilterId{0}, ids({1, 5, 9}));
+  auto terms = idx.indexed_terms();
+  std::sort(terms.begin(), terms.end());
+  ASSERT_EQ(terms.size(), 3u);
+  EXPECT_EQ(terms[0].value, 1u);
+  EXPECT_EQ(terms[2].value, 9u);
+}
+
+TEST(MatchAccounting, Accumulates) {
+  MatchAccounting a{1, 10, 2};
+  const MatchAccounting b{2, 5, 1};
+  a += b;
+  EXPECT_EQ(a.lists_retrieved, 3u);
+  EXPECT_EQ(a.postings_scanned, 15u);
+  EXPECT_EQ(a.candidates_verified, 3u);
+}
+
+}  // namespace
+}  // namespace move::index

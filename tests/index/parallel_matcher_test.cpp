@@ -1,0 +1,99 @@
+#include "index/parallel_matcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include "index/brute_force.hpp"
+#include "workload/corpus.hpp"
+#include "workload/query_trace.hpp"
+
+namespace move::index {
+namespace {
+
+constexpr std::size_t kVocab = 1'000;
+
+struct ParallelFixture {
+  ParallelFixture() {
+    workload::QueryTraceConfig qcfg;
+    qcfg.num_filters = 4'000;
+    qcfg.vocabulary_size = kVocab;
+    qcfg.head_count = 30;
+    filters = workload::QueryTraceGenerator(qcfg).generate();
+    auto ccfg = workload::CorpusConfig::trec_wt_like(0.001, kVocab);
+    docs = workload::CorpusGenerator(ccfg).generate(40);
+    for (std::size_t i = 0; i < filters.size(); ++i) {
+      reference.add(filters.row(i));
+    }
+  }
+  workload::TermSetTable filters, docs;
+  FilterStore reference;
+};
+
+const ParallelFixture& fx() {
+  static const ParallelFixture f;
+  return f;
+}
+
+TEST(ParallelMatcher, AgreesWithBruteForce) {
+  const auto& f = fx();
+  ParallelMatcher matcher(f.filters, 8, 4);
+  for (std::size_t d = 0; d < f.docs.size(); ++d) {
+    EXPECT_EQ(matcher.match(f.docs.row(d)),
+              brute_force_match(f.reference, f.docs.row(d), {}))
+        << "doc " << d;
+  }
+}
+
+TEST(ParallelMatcher, ParallelEqualsSequential) {
+  const auto& f = fx();
+  ParallelMatcher matcher(f.filters, 8, 4);
+  for (std::size_t d = 0; d < f.docs.size(); d += 3) {
+    EXPECT_EQ(matcher.match(f.docs.row(d)),
+              matcher.match_sequential(f.docs.row(d)));
+  }
+}
+
+TEST(ParallelMatcher, ShardCountIndependent) {
+  const auto& f = fx();
+  ParallelMatcher one(f.filters, 1, 2);
+  ParallelMatcher many(f.filters, 16, 2);
+  for (std::size_t d = 0; d < f.docs.size(); d += 5) {
+    EXPECT_EQ(one.match(f.docs.row(d)), many.match(f.docs.row(d)));
+  }
+}
+
+TEST(ParallelMatcher, ThresholdSemantics) {
+  const auto& f = fx();
+  ParallelMatcher matcher(f.filters, 6, 3);
+  const MatchOptions opt{MatchSemantics::kThreshold, 0.5};
+  for (std::size_t d = 0; d < f.docs.size(); d += 4) {
+    EXPECT_EQ(matcher.match(f.docs.row(d), opt),
+              brute_force_match(f.reference, f.docs.row(d), opt));
+  }
+}
+
+TEST(ParallelMatcher, ZeroShardsDefaultsToThreads) {
+  const auto& f = fx();
+  ParallelMatcher matcher(f.filters, 0, 3);
+  EXPECT_EQ(matcher.shard_count(), 3u);
+  EXPECT_EQ(matcher.thread_count(), 3u);
+  EXPECT_EQ(matcher.filter_count(), f.filters.size());
+}
+
+TEST(ParallelMatcher, EmptyDocMatchesNothing) {
+  const auto& f = fx();
+  ParallelMatcher matcher(f.filters, 4, 2);
+  EXPECT_TRUE(matcher.match({}).empty());
+}
+
+TEST(ParallelMatcher, RepeatedCallsAreStable) {
+  const auto& f = fx();
+  ParallelMatcher matcher(f.filters, 8, 4);
+  const auto doc = f.docs.row(0);
+  const auto first = matcher.match(doc);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(matcher.match(doc), first);
+  }
+}
+
+}  // namespace
+}  // namespace move::index

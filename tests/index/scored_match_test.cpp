@@ -1,0 +1,107 @@
+#include "index/scored_match.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace move::index {
+namespace {
+
+std::vector<TermId> ids(std::initializer_list<std::uint32_t> xs) {
+  std::vector<TermId> out;
+  for (auto x : xs) out.push_back(TermId{x});
+  return out;
+}
+
+TEST(CosineScore, DisjointIsZero) {
+  EXPECT_EQ(cosine_score(ids({1, 2}), ids({3, 4})), 0.0);
+}
+
+TEST(CosineScore, IdenticalIsOne) {
+  EXPECT_DOUBLE_EQ(cosine_score(ids({1, 2, 3}), ids({1, 2, 3})), 1.0);
+}
+
+TEST(CosineScore, PartialOverlap) {
+  // |d|=4, |f|=2, common=1 -> 1/sqrt(8).
+  EXPECT_NEAR(cosine_score(ids({1, 2, 3, 4}), ids({4, 9})),
+              1.0 / std::sqrt(8.0), 1e-12);
+}
+
+TEST(CosineScore, EmptyIsZero) {
+  EXPECT_EQ(cosine_score({}, ids({1})), 0.0);
+  EXPECT_EQ(cosine_score(ids({1}), {}), 0.0);
+}
+
+class ScoredMatchFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    add(ids({1, 2}));        // f0
+    add(ids({1, 2, 3}));     // f1
+    add(ids({9}));           // f2
+    add(ids({1}));           // f3
+  }
+  void add(const std::vector<TermId>& terms) {
+    const auto id = store_.add(terms);
+    index_.add(id, store_.terms(id));
+  }
+  FilterStore store_;
+  InvertedIndex index_;
+};
+
+TEST_F(ScoredMatchFixture, OrdersByDescendingScore) {
+  const auto doc = ids({1, 2});
+  const auto out = scored_match(store_, index_, doc, {});
+  ASSERT_EQ(out.size(), 3u);  // f2 shares nothing
+  EXPECT_EQ(out[0].filter, FilterId{0});  // cosine 1.0
+  EXPECT_DOUBLE_EQ(out[0].score, 1.0);
+  // f1: 2/sqrt(6) ~ 0.816; f3: 1/sqrt(2) ~ 0.707.
+  EXPECT_EQ(out[1].filter, FilterId{1});
+  EXPECT_EQ(out[2].filter, FilterId{3});
+}
+
+TEST_F(ScoredMatchFixture, MinScoreFilters) {
+  ScoredMatchOptions opt;
+  opt.min_score = 0.8;
+  const auto out = scored_match(store_, index_, ids({1, 2}), opt);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_GE(out.back().score, 0.8);
+}
+
+TEST_F(ScoredMatchFixture, TopKTruncates) {
+  ScoredMatchOptions opt;
+  opt.top_k = 1;
+  const auto out = scored_match(store_, index_, ids({1, 2}), opt);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].filter, FilterId{0});
+}
+
+TEST_F(ScoredMatchFixture, TiesBreakByFilterId) {
+  // f0={1,2} and a duplicate filter get identical scores.
+  add(ids({1, 2}));  // f4, same terms as f0
+  const auto out = scored_match(store_, index_, ids({1, 2}), {});
+  ASSERT_GE(out.size(), 2u);
+  EXPECT_EQ(out[0].filter, FilterId{0});
+  EXPECT_EQ(out[1].filter, FilterId{4});
+}
+
+TEST_F(ScoredMatchFixture, AccountingReported) {
+  MatchAccounting acc;
+  scored_match(store_, index_, ids({1, 2, 9}), {}, &acc);
+  EXPECT_EQ(acc.lists_retrieved, 3u);
+  EXPECT_GT(acc.postings_scanned, 0u);
+  EXPECT_EQ(acc.candidates_verified, 4u);  // f0, f1, f2, f3
+}
+
+TEST_F(ScoredMatchFixture, NoOverlapNoMatches) {
+  EXPECT_TRUE(scored_match(store_, index_, ids({77}), {}).empty());
+}
+
+TEST_F(ScoredMatchFixture, ScoresAgreeWithDirectCosine) {
+  const auto doc = ids({1, 3, 9});
+  for (const auto& m : scored_match(store_, index_, doc, {})) {
+    EXPECT_DOUBLE_EQ(m.score, cosine_score(doc, store_.terms(m.filter)));
+  }
+}
+
+}  // namespace
+}  // namespace move::index

@@ -1,0 +1,161 @@
+#include "index/sift_matcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "index/brute_force.hpp"
+
+namespace move::index {
+namespace {
+
+std::vector<TermId> ids(std::initializer_list<std::uint32_t> xs) {
+  std::vector<TermId> out;
+  for (auto x : xs) out.push_back(TermId{x});
+  return out;
+}
+
+/// Fixture with the paper's Figure 1 filter set:
+/// f1={A,E} f2={A,B} f3={A,B} f4={A,C} f5={A,C,E} f6={B,E}
+/// with A=0, B=1, C=2, D=3, E=4.
+class Figure1 : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    store_.add(ids({0, 4}));     // f1
+    store_.add(ids({0, 1}));     // f2
+    store_.add(ids({0, 1}));     // f3
+    store_.add(ids({0, 2}));     // f4
+    store_.add(ids({0, 2, 4}));  // f5
+    store_.add(ids({1, 4}));     // f6
+    // Full indexing (RS mode).
+    for (std::uint32_t i = 0; i < store_.size(); ++i) {
+      full_.add(FilterId{i}, store_.terms(FilterId{i}));
+    }
+    // Single-term indexing for home node of A (IL mode): posting list for A
+    // only, holding the five filters containing A.
+    for (std::uint32_t i = 0; i < store_.size(); ++i) {
+      const auto t = store_.terms(FilterId{i});
+      if (std::find(t.begin(), t.end(), TermId{0}) != t.end()) {
+        single_.add(FilterId{i}, ids({0}));
+      }
+    }
+  }
+
+  FilterStore store_;
+  InvertedIndex full_;
+  InvertedIndex single_;
+};
+
+TEST_F(Figure1, FullMatchFindsPaperExample) {
+  // Document d = {A, B, D} matches f1..f6 (every filter shares A or B).
+  const SiftMatcher matcher(store_, full_);
+  std::vector<FilterId> out;
+  matcher.match(ids({0, 1, 3}), MatchOptions{}, out);
+  ASSERT_EQ(out.size(), 6u);
+}
+
+TEST_F(Figure1, FullMatchAccountsRetrievedLists) {
+  const SiftMatcher matcher(store_, full_);
+  std::vector<FilterId> out;
+  const auto acc = matcher.match(ids({0, 1, 3}), MatchOptions{}, out);
+  // A and B have lists; D does not -> 2 seeks, 5 + 3 postings.
+  EXPECT_EQ(acc.lists_retrieved, 2u);
+  EXPECT_EQ(acc.postings_scanned, 8u);
+}
+
+TEST_F(Figure1, SingleListMatchesOnlyHomeTermFilters) {
+  // On home node of A, only the posting list of A is retrieved (paper
+  // §III-B): filters f1..f5.
+  const SiftMatcher matcher(store_, single_);
+  std::vector<FilterId> out;
+  const auto acc =
+      matcher.match_single_list(TermId{0}, ids({0, 1, 3}), MatchOptions{}, out);
+  EXPECT_EQ(out.size(), 5u);
+  EXPECT_EQ(acc.lists_retrieved, 1u);
+  EXPECT_EQ(acc.postings_scanned, 5u);
+}
+
+TEST_F(Figure1, SingleListMissingTermIsFree) {
+  const SiftMatcher matcher(store_, single_);
+  std::vector<FilterId> out;
+  const auto acc =
+      matcher.match_single_list(TermId{3}, ids({3}), MatchOptions{}, out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(acc.lists_retrieved, 0u);
+}
+
+TEST_F(Figure1, MatchesAgreeWithBruteForce) {
+  const SiftMatcher matcher(store_, full_);
+  std::vector<FilterId> out;
+  for (auto doc : {ids({0}), ids({1, 2}), ids({3}), ids({2, 4}),
+                   ids({0, 1, 2, 3, 4})}) {
+    matcher.match(doc, MatchOptions{}, out);
+    EXPECT_EQ(out, brute_force_match(store_, doc, MatchOptions{}));
+  }
+}
+
+TEST_F(Figure1, ThresholdSemanticsVerified) {
+  const SiftMatcher matcher(store_, full_);
+  MatchOptions all{MatchSemantics::kAllTerms, 0.0};
+  std::vector<FilterId> out;
+  matcher.match(ids({0, 4}), all, out);  // contains exactly f1={A,E}
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], FilterId{0});
+}
+
+TEST_F(Figure1, ThresholdAgreesWithBruteForce) {
+  const SiftMatcher matcher(store_, full_);
+  for (double theta : {0.3, 0.5, 0.8, 1.0}) {
+    const MatchOptions opt{MatchSemantics::kThreshold, theta};
+    std::vector<FilterId> out;
+    for (auto doc : {ids({0, 1}), ids({0, 2, 4}), ids({4})}) {
+      matcher.match(doc, opt, out);
+      EXPECT_EQ(out, brute_force_match(store_, doc, opt)) << "theta " << theta;
+    }
+  }
+}
+
+TEST_F(Figure1, SingleListVerifiesUnderThreshold) {
+  const SiftMatcher matcher(store_, single_);
+  // theta=1.0: only filters fully contained in the doc survive.
+  const MatchOptions opt{MatchSemantics::kThreshold, 1.0};
+  std::vector<FilterId> out;
+  matcher.match_single_list(TermId{0}, ids({0, 2}), opt, out);
+  ASSERT_EQ(out.size(), 1u);  // f4={A,C}
+  EXPECT_EQ(out[0], FilterId{3});
+}
+
+TEST(SiftMatcherRandomized, AgreesWithBruteForceOnRandomSets) {
+  common::SplitMix64 rng(71);
+  FilterStore store;
+  InvertedIndex index;
+  constexpr std::uint32_t kVocab = 40;
+  for (std::uint32_t i = 0; i < 300; ++i) {
+    std::vector<TermId> f;
+    const auto len = 1 + common::uniform_below(rng, 3);
+    while (f.size() < len) {
+      const TermId t{static_cast<std::uint32_t>(
+          common::uniform_below(rng, kVocab))};
+      if (std::find(f.begin(), f.end(), t) == f.end()) f.push_back(t);
+    }
+    std::sort(f.begin(), f.end());
+    const auto id = store.add(f);
+    index.add(id, store.terms(id));
+  }
+  const SiftMatcher matcher(store, index);
+  std::vector<FilterId> out;
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<TermId> doc;
+    const auto len = 1 + common::uniform_below(rng, 12);
+    while (doc.size() < len) {
+      const TermId t{static_cast<std::uint32_t>(
+          common::uniform_below(rng, kVocab))};
+      if (std::find(doc.begin(), doc.end(), t) == doc.end()) doc.push_back(t);
+    }
+    std::sort(doc.begin(), doc.end());
+    matcher.match(doc, MatchOptions{}, out);
+    EXPECT_EQ(out, brute_force_match(store, doc, MatchOptions{}));
+  }
+}
+
+}  // namespace
+}  // namespace move::index

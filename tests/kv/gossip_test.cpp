@@ -1,0 +1,128 @@
+#include "kv/gossip.hpp"
+
+#include <gtest/gtest.h>
+
+namespace move::kv {
+namespace {
+
+/// Builds an n-node membership where every node initially knows only node 0
+/// (the seed) — the worst-case join pattern.
+GossipMembership star_bootstrap(std::uint32_t n, GossipConfig cfg = {}) {
+  GossipMembership g(cfg);
+  for (std::uint32_t i = 0; i < n; ++i) g.add_node(NodeId{i});
+  for (std::uint32_t i = 1; i < n; ++i) g.introduce(NodeId{i}, NodeId{0});
+  for (std::uint32_t i = 1; i < n; ++i) g.introduce(NodeId{0}, NodeId{i});
+  return g;
+}
+
+TEST(Gossip, RejectsZeroFanout) {
+  GossipConfig cfg;
+  cfg.fanout = 0;
+  EXPECT_THROW(GossipMembership{cfg}, std::invalid_argument);
+}
+
+TEST(Gossip, FreshNodeKnowsItself) {
+  GossipMembership g;
+  g.add_node(NodeId{3});
+  EXPECT_EQ(g.live_view_size(NodeId{3}), 1u);
+  EXPECT_TRUE(g.believes_alive(NodeId{3}, NodeId{3}));
+}
+
+TEST(Gossip, UnknownNodeThrows) {
+  GossipMembership g;
+  EXPECT_THROW((void)g.live_view_size(NodeId{9}), std::out_of_range);
+  EXPECT_THROW(g.crash(NodeId{9}), std::out_of_range);
+  EXPECT_THROW(g.introduce(NodeId{9}, NodeId{9}), std::out_of_range);
+}
+
+TEST(Gossip, StarBootstrapConvergesQuickly) {
+  auto g = star_bootstrap(32);
+  const auto rounds = g.rounds_to_convergence(64);
+  EXPECT_LT(rounds, 16u);  // epidemic spread is O(log N) rounds
+  for (std::uint32_t i = 0; i < 32; ++i) {
+    EXPECT_EQ(g.live_view_size(NodeId{i}), 32u) << "node " << i;
+  }
+}
+
+TEST(Gossip, ConvergenceScalesLogarithmically) {
+  auto small = star_bootstrap(8);
+  auto large = star_bootstrap(128);
+  const auto r_small = small.rounds_to_convergence(128);
+  const auto r_large = large.rounds_to_convergence(128);
+  // 16x more nodes must NOT cost anywhere near 16x more rounds.
+  EXPECT_LT(r_large, r_small * 6 + 8);
+}
+
+TEST(Gossip, HigherFanoutConvergesNoSlower) {
+  GossipConfig slow, fast;
+  slow.fanout = 1;
+  fast.fanout = 4;
+  auto g_slow = star_bootstrap(64, slow);
+  auto g_fast = star_bootstrap(64, fast);
+  EXPECT_LE(g_fast.rounds_to_convergence(256),
+            g_slow.rounds_to_convergence(256));
+}
+
+TEST(Gossip, CrashIsDetectedEverywhere) {
+  auto g = star_bootstrap(16);
+  g.rounds_to_convergence(64);
+  g.crash(NodeId{5});
+  GossipConfig cfg;  // default suspicion window
+  g.run_rounds(cfg.suspicion_rounds + 8);
+  for (std::uint32_t i = 0; i < 16; ++i) {
+    if (i == 5) continue;
+    EXPECT_FALSE(g.believes_alive(NodeId{i}, NodeId{5})) << "node " << i;
+  }
+  EXPECT_TRUE(g.converged());
+  EXPECT_EQ(g.true_live_count(), 15u);
+}
+
+TEST(Gossip, LiveNodesNeverFalselySuspected) {
+  auto g = star_bootstrap(24);
+  g.rounds_to_convergence(64);
+  g.run_rounds(40);  // long quiet period, everyone healthy
+  for (std::uint32_t i = 0; i < 24; ++i) {
+    for (std::uint32_t j = 0; j < 24; ++j) {
+      EXPECT_TRUE(g.believes_alive(NodeId{i}, NodeId{j}))
+          << i << " suspects " << j;
+    }
+  }
+}
+
+TEST(Gossip, RestartIsRediscovered) {
+  auto g = star_bootstrap(12);
+  g.rounds_to_convergence(64);
+  g.crash(NodeId{7});
+  g.run_rounds(20);
+  ASSERT_FALSE(g.believes_alive(NodeId{0}, NodeId{7}));
+  g.restart(NodeId{7});
+  // The restarted node only remembers its old view; gossip re-spreads it.
+  g.run_rounds(20);
+  EXPECT_TRUE(g.believes_alive(NodeId{0}, NodeId{7}));
+  EXPECT_TRUE(g.converged());
+}
+
+TEST(Gossip, CrashedNodeStopsLearning) {
+  auto g = star_bootstrap(8);
+  g.crash(NodeId{3});
+  const auto before = g.rounds_elapsed();
+  g.run_rounds(10);
+  EXPECT_EQ(g.rounds_elapsed(), before + 10);
+  // Node 3's view froze at crash time: it never learned the others.
+  EXPECT_LE(g.live_view_size(NodeId{3}), 2u);
+}
+
+TEST(Gossip, DeterministicForSameSeed) {
+  GossipConfig cfg;
+  cfg.seed = 77;
+  auto a = star_bootstrap(20, cfg);
+  auto b = star_bootstrap(20, cfg);
+  a.run_rounds(12);
+  b.run_rounds(12);
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.live_view_size(NodeId{i}), b.live_view_size(NodeId{i}));
+  }
+}
+
+}  // namespace
+}  // namespace move::kv

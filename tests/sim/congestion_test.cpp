@@ -1,0 +1,82 @@
+// Congestion-model tests: the load-dependent service inflation that drives
+// Fig. 8(b)'s falling throughput curve (see DESIGN.md "Calibration").
+
+#include <gtest/gtest.h>
+
+#include "sim/event_engine.hpp"
+
+namespace move::sim {
+namespace {
+
+TEST(Congestion, DisabledByDefault) {
+  EventEngine eng;
+  FifoServer server(eng);
+  EXPECT_EQ(server.congestion_coeff(), 0.0);
+  // Two queued jobs: the second waits 100us but is NOT inflated.
+  eng.schedule_at(0, [&] {
+    server.submit(100, nullptr);
+    server.submit(100, nullptr);
+  });
+  eng.run();
+  EXPECT_DOUBLE_EQ(server.busy_us(), 200.0);
+}
+
+TEST(Congestion, InflatesWithQueueWait) {
+  EventEngine eng;
+  FifoServer server(eng);
+  server.set_congestion(1.0, 100.0);  // +100% per queued second
+  double second_done = 0;
+  eng.schedule_at(0, [&] {
+    server.submit(500'000, nullptr);  // 0.5 s of work
+    server.submit(100, [&](Time t) { second_done = t; });
+  });
+  eng.run();
+  // Second job waited 0.5 s -> service 100 * (1 + 0.5) = 150 us.
+  EXPECT_DOUBLE_EQ(second_done, 500'000 + 150);
+  EXPECT_DOUBLE_EQ(server.busy_us(), 500'000 + 150);
+}
+
+TEST(Congestion, InflationIsCapped) {
+  EventEngine eng;
+  FifoServer server(eng);
+  server.set_congestion(1.0, 3.0);  // cap at 3x
+  double second_done = 0;
+  eng.schedule_at(0, [&] {
+    server.submit(10'000'000, nullptr);  // 10 s backlog
+    server.submit(100, [&](Time t) { second_done = t; });
+  });
+  eng.run();
+  // Uncapped would be 100 * 11 = 1100; the cap holds it at 300.
+  EXPECT_DOUBLE_EQ(second_done, 10'000'000 + 300);
+}
+
+TEST(Congestion, NoWaitNoInflation) {
+  EventEngine eng;
+  FifoServer server(eng);
+  server.set_congestion(5.0, 100.0);
+  double done = 0;
+  eng.schedule_at(0, [&] { server.submit(100, [&](Time t) { done = t; }); });
+  eng.run();
+  EXPECT_DOUBLE_EQ(done, 100.0);
+}
+
+TEST(Congestion, LargeBurstsLosePerDocThroughput) {
+  // The Fig. 8(b) property in miniature: with congestion on, doubling the
+  // burst more than doubles the makespan.
+  auto makespan = [](int jobs) {
+    EventEngine eng;
+    FifoServer server(eng);
+    server.set_congestion(2.0, 12.0);
+    eng.schedule_at(0, [&, jobs] {
+      for (int i = 0; i < jobs; ++i) server.submit(1'000, nullptr);
+    });
+    eng.run();
+    return server.free_at();  // completion of the last queued job
+  };
+  const double small = makespan(100);
+  const double large = makespan(200);
+  EXPECT_GT(large, 2.0 * small);
+}
+
+}  // namespace
+}  // namespace move::sim

@@ -1,0 +1,150 @@
+#include "sim/event_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/metrics.hpp"
+
+#include <vector>
+
+namespace move::sim {
+namespace {
+
+TEST(EventEngine, RunsEventsInTimeOrder) {
+  EventEngine eng;
+  std::vector<int> order;
+  eng.schedule_at(30, [&] { order.push_back(3); });
+  eng.schedule_at(10, [&] { order.push_back(1); });
+  eng.schedule_at(20, [&] { order.push_back(2); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eng.now(), 30.0);
+  EXPECT_EQ(eng.events_processed(), 3u);
+}
+
+TEST(EventEngine, EqualTimesFireInScheduleOrder) {
+  EventEngine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    eng.schedule_at(5, [&, i] { order.push_back(i); });
+  }
+  eng.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventEngine, CallbacksMayScheduleMore) {
+  EventEngine eng;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) eng.schedule_after(10, chain);
+  };
+  eng.schedule_at(0, chain);
+  eng.run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(eng.now(), 40.0);
+}
+
+TEST(EventEngine, PastTimesClampToNow) {
+  EventEngine eng;
+  double fired_at = -1;
+  eng.schedule_at(100, [&] {
+    eng.schedule_at(5, [&] { fired_at = eng.now(); });  // in the past
+  });
+  eng.run();
+  EXPECT_EQ(fired_at, 100.0);
+}
+
+TEST(EventEngine, RunUntilStopsAtHorizon) {
+  EventEngine eng;
+  int fired = 0;
+  eng.schedule_at(10, [&] { ++fired; });
+  eng.schedule_at(50, [&] { ++fired; });
+  eng.run_until(20);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(eng.now(), 20.0);
+  EXPECT_FALSE(eng.idle());
+  eng.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(FifoServer, IdleServerServesImmediately) {
+  EventEngine eng;
+  FifoServer server(eng);
+  double done_at = -1;
+  eng.schedule_at(100, [&] {
+    server.submit(25, [&](Time t) { done_at = t; });
+  });
+  eng.run();
+  EXPECT_EQ(done_at, 125.0);
+  EXPECT_EQ(server.busy_us(), 25.0);
+  EXPECT_EQ(server.queue_wait_us(), 0.0);
+  EXPECT_EQ(server.jobs_served(), 1u);
+}
+
+TEST(FifoServer, JobsQueueSerially) {
+  EventEngine eng;
+  FifoServer server(eng);
+  std::vector<double> completions;
+  eng.schedule_at(0, [&] {
+    server.submit(10, [&](Time t) { completions.push_back(t); });
+    server.submit(10, [&](Time t) { completions.push_back(t); });
+    server.submit(10, [&](Time t) { completions.push_back(t); });
+  });
+  eng.run();
+  EXPECT_EQ(completions, (std::vector<double>{10.0, 20.0, 30.0}));
+  EXPECT_EQ(server.queue_wait_us(), 10.0 + 20.0);
+}
+
+TEST(FifoServer, InterleavedArrivals) {
+  EventEngine eng;
+  FifoServer server(eng);
+  std::vector<double> completions;
+  eng.schedule_at(0, [&] {
+    server.submit(100, [&](Time t) { completions.push_back(t); });
+  });
+  // Arrives while busy -> queues behind.
+  eng.schedule_at(50, [&] {
+    server.submit(10, [&](Time t) { completions.push_back(t); });
+  });
+  // Arrives after idle gap -> served at its arrival.
+  eng.schedule_at(500, [&] {
+    server.submit(10, [&](Time t) { completions.push_back(t); });
+  });
+  eng.run();
+  EXPECT_EQ(completions, (std::vector<double>{100.0, 110.0, 510.0}));
+}
+
+TEST(FifoServer, ResetClearsAccounting) {
+  EventEngine eng;
+  FifoServer server(eng);
+  eng.schedule_at(0, [&] { server.submit(10, nullptr); });
+  eng.run();
+  server.reset();
+  EXPECT_EQ(server.busy_us(), 0.0);
+  EXPECT_EQ(server.jobs_served(), 0u);
+  EXPECT_EQ(server.free_at(), 0.0);
+}
+
+TEST(FifoServer, NullCallbackAccepted) {
+  EventEngine eng;
+  FifoServer server(eng);
+  eng.schedule_at(0, [&] { server.submit(5, nullptr); });
+  eng.run();
+  EXPECT_EQ(server.jobs_served(), 1u);
+}
+
+TEST(RunMetricsSmoke, ThroughputFormula) {
+  RunMetrics m;
+  m.documents_completed = 500;
+  m.makespan_us = 2'000'000;  // 2 virtual seconds
+  EXPECT_DOUBLE_EQ(m.throughput_per_sec(), 250.0);
+}
+
+TEST(RunMetricsSmoke, ZeroMakespanIsZeroThroughput) {
+  RunMetrics m;
+  m.documents_completed = 10;
+  EXPECT_EQ(m.throughput_per_sec(), 0.0);
+}
+
+}  // namespace
+}  // namespace move::sim

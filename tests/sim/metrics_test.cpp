@@ -1,0 +1,68 @@
+#include "sim/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/cost_model.hpp"
+
+namespace move::sim {
+namespace {
+
+TEST(RunMetrics, LatencyStats) {
+  RunMetrics m;
+  m.latencies_us = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(m.mean_latency_us(), 25.0);
+  EXPECT_GE(m.p99_latency_us(), 39.0);
+}
+
+TEST(RunMetrics, EmptyLatencies) {
+  RunMetrics m;
+  EXPECT_EQ(m.mean_latency_us(), 0.0);
+  EXPECT_EQ(m.p99_latency_us(), 0.0);
+}
+
+TEST(RunMetrics, StorageCostConverts) {
+  RunMetrics m;
+  m.node_storage = {3, 7};
+  const auto cost = m.storage_cost();
+  ASSERT_EQ(cost.size(), 2u);
+  EXPECT_DOUBLE_EQ(cost[0], 3.0);
+  EXPECT_DOUBLE_EQ(cost[1], 7.0);
+}
+
+TEST(CostModel, TransferGrowsWithDocSize) {
+  const CostModel cost;
+  EXPECT_GT(cost.transfer_us(6000), cost.transfer_us(60));
+  // TREC-AP-sized articles cost visibly more to ship than TREC-WT pages.
+  EXPECT_GT(cost.transfer_us(6055) / cost.transfer_us(65), 5.0);
+}
+
+TEST(CostModel, CrossRackPenaltyApplied) {
+  const CostModel cost;
+  EXPECT_DOUBLE_EQ(cost.transfer_us(100, true), cost.transfer_us(100));
+  EXPECT_GT(cost.transfer_us(100, false), cost.transfer_us(100));
+}
+
+TEST(CostModel, MatchCostTracksAccounting) {
+  const CostModel cost;
+  index::MatchAccounting small{1, 10, 0};
+  index::MatchAccounting large{50, 10'000, 100};
+  EXPECT_GT(cost.match_us(large), cost.match_us(small));
+  EXPECT_DOUBLE_EQ(cost.match_us(index::MatchAccounting{}), 0.0);
+}
+
+TEST(CostModel, SeekDominatesSmallLists) {
+  // One seek must outweigh scanning a handful of postings: disk-bound model.
+  const CostModel cost;
+  index::MatchAccounting one_list{1, 5, 0};
+  EXPECT_GT(cost.seek_per_list_us,
+            cost.match_us(one_list) - cost.seek_per_list_us);
+}
+
+TEST(CostModel, BetaGrowsWithFilterCount) {
+  const CostModel cost;
+  EXPECT_GT(cost.beta(1e7, 100), cost.beta(1e5, 100));
+  EXPECT_GT(cost.beta(1e6, 100), 1.0);  // paper: beta >> 1 at large P
+}
+
+}  // namespace
+}  // namespace move::sim

@@ -1,0 +1,88 @@
+#include "text/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "text/porter.hpp"
+#include "text/stopwords.hpp"
+
+namespace move::text {
+namespace {
+
+TEST(Stopwords, CommonFunctionWordsPresent) {
+  EXPECT_TRUE(is_stopword("the"));
+  EXPECT_TRUE(is_stopword("and"));
+  EXPECT_TRUE(is_stopword("of"));
+  EXPECT_FALSE(is_stopword("keyword"));
+  EXPECT_FALSE(is_stopword("cassandra"));
+}
+
+TEST(Stopwords, CountMatchesListSize) { EXPECT_GT(stopword_count(), 100u); }
+
+TEST(Pipeline, EndToEnd) {
+  Vocabulary v;
+  Pipeline p(v);
+  const auto ids = p.process("The connected networks are connecting!");
+  // "the"/"are" dropped; "connected"/"connecting" stem together; dedupe.
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_TRUE(v.lookup(porter_stem("connected")).has_value());
+  EXPECT_TRUE(v.lookup(porter_stem("networks")).has_value());
+}
+
+TEST(Pipeline, OutputSortedAndDeduplicated) {
+  Vocabulary v;
+  Pipeline p(v);
+  const auto ids = p.process("zebra apple zebra apple mango");
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+}
+
+TEST(Pipeline, StopwordRemovalToggle) {
+  Vocabulary v;
+  PipelineOptions o;
+  o.remove_stopwords = false;
+  o.stem = false;
+  Pipeline p(v, o);
+  const auto ids = p.process("the cat");
+  EXPECT_EQ(ids.size(), 2u);
+}
+
+TEST(Pipeline, StemmingToggle) {
+  Vocabulary v;
+  PipelineOptions o;
+  o.stem = false;
+  Pipeline p(v, o);
+  p.process("connected connecting");
+  EXPECT_TRUE(v.lookup("connected").has_value());
+  EXPECT_TRUE(v.lookup("connecting").has_value());
+}
+
+TEST(Pipeline, ReadonlyDoesNotIntern) {
+  Vocabulary v;
+  Pipeline p(v);
+  p.process("alpha beta");
+  const std::size_t before = v.size();
+  const auto ids = p.process_readonly("alpha gamma");
+  EXPECT_EQ(v.size(), before);  // "gamma" not added
+  EXPECT_EQ(ids.size(), 1u);    // only "alpha" resolves
+}
+
+TEST(Pipeline, ReadonlyFindsProcessedTerms) {
+  Vocabulary v;
+  Pipeline p(v);
+  const auto reg = p.process("distributed systems");
+  const auto ro = p.process_readonly("distributed systems");
+  EXPECT_EQ(reg, ro);
+}
+
+TEST(Pipeline, FilterAndDocumentShareVocabulary) {
+  Vocabulary v;
+  Pipeline p(v);
+  const auto filter = p.process("football");
+  const auto doc = p.process("The football match was played yesterday");
+  // The filter's term must appear in the processed document set.
+  ASSERT_EQ(filter.size(), 1u);
+  EXPECT_TRUE(std::find(doc.begin(), doc.end(), filter[0]) != doc.end());
+}
+
+}  // namespace
+}  // namespace move::text

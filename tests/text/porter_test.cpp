@@ -1,0 +1,109 @@
+#include "text/porter.hpp"
+
+#include <gtest/gtest.h>
+
+namespace move::text {
+namespace {
+
+// Expected stems follow the rule walk-through in Porter's 1980 paper.
+struct Case {
+  const char* word;
+  const char* stem;
+};
+
+class PorterVectors : public ::testing::TestWithParam<Case> {};
+
+TEST_P(PorterVectors, StemsAsPublished) {
+  const auto& [word, stem] = GetParam();
+  EXPECT_EQ(porter_stem(word), stem) << "word: " << word;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Step1a, PorterVectors,
+    ::testing::Values(Case{"caresses", "caress"}, Case{"ponies", "poni"},
+                      Case{"caress", "caress"}, Case{"cats", "cat"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Step1b, PorterVectors,
+    ::testing::Values(Case{"feed", "feed"}, Case{"agreed", "agre"},
+                      Case{"plastered", "plaster"}, Case{"bled", "bled"},
+                      Case{"motoring", "motor"}, Case{"sing", "sing"},
+                      Case{"conflated", "conflat"}, Case{"troubled", "troubl"},
+                      Case{"sized", "size"}, Case{"hopping", "hop"},
+                      Case{"tanned", "tan"}, Case{"falling", "fall"},
+                      Case{"hissing", "hiss"}, Case{"fizzed", "fizz"},
+                      Case{"failing", "fail"}, Case{"filing", "file"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Step1c, PorterVectors,
+    ::testing::Values(Case{"happy", "happi"}, Case{"sky", "sky"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Step2, PorterVectors,
+    ::testing::Values(Case{"relational", "relat"},
+                      Case{"conditional", "condit"}, Case{"rational", "ration"},
+                      Case{"valenci", "valenc"}, Case{"hesitanci", "hesit"},
+                      Case{"digitizer", "digit"}, Case{"conformabli", "conform"},
+                      Case{"radicalli", "radic"}, Case{"differentli", "differ"},
+                      Case{"vileli", "vile"}, Case{"analogousli", "analog"},
+                      Case{"vietnamization", "vietnam"},
+                      Case{"predication", "predic"}, Case{"operator", "oper"},
+                      Case{"feudalism", "feudal"},
+                      Case{"decisiveness", "decis"},
+                      Case{"hopefulness", "hope"},
+                      Case{"callousness", "callous"},
+                      Case{"formaliti", "formal"},
+                      Case{"sensitiviti", "sensit"},
+                      Case{"sensibiliti", "sensibl"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Step3, PorterVectors,
+    ::testing::Values(Case{"triplicate", "triplic"}, Case{"formative", "form"},
+                      Case{"formalize", "formal"}, Case{"electriciti", "electr"},
+                      Case{"electrical", "electr"}, Case{"hopeful", "hope"},
+                      Case{"goodness", "good"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Step4, PorterVectors,
+    ::testing::Values(Case{"revival", "reviv"}, Case{"allowance", "allow"},
+                      Case{"inference", "infer"}, Case{"airliner", "airlin"},
+                      Case{"gyroscopic", "gyroscop"},
+                      Case{"adjustable", "adjust"},
+                      Case{"defensible", "defens"}, Case{"irritant", "irrit"},
+                      Case{"replacement", "replac"},
+                      Case{"adjustment", "adjust"}, Case{"dependent", "depend"},
+                      Case{"adoption", "adopt"}, Case{"homologou", "homolog"},
+                      Case{"communism", "commun"}, Case{"activate", "activ"},
+                      Case{"angulariti", "angular"},
+                      Case{"homologous", "homolog"},
+                      Case{"effective", "effect"}, Case{"bowdlerize", "bowdler"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Step5, PorterVectors,
+    ::testing::Values(Case{"probate", "probat"}, Case{"rate", "rate"},
+                      Case{"cease", "ceas"}, Case{"controll", "control"},
+                      Case{"roll", "roll"}));
+
+TEST(Porter, ShortWordsUnchanged) {
+  EXPECT_EQ(porter_stem("a"), "a");
+  EXPECT_EQ(porter_stem("is"), "is");
+  EXPECT_EQ(porter_stem(""), "");
+}
+
+TEST(Porter, IdempotentOnCommonVocabulary) {
+  // Stemming a stem should be a fixed point for these everyday words.
+  for (const char* w : {"run", "network", "filter", "cluster", "match"}) {
+    const auto once = porter_stem(w);
+    EXPECT_EQ(porter_stem(once), once) << w;
+  }
+}
+
+TEST(Porter, RelatedFormsShareStem) {
+  EXPECT_EQ(porter_stem("connect"), porter_stem("connected"));
+  EXPECT_EQ(porter_stem("connect"), porter_stem("connecting"));
+  EXPECT_EQ(porter_stem("connect"), porter_stem("connection"));
+  EXPECT_EQ(porter_stem("connect"), porter_stem("connections"));
+}
+
+}  // namespace
+}  // namespace move::text

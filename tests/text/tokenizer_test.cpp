@@ -1,0 +1,73 @@
+#include "text/tokenizer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace move::text {
+namespace {
+
+std::vector<std::string> tok(std::string_view s, TokenizerOptions o = {}) {
+  return tokenize(s, o);
+}
+
+TEST(Tokenizer, LowercasesAndSplits) {
+  EXPECT_EQ(tok("Hello World"), (std::vector<std::string>{"hello", "world"}));
+}
+
+TEST(Tokenizer, SplitsOnPunctuation) {
+  EXPECT_EQ(tok("breaking-news,today!now"),
+            (std::vector<std::string>{"breaking", "news", "today", "now"}));
+}
+
+TEST(Tokenizer, DropsShortTokens) {
+  EXPECT_EQ(tok("a i be at"), (std::vector<std::string>{"be", "at"}));
+}
+
+TEST(Tokenizer, MinLengthConfigurable) {
+  TokenizerOptions o;
+  o.min_length = 1;
+  EXPECT_EQ(tok("a b", o), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Tokenizer, DropsPureNumbers) {
+  EXPECT_EQ(tok("2024 election 42"), (std::vector<std::string>{"election"}));
+}
+
+TEST(Tokenizer, KeepsAlphanumerics) {
+  EXPECT_EQ(tok("web2 ipv6"), (std::vector<std::string>{"web2", "ipv6"}));
+}
+
+TEST(Tokenizer, NumericKeepableViaOption) {
+  TokenizerOptions o;
+  o.drop_numeric = false;
+  EXPECT_EQ(tok("route 66", o), (std::vector<std::string>{"route", "66"}));
+}
+
+TEST(Tokenizer, TrimsApostrophes) {
+  EXPECT_EQ(tok("user's guide 'quoted'"),
+            (std::vector<std::string>{"user's", "guide", "quoted"}));
+}
+
+TEST(Tokenizer, DropsOverlongTokens) {
+  TokenizerOptions o;
+  o.max_length = 5;
+  EXPECT_EQ(tok("short verylongtoken ok", o),
+            (std::vector<std::string>{"short", "ok"}));
+}
+
+TEST(Tokenizer, EmptyInput) { EXPECT_TRUE(tok("").empty()); }
+
+TEST(Tokenizer, OnlySeparators) { EXPECT_TRUE(tok(" .,;!?\t\n ").empty()); }
+
+TEST(Tokenizer, TrailingTokenFlushed) {
+  EXPECT_EQ(tok("last"), (std::vector<std::string>{"last"}));
+}
+
+TEST(Tokenizer, StreamingSinkSeesSameTokens) {
+  std::vector<std::string> streamed;
+  tokenize_into("one two three", {},
+                [&](std::string_view t) { streamed.emplace_back(t); });
+  EXPECT_EQ(streamed, tok("one two three"));
+}
+
+}  // namespace
+}  // namespace move::text

@@ -1,0 +1,69 @@
+#include "text/vocabulary.hpp"
+
+#include <gtest/gtest.h>
+
+namespace move::text {
+namespace {
+
+TEST(Vocabulary, InterningIsIdempotent) {
+  Vocabulary v;
+  const TermId a = v.intern("hello");
+  const TermId b = v.intern("hello");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(v.size(), 1u);
+}
+
+TEST(Vocabulary, IdsAreDenseInsertionOrder) {
+  Vocabulary v;
+  EXPECT_EQ(v.intern("zero").value, 0u);
+  EXPECT_EQ(v.intern("one").value, 1u);
+  EXPECT_EQ(v.intern("two").value, 2u);
+}
+
+TEST(Vocabulary, SpellingRoundTrips) {
+  Vocabulary v;
+  const TermId id = v.intern("keyword");
+  EXPECT_EQ(v.spelling(id), "keyword");
+}
+
+TEST(Vocabulary, SpellingThrowsOnBadId) {
+  Vocabulary v;
+  EXPECT_THROW(v.spelling(TermId{5}), std::out_of_range);
+}
+
+TEST(Vocabulary, LookupMissReturnsNullopt) {
+  Vocabulary v;
+  v.intern("present");
+  EXPECT_FALSE(v.lookup("absent").has_value());
+  EXPECT_TRUE(v.lookup("present").has_value());
+}
+
+TEST(Vocabulary, ViewsSurviveGrowth) {
+  // The map keys view into stored strings; growth must not dangle them.
+  Vocabulary v;
+  const TermId first = v.intern("anchor");
+  for (int i = 0; i < 10'000; ++i) {
+    v.intern("term" + std::to_string(i));
+  }
+  EXPECT_EQ(v.lookup("anchor"), first);
+  EXPECT_EQ(v.spelling(first), "anchor");
+  EXPECT_EQ(v.size(), 10'001u);
+}
+
+TEST(Vocabulary, GrowSyntheticMintsSequentialNames) {
+  Vocabulary v;
+  v.grow_synthetic(3, "w");
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_EQ(v.spelling(TermId{0}), "w0");
+  EXPECT_EQ(v.spelling(TermId{2}), "w2");
+}
+
+TEST(Vocabulary, GrowSyntheticSkipsCollisions) {
+  Vocabulary v;
+  v.intern("t0");
+  v.grow_synthetic(2);  // "t1" uses current size as suffix
+  EXPECT_EQ(v.size(), 3u);
+}
+
+}  // namespace
+}  // namespace move::text

@@ -1,0 +1,148 @@
+#include "workload/corpus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "workload/query_trace.hpp"
+#include "workload/trace_stats.hpp"
+
+namespace move::workload {
+namespace {
+
+constexpr std::size_t kVocab = 8'000;
+
+CorpusConfig wt_small() {
+  auto cfg = CorpusConfig::trec_wt_like(0.002, kVocab);  // ~3380 docs
+  cfg.head_count = 200;
+  return cfg;
+}
+
+CorpusConfig ap_small() {
+  auto cfg = CorpusConfig::trec_ap_like(1.0, kVocab);
+  cfg.num_docs = 300;
+  cfg.mean_terms_per_doc = 2'000;  // keep the test fast but "large article"
+  cfg.head_count = 200;
+  return cfg;
+}
+
+TEST(CorpusConfig, FactoriesMatchPaperShapes) {
+  const auto wt = CorpusConfig::trec_wt_like(1.0, kVocab);
+  const auto ap = CorpusConfig::trec_ap_like(1.0, kVocab);
+  EXPECT_NEAR(wt.mean_terms_per_doc, 64.8, 1e-9);
+  EXPECT_NEAR(ap.mean_terms_per_doc, 6054.9, 1e-9);
+  EXPECT_EQ(wt.num_docs, 1'690'000u);
+  EXPECT_EQ(ap.num_docs, 1'050u);
+  EXPECT_GT(wt.zipf_skew, ap.zipf_skew);  // WT is skewer (Fig. 5 entropies)
+  EXPECT_NEAR(ap.head_overlap, 0.269, 1e-9);
+  EXPECT_NEAR(wt.head_overlap, 0.313, 1e-9);
+  EXPECT_THROW(CorpusConfig::trec_wt_like(0.0, kVocab),
+               std::invalid_argument);
+}
+
+TEST(CorpusGenerator, RowsSortedDeduped) {
+  const CorpusGenerator gen(wt_small());
+  const auto docs = gen.generate(500);
+  for (std::size_t i = 0; i < docs.size(); ++i) {
+    const auto row = docs.row(i);
+    ASSERT_GE(row.size(), 2u);
+    for (std::size_t j = 1; j < row.size(); ++j) {
+      EXPECT_LT(row[j - 1], row[j]);
+    }
+  }
+}
+
+TEST(CorpusGenerator, Deterministic) {
+  const CorpusGenerator gen(wt_small());
+  const auto a = gen.generate(200);
+  const auto b = gen.generate(200);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto ra = a.row(i), rb = b.row(i);
+    ASSERT_EQ(ra.size(), rb.size());
+    for (std::size_t j = 0; j < ra.size(); ++j) EXPECT_EQ(ra[j], rb[j]);
+  }
+}
+
+TEST(CorpusGenerator, MeanDocSizeNearTarget) {
+  const auto cfg = wt_small();
+  const CorpusGenerator gen(cfg);
+  const auto docs = gen.generate(3'000);
+  EXPECT_NEAR(docs.mean_row_size(), cfg.mean_terms_per_doc,
+              cfg.mean_terms_per_doc * 0.12);
+}
+
+TEST(CorpusGenerator, ApDocsAreMuchLargerThanWt) {
+  const auto ap_docs = CorpusGenerator(ap_small()).generate(50);
+  const auto wt_docs = CorpusGenerator(wt_small()).generate(50);
+  EXPECT_GT(ap_docs.mean_row_size() / wt_docs.mean_row_size(), 10.0);
+}
+
+TEST(CorpusGenerator, PermutationIsBijective) {
+  const CorpusGenerator gen(wt_small());
+  const auto& perm = gen.rank_to_term();
+  ASSERT_EQ(perm.size(), kVocab);
+  std::set<std::uint32_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), kVocab);
+  EXPECT_EQ(*seen.rbegin(), kVocab - 1);
+}
+
+TEST(CorpusGenerator, FrequencyIsSkewed) {
+  const auto cfg = wt_small();
+  const CorpusGenerator gen(cfg);
+  const auto stats = compute_stats(gen.generate(2'000), kVocab);
+  const auto ranked = stats.ranked();
+  ASSERT_GT(ranked.size(), 500u);
+  EXPECT_GT(ranked[0] / ranked[499], 5.0);
+}
+
+TEST(CorpusGenerator, WtSkewerThanAp) {
+  // Paper Fig. 5: entropy(AP) = 9.4473 > entropy(WT) = 6.7593.
+  const auto wt_stats =
+      compute_stats(CorpusGenerator(wt_small()).generate(1'000), kVocab);
+  auto ap_cfg = ap_small();
+  const auto ap_stats =
+      compute_stats(CorpusGenerator(ap_cfg).generate(200), kVocab);
+  EXPECT_GT(ap_stats.entropy(), wt_stats.entropy());
+}
+
+TEST(CorpusGenerator, HeadOverlapNearConfigured) {
+  // Query terms are popularity-ranked ids, so the query head is [0, k).
+  auto cfg = wt_small();
+  cfg.head_overlap = 0.313;
+  const CorpusGenerator gen(cfg);
+  const auto stats = compute_stats(gen.generate(3'000), kVocab);
+  const auto top = stats.top_terms(cfg.head_count);
+  std::size_t in_query_head = 0;
+  for (TermId t : top) in_query_head += t.value < cfg.head_count;
+  const double overlap =
+      static_cast<double>(in_query_head) / static_cast<double>(top.size());
+  EXPECT_NEAR(overlap, 0.313, 0.12);
+}
+
+TEST(CorpusGenerator, RespectsMinAndMaxTerms) {
+  auto cfg = wt_small();
+  cfg.min_terms = 5;
+  cfg.max_terms = 30;
+  const CorpusGenerator gen(cfg);
+  const auto docs = gen.generate(500);
+  for (std::size_t i = 0; i < docs.size(); ++i) {
+    EXPECT_GE(docs.row(i).size(), 2u);  // dedup cap may trim slightly
+    EXPECT_LE(docs.row(i).size(), 30u);
+  }
+}
+
+TEST(TermSetTable, BasicAccessors) {
+  TermSetTable t;
+  EXPECT_TRUE(t.empty());
+  std::vector<TermId> row{TermId{2}, TermId{5}};
+  t.add(row);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.total_terms(), 2u);
+  EXPECT_EQ(t.row(0)[1], TermId{5});
+  EXPECT_THROW(t.row(1), std::out_of_range);
+  EXPECT_DOUBLE_EQ(t.mean_row_size(), 2.0);
+}
+
+}  // namespace
+}  // namespace move::workload

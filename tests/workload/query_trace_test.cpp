@@ -1,0 +1,141 @@
+#include "workload/query_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "workload/trace_stats.hpp"
+
+namespace move::workload {
+namespace {
+
+QueryTraceConfig small_config() {
+  QueryTraceConfig cfg;
+  cfg.num_filters = 20'000;
+  cfg.vocabulary_size = 5'000;
+  cfg.head_count = 100;
+  cfg.head_mass = 0.437;
+  return cfg;
+}
+
+TEST(FitZipfHeadMass, HitsTarget) {
+  const double s = fit_zipf_head_mass(10'000, 100, 0.437);
+  // Verify by direct summation.
+  double head = 0, total = 0;
+  for (std::size_t k = 1; k <= 10'000; ++k) {
+    const double w = std::pow(static_cast<double>(k), -s);
+    total += w;
+    if (k <= 100) head += w;
+  }
+  EXPECT_NEAR(head / total, 0.437, 0.005);
+}
+
+TEST(FitZipfHeadMass, MoreMassNeedsMoreSkew) {
+  EXPECT_GT(fit_zipf_head_mass(10'000, 100, 0.6),
+            fit_zipf_head_mass(10'000, 100, 0.3));
+}
+
+TEST(QueryTraceGenerator, RejectsEmptyConfig) {
+  QueryTraceConfig cfg;
+  cfg.num_filters = 0;
+  EXPECT_THROW(QueryTraceGenerator{cfg}, std::invalid_argument);
+}
+
+TEST(QueryTraceGenerator, GeneratesRequestedCount) {
+  const QueryTraceGenerator gen(small_config());
+  const auto trace = gen.generate(1'000);
+  EXPECT_EQ(trace.size(), 1'000u);
+}
+
+TEST(QueryTraceGenerator, RowsAreSortedDedupedNonEmpty) {
+  const QueryTraceGenerator gen(small_config());
+  const auto trace = gen.generate(2'000);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const auto row = trace.row(i);
+    ASSERT_FALSE(row.empty());
+    for (std::size_t j = 1; j < row.size(); ++j) {
+      EXPECT_LT(row[j - 1], row[j]);
+    }
+  }
+}
+
+TEST(QueryTraceGenerator, DeterministicForSameSeed) {
+  const QueryTraceGenerator gen(small_config());
+  const auto a = gen.generate(500);
+  const auto b = gen.generate(500);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto ra = a.row(i), rb = b.row(i);
+    ASSERT_EQ(ra.size(), rb.size());
+    for (std::size_t j = 0; j < ra.size(); ++j) EXPECT_EQ(ra[j], rb[j]);
+  }
+}
+
+TEST(QueryTraceGenerator, SeedChangesTrace) {
+  auto cfg = small_config();
+  const auto a = QueryTraceGenerator(cfg).generate(100);
+  cfg.seed ^= 1;
+  const auto b = QueryTraceGenerator(cfg).generate(100);
+  std::size_t differing = 0;
+  for (std::size_t i = 0; i < 100; ++i) {
+    const auto ra = a.row(i), rb = b.row(i);
+    differing += ra.size() != rb.size() ||
+                 !std::equal(ra.begin(), ra.end(), rb.begin());
+  }
+  EXPECT_GT(differing, 50u);
+}
+
+TEST(QueryTraceGenerator, MeanTermsMatchesPublished) {
+  // Published MSN statistic: 2.843 terms per query.
+  const QueryTraceGenerator gen(small_config());
+  const auto trace = gen.generate(30'000);
+  EXPECT_NEAR(trace.mean_row_size(), 2.843, 0.08);
+}
+
+TEST(QueryTraceGenerator, LengthCdfMatchesPublished) {
+  // Published: <=1 31.33%, <=2 67.75%, <=3 85.31%.
+  const QueryTraceGenerator gen(small_config());
+  const auto trace = gen.generate(30'000);
+  const auto hist = row_size_histogram(trace);
+  const double n = static_cast<double>(trace.size());
+  auto cdf = [&](std::size_t len) {
+    double c = 0;
+    for (std::size_t l = 0; l <= len && l < hist.size(); ++l) c += hist[l];
+    return c / n;
+  };
+  EXPECT_NEAR(cdf(1), 0.3133, 0.02);
+  EXPECT_NEAR(cdf(2), 0.6775, 0.02);
+  EXPECT_NEAR(cdf(3), 0.8531, 0.02);
+}
+
+TEST(QueryTraceGenerator, HeadMassMatchesFigure4) {
+  const auto cfg = small_config();
+  const QueryTraceGenerator gen(cfg);
+  const auto trace = gen.generate(40'000);
+  const auto stats = compute_stats(trace, cfg.vocabulary_size);
+  // Popularity concentrated as in Fig. 4: top-100 of 5000 terms carries
+  // roughly the fitted 0.437 of occurrence mass.
+  EXPECT_NEAR(stats.head_mass(cfg.head_count), 0.437, 0.05);
+}
+
+TEST(QueryTraceGenerator, PopularityIsSkewed) {
+  const auto cfg = small_config();
+  const QueryTraceGenerator gen(cfg);
+  const auto stats = compute_stats(gen.generate(20'000), cfg.vocabulary_size);
+  const auto ranked = stats.ranked();
+  ASSERT_GT(ranked.size(), 100u);
+  EXPECT_GT(ranked[0] / ranked[99], 10.0);  // head >> rank-100
+}
+
+TEST(QueryTraceConfigMsnLike, ScalesJointly) {
+  const auto full = QueryTraceConfig::msn_like(1.0);
+  const auto tenth = QueryTraceConfig::msn_like(0.1);
+  EXPECT_EQ(full.num_filters, 4'000'000u);
+  EXPECT_EQ(full.vocabulary_size, 757'996u);
+  EXPECT_NEAR(static_cast<double>(tenth.num_filters) / full.num_filters, 0.1,
+              0.01);
+  EXPECT_THROW(QueryTraceConfig::msn_like(0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace move::workload

@@ -1,0 +1,90 @@
+#include "workload/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/query_trace.hpp"
+
+namespace move::workload {
+namespace {
+
+TermSetTable sample_table() {
+  QueryTraceConfig cfg;
+  cfg.num_filters = 500;
+  cfg.vocabulary_size = 800;
+  return QueryTraceGenerator(cfg).generate();
+}
+
+void expect_equal(const TermSetTable& a, const TermSetTable& b) {
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a.total_terms(), b.total_terms());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const auto ra = a.row(i), rb = b.row(i);
+    ASSERT_EQ(ra.size(), rb.size()) << "row " << i;
+    for (std::size_t j = 0; j < ra.size(); ++j) {
+      EXPECT_EQ(ra[j], rb[j]);
+    }
+  }
+}
+
+TEST(TraceIo, RoundTripsThroughStream) {
+  const auto table = sample_table();
+  std::stringstream buf;
+  save_table(table, buf);
+  expect_equal(table, load_table(buf));
+}
+
+TEST(TraceIo, RoundTripsEmptyTable) {
+  TermSetTable empty;
+  std::stringstream buf;
+  save_table(empty, buf);
+  const auto back = load_table(buf);
+  EXPECT_EQ(back.size(), 0u);
+  EXPECT_EQ(back.total_terms(), 0u);
+}
+
+TEST(TraceIo, RejectsBadMagic) {
+  std::stringstream buf;
+  buf << "NOPE-this-is-not-a-trace";
+  EXPECT_THROW((void)load_table(buf), std::runtime_error);
+}
+
+TEST(TraceIo, RejectsTruncation) {
+  const auto table = sample_table();
+  std::stringstream buf;
+  save_table(table, buf);
+  const std::string whole = buf.str();
+  for (std::size_t cut : {whole.size() / 4, whole.size() / 2,
+                          whole.size() - 3}) {
+    std::stringstream cut_buf(whole.substr(0, cut));
+    EXPECT_THROW((void)load_table(cut_buf), std::runtime_error)
+        << "cut at " << cut;
+  }
+}
+
+TEST(TraceIo, RejectsWrongVersion) {
+  const auto table = sample_table();
+  std::stringstream buf;
+  save_table(table, buf);
+  std::string bytes = buf.str();
+  bytes[4] = 99;  // version field follows the 4-byte magic
+  std::stringstream bad(bytes);
+  EXPECT_THROW((void)load_table(bad), std::runtime_error);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const auto table = sample_table();
+  const std::string path = ::testing::TempDir() + "/move_trace_io_test.bin";
+  save_table_file(table, path);
+  expect_equal(table, load_table_file(path));
+  std::remove(path.c_str());
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW((void)load_table_file("/nonexistent/move/trace.bin"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace move::workload

@@ -1,0 +1,102 @@
+#include "workload/trace_stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace move::workload {
+namespace {
+
+TermSetTable make_table() {
+  // Rows over universe {0..4}: term 0 appears in 3 rows, term 1 in 2,
+  // terms 2 and 3 in 1, term 4 in 0.
+  TermSetTable t;
+  std::vector<TermId> r1{TermId{0}, TermId{1}};
+  std::vector<TermId> r2{TermId{0}, TermId{2}};
+  std::vector<TermId> r3{TermId{0}, TermId{1}, TermId{3}};
+  t.add(r1);
+  t.add(r2);
+  t.add(r3);
+  return t;
+}
+
+TEST(ComputeStats, SharesArePerRowFractions) {
+  const auto stats = compute_stats(make_table(), 5);
+  EXPECT_EQ(stats.rows, 3u);
+  EXPECT_DOUBLE_EQ(stats.share[0], 1.0);
+  EXPECT_DOUBLE_EQ(stats.share[1], 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(stats.share[2], 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(stats.share[4], 0.0);
+  EXPECT_EQ(stats.count[0], 3u);
+}
+
+TEST(ComputeStats, OutOfUniverseTermsIgnored) {
+  TermSetTable t;
+  std::vector<TermId> row{TermId{1}, TermId{99}};
+  t.add(row);
+  const auto stats = compute_stats(t, 5);
+  EXPECT_EQ(stats.count[1], 1u);  // 99 silently skipped
+}
+
+TEST(TraceStats, RankedDescending) {
+  const auto ranked = compute_stats(make_table(), 5).ranked();
+  ASSERT_EQ(ranked.size(), 4u);  // zero-share terms excluded
+  EXPECT_TRUE(std::is_sorted(ranked.rbegin(), ranked.rend()));
+  EXPECT_DOUBLE_EQ(ranked[0], 1.0);
+}
+
+TEST(TraceStats, HeadMass) {
+  const auto stats = compute_stats(make_table(), 5);
+  // total share = 1 + 2/3 + 1/3 + 1/3 = 7/3; head-1 = 1.
+  EXPECT_NEAR(stats.head_mass(1), 3.0 / 7.0, 1e-12);
+  EXPECT_NEAR(stats.head_mass(100), 1.0, 1e-12);
+}
+
+TEST(TraceStats, TopTermsStopAtZeroShares) {
+  const auto stats = compute_stats(make_table(), 5);
+  const auto top = stats.top_terms(10);
+  ASSERT_EQ(top.size(), 4u);
+  EXPECT_EQ(top[0], TermId{0});
+  EXPECT_EQ(top[1], TermId{1});
+}
+
+TEST(TraceStats, EntropyLimitTruncates) {
+  const auto stats = compute_stats(make_table(), 5);
+  EXPECT_GT(stats.entropy(0), stats.entropy(2));
+  EXPECT_EQ(stats.entropy(1), 0.0);  // single bucket
+}
+
+TEST(TraceStats, DistinctTerms) {
+  EXPECT_EQ(compute_stats(make_table(), 5).distinct_terms(), 4u);
+}
+
+TEST(TopKOverlap, SelfOverlapIsOne) {
+  const auto stats = compute_stats(make_table(), 5);
+  EXPECT_DOUBLE_EQ(top_k_overlap(stats, stats, 3), 1.0);
+}
+
+TEST(TopKOverlap, DisjointIsZero) {
+  TermSetTable a, b;
+  std::vector<TermId> ra{TermId{0}};
+  std::vector<TermId> rb{TermId{1}};
+  a.add(ra);
+  b.add(rb);
+  const auto sa = compute_stats(a, 4);
+  const auto sb = compute_stats(b, 4);
+  EXPECT_DOUBLE_EQ(top_k_overlap(sa, sb, 2), 0.0);
+}
+
+TEST(RowSizeHistogram, CountsLengths) {
+  const auto hist = row_size_histogram(make_table());
+  ASSERT_GE(hist.size(), 4u);
+  EXPECT_EQ(hist[2], 2u);
+  EXPECT_EQ(hist[3], 1u);
+}
+
+TEST(RowSizeHistogram, EmptyTable) {
+  TermSetTable t;
+  const auto hist = row_size_histogram(t);
+  ASSERT_EQ(hist.size(), 1u);
+  EXPECT_EQ(hist[0], 0u);
+}
+
+}  // namespace
+}  // namespace move::workload

@@ -1,0 +1,108 @@
+// Cross-cutting workload properties: prefix stability (a shorter generation
+// is a prefix of a longer one — the guarantee benches rely on when they
+// subset traces), vocabulary bounds, and text-pipeline fuzzing.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "text/pipeline.hpp"
+#include "workload/corpus.hpp"
+#include "workload/query_trace.hpp"
+
+namespace move::workload {
+namespace {
+
+TEST(PrefixStability, QueryTrace) {
+  QueryTraceConfig cfg;
+  cfg.num_filters = 400;
+  cfg.vocabulary_size = 900;
+  const QueryTraceGenerator gen(cfg);
+  const auto shorter = gen.generate(150);
+  const auto longer = gen.generate(400);
+  ASSERT_EQ(shorter.size(), 150u);
+  for (std::size_t i = 0; i < shorter.size(); ++i) {
+    const auto a = shorter.row(i), b = longer.row(i);
+    ASSERT_EQ(a.size(), b.size()) << "row " << i;
+    for (std::size_t j = 0; j < a.size(); ++j) EXPECT_EQ(a[j], b[j]);
+  }
+}
+
+TEST(PrefixStability, Corpus) {
+  auto cfg = CorpusConfig::trec_wt_like(0.001, 2'000);
+  const CorpusGenerator gen(cfg);
+  const auto shorter = gen.generate(50);
+  const auto longer = gen.generate(200);
+  for (std::size_t i = 0; i < shorter.size(); ++i) {
+    const auto a = shorter.row(i), b = longer.row(i);
+    ASSERT_EQ(a.size(), b.size()) << "row " << i;
+    for (std::size_t j = 0; j < a.size(); ++j) EXPECT_EQ(a[j], b[j]);
+  }
+}
+
+TEST(VocabularyBounds, AllTermIdsWithinUniverse) {
+  QueryTraceConfig qcfg;
+  qcfg.num_filters = 2'000;
+  qcfg.vocabulary_size = 777;
+  const auto filters = QueryTraceGenerator(qcfg).generate();
+  for (std::size_t i = 0; i < filters.size(); ++i) {
+    for (TermId t : filters.row(i)) EXPECT_LT(t.value, 777u);
+  }
+  auto ccfg = CorpusConfig::trec_wt_like(0.001, 777);
+  const auto docs = CorpusGenerator(ccfg).generate(300);
+  for (std::size_t i = 0; i < docs.size(); ++i) {
+    for (TermId t : docs.row(i)) EXPECT_LT(t.value, 777u);
+  }
+}
+
+TEST(PipelineFuzz, RandomBytesNeverCrashAndAlwaysNormalize) {
+  text::Vocabulary vocab;
+  text::Pipeline pipeline(vocab);
+  common::SplitMix64 rng(0xf022);
+  std::string input;
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto len = common::uniform_below(rng, 200);
+    input.clear();
+    for (std::uint64_t i = 0; i < len; ++i) {
+      input.push_back(static_cast<char>(common::uniform_below(rng, 256)));
+    }
+    const auto ids = pipeline.process(input);
+    EXPECT_TRUE(std::is_sorted(ids.begin(), ids.end()));
+    EXPECT_TRUE(std::adjacent_find(ids.begin(), ids.end()) == ids.end());
+    for (TermId t : ids) EXPECT_LT(t.value, vocab.size());
+  }
+}
+
+TEST(PipelineFuzz, ProcessReadonlyIsSubsetOfProcess) {
+  text::Vocabulary vocab;
+  text::Pipeline pipeline(vocab);
+  pipeline.process("seed words shared by every later document");
+  common::SplitMix64 rng(0xf023);
+  const char* words[] = {"seed", "words", "shared", "brand", "new", "zq1x"};
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string input;
+    const auto n = 1 + common::uniform_below(rng, 6);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      input += words[common::uniform_below(rng, 6)];
+      input += ' ';
+    }
+    const auto ro = pipeline.process_readonly(input);
+    for (TermId t : ro) {
+      EXPECT_LT(t.value, vocab.size());
+    }
+  }
+}
+
+TEST(ZipfVocabularyScaling, MeanRowSizeStableAcrossVocab) {
+  // The length model is independent of vocabulary size.
+  for (std::size_t vocab : {500u, 5'000u, 50'000u}) {
+    QueryTraceConfig cfg;
+    cfg.num_filters = 5'000;
+    cfg.vocabulary_size = vocab;
+    cfg.head_count = std::min<std::size_t>(100, vocab / 10);
+    const auto trace = QueryTraceGenerator(cfg).generate();
+    EXPECT_NEAR(trace.mean_row_size(), 2.843, 0.15) << "vocab " << vocab;
+  }
+}
+
+}  // namespace
+}  // namespace move::workload
