@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_stairs.dir/ablation_stairs.cpp.o"
+  "CMakeFiles/ablation_stairs.dir/ablation_stairs.cpp.o.d"
+  "ablation_stairs"
+  "ablation_stairs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_stairs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_filter_popularity.dir/fig4_filter_popularity.cpp.o"
+  "CMakeFiles/fig4_filter_popularity.dir/fig4_filter_popularity.cpp.o.d"
+  "fig4_filter_popularity"
+  "fig4_filter_popularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_filter_popularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

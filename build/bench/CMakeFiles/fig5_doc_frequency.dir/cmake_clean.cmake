@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_doc_frequency.dir/fig5_doc_frequency.cpp.o"
+  "CMakeFiles/fig5_doc_frequency.dir/fig5_doc_frequency.cpp.o.d"
+  "fig5_doc_frequency"
+  "fig5_doc_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_doc_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

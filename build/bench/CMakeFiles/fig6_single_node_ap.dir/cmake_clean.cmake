@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_single_node_ap.dir/fig6_single_node_ap.cpp.o"
+  "CMakeFiles/fig6_single_node_ap.dir/fig6_single_node_ap.cpp.o.d"
+  "fig6_single_node_ap"
+  "fig6_single_node_ap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_single_node_ap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_single_node_ap.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_single_node_wt.dir/fig7_single_node_wt.cpp.o"
+  "CMakeFiles/fig7_single_node_wt.dir/fig7_single_node_wt.cpp.o.d"
+  "fig7_single_node_wt"
+  "fig7_single_node_wt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_single_node_wt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

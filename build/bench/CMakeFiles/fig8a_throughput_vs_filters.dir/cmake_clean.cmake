@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8a_throughput_vs_filters.dir/fig8a_throughput_vs_filters.cpp.o"
+  "CMakeFiles/fig8a_throughput_vs_filters.dir/fig8a_throughput_vs_filters.cpp.o.d"
+  "fig8a_throughput_vs_filters"
+  "fig8a_throughput_vs_filters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8a_throughput_vs_filters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8a_throughput_vs_filters.
+# This may be replaced when dependencies are built.

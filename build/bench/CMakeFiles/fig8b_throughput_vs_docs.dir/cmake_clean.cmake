@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8b_throughput_vs_docs.dir/fig8b_throughput_vs_docs.cpp.o"
+  "CMakeFiles/fig8b_throughput_vs_docs.dir/fig8b_throughput_vs_docs.cpp.o.d"
+  "fig8b_throughput_vs_docs"
+  "fig8b_throughput_vs_docs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8b_throughput_vs_docs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

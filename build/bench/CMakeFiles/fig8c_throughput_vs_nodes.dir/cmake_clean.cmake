@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8c_throughput_vs_nodes.dir/fig8c_throughput_vs_nodes.cpp.o"
+  "CMakeFiles/fig8c_throughput_vs_nodes.dir/fig8c_throughput_vs_nodes.cpp.o.d"
+  "fig8c_throughput_vs_nodes"
+  "fig8c_throughput_vs_nodes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8c_throughput_vs_nodes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9a_storage_distribution.dir/fig9a_storage_distribution.cpp.o"
+  "CMakeFiles/fig9a_storage_distribution.dir/fig9a_storage_distribution.cpp.o.d"
+  "fig9a_storage_distribution"
+  "fig9a_storage_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9a_storage_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

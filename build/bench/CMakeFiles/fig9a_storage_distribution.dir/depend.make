@@ -1,0 +1,2 @@
+# Empty dependencies file for fig9a_storage_distribution.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9b_matching_distribution.dir/fig9b_matching_distribution.cpp.o"
+  "CMakeFiles/fig9b_matching_distribution.dir/fig9b_matching_distribution.cpp.o.d"
+  "fig9b_matching_distribution"
+  "fig9b_matching_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9b_matching_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

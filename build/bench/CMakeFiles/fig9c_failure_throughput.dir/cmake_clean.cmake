@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9c_failure_throughput.dir/fig9c_failure_throughput.cpp.o"
+  "CMakeFiles/fig9c_failure_throughput.dir/fig9c_failure_throughput.cpp.o.d"
+  "fig9c_failure_throughput"
+  "fig9c_failure_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9c_failure_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9d_failure_availability.dir/fig9d_failure_availability.cpp.o"
+  "CMakeFiles/fig9d_failure_availability.dir/fig9d_failure_availability.cpp.o.d"
+  "fig9d_failure_availability"
+  "fig9d_failure_availability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9d_failure_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

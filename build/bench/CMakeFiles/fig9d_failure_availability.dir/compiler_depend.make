@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig9d_failure_availability.
+# This may be replaced when dependencies are built.

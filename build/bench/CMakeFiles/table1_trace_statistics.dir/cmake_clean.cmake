@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_trace_statistics.dir/table1_trace_statistics.cpp.o"
+  "CMakeFiles/table1_trace_statistics.dir/table1_trace_statistics.cpp.o.d"
+  "table1_trace_statistics"
+  "table1_trace_statistics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_trace_statistics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

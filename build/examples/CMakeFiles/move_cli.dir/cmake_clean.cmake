@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/move_cli.dir/move_cli.cpp.o"
+  "CMakeFiles/move_cli.dir/move_cli.cpp.o.d"
+  "move_cli"
+  "move_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/move_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/news_alerts.dir/news_alerts.cpp.o"
+  "CMakeFiles/news_alerts.dir/news_alerts.cpp.o.d"
+  "news_alerts"
+  "news_alerts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/news_alerts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rss_dashboard.dir/rss_dashboard.cpp.o"
+  "CMakeFiles/rss_dashboard.dir/rss_dashboard.cpp.o.d"
+  "rss_dashboard"
+  "rss_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rss_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

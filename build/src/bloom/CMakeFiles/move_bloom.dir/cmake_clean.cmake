@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/move_bloom.dir/bloom_filter.cpp.o"
+  "CMakeFiles/move_bloom.dir/bloom_filter.cpp.o.d"
+  "libmove_bloom.a"
+  "libmove_bloom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/move_bloom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/move_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/move_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/move_cluster.dir/meta_store.cpp.o"
+  "CMakeFiles/move_cluster.dir/meta_store.cpp.o.d"
+  "CMakeFiles/move_cluster.dir/storage_node.cpp.o"
+  "CMakeFiles/move_cluster.dir/storage_node.cpp.o.d"
+  "libmove_cluster.a"
+  "libmove_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/move_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/move_common.dir/flags.cpp.o"
+  "CMakeFiles/move_common.dir/flags.cpp.o.d"
+  "CMakeFiles/move_common.dir/hash.cpp.o"
+  "CMakeFiles/move_common.dir/hash.cpp.o.d"
+  "CMakeFiles/move_common.dir/log.cpp.o"
+  "CMakeFiles/move_common.dir/log.cpp.o.d"
+  "CMakeFiles/move_common.dir/rng.cpp.o"
+  "CMakeFiles/move_common.dir/rng.cpp.o.d"
+  "CMakeFiles/move_common.dir/stats.cpp.o"
+  "CMakeFiles/move_common.dir/stats.cpp.o.d"
+  "CMakeFiles/move_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/move_common.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/move_common.dir/zipf.cpp.o"
+  "CMakeFiles/move_common.dir/zipf.cpp.o.d"
+  "libmove_common.a"
+  "libmove_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/move_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive.cpp" "src/core/CMakeFiles/move_core.dir/adaptive.cpp.o" "gcc" "src/core/CMakeFiles/move_core.dir/adaptive.cpp.o.d"
+  "/root/repo/src/core/allocation.cpp" "src/core/CMakeFiles/move_core.dir/allocation.cpp.o" "gcc" "src/core/CMakeFiles/move_core.dir/allocation.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/move_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/move_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/forwarding_table.cpp" "src/core/CMakeFiles/move_core.dir/forwarding_table.cpp.o" "gcc" "src/core/CMakeFiles/move_core.dir/forwarding_table.cpp.o.d"
+  "/root/repo/src/core/il_scheme.cpp" "src/core/CMakeFiles/move_core.dir/il_scheme.cpp.o" "gcc" "src/core/CMakeFiles/move_core.dir/il_scheme.cpp.o.d"
+  "/root/repo/src/core/move_scheme.cpp" "src/core/CMakeFiles/move_core.dir/move_scheme.cpp.o" "gcc" "src/core/CMakeFiles/move_core.dir/move_scheme.cpp.o.d"
+  "/root/repo/src/core/rs_scheme.cpp" "src/core/CMakeFiles/move_core.dir/rs_scheme.cpp.o" "gcc" "src/core/CMakeFiles/move_core.dir/rs_scheme.cpp.o.d"
+  "/root/repo/src/core/scheme.cpp" "src/core/CMakeFiles/move_core.dir/scheme.cpp.o" "gcc" "src/core/CMakeFiles/move_core.dir/scheme.cpp.o.d"
+  "/root/repo/src/core/stairs_scheme.cpp" "src/core/CMakeFiles/move_core.dir/stairs_scheme.cpp.o" "gcc" "src/core/CMakeFiles/move_core.dir/stairs_scheme.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/move_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/move_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/move_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/move_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/bloom/CMakeFiles/move_bloom.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/move_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/move_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/move_core.dir/adaptive.cpp.o"
+  "CMakeFiles/move_core.dir/adaptive.cpp.o.d"
+  "CMakeFiles/move_core.dir/allocation.cpp.o"
+  "CMakeFiles/move_core.dir/allocation.cpp.o.d"
+  "CMakeFiles/move_core.dir/experiment.cpp.o"
+  "CMakeFiles/move_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/move_core.dir/forwarding_table.cpp.o"
+  "CMakeFiles/move_core.dir/forwarding_table.cpp.o.d"
+  "CMakeFiles/move_core.dir/il_scheme.cpp.o"
+  "CMakeFiles/move_core.dir/il_scheme.cpp.o.d"
+  "CMakeFiles/move_core.dir/move_scheme.cpp.o"
+  "CMakeFiles/move_core.dir/move_scheme.cpp.o.d"
+  "CMakeFiles/move_core.dir/rs_scheme.cpp.o"
+  "CMakeFiles/move_core.dir/rs_scheme.cpp.o.d"
+  "CMakeFiles/move_core.dir/scheme.cpp.o"
+  "CMakeFiles/move_core.dir/scheme.cpp.o.d"
+  "CMakeFiles/move_core.dir/stairs_scheme.cpp.o"
+  "CMakeFiles/move_core.dir/stairs_scheme.cpp.o.d"
+  "libmove_core.a"
+  "libmove_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/move_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/brute_force.cpp" "src/index/CMakeFiles/move_index.dir/brute_force.cpp.o" "gcc" "src/index/CMakeFiles/move_index.dir/brute_force.cpp.o.d"
+  "/root/repo/src/index/filter_store.cpp" "src/index/CMakeFiles/move_index.dir/filter_store.cpp.o" "gcc" "src/index/CMakeFiles/move_index.dir/filter_store.cpp.o.d"
+  "/root/repo/src/index/inverted_index.cpp" "src/index/CMakeFiles/move_index.dir/inverted_index.cpp.o" "gcc" "src/index/CMakeFiles/move_index.dir/inverted_index.cpp.o.d"
+  "/root/repo/src/index/parallel_matcher.cpp" "src/index/CMakeFiles/move_index.dir/parallel_matcher.cpp.o" "gcc" "src/index/CMakeFiles/move_index.dir/parallel_matcher.cpp.o.d"
+  "/root/repo/src/index/scored_match.cpp" "src/index/CMakeFiles/move_index.dir/scored_match.cpp.o" "gcc" "src/index/CMakeFiles/move_index.dir/scored_match.cpp.o.d"
+  "/root/repo/src/index/sift_matcher.cpp" "src/index/CMakeFiles/move_index.dir/sift_matcher.cpp.o" "gcc" "src/index/CMakeFiles/move_index.dir/sift_matcher.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/move_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/move_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/move_index.dir/brute_force.cpp.o"
+  "CMakeFiles/move_index.dir/brute_force.cpp.o.d"
+  "CMakeFiles/move_index.dir/filter_store.cpp.o"
+  "CMakeFiles/move_index.dir/filter_store.cpp.o.d"
+  "CMakeFiles/move_index.dir/inverted_index.cpp.o"
+  "CMakeFiles/move_index.dir/inverted_index.cpp.o.d"
+  "CMakeFiles/move_index.dir/parallel_matcher.cpp.o"
+  "CMakeFiles/move_index.dir/parallel_matcher.cpp.o.d"
+  "CMakeFiles/move_index.dir/scored_match.cpp.o"
+  "CMakeFiles/move_index.dir/scored_match.cpp.o.d"
+  "CMakeFiles/move_index.dir/sift_matcher.cpp.o"
+  "CMakeFiles/move_index.dir/sift_matcher.cpp.o.d"
+  "libmove_index.a"
+  "libmove_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/move_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

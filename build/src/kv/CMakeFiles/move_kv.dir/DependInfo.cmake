@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kv/gossip.cpp" "src/kv/CMakeFiles/move_kv.dir/gossip.cpp.o" "gcc" "src/kv/CMakeFiles/move_kv.dir/gossip.cpp.o.d"
+  "/root/repo/src/kv/kv_store.cpp" "src/kv/CMakeFiles/move_kv.dir/kv_store.cpp.o" "gcc" "src/kv/CMakeFiles/move_kv.dir/kv_store.cpp.o.d"
+  "/root/repo/src/kv/placement.cpp" "src/kv/CMakeFiles/move_kv.dir/placement.cpp.o" "gcc" "src/kv/CMakeFiles/move_kv.dir/placement.cpp.o.d"
+  "/root/repo/src/kv/ring.cpp" "src/kv/CMakeFiles/move_kv.dir/ring.cpp.o" "gcc" "src/kv/CMakeFiles/move_kv.dir/ring.cpp.o.d"
+  "/root/repo/src/kv/topology.cpp" "src/kv/CMakeFiles/move_kv.dir/topology.cpp.o" "gcc" "src/kv/CMakeFiles/move_kv.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/move_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

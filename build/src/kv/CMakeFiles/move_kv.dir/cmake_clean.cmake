@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/move_kv.dir/gossip.cpp.o"
+  "CMakeFiles/move_kv.dir/gossip.cpp.o.d"
+  "CMakeFiles/move_kv.dir/kv_store.cpp.o"
+  "CMakeFiles/move_kv.dir/kv_store.cpp.o.d"
+  "CMakeFiles/move_kv.dir/placement.cpp.o"
+  "CMakeFiles/move_kv.dir/placement.cpp.o.d"
+  "CMakeFiles/move_kv.dir/ring.cpp.o"
+  "CMakeFiles/move_kv.dir/ring.cpp.o.d"
+  "CMakeFiles/move_kv.dir/topology.cpp.o"
+  "CMakeFiles/move_kv.dir/topology.cpp.o.d"
+  "libmove_kv.a"
+  "libmove_kv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/move_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

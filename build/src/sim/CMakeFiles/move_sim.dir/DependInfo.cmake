@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cost_model.cpp" "src/sim/CMakeFiles/move_sim.dir/cost_model.cpp.o" "gcc" "src/sim/CMakeFiles/move_sim.dir/cost_model.cpp.o.d"
+  "/root/repo/src/sim/event_engine.cpp" "src/sim/CMakeFiles/move_sim.dir/event_engine.cpp.o" "gcc" "src/sim/CMakeFiles/move_sim.dir/event_engine.cpp.o.d"
+  "/root/repo/src/sim/metrics.cpp" "src/sim/CMakeFiles/move_sim.dir/metrics.cpp.o" "gcc" "src/sim/CMakeFiles/move_sim.dir/metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/move_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/move_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/move_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

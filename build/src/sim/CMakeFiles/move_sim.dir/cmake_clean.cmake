@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/move_sim.dir/cost_model.cpp.o"
+  "CMakeFiles/move_sim.dir/cost_model.cpp.o.d"
+  "CMakeFiles/move_sim.dir/event_engine.cpp.o"
+  "CMakeFiles/move_sim.dir/event_engine.cpp.o.d"
+  "CMakeFiles/move_sim.dir/metrics.cpp.o"
+  "CMakeFiles/move_sim.dir/metrics.cpp.o.d"
+  "libmove_sim.a"
+  "libmove_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/move_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/move_text.dir/pipeline.cpp.o"
+  "CMakeFiles/move_text.dir/pipeline.cpp.o.d"
+  "CMakeFiles/move_text.dir/porter.cpp.o"
+  "CMakeFiles/move_text.dir/porter.cpp.o.d"
+  "CMakeFiles/move_text.dir/stopwords.cpp.o"
+  "CMakeFiles/move_text.dir/stopwords.cpp.o.d"
+  "CMakeFiles/move_text.dir/tokenizer.cpp.o"
+  "CMakeFiles/move_text.dir/tokenizer.cpp.o.d"
+  "CMakeFiles/move_text.dir/vocabulary.cpp.o"
+  "CMakeFiles/move_text.dir/vocabulary.cpp.o.d"
+  "libmove_text.a"
+  "libmove_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/move_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/corpus.cpp" "src/workload/CMakeFiles/move_workload.dir/corpus.cpp.o" "gcc" "src/workload/CMakeFiles/move_workload.dir/corpus.cpp.o.d"
+  "/root/repo/src/workload/query_trace.cpp" "src/workload/CMakeFiles/move_workload.dir/query_trace.cpp.o" "gcc" "src/workload/CMakeFiles/move_workload.dir/query_trace.cpp.o.d"
+  "/root/repo/src/workload/term_set_table.cpp" "src/workload/CMakeFiles/move_workload.dir/term_set_table.cpp.o" "gcc" "src/workload/CMakeFiles/move_workload.dir/term_set_table.cpp.o.d"
+  "/root/repo/src/workload/trace_io.cpp" "src/workload/CMakeFiles/move_workload.dir/trace_io.cpp.o" "gcc" "src/workload/CMakeFiles/move_workload.dir/trace_io.cpp.o.d"
+  "/root/repo/src/workload/trace_stats.cpp" "src/workload/CMakeFiles/move_workload.dir/trace_stats.cpp.o" "gcc" "src/workload/CMakeFiles/move_workload.dir/trace_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/move_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

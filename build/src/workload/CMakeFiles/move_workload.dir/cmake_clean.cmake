@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/move_workload.dir/corpus.cpp.o"
+  "CMakeFiles/move_workload.dir/corpus.cpp.o.d"
+  "CMakeFiles/move_workload.dir/query_trace.cpp.o"
+  "CMakeFiles/move_workload.dir/query_trace.cpp.o.d"
+  "CMakeFiles/move_workload.dir/term_set_table.cpp.o"
+  "CMakeFiles/move_workload.dir/term_set_table.cpp.o.d"
+  "CMakeFiles/move_workload.dir/trace_io.cpp.o"
+  "CMakeFiles/move_workload.dir/trace_io.cpp.o.d"
+  "CMakeFiles/move_workload.dir/trace_stats.cpp.o"
+  "CMakeFiles/move_workload.dir/trace_stats.cpp.o.d"
+  "libmove_workload.a"
+  "libmove_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/move_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/adaptive_test.cpp" "tests/CMakeFiles/test_core.dir/core/adaptive_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/adaptive_test.cpp.o.d"
+  "/root/repo/tests/core/allocation_test.cpp" "tests/CMakeFiles/test_core.dir/core/allocation_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/allocation_test.cpp.o.d"
+  "/root/repo/tests/core/experiment_test.cpp" "tests/CMakeFiles/test_core.dir/core/experiment_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/experiment_test.cpp.o.d"
+  "/root/repo/tests/core/failure_test.cpp" "tests/CMakeFiles/test_core.dir/core/failure_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/failure_test.cpp.o.d"
+  "/root/repo/tests/core/forwarding_table_test.cpp" "tests/CMakeFiles/test_core.dir/core/forwarding_table_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/forwarding_table_test.cpp.o.d"
+  "/root/repo/tests/core/membership_test.cpp" "tests/CMakeFiles/test_core.dir/core/membership_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/membership_test.cpp.o.d"
+  "/root/repo/tests/core/scheme_test.cpp" "tests/CMakeFiles/test_core.dir/core/scheme_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/scheme_test.cpp.o.d"
+  "/root/repo/tests/core/stairs_test.cpp" "tests/CMakeFiles/test_core.dir/core/stairs_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/stairs_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/move_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/move_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/move_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/move_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/move_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/move_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/bloom/CMakeFiles/move_bloom.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/move_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/move_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/adaptive_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/adaptive_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/allocation_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/allocation_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/experiment_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/experiment_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/failure_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/failure_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/forwarding_table_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/forwarding_table_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/membership_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/membership_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/scheme_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/scheme_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/stairs_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/stairs_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

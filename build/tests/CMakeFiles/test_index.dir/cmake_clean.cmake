@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_index.dir/index/filter_store_test.cpp.o"
+  "CMakeFiles/test_index.dir/index/filter_store_test.cpp.o.d"
+  "CMakeFiles/test_index.dir/index/inverted_index_test.cpp.o"
+  "CMakeFiles/test_index.dir/index/inverted_index_test.cpp.o.d"
+  "CMakeFiles/test_index.dir/index/parallel_matcher_test.cpp.o"
+  "CMakeFiles/test_index.dir/index/parallel_matcher_test.cpp.o.d"
+  "CMakeFiles/test_index.dir/index/scored_match_test.cpp.o"
+  "CMakeFiles/test_index.dir/index/scored_match_test.cpp.o.d"
+  "CMakeFiles/test_index.dir/index/sift_matcher_test.cpp.o"
+  "CMakeFiles/test_index.dir/index/sift_matcher_test.cpp.o.d"
+  "test_index"
+  "test_index.pdb"
+  "test_index[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kv.dir/kv/gossip_test.cpp.o"
+  "CMakeFiles/test_kv.dir/kv/gossip_test.cpp.o.d"
+  "CMakeFiles/test_kv.dir/kv/kv_store_test.cpp.o"
+  "CMakeFiles/test_kv.dir/kv/kv_store_test.cpp.o.d"
+  "CMakeFiles/test_kv.dir/kv/placement_test.cpp.o"
+  "CMakeFiles/test_kv.dir/kv/placement_test.cpp.o.d"
+  "CMakeFiles/test_kv.dir/kv/ring_balance_test.cpp.o"
+  "CMakeFiles/test_kv.dir/kv/ring_balance_test.cpp.o.d"
+  "CMakeFiles/test_kv.dir/kv/ring_test.cpp.o"
+  "CMakeFiles/test_kv.dir/kv/ring_test.cpp.o.d"
+  "test_kv"
+  "test_kv.pdb"
+  "test_kv[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

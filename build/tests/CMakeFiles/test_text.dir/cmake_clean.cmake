@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_text.dir/text/pipeline_test.cpp.o"
+  "CMakeFiles/test_text.dir/text/pipeline_test.cpp.o.d"
+  "CMakeFiles/test_text.dir/text/porter_test.cpp.o"
+  "CMakeFiles/test_text.dir/text/porter_test.cpp.o.d"
+  "CMakeFiles/test_text.dir/text/tokenizer_test.cpp.o"
+  "CMakeFiles/test_text.dir/text/tokenizer_test.cpp.o.d"
+  "CMakeFiles/test_text.dir/text/vocabulary_test.cpp.o"
+  "CMakeFiles/test_text.dir/text/vocabulary_test.cpp.o.d"
+  "test_text"
+  "test_text.pdb"
+  "test_text[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
