@@ -1,0 +1,117 @@
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "bench_util.hpp"
+#include "obs/export.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "sim/metrics.hpp"
+
+/// Machine-readable bench output (see DESIGN.md "Bench JSON schema").
+///
+/// Each figure bench keeps printing its human-readable table to stdout and
+/// additionally writes `BENCH_<name>.json` so plots/regressions never have
+/// to scrape stdout. Layout:
+///
+/// ```json
+/// {
+///   "bench": "fig8b_throughput_vs_docs",
+///   "schema_version": 1,
+///   "scale": 0.1,
+///   "meta": { "nodes": 20, ... },            // bench-wide knobs
+///   "rows": [
+///     { "series": "move",                     // scheme / curve name
+///       "knobs": { "Q": 1000 },               // the swept x-value(s)
+///       "metrics": { "throughput_per_sec": 93.1,
+///                    "node_busy_fraction": 0.98,
+///                    "shard_imbalance": 1.4, ... } },
+///     ...
+///   ],
+///   "registry": { "counters": ..., "gauges": ..., "histograms": ... }
+/// }
+/// ```
+///
+/// The file lands in $MOVE_BENCH_OUT if set (must be an existing
+/// directory), else the current working directory.
+namespace move::bench {
+
+class BenchReporter {
+ public:
+  explicit BenchReporter(std::string name) : name_(std::move(name)) {
+    root_["bench"] = name_;
+    root_["schema_version"] = 1;
+    root_["scale"] = scale();
+    root_["meta"] = obs::Json::object();
+    root_["rows"] = obs::Json::array();
+  }
+
+  /// Bench-wide parameters (`meta` object).
+  obs::Json& meta() { return root_["meta"]; }
+
+  /// Appends a row for one (series, x) point; fill `row["knobs"]` and
+  /// `row["metrics"]` on the returned reference before the next add_row.
+  obs::Json& add_row(std::string_view series) {
+    obs::Json row = obs::Json::object();
+    row["series"] = series;
+    row["knobs"] = obs::Json::object();
+    row["metrics"] = obs::Json::object();
+    auto& rows = root_["rows"].as_array();
+    rows.push_back(std::move(row));
+    return rows.back();
+  }
+
+  /// Embeds a registry snapshot (typically exported from the final
+  /// configuration's run) under the top-level `registry` key.
+  void attach_registry(const obs::Registry& registry) {
+    root_["registry"] = obs::registry_to_json(registry);
+  }
+
+  /// Copies the RunMetrics summary scalars into a row's `metrics` object.
+  /// `shard_imbalance` is the per-node busy-time peak-to-mean: on the
+  /// cluster, nodes are the shards of the IL-style term partitioning.
+  static void fill_run_metrics(obs::Json& row, const sim::RunMetrics& m) {
+    obs::Json& metrics = row["metrics"];
+    metrics["throughput_per_sec"] = m.throughput_per_sec();
+    metrics["makespan_us"] = m.makespan_us;
+    metrics["documents_completed"] = m.documents_completed;
+    metrics["notifications"] = m.notifications;
+    metrics["node_busy_fraction"] = m.max_busy_fraction();
+    metrics["mean_busy_fraction"] = m.mean_busy_fraction();
+    metrics["shard_imbalance"] = m.busy_imbalance();
+    metrics["storage_imbalance"] = m.storage_imbalance();
+  }
+
+  /// Writes `BENCH_<name>.json` (pretty-printed). Returns true on success;
+  /// on failure prints a warning and leaves the bench's exit status alone —
+  /// the stdout table remains authoritative for interactive runs.
+  bool write() const {
+    std::string dir = ".";
+    if (const char* env = std::getenv("MOVE_BENCH_OUT")) {
+      if (*env != '\0') dir = env;
+    }
+    const std::string path = dir + "/BENCH_" + name_ + ".json";
+    const std::string text = root_.dump(2) + "\n";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return false;
+    }
+    const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+    std::fclose(f);
+    if (ok) std::printf("\nwrote %s\n", path.c_str());
+    return ok;
+  }
+
+  [[nodiscard]] const obs::Json& json() const { return root_; }
+
+ private:
+  std::string name_;
+  obs::Json root_;
+};
+
+}  // namespace move::bench

@@ -24,6 +24,7 @@
 
 #include <memory>
 
+#include "bench_report.hpp"
 #include "bench_util.hpp"
 
 namespace move::bench {
@@ -36,6 +37,17 @@ struct SweepResult {
   double move_tput = 0;
   double rs_tput = 0;
   double il_tput = 0;
+};
+
+/// Full per-scheme run metrics for one batch (the JSON report needs more
+/// than the throughput scalar: busy fractions, imbalance, storage skew).
+struct SweepMetrics {
+  sim::RunMetrics move_m, rs_m, il_m;
+
+  [[nodiscard]] SweepResult throughput() const {
+    return {move_m.throughput_per_sec(), rs_m.throughput_per_sec(),
+            il_m.throughput_per_sec()};
+  }
 };
 
 /// The three schemes registered over the same filter subset on three
@@ -76,12 +88,20 @@ class SchemeSet {
   /// returns Q/makespan per scheme.
   [[nodiscard]] SweepResult run_batch(const workload::TermSetTable& docs,
                                       std::size_t batch) const {
-    SweepResult out;
-    out.move_tput = one(*mv_, docs, batch);
-    out.rs_tput = one(*rs_, docs, batch);
-    out.il_tput = one(*il_, docs, batch);
+    return run_batch_metrics(docs, batch).throughput();
+  }
+
+  /// Same burst, but keeps each scheme's full RunMetrics.
+  [[nodiscard]] SweepMetrics run_batch_metrics(
+      const workload::TermSetTable& docs, std::size_t batch) const {
+    SweepMetrics out;
+    out.move_m = run_metrics(*mv_, docs, batch);
+    out.rs_m = run_metrics(*rs_, docs, batch);
+    out.il_m = run_metrics(*il_, docs, batch);
     return out;
   }
+
+  [[nodiscard]] const cluster::Cluster& move_cluster() const { return *c_mv_; }
 
   [[nodiscard]] core::MoveScheme& move_scheme() { return *mv_; }
   [[nodiscard]] core::RsScheme& rs_scheme() { return *rs_; }
@@ -127,6 +147,18 @@ inline void print_sweep_header(const char* xlabel) {
 inline void print_sweep_row(double x, const SweepResult& r) {
   std::printf("%-14.4g %-12.4g %-12.4g %-12.4g\n", x, r.move_tput, r.rs_tput,
               r.il_tput);
+}
+
+/// Appends one JSON row per scheme for the swept knob value `x`.
+inline void report_sweep_rows(BenchReporter& report, const char* knob,
+                              double x, const SweepMetrics& m) {
+  const std::pair<const char*, const sim::RunMetrics*> series[] = {
+      {"move", &m.move_m}, {"rs", &m.rs_m}, {"il", &m.il_m}};
+  for (const auto& [name, metrics] : series) {
+    obs::Json& row = report.add_row(name);
+    row["knobs"][knob] = x;
+    BenchReporter::fill_run_metrics(row, *metrics);
+  }
 }
 
 }  // namespace move::bench

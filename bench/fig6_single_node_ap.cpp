@@ -4,4 +4,7 @@
 
 #include "single_node_sweep.hpp"
 
-int main() { return move::bench::run_single_node_sweep(/*wt_mode=*/false); }
+int main() {
+  return move::bench::run_single_node_sweep(/*wt_mode=*/false,
+                                            "fig6_single_node_ap");
+}

@@ -4,4 +4,7 @@
 
 #include "single_node_sweep.hpp"
 
-int main() { return move::bench::run_single_node_sweep(/*wt_mode=*/true); }
+int main() {
+  return move::bench::run_single_node_sweep(/*wt_mode=*/true,
+                                            "fig7_single_node_wt");
+}

@@ -18,12 +18,22 @@ int main() {
 
   std::printf("N=%zu nodes, Q=%zu docs, C=%.3g copies/node\n\n", d.nodes,
               batch, d.capacity);
+  bench::BenchReporter report("fig8a_throughput_vs_filters");
+  report.meta()["nodes"] = d.nodes;
+  report.meta()["batch_docs"] = batch;
+  report.meta()["capacity"] = d.capacity;
   bench::print_sweep_header("P (filters)");
   for (double p_paper : {1e5, 5e5, 2e6, 4e6, 7e6, 1e7}) {
     const auto p = static_cast<std::size_t>(p_paper * s);
     if (p == 0 || p > filters.table.size()) continue;
     bench::SchemeSet set(d, filters, corpus_stats, p, d.nodes);
-    bench::print_sweep_row(static_cast<double>(p), set.run_batch(docs, batch));
+    const auto m = set.run_batch_metrics(docs, batch);
+    bench::print_sweep_row(static_cast<double>(p), m.throughput());
+    bench::report_sweep_rows(report, "P", static_cast<double>(p), m);
+    obs::Registry registry;
+    m.move_m.export_metrics(registry);
+    set.move_cluster().export_metrics(registry);
+    report.attach_registry(registry);  // final sweep point wins
   }
-  return 0;
+  return report.write() ? 0 : 1;
 }

@@ -19,13 +19,23 @@ int main() {
 
   std::printf("N=%zu nodes, P=%zu filters, C=%.3g copies/node\n\n", d.nodes,
               filters.table.size(), d.capacity);
+  bench::BenchReporter report("fig8b_throughput_vs_docs");
+  report.meta()["nodes"] = d.nodes;
+  report.meta()["filters"] = filters.table.size();
+  report.meta()["capacity"] = d.capacity;
   bench::SchemeSet set(d, filters, corpus_stats, filters.table.size(),
                        d.nodes);
   bench::print_sweep_header("Q (docs)");
   bench::SweepResult at10, at1000;
   for (std::size_t q : {10ul, 100ul, 500ul, 1000ul, 5000ul, 10000ul}) {
-    const auto r = set.run_batch(docs, q);
+    const auto m = set.run_batch_metrics(docs, q);
+    const auto r = m.throughput();
     bench::print_sweep_row(static_cast<double>(q), r);
+    bench::report_sweep_rows(report, "Q", static_cast<double>(q), m);
+    obs::Registry registry;
+    m.move_m.export_metrics(registry);
+    set.move_cluster().export_metrics(registry);
+    report.attach_registry(registry);  // final sweep point wins
     if (q == 10) at10 = r;
     if (q == 1000) at1000 = r;
   }
@@ -33,5 +43,5 @@ int main() {
               "   (paper: 3.62 / 6.09 / 14.11)\n",
               at10.move_tput / at1000.move_tput,
               at10.rs_tput / at1000.rs_tput, at10.il_tput / at1000.il_tput);
-  return 0;
+  return report.write() ? 0 : 1;
 }

@@ -16,10 +16,20 @@ int main() {
 
   std::printf("P=%zu filters, Q=%zu docs, C=%.3g copies/node\n\n",
               filters.table.size(), batch, d.capacity);
+  bench::BenchReporter report("fig8c_throughput_vs_nodes");
+  report.meta()["filters"] = filters.table.size();
+  report.meta()["batch_docs"] = batch;
+  report.meta()["capacity"] = d.capacity;
   bench::print_sweep_header("N (nodes)");
   for (std::size_t n : {5ul, 10ul, 20ul, 40ul, 60ul, 80ul, 100ul}) {
     bench::SchemeSet set(d, filters, corpus_stats, filters.table.size(), n);
-    bench::print_sweep_row(static_cast<double>(n), set.run_batch(docs, batch));
+    const auto m = set.run_batch_metrics(docs, batch);
+    bench::print_sweep_row(static_cast<double>(n), m.throughput());
+    bench::report_sweep_rows(report, "N", static_cast<double>(n), m);
+    obs::Registry registry;
+    m.move_m.export_metrics(registry);
+    set.move_cluster().export_metrics(registry);
+    report.attach_registry(registry);  // final sweep point wins
   }
-  return 0;
+  return report.write() ? 0 : 1;
 }

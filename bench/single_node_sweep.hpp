@@ -21,10 +21,21 @@
 //    Q=2 below Q=10) — modeled by a spill multiplier beyond `mem_filters`;
 //  * larger R is outright slower; WT vastly outperforms AP per unit work.
 
+#include <array>
+
+#include "bench_report.hpp"
 #include "bench_util.hpp"
+#include "common/hash.hpp"
+#include "common/stats.hpp"
 #include "index/sift_matcher.hpp"
 
 namespace move::bench {
+
+/// Hash-shard count used to profile how evenly the matching traffic would
+/// split under the ParallelMatcher's term partitioning (§III-B collapsed
+/// onto one machine). Fixed so the imbalance figure is comparable across
+/// scales.
+inline constexpr std::size_t kProfileShards = 8;
 
 struct SingleNodeCost {
   sim::CostModel cost;
@@ -41,13 +52,24 @@ struct SingleNodeCost {
   }
 };
 
+/// One (P, Q) batch measurement, with the side observations the JSON
+/// report carries.
+struct SingleNodeBatch {
+  double total_us = 0.0;             ///< virtual service time of the batch
+  index::MatchAccounting acc;        ///< summed over all documents
+  /// Peak-to-mean of per-shard postings scanned under a kProfileShards-way
+  /// term hash partition (1.0 = the parallel matcher would balance
+  /// perfectly on this workload).
+  double shard_imbalance = 1.0;
+};
+
 /// Virtual-time latency of matching `num_docs` docs against `num_filters`
-/// filters with full SIFT on one node. Returns total service microseconds.
-inline double single_node_batch_us(const workload::TermSetTable& filters,
-                                   std::size_t num_filters,
-                                   const workload::TermSetTable& docs,
-                                   std::size_t num_docs,
-                                   const SingleNodeCost& model) {
+/// filters with full SIFT on one node.
+inline SingleNodeBatch single_node_batch(const workload::TermSetTable& filters,
+                                         std::size_t num_filters,
+                                         const workload::TermSetTable& docs,
+                                         std::size_t num_docs,
+                                         const SingleNodeCost& model) {
   index::FilterStore store;
   index::InvertedIndex index;
   for (std::size_t i = 0; i < num_filters && i < filters.size(); ++i) {
@@ -58,20 +80,31 @@ inline double single_node_batch_us(const workload::TermSetTable& filters,
   const double mult =
       model.scan_multiplier(static_cast<double>(num_filters));
   std::vector<FilterId> out;
-  double total_us = 0.0;
+  SingleNodeBatch result;
+  std::array<double, kProfileShards> shard_scanned{};
   for (std::size_t i = 0; i < num_docs; ++i) {
     const auto doc = docs.row(i % docs.size());
     const auto acc = matcher.match(doc, index::MatchOptions{}, out);
-    total_us += model.cost.handle_base_us +
-                model.cost.seek_per_list_us *
-                    static_cast<double>(acc.lists_retrieved) +
-                mult * model.cost.scan_per_posting_us *
-                    static_cast<double>(acc.postings_scanned);
+    result.acc += acc;
+    result.total_us += model.cost.handle_base_us +
+                       model.cost.seek_per_list_us *
+                           static_cast<double>(acc.lists_retrieved) +
+                       mult * model.cost.scan_per_posting_us *
+                           static_cast<double>(acc.postings_scanned);
+    // Attribute each retrieved list's mass to its hash shard — the slice a
+    // ParallelMatcher worker would scan for this document.
+    for (TermId t : doc) {
+      shard_scanned[common::mix64(t.value) % kProfileShards] +=
+          static_cast<double>(index.postings(t).size());
+    }
   }
-  return total_us;
+  if (common::mean(shard_scanned) > 0) {
+    result.shard_imbalance = common::peak_to_mean(shard_scanned);
+  }
+  return result;
 }
 
-inline int run_single_node_sweep(bool wt_mode) {
+inline int run_single_node_sweep(bool wt_mode, const char* bench_name) {
   print_banner(wt_mode ? "Figure 7" : "Figure 6",
                wt_mode ? "single-node throughput, TREC-WT-like docs"
                        : "single-node throughput, TREC-AP-like docs");
@@ -88,19 +121,48 @@ inline int run_single_node_sweep(bool wt_mode) {
   std::printf("docs pool: %zu (%.1f terms/doc)\n\n", docs.size(),
               docs.mean_row_size());
 
+  BenchReporter report(bench_name);
+  report.meta()["corpus"] = wt_mode ? "trec-wt-like" : "trec-ap-like";
+  report.meta()["docs_pool"] = docs.size();
+  report.meta()["mean_terms_per_doc"] = docs.mean_row_size();
+  report.meta()["profile_shards"] = kProfileShards;
+  obs::Registry registry;
+  obs::Counter& rows_counter = registry.counter("bench.rows");
+
   const SingleNodeCost model;
   std::printf("%-14s %-10s %-12s %-18s\n", "R = P x Q", "Q (docs)",
               "P (filters)", "throughput (R/T/1e3)");
   double tput_q1000_r1e5 = 0, tput_q1000_r1e7 = 0;
   for (double r_paper : {1e5, 1e6, 1e7}) {
     const double R = r_paper * s;
+    char series[32];
+    std::snprintf(series, sizeof series, "R=%g", r_paper);
     for (std::size_t q : {2ul, 10ul, 50ul, 100ul, 200ul, 500ul, 1000ul}) {
       const auto p = static_cast<std::size_t>(R / static_cast<double>(q));
       if (p == 0 || p > filters.table.size()) continue;
-      const double total_us =
-          single_node_batch_us(filters.table, p, docs, q, model);
-      const double tput = total_us > 0 ? R / (total_us / 1e6) / 1e3 : 0.0;
+      const auto batch = single_node_batch(filters.table, p, docs, q, model);
+      const double tput =
+          batch.total_us > 0 ? R / (batch.total_us / 1e6) / 1e3 : 0.0;
       std::printf("%-14.3g %-10zu %-12zu %-18.4g\n", R, q, p, tput);
+
+      obs::Json& row = report.add_row(series);
+      row["knobs"]["R"] = R;
+      row["knobs"]["Q"] = q;
+      row["knobs"]["P"] = p;
+      obs::Json& m = row["metrics"];
+      m["throughput"] = tput;
+      m["batch_us"] = batch.total_us;
+      // A single serial SIFT node: it is the (only) bottleneck by
+      // construction, so its busy fraction over the batch makespan is 1.
+      m["node_busy_fraction"] = 1.0;
+      m["shard_imbalance"] = batch.shard_imbalance;
+      m["lists_retrieved"] = batch.acc.lists_retrieved;
+      m["postings_scanned"] = batch.acc.postings_scanned;
+      m["candidates_verified"] = batch.acc.candidates_verified;
+      rows_counter.inc();
+      registry.gauge("bench.last.shard_imbalance").set(batch.shard_imbalance);
+      registry.gauge("bench.last.node_busy_fraction").set(1.0);
+
       if (q == 1000 && r_paper == 1e5) tput_q1000_r1e5 = tput;
       if (q == 1000 && r_paper == 1e7) tput_q1000_r1e7 = tput;
     }
@@ -110,11 +172,14 @@ inline int run_single_node_sweep(bool wt_mode) {
     // Same Q, different R: batch time T = R / throughput, so
     // T(1e7)/T(1e5) = 100 * tput(1e5)/tput(1e7). Paper reports ~6.714x more
     // processing time for R=1e7 than for R=1e5 at Q=1000.
+    const double ratio = 100.0 * tput_q1000_r1e5 / tput_q1000_r1e7;
     std::printf("processing-time ratio R=1e7 vs 1e5 at Q=1000: %.3f "
                 "(paper: 6.714)\n",
-                100.0 * tput_q1000_r1e5 / tput_q1000_r1e7);
+                ratio);
+    report.meta()["time_ratio_r1e7_vs_r1e5_q1000"] = ratio;
   }
-  return 0;
+  report.attach_registry(registry);
+  return report.write() ? 0 : 1;
 }
 
 }  // namespace move::bench

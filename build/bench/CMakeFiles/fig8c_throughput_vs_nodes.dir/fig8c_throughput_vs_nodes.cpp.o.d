@@ -195,8 +195,10 @@ bench/CMakeFiles/fig8c_throughput_vs_nodes.dir/fig8c_throughput_vs_nodes.cpp.o: 
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
- /root/repo/bench/bench_util.hpp /root/repo/src/cluster/cluster.hpp \
- /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_vector.h \
+ /root/repo/bench/bench_report.hpp /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /root/repo/bench/bench_util.hpp \
+ /root/repo/src/cluster/cluster.hpp /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc \
  /root/repo/src/cluster/storage_node.hpp /usr/include/c++/12/span \
@@ -219,16 +221,23 @@ bench/CMakeFiles/fig8c_throughput_vs_nodes.dir/fig8c_throughput_vs_nodes.cpp.o: 
  /usr/include/c++/12/limits /root/repo/src/kv/ring.hpp \
  /usr/include/c++/12/optional /root/repo/src/kv/topology.hpp \
  /root/repo/src/sim/cost_model.hpp /root/repo/src/sim/event_engine.hpp \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /root/repo/src/core/experiment.hpp \
  /root/repo/src/core/scheme.hpp \
  /root/repo/src/workload/term_set_table.hpp \
  /root/repo/src/sim/metrics.hpp /root/repo/src/core/il_scheme.hpp \
- /root/repo/src/bloom/bloom_filter.hpp /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/bloom/bloom_filter.hpp \
  /root/repo/src/core/move_scheme.hpp /root/repo/src/core/allocation.hpp \
  /root/repo/src/core/forwarding_table.hpp /root/repo/src/kv/placement.hpp \
  /root/repo/src/workload/trace_stats.hpp \
  /root/repo/src/core/rs_scheme.hpp /root/repo/src/workload/corpus.hpp \
- /root/repo/src/workload/query_trace.hpp /root/repo/src/common/zipf.hpp
+ /root/repo/src/workload/query_trace.hpp /root/repo/src/common/zipf.hpp \
+ /root/repo/src/obs/export.hpp /root/repo/src/obs/json.hpp \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/variant \
+ /usr/include/c++/12/bits/parse_numbers.h /root/repo/src/obs/metrics.hpp \
+ /usr/include/c++/12/atomic /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h

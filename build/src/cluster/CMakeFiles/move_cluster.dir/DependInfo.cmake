@@ -20,6 +20,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/kv/CMakeFiles/move_kv.dir/DependInfo.cmake"
   "/root/repo/build/src/sim/CMakeFiles/move_sim.dir/DependInfo.cmake"
   "/root/repo/build/src/bloom/CMakeFiles/move_bloom.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/move_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/workload/CMakeFiles/move_workload.dir/DependInfo.cmake"
   )
 

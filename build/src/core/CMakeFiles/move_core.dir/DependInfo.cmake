@@ -28,6 +28,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/bloom/CMakeFiles/move_bloom.dir/DependInfo.cmake"
   "/root/repo/build/src/cluster/CMakeFiles/move_cluster.dir/DependInfo.cmake"
   "/root/repo/build/src/workload/CMakeFiles/move_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/move_obs.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

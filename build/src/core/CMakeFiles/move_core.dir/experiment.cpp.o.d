@@ -219,8 +219,8 @@ src/core/CMakeFiles/move_core.dir/experiment.cpp.o: \
  /usr/include/c++/12/limits /root/repo/src/kv/ring.hpp \
  /usr/include/c++/12/optional /root/repo/src/kv/topology.hpp \
  /root/repo/src/sim/cost_model.hpp /root/repo/src/sim/event_engine.hpp \
- /usr/include/c++/12/queue /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/workload/term_set_table.hpp \
  /root/repo/src/sim/metrics.hpp /usr/include/c++/12/algorithm \

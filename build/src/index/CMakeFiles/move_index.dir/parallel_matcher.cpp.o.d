@@ -229,4 +229,8 @@ src/index/CMakeFiles/move_index.dir/parallel_matcher.cpp.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/common/hash.hpp /root/repo/src/index/sift_matcher.hpp
+ /root/repo/src/common/hash.hpp /root/repo/src/common/stats.hpp \
+ /root/repo/src/index/sift_matcher.hpp /root/repo/src/obs/metrics.hpp \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
+ /usr/include/c++/12/bits/stl_multimap.h

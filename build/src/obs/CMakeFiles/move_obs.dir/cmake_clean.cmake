@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/move_obs.dir/export.cpp.o"
+  "CMakeFiles/move_obs.dir/export.cpp.o.d"
+  "CMakeFiles/move_obs.dir/json.cpp.o"
+  "CMakeFiles/move_obs.dir/json.cpp.o.d"
+  "CMakeFiles/move_obs.dir/metrics.cpp.o"
+  "CMakeFiles/move_obs.dir/metrics.cpp.o.d"
+  "libmove_obs.a"
+  "libmove_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/move_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmove_obs.a"
+)

@@ -17,6 +17,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/common/CMakeFiles/move_common.dir/DependInfo.cmake"
   "/root/repo/build/src/index/CMakeFiles/move_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/move_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/workload/CMakeFiles/move_workload.dir/DependInfo.cmake"
   )
 

@@ -24,6 +24,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/bloom/CMakeFiles/move_bloom.dir/DependInfo.cmake"
   "/root/repo/build/src/text/CMakeFiles/move_text.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/move_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/move_obs.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -12,4 +12,5 @@ include("/root/repo/build/tests/test_kv[1]_include.cmake")
 include("/root/repo/build/tests/test_sim[1]_include.cmake")
 include("/root/repo/build/tests/test_workload[1]_include.cmake")
 include("/root/repo/build/tests/test_cluster[1]_include.cmake")
+include("/root/repo/build/tests/test_obs[1]_include.cmake")
 include("/root/repo/build/tests/test_core[1]_include.cmake")

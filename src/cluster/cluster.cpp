@@ -1,6 +1,10 @@
 #include "cluster/cluster.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <string>
+
+#include "obs/metrics.hpp"
 
 namespace move::cluster {
 
@@ -81,6 +85,41 @@ void Cluster::remove_node(NodeId id) {
 
 void Cluster::wipe_storage() {
   for (auto& node : nodes_) node.clear();
+}
+
+void Cluster::export_metrics(obs::Registry& registry,
+                             std::string_view prefix) const {
+  const std::string base(prefix);
+  registry.gauge(base + ".nodes").set(static_cast<double>(nodes_.size()));
+  registry.gauge(base + ".live_nodes").set(static_cast<double>(live_count()));
+
+  const sim::Time now = engine_.now();
+  // Busy fraction is service time over elapsed virtual time; before any
+  // event has run (now == 0) every node reports 0.
+  const double elapsed = std::max(now, 1e-9);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const std::string node = std::to_string(i);
+    const StorageNode& sn = nodes_[i];
+    const sim::FifoServer& srv = servers_[i];
+    const auto& acc = sn.accounting_totals();
+    const auto set = [&](const char* name, double v) {
+      registry.gauge(obs::labeled(base + ".node." + name, "node", node))
+          .set(v);
+    };
+    set("stored_filters", static_cast<double>(sn.stored_count()));
+    set("term_slots", static_cast<double>(sn.term_slots()));
+    set("postings_scanned", static_cast<double>(acc.postings_scanned));
+    set("candidates_verified", static_cast<double>(acc.candidates_verified));
+    set("match_calls", static_cast<double>(sn.match_calls()));
+    set("busy_us", srv.busy_us());
+    set("queue_wait_us", srv.queue_wait_us());
+    set("jobs_served", static_cast<double>(srv.jobs_served()));
+    set("queue_depth", static_cast<double>(srv.queue_depth(now)));
+    set("max_queue_depth", static_cast<double>(srv.max_queue_depth()));
+    set("busy_fraction", now > 0 ? srv.busy_us() / elapsed : 0.0);
+    set("alive", alive_[i] ? 1.0 : 0.0);
+  }
+  engine_.export_metrics(registry);
 }
 
 }  // namespace move::cluster

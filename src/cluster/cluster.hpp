@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "cluster/storage_node.hpp"
@@ -15,6 +16,10 @@
 /// nodes joined to one consistent-hash ring, racked by a RackTopology, each
 /// fronted by a serial FifoServer on a shared virtual clock. Stands in for
 /// the paper's ~100-node Ukko/Cassandra deployment.
+namespace move::obs {
+class Registry;
+}
+
 namespace move::cluster {
 
 struct ClusterConfig {
@@ -84,6 +89,14 @@ class Cluster {
 
   /// Clears every node's stores (registration is about to be replayed).
   void wipe_storage();
+
+  /// Snapshots cluster-wide and per-node state into `registry` as gauges
+  /// (snapshot semantics): storage, match accounting, FifoServer service
+  /// totals, queue depth, busy fraction, liveness — plus the engine's own
+  /// counters. Names follow DESIGN.md "Metrics naming": `<prefix>.nodes`,
+  /// `<prefix>.node.busy_us{node=i}`, ...
+  void export_metrics(obs::Registry& registry,
+                      std::string_view prefix = "cluster") const;
 
  private:
   ClusterConfig config_;

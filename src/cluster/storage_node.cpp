@@ -39,6 +39,8 @@ index::MatchAccounting StorageNode::match_full(
   const index::SiftMatcher matcher(store_, index_);
   const auto acc = matcher.match(doc_terms, options, out_global);
   translate(out_global);
+  totals_ += acc;
+  ++match_calls_;
   return acc;
 }
 
@@ -50,6 +52,8 @@ index::MatchAccounting StorageNode::match_single(
   const auto acc =
       matcher.match_single_list(context_term, doc_terms, options, out_global);
   translate(out_global);
+  totals_ += acc;
+  ++match_calls_;
   return acc;
 }
 
@@ -59,6 +63,7 @@ void StorageNode::clear() {
   meta_ = MetaStore();
   global_to_local_.clear();
   local_to_global_.clear();
+  reset_accounting();
 }
 
 std::vector<FilterId> StorageNode::stored_filters() const {

@@ -63,6 +63,21 @@ class StorageNode {
   [[nodiscard]] MetaStore& meta() noexcept { return meta_; }
   [[nodiscard]] const MetaStore& meta() const noexcept { return meta_; }
 
+  /// Cumulative match-IO accounting across every match_full / match_single
+  /// call since construction (or the last reset_accounting/clear) — the
+  /// per-node matching-cost counters Fig. 9(b) plots.
+  [[nodiscard]] const index::MatchAccounting& accounting_totals()
+      const noexcept {
+    return totals_;
+  }
+  [[nodiscard]] std::uint64_t match_calls() const noexcept {
+    return match_calls_;
+  }
+  void reset_accounting() noexcept {
+    totals_ = index::MatchAccounting{};
+    match_calls_ = 0;
+  }
+
   /// Drops every stored filter copy and index entry (used when the ring
   /// changes and schemes re-register; meta counters reset too).
   void clear();
@@ -76,6 +91,10 @@ class StorageNode {
   MetaStore meta_;
   std::unordered_map<FilterId, FilterId> global_to_local_;
   std::vector<FilterId> local_to_global_;
+  // Plain integers, mutable: match_* are logically const reads driven by the
+  // single-threaded simulator; accounting is a side-band observation.
+  mutable index::MatchAccounting totals_;
+  mutable std::uint64_t match_calls_ = 0;
 };
 
 }  // namespace move::cluster

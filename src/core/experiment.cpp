@@ -104,9 +104,14 @@ sim::RunMetrics run_dissemination(Scheme& scheme,
   m.makespan_us = state->last_completion_us - state->start_us;
   m.node_busy_us.resize(c.size());
   m.node_docs.resize(c.size());
+  m.node_queue_wait_us.resize(c.size());
+  m.node_max_queue_depth.resize(c.size());
   for (std::uint32_t n = 0; n < c.size(); ++n) {
-    m.node_busy_us[n] = c.server(NodeId{n}).busy_us();
-    m.node_docs[n] = c.server(NodeId{n}).jobs_served();
+    const auto& server = c.server(NodeId{n});
+    m.node_busy_us[n] = server.busy_us();
+    m.node_docs[n] = server.jobs_served();
+    m.node_queue_wait_us[n] = server.queue_wait_us();
+    m.node_max_queue_depth[n] = server.max_queue_depth();
   }
   m.node_storage = scheme.storage_per_node();
   return std::move(*state).metrics;

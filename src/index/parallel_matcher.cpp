@@ -1,9 +1,12 @@
 #include "index/parallel_matcher.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "common/hash.hpp"
+#include "common/stats.hpp"
 #include "index/sift_matcher.hpp"
+#include "obs/metrics.hpp"
 
 namespace move::index {
 
@@ -12,6 +15,7 @@ ParallelMatcher::ParallelMatcher(const workload::TermSetTable& filters,
     : pool_(threads) {
   if (shards == 0) shards = pool_.thread_count();
   shards_.resize(std::max<std::size_t>(1, shards));
+  stats_.resize(shards_.size());
   filter_count_ = filters.size();
 
   for (std::size_t i = 0; i < filters.size(); ++i) {
@@ -42,17 +46,23 @@ void ParallelMatcher::match_shard(const Shard& shard,
                                   std::span<const TermId> shard_terms,
                                   std::span<const TermId> doc_terms,
                                   const MatchOptions& options,
-                                  std::vector<FilterId>& out) const {
+                                  std::vector<FilterId>& out,
+                                  ShardStats& stats) const {
   out.clear();
   const SiftMatcher matcher(shard.store, shard.index);
   std::vector<FilterId> partial;
   for (TermId t : shard_terms) {
-    matcher.match_single_list(t, doc_terms, options, partial);
+    const auto acc =
+        matcher.match_single_list(t, doc_terms, options, partial);
+    stats.lists_retrieved += acc.lists_retrieved;
+    stats.postings_scanned += acc.postings_scanned;
+    stats.candidates_verified += acc.candidates_verified;
     out.insert(out.end(), partial.begin(), partial.end());
   }
   for (FilterId& id : out) id = shard.global_ids[id.value];
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
+  stats.matches_emitted += out.size();
 }
 
 std::vector<FilterId> ParallelMatcher::match(std::span<const TermId> doc_terms,
@@ -65,7 +75,8 @@ std::vector<FilterId> ParallelMatcher::match(std::span<const TermId> doc_terms,
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     if (slices[s].empty()) continue;
     pool_.submit([this, s, doc_terms, &options, &slices, &partials] {
-      match_shard(shards_[s], slices[s], doc_terms, options, partials[s]);
+      match_shard(shards_[s], slices[s], doc_terms, options, partials[s],
+                  stats_[s]);
     });
   }
   pool_.wait_idle();
@@ -88,12 +99,63 @@ std::vector<FilterId> ParallelMatcher::match_sequential(
   std::vector<FilterId> out, partial;
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     if (slices[s].empty()) continue;
-    match_shard(shards_[s], slices[s], doc_terms, options, partial);
+    match_shard(shards_[s], slices[s], doc_terms, options, partial,
+                stats_[s]);
     out.insert(out.end(), partial.begin(), partial.end());
   }
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
+}
+
+double ParallelMatcher::shard_imbalance() const {
+  std::vector<double> load(shards_.size());
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    load[s] = static_cast<double>(stats_[s].postings_scanned);
+    total += stats_[s].postings_scanned;
+  }
+  if (total == 0) {
+    total = 0;
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      load[s] = static_cast<double>(shards_[s].index.total_postings());
+      total += shards_[s].index.total_postings();
+    }
+    if (total == 0) return 1.0;
+  }
+  return common::peak_to_mean(load);
+}
+
+void ParallelMatcher::export_metrics(obs::Registry& registry,
+                                     std::string_view prefix) const {
+  const std::string base(prefix);
+  registry.gauge(base + ".shards").set(static_cast<double>(shards_.size()));
+  registry.gauge(base + ".threads")
+      .set(static_cast<double>(pool_.thread_count()));
+  registry.gauge(base + ".shard_imbalance").set(shard_imbalance());
+  ShardStats totals;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const ShardStats& st = stats_[s];
+    totals.lists_retrieved += st.lists_retrieved;
+    totals.postings_scanned += st.postings_scanned;
+    totals.candidates_verified += st.candidates_verified;
+    totals.matches_emitted += st.matches_emitted;
+    const std::string shard = std::to_string(s);
+    registry.gauge(obs::labeled(base + ".postings_scanned", "shard", shard))
+        .set(static_cast<double>(st.postings_scanned));
+    registry.gauge(obs::labeled(base + ".candidates_verified", "shard", shard))
+        .set(static_cast<double>(st.candidates_verified));
+    registry.gauge(obs::labeled(base + ".index_postings", "shard", shard))
+        .set(static_cast<double>(shards_[s].index.total_postings()));
+  }
+  registry.gauge(base + ".lists_retrieved")
+      .set(static_cast<double>(totals.lists_retrieved));
+  registry.gauge(base + ".postings_scanned")
+      .set(static_cast<double>(totals.postings_scanned));
+  registry.gauge(base + ".candidates_verified")
+      .set(static_cast<double>(totals.candidates_verified));
+  registry.gauge(base + ".matches_emitted")
+      .set(static_cast<double>(totals.matches_emitted));
 }
 
 }  // namespace move::index

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <memory>
+#include <string_view>
 #include <unordered_map>
 #include <span>
 #include <vector>
@@ -24,7 +25,21 @@
 /// Term sharding (rather than filter sharding) is what makes large articles
 /// parallelize: each shard touches only its own slice of the document's
 /// terms instead of re-scanning all |d| of them.
+namespace move::obs {
+class Registry;
+}
+
 namespace move::index {
+
+/// Cumulative per-shard matching-cost counters. Each shard slot has exactly
+/// one writer (the pool task matching that shard); readers synchronize via
+/// the pool's wait_idle barrier, so plain integers suffice.
+struct ShardStats {
+  std::uint64_t lists_retrieved = 0;
+  std::uint64_t postings_scanned = 0;
+  std::uint64_t candidates_verified = 0;
+  std::uint64_t matches_emitted = 0;  ///< pre-dedup matches from this shard
+};
 
 class ParallelMatcher {
  public:
@@ -55,6 +70,31 @@ class ParallelMatcher {
     return filter_count_;
   }
 
+  /// Static posting-list mass owned by shard `s` (index size, not traffic).
+  [[nodiscard]] std::uint64_t shard_postings(std::size_t s) const {
+    return shards_.at(s).index.total_postings();
+  }
+
+  /// Cumulative per-shard counters since construction or reset_stats().
+  [[nodiscard]] std::span<const ShardStats> shard_stats() const noexcept {
+    return stats_;
+  }
+
+  /// Peak-to-mean of per-shard postings scanned (1.0 = perfectly balanced).
+  /// Before any match ran, falls back to the static index mass per shard so
+  /// benches can report structural skew too; 1.0 for an empty index.
+  [[nodiscard]] double shard_imbalance() const;
+
+  void reset_stats() noexcept {
+    stats_.assign(shards_.size(), ShardStats{});
+  }
+
+  /// Snapshots totals + per-shard counters into `registry` as gauges:
+  /// `<prefix>.shards`, `<prefix>.shard_imbalance`,
+  /// `<prefix>.postings_scanned{shard=s}` etc.
+  void export_metrics(obs::Registry& registry,
+                      std::string_view prefix = "index.parallel") const;
+
  private:
   struct Shard {
     FilterStore store;                 // filters owning >= 1 term here
@@ -71,9 +111,10 @@ class ParallelMatcher {
                    std::span<const TermId> shard_terms,
                    std::span<const TermId> doc_terms,
                    const MatchOptions& options,
-                   std::vector<FilterId>& out) const;
+                   std::vector<FilterId>& out, ShardStats& stats) const;
 
   std::vector<Shard> shards_;
+  std::vector<ShardStats> stats_;  // parallel to shards_, one writer each
   std::size_t filter_count_ = 0;
   common::ThreadPool pool_;
 };

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
+
+#include "obs/metrics.hpp"
 
 namespace move::kv {
 
@@ -100,6 +103,7 @@ void GossipMembership::run_round() {
       peers.erase(peers.begin() + static_cast<std::ptrdiff_t>(pick));
       NodeState& other = states_[peer];
       if (other.crashed) continue;  // message to a dead node is lost
+      ++exchanges_;
       exchange(me, other);
     }
   }
@@ -110,8 +114,17 @@ void GossipMembership::run_round() {
     for (auto& [peer, info] : state.view) {
       if (peer == id) continue;
       ++info.silent_rounds;
-      if (info.silent_rounds > config_.suspicion_rounds) {
+      if (info.silent_rounds > config_.suspicion_rounds &&
+          !info.suspected_dead) {
         info.suspected_dead = true;
+        ++suspicions_;
+        // A suspicion of a node that is actually alive right now is a
+        // failure-detector false positive (possible only when heartbeat
+        // propagation stalls longer than the suspicion window).
+        const auto subject = states_.find(peer);
+        if (subject != states_.end() && !subject->second.crashed) {
+          ++false_suspicions_;
+        }
       }
     }
   }
@@ -160,6 +173,18 @@ bool GossipMembership::converged() const {
     }
   }
   return true;
+}
+
+void GossipMembership::export_metrics(obs::Registry& registry,
+                                      std::string_view prefix) const {
+  const std::string p(prefix);
+  registry.gauge(p + ".rounds").set(static_cast<double>(rounds_));
+  registry.gauge(p + ".exchanges").set(static_cast<double>(exchanges_));
+  registry.gauge(p + ".suspicions").set(static_cast<double>(suspicions_));
+  registry.gauge(p + ".false_suspicions")
+      .set(static_cast<double>(false_suspicions_));
+  registry.gauge(p + ".live_nodes")
+      .set(static_cast<double>(true_live_count()));
 }
 
 std::size_t GossipMembership::rounds_to_convergence(std::size_t max_rounds) {

@@ -1,11 +1,16 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
+
+namespace move::obs {
+class Registry;
+}
 
 /// Gossip-based membership (§II: "With the help of Gossip protocol, every
 /// node in Dynamo maintains information about all other nodes") — the
@@ -71,6 +76,27 @@ class GossipMembership {
   }
   [[nodiscard]] std::size_t true_live_count() const;
 
+  // --- observability --------------------------------------------------------
+
+  /// Push-pull exchanges performed since construction.
+  [[nodiscard]] std::uint64_t exchanges() const noexcept { return exchanges_; }
+  /// suspected_dead transitions observed (stale-entry expirations).
+  [[nodiscard]] std::uint64_t suspicions() const noexcept {
+    return suspicions_;
+  }
+  /// Suspicions of a node that was actually live at transition time — the
+  /// failure detector's false positives. A healthy, churn-free membership
+  /// must never increment this (gossip_test asserts exactly that).
+  [[nodiscard]] std::uint64_t false_suspicions() const noexcept {
+    return false_suspicions_;
+  }
+
+  /// Writes `<prefix>.rounds` / `.exchanges` / `.suspicions` /
+  /// `.false_suspicions` / `.live_nodes` gauges into `registry`
+  /// (snapshot semantics).
+  void export_metrics(obs::Registry& registry,
+                      std::string_view prefix = "kv.gossip") const;
+
  private:
   struct PeerInfo {
     std::uint64_t heartbeat = 0;  ///< highest heartbeat seen
@@ -90,6 +116,10 @@ class GossipMembership {
   GossipConfig config_;
   common::SplitMix64 rng_;
   std::size_t rounds_ = 0;
+  // Plain integers: the gossip simulation is single-threaded by design.
+  std::uint64_t exchanges_ = 0;
+  std::uint64_t suspicions_ = 0;
+  std::uint64_t false_suspicions_ = 0;
   std::unordered_map<std::uint32_t, NodeState> states_;
 };
 

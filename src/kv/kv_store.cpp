@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/hash.hpp"
+#include "kv/placement.hpp"
+#include "obs/metrics.hpp"
 
 namespace move::kv {
 
@@ -20,6 +22,7 @@ std::vector<NodeId> KeyValueStore::owners(std::string_view key) const {
   std::vector<NodeId> out;
   if (ring_->node_count() == 0) return out;
   const std::uint64_t h = common::fnv1a64(key);
+  if (topology_) return replica_set(*ring_, *topology_, h, replicas_);
   out.push_back(ring_->home_of_hash(h));
   for (NodeId succ : ring_->successors(h, replicas_ - 1)) {
     out.push_back(succ);
@@ -28,22 +31,28 @@ std::vector<NodeId> KeyValueStore::owners(std::string_view key) const {
 }
 
 std::size_t KeyValueStore::put(std::string_view key, std::string_view value) {
+  if (m_puts_) m_puts_->inc();
   std::size_t written = 0;
   for (NodeId node : owners(key)) {
     if (!alive(node)) continue;
     shard(node).insert_or_assign(std::string(key), std::string(value));
     ++written;
   }
+  if (m_replica_writes_) m_replica_writes_->add(written);
   return written;
 }
 
 std::optional<std::string> KeyValueStore::get(std::string_view key) const {
+  if (m_gets_) m_gets_->inc();
   for (NodeId node : owners(key)) {
     if (!alive(node)) continue;
     auto shard_it = shards_.find(node.value);
     if (shard_it == shards_.end()) continue;
     auto it = shard_it->second.find(std::string(key));
-    if (it != shard_it->second.end()) return it->second;
+    if (it != shard_it->second.end()) {
+      if (m_get_hits_) m_get_hits_->inc();
+      return it->second;
+    }
   }
   return std::nullopt;
 }
@@ -51,6 +60,7 @@ std::optional<std::string> KeyValueStore::get(std::string_view key) const {
 std::size_t KeyValueStore::erase(std::string_view key) {
   // Admin operation: scrub every shard, not just current owners, so erase
   // composes with membership changes that happened since the put.
+  if (m_erases_) m_erases_->inc();
   std::size_t removed = 0;
   const std::string k(key);
   for (auto& [node, data] : shards_) {
@@ -74,7 +84,30 @@ std::size_t KeyValueStore::total_entries() const {
   return n;
 }
 
+void KeyValueStore::attach_metrics(obs::Registry& registry,
+                                   std::string_view prefix) {
+  const std::string p(prefix);
+  m_puts_ = &registry.counter(p + ".puts");
+  m_gets_ = &registry.counter(p + ".gets");
+  m_get_hits_ = &registry.counter(p + ".get_hits");
+  m_replica_writes_ = &registry.counter(p + ".replica_writes");
+  m_erases_ = &registry.counter(p + ".erases");
+  m_rebalances_ = &registry.counter(p + ".rebalances");
+}
+
+void KeyValueStore::export_metrics(obs::Registry& registry,
+                                   std::string_view prefix) const {
+  const std::string p(prefix);
+  registry.gauge(p + ".total_entries")
+      .set(static_cast<double>(total_entries()));
+  for (const NodeId node : ring_->members()) {
+    registry.gauge(obs::labeled(p + ".keys", "node", node.value))
+        .set(static_cast<double>(keys_on(node)));
+  }
+}
+
 void KeyValueStore::rebalance() {
+  if (m_rebalances_) m_rebalances_->inc();
   // Gather every (key, value) pair once, then re-place under current
   // ownership. Last-write-wins across stale replicas is fine because puts
   // overwrite all owners at once.

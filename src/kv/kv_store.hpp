@@ -9,6 +9,12 @@
 
 #include "common/types.hpp"
 #include "kv/ring.hpp"
+#include "kv/topology.hpp"
+
+namespace move::obs {
+class Counter;
+class Registry;
+}
 
 /// Replicated in-memory key/value store over the consistent-hash ring — the
 /// put/get substrate the paper's registration protocol is phrased in (§II
@@ -32,6 +38,18 @@ class KeyValueStore {
   /// @param alive     liveness predicate; nullptr means "everything is up"
   explicit KeyValueStore(const HashRing& ring, std::size_t replicas = 3,
                          LivenessFn alive = nullptr);
+
+  /// Switches ownership to the rack-diverse replica walk (placement.hpp
+  /// replica_set): replicas land on distinct racks whenever the topology
+  /// offers enough of them — Cassandra's NetworkTopologyStrategy. The
+  /// topology must outlive the store; call rebalance() afterwards if data
+  /// was already stored under ring-successor ownership.
+  void use_rack_aware_placement(const RackTopology& topology) {
+    topology_ = &topology;
+  }
+  [[nodiscard]] bool rack_aware() const noexcept {
+    return topology_ != nullptr;
+  }
 
   /// Writes `value` under `key` on every live owner.
   /// @returns number of replicas written (0 if all owners are down).
@@ -62,6 +80,18 @@ class KeyValueStore {
 
   [[nodiscard]] std::size_t replicas() const noexcept { return replicas_; }
 
+  /// Attaches live op counters (`<prefix>.puts`, `.gets`, `.get_hits`,
+  /// `.replica_writes`, `.erases`, `.rebalances`) to `registry` (which must
+  /// outlive the store) and snapshots per-node key counts on demand via
+  /// export_metrics().
+  void attach_metrics(obs::Registry& registry,
+                      std::string_view prefix = "kv.store");
+
+  /// Writes per-node key-count gauges (`<prefix>.keys{node=i}`) and the
+  /// total-entries gauge into `registry` (snapshot semantics).
+  void export_metrics(obs::Registry& registry,
+                      std::string_view prefix = "kv.store") const;
+
  private:
   [[nodiscard]] bool alive(NodeId node) const {
     return !alive_ || alive_(node);
@@ -71,6 +101,13 @@ class KeyValueStore {
   const HashRing* ring_;
   std::size_t replicas_;
   LivenessFn alive_;
+  const RackTopology* topology_ = nullptr;
+  obs::Counter* m_puts_ = nullptr;
+  obs::Counter* m_gets_ = nullptr;
+  obs::Counter* m_get_hits_ = nullptr;
+  obs::Counter* m_replica_writes_ = nullptr;
+  obs::Counter* m_erases_ = nullptr;
+  obs::Counter* m_rebalances_ = nullptr;
   // Sparse per-node shards, keyed by node id (nodes can join later).
   std::unordered_map<std::uint32_t,
                      std::unordered_map<std::string, std::string>>

@@ -1,6 +1,7 @@
 #include "kv/placement.hpp"
 
 #include <algorithm>
+#include <set>
 
 namespace move::kv {
 
@@ -107,6 +108,47 @@ std::vector<NodeId> select_replica_nodes_weighted(
 
   if (out.size() < count) {
     take_from(out, by_load(ring.members()), home, count);
+  }
+  return out;
+}
+
+std::vector<NodeId> replica_set(const HashRing& ring,
+                                const RackTopology& topology,
+                                std::uint64_t key_hash,
+                                std::size_t replicas) {
+  std::vector<NodeId> out;
+  if (replicas == 0 || ring.node_count() == 0) return out;
+  const std::size_t want = std::min(replicas, ring.node_count());
+
+  // Nodes beyond the topology's knowledge each get a private pseudo-rack so
+  // they can always be chosen without defeating diversity accounting.
+  const auto rack_key = [&](NodeId n) -> long long {
+    if (n.value < topology.node_count()) {
+      return static_cast<long long>(topology.rack_of(n));
+    }
+    return -1 - static_cast<long long>(n.value);
+  };
+
+  const NodeId home = ring.home_of_hash(key_hash);
+  out.reserve(want);
+  out.push_back(home);
+  std::set<long long> racks_used{rack_key(home)};
+
+  // Full clockwise walk order of every other member.
+  const std::vector<NodeId> walk =
+      ring.successors(key_hash, ring.node_count());
+  std::vector<NodeId> skipped;
+  for (const NodeId n : walk) {
+    if (out.size() >= want) break;
+    if (racks_used.insert(rack_key(n)).second) {
+      out.push_back(n);
+    } else {
+      skipped.push_back(n);
+    }
+  }
+  for (const NodeId n : skipped) {
+    if (out.size() >= want) break;
+    out.push_back(n);
   }
   return out;
 }

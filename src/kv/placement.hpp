@@ -47,4 +47,24 @@ enum class PlacementPolicy { kRingSuccessors, kRackAware, kHybrid };
     std::size_t count, const HashRing& ring, const RackTopology& topology,
     std::span<const double> slot_load);
 
+/// Rack-diverse replica set of a key — Cassandra's NetworkTopologyStrategy
+/// walk: the home node first, then the clockwise successor walk, but a node
+/// whose rack is already represented is skipped while racks remain
+/// unrepresented; once every member rack holds a replica (or the walk
+/// exhausts the ring) the skipped nodes fill the remaining slots in walk
+/// order. Guarantees, for any join/leave history:
+///  * size  == min(replicas, ring.node_count());
+///  * nodes are distinct, home included exactly once (first);
+///  * replicas occupy min(replicas, racks-present-among-members) distinct
+///    racks — fully rack-diverse whenever racks >= replicas;
+///  * depends only on current membership (a freshly built ring with the same
+///    members yields the identical set).
+///
+/// Nodes the topology does not know (rack_of would throw) are treated as
+/// each occupying a private rack — they never block diversity.
+[[nodiscard]] std::vector<NodeId> replica_set(const HashRing& ring,
+                                              const RackTopology& topology,
+                                              std::uint64_t key_hash,
+                                              std::size_t replicas);
+
 }  // namespace move::kv

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "common/hash.hpp"
+#include "obs/metrics.hpp"
 
 namespace move::kv {
 
@@ -13,8 +14,17 @@ HashRing::HashRing(std::uint32_t vnodes_per_node) : vnodes_(vnodes_per_node) {
   }
 }
 
+void HashRing::attach_metrics(obs::Registry& registry,
+                              std::string_view prefix) {
+  const std::string p(prefix);
+  m_lookups_ = &registry.counter(p + ".lookups");
+  m_successor_walks_ = &registry.counter(p + ".successor_walks");
+  m_membership_changes_ = &registry.counter(p + ".membership_changes");
+}
+
 void HashRing::add_node(NodeId node) {
   if (contains(node)) return;
+  if (m_membership_changes_) m_membership_changes_->inc();
   nodes_.insert(std::lower_bound(nodes_.begin(), nodes_.end(), node), node);
   tokens_.reserve(tokens_.size() + vnodes_);
   for (std::uint32_t v = 0; v < vnodes_; ++v) {
@@ -30,6 +40,7 @@ void HashRing::add_node(NodeId node) {
 void HashRing::remove_node(NodeId node) {
   auto it = std::lower_bound(nodes_.begin(), nodes_.end(), node);
   if (it == nodes_.end() || *it != node) return;
+  if (m_membership_changes_) m_membership_changes_->inc();
   nodes_.erase(it);
   std::erase_if(tokens_, [node](const Token& t) { return t.owner == node; });
 }
@@ -51,6 +62,7 @@ std::vector<HashRing::Token>::const_iterator HashRing::token_for(
 }
 
 NodeId HashRing::home_of_hash(std::uint64_t key_hash) const {
+  if (m_lookups_) m_lookups_->inc();
   return token_for(key_hash)->owner;
 }
 
@@ -66,8 +78,9 @@ std::vector<NodeId> HashRing::successors(std::uint64_t key_hash,
                                          std::size_t count) const {
   std::vector<NodeId> out;
   if (tokens_.empty() || count == 0) return out;
+  if (m_successor_walks_) m_successor_walks_->inc();
   count = std::min(count, nodes_.size() - 1);
-  const NodeId home = home_of_hash(key_hash);
+  const NodeId home = token_for(key_hash)->owner;
   auto it = token_for(key_hash);
   // Walk clockwise collecting distinct physical owners, skipping the home
   // node itself and nodes already collected.

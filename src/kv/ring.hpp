@@ -7,6 +7,11 @@
 
 #include "common/types.hpp"
 
+namespace move::obs {
+class Counter;
+class Registry;
+}
+
 /// Dynamo/Cassandra-style consistent-hash ring with virtual nodes.
 ///
 /// This is the O(1)-hop DHT substrate the paper builds on (§II "Key/value
@@ -59,6 +64,14 @@ class HashRing {
   /// tests; with enough vnodes each share approaches 1/N).
   [[nodiscard]] std::vector<double> ownership() const;
 
+  /// Attaches live counters (`<prefix>.lookups`, `<prefix>.successor_walks`,
+  /// `<prefix>.membership_changes`) to `registry`. The ring holds plain
+  /// pointers into the registry, which must outlive it (or detach with
+  /// attach_metrics-to-another-registry). Lookup cost is one relaxed
+  /// fetch_add when attached, zero when not.
+  void attach_metrics(obs::Registry& registry,
+                      std::string_view prefix = "kv.ring");
+
  private:
   struct Token {
     std::uint64_t position;
@@ -75,6 +88,9 @@ class HashRing {
   std::uint32_t vnodes_;
   std::vector<Token> tokens_;  // sorted by position
   std::vector<NodeId> nodes_;  // sorted by id
+  obs::Counter* m_lookups_ = nullptr;
+  obs::Counter* m_successor_walks_ = nullptr;
+  obs::Counter* m_membership_changes_ = nullptr;
 };
 
 }  // namespace move::kv

@@ -1,0 +1,63 @@
+#include "obs/export.hpp"
+
+namespace move::obs {
+
+Json registry_to_json(const Registry& registry) {
+  Json counters = Json::object();
+  for (const auto& s : registry.counters()) {
+    counters[s.name] = Json(s.value);
+  }
+  Json gauges = Json::object();
+  for (const auto& s : registry.gauges()) {
+    gauges[s.name] = Json(s.value);
+  }
+  Json histograms = Json::object();
+  for (const auto& s : registry.histograms()) {
+    Json h = Json::object();
+    Json bounds = Json::array();
+    for (const double b : s.bounds) bounds.push_back(Json(b));
+    Json counts = Json::array();
+    for (const std::uint64_t c : s.counts) counts.push_back(Json(c));
+    h["bounds"] = std::move(bounds);
+    h["counts"] = std::move(counts);
+    h["count"] = Json(s.count);
+    h["sum"] = Json(s.sum);
+    histograms[s.name] = std::move(h);
+  }
+  Json out = Json::object();
+  out["counters"] = std::move(counters);
+  out["gauges"] = std::move(gauges);
+  out["histograms"] = std::move(histograms);
+  return out;
+}
+
+std::string export_json(const Registry& registry, int indent) {
+  return registry_to_json(registry).dump(indent);
+}
+
+RegistrySnapshot snapshot_from_json(const Json& exported) {
+  RegistrySnapshot out;
+  for (const auto& [name, v] : exported.at("counters").as_object()) {
+    out.counters.push_back(Registry::CounterSample{
+        name, static_cast<std::uint64_t>(v.as_double())});
+  }
+  for (const auto& [name, v] : exported.at("gauges").as_object()) {
+    out.gauges.push_back(Registry::GaugeSample{name, v.as_double()});
+  }
+  for (const auto& [name, v] : exported.at("histograms").as_object()) {
+    Registry::HistogramSample s;
+    s.name = name;
+    for (const Json& b : v.at("bounds").as_array()) {
+      s.bounds.push_back(b.as_double());
+    }
+    for (const Json& c : v.at("counts").as_array()) {
+      s.counts.push_back(static_cast<std::uint64_t>(c.as_double()));
+    }
+    s.count = static_cast<std::uint64_t>(v.at("count").as_double());
+    s.sum = v.at("sum").as_double();
+    out.histograms.push_back(std::move(s));
+  }
+  return out;
+}
+
+}  // namespace move::obs

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+/// Registry -> JSON export (the schema the obs tests round-trip and the
+/// bench reporter embeds under its "registry" key; documented in DESIGN.md).
+///
+/// Layout:
+/// ```json
+/// {
+///   "counters":   {"kv.store.puts": 128},
+///   "gauges":     {"cluster.node.busy_us{node=3}": 4031.5},
+///   "histograms": {"sim.latency_us": {"bounds": [...], "counts": [...],
+///                                     "count": 42, "sum": 1234.5}}
+/// }
+/// ```
+/// Histogram `counts` has one more entry than `bounds` (overflow last). An
+/// empty registry exports the three empty objects — still valid JSON.
+namespace move::obs {
+
+/// Snapshot of the registry as a Json value.
+[[nodiscard]] Json registry_to_json(const Registry& registry);
+
+/// `registry_to_json(...).dump(indent)`.
+[[nodiscard]] std::string export_json(const Registry& registry,
+                                      int indent = -1);
+
+/// Loads a parsed export back into sample vectors — the inverse of
+/// registry_to_json for value comparison (used by round-trip tests and
+/// future bench-diff tooling). Throws std::runtime_error on schema mismatch.
+struct RegistrySnapshot {
+  std::vector<Registry::CounterSample> counters;
+  std::vector<Registry::GaugeSample> gauges;
+  std::vector<Registry::HistogramSample> histograms;
+};
+[[nodiscard]] RegistrySnapshot snapshot_from_json(const Json& exported);
+
+}  // namespace move::obs

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+/// Minimal self-contained JSON value — writer and strict parser.
+///
+/// The bench harness emits machine-readable `BENCH_<name>.json` files and
+/// the obs tests must round-trip exports without external dependencies, so
+/// this implements exactly the JSON subset those need: null, bool, finite
+/// doubles, strings (with \uXXXX escapes on input, standard escapes on
+/// output), arrays, and objects. Objects use std::map, so key order — and
+/// therefore serialized output — is deterministic.
+namespace move::obs {
+
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;
+
+  Json() : v_(nullptr) {}
+  Json(std::nullptr_t) : v_(nullptr) {}
+  Json(bool b) : v_(b) {}
+  Json(double d) : v_(d) {}
+  Json(int i) : v_(static_cast<double>(i)) {}
+  Json(unsigned int i) : v_(static_cast<double>(i)) {}
+  Json(long i) : v_(static_cast<double>(i)) {}
+  Json(unsigned long i) : v_(static_cast<double>(i)) {}
+  Json(long long i) : v_(static_cast<double>(i)) {}
+  Json(unsigned long long i) : v_(static_cast<double>(i)) {}
+  Json(const char* s) : v_(std::string(s)) {}
+  Json(std::string_view s) : v_(std::string(s)) {}
+  Json(std::string s) : v_(std::move(s)) {}
+  Json(Array a) : v_(std::move(a)) {}
+  Json(Object o) : v_(std::move(o)) {}
+
+  [[nodiscard]] static Json object() { return Json(Object{}); }
+  [[nodiscard]] static Json array() { return Json(Array{}); }
+
+  [[nodiscard]] bool is_null() const {
+    return std::holds_alternative<std::nullptr_t>(v_);
+  }
+  [[nodiscard]] bool is_bool() const {
+    return std::holds_alternative<bool>(v_);
+  }
+  [[nodiscard]] bool is_number() const {
+    return std::holds_alternative<double>(v_);
+  }
+  [[nodiscard]] bool is_string() const {
+    return std::holds_alternative<std::string>(v_);
+  }
+  [[nodiscard]] bool is_array() const {
+    return std::holds_alternative<Array>(v_);
+  }
+  [[nodiscard]] bool is_object() const {
+    return std::holds_alternative<Object>(v_);
+  }
+
+  /// Typed accessors; throw std::runtime_error on kind mismatch.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_double() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] const Object& as_object() const;
+  [[nodiscard]] Array& as_array();
+  [[nodiscard]] Object& as_object();
+
+  /// Object access: inserts a null member if absent (converts a null value
+  /// to an object first, so `j["a"]["b"] = 1` works on a default Json).
+  Json& operator[](const std::string& key);
+  /// Const object lookup; throws if not an object or key absent.
+  [[nodiscard]] const Json& at(const std::string& key) const;
+  [[nodiscard]] bool contains(const std::string& key) const;
+
+  /// Array append (converts a null value to an array first).
+  void push_back(Json v);
+
+  [[nodiscard]] std::size_t size() const;
+
+  friend bool operator==(const Json& a, const Json& b) { return a.v_ == b.v_; }
+
+  /// Serializes. indent < 0 -> compact single line; indent >= 0 -> pretty,
+  /// `indent` spaces per level. Doubles print via shortest round-trip
+  /// formatting, integers without a decimal point.
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+  /// Strict parser; throws std::runtime_error with an offset on malformed
+  /// input (trailing garbage included).
+  [[nodiscard]] static Json parse(std::string_view text);
+
+ private:
+  void write(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> v_;
+};
+
+}  // namespace move::obs

@@ -1,0 +1,185 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace move::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)),
+      counts_(bounds_.size() + 1) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("Histogram: need at least one bound");
+  }
+  if (!std::is_sorted(bounds_.begin(), bounds_.end()) ||
+      std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+    throw std::invalid_argument(
+        "Histogram: bounds must be strictly increasing");
+  }
+}
+
+void Histogram::observe(double v) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  counts_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+double Histogram::quantile(double q) const {
+  const std::uint64_t total = count();
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const std::uint64_t c = counts_[i].load(std::memory_order_relaxed);
+    if (static_cast<double>(cum + c) >= target && c > 0) {
+      if (i >= bounds_.size()) return bounds_.back();  // overflow bucket
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      const double hi = bounds_[i];
+      const double within =
+          (target - static_cast<double>(cum)) / static_cast<double>(c);
+      return lo + std::clamp(within, 0.0, 1.0) * (hi - lo);
+    }
+    cum += c;
+  }
+  return bounds_.back();
+}
+
+void Histogram::reset() noexcept {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+std::vector<double> Histogram::exponential_bounds(double first, double factor,
+                                                  std::size_t count) {
+  if (count == 0 || first <= 0.0 || factor <= 1.0) {
+    throw std::invalid_argument(
+        "Histogram::exponential_bounds: need count >= 1, first > 0, "
+        "factor > 1");
+  }
+  std::vector<double> out;
+  out.reserve(count);
+  double b = first;
+  for (std::size_t i = 0; i < count; ++i, b *= factor) out.push_back(b);
+  return out;
+}
+
+std::vector<double> Histogram::linear_bounds(double first, double width,
+                                             std::size_t count) {
+  if (count == 0 || width <= 0.0) {
+    throw std::invalid_argument(
+        "Histogram::linear_bounds: need count >= 1, width > 0");
+  }
+  std::vector<double> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(first + width * static_cast<double>(i));
+  }
+  return out;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  const std::scoped_lock lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  const std::scoped_lock lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::vector<double> upper_bounds) {
+  const std::scoped_lock lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(upper_bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+bool Registry::empty() const { return size() == 0; }
+
+std::size_t Registry::size() const {
+  const std::scoped_lock lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+void Registry::reset() {
+  const std::scoped_lock lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+std::vector<Registry::CounterSample> Registry::counters() const {
+  const std::scoped_lock lock(mu_);
+  std::vector<CounterSample> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    out.push_back(CounterSample{name, c->value()});
+  }
+  return out;
+}
+
+std::vector<Registry::GaugeSample> Registry::gauges() const {
+  const std::scoped_lock lock(mu_);
+  std::vector<GaugeSample> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    out.push_back(GaugeSample{name, g->value()});
+  }
+  return out;
+}
+
+std::vector<Registry::HistogramSample> Registry::histograms() const {
+  const std::scoped_lock lock(mu_);
+  std::vector<HistogramSample> out;
+  out.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSample s;
+    s.name = name;
+    s.bounds.assign(h->bounds().begin(), h->bounds().end());
+    s.counts.reserve(h->bucket_count());
+    for (std::size_t i = 0; i < h->bucket_count(); ++i) {
+      s.counts.push_back(h->bucket(i));
+    }
+    s.count = h->count();
+    s.sum = h->sum();
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string labeled(std::string_view name, std::string_view key,
+                    std::uint64_t value) {
+  return labeled(name, key, std::string_view(std::to_string(value)));
+}
+
+std::string labeled(std::string_view name, std::string_view key,
+                    std::string_view value) {
+  std::string out(name);
+  out += '{';
+  out += key;
+  out += '=';
+  out += value;
+  out += '}';
+  return out;
+}
+
+}  // namespace move::obs

@@ -1,0 +1,183 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// Low-overhead metrics primitives shared by every MOVE layer.
+///
+/// The paper's evaluation is entirely quantitative — throughput, per-node
+/// load balance, availability under failure (Fig. 6-9) — so the repro needs
+/// per-component counters that survive into machine-readable bench output.
+/// Three primitives cover everything the layers report:
+///
+///  * Counter   — monotonic 64-bit event count (puts, postings scanned, ...)
+///  * Gauge     — last-written double (queue depth, busy fraction, ...)
+///  * Histogram — fixed-bucket distribution (latency, fan-out, sizes)
+///
+/// All mutation uses relaxed atomics, so the same primitives are safe on the
+/// real-thread paths (ParallelMatcher's pool) and nearly free on the
+/// single-threaded simulated paths: a relaxed fetch_add on an uncontended
+/// cache line is one locked add. Registration (name lookup) takes a mutex and
+/// is meant to happen once, at attach time — hot paths hold the returned
+/// reference, never the name.
+namespace move::obs {
+
+/// Monotonically increasing event counter.
+class Counter {
+ public:
+  void add(std::uint64_t n) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void inc() noexcept { add(1); }
+
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-value metric (settable, also supports additive adjustment).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(double d) noexcept {
+    value_.fetch_add(d, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations v <= bounds[i]
+/// (first matching bound); one implicit overflow bucket counts the rest.
+/// Bounds are fixed at construction so observe() is a binary search plus one
+/// relaxed increment — no allocation, no locking.
+class Histogram {
+ public:
+  /// @param upper_bounds ascending inclusive upper bounds; must be non-empty
+  ///                     and strictly increasing (throws otherwise).
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double mean() const noexcept {
+    const auto n = count();
+    return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+  }
+
+  [[nodiscard]] std::span<const double> bounds() const noexcept {
+    return bounds_;
+  }
+  /// Number of buckets including the overflow bucket (bounds().size() + 1).
+  [[nodiscard]] std::size_t bucket_count() const noexcept {
+    return counts_.size();
+  }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const {
+    return counts_.at(i).load(std::memory_order_relaxed);
+  }
+
+  /// Approximate q-quantile (q in [0,1]) assuming uniform mass within a
+  /// bucket; overflow-bucket quantiles clamp to the last bound. 0 if empty.
+  [[nodiscard]] double quantile(double q) const;
+
+  void reset() noexcept;
+
+  /// `count` bounds starting at `first`, each `factor` times the previous.
+  [[nodiscard]] static std::vector<double> exponential_bounds(
+      double first, double factor, std::size_t count);
+  /// `count` bounds starting at `first`, spaced `width` apart.
+  [[nodiscard]] static std::vector<double> linear_bounds(double first,
+                                                         double width,
+                                                         std::size_t count);
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> counts_;  // bounds_.size() + 1
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Named metric registry. Components register metrics once (attach time),
+/// cache the returned reference, and mutate lock-free thereafter. Names are
+/// dot-separated paths with `{key=value}` label suffixes, e.g.
+/// `cluster.node.busy_us{node=3}` — see DESIGN.md "Metrics naming".
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Returns the counter registered under `name`, creating it on first use.
+  /// The reference stays valid for the registry's lifetime.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// `upper_bounds` is consumed only on first registration; later calls with
+  /// the same name return the existing histogram unchanged.
+  Histogram& histogram(std::string_view name,
+                       std::vector<double> upper_bounds);
+
+  [[nodiscard]] bool empty() const;
+  [[nodiscard]] std::size_t size() const;
+
+  /// Zeroes every registered metric (names stay registered).
+  void reset();
+
+  // --- snapshot access (sorted by name, for deterministic export) ----------
+
+  struct CounterSample {
+    std::string name;
+    std::uint64_t value;
+  };
+  struct GaugeSample {
+    std::string name;
+    double value;
+  };
+  struct HistogramSample {
+    std::string name;
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> counts;  // bounds.size() + 1 (overflow last)
+    std::uint64_t count;
+    double sum;
+  };
+
+  [[nodiscard]] std::vector<CounterSample> counters() const;
+  [[nodiscard]] std::vector<GaugeSample> gauges() const;
+  [[nodiscard]] std::vector<HistogramSample> histograms() const;
+
+ private:
+  mutable std::mutex mu_;
+  // std::map: stable iteration order -> deterministic export; unique_ptr:
+  // references handed out survive rehash/rebalance.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Builds a `name{key=value}` metric name (the conventional label form).
+[[nodiscard]] std::string labeled(std::string_view name, std::string_view key,
+                                  std::uint64_t value);
+[[nodiscard]] std::string labeled(std::string_view name, std::string_view key,
+                                  std::string_view value);
+
+}  // namespace move::obs

@@ -2,7 +2,15 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace move::sim {
+
+void EventEngine::export_metrics(obs::Registry& registry) const {
+  registry.gauge("sim.engine.events_processed")
+      .set(static_cast<double>(processed_));
+  registry.gauge("sim.engine.virtual_now_us").set(now_);
+}
 
 void EventEngine::schedule_at(Time t, Callback cb) {
   queue_.push(Event{std::max(t, now_), next_seq_++, std::move(cb)});
@@ -33,6 +41,14 @@ Time EventEngine::run_until(Time horizon) {
   return now_;
 }
 
+std::size_t FifoServer::queue_depth(Time now) const noexcept {
+  std::size_t depth = 0;
+  for (auto it = pending_.rbegin(); it != pending_.rend() && *it > now; ++it) {
+    ++depth;
+  }
+  return depth;
+}
+
 void FifoServer::submit(Time service_us, std::function<void(Time)> on_done) {
   const Time arrival = engine_->now();
   const Time start = std::max(arrival, free_at_);
@@ -46,6 +62,12 @@ void FifoServer::submit(Time service_us, std::function<void(Time)> on_done) {
   busy_us_ += service_us;
   free_at_ = completion;
   ++jobs_;
+  while (!pending_.empty() && pending_.front() <= arrival) {
+    pending_.pop_front();
+  }
+  pending_.push_back(completion);
+  max_depth_ = std::max(max_depth_, static_cast<std::uint64_t>(
+                                        pending_.size()));
   if (on_done) {
     engine_->schedule_at(completion,
                          [cb = std::move(on_done), completion] { cb(completion); });

@@ -1,9 +1,14 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <queue>
 #include <vector>
+
+namespace move::obs {
+class Registry;
+}
 
 /// Discrete-event simulation core.
 ///
@@ -44,6 +49,10 @@ class EventEngine {
     return processed_;
   }
   [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
+
+  /// Exports `sim.engine.events_processed` and `sim.engine.virtual_now_us`
+  /// gauges (snapshot semantics; see DESIGN.md "Metrics naming").
+  void export_metrics(obs::Registry& registry) const;
 
  private:
   struct Event {
@@ -101,11 +110,21 @@ class FifoServer {
   /// Time at which the server becomes free given current commitments.
   [[nodiscard]] Time free_at() const noexcept { return free_at_; }
 
+  /// Jobs in the system (queued + in service) at virtual time `now`.
+  [[nodiscard]] std::size_t queue_depth(Time now) const noexcept;
+  /// Peak jobs-in-system observed at any submission instant — the paper's
+  /// bottleneck-node signal (a balanced scheme keeps every node's peak low).
+  [[nodiscard]] std::uint64_t max_queue_depth() const noexcept {
+    return max_depth_;
+  }
+
   void reset() noexcept {
     free_at_ = 0;
     busy_us_ = 0;
     wait_us_ = 0;
     jobs_ = 0;
+    max_depth_ = 0;
+    pending_.clear();
   }
 
  private:
@@ -116,6 +135,11 @@ class FifoServer {
   Time busy_us_ = 0;
   Time wait_us_ = 0;
   std::uint64_t jobs_ = 0;
+  std::uint64_t max_depth_ = 0;
+  // Completion times of jobs not yet finished at the last submit (FIFO ->
+  // nondecreasing, so expiry is a pop from the front; plain integers/deque,
+  // no atomics: the simulated path is single-threaded by construction).
+  std::deque<Time> pending_;
 };
 
 }  // namespace move::sim

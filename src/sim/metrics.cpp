@@ -1,6 +1,9 @@
 #include "sim/metrics.hpp"
 
+#include <algorithm>
+
 #include "common/stats.hpp"
+#include "obs/metrics.hpp"
 
 namespace move::sim {
 
@@ -17,6 +20,62 @@ std::vector<double> RunMetrics::storage_cost() const {
   out.reserve(node_storage.size());
   for (std::uint64_t s : node_storage) out.push_back(static_cast<double>(s));
   return out;
+}
+
+std::vector<double> RunMetrics::busy_fractions() const {
+  std::vector<double> out;
+  if (makespan_us <= 0) return out;
+  out.reserve(node_busy_us.size());
+  for (const double b : node_busy_us) out.push_back(b / makespan_us);
+  return out;
+}
+
+double RunMetrics::max_busy_fraction() const {
+  double peak = 0.0;
+  for (const double f : busy_fractions()) peak = std::max(peak, f);
+  return peak;
+}
+
+double RunMetrics::mean_busy_fraction() const {
+  return common::mean(busy_fractions());
+}
+
+double RunMetrics::busy_imbalance() const {
+  return common::peak_to_mean(node_busy_us);
+}
+
+double RunMetrics::storage_imbalance() const {
+  return common::peak_to_mean(storage_cost());
+}
+
+void RunMetrics::export_metrics(obs::Registry& registry) const {
+  registry.gauge("run.documents_published")
+      .set(static_cast<double>(documents_published));
+  registry.gauge("run.documents_completed")
+      .set(static_cast<double>(documents_completed));
+  registry.gauge("run.notifications").set(static_cast<double>(notifications));
+  registry.gauge("run.makespan_us").set(makespan_us);
+  registry.gauge("run.throughput_per_sec").set(throughput_per_sec());
+  registry.gauge("run.max_busy_fraction").set(max_busy_fraction());
+  registry.gauge("run.mean_busy_fraction").set(mean_busy_fraction());
+  registry.gauge("run.busy_imbalance").set(busy_imbalance());
+  registry.gauge("run.storage_imbalance").set(storage_imbalance());
+  for (std::size_t n = 0; n < node_busy_us.size(); ++n) {
+    registry.gauge(obs::labeled("run.node.busy_us", "node", n))
+        .set(node_busy_us[n]);
+  }
+  for (std::size_t n = 0; n < node_queue_wait_us.size(); ++n) {
+    registry.gauge(obs::labeled("run.node.queue_wait_us", "node", n))
+        .set(node_queue_wait_us[n]);
+  }
+  for (std::size_t n = 0; n < node_max_queue_depth.size(); ++n) {
+    registry.gauge(obs::labeled("run.node.max_queue_depth", "node", n))
+        .set(static_cast<double>(node_max_queue_depth[n]));
+  }
+  for (std::size_t n = 0; n < node_storage.size(); ++n) {
+    registry.gauge(obs::labeled("run.node.storage", "node", n))
+        .set(static_cast<double>(node_storage[n]));
+  }
 }
 
 }  // namespace move::sim

@@ -5,6 +5,10 @@
 
 #include "sim/event_engine.hpp"
 
+namespace move::obs {
+class Registry;
+}
+
 /// Run-level measurement collected during a simulated dissemination run.
 ///
 /// Mirrors what the paper reports: throughput (documents fully matched per
@@ -22,6 +26,8 @@ struct RunMetrics {
   std::vector<double> node_busy_us;        ///< per-node service time
   std::vector<std::uint64_t> node_docs;    ///< per-node docs served
   std::vector<std::uint64_t> node_storage; ///< per-node stored filter copies
+  std::vector<double> node_queue_wait_us;  ///< per-node total queueing delay
+  std::vector<std::uint64_t> node_max_queue_depth;  ///< per-node peak backlog
 
   /// Paper's headline metric: completed documents per (virtual) second.
   [[nodiscard]] double throughput_per_sec() const noexcept {
@@ -39,6 +45,24 @@ struct RunMetrics {
   }
   /// Storage-cost vector (Fig. 9a): per-node filter copies as doubles.
   [[nodiscard]] std::vector<double> storage_cost() const;
+
+  // --- load-balance summaries (the paper's bottleneck-node bound) ----------
+
+  /// Per-node busy_us / makespan; empty when makespan is 0.
+  [[nodiscard]] std::vector<double> busy_fractions() const;
+  /// Busy fraction of the bottleneck node (max over nodes; 0 if none).
+  [[nodiscard]] double max_busy_fraction() const;
+  /// Mean busy fraction across nodes.
+  [[nodiscard]] double mean_busy_fraction() const;
+  /// Peak-to-mean of per-node busy time (1.0 = perfectly balanced; the
+  /// cluster-level shard-imbalance figure the benches report).
+  [[nodiscard]] double busy_imbalance() const;
+  /// Peak-to-mean of per-node stored filter copies.
+  [[nodiscard]] double storage_imbalance() const;
+
+  /// Writes the run's scalars as `run.*` gauges and the per-node vectors as
+  /// `run.node.*{node=i}` gauges into `registry`.
+  void export_metrics(obs::Registry& registry) const;
 };
 
 }  // namespace move::sim

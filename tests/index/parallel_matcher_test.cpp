@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <thread>
+
+#include "common/rng.hpp"
 #include "index/brute_force.hpp"
+#include "obs/metrics.hpp"
 #include "workload/corpus.hpp"
 #include "workload/query_trace.hpp"
 
@@ -93,6 +98,103 @@ TEST(ParallelMatcher, RepeatedCallsAreStable) {
   for (int i = 0; i < 20; ++i) {
     EXPECT_EQ(matcher.match(doc), first);
   }
+}
+
+// Property: for every (shards, threads, semantics) configuration, on a
+// seeded random sample of documents, match == match_sequential ==
+// brute-force. Covers the degenerate single-shard layout, a non-power-of-two
+// shard count, and the host's actual hardware concurrency.
+TEST(ParallelMatcher, PropertyEquivalenceAcrossConfigurations) {
+  const auto& f = fx();
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  const std::size_t shard_choices[] = {1, 3, hw};
+  const std::size_t thread_choices[] = {1, 2, hw};
+  const MatchOptions option_choices[] = {
+      {MatchSemantics::kAnyTerm, 0.0},
+      {MatchSemantics::kAllTerms, 0.0},
+      {MatchSemantics::kThreshold, 0.3},
+      {MatchSemantics::kThreshold, 0.8},
+  };
+  common::SplitMix64 rng(0xBADC0DEu);
+  for (std::size_t shards : shard_choices) {
+    for (std::size_t threads : thread_choices) {
+      ParallelMatcher matcher(f.filters, shards, threads);
+      for (const MatchOptions& opt : option_choices) {
+        for (int trial = 0; trial < 4; ++trial) {
+          const auto d = common::uniform_below(rng, f.docs.size());
+          const auto doc = f.docs.row(d);
+          const auto expected = brute_force_match(f.reference, doc, opt);
+          EXPECT_EQ(matcher.match(doc, opt), expected)
+              << "shards=" << shards << " threads=" << threads
+              << " semantics=" << static_cast<int>(opt.semantics)
+              << " threshold=" << opt.threshold << " doc=" << d;
+          EXPECT_EQ(matcher.match_sequential(doc, opt), expected)
+              << "sequential, shards=" << shards << " doc=" << d;
+        }
+      }
+    }
+  }
+}
+
+TEST(ParallelMatcher, ShardStatsAccumulateAndReset) {
+  const auto& f = fx();
+  ParallelMatcher matcher(f.filters, 4, 2);
+  for (std::size_t d = 0; d < 8; ++d) {
+    (void)matcher.match(f.docs.row(d));
+  }
+  const auto stats = matcher.shard_stats();
+  ASSERT_EQ(stats.size(), 4u);
+  std::uint64_t scanned = 0, verified = 0, lists = 0;
+  for (const ShardStats& s : stats) {
+    scanned += s.postings_scanned;
+    verified += s.candidates_verified;
+    lists += s.lists_retrieved;
+  }
+  EXPECT_GT(scanned, 0u);
+  EXPECT_GT(lists, 0u);
+  EXPECT_GE(scanned, verified);  // every candidate came from a scanned posting
+  EXPECT_GE(matcher.shard_imbalance(), 1.0);
+
+  matcher.reset_stats();
+  for (const ShardStats& s : matcher.shard_stats()) {
+    EXPECT_EQ(s.postings_scanned, 0u);
+    EXPECT_EQ(s.matches_emitted, 0u);
+  }
+}
+
+TEST(ParallelMatcher, StaticImbalanceFallbackBeforeAnyMatch) {
+  const auto& f = fx();
+  ParallelMatcher matcher(f.filters, 4, 1);
+  // No match has run: imbalance falls back to the static index mass, which
+  // is well-defined and >= 1 for a populated index.
+  EXPECT_GE(matcher.shard_imbalance(), 1.0);
+  std::uint64_t total = 0;
+  for (std::size_t s = 0; s < matcher.shard_count(); ++s) {
+    total += matcher.shard_postings(s);
+  }
+  EXPECT_GT(total, 0u);
+}
+
+TEST(ParallelMatcher, ExportMetricsWritesShardGauges) {
+  const auto& f = fx();
+  ParallelMatcher matcher(f.filters, 2, 2);
+  (void)matcher.match(f.docs.row(0));
+  obs::Registry registry;
+  matcher.export_metrics(registry);
+  const auto gauges = registry.gauges();
+  auto value_of = [&](const std::string& name) -> double {
+    for (const auto& g : gauges) {
+      if (g.name == name) return g.value;
+    }
+    ADD_FAILURE() << "missing gauge " << name;
+    return -1.0;
+  };
+  EXPECT_EQ(value_of("index.parallel.shards"), 2.0);
+  EXPECT_GE(value_of("index.parallel.shard_imbalance"), 1.0);
+  EXPECT_GE(value_of("index.parallel.postings_scanned{shard=0}"), 0.0);
+  EXPECT_GE(value_of("index.parallel.postings_scanned{shard=1}"), 0.0);
+  EXPECT_GT(value_of("index.parallel.postings_scanned"), 0.0);
 }
 
 }  // namespace

@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <set>
+
+#include "common/rng.hpp"
+#include "obs/metrics.hpp"
+
 namespace move::kv {
 namespace {
 
@@ -110,6 +116,77 @@ TEST(Gossip, CrashedNodeStopsLearning) {
   EXPECT_EQ(g.rounds_elapsed(), before + 10);
   // Node 3's view froze at crash time: it never learned the others.
   EXPECT_LE(g.live_view_size(NodeId{3}), 2u);
+}
+
+// Deterministic churn script: repeated crash/restart waves under a fixed
+// seed. Each disturbance must re-converge within suspicion_rounds +
+// diameter rounds (diameter = epidemic spread bound, O(log N) for
+// push-pull), and the failure detector must never transition a live,
+// still-gossiping node to suspected (false_suspicions stays 0 — genuine
+// crashes are counted in suspicions, not false_suspicions).
+TEST(Gossip, DeterministicChurnConvergesWithoutFalseSuspicions) {
+  constexpr std::uint32_t kNodes = 24;
+  GossipConfig cfg;
+  cfg.seed = 0xC4A871u;
+  auto g = star_bootstrap(kNodes, cfg);
+  ASSERT_LT(g.rounds_to_convergence(64), 64u);
+  EXPECT_EQ(g.false_suspicions(), 0u);
+
+  const auto diameter = 2 * static_cast<std::size_t>(
+                                std::ceil(std::log2(double{kNodes})));
+  const std::size_t bound = cfg.suspicion_rounds + diameter;
+
+  common::SplitMix64 pick(0x5EEDu);
+  for (int wave = 0; wave < 5; ++wave) {
+    std::set<std::uint32_t> crashed;
+    while (crashed.size() < 3) {
+      crashed.insert(
+          static_cast<std::uint32_t>(common::uniform_below(pick, kNodes)));
+    }
+    for (std::uint32_t id : crashed) g.crash(NodeId{id});
+    EXPECT_LE(g.rounds_to_convergence(bound + 1), bound)
+        << "wave " << wave << ": crash detection exceeded the bound";
+    for (std::uint32_t id : crashed) g.restart(NodeId{id});
+    EXPECT_LE(g.rounds_to_convergence(bound + 1), bound)
+        << "wave " << wave << ": restart rediscovery exceeded the bound";
+  }
+
+  EXPECT_EQ(g.true_live_count(), kNodes);
+  EXPECT_GT(g.suspicions(), 0u);       // the crashes were detected...
+  EXPECT_EQ(g.false_suspicions(), 0u); // ...and no live node ever was
+}
+
+TEST(Gossip, QuietPeriodAddsNoSuspicions) {
+  auto g = star_bootstrap(16);
+  g.rounds_to_convergence(64);
+  const auto suspicions_before = g.suspicions();
+  const auto exchanges_before = g.exchanges();
+  g.run_rounds(30);
+  EXPECT_EQ(g.suspicions(), suspicions_before);
+  EXPECT_EQ(g.false_suspicions(), 0u);
+  // 16 live nodes x fanout 2 x 30 rounds, minus dropped picks.
+  EXPECT_GT(g.exchanges(), exchanges_before);
+}
+
+TEST(Gossip, ExportMetricsSnapshotsState) {
+  auto g = star_bootstrap(8);
+  g.rounds_to_convergence(32);
+  obs::Registry registry;
+  g.export_metrics(registry);
+  const auto gauges = registry.gauges();
+  auto value_of = [&](const std::string& name) -> double {
+    for (const auto& s : gauges) {
+      if (s.name == name) return s.value;
+    }
+    ADD_FAILURE() << "missing gauge " << name;
+    return -1.0;
+  };
+  EXPECT_EQ(value_of("kv.gossip.rounds"),
+            static_cast<double>(g.rounds_elapsed()));
+  EXPECT_EQ(value_of("kv.gossip.exchanges"),
+            static_cast<double>(g.exchanges()));
+  EXPECT_EQ(value_of("kv.gossip.live_nodes"), 8.0);
+  EXPECT_EQ(value_of("kv.gossip.false_suspicions"), 0.0);
 }
 
 TEST(Gossip, DeterministicForSameSeed) {

@@ -2,9 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
+#include <vector>
 
 #include "common/hash.hpp"
+#include "common/rng.hpp"
 #include "kv/topology.hpp"
 
 namespace move::kv {
@@ -36,7 +39,7 @@ TEST(RackTopology, RoundRobinAssignment) {
   EXPECT_EQ(topo.rack_of(NodeId{0}), 0u);
   EXPECT_EQ(topo.rack_of(NodeId{1}), 1u);
   EXPECT_EQ(topo.rack_of(NodeId{3}), 0u);
-  EXPECT_THROW(topo.rack_of(NodeId{10}), std::out_of_range);
+  EXPECT_THROW((void)topo.rack_of(NodeId{10}), std::out_of_range);
 }
 
 TEST(RackTopology, NodesInRack) {
@@ -130,6 +133,113 @@ TEST_F(PlacementFixture, RingPolicyFollowsSuccessors) {
   const auto nodes = select_replica_nodes(PlacementPolicy::kRingSuccessors,
                                           home, key, 6, ring_, topology_, rng);
   EXPECT_EQ(nodes, expected);
+}
+
+// --- replica_set invariants under churn --------------------------------------
+
+/// Checks every replica_set guarantee for one key on the current membership.
+void check_replica_invariants(const HashRing& ring, const RackTopology& topo,
+                              std::uint64_t key, std::size_t replicas) {
+  const auto set = replica_set(ring, topo, key, replicas);
+
+  // Size: min(replicas, membership).
+  EXPECT_EQ(set.size(), std::min(replicas, ring.node_count()));
+
+  // Distinct nodes, home first.
+  std::set<NodeId> unique(set.begin(), set.end());
+  EXPECT_EQ(unique.size(), set.size());
+  if (!set.empty()) {
+    EXPECT_EQ(set.front(), ring.home_of_hash(key));
+  }
+
+  // Rack diversity: the set must span min(replicas, racks-present-among-
+  // members) distinct racks — fully rack-diverse whenever racks >= replicas.
+  std::set<std::size_t> member_racks;
+  for (NodeId n : ring.members()) member_racks.insert(topo.rack_of(n));
+  std::set<std::size_t> replica_racks;
+  for (NodeId n : set) replica_racks.insert(topo.rack_of(n));
+  EXPECT_GE(replica_racks.size(),
+            std::min(set.size(), member_racks.size()))
+      << "replicas=" << replicas << " members=" << ring.node_count();
+
+  // History independence: a fresh ring with the same members places the key
+  // identically.
+  HashRing fresh(ring.vnodes_per_node());
+  for (NodeId n : ring.members()) fresh.add_node(n);
+  EXPECT_EQ(replica_set(fresh, topo, key, replicas), set);
+}
+
+TEST(ReplicaSet, InvariantsHoldUnderArbitraryJoinLeaveSequences) {
+  constexpr std::uint32_t kMaxNodes = 40;
+  RackTopology topo(kMaxNodes, 4);
+  HashRing ring(32);
+  std::vector<std::uint32_t> members;
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    ring.add_node(NodeId{i});
+    members.push_back(i);
+  }
+
+  common::SplitMix64 rng(0xD1CEu);
+  for (int step = 0; step < 50; ++step) {
+    // Random churn: join an absent node or decommission a member (always
+    // keeping at least one member so the ring stays routable).
+    const bool join = members.size() <= 1 ||
+                      (members.size() < kMaxNodes &&
+                       common::uniform_below(rng, 2) == 0);
+    if (join) {
+      std::uint32_t id;
+      do {
+        id = static_cast<std::uint32_t>(common::uniform_below(rng, kMaxNodes));
+      } while (std::find(members.begin(), members.end(), id) != members.end());
+      ring.add_node(NodeId{id});
+      members.push_back(id);
+    } else {
+      const auto pick = common::uniform_below(rng, members.size());
+      ring.remove_node(NodeId{members[pick]});
+      members.erase(members.begin() + static_cast<std::ptrdiff_t>(pick));
+    }
+
+    for (std::size_t replicas : {1u, 2u, 3u, 5u}) {
+      for (int k = 0; k < 4; ++k) {
+        check_replica_invariants(ring, topo, rng(), replicas);
+      }
+    }
+  }
+}
+
+TEST(ReplicaSet, FullyRackDiverseWhenRacksCoverReplicas) {
+  // 12 nodes round-robin over 4 racks; 3 replicas must land on 3 racks for
+  // every key.
+  RackTopology topo(12, 4);
+  HashRing ring(32);
+  for (std::uint32_t i = 0; i < 12; ++i) ring.add_node(NodeId{i});
+  common::SplitMix64 rng(0xACE5u);
+  for (int k = 0; k < 64; ++k) {
+    const auto set = replica_set(ring, topo, rng(), 3);
+    ASSERT_EQ(set.size(), 3u);
+    std::set<std::size_t> racks;
+    for (NodeId n : set) racks.insert(topo.rack_of(n));
+    EXPECT_EQ(racks.size(), 3u);
+  }
+}
+
+TEST(ReplicaSet, PlainSuccessorWalkIsNotRackDiverse) {
+  // Sanity check on the motivation: the raw clockwise walk does repeat
+  // racks, which is exactly why replica_set exists.
+  RackTopology topo(12, 4);
+  HashRing ring(32);
+  for (std::uint32_t i = 0; i < 12; ++i) ring.add_node(NodeId{i});
+  common::SplitMix64 rng(0xACE5u);
+  bool found_repeat = false;
+  for (int k = 0; k < 256 && !found_repeat; ++k) {
+    const std::uint64_t key = rng();
+    std::vector<NodeId> walk{ring.home_of_hash(key)};
+    for (NodeId n : ring.successors(key, 2)) walk.push_back(n);
+    std::set<std::size_t> racks;
+    for (NodeId n : walk) racks.insert(topo.rack_of(n));
+    found_repeat = racks.size() < walk.size();
+  }
+  EXPECT_TRUE(found_repeat);
 }
 
 }  // namespace

@@ -1,0 +1,98 @@
+#include "obs/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace move::obs {
+namespace {
+
+TEST(Export, EmptyRegistryIsValidJsonWithEmptySections) {
+  Registry r;
+  const std::string text = export_json(r);
+  const Json j = Json::parse(text);  // must not throw
+  EXPECT_TRUE(j.at("counters").is_object());
+  EXPECT_TRUE(j.at("gauges").is_object());
+  EXPECT_TRUE(j.at("histograms").is_object());
+  EXPECT_EQ(j.at("counters").size(), 0u);
+  EXPECT_EQ(j.at("gauges").size(), 0u);
+  EXPECT_EQ(j.at("histograms").size(), 0u);
+}
+
+TEST(Export, CountersAndGaugesSerializeByName) {
+  Registry r;
+  r.counter("kv.store.puts").add(128);
+  r.gauge(labeled("cluster.node.busy_us", "node", std::uint64_t{3}))
+      .set(4031.5);
+  const Json j = registry_to_json(r);
+  EXPECT_EQ(j.at("counters").at("kv.store.puts").as_double(), 128.0);
+  EXPECT_EQ(j.at("gauges").at("cluster.node.busy_us{node=3}").as_double(),
+            4031.5);
+}
+
+TEST(Export, HistogramCarriesBoundsCountsCountSum) {
+  Registry r;
+  Histogram& h = r.histogram("sim.latency_us", {10.0, 100.0});
+  h.observe(5.0);
+  h.observe(50.0);
+  h.observe(5000.0);
+  const Json j = registry_to_json(r);
+  const Json& hj = j.at("histograms").at("sim.latency_us");
+  ASSERT_EQ(hj.at("bounds").size(), 2u);
+  ASSERT_EQ(hj.at("counts").size(), 3u);  // overflow bucket last
+  EXPECT_EQ(hj.at("counts").as_array()[0].as_double(), 1.0);
+  EXPECT_EQ(hj.at("counts").as_array()[2].as_double(), 1.0);
+  EXPECT_EQ(hj.at("count").as_double(), 3.0);
+  EXPECT_DOUBLE_EQ(hj.at("sum").as_double(), 5055.0);
+}
+
+TEST(Export, RoundTripThroughSnapshot) {
+  Registry r;
+  r.counter("a.events").add(7);
+  r.counter("b.events").add(11);
+  r.gauge("load").set(0.75);
+  Histogram& h = r.histogram("sizes", Histogram::linear_bounds(1.0, 1.0, 4));
+  for (int i = 0; i < 9; ++i) h.observe(static_cast<double>(i));
+
+  // dump -> parse -> snapshot must reproduce the registry's samples exactly.
+  const Json parsed = Json::parse(export_json(r, 2));
+  const RegistrySnapshot snap = snapshot_from_json(parsed);
+
+  const auto counters = r.counters();
+  ASSERT_EQ(snap.counters.size(), counters.size());
+  for (std::size_t i = 0; i < counters.size(); ++i) {
+    EXPECT_EQ(snap.counters[i].name, counters[i].name);
+    EXPECT_EQ(snap.counters[i].value, counters[i].value);
+  }
+  const auto gauges = r.gauges();
+  ASSERT_EQ(snap.gauges.size(), gauges.size());
+  EXPECT_EQ(snap.gauges[0].name, gauges[0].name);
+  EXPECT_EQ(snap.gauges[0].value, gauges[0].value);
+  const auto histograms = r.histograms();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].bounds, histograms[0].bounds);
+  EXPECT_EQ(snap.histograms[0].counts, histograms[0].counts);
+  EXPECT_EQ(snap.histograms[0].count, histograms[0].count);
+  EXPECT_DOUBLE_EQ(snap.histograms[0].sum, histograms[0].sum);
+}
+
+TEST(Export, SnapshotRejectsSchemaMismatch) {
+  EXPECT_THROW((void)snapshot_from_json(Json::parse("{}")),
+               std::runtime_error);
+  EXPECT_THROW((void)snapshot_from_json(Json::parse(
+                   R"({"counters": [], "gauges": {}, "histograms": {}})")),
+               std::runtime_error);
+}
+
+TEST(Export, DumpIsDeterministicAcrossRegistrationOrder) {
+  Registry r1, r2;
+  r1.counter("x").add(1);
+  r1.counter("a").add(2);
+  r2.counter("a").add(2);
+  r2.counter("x").add(1);
+  EXPECT_EQ(export_json(r1), export_json(r2));
+}
+
+}  // namespace
+}  // namespace move::obs

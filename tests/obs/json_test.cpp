@@ -1,0 +1,127 @@
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace move::obs {
+namespace {
+
+// --- construction & typed access ---------------------------------------------
+
+TEST(Json, DefaultIsNull) {
+  Json j;
+  EXPECT_TRUE(j.is_null());
+  EXPECT_THROW((void)j.as_double(), std::runtime_error);
+}
+
+TEST(Json, ScalarKinds) {
+  EXPECT_TRUE(Json(true).is_bool());
+  EXPECT_TRUE(Json(1.5).is_number());
+  EXPECT_TRUE(Json(42).is_number());
+  EXPECT_TRUE(Json("s").is_string());
+  EXPECT_EQ(Json(false).as_bool(), false);
+  EXPECT_EQ(Json(3).as_double(), 3.0);
+  EXPECT_EQ(Json("abc").as_string(), "abc");
+}
+
+TEST(Json, SubscriptBuildsObjectsAndArrays) {
+  Json j;
+  j["a"]["b"] = 1;
+  j["list"].push_back(10);
+  j["list"].push_back("x");
+  EXPECT_TRUE(j.is_object());
+  EXPECT_EQ(j.at("a").at("b").as_double(), 1.0);
+  ASSERT_EQ(j.at("list").size(), 2u);
+  EXPECT_EQ(j.at("list").as_array()[1].as_string(), "x");
+  EXPECT_TRUE(j.contains("a"));
+  EXPECT_FALSE(j.contains("zzz"));
+  EXPECT_THROW((void)j.at("zzz"), std::runtime_error);
+}
+
+// --- serialization -----------------------------------------------------------
+
+TEST(Json, DumpIsDeterministicAndSorted) {
+  Json j;
+  j["zebra"] = 1;
+  j["alpha"] = 2;
+  EXPECT_EQ(j.dump(), R"({"alpha":2,"zebra":1})");
+}
+
+TEST(Json, DumpIntegersWithoutDecimalPoint) {
+  EXPECT_EQ(Json(5).dump(), "5");
+  EXPECT_EQ(Json(-3.0).dump(), "-3");
+  EXPECT_EQ(Json(2.5).dump(), "2.5");
+}
+
+TEST(Json, DumpEscapesStrings) {
+  EXPECT_EQ(Json("a\"b\\c\n").dump(), R"("a\"b\\c\n")");
+  const std::string ctrl = Json(std::string("\x01")).dump();
+  EXPECT_EQ(ctrl, "\"\\u0001\"");
+}
+
+TEST(Json, PrettyDumpUsesIndent) {
+  Json j;
+  j["k"] = 1;
+  EXPECT_EQ(j.dump(2), "{\n  \"k\": 1\n}");
+}
+
+// --- parsing -----------------------------------------------------------------
+
+TEST(Json, ParsesScalars) {
+  EXPECT_TRUE(Json::parse("null").is_null());
+  EXPECT_EQ(Json::parse("true").as_bool(), true);
+  EXPECT_EQ(Json::parse("-12.5e1").as_double(), -125.0);
+  EXPECT_EQ(Json::parse(R"("hi")").as_string(), "hi");
+}
+
+TEST(Json, ParsesNestedStructures) {
+  const auto j = Json::parse(R"({"a": [1, 2, {"b": null}], "c": false})");
+  EXPECT_EQ(j.at("a").size(), 3u);
+  EXPECT_TRUE(j.at("a").as_array()[2].at("b").is_null());
+  EXPECT_EQ(j.at("c").as_bool(), false);
+}
+
+TEST(Json, ParseUnescapesUnicode) {
+  EXPECT_EQ(Json::parse(R"("\u0041")").as_string(), "A");
+  EXPECT_EQ(Json::parse(R"("\n\t")").as_string(), "\n\t");
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  EXPECT_THROW((void)Json::parse(""), std::runtime_error);
+  EXPECT_THROW((void)Json::parse("{"), std::runtime_error);
+  EXPECT_THROW((void)Json::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW((void)Json::parse("{\"a\" 1}"), std::runtime_error);
+  EXPECT_THROW((void)Json::parse("tru"), std::runtime_error);
+  EXPECT_THROW((void)Json::parse("1 garbage"), std::runtime_error);
+  EXPECT_THROW((void)Json::parse("'single'"), std::runtime_error);
+}
+
+// --- round trips -------------------------------------------------------------
+
+TEST(Json, RoundTripPreservesValue) {
+  Json j;
+  j["pi"] = 3.141592653589793;
+  j["tiny"] = 1e-300;
+  j["big"] = 1.7976931348623157e308;
+  j["neg"] = -0.0625;
+  j["arr"].push_back(1);
+  j["arr"].push_back(true);
+  j["arr"].push_back(nullptr);
+  j["nested"]["s"] = "q\"uote";
+  for (int indent : {-1, 0, 2, 4}) {
+    EXPECT_EQ(Json::parse(j.dump(indent)), j) << "indent " << indent;
+  }
+}
+
+TEST(Json, EqualityIsStructural) {
+  Json a, b;
+  a["x"] = 1;
+  b["x"] = 1.0;
+  EXPECT_EQ(a, b);
+  b["x"] = 2;
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace move::obs

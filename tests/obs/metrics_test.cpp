@@ -1,0 +1,231 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace move::obs {
+namespace {
+
+// --- Counter -----------------------------------------------------------------
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Counter, ConcurrentIncrementsAreLossless) {
+  Counter c;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 25'000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.inc();
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+// --- Gauge -------------------------------------------------------------------
+
+TEST(Gauge, SetAddReset) {
+  Gauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  g.set(2.5);
+  EXPECT_EQ(g.value(), 2.5);
+  g.add(-1.0);
+  EXPECT_EQ(g.value(), 1.5);
+  g.reset();
+  EXPECT_EQ(g.value(), 0.0);
+}
+
+// --- Histogram ---------------------------------------------------------------
+
+TEST(Histogram, RejectsBadBounds) {
+  EXPECT_THROW(Histogram(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(Histogram({1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Histogram, BucketBoundariesAreInclusive) {
+  Histogram h({1.0, 10.0, 100.0});
+  ASSERT_EQ(h.bucket_count(), 4u);  // 3 bounds + overflow
+  h.observe(1.0);    // lands in bucket 0 (v <= 1.0)
+  h.observe(1.0001); // bucket 1
+  h.observe(10.0);   // bucket 1
+  h.observe(100.0);  // bucket 2
+  h.observe(100.5);  // overflow
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(1), 2u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.bucket(3), 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1.0 + 1.0001 + 10.0 + 100.0 + 100.5);
+}
+
+TEST(Histogram, MeanAndReset) {
+  Histogram h({10.0, 20.0});
+  EXPECT_EQ(h.mean(), 0.0);  // empty
+  h.observe(10.0);
+  h.observe(20.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 15.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.bucket(0), 0u);
+}
+
+TEST(Histogram, QuantileInterpolatesWithinBuckets) {
+  Histogram h({10.0, 20.0, 30.0});
+  for (int i = 0; i < 100; ++i) h.observe(5.0);   // all mass in [0, 10]
+  EXPECT_GT(h.quantile(0.5), 0.0);
+  EXPECT_LE(h.quantile(0.5), 10.0);
+  EXPECT_LE(h.quantile(1.0), 10.0);
+  EXPECT_EQ(Histogram({1.0}).quantile(0.5), 0.0);  // empty -> 0
+}
+
+TEST(Histogram, OverflowQuantileClampsToLastBound) {
+  Histogram h({1.0, 2.0});
+  for (int i = 0; i < 10; ++i) h.observe(99.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 2.0);
+}
+
+TEST(Histogram, ExponentialBoundsShape) {
+  const auto b = Histogram::exponential_bounds(1.0, 2.0, 5);
+  const std::vector<double> expect{1.0, 2.0, 4.0, 8.0, 16.0};
+  EXPECT_EQ(b, expect);
+  EXPECT_THROW(Histogram::exponential_bounds(0.0, 2.0, 3),
+               std::invalid_argument);
+}
+
+TEST(Histogram, LinearBoundsShape) {
+  const auto b = Histogram::linear_bounds(10.0, 5.0, 4);
+  const std::vector<double> expect{10.0, 15.0, 20.0, 25.0};
+  EXPECT_EQ(b, expect);
+}
+
+TEST(Histogram, ConcurrentObservationsAreLossless) {
+  Histogram h(Histogram::exponential_bounds(1.0, 2.0, 10));
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10'000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.observe(static_cast<double>((t * 31 + i) % 2048));
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  std::uint64_t bucket_total = 0;
+  for (std::size_t i = 0; i < h.bucket_count(); ++i) bucket_total += h.bucket(i);
+  EXPECT_EQ(bucket_total, h.count());
+}
+
+// --- Registry ----------------------------------------------------------------
+
+TEST(Registry, CreateOnFirstUseReturnsSameInstance) {
+  Registry r;
+  EXPECT_TRUE(r.empty());
+  Counter& a = r.counter("x");
+  Counter& b = r.counter("x");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  EXPECT_EQ(b.value(), 1u);
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_FALSE(r.empty());
+}
+
+TEST(Registry, KindsAreIndependentNamespaces) {
+  Registry r;
+  r.counter("same.name").add(7);
+  r.gauge("same.name").set(1.25);
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.counter("same.name").value(), 7u);
+  EXPECT_EQ(r.gauge("same.name").value(), 1.25);
+}
+
+TEST(Registry, HistogramBoundsFixedAtFirstRegistration) {
+  Registry r;
+  Histogram& h1 = r.histogram("lat", {1.0, 2.0});
+  Histogram& h2 = r.histogram("lat", {5.0, 6.0, 7.0});  // ignored
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.bounds().size(), 2u);
+}
+
+TEST(Registry, SnapshotsAreSortedByName) {
+  Registry r;
+  r.counter("b.second").add(2);
+  r.counter("a.first").add(1);
+  r.gauge("z").set(3.0);
+  r.gauge("a").set(4.0);
+  const auto cs = r.counters();
+  ASSERT_EQ(cs.size(), 2u);
+  EXPECT_EQ(cs[0].name, "a.first");
+  EXPECT_EQ(cs[0].value, 1u);
+  EXPECT_EQ(cs[1].name, "b.second");
+  const auto gs = r.gauges();
+  ASSERT_EQ(gs.size(), 2u);
+  EXPECT_EQ(gs[0].name, "a");
+  EXPECT_EQ(gs[1].name, "z");
+}
+
+TEST(Registry, HistogramSampleCarriesBucketsAndOverflow) {
+  Registry r;
+  Histogram& h = r.histogram("d", {1.0, 2.0});
+  h.observe(0.5);
+  h.observe(9.0);
+  const auto hs = r.histograms();
+  ASSERT_EQ(hs.size(), 1u);
+  EXPECT_EQ(hs[0].name, "d");
+  ASSERT_EQ(hs[0].bounds.size(), 2u);
+  ASSERT_EQ(hs[0].counts.size(), 3u);
+  EXPECT_EQ(hs[0].counts[0], 1u);
+  EXPECT_EQ(hs[0].counts[2], 1u);  // overflow last
+  EXPECT_EQ(hs[0].count, 2u);
+}
+
+TEST(Registry, ResetZeroesValuesButKeepsNames) {
+  Registry r;
+  r.counter("c").add(5);
+  r.gauge("g").set(5.0);
+  r.histogram("h", {1.0}).observe(0.5);
+  r.reset();
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_EQ(r.counter("c").value(), 0u);
+  EXPECT_EQ(r.gauge("g").value(), 0.0);
+  EXPECT_EQ(r.histogram("h", {}).count(), 0u);
+}
+
+TEST(Registry, ReferencesSurviveLaterRegistrations) {
+  Registry r;
+  Counter& first = r.counter("aaa");
+  // Force many more registrations; the map must not invalidate `first`.
+  for (int i = 0; i < 500; ++i) {
+    r.counter(labeled("filler", "i", static_cast<std::uint64_t>(i))).inc();
+  }
+  first.add(9);
+  EXPECT_EQ(r.counter("aaa").value(), 9u);
+}
+
+// --- labeled() ---------------------------------------------------------------
+
+TEST(Labeled, FormatsIntegerAndStringValues) {
+  EXPECT_EQ(labeled("cluster.node.busy_us", "node", std::uint64_t{3}),
+            "cluster.node.busy_us{node=3}");
+  EXPECT_EQ(labeled("index.scanned", "shard", std::string_view{"7"}),
+            "index.scanned{shard=7}");
+}
+
+}  // namespace
+}  // namespace move::obs
