@@ -84,6 +84,10 @@ class BenchReporter {
     metrics["mean_busy_fraction"] = m.mean_busy_fraction();
     metrics["shard_imbalance"] = m.busy_imbalance();
     metrics["storage_imbalance"] = m.storage_imbalance();
+    metrics["postings_scanned"] = m.match_acc.postings_scanned;
+    metrics["lists_retrieved"] = m.match_acc.lists_retrieved;
+    metrics["candidates_verified"] = m.match_acc.candidates_verified;
+    metrics["postings_per_sec"] = m.postings_per_sec();
   }
 
   /// Writes `BENCH_<name>.json` (pretty-printed). Returns true on success;

@@ -1,0 +1,248 @@
+// Wall-clock micro-benchmark of the matching kernels (PR: arena posting
+// lists + epoch-stamped counters + batched dispatch). Unlike the figure
+// benches (virtual clock), this measures REAL time, pitting:
+//
+//   * legacy_per_doc   — hash-map SIFT counters over the mutable (per-term
+//                        heap vector) index: the pre-arena kernel;
+//   * scratch_per_doc  — epoch-stamped counter arrays over the frozen flat
+//                        posting arena, one document at a time;
+//   * parallel_per_doc — ParallelMatcher::match (one pool barrier per doc);
+//   * parallel_batched — ParallelMatcher::match_batch (bulk enqueue, one
+//                        barrier for the whole batch).
+//
+// against the default Zipf workload (MSN-like filters, TREC-WT-like docs)
+// under both kAnyTerm and kThreshold semantics. Emits
+// BENCH_matching_kernels.json with docs/sec and postings/sec per variant
+// plus the headline speedups in `meta`. All variants must agree on the
+// total number of (doc, filter) matches — checked at runtime.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench_report.hpp"
+#include "bench_util.hpp"
+#include "index/match_scratch.hpp"
+#include "index/parallel_matcher.hpp"
+#include "index/sift_matcher.hpp"
+
+namespace move::bench {
+namespace {
+
+struct VariantResult {
+  double wall_ms = 0.0;
+  double docs_per_sec = 0.0;
+  double postings_per_sec = 0.0;
+  std::uint64_t postings_scanned = 0;
+  std::uint64_t matches_total = 0;
+};
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+void finish(VariantResult& r, double wall_ms, std::size_t docs_matched) {
+  r.wall_ms = wall_ms;
+  const double secs = wall_ms / 1e3;
+  if (secs > 0) {
+    r.docs_per_sec = static_cast<double>(docs_matched) / secs;
+    r.postings_per_sec = static_cast<double>(r.postings_scanned) / secs;
+  }
+}
+
+/// One timed pass shape shared by the SiftMatcher variants.
+template <typename MatchFn>
+VariantResult time_sift(const workload::TermSetTable& docs, std::size_t reps,
+                        MatchFn&& match_one) {
+  VariantResult r;
+  std::vector<FilterId> out;
+  match_one(docs.row(0), out);  // warm-up (allocations, page-in)
+  index::MatchAccounting acc;
+  const auto t0 = Clock::now();
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    for (std::size_t i = 0; i < docs.size(); ++i) {
+      acc += match_one(docs.row(i), out);
+      r.matches_total += out.size();
+    }
+  }
+  const double wall = ms_since(t0);
+  r.postings_scanned = acc.postings_scanned;
+  finish(r, wall, reps * docs.size());
+  return r;
+}
+
+std::uint64_t scanned_total(const index::ParallelMatcher& m) {
+  std::uint64_t total = 0;
+  for (const auto& s : m.shard_stats()) total += s.postings_scanned;
+  return total;
+}
+
+VariantResult time_parallel_per_doc(index::ParallelMatcher& matcher,
+                                    const workload::TermSetTable& docs,
+                                    std::size_t reps,
+                                    const index::MatchOptions& opt) {
+  VariantResult r;
+  (void)matcher.match(docs.row(0), opt);  // warm-up
+  matcher.reset_stats();
+  const auto t0 = Clock::now();
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    for (std::size_t i = 0; i < docs.size(); ++i) {
+      r.matches_total += matcher.match(docs.row(i), opt).size();
+    }
+  }
+  const double wall = ms_since(t0);
+  r.postings_scanned = scanned_total(matcher);
+  finish(r, wall, reps * docs.size());
+  return r;
+}
+
+VariantResult time_parallel_batched(index::ParallelMatcher& matcher,
+                                    const workload::TermSetTable& docs,
+                                    std::size_t reps,
+                                    const index::MatchOptions& opt) {
+  std::vector<std::span<const TermId>> spans;
+  spans.reserve(docs.size());
+  for (std::size_t i = 0; i < docs.size(); ++i) spans.push_back(docs.row(i));
+
+  VariantResult r;
+  (void)matcher.match_batch({spans.data(), 1}, opt);  // warm-up
+  matcher.reset_stats();
+  const auto t0 = Clock::now();
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    const auto results = matcher.match_batch(spans, opt);
+    for (const auto& matches : results) r.matches_total += matches.size();
+  }
+  const double wall = ms_since(t0);
+  r.postings_scanned = scanned_total(matcher);
+  finish(r, wall, reps * docs.size());
+  return r;
+}
+
+void report_variant(BenchReporter& report, const char* series,
+                    const char* semantics, const VariantResult& r,
+                    std::size_t docs, std::size_t filters, std::size_t reps,
+                    std::size_t threads, std::size_t shards) {
+  obs::Json& row = report.add_row(series);
+  row["knobs"]["semantics"] = semantics;
+  row["knobs"]["docs"] = docs;
+  row["knobs"]["filters"] = filters;
+  row["knobs"]["reps"] = reps;
+  row["knobs"]["threads"] = threads;
+  row["knobs"]["shards"] = shards;
+  obs::Json& m = row["metrics"];
+  m["wall_ms"] = r.wall_ms;
+  m["docs_per_sec"] = r.docs_per_sec;
+  m["postings_per_sec"] = r.postings_per_sec;
+  m["postings_scanned"] = r.postings_scanned;
+  m["matches_total"] = r.matches_total;
+  std::printf("%-18s %-10s %10.1f ms %12.0f docs/s %14.3g postings/s\n",
+              series, semantics, r.wall_ms, r.docs_per_sec,
+              r.postings_per_sec);
+}
+
+int run() {
+  print_banner("micro", "matching kernels: hash-map vs counter-array, "
+                        "per-doc vs batched (real time)");
+  const std::size_t num_filters = std::max<std::size_t>(
+      20'000, static_cast<std::size_t>(400'000 * scale()));
+  const auto filters = make_filters(num_filters);
+  auto gen = wt_generator(filters.vocabulary);
+  const auto docs = gen.generate(std::min<std::size_t>(
+      400, std::max<std::size_t>(64, gen.config().num_docs)));
+  const std::size_t reps = 4;
+  std::printf("filters: %zu   docs: %zu (%.1f terms/doc)   reps: %zu\n\n",
+              filters.table.size(), docs.size(), docs.mean_row_size(), reps);
+
+  // One shared store; a mutable index for the legacy kernel and a frozen
+  // one for the arena kernels, built identically.
+  index::FilterStore store;
+  index::InvertedIndex index_mutable;
+  index::InvertedIndex index_frozen;
+  for (std::size_t i = 0; i < filters.table.size(); ++i) {
+    const auto id = store.add(filters.table.row(i));
+    index_mutable.add(id, store.terms(id));
+    index_frozen.add(id, store.terms(id));
+  }
+  index_frozen.finalize();
+  const index::SiftMatcher legacy(store, index_mutable);
+  const index::SiftMatcher frozen(store, index_frozen);
+  index::ParallelMatcher parallel(filters.table, 0, 0);
+
+  BenchReporter report("matching_kernels");
+  report.meta()["filters"] = filters.table.size();
+  report.meta()["docs_pool"] = docs.size();
+  report.meta()["mean_terms_per_doc"] = docs.mean_row_size();
+  report.meta()["reps"] = reps;
+  report.meta()["threads"] = parallel.thread_count();
+  report.meta()["shards"] = parallel.shard_count();
+
+  bool totals_agree = true;
+  for (const auto& [sem_name, opt] :
+       {std::pair{"any_term", index::MatchOptions{}},
+        std::pair{"threshold",
+                  index::MatchOptions{index::MatchSemantics::kThreshold,
+                                      0.7}}}) {
+    index::MatchScratch scratch;
+    const auto legacy_r = time_sift(
+        docs, reps, [&](std::span<const TermId> d, std::vector<FilterId>& o) {
+          return legacy.match(d, opt, o);
+        });
+    const auto scratch_r = time_sift(
+        docs, reps, [&](std::span<const TermId> d, std::vector<FilterId>& o) {
+          return frozen.match(d, opt, o, scratch);
+        });
+    const auto par_doc_r = time_parallel_per_doc(parallel, docs, reps, opt);
+    const auto par_batch_r = time_parallel_batched(parallel, docs, reps, opt);
+
+    const std::size_t d = docs.size(), f = filters.table.size();
+    const std::size_t th = parallel.thread_count();
+    const std::size_t sh = parallel.shard_count();
+    report_variant(report, "legacy_per_doc", sem_name, legacy_r, d, f, reps,
+                   1, 1);
+    report_variant(report, "scratch_per_doc", sem_name, scratch_r, d, f, reps,
+                   1, 1);
+    report_variant(report, "parallel_per_doc", sem_name, par_doc_r, d, f,
+                   reps, th, sh);
+    report_variant(report, "parallel_batched", sem_name, par_batch_r, d, f,
+                   reps, th, sh);
+
+    // All four kernels must find the same (doc, filter) pairs.
+    if (legacy_r.matches_total != scratch_r.matches_total ||
+        legacy_r.matches_total != par_doc_r.matches_total ||
+        legacy_r.matches_total != par_batch_r.matches_total) {
+      std::fprintf(stderr,
+                   "MISMATCH (%s): legacy=%llu scratch=%llu par=%llu "
+                   "batch=%llu\n",
+                   sem_name,
+                   static_cast<unsigned long long>(legacy_r.matches_total),
+                   static_cast<unsigned long long>(scratch_r.matches_total),
+                   static_cast<unsigned long long>(par_doc_r.matches_total),
+                   static_cast<unsigned long long>(par_batch_r.matches_total));
+      totals_agree = false;
+    }
+
+    char key[64];
+    std::snprintf(key, sizeof key, "speedup_scratch_vs_legacy_%s", sem_name);
+    report.meta()[key] = legacy_r.docs_per_sec > 0
+                             ? scratch_r.docs_per_sec / legacy_r.docs_per_sec
+                             : 0.0;
+    std::snprintf(key, sizeof key, "speedup_batched_vs_legacy_%s", sem_name);
+    report.meta()[key] = legacy_r.docs_per_sec > 0
+                             ? par_batch_r.docs_per_sec / legacy_r.docs_per_sec
+                             : 0.0;
+    std::printf("  speedup vs legacy_per_doc: scratch %.2fx, batched %.2fx\n\n",
+                scratch_r.docs_per_sec / legacy_r.docs_per_sec,
+                par_batch_r.docs_per_sec / legacy_r.docs_per_sec);
+  }
+  report.meta()["variants_agree"] = totals_agree;
+  if (!totals_agree) return 1;
+  return report.write() ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace move::bench
+
+int main() { return move::bench::run(); }

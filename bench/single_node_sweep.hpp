@@ -27,6 +27,7 @@
 #include "bench_util.hpp"
 #include "common/hash.hpp"
 #include "common/stats.hpp"
+#include "index/match_scratch.hpp"
 #include "index/sift_matcher.hpp"
 
 namespace move::bench {
@@ -76,15 +77,17 @@ inline SingleNodeBatch single_node_batch(const workload::TermSetTable& filters,
     const auto id = store.add(filters.row(i));
     index.add(id, store.terms(id));
   }
+  index.finalize();  // registration done: pack lists into the flat arena
   const index::SiftMatcher matcher(store, index);
   const double mult =
       model.scan_multiplier(static_cast<double>(num_filters));
   std::vector<FilterId> out;
+  index::MatchScratch scratch;
   SingleNodeBatch result;
   std::array<double, kProfileShards> shard_scanned{};
   for (std::size_t i = 0; i < num_docs; ++i) {
     const auto doc = docs.row(i % docs.size());
-    const auto acc = matcher.match(doc, index::MatchOptions{}, out);
+    const auto acc = matcher.match(doc, index::MatchOptions{}, out, scratch);
     result.acc += acc;
     result.total_us += model.cost.handle_base_us +
                        model.cost.seek_per_list_us *

@@ -149,6 +149,7 @@ bench/CMakeFiles/fig5_doc_frequency.dir/fig5_doc_frequency.cpp.o: \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/typeinfo /root/repo/src/index/filter_store.hpp \
  /root/repo/src/index/inverted_index.hpp \
+ /root/repo/src/index/match_scratch.hpp \
  /root/repo/src/index/sift_matcher.hpp /root/repo/src/common/rng.hpp \
  /usr/include/c++/12/limits /root/repo/src/kv/ring.hpp \
  /usr/include/c++/12/optional /usr/include/c++/12/exception \

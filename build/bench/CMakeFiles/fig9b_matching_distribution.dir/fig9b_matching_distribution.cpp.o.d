@@ -150,6 +150,7 @@ bench/CMakeFiles/fig9b_matching_distribution.dir/fig9b_matching_distribution.cpp
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/typeinfo /root/repo/src/index/filter_store.hpp \
  /root/repo/src/index/inverted_index.hpp \
+ /root/repo/src/index/match_scratch.hpp \
  /root/repo/src/index/sift_matcher.hpp /root/repo/src/common/rng.hpp \
  /usr/include/c++/12/limits /root/repo/src/kv/ring.hpp \
  /usr/include/c++/12/optional /usr/include/c++/12/exception \

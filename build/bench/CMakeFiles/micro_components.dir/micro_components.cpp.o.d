@@ -235,6 +235,7 @@ bench/CMakeFiles/micro_components.dir/micro_components.cpp.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/thread /root/repo/src/index/filter_store.hpp \
  /root/repo/src/index/inverted_index.hpp \
+ /root/repo/src/index/match_scratch.hpp \
  /root/repo/src/workload/term_set_table.hpp \
  /root/repo/src/index/sift_matcher.hpp /root/repo/src/kv/gossip.hpp \
  /root/repo/src/kv/kv_store.hpp /usr/include/c++/12/optional \

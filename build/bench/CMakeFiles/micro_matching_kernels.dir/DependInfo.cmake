@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_matching_kernels.cpp" "bench/CMakeFiles/micro_matching_kernels.dir/micro_matching_kernels.cpp.o" "gcc" "bench/CMakeFiles/micro_matching_kernels.dir/micro_matching_kernels.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/move_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/move_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/move_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/kv/CMakeFiles/move_kv.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/move_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/move_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/bloom/CMakeFiles/move_bloom.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/move_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/move_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/move_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_matching_kernels.dir/micro_matching_kernels.cpp.o"
+  "CMakeFiles/micro_matching_kernels.dir/micro_matching_kernels.cpp.o.d"
+  "micro_matching_kernels"
+  "micro_matching_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_matching_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

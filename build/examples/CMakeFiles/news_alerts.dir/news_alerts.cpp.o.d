@@ -130,6 +130,12 @@ examples/CMakeFiles/news_alerts.dir/news_alerts.cpp.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/index/filter_store.hpp \
  /root/repo/src/index/inverted_index.hpp \
+ /root/repo/src/index/match_scratch.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_algobase.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/index/sift_matcher.hpp /root/repo/src/common/rng.hpp \
  /usr/include/c++/12/limits /root/repo/src/kv/ring.hpp \
  /usr/include/c++/12/optional /usr/include/c++/12/exception \
@@ -219,10 +225,8 @@ examples/CMakeFiles/news_alerts.dir/news_alerts.cpp.o: \
  /usr/include/c++/12/bits/std_mutex.h \
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
- /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/workload/term_set_table.hpp \
  /root/repo/src/sim/metrics.hpp /root/repo/src/core/il_scheme.hpp \
  /root/repo/src/bloom/bloom_filter.hpp /usr/include/c++/12/utility \

@@ -122,6 +122,12 @@ src/cluster/CMakeFiles/move_cluster.dir/cluster.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/stdlib-float.h \
  /usr/include/c++/12/bits/std_abs.h /root/repo/src/index/filter_store.hpp \
  /root/repo/src/index/inverted_index.hpp \
+ /root/repo/src/index/match_scratch.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_algobase.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/index/sift_matcher.hpp /root/repo/src/common/rng.hpp \
  /usr/include/c++/12/limits /root/repo/src/kv/ring.hpp \
  /usr/include/c++/12/optional /usr/include/c++/12/exception \
@@ -132,12 +138,8 @@ src/cluster/CMakeFiles/move_cluster.dir/cluster.cpp.o: \
  /root/repo/src/sim/event_engine.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
- /usr/include/c++/12/bits/ranges_algobase.h \
- /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/stdexcept \
- /usr/include/c++/12/string /usr/include/c++/12/bits/localefwd.h \
+ /usr/include/c++/12/stdexcept /usr/include/c++/12/string \
+ /usr/include/c++/12/bits/localefwd.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++locale.h \
  /usr/include/c++/12/clocale /usr/include/locale.h \
  /usr/include/x86_64-linux-gnu/bits/locale.h /usr/include/c++/12/cctype \

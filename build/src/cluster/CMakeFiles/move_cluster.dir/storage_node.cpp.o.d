@@ -109,9 +109,10 @@ src/cluster/CMakeFiles/move_cluster.dir/storage_node.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/stdlib-float.h \
  /usr/include/c++/12/bits/std_abs.h /root/repo/src/index/filter_store.hpp \
  /root/repo/src/index/inverted_index.hpp \
- /root/repo/src/index/sift_matcher.hpp /usr/include/c++/12/algorithm \
+ /root/repo/src/index/match_scratch.hpp /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h
+ /usr/include/c++/12/pstl/execution_defs.h \
+ /root/repo/src/index/sift_matcher.hpp

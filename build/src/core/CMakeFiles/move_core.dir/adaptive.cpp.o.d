@@ -216,6 +216,10 @@ src/core/CMakeFiles/move_core.dir/adaptive.cpp.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/index/filter_store.hpp \
  /root/repo/src/index/inverted_index.hpp \
+ /root/repo/src/index/match_scratch.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/index/sift_matcher.hpp /root/repo/src/common/rng.hpp \
  /usr/include/c++/12/limits /root/repo/src/kv/ring.hpp \
  /usr/include/c++/12/optional /root/repo/src/kv/topology.hpp \
@@ -229,7 +233,4 @@ src/core/CMakeFiles/move_core.dir/adaptive.cpp.o: \
  /root/repo/src/core/forwarding_table.hpp \
  /root/repo/src/core/il_scheme.hpp /root/repo/src/bloom/bloom_filter.hpp \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
- /root/repo/src/kv/placement.hpp /root/repo/src/workload/trace_stats.hpp \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
- /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h
+ /root/repo/src/kv/placement.hpp /root/repo/src/workload/trace_stats.hpp

@@ -221,6 +221,10 @@ src/core/CMakeFiles/move_core.dir/move_scheme.cpp.o: \
  /root/repo/src/cluster/meta_store.hpp \
  /root/repo/src/index/filter_store.hpp \
  /root/repo/src/index/inverted_index.hpp \
+ /root/repo/src/index/match_scratch.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/index/sift_matcher.hpp /root/repo/src/kv/ring.hpp \
  /root/repo/src/kv/topology.hpp /root/repo/src/sim/cost_model.hpp \
  /root/repo/src/sim/event_engine.hpp /usr/include/c++/12/deque \
@@ -228,7 +232,4 @@ src/core/CMakeFiles/move_core.dir/move_scheme.cpp.o: \
  /usr/include/c++/12/queue /usr/include/c++/12/bits/stl_queue.h \
  /root/repo/src/workload/term_set_table.hpp \
  /root/repo/src/kv/placement.hpp /root/repo/src/workload/trace_stats.hpp \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
- /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/common/hash.hpp

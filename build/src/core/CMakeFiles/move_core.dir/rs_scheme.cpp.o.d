@@ -214,6 +214,10 @@ src/core/CMakeFiles/move_core.dir/rs_scheme.cpp.o: \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/index/filter_store.hpp \
  /root/repo/src/index/inverted_index.hpp \
+ /root/repo/src/index/match_scratch.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/index/sift_matcher.hpp /root/repo/src/common/rng.hpp \
  /usr/include/c++/12/limits /root/repo/src/kv/ring.hpp \
  /usr/include/c++/12/optional /root/repo/src/kv/topology.hpp \
@@ -221,8 +225,5 @@ src/core/CMakeFiles/move_core.dir/rs_scheme.cpp.o: \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h \
- /root/repo/src/workload/term_set_table.hpp /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
- /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/workload/term_set_table.hpp \
  /root/repo/src/common/hash.hpp

@@ -111,4 +111,5 @@ src/index/CMakeFiles/move_index.dir/inverted_index.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/cassert \
+ /usr/include/assert.h

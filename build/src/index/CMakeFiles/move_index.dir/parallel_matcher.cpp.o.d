@@ -225,12 +225,13 @@ src/index/CMakeFiles/move_index.dir/parallel_matcher.cpp.o: \
  /usr/include/c++/12/thread /root/repo/src/common/types.hpp \
  /root/repo/src/index/filter_store.hpp \
  /root/repo/src/index/inverted_index.hpp \
- /root/repo/src/workload/term_set_table.hpp /usr/include/c++/12/algorithm \
+ /root/repo/src/index/match_scratch.hpp /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
- /root/repo/src/common/hash.hpp /root/repo/src/common/stats.hpp \
- /root/repo/src/index/sift_matcher.hpp /root/repo/src/obs/metrics.hpp \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
- /usr/include/c++/12/bits/stl_map.h \
+ /root/repo/src/workload/term_set_table.hpp /usr/include/c++/12/cassert \
+ /usr/include/assert.h /root/repo/src/common/hash.hpp \
+ /root/repo/src/common/stats.hpp /root/repo/src/index/sift_matcher.hpp \
+ /root/repo/src/obs/metrics.hpp /usr/include/c++/12/map \
+ /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h

@@ -12,7 +12,6 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/common/hash_test.cpp" "tests/CMakeFiles/test_common.dir/common/hash_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/hash_test.cpp.o.d"
   "/root/repo/tests/common/rng_test.cpp" "tests/CMakeFiles/test_common.dir/common/rng_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/rng_test.cpp.o.d"
   "/root/repo/tests/common/stats_test.cpp" "tests/CMakeFiles/test_common.dir/common/stats_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/stats_test.cpp.o.d"
-  "/root/repo/tests/common/thread_pool_test.cpp" "tests/CMakeFiles/test_common.dir/common/thread_pool_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/thread_pool_test.cpp.o.d"
   "/root/repo/tests/common/zipf_test.cpp" "tests/CMakeFiles/test_common.dir/common/zipf_test.cpp.o" "gcc" "tests/CMakeFiles/test_common.dir/common/zipf_test.cpp.o.d"
   )
 

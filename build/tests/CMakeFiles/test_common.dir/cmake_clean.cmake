@@ -7,8 +7,6 @@ file(REMOVE_RECURSE
   "CMakeFiles/test_common.dir/common/rng_test.cpp.o.d"
   "CMakeFiles/test_common.dir/common/stats_test.cpp.o"
   "CMakeFiles/test_common.dir/common/stats_test.cpp.o.d"
-  "CMakeFiles/test_common.dir/common/thread_pool_test.cpp.o"
-  "CMakeFiles/test_common.dir/common/thread_pool_test.cpp.o.d"
   "CMakeFiles/test_common.dir/common/zipf_test.cpp.o"
   "CMakeFiles/test_common.dir/common/zipf_test.cpp.o.d"
   "test_common"

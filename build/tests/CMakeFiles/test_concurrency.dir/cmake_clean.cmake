@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_concurrency.dir/common/thread_pool_test.cpp.o"
+  "CMakeFiles/test_concurrency.dir/common/thread_pool_test.cpp.o.d"
+  "CMakeFiles/test_concurrency.dir/index/match_batch_property_test.cpp.o"
+  "CMakeFiles/test_concurrency.dir/index/match_batch_property_test.cpp.o.d"
+  "CMakeFiles/test_concurrency.dir/index/parallel_matcher_test.cpp.o"
+  "CMakeFiles/test_concurrency.dir/index/parallel_matcher_test.cpp.o.d"
+  "test_concurrency"
+  "test_concurrency.pdb"
+  "test_concurrency[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -299,6 +299,10 @@ tests/CMakeFiles/test_core.dir/core/failure_test.cpp.o: \
  /root/repo/src/cluster/meta_store.hpp /root/repo/src/common/types.hpp \
  /root/repo/src/index/filter_store.hpp \
  /root/repo/src/index/inverted_index.hpp \
+ /root/repo/src/index/match_scratch.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/index/sift_matcher.hpp /root/repo/src/common/rng.hpp \
  /root/repo/src/kv/ring.hpp /root/repo/src/kv/topology.hpp \
  /root/repo/src/sim/cost_model.hpp /root/repo/src/sim/event_engine.hpp \

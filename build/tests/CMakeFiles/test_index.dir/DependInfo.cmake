@@ -10,7 +10,6 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/index/filter_store_test.cpp" "tests/CMakeFiles/test_index.dir/index/filter_store_test.cpp.o" "gcc" "tests/CMakeFiles/test_index.dir/index/filter_store_test.cpp.o.d"
   "/root/repo/tests/index/inverted_index_test.cpp" "tests/CMakeFiles/test_index.dir/index/inverted_index_test.cpp.o" "gcc" "tests/CMakeFiles/test_index.dir/index/inverted_index_test.cpp.o.d"
-  "/root/repo/tests/index/parallel_matcher_test.cpp" "tests/CMakeFiles/test_index.dir/index/parallel_matcher_test.cpp.o" "gcc" "tests/CMakeFiles/test_index.dir/index/parallel_matcher_test.cpp.o.d"
   "/root/repo/tests/index/scored_match_test.cpp" "tests/CMakeFiles/test_index.dir/index/scored_match_test.cpp.o" "gcc" "tests/CMakeFiles/test_index.dir/index/scored_match_test.cpp.o.d"
   "/root/repo/tests/index/sift_matcher_test.cpp" "tests/CMakeFiles/test_index.dir/index/sift_matcher_test.cpp.o" "gcc" "tests/CMakeFiles/test_index.dir/index/sift_matcher_test.cpp.o.d"
   )

@@ -3,8 +3,6 @@ file(REMOVE_RECURSE
   "CMakeFiles/test_index.dir/index/filter_store_test.cpp.o.d"
   "CMakeFiles/test_index.dir/index/inverted_index_test.cpp.o"
   "CMakeFiles/test_index.dir/index/inverted_index_test.cpp.o.d"
-  "CMakeFiles/test_index.dir/index/parallel_matcher_test.cpp.o"
-  "CMakeFiles/test_index.dir/index/parallel_matcher_test.cpp.o.d"
   "CMakeFiles/test_index.dir/index/scored_match_test.cpp.o"
   "CMakeFiles/test_index.dir/index/scored_match_test.cpp.o.d"
   "CMakeFiles/test_index.dir/index/sift_matcher_test.cpp.o"

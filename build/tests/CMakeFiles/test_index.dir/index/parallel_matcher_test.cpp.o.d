@@ -225,6 +225,10 @@ tests/CMakeFiles/test_index.dir/index/parallel_matcher_test.cpp.o: \
  /usr/include/c++/12/thread /root/repo/src/common/types.hpp \
  /root/repo/src/index/filter_store.hpp \
  /root/repo/src/index/inverted_index.hpp \
+ /root/repo/src/index/match_scratch.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/workload/term_set_table.hpp \
  /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
@@ -308,9 +312,6 @@ tests/CMakeFiles/test_index.dir/index/parallel_matcher_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
- /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/common/rng.hpp /root/repo/src/index/brute_force.hpp \
  /root/repo/src/obs/metrics.hpp /root/repo/src/workload/corpus.hpp \
  /root/repo/src/workload/query_trace.hpp /root/repo/src/common/zipf.hpp

@@ -297,4 +297,6 @@ tests/CMakeFiles/test_sim.dir/sim/event_engine_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/sim/metrics.hpp
+ /root/repo/src/sim/metrics.hpp /root/repo/src/index/inverted_index.hpp \
+ /usr/include/c++/12/span /root/repo/src/common/types.hpp \
+ /root/repo/src/index/filter_store.hpp

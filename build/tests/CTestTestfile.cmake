@@ -8,6 +8,7 @@ include("/root/repo/build/tests/test_common[1]_include.cmake")
 include("/root/repo/build/tests/test_text[1]_include.cmake")
 include("/root/repo/build/tests/test_bloom[1]_include.cmake")
 include("/root/repo/build/tests/test_index[1]_include.cmake")
+include("/root/repo/build/tests/test_concurrency[1]_include.cmake")
 include("/root/repo/build/tests/test_kv[1]_include.cmake")
 include("/root/repo/build/tests/test_sim[1]_include.cmake")
 include("/root/repo/build/tests/test_workload[1]_include.cmake")

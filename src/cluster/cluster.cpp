@@ -87,6 +87,10 @@ void Cluster::wipe_storage() {
   for (auto& node : nodes_) node.clear();
 }
 
+void Cluster::seal_storage() {
+  for (auto& node : nodes_) node.seal();
+}
+
 void Cluster::export_metrics(obs::Registry& registry,
                              std::string_view prefix) const {
   const std::string base(prefix);

@@ -90,6 +90,11 @@ class Cluster {
   /// Clears every node's stores (registration is about to be replayed).
   void wipe_storage();
 
+  /// Freezes every node's inverted list into its flat posting arena (see
+  /// StorageNode::seal). Schemes call this when bulk registration finishes;
+  /// later registrations transparently thaw the affected node.
+  void seal_storage();
+
   /// Snapshots cluster-wide and per-node state into `registry` as gauges
   /// (snapshot semantics): storage, match accounting, FifoServer service
   /// totals, queue depth, busy fraction, liveness — plus the engine's own

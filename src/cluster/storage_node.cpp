@@ -17,9 +17,11 @@ void StorageNode::register_copy(FilterId global,
   }
   // Index under each requested term, skipping lists that already reference
   // this copy (re-registration of the same filter under the same term).
+  // Posting lists are sorted by construction, so the membership probe is a
+  // binary search instead of a linear scan.
   for (TermId term : index_terms) {
     const auto list = index_.postings(term);
-    if (std::find(list.begin(), list.end(), local) == list.end()) {
+    if (!std::binary_search(list.begin(), list.end(), local)) {
       const TermId one[] = {term};
       index_.add(local, one);
       meta_.record_filter(term);
@@ -37,7 +39,7 @@ index::MatchAccounting StorageNode::match_full(
     std::span<const TermId> doc_terms, const index::MatchOptions& options,
     std::vector<FilterId>& out_global) const {
   const index::SiftMatcher matcher(store_, index_);
-  const auto acc = matcher.match(doc_terms, options, out_global);
+  const auto acc = matcher.match(doc_terms, options, out_global, scratch_);
   translate(out_global);
   totals_ += acc;
   ++match_calls_;

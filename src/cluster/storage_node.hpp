@@ -8,6 +8,7 @@
 #include "common/types.hpp"
 #include "index/filter_store.hpp"
 #include "index/inverted_index.hpp"
+#include "index/match_scratch.hpp"
 #include "index/sift_matcher.hpp"
 
 /// One logical storage/matching node — the Fig. 3 internals: a filter store
@@ -32,6 +33,12 @@ class StorageNode {
   /// indexing, or the single home term for IL/MOVE-style indexing.
   void register_copy(FilterId global, std::span<const TermId> terms,
                      std::span<const TermId> index_terms);
+
+  /// Packs the local inverted list into its flat posting arena (see
+  /// InvertedIndex::finalize). Schemes call this once bulk registration is
+  /// done; later register_copy calls transparently thaw, so sealing is an
+  /// optimization, never a correctness requirement.
+  void seal() { index_.finalize(); }
 
   /// Full SIFT match over every locally indexed document term; results are
   /// global filter ids, ascending.
@@ -92,7 +99,10 @@ class StorageNode {
   std::unordered_map<FilterId, FilterId> global_to_local_;
   std::vector<FilterId> local_to_global_;
   // Plain integers, mutable: match_* are logically const reads driven by the
-  // single-threaded simulator; accounting is a side-band observation.
+  // single-threaded simulator; accounting is a side-band observation. The
+  // scratch is likewise reused across the node's (serial) matches so the
+  // counter kernel never allocates once warm.
+  mutable index::MatchScratch scratch_;
   mutable index::MatchAccounting totals_;
   mutable std::uint64_t match_calls_ = 0;
 };

@@ -4,13 +4,21 @@
 
 namespace move::common {
 
+namespace {
+thread_local std::size_t tls_worker_index = ThreadPool::kNotAWorker;
+}  // namespace
+
+std::size_t ThreadPool::current_worker_index() noexcept {
+  return tls_worker_index;
+}
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max(1u, std::thread::hardware_concurrency());
   }
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -34,6 +42,15 @@ void ThreadPool::submit(std::function<void()> task) {
   work_available_.notify_one();
 }
 
+void ThreadPool::submit_bulk(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  {
+    std::lock_guard lock(mutex_);
+    for (auto& task : tasks) queue_.push_back(std::move(task));
+  }
+  work_available_.notify_all();
+}
+
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mutex_);
   all_done_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
@@ -44,7 +61,8 @@ std::uint64_t ThreadPool::tasks_completed() const {
   return completed_;
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t index) {
+  tls_worker_index = index;
   for (;;) {
     std::function<void()> task;
     {

@@ -29,6 +29,12 @@ class ThreadPool {
   /// Enqueues a task. Thread-safe.
   void submit(std::function<void()> task);
 
+  /// Enqueues a whole batch of tasks under ONE queue-lock acquisition and
+  /// wakes every worker once — the batched-dispatch primitive: submitting N
+  /// documents costs one lock round-trip instead of N. Thread-safe; `tasks`
+  /// is consumed.
+  void submit_bulk(std::vector<std::function<void()>> tasks);
+
   /// Blocks until the queue is empty and no task is executing.
   void wait_idle();
 
@@ -37,8 +43,17 @@ class ThreadPool {
   }
   [[nodiscard]] std::uint64_t tasks_completed() const;
 
+  /// Index of the calling pool worker in [0, thread_count()), or
+  /// `kNotAWorker` when called from a thread that is not a pool worker.
+  /// Lets tasks address per-worker state (e.g. a per-thread MatchScratch)
+  /// without locking. A thread owned by one pool keeps its index even while
+  /// running tasks submitted to another pool, so per-worker state must be
+  /// keyed by the pool whose workers execute the tasks.
+  static constexpr std::size_t kNotAWorker = static_cast<std::size_t>(-1);
+  [[nodiscard]] static std::size_t current_worker_index() noexcept;
+
  private:
-  void worker_loop();
+  void worker_loop(std::size_t index);
 
   mutable std::mutex mutex_;
   std::condition_variable work_available_;

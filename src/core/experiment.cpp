@@ -58,6 +58,14 @@ sim::RunMetrics run_dissemination(Scheme& scheme,
   auto& c = scheme.cluster();
   c.reset_servers();
 
+  // Snapshot the nodes' cumulative match-IO counters so the run's metrics
+  // report only the work this dissemination performed (schemes may have
+  // matched during allocation, and runs may share a cluster).
+  index::MatchAccounting acc_before;
+  for (std::uint32_t n = 0; n < c.size(); ++n) {
+    acc_before += c.node(NodeId{n}).accounting_totals();
+  }
+
   auto state = std::make_unique<RunState>();
   state->collect_latencies = config.collect_latencies;
   state->outstanding.assign(docs.size(), 0);
@@ -114,6 +122,16 @@ sim::RunMetrics run_dissemination(Scheme& scheme,
     m.node_max_queue_depth[n] = server.max_queue_depth();
   }
   m.node_storage = scheme.storage_per_node();
+  index::MatchAccounting acc_after;
+  for (std::uint32_t n = 0; n < c.size(); ++n) {
+    acc_after += c.node(NodeId{n}).accounting_totals();
+  }
+  m.match_acc.lists_retrieved =
+      acc_after.lists_retrieved - acc_before.lists_retrieved;
+  m.match_acc.postings_scanned =
+      acc_after.postings_scanned - acc_before.postings_scanned;
+  m.match_acc.candidates_verified =
+      acc_after.candidates_verified - acc_before.candidates_verified;
   return std::move(*state).metrics;
 }
 

@@ -32,6 +32,7 @@ void IlScheme::register_filters(const workload::TermSetTable& filters) {
       if (bloom_) bloom_->insert(t);
     }
   }
+  cluster_->seal_storage();
 }
 
 void IlScheme::rebuild() {

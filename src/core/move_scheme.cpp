@@ -63,6 +63,8 @@ void MoveScheme::allocate(const workload::TraceStats& filter_stats,
   } else {
     build_term_grids(filter_stats, corpus_stats);
   }
+  // The grid copies thawed the touched nodes; refreeze before matching.
+  cluster_->seal_storage();
 }
 
 void MoveScheme::rebuild() {
@@ -100,6 +102,7 @@ void MoveScheme::allocate_from_observed() {
     inputs[m].q = static_cast<double>(meta.total_docs()) / published;
   }
   build_grids(inputs);
+  cluster_->seal_storage();
 }
 
 void MoveScheme::reset_observation_window() {

@@ -29,6 +29,7 @@ void RsScheme::register_filters(const workload::TermSetTable& filters) {
       cluster_->node(succ).register_copy(global, terms, terms);
     }
   }
+  cluster_->seal_storage();
 }
 
 void RsScheme::rebuild() {

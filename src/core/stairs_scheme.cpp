@@ -78,6 +78,7 @@ void StairsScheme::register_filters(const workload::TermSetTable& filters) {
       ++registrations_;
     }
   }
+  cluster_->seal_storage();
 }
 
 }  // namespace move::core

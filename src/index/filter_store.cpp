@@ -28,12 +28,53 @@ std::span<const TermId> FilterStore::terms(FilterId id) const {
   return {flat_terms_.data() + begin, end - begin};
 }
 
+namespace {
+
+/// Size ratio beyond which per-element galloping beats the linear merge.
+constexpr std::size_t kGallopRatio = 16;
+
+/// |small ∩ large| by exponential + binary search of each small element in
+/// the (sorted) large side. O(|small| * log |large|) — the win when a 3-term
+/// filter is verified against a 6000-term TREC-AP article.
+std::size_t gallop_intersection(std::span<const TermId> small,
+                                std::span<const TermId> large) {
+  std::size_t count = 0;
+  auto lo = large.begin();
+  for (const TermId t : small) {
+    // Exponential probe from the previous position keeps runs of nearby
+    // values cheap; the binary search finishes within the bracketed window.
+    std::size_t step = 1;
+    auto hi = lo;
+    while (hi != large.end() && *hi < t) {
+      lo = hi;
+      const std::size_t room = static_cast<std::size_t>(large.end() - hi);
+      hi += static_cast<std::ptrdiff_t>(std::min(step, room));
+      step *= 2;
+    }
+    lo = std::lower_bound(lo, hi, t);
+    if (lo == large.end()) break;
+    if (*lo == t) {
+      ++count;
+      ++lo;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
 std::size_t FilterStore::intersection_size(
     std::span<const TermId> doc_terms, std::span<const TermId> filter_terms) {
+  std::span<const TermId> small = doc_terms, large = filter_terms;
+  if (small.size() > large.size()) std::swap(small, large);
+  if (small.empty()) return 0;
+  if (large.size() / small.size() >= kGallopRatio) {
+    return gallop_intersection(small, large);
+  }
   std::size_t count = 0;
-  auto d = doc_terms.begin();
-  auto f = filter_terms.begin();
-  while (d != doc_terms.end() && f != filter_terms.end()) {
+  auto d = small.begin();
+  auto f = large.begin();
+  while (d != small.end() && f != large.end()) {
     if (*d < *f) {
       ++d;
     } else if (*f < *d) {

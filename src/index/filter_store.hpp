@@ -56,7 +56,10 @@ class FilterStore {
   [[nodiscard]] bool matches(FilterId id, std::span<const TermId> doc_terms,
                              const MatchOptions& options) const;
 
-  /// |d ∩ f| for sorted inputs.
+  /// |d ∩ f| for sorted inputs. Adaptive: linear merge for comparable
+  /// sizes, galloping (exponential + binary search of the smaller side into
+  /// the larger) when the sizes are skewed by >= 16x — the common shape when
+  /// a ~3-term filter is verified against a ~6000-term TREC-AP document.
   [[nodiscard]] static std::size_t intersection_size(
       std::span<const TermId> doc_terms, std::span<const TermId> filter_terms);
 

@@ -1,18 +1,32 @@
 #include "index/inverted_index.hpp"
 
 #include <algorithm>
+#include <cassert>
 
 namespace move::index {
 
 void InvertedIndex::add(FilterId filter, std::span<const TermId> index_terms) {
+  if (frozen_) thaw();
   for (TermId term : index_terms) {
-    lists_[term].push_back(filter);
+    auto& list = lists_[term];
+    if (list.empty() || list.back() < filter) {
+      // Registration streams filters in ascending id order, so appending
+      // preserves the sorted invariant without any comparison beyond back().
+      list.push_back(filter);
+    } else {
+      // Out-of-order re-registration (e.g. a MOVE grid indexing an already
+      // stored copy under a later term): keep the list sorted.
+      list.insert(std::lower_bound(list.begin(), list.end(), filter), filter);
+    }
+    assert(std::is_sorted(list.begin(), list.end()) &&
+           "posting list must stay sorted by FilterId");
     ++total_postings_;
   }
 }
 
 void InvertedIndex::remove(FilterId filter,
                            std::span<const TermId> index_terms) {
+  if (frozen_) thaw();
   for (TermId term : index_terms) {
     auto it = lists_.find(term);
     if (it == lists_.end()) continue;
@@ -24,12 +38,61 @@ void InvertedIndex::remove(FilterId filter,
 }
 
 std::span<const FilterId> InvertedIndex::postings(TermId term) const {
-  auto it = lists_.find(term);
+  if (frozen_) {
+    const auto it = slot_of_.find(term);
+    if (it == slot_of_.end()) return {};
+    const auto begin = offsets_[it->second];
+    const auto end = offsets_[it->second + 1];
+    return {flat_postings_.data() + begin, end - begin};
+  }
+  const auto it = lists_.find(term);
   if (it == lists_.end()) return {};
   return it->second;
 }
 
+void InvertedIndex::finalize() {
+  if (frozen_) return;
+  arena_terms_.clear();
+  arena_terms_.reserve(lists_.size());
+  for (const auto& [term, list] : lists_) arena_terms_.push_back(term);
+  std::sort(arena_terms_.begin(), arena_terms_.end());
+
+  offsets_.assign(1, 0);
+  offsets_.reserve(arena_terms_.size() + 1);
+  flat_postings_.clear();
+  flat_postings_.reserve(total_postings_);
+  slot_of_.clear();
+  slot_of_.reserve(arena_terms_.size());
+  for (std::uint32_t slot = 0; slot < arena_terms_.size(); ++slot) {
+    const auto& list = lists_.at(arena_terms_[slot]);
+    assert(std::is_sorted(list.begin(), list.end()) &&
+           "posting list must be sorted before freezing");
+    flat_postings_.insert(flat_postings_.end(), list.begin(), list.end());
+    offsets_.push_back(flat_postings_.size());
+    slot_of_.emplace(arena_terms_[slot], slot);
+  }
+  lists_.clear();
+  frozen_ = true;
+}
+
+void InvertedIndex::thaw() {
+  lists_.reserve(arena_terms_.size());
+  for (std::uint32_t slot = 0; slot < arena_terms_.size(); ++slot) {
+    const auto begin = offsets_[slot];
+    const auto end = offsets_[slot + 1];
+    lists_.emplace(arena_terms_[slot],
+                   std::vector<FilterId>(flat_postings_.begin() + begin,
+                                         flat_postings_.begin() + end));
+  }
+  slot_of_.clear();
+  arena_terms_.clear();
+  offsets_.clear();
+  flat_postings_.clear();
+  frozen_ = false;
+}
+
 std::vector<TermId> InvertedIndex::indexed_terms() const {
+  if (frozen_) return arena_terms_;
   std::vector<TermId> terms;
   terms.reserve(lists_.size());
   for (const auto& [term, list] : lists_) terms.push_back(term);

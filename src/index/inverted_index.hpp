@@ -18,6 +18,23 @@
 ///  * single-term indexing (IL / MOVE): the home node of term t builds ONLY
 ///    the posting list for t, even though it stores the filters' full term
 ///    sets (§III-B) — matching retrieves exactly one list.
+///
+/// Two storage modes trade mutability for scan speed:
+///  * **mutable** (the default): one heap `std::vector` per term, cheap to
+///    grow during registration;
+///  * **frozen** (after finalize()): every posting list packed into one flat
+///    `offsets_ + flat_postings_` arena mirroring FilterStore's layout, so a
+///    match scans contiguous memory instead of pointer-chasing per-term heap
+///    blocks. Mutations transparently thaw back to mutable mode (rebuilding
+///    the per-term vectors), so freezing is purely an optimization — callers
+///    that interleave registration and matching stay correct.
+///
+/// Invariant (both modes): every posting list is sorted ascending by
+/// FilterId. Registration appends ids in ascending order, so the common case
+/// is a pure push_back; the rare out-of-order re-registration (a MOVE grid
+/// indexing an existing copy under a new term) falls back to a sorted
+/// insert. Matchers rely on this to skip per-match sorting (kAnyTerm unions
+/// become k-way merges).
 namespace move::index {
 
 /// Disk/compute accounting for one match operation; the simulator turns
@@ -41,31 +58,52 @@ class InvertedIndex {
 
   /// Adds posting entries for `filter`: one per term in `index_terms`.
   /// For full indexing pass the filter's whole term set; for single-term
-  /// indexing pass just the home term.
+  /// indexing pass just the home term. Thaws a frozen index.
   void add(FilterId filter, std::span<const TermId> index_terms);
 
   /// Removes the filter's entries from the given lists (linear per list).
+  /// A list that drains is erased entirely so distinct_terms() and
+  /// indexed_terms() never report ghost terms. Thaws a frozen index.
   void remove(FilterId filter, std::span<const TermId> index_terms);
 
-  /// Posting list for a term (empty span if absent).
+  /// Posting list for a term (empty span if absent), sorted ascending.
   [[nodiscard]] std::span<const FilterId> postings(TermId term) const;
 
+  /// Packs all posting lists into the flat arena (terms ordered by TermId,
+  /// lists kept sorted as built). Idempotent; O(total postings).
+  void finalize();
+
+  [[nodiscard]] bool frozen() const noexcept { return frozen_; }
+
   [[nodiscard]] bool contains_term(TermId term) const {
-    return lists_.contains(term);
+    return frozen_ ? slot_of_.contains(term) : lists_.contains(term);
   }
   [[nodiscard]] std::size_t distinct_terms() const noexcept {
-    return lists_.size();
+    return frozen_ ? arena_terms_.size() : lists_.size();
   }
   [[nodiscard]] std::uint64_t total_postings() const noexcept {
     return total_postings_;
   }
 
-  /// All indexed terms (unordered). Used to build Bloom summaries.
+  /// All indexed terms (ascending when frozen, unordered otherwise). Used to
+  /// build Bloom summaries.
   [[nodiscard]] std::vector<TermId> indexed_terms() const;
 
  private:
+  /// Rebuilds the per-term vectors from the arena and drops the arena.
+  void thaw();
+
+  // Mutable mode: one vector per term. Empty (and unused) while frozen.
   std::unordered_map<TermId, std::vector<FilterId>> lists_;
   std::uint64_t total_postings_ = 0;
+
+  // Frozen mode: all lists packed into one arena. slot_of_ maps a term to
+  // its slot s; its postings live at flat_postings_[offsets_[s]..offsets_[s+1]).
+  bool frozen_ = false;
+  std::unordered_map<TermId, std::uint32_t> slot_of_;
+  std::vector<TermId> arena_terms_;        // slot -> term, ascending
+  std::vector<std::uint64_t> offsets_;     // arena_terms_.size() + 1
+  std::vector<FilterId> flat_postings_;
 };
 
 }  // namespace move::index

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+/// Reusable per-thread scratch state for the SIFT counter kernel.
+///
+/// The classic implementation accumulates per-filter hit counts in a
+/// `std::unordered_map<FilterId, uint32_t>` that is built and torn down once
+/// per document — on the hot path that is one hash + probe per posting entry
+/// plus an allocation storm. MatchScratch replaces it with two dense arrays
+/// indexed by (local) filter id:
+///
+///  * `counts_[f]`  — the running |d ∩ f| counter, and
+///  * `epochs_[f]`  — the match epoch that last wrote `counts_[f]`.
+///
+/// A counter is live only when its epoch stamp equals the current epoch, so
+/// "clearing" all counters between documents is a single `++epoch_` — O(1)
+/// instead of O(candidates) — and the arrays are reused match after match
+/// with zero allocation once they reach the store size. `touched_` records
+/// each filter the first time it is bumped, so candidate enumeration costs
+/// O(candidates), never O(filters).
+///
+/// One MatchScratch per thread: instances are not thread-safe, but distinct
+/// instances are fully independent, which is what ParallelMatcher's batch
+/// path exploits (one scratch per pool worker). The same instance may be
+/// reused across FilterStores of different sizes (the arrays grow
+/// monotonically; the epoch bump invalidates stale stamps).
+namespace move::index {
+
+class MatchScratch {
+ public:
+  /// Prepares for one counter pass over a store of `filter_count` filters:
+  /// grows the arrays if needed and logically clears every counter.
+  void begin(std::size_t filter_count) {
+    if (filter_count > counts_.size()) {
+      counts_.resize(filter_count, 0);
+      epochs_.resize(filter_count, 0);
+    }
+    touched_.clear();
+    if (++epoch_ == 0) {
+      // Epoch wrapped: stale stamps could collide, so do the rare hard clear.
+      std::fill(epochs_.begin(), epochs_.end(), 0u);
+      epoch_ = 1;
+    }
+  }
+
+  /// Increments `local`'s counter, recording it as a candidate on first
+  /// touch. Returns the updated count.
+  std::uint32_t bump(std::uint32_t local) {
+    if (epochs_[local] != epoch_) {
+      epochs_[local] = epoch_;
+      counts_[local] = 1;
+      touched_.push_back(FilterId{local});
+      return 1;
+    }
+    return ++counts_[local];
+  }
+
+  /// Counter value for `local` in the current epoch (0 if untouched).
+  [[nodiscard]] std::uint32_t count(std::uint32_t local) const {
+    return epochs_[local] == epoch_ ? counts_[local] : 0;
+  }
+
+  /// Filters touched since begin(), in first-touch order.
+  [[nodiscard]] std::span<const FilterId> candidates() const noexcept {
+    return touched_;
+  }
+
+  /// Cursor buffer for the k-way posting-list merge (kAnyTerm union).
+  /// Exposed so the matcher reuses one heap allocation across documents.
+  struct Cursor {
+    const FilterId* cur;
+    const FilterId* end;
+  };
+  [[nodiscard]] std::vector<Cursor>& cursors() noexcept { return cursors_; }
+
+ private:
+  std::vector<std::uint32_t> counts_;
+  std::vector<std::uint32_t> epochs_;
+  std::vector<FilterId> touched_;
+  std::vector<Cursor> cursors_;
+  std::uint32_t epoch_ = 0;
+};
+
+}  // namespace move::index

@@ -1,6 +1,8 @@
 #include "index/parallel_matcher.hpp"
 
 #include <algorithm>
+#include <cassert>
+#include <functional>
 #include <string>
 
 #include "common/hash.hpp"
@@ -9,6 +11,17 @@
 #include "obs/metrics.hpp"
 
 namespace move::index {
+
+namespace {
+
+void accumulate(ShardStats& into, const ShardStats& delta) noexcept {
+  into.lists_retrieved += delta.lists_retrieved;
+  into.postings_scanned += delta.postings_scanned;
+  into.candidates_verified += delta.candidates_verified;
+  into.matches_emitted += delta.matches_emitted;
+}
+
+}  // namespace
 
 ParallelMatcher::ParallelMatcher(const workload::TermSetTable& filters,
                                  std::size_t shards, std::size_t threads)
@@ -30,12 +43,25 @@ ParallelMatcher::ParallelMatcher(const workload::TermSetTable& filters,
       } else {
         local = shard.store.add(terms);
         shard.local_of.emplace(global.value, local);
+        // Locals are minted in ascending global order, so global_ids is
+        // ascending — translating a sorted local result keeps it sorted.
         shard.global_ids.push_back(global);
       }
       const TermId one[] = {t};
       shard.index.add(local, one);
     }
   }
+  // Registration is done: pack every shard's posting lists into its flat
+  // arena so the match kernels scan contiguous memory.
+  for (Shard& shard : shards_) shard.index.finalize();
+
+  auto init_state = [this](WorkerState& ws) {
+    ws.slices.resize(shards_.size());
+    ws.stats.resize(shards_.size());
+  };
+  workers_.resize(pool_.thread_count());
+  for (WorkerState& ws : workers_) init_state(ws);
+  init_state(sequential_);
 }
 
 std::size_t ParallelMatcher::shard_of(TermId t) const noexcept {
@@ -47,22 +73,38 @@ void ParallelMatcher::match_shard(const Shard& shard,
                                   std::span<const TermId> doc_terms,
                                   const MatchOptions& options,
                                   std::vector<FilterId>& out,
-                                  ShardStats& stats) const {
-  out.clear();
+                                  ShardStats& stats,
+                                  MatchScratch& scratch) const {
   const SiftMatcher matcher(shard.store, shard.index);
-  std::vector<FilterId> partial;
-  for (TermId t : shard_terms) {
-    const auto acc =
-        matcher.match_single_list(t, doc_terms, options, partial);
-    stats.lists_retrieved += acc.lists_retrieved;
-    stats.postings_scanned += acc.postings_scanned;
-    stats.candidates_verified += acc.candidates_verified;
-    out.insert(out.end(), partial.begin(), partial.end());
-  }
+  const auto acc =
+      matcher.match_lists(shard_terms, doc_terms, options, out, scratch);
+  stats.lists_retrieved += acc.lists_retrieved;
+  stats.postings_scanned += acc.postings_scanned;
+  stats.candidates_verified += acc.candidates_verified;
+  // match_lists returns ascending, deduplicated local ids; global_ids is
+  // monotonic, so the translated result stays ascending and deduplicated.
   for (FilterId& id : out) id = shard.global_ids[id.value];
+  assert(std::is_sorted(out.begin(), out.end()));
+  stats.matches_emitted += out.size();
+}
+
+void ParallelMatcher::match_document(std::span<const TermId> doc_terms,
+                                     const MatchOptions& options,
+                                     std::vector<FilterId>& out,
+                                     WorkerState& state) const {
+  out.clear();
+  for (auto& slice : state.slices) slice.clear();
+  for (TermId t : doc_terms) state.slices[shard_of(t)].push_back(t);
+
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    if (state.slices[s].empty()) continue;
+    match_shard(shards_[s], state.slices[s], doc_terms, options,
+                state.partial, state.stats[s], state.scratch);
+    out.insert(out.end(), state.partial.begin(), state.partial.end());
+  }
+  // A filter with terms in several shards is reported by each of them.
   std::sort(out.begin(), out.end());
   out.erase(std::unique(out.begin(), out.end()), out.end());
-  stats.matches_emitted += out.size();
 }
 
 std::vector<FilterId> ParallelMatcher::match(std::span<const TermId> doc_terms,
@@ -75,8 +117,11 @@ std::vector<FilterId> ParallelMatcher::match(std::span<const TermId> doc_terms,
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     if (slices[s].empty()) continue;
     pool_.submit([this, s, doc_terms, &options, &slices, &partials] {
+      // Each worker owns a scratch; two shard tasks landing on the same
+      // worker run back-to-back, and the epoch bump isolates them.
+      const std::size_t w = common::ThreadPool::current_worker_index();
       match_shard(shards_[s], slices[s], doc_terms, options, partials[s],
-                  stats_[s]);
+                  stats_[s], workers_[w].scratch);
     });
   }
   pool_.wait_idle();
@@ -91,20 +136,42 @@ std::vector<FilterId> ParallelMatcher::match(std::span<const TermId> doc_terms,
   return out;
 }
 
+std::vector<std::vector<FilterId>> ParallelMatcher::match_batch(
+    std::span<const std::span<const TermId>> docs,
+    const MatchOptions& options) {
+  std::vector<std::vector<FilterId>> results(docs.size());
+  if (docs.empty()) return results;
+
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(docs.size());
+  for (std::size_t i = 0; i < docs.size(); ++i) {
+    tasks.push_back([this, doc = docs[i], &options, &result = results[i]] {
+      const std::size_t w = common::ThreadPool::current_worker_index();
+      match_document(doc, options, result, workers_[w]);
+    });
+  }
+  pool_.submit_bulk(std::move(tasks));
+  pool_.wait_idle();
+
+  // Fold the per-worker stat deltas into the shared counters under the
+  // barrier (single-threaded here).
+  for (WorkerState& ws : workers_) {
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      accumulate(stats_[s], ws.stats[s]);
+      ws.stats[s] = ShardStats{};
+    }
+  }
+  return results;
+}
+
 std::vector<FilterId> ParallelMatcher::match_sequential(
     std::span<const TermId> doc_terms, const MatchOptions& options) {
-  std::vector<std::vector<TermId>> slices(shards_.size());
-  for (TermId t : doc_terms) slices[shard_of(t)].push_back(t);
-
-  std::vector<FilterId> out, partial;
+  std::vector<FilterId> out;
+  match_document(doc_terms, options, out, sequential_);
   for (std::size_t s = 0; s < shards_.size(); ++s) {
-    if (slices[s].empty()) continue;
-    match_shard(shards_[s], slices[s], doc_terms, options, partial,
-                stats_[s]);
-    out.insert(out.end(), partial.begin(), partial.end());
+    accumulate(stats_[s], sequential_.stats[s]);
+    sequential_.stats[s] = ShardStats{};
   }
-  std::sort(out.begin(), out.end());
-  out.erase(std::unique(out.begin(), out.end()), out.end());
   return out;
 }
 
@@ -136,10 +203,7 @@ void ParallelMatcher::export_metrics(obs::Registry& registry,
   ShardStats totals;
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     const ShardStats& st = stats_[s];
-    totals.lists_retrieved += st.lists_retrieved;
-    totals.postings_scanned += st.postings_scanned;
-    totals.candidates_verified += st.candidates_verified;
-    totals.matches_emitted += st.matches_emitted;
+    accumulate(totals, st);
     const std::string shard = std::to_string(s);
     registry.gauge(obs::labeled(base + ".postings_scanned", "shard", shard))
         .set(static_cast<double>(st.postings_scanned));

@@ -10,6 +10,7 @@
 #include "common/types.hpp"
 #include "index/filter_store.hpp"
 #include "index/inverted_index.hpp"
+#include "index/match_scratch.hpp"
 #include "workload/term_set_table.hpp"
 
 /// Real-parallel single-node matcher.
@@ -18,9 +19,18 @@
 /// the cluster uses across nodes, §III-B, collapsed onto one machine's
 /// cores): shard s owns every posting list of terms with hash(t) % S == s
 /// and stores the full term set of each filter it indexes, so it can verify
-/// threshold/conjunctive candidates locally. Matching a document fans its
-/// terms out to the owning shards on a thread pool; the union of shard
-/// results is exactly the sequential result.
+/// threshold/conjunctive candidates locally. Shard indexes are frozen into
+/// their flat posting arenas at construction, and every kernel runs on the
+/// epoch-stamped counter scratch — the hot loop is allocation-free.
+///
+/// Two dispatch shapes:
+///  * match() fans ONE document's term slices out to the owning shards and
+///    barriers on the pool — the right shape for a latency-sensitive single
+///    document, but it pays a full wait_idle per document;
+///  * match_batch() enqueues one task per DOCUMENT (each task walks all
+///    shards for its document with a per-worker scratch), submitted with a
+///    single bulk lock acquisition and ONE wait_idle for the whole batch —
+///    the throughput shape the paper's batch experiments (Fig. 6-8) measure.
 ///
 /// Term sharding (rather than filter sharding) is what makes large articles
 /// parallelize: each shard touches only its own slice of the document's
@@ -31,9 +41,11 @@ class Registry;
 
 namespace move::index {
 
-/// Cumulative per-shard matching-cost counters. Each shard slot has exactly
-/// one writer (the pool task matching that shard); readers synchronize via
-/// the pool's wait_idle barrier, so plain integers suffice.
+/// Cumulative per-shard matching-cost counters. During match()/
+/// match_sequential() each shard slot has exactly one writer (the task
+/// matching that shard); match_batch() accumulates into per-worker stats and
+/// merges them under the batch barrier. Readers synchronize via wait_idle,
+/// so plain integers suffice.
 struct ShardStats {
   std::uint64_t lists_retrieved = 0;
   std::uint64_t postings_scanned = 0;
@@ -55,6 +67,13 @@ class ParallelMatcher {
   /// whole pool).
   [[nodiscard]] std::vector<FilterId> match(std::span<const TermId> doc_terms,
                                             const MatchOptions& options = {});
+
+  /// Matches a whole batch of documents: one pool task per document, one
+  /// bulk enqueue, one barrier. Result i corresponds to docs[i] and equals
+  /// match(docs[i]) exactly. Safe to call from one thread at a time.
+  [[nodiscard]] std::vector<std::vector<FilterId>> match_batch(
+      std::span<const std::span<const TermId>> docs,
+      const MatchOptions& options = {});
 
   /// Sequential reference (same shards, no pool) for verification/benching.
   [[nodiscard]] std::vector<FilterId> match_sequential(
@@ -103,6 +122,17 @@ class ParallelMatcher {
     std::unordered_map<std::uint32_t, FilterId> local_of;  // global -> local
   };
 
+  /// Everything one worker (or the sequential caller) needs to match
+  /// documents without touching shared state: the counter scratch, reusable
+  /// per-shard term slices, a partial-result buffer, and stats deltas that
+  /// the batch barrier merges into stats_.
+  struct WorkerState {
+    MatchScratch scratch;
+    std::vector<std::vector<TermId>> slices;  // one per shard
+    std::vector<FilterId> partial;
+    std::vector<ShardStats> stats;            // one per shard
+  };
+
   [[nodiscard]] std::size_t shard_of(TermId t) const noexcept;
 
   /// Matches the shard's slice of the document (verifying candidates
@@ -111,12 +141,21 @@ class ParallelMatcher {
                    std::span<const TermId> shard_terms,
                    std::span<const TermId> doc_terms,
                    const MatchOptions& options,
-                   std::vector<FilterId>& out, ShardStats& stats) const;
+                   std::vector<FilterId>& out, ShardStats& stats,
+                   MatchScratch& scratch) const;
+
+  /// Matches one whole document on the calling thread using `state`'s
+  /// buffers; stats deltas go to state.stats.
+  void match_document(std::span<const TermId> doc_terms,
+                      const MatchOptions& options, std::vector<FilterId>& out,
+                      WorkerState& state) const;
 
   std::vector<Shard> shards_;
-  std::vector<ShardStats> stats_;  // parallel to shards_, one writer each
+  std::vector<ShardStats> stats_;  // parallel to shards_
   std::size_t filter_count_ = 0;
   common::ThreadPool pool_;
+  std::vector<WorkerState> workers_;  // one per pool thread (batch path)
+  WorkerState sequential_;            // for the calling thread
 };
 
 }  // namespace move::index

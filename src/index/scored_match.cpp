@@ -16,6 +16,38 @@ double cosine_score(std::span<const TermId> doc_terms,
                    static_cast<double>(filter_terms.size()));
 }
 
+namespace {
+
+/// Shared tail of both kernels: score the candidate set, rank, truncate.
+std::vector<ScoredMatch> score_candidates(const FilterStore& store,
+                                          std::span<const TermId> doc_terms,
+                                          const ScoredMatchOptions& options,
+                                          std::span<const FilterId> candidates,
+                                          MatchAccounting& acc) {
+  std::vector<ScoredMatch> out;
+  out.reserve(candidates.size());
+  for (const FilterId filter : candidates) {
+    ++acc.candidates_verified;
+    // With a full index, the hit count already equals |d ∩ f|; with
+    // single-term indexing the stored set gives the exact intersection
+    // either way.
+    const double score = cosine_score(doc_terms, store.terms(filter));
+    if (score >= options.min_score && score > 0.0) {
+      out.push_back(ScoredMatch{filter, score});
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    return a.score > b.score ||
+           (a.score == b.score && a.filter < b.filter);
+  });
+  if (options.top_k > 0 && out.size() > options.top_k) {
+    out.resize(options.top_k);
+  }
+  return out;
+}
+
+}  // namespace
+
 std::vector<ScoredMatch> scored_match(const FilterStore& store,
                                       const InvertedIndex& index,
                                       std::span<const TermId> doc_terms,
@@ -30,25 +62,31 @@ std::vector<ScoredMatch> scored_match(const FilterStore& store,
     acc.postings_scanned += list.size();
     for (FilterId f : list) ++counts[f];
   }
+  std::vector<FilterId> candidates;
+  candidates.reserve(counts.size());
+  for (const auto& [filter, count] : counts) candidates.push_back(filter);
+  auto out = score_candidates(store, doc_terms, options, candidates, acc);
+  if (accounting) *accounting = acc;
+  return out;
+}
 
-  std::vector<ScoredMatch> out;
-  out.reserve(counts.size());
-  for (const auto& [filter, count] : counts) {
-    ++acc.candidates_verified;
-    // With a full index, `count` already equals |d ∩ f|; with single-term
-    // indexing the stored set gives the exact intersection either way.
-    const double score = cosine_score(doc_terms, store.terms(filter));
-    if (score >= options.min_score && score > 0.0) {
-      out.push_back(ScoredMatch{filter, score});
-    }
+std::vector<ScoredMatch> scored_match(const FilterStore& store,
+                                      const InvertedIndex& index,
+                                      std::span<const TermId> doc_terms,
+                                      const ScoredMatchOptions& options,
+                                      MatchScratch& scratch,
+                                      MatchAccounting* accounting) {
+  MatchAccounting acc;
+  scratch.begin(store.size());
+  for (TermId term : doc_terms) {
+    const auto list = index.postings(term);
+    if (list.empty()) continue;
+    ++acc.lists_retrieved;
+    acc.postings_scanned += list.size();
+    for (FilterId f : list) scratch.bump(f.value);
   }
-  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
-    return a.score > b.score ||
-           (a.score == b.score && a.filter < b.filter);
-  });
-  if (options.top_k > 0 && out.size() > options.top_k) {
-    out.resize(options.top_k);
-  }
+  auto out =
+      score_candidates(store, doc_terms, options, scratch.candidates(), acc);
   if (accounting) *accounting = acc;
   return out;
 }

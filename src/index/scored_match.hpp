@@ -6,6 +6,7 @@
 #include "common/types.hpp"
 #include "index/filter_store.hpp"
 #include "index/inverted_index.hpp"
+#include "index/match_scratch.hpp"
 
 /// Vector-space-model scoring (§I: "a boolean model or vector space model
 /// (VSM) can check whether a content item matches a filter").
@@ -42,5 +43,14 @@ struct ScoredMatchOptions {
     const FilterStore& store, const InvertedIndex& index,
     std::span<const TermId> doc_terms, const ScoredMatchOptions& options,
     MatchAccounting* accounting = nullptr);
+
+/// Same contract, on the epoch-stamped counter kernel: candidate
+/// accumulation uses `scratch`'s dense arrays instead of a per-call hash
+/// map, so a reused scratch makes repeated scoring allocation-free apart
+/// from the returned vector.
+[[nodiscard]] std::vector<ScoredMatch> scored_match(
+    const FilterStore& store, const InvertedIndex& index,
+    std::span<const TermId> doc_terms, const ScoredMatchOptions& options,
+    MatchScratch& scratch, MatchAccounting* accounting = nullptr);
 
 }  // namespace move::index

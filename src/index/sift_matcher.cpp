@@ -5,6 +5,68 @@
 
 namespace move::index {
 
+namespace {
+
+using Cursor = MatchScratch::Cursor;
+
+/// Heap order: smallest head value on top (std::*_heap build max-heaps, so
+/// the comparator is reversed).
+struct CursorGreater {
+  bool operator()(const Cursor& a, const Cursor& b) const noexcept {
+    return b.cur->value < a.cur->value;
+  }
+};
+
+/// Sorted-unique union of k sorted posting lists into `out` (appended).
+/// O(total * log k) with zero allocation beyond the reused cursor heap.
+void merge_union(std::vector<Cursor>& cursors, std::vector<FilterId>& out) {
+  if (cursors.empty()) return;
+  if (cursors.size() == 1) {
+    for (const FilterId* p = cursors[0].cur; p != cursors[0].end; ++p) {
+      if (out.empty() || out.back() != *p) out.push_back(*p);
+    }
+    return;
+  }
+  std::make_heap(cursors.begin(), cursors.end(), CursorGreater{});
+  while (!cursors.empty()) {
+    std::pop_heap(cursors.begin(), cursors.end(), CursorGreater{});
+    Cursor& c = cursors.back();
+    const FilterId v = *c.cur;
+    if (out.empty() || out.back() != v) out.push_back(v);
+    if (++c.cur == c.end) {
+      cursors.pop_back();
+    } else {
+      std::push_heap(cursors.begin(), cursors.end(), CursorGreater{});
+    }
+  }
+}
+
+/// Above this many lists the heap's log-k comparisons per posting cost more
+/// than stamping every posting into the counter array and sorting the
+/// distinct survivors — under Zipf traffic the head lists overlap heavily,
+/// so distinct candidates D are far fewer than total postings N and
+/// O(N + D log D) beats O(N log k).
+constexpr std::size_t kMergeMaxLists = 8;
+
+/// Sorted-unique union of the gathered lists into `out`, choosing between
+/// the k-way merge and the epoch-stamp path by list count.
+void union_lists(std::vector<Cursor>& cursors, MatchScratch& scratch,
+                 std::size_t filter_count, std::vector<FilterId>& out) {
+  if (cursors.size() <= kMergeMaxLists) {
+    merge_union(cursors, out);
+    return;
+  }
+  scratch.begin(filter_count);
+  for (const Cursor& c : cursors) {
+    for (const FilterId* p = c.cur; p != c.end; ++p) {
+      if (scratch.bump(p->value) == 1) out.push_back(*p);
+    }
+  }
+  std::sort(out.begin(), out.end());
+}
+
+}  // namespace
+
 MatchAccounting SiftMatcher::match(std::span<const TermId> doc_terms,
                                    const MatchOptions& options,
                                    std::vector<FilterId>& out) const {
@@ -44,6 +106,49 @@ MatchAccounting SiftMatcher::match(std::span<const TermId> doc_terms,
   return acc;
 }
 
+MatchAccounting SiftMatcher::match(std::span<const TermId> doc_terms,
+                                   const MatchOptions& options,
+                                   std::vector<FilterId>& out,
+                                   MatchScratch& scratch) const {
+  out.clear();
+  MatchAccounting acc;
+
+  if (options.semantics == MatchSemantics::kAnyTerm) {
+    // Every filter on a retrieved list shares that list's term with the
+    // document, so the union of the lists IS the match set. Lists are sorted
+    // by construction, so no per-match sort of raw postings is needed —
+    // union_lists picks k-way merge or counter-stamping by list count.
+    auto& cursors = scratch.cursors();
+    cursors.clear();
+    for (TermId term : doc_terms) {
+      const auto list = index_->postings(term);
+      if (list.empty()) continue;
+      ++acc.lists_retrieved;
+      acc.postings_scanned += list.size();
+      cursors.push_back(Cursor{list.data(), list.data() + list.size()});
+    }
+    union_lists(cursors, scratch, store_->size(), out);
+    return acc;
+  }
+
+  // Threshold / conjunctive: epoch-stamped counter pass, then verify each
+  // distinct candidate once against its stored term set.
+  scratch.begin(store_->size());
+  for (TermId term : doc_terms) {
+    const auto list = index_->postings(term);
+    if (list.empty()) continue;
+    ++acc.lists_retrieved;
+    acc.postings_scanned += list.size();
+    for (FilterId f : list) scratch.bump(f.value);
+  }
+  for (FilterId filter : scratch.candidates()) {
+    ++acc.candidates_verified;
+    if (store_->matches(filter, doc_terms, options)) out.push_back(filter);
+  }
+  std::sort(out.begin(), out.end());
+  return acc;
+}
+
 MatchAccounting SiftMatcher::match_single_list(
     TermId home_term, std::span<const TermId> doc_terms,
     const MatchOptions& options, std::vector<FilterId>& out) const {
@@ -54,18 +159,64 @@ MatchAccounting SiftMatcher::match_single_list(
   acc.lists_retrieved = 1;
   acc.postings_scanned = list.size();
 
+  // The list is sorted by construction, so the result needs no sort; only
+  // adjacent duplicates (a filter indexed twice under the same term) must be
+  // skipped.
   if (options.semantics == MatchSemantics::kAnyTerm) {
     // Every filter on this list contains home_term, which the document also
     // contains — all are matches, no verification needed.
-    out.assign(list.begin(), list.end());
+    for (FilterId f : list) {
+      if (out.empty() || out.back() != f) out.push_back(f);
+    }
   } else {
     for (FilterId f : list) {
       ++acc.candidates_verified;
-      if (store_->matches(f, doc_terms, options)) out.push_back(f);
+      if (store_->matches(f, doc_terms, options)) {
+        if (out.empty() || out.back() != f) out.push_back(f);
+      }
+    }
+  }
+  return acc;
+}
+
+MatchAccounting SiftMatcher::match_lists(std::span<const TermId> home_terms,
+                                         std::span<const TermId> doc_terms,
+                                         const MatchOptions& options,
+                                         std::vector<FilterId>& out,
+                                         MatchScratch& scratch) const {
+  out.clear();
+  MatchAccounting acc;
+
+  if (options.semantics == MatchSemantics::kAnyTerm) {
+    auto& cursors = scratch.cursors();
+    cursors.clear();
+    for (TermId term : home_terms) {
+      const auto list = index_->postings(term);
+      if (list.empty()) continue;
+      ++acc.lists_retrieved;
+      acc.postings_scanned += list.size();
+      cursors.push_back(Cursor{list.data(), list.data() + list.size()});
+    }
+    union_lists(cursors, scratch, store_->size(), out);
+    return acc;
+  }
+
+  // A candidate appearing on several home lists is verified exactly once:
+  // the epoch stamp deduplicates across lists.
+  scratch.begin(store_->size());
+  for (TermId term : home_terms) {
+    const auto list = index_->postings(term);
+    if (list.empty()) continue;
+    ++acc.lists_retrieved;
+    acc.postings_scanned += list.size();
+    for (FilterId f : list) {
+      if (scratch.bump(f.value) == 1) {
+        ++acc.candidates_verified;
+        if (store_->matches(f, doc_terms, options)) out.push_back(f);
+      }
     }
   }
   std::sort(out.begin(), out.end());
-  out.erase(std::unique(out.begin(), out.end()), out.end());
   return acc;
 }
 

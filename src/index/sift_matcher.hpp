@@ -6,6 +6,7 @@
 #include "common/types.hpp"
 #include "index/filter_store.hpp"
 #include "index/inverted_index.hpp"
+#include "index/match_scratch.hpp"
 
 /// SIFT-style centralized matcher (Yan & Garcia-Molina, TODS 1999).
 ///
@@ -15,6 +16,15 @@
 /// satisfy the match semantics. Both the RS baseline (full |d|-list
 /// retrieval) and MOVE/IL (single-list retrieval + verification against the
 /// stored term set) are expressed through this class.
+///
+/// Two counter kernels coexist:
+///  * the legacy hash-map kernel (`match` without a scratch) — kept as the
+///    reference/baseline the micro bench compares against;
+///  * the epoch-stamped kernel (`match`/`match_lists` with a MatchScratch) —
+///    allocation-free once warm: dense counter arrays with O(1) logical
+///    clear, and kAnyTerm unions as k-way merges of the (sorted-by-
+///    construction) posting lists instead of concat + sort + unique.
+/// Both return identical results and identical MatchAccounting.
 namespace move::index {
 
 class SiftMatcher {
@@ -27,7 +37,7 @@ class SiftMatcher {
   /// Full SIFT match: retrieves the posting list of every document term that
   /// is locally indexed. With kAnyTerm semantics the counter pass alone
   /// decides; with kAllTerms/kThreshold candidates are verified against the
-  /// stored filter term sets.
+  /// stored filter term sets. Legacy hash-map kernel.
   ///
   /// @param doc_terms  sorted, deduplicated document term set
   /// @param out        matching FilterIds, ascending, deduplicated
@@ -36,15 +46,37 @@ class SiftMatcher {
                         const MatchOptions& options,
                         std::vector<FilterId>& out) const;
 
+  /// Same contract as match(), on the epoch-stamped counter kernel:
+  /// per-filter counts live in `scratch`'s dense arrays (O(1) clear between
+  /// documents) and the kAnyTerm union is a k-way merge. Allocation-free
+  /// once `scratch` and `out` are warm.
+  MatchAccounting match(std::span<const TermId> doc_terms,
+                        const MatchOptions& options,
+                        std::vector<FilterId>& out,
+                        MatchScratch& scratch) const;
+
   /// Single-list match (the MOVE/IL home-node fast path, §III-B): retrieves
   /// only the posting list of `home_term`, then verifies candidates under
   /// `options`. Correct for any semantics because every filter registered
   /// here contains `home_term`, and across the document's home nodes the
   /// union covers every filter sharing a term with the document.
+  /// Allocation-free beyond `out`'s capacity: the posting list is sorted by
+  /// construction, so the result needs no sort.
   MatchAccounting match_single_list(TermId home_term,
                                     std::span<const TermId> doc_terms,
                                     const MatchOptions& options,
                                     std::vector<FilterId>& out) const;
+
+  /// Union of match_single_list over several home terms, deduplicated via
+  /// `scratch`'s epoch stamps (each candidate is verified at most once even
+  /// when it appears on many lists). `out` is ascending, deduplicated —
+  /// identical to concatenating per-term results and sort+unique'ing. This
+  /// is the per-shard kernel of ParallelMatcher's batch path.
+  MatchAccounting match_lists(std::span<const TermId> home_terms,
+                              std::span<const TermId> doc_terms,
+                              const MatchOptions& options,
+                              std::vector<FilterId>& out,
+                              MatchScratch& scratch) const;
 
  private:
   const FilterStore* store_;

@@ -60,6 +60,13 @@ void RunMetrics::export_metrics(obs::Registry& registry) const {
   registry.gauge("run.mean_busy_fraction").set(mean_busy_fraction());
   registry.gauge("run.busy_imbalance").set(busy_imbalance());
   registry.gauge("run.storage_imbalance").set(storage_imbalance());
+  registry.gauge("run.match.lists_retrieved")
+      .set(static_cast<double>(match_acc.lists_retrieved));
+  registry.gauge("run.match.postings_scanned")
+      .set(static_cast<double>(match_acc.postings_scanned));
+  registry.gauge("run.match.candidates_verified")
+      .set(static_cast<double>(match_acc.candidates_verified));
+  registry.gauge("run.postings_per_sec").set(postings_per_sec());
   for (std::size_t n = 0; n < node_busy_us.size(); ++n) {
     registry.gauge(obs::labeled("run.node.busy_us", "node", n))
         .set(node_busy_us[n]);

@@ -3,6 +3,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "index/inverted_index.hpp"
 #include "sim/event_engine.hpp"
 
 namespace move::obs {
@@ -29,10 +30,24 @@ struct RunMetrics {
   std::vector<double> node_queue_wait_us;  ///< per-node total queueing delay
   std::vector<std::uint64_t> node_max_queue_depth;  ///< per-node peak backlog
 
+  /// Cluster-wide match-kernel IO performed during the run (delta of the
+  /// nodes' MatchAccounting totals): what the counters actually scanned,
+  /// independent of the virtual-time cost attached to it. Lets benches
+  /// report postings/sec next to docs/sec.
+  index::MatchAccounting match_acc;
+
   /// Paper's headline metric: completed documents per (virtual) second.
   [[nodiscard]] double throughput_per_sec() const noexcept {
     if (makespan_us <= 0) return 0.0;
     return static_cast<double>(documents_completed) /
+           (makespan_us / 1'000'000.0);
+  }
+
+  /// Posting entries scanned per (virtual) second over the run — the
+  /// kernel-level companion to throughput_per_sec.
+  [[nodiscard]] double postings_per_sec() const noexcept {
+    if (makespan_us <= 0) return 0.0;
+    return static_cast<double>(match_acc.postings_scanned) /
            (makespan_us / 1'000'000.0);
   }
 

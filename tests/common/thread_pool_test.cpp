@@ -73,6 +73,68 @@ TEST(ThreadPool, TasksCanSubmitMoreTasks) {
   EXPECT_EQ(counter.load(), 11);
 }
 
+TEST(ThreadPool, SubmitBulkRunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  constexpr int kTasks = 500;
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    tasks.emplace_back([&counter] { counter.fetch_add(1); });
+  }
+  pool.submit_bulk(std::move(tasks));
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), kTasks);
+  EXPECT_EQ(pool.tasks_completed(), static_cast<std::uint64_t>(kTasks));
+}
+
+TEST(ThreadPool, SubmitBulkEmptyIsNoop) {
+  ThreadPool pool(2);
+  pool.submit_bulk({});
+  pool.wait_idle();  // must not hang
+  EXPECT_EQ(pool.tasks_completed(), 0u);
+}
+
+TEST(ThreadPool, SubmitBulkInterleavesWithSubmit) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 50; ++i) {
+    tasks.emplace_back([&counter] { counter.fetch_add(1); });
+  }
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.submit_bulk(std::move(tasks));
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 52);
+}
+
+TEST(ThreadPool, CurrentWorkerIndexOutsidePoolIsSentinel) {
+  EXPECT_EQ(ThreadPool::current_worker_index(), ThreadPool::kNotAWorker);
+}
+
+TEST(ThreadPool, CurrentWorkerIndexIsStableAndInRange) {
+  ThreadPool pool(4);
+  std::mutex mutex;
+  std::set<std::size_t> seen;
+  std::atomic<bool> out_of_range{false};
+  for (int i = 0; i < 16; ++i) {
+    pool.submit([&] {
+      const std::size_t w = ThreadPool::current_worker_index();
+      if (w >= pool.thread_count()) out_of_range.store(true);
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      std::lock_guard lock(mutex);
+      seen.insert(w);
+    });
+  }
+  pool.wait_idle();
+  EXPECT_FALSE(out_of_range.load());
+  // Long-sleeping tasks force several distinct workers into action.
+  EXPECT_GE(seen.size(), 2u);
+  // Still a non-worker on the submitting thread.
+  EXPECT_EQ(ThreadPool::current_worker_index(), ThreadPool::kNotAWorker);
+}
+
 TEST(ThreadPool, HeavyContention) {
   ThreadPool pool(8);
   std::atomic<std::uint64_t> sum{0};

@@ -70,6 +70,100 @@ TEST(InvertedIndex, IndexedTermsEnumerates) {
   EXPECT_EQ(terms[2].value, 9u);
 }
 
+TEST(InvertedIndex, OutOfOrderAddKeepsListsSorted) {
+  // MOVE grids can index an already-stored (lower-id) copy under a new term
+  // after higher ids were appended — the sorted-insert fallback must keep
+  // the invariant.
+  InvertedIndex idx;
+  idx.add(FilterId{5}, ids({1}));
+  idx.add(FilterId{9}, ids({1}));
+  idx.add(FilterId{3}, ids({1}));
+  const auto list = idx.postings(TermId{1});
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0], FilterId{3});
+  EXPECT_EQ(list[1], FilterId{5});
+  EXPECT_EQ(list[2], FilterId{9});
+}
+
+TEST(InvertedIndex, FinalizePreservesPostings) {
+  InvertedIndex idx;
+  idx.add(FilterId{0}, ids({1, 2}));
+  idx.add(FilterId{1}, ids({2, 9}));
+  idx.add(FilterId{2}, ids({1}));
+  EXPECT_FALSE(idx.frozen());
+  idx.finalize();
+  EXPECT_TRUE(idx.frozen());
+
+  const auto l1 = idx.postings(TermId{1});
+  ASSERT_EQ(l1.size(), 2u);
+  EXPECT_EQ(l1[0], FilterId{0});
+  EXPECT_EQ(l1[1], FilterId{2});
+  EXPECT_EQ(idx.postings(TermId{2}).size(), 2u);
+  EXPECT_EQ(idx.postings(TermId{9}).size(), 1u);
+  EXPECT_TRUE(idx.postings(TermId{7}).empty());
+  EXPECT_TRUE(idx.contains_term(TermId{9}));
+  EXPECT_FALSE(idx.contains_term(TermId{7}));
+  EXPECT_EQ(idx.distinct_terms(), 3u);
+  EXPECT_EQ(idx.total_postings(), 5u);
+
+  // Frozen enumeration is ascending by construction.
+  const auto terms = idx.indexed_terms();
+  ASSERT_EQ(terms.size(), 3u);
+  EXPECT_EQ(terms[0].value, 1u);
+  EXPECT_EQ(terms[1].value, 2u);
+  EXPECT_EQ(terms[2].value, 9u);
+}
+
+TEST(InvertedIndex, FinalizeIsIdempotent) {
+  InvertedIndex idx;
+  idx.add(FilterId{0}, ids({4}));
+  idx.finalize();
+  idx.finalize();
+  EXPECT_TRUE(idx.frozen());
+  EXPECT_EQ(idx.postings(TermId{4}).size(), 1u);
+}
+
+TEST(InvertedIndex, FinalizeEmptyIndex) {
+  InvertedIndex idx;
+  idx.finalize();
+  EXPECT_TRUE(idx.frozen());
+  EXPECT_EQ(idx.distinct_terms(), 0u);
+  EXPECT_TRUE(idx.postings(TermId{0}).empty());
+}
+
+TEST(InvertedIndex, AddAfterFinalizeThaws) {
+  InvertedIndex idx;
+  idx.add(FilterId{0}, ids({1}));
+  idx.add(FilterId{2}, ids({1}));
+  idx.finalize();
+  idx.add(FilterId{1}, ids({1, 6}));  // out-of-order vs the frozen list
+  EXPECT_FALSE(idx.frozen());
+  const auto list = idx.postings(TermId{1});
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0], FilterId{0});
+  EXPECT_EQ(list[1], FilterId{1});
+  EXPECT_EQ(list[2], FilterId{2});
+  EXPECT_EQ(idx.postings(TermId{6}).size(), 1u);
+  EXPECT_EQ(idx.total_postings(), 4u);
+
+  // Refreezing after the mutation burst works too.
+  idx.finalize();
+  EXPECT_TRUE(idx.frozen());
+  EXPECT_EQ(idx.postings(TermId{1}).size(), 3u);
+}
+
+TEST(InvertedIndex, RemoveAfterFinalizeThawsAndPrunes) {
+  InvertedIndex idx;
+  idx.add(FilterId{0}, ids({1, 2}));
+  idx.add(FilterId{1}, ids({1}));
+  idx.finalize();
+  idx.remove(FilterId{0}, ids({1, 2}));
+  EXPECT_FALSE(idx.frozen());
+  EXPECT_EQ(idx.postings(TermId{1}).size(), 1u);
+  EXPECT_FALSE(idx.contains_term(TermId{2}));  // drained list erased
+  EXPECT_EQ(idx.total_postings(), 1u);
+}
+
 TEST(MatchAccounting, Accumulates) {
   MatchAccounting a{1, 10, 2};
   const MatchAccounting b{2, 5, 1};

@@ -1,0 +1,235 @@
+// Property suite for the batched matching path: across semantics, workload
+// seeds and shard layouts, every kernel must produce the identical match
+// set — ParallelMatcher::match_batch, ::match, ::match_sequential, and
+// SiftMatcher with both counter implementations (legacy hash-map over the
+// mutable index, epoch-stamped scratch over the frozen arena) — with brute
+// force as ground truth. Lives under `ctest -L concurrency` because the
+// batch path exercises the pool's bulk submission and per-worker scratch.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "index/brute_force.hpp"
+#include "index/match_scratch.hpp"
+#include "index/parallel_matcher.hpp"
+#include "index/sift_matcher.hpp"
+#include "workload/corpus.hpp"
+#include "workload/query_trace.hpp"
+
+namespace move::index {
+namespace {
+
+constexpr std::size_t kVocab = 600;
+
+struct Workload {
+  workload::TermSetTable filters, docs;
+  FilterStore store;
+  InvertedIndex mutable_index;
+  InvertedIndex frozen_index;
+
+  explicit Workload(std::uint64_t seed, std::size_t num_filters = 1'500,
+                    std::size_t num_docs = 24) {
+    workload::QueryTraceConfig qcfg;
+    qcfg.num_filters = num_filters;
+    qcfg.vocabulary_size = kVocab;
+    qcfg.head_count = 25;
+    qcfg.seed = 0x5eed0001 + seed;
+    filters = workload::QueryTraceGenerator(qcfg).generate();
+    auto ccfg = workload::CorpusConfig::trec_wt_like(0.001, kVocab);
+    ccfg.seed = 0x5eed0002 + seed;
+    docs = workload::CorpusGenerator(ccfg).generate(num_docs);
+    for (std::size_t i = 0; i < filters.size(); ++i) {
+      const auto id = store.add(filters.row(i));
+      mutable_index.add(id, store.terms(id));
+      frozen_index.add(id, store.terms(id));
+    }
+    frozen_index.finalize();
+  }
+
+  [[nodiscard]] std::vector<std::span<const TermId>> doc_spans() const {
+    std::vector<std::span<const TermId>> spans;
+    spans.reserve(docs.size());
+    for (std::size_t i = 0; i < docs.size(); ++i) spans.push_back(docs.row(i));
+    return spans;
+  }
+};
+
+const MatchOptions kSemantics[] = {
+    {MatchSemantics::kAnyTerm, 0.0},
+    {MatchSemantics::kAllTerms, 0.0},
+    {MatchSemantics::kThreshold, 0.6},
+};
+
+TEST(MatchBatchProperty, AllKernelsAgreeAcrossSeedsAndShards) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const Workload w(seed);
+    const SiftMatcher legacy(w.store, w.mutable_index);
+    const SiftMatcher frozen(w.store, w.frozen_index);
+    MatchScratch scratch;
+    const auto spans = w.doc_spans();
+    for (std::size_t shards : {1u, 4u, 7u}) {
+      for (std::size_t threads : {1u, 3u}) {
+        ParallelMatcher matcher(w.filters, shards, threads);
+        for (const MatchOptions& opt : kSemantics) {
+          const auto batch = matcher.match_batch(spans, opt);
+          ASSERT_EQ(batch.size(), w.docs.size());
+          for (std::size_t d = 0; d < w.docs.size(); ++d) {
+            const auto doc = w.docs.row(d);
+            const auto expected = brute_force_match(w.store, doc, opt);
+            EXPECT_EQ(batch[d], expected)
+                << "match_batch seed=" << seed << " shards=" << shards
+                << " threads=" << threads
+                << " sem=" << static_cast<int>(opt.semantics) << " doc=" << d;
+            EXPECT_EQ(matcher.match(doc, opt), expected) << "match doc=" << d;
+            EXPECT_EQ(matcher.match_sequential(doc, opt), expected)
+                << "match_sequential doc=" << d;
+            std::vector<FilterId> out;
+            (void)legacy.match(doc, opt, out);
+            EXPECT_EQ(out, expected) << "legacy hash-map kernel doc=" << d;
+            (void)frozen.match(doc, opt, out, scratch);
+            EXPECT_EQ(out, expected) << "frozen scratch kernel doc=" << d;
+          }
+        }
+      }
+    }
+  }
+}
+
+// The legacy and scratch kernels must also agree on what they *did* — the
+// accounting drives the simulator's cost model, so the arena refactor must
+// not change the reported IO.
+TEST(MatchBatchProperty, ScratchKernelAccountingMatchesLegacy) {
+  const Workload w(7);
+  const SiftMatcher legacy(w.store, w.mutable_index);
+  const SiftMatcher frozen(w.store, w.frozen_index);
+  MatchScratch scratch;
+  std::vector<FilterId> out_a, out_b;
+  for (const MatchOptions& opt : kSemantics) {
+    for (std::size_t d = 0; d < w.docs.size(); ++d) {
+      const auto doc = w.docs.row(d);
+      const auto acc_a = legacy.match(doc, opt, out_a);
+      const auto acc_b = frozen.match(doc, opt, out_b, scratch);
+      EXPECT_EQ(acc_a.lists_retrieved, acc_b.lists_retrieved);
+      EXPECT_EQ(acc_a.postings_scanned, acc_b.postings_scanned);
+      EXPECT_EQ(acc_a.candidates_verified, acc_b.candidates_verified);
+    }
+  }
+}
+
+TEST(MatchBatchProperty, EmptyDocsAndEmptyBatch) {
+  const Workload w(4, 600, 8);
+  ParallelMatcher matcher(w.filters, 3, 2);
+
+  const auto none = matcher.match_batch({});
+  EXPECT_TRUE(none.empty());
+
+  // A batch mixing empty and real documents: empties yield empty rows, the
+  // others are unaffected by their presence.
+  std::vector<std::span<const TermId>> spans;
+  spans.push_back({});
+  spans.push_back(w.docs.row(0));
+  spans.push_back({});
+  spans.push_back(w.docs.row(1));
+  for (const MatchOptions& opt : kSemantics) {
+    const auto batch = matcher.match_batch(spans, opt);
+    ASSERT_EQ(batch.size(), 4u);
+    EXPECT_TRUE(batch[0].empty());
+    EXPECT_TRUE(batch[2].empty());
+    EXPECT_EQ(batch[1], brute_force_match(w.store, w.docs.row(0), opt));
+    EXPECT_EQ(batch[3], brute_force_match(w.store, w.docs.row(1), opt));
+  }
+}
+
+TEST(MatchBatchProperty, EmptyIndexMatchesNothing) {
+  const workload::TermSetTable no_filters;
+  ParallelMatcher matcher(no_filters, 2, 2);
+  const Workload w(5, 600, 4);
+  const auto spans = w.doc_spans();
+  for (const MatchOptions& opt : kSemantics) {
+    for (const auto& matches : matcher.match_batch(spans, opt)) {
+      EXPECT_TRUE(matches.empty());
+    }
+  }
+
+  FilterStore empty_store;
+  InvertedIndex empty_index;
+  empty_index.finalize();  // freezing an empty index must be harmless
+  const SiftMatcher sift(empty_store, empty_index);
+  MatchScratch scratch;
+  std::vector<FilterId> out;
+  (void)sift.match(w.docs.row(0), MatchOptions{}, out, scratch);
+  EXPECT_TRUE(out.empty());
+}
+
+// Repeated batches over the same pool must be stable — per-worker scratch
+// and stats reuse across batches cannot leak state between documents.
+TEST(MatchBatchProperty, RepeatedBatchesAreStable) {
+  const Workload w(6, 1'000, 16);
+  ParallelMatcher matcher(w.filters, 4, 3);
+  const auto spans = w.doc_spans();
+  const MatchOptions opt{MatchSemantics::kThreshold, 0.5};
+  const auto first = matcher.match_batch(spans, opt);
+  for (int round = 0; round < 5; ++round) {
+    EXPECT_EQ(matcher.match_batch(spans, opt), first) << "round " << round;
+  }
+}
+
+// One scratch instance serving interleaved semantics (epoch bumps, cursor
+// reuse) must behave like a fresh scratch each call.
+TEST(MatchBatchProperty, ScratchReuseAcrossSemantics) {
+  const Workload w(8, 1'000, 12);
+  const SiftMatcher frozen(w.store, w.frozen_index);
+  MatchScratch reused;
+  std::vector<FilterId> out;
+  for (int round = 0; round < 3; ++round) {
+    for (std::size_t d = 0; d < w.docs.size(); ++d) {
+      for (const MatchOptions& opt : kSemantics) {
+        MatchScratch fresh;
+        std::vector<FilterId> expected;
+        (void)frozen.match(w.docs.row(d), opt, expected, fresh);
+        (void)frozen.match(w.docs.row(d), opt, out, reused);
+        EXPECT_EQ(out, expected)
+            << "round=" << round << " doc=" << d
+            << " sem=" << static_cast<int>(opt.semantics);
+      }
+    }
+  }
+}
+
+// Batch stats deltas merged under the barrier must equal the sum the
+// per-document path accumulates for the same work.
+TEST(MatchBatchProperty, BatchStatsMatchPerDocStats) {
+  const Workload w(9, 1'000, 16);
+  const auto spans = w.doc_spans();
+  const MatchOptions opt{MatchSemantics::kThreshold, 0.5};
+
+  ParallelMatcher per_doc(w.filters, 4, 2);
+  for (std::size_t d = 0; d < w.docs.size(); ++d) {
+    (void)per_doc.match(w.docs.row(d), opt);
+  }
+  ParallelMatcher batched(w.filters, 4, 2);
+  (void)batched.match_batch(spans, opt);
+
+  auto totals = [](std::span<const ShardStats> stats) {
+    ShardStats t;
+    for (const ShardStats& s : stats) {
+      t.lists_retrieved += s.lists_retrieved;
+      t.postings_scanned += s.postings_scanned;
+      t.candidates_verified += s.candidates_verified;
+      t.matches_emitted += s.matches_emitted;
+    }
+    return t;
+  };
+  const ShardStats a = totals(per_doc.shard_stats());
+  const ShardStats b = totals(batched.shard_stats());
+  EXPECT_EQ(a.lists_retrieved, b.lists_retrieved);
+  EXPECT_EQ(a.postings_scanned, b.postings_scanned);
+  EXPECT_EQ(a.candidates_verified, b.candidates_verified);
+  EXPECT_EQ(a.matches_emitted, b.matches_emitted);
+}
+
+}  // namespace
+}  // namespace move::index

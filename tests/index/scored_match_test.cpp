@@ -103,5 +103,30 @@ TEST_F(ScoredMatchFixture, ScoresAgreeWithDirectCosine) {
   }
 }
 
+TEST_F(ScoredMatchFixture, ScratchKernelMatchesLegacy) {
+  // The epoch-counter overload must agree with the hash-map overload —
+  // results, ordering, and accounting — on mutable AND frozen indexes, with
+  // the scratch reused across calls.
+  MatchScratch scratch;
+  const ScoredMatchOptions configs[] = {
+      {}, {0.5, 0}, {0.0, 2}, {0.9, 1}};
+  for (int pass = 0; pass < 2; ++pass) {
+    for (const auto& opt : configs) {
+      for (const auto& doc :
+           {ids({1, 2}), ids({1, 3, 9}), ids({77}), ids({})}) {
+        MatchAccounting acc_a, acc_b;
+        const auto expected = scored_match(store_, index_, doc, opt, &acc_a);
+        const auto got =
+            scored_match(store_, index_, doc, opt, scratch, &acc_b);
+        EXPECT_EQ(got, expected);
+        EXPECT_EQ(acc_a.lists_retrieved, acc_b.lists_retrieved);
+        EXPECT_EQ(acc_a.postings_scanned, acc_b.postings_scanned);
+        EXPECT_EQ(acc_a.candidates_verified, acc_b.candidates_verified);
+      }
+    }
+    index_.finalize();  // second pass runs against the frozen arena
+  }
+}
+
 }  // namespace
 }  // namespace move::index
