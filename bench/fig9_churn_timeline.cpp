@@ -1,0 +1,147 @@
+// Fig. 9(c/d) extended into a dynamic churn timeline: instead of measuring
+// static before/after failure points, a scripted FaultPlan fails 20% of the
+// cluster at T/3 and recovers it at 2T/3 *while documents are in flight*.
+// The timeline shows the throughput dip, the availability dent, the hinted
+// handoff queue filling and draining, and incremental repair pulling
+// availability back up before the nodes themselves return. One curve per
+// scheme (Move / IL / RS); machine-readable output in BENCH_fig9_churn.json.
+
+#include <cmath>
+#include <memory>
+
+#include "bench_report.hpp"
+#include "bench_util.hpp"
+#include "fault/churn_runner.hpp"
+
+using namespace move;
+
+namespace {
+
+fault::FaultPlan make_plan(std::size_t nodes, double fail_fraction,
+                           sim::Time t_fail, sim::Time t_recover,
+                           std::uint64_t seed) {
+  // Explicit victims (not kFailFraction) so every scheme sees the exact
+  // same node set and the recover events name the same nodes.
+  fault::FaultPlan plan(seed);
+  common::SplitMix64 rng(seed);
+  std::vector<std::uint32_t> ids(nodes);
+  for (std::size_t i = 0; i < nodes; ++i) {
+    ids[i] = static_cast<std::uint32_t>(i);
+  }
+  const auto victims = static_cast<std::size_t>(
+      std::ceil(fail_fraction * static_cast<double>(nodes)));
+  for (std::size_t k = 0; k < victims && k < nodes; ++k) {
+    const auto pick = k + common::uniform_below(rng, ids.size() - k);
+    std::swap(ids[k], ids[pick]);
+    plan.fail(NodeId{ids[k]}, t_fail);
+    plan.recover(NodeId{ids[k]}, t_recover);
+  }
+  return plan;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Figure 9 (churn)",
+                      "throughput & availability vs time under scripted churn");
+  const bench::PaperDefaults d;
+  const auto filters = bench::make_filters(d.filters);
+  const auto docs = bench::wt_generator(filters.vocabulary)
+                        .generate(d.batch_docs);
+  const auto corpus_stats = workload::compute_stats(docs, filters.vocabulary);
+
+  // Injection spans T; failures land at T/3, recovery at 2T/3.
+  const double inject_rate = 2'000.0;
+  const sim::Time span_us =
+      1'000'000.0 * static_cast<double>(d.batch_docs) / inject_rate;
+  const double fail_fraction = 0.2;
+  const sim::Time t_fail = span_us / 3.0;
+  const sim::Time t_recover = 2.0 * span_us / 3.0;
+
+  bench::BenchReporter report("fig9_churn");
+  report.meta()["nodes"] = d.nodes;
+  report.meta()["filters"] = filters.table.size();
+  report.meta()["docs"] = d.batch_docs;
+  report.meta()["inject_rate_per_sec"] = inject_rate;
+  report.meta()["fail_fraction"] = fail_fraction;
+  report.meta()["t_fail_us"] = t_fail;
+  report.meta()["t_recover_us"] = t_recover;
+
+  std::printf("P=%zu, N=%zu, Q=%zu docs at %.0f/s; fail %.0f%% at T/3, "
+              "recover at 2T/3\n\n",
+              filters.table.size(), d.nodes, d.batch_docs, inject_rate,
+              fail_fraction * 100.0);
+  std::printf("%-6s %-12s %-10s %-10s %-12s %-12s %-10s\n", "scheme",
+              "tput/s", "avail_min", "avail_avg", "unavail_ms",
+              "hints(p/d)", "repaired");
+
+  const char* names[] = {"move", "il", "rs"};
+  for (const char* name : names) {
+    cluster::Cluster c(bench::cluster_config(d, d.nodes));
+    std::unique_ptr<core::Scheme> scheme;
+    if (name[0] == 'm') {
+      auto s = std::make_unique<core::MoveScheme>(c, bench::move_options(d));
+      s->register_filters(filters.table);
+      s->allocate(filters.stats, corpus_stats);
+      scheme = std::move(s);
+    } else if (name[0] == 'i') {
+      scheme = std::make_unique<core::IlScheme>(c);
+      scheme->register_filters(filters.table);
+    } else {
+      scheme = std::make_unique<core::RsScheme>(c);
+      scheme->register_filters(filters.table);
+    }
+
+    const auto plan =
+        make_plan(d.nodes, fail_fraction, t_fail, t_recover, 0xc4u);
+    fault::ChurnConfig cfg;
+    cfg.inject_rate_per_sec = inject_rate;
+    cfg.sample_interval_us = span_us / 20.0;
+    // Repair pump sized so re-replication of a 20% loss completes within
+    // the failure window (the availability curve recovers before 2T/3).
+    cfg.injector.repair_batch = 16'384;
+    cfg.injector.repair_interval_us = 5'000.0;
+    const auto result = fault::run_churn(*scheme, docs, plan, cfg);
+
+    for (const auto& s : result.samples) {
+      auto& row = report.add_row(name);
+      row["knobs"]["t_us"] = s.t_us;
+      row["metrics"]["throughput_per_sec"] = s.throughput_per_sec;
+      row["metrics"]["availability"] = s.availability;
+      row["metrics"]["live_nodes"] = s.live_nodes;
+      row["metrics"]["handoff_queue_depth"] = s.handoff_queue_depth;
+      row["metrics"]["repair_backlog"] = s.repair_backlog;
+      row["metrics"]["failed_routes"] = s.fault.failed_routes;
+      row["metrics"]["failovers"] = s.fault.failovers;
+      row["metrics"]["repair_postings_moved"] = s.fault.repair_postings_moved;
+    }
+    auto& summary = report.add_row(std::string(name) + "_summary");
+    bench::BenchReporter::fill_run_metrics(summary, result.metrics);
+    summary["metrics"]["mean_availability"] = result.mean_availability;
+    summary["metrics"]["min_availability"] = result.min_availability;
+    summary["metrics"]["unavailable_us"] = result.unavailable_us;
+    summary["metrics"]["hints_parked"] = result.registry_hints_parked;
+    summary["metrics"]["hints_drained"] = result.registry_hints_drained;
+    summary["metrics"]["registry_readable"] = result.registry_readable;
+    summary["metrics"]["failed_routes"] =
+        result.metrics.fault_acc.failed_routes;
+    summary["metrics"]["route_retries"] =
+        result.metrics.fault_acc.route_retries;
+    summary["metrics"]["repair_postings_moved"] =
+        result.metrics.fault_acc.repair_postings_moved;
+
+    std::printf("%-6s %-12.4g %-10.4f %-10.4f %-12.1f %4llu/%-7llu %-10llu\n",
+                name, result.metrics.throughput_per_sec(),
+                result.min_availability, result.mean_availability,
+                result.unavailable_us / 1'000.0,
+                static_cast<unsigned long long>(result.registry_hints_parked),
+                static_cast<unsigned long long>(result.registry_hints_drained),
+                static_cast<unsigned long long>(
+                    result.metrics.fault_acc.repair_postings_moved));
+  }
+
+  std::printf("\n(expected: availability dips at T/3, recovers via repair "
+              "before 2T/3; hints drain at 2T/3)\n");
+  report.write();
+  return 0;
+}

@@ -1,6 +1,7 @@
 #include "cluster/cluster.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 #include <string>
 
@@ -28,20 +29,74 @@ Cluster::Cluster(ClusterConfig config)
   }
 }
 
-void Cluster::revive_all() { alive_.assign(nodes_.size(), true); }
+void Cluster::fail_node(NodeId id) {
+  if (id.value >= nodes_.size()) {
+    throw std::out_of_range("Cluster::fail_node: unknown node");
+  }
+  alive_[id.value] = false;
+  if (membership_ != nullptr) membership_->crash(id);
+}
+
+void Cluster::revive_node(NodeId id) {
+  if (id.value >= nodes_.size()) {
+    throw std::out_of_range("Cluster::revive_node: unknown node");
+  }
+  if (!ring_.contains(id)) {
+    throw std::logic_error("Cluster::revive_node: node was decommissioned");
+  }
+  alive_[id.value] = true;
+  if (membership_ != nullptr) membership_->restart(id);
+}
+
+void Cluster::revive_all() {
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    if (!alive_[i] && ring_.contains(NodeId{i})) revive_node(NodeId{i});
+  }
+}
 
 void Cluster::fail_fraction(double fraction, common::SplitMix64& rng) {
-  const auto target = static_cast<std::size_t>(
-      fraction * static_cast<double>(nodes_.size()));
-  std::size_t failed = 0;
-  std::size_t guard = 0;
-  while (failed < target && guard++ < nodes_.size() * 64) {
-    const auto pick = common::uniform_below(rng, nodes_.size());
-    if (alive_[pick]) {
-      alive_[pick] = false;
-      ++failed;
+  if (fraction <= 0.0) return;
+  // Partial Fisher-Yates over the live set: exactly ceil(fraction * live)
+  // distinct live victims, each chosen uniformly without replacement.
+  auto live = live_nodes();
+  const auto target = std::min<std::size_t>(
+      live.size(), static_cast<std::size_t>(std::ceil(
+                       fraction * static_cast<double>(live.size()))));
+  for (std::size_t k = 0; k < target; ++k) {
+    const auto pick =
+        k + common::uniform_below(rng, live.size() - k);
+    std::swap(live[k], live[pick]);
+    fail_node(live[k]);
+  }
+}
+
+void Cluster::attach_membership(kv::GossipMembership* membership) {
+  membership_ = membership;
+  if (membership_ == nullptr) return;
+  // Register every current node (idempotent) and seed full mutual
+  // knowledge of the live set, matching the converged state the paper's
+  // O(1)-hop routing assumes at run start.
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    if (!ring_.contains(NodeId{i})) continue;
+    membership_->add_node(NodeId{i});
+    if (!alive_[i]) membership_->crash(NodeId{i});
+  }
+  for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+    if (!ring_.contains(NodeId{i}) || !alive_[i]) continue;
+    for (std::uint32_t j = 0; j < nodes_.size(); ++j) {
+      if (i == j || !ring_.contains(NodeId{j})) continue;
+      membership_->introduce(NodeId{i}, NodeId{j});
     }
   }
+}
+
+bool Cluster::routing_believes_alive(NodeId subject) const {
+  if (subject.value >= alive_.size()) return false;
+  if (membership_ == nullptr) return alive_[subject.value];
+  for (std::uint32_t i = 0; i < alive_.size(); ++i) {
+    if (alive_[i]) return membership_->believes_alive(NodeId{i}, subject);
+  }
+  return false;  // no live coordinator: nothing can be routed
 }
 
 std::size_t Cluster::live_count() const {
@@ -71,6 +126,18 @@ NodeId Cluster::add_node() {
   alive_.push_back(true);
   topology_.add_node();
   ring_.add_node(id);
+  if (membership_ != nullptr) {
+    membership_->add_node(id);
+    // A joiner knows one live seed (and is known by it); gossip spreads the
+    // rest of the membership from there.
+    for (std::uint32_t i = 0; i < alive_.size(); ++i) {
+      if (i != id.value && alive_[i] && ring_.contains(NodeId{i})) {
+        membership_->introduce(id, NodeId{i});
+        membership_->introduce(NodeId{i}, id);
+        break;
+      }
+    }
+  }
   return id;
 }
 
@@ -81,6 +148,7 @@ void Cluster::remove_node(NodeId id) {
   ring_.remove_node(id);
   nodes_[id.value].clear();
   alive_[id.value] = false;
+  if (membership_ != nullptr) membership_->crash(id);
 }
 
 void Cluster::wipe_storage() {
@@ -123,6 +191,16 @@ void Cluster::export_metrics(obs::Registry& registry,
     set("busy_fraction", now > 0 ? srv.busy_us() / elapsed : 0.0);
     set("alive", alive_[i] ? 1.0 : 0.0);
   }
+  const auto setf = [&](const char* name, std::uint64_t v) {
+    registry.gauge(base + ".fault." + name).set(static_cast<double>(v));
+  };
+  setf("failed_routes", fault_acc_.failed_routes);
+  setf("route_retries", fault_acc_.route_retries);
+  setf("dead_contacts", fault_acc_.dead_contacts);
+  setf("failovers", fault_acc_.failovers);
+  setf("hints_parked", fault_acc_.hints_parked);
+  setf("hints_drained", fault_acc_.hints_drained);
+  setf("repair_postings_moved", fault_acc_.repair_postings_moved);
   engine_.export_metrics(registry);
 }
 

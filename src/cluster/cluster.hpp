@@ -7,10 +7,12 @@
 #include "cluster/storage_node.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
+#include "kv/gossip.hpp"
 #include "kv/ring.hpp"
 #include "kv/topology.hpp"
 #include "sim/cost_model.hpp"
 #include "sim/event_engine.hpp"
+#include "sim/fault_accounting.hpp"
 
 /// The simulated commodity-machine cluster the schemes run on: N storage
 /// nodes joined to one consistent-hash ring, racked by a RackTopology, each
@@ -61,14 +63,47 @@ class Cluster {
     return config_.cost;
   }
 
-  // --- failure injection (Fig. 9 c-d) --------------------------------------
+  // --- failure injection (Fig. 9 c-d and the fault subsystem) ---------------
 
   [[nodiscard]] bool alive(NodeId id) const { return alive_[id.value]; }
-  void fail_node(NodeId id) { alive_[id.value] = false; }
+
+  /// Crashes a node: the liveness bit flips and, when a membership is
+  /// attached, the node's gossip heartbeat freezes. Its stores are kept —
+  /// a crashed node that recovers still has its data (fail != decommission).
+  void fail_node(NodeId id);
+
+  /// Recovers a previously failed node (data intact, fresh gossip epoch).
+  /// Decommissioned nodes (remove_node) cannot be revived — they left the
+  /// ring. Throws std::out_of_range / std::logic_error accordingly.
+  void revive_node(NodeId id);
   void revive_all();
 
-  /// Fails floor(fraction * N) distinct nodes chosen uniformly.
+  /// Fails exactly ceil(fraction * live_count()) distinct currently-live
+  /// nodes, chosen uniformly without replacement — so failure benchmarks
+  /// hit their nominal kill rate even when some nodes are already down.
   void fail_fraction(double fraction, common::SplitMix64& rng);
+
+  /// Attaches a gossip membership the cluster keeps in sync: fail_node /
+  /// revive_node crash/restart the node there, and add_node registers it.
+  /// Pass nullptr to detach. The membership must outlive the cluster (or be
+  /// detached first); existing nodes are registered on attach.
+  void attach_membership(kv::GossipMembership* membership);
+  [[nodiscard]] kv::GossipMembership* membership() const noexcept {
+    return membership_;
+  }
+
+  /// Liveness as routing sees it: with a membership attached, the belief of
+  /// the lowest-id truly-live node (the coordinator a publisher proxies
+  /// through) — which can lag reality in both directions; without one,
+  /// ground truth. Used by the schemes' failover paths.
+  [[nodiscard]] bool routing_believes_alive(NodeId subject) const;
+
+  /// Failure-path counters shared by routing failover, hinted handoff, and
+  /// the repair pipeline. Mutable-by-design (the schemes update it from
+  /// logically-const planning paths); snapshot deltas land in RunMetrics.
+  [[nodiscard]] sim::FaultAccounting& fault_acc() const noexcept {
+    return fault_acc_;
+  }
 
   [[nodiscard]] std::size_t live_count() const;
   [[nodiscard]] std::vector<NodeId> live_nodes() const;
@@ -111,6 +146,8 @@ class Cluster {
   std::vector<StorageNode> nodes_;
   std::vector<sim::FifoServer> servers_;
   std::vector<bool> alive_;
+  kv::GossipMembership* membership_ = nullptr;
+  mutable sim::FaultAccounting fault_acc_;
 };
 
 }  // namespace move::cluster

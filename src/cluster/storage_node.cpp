@@ -4,9 +4,9 @@
 
 namespace move::cluster {
 
-void StorageNode::register_copy(FilterId global,
-                                std::span<const TermId> terms,
-                                std::span<const TermId> index_terms) {
+std::size_t StorageNode::register_copy(FilterId global,
+                                       std::span<const TermId> terms,
+                                       std::span<const TermId> index_terms) {
   FilterId local;
   if (auto it = global_to_local_.find(global); it != global_to_local_.end()) {
     local = it->second;
@@ -19,14 +19,17 @@ void StorageNode::register_copy(FilterId global,
   // this copy (re-registration of the same filter under the same term).
   // Posting lists are sorted by construction, so the membership probe is a
   // binary search instead of a linear scan.
+  std::size_t added = 0;
   for (TermId term : index_terms) {
     const auto list = index_.postings(term);
     if (!std::binary_search(list.begin(), list.end(), local)) {
       const TermId one[] = {term};
       index_.add(local, one);
       meta_.record_filter(term);
+      ++added;
     }
   }
+  return added;
 }
 
 void StorageNode::translate(std::vector<FilterId>& ids) const {

@@ -31,8 +31,15 @@ class StorageNode {
   /// under each of `index_terms` (deduplicated against existing entries).
   /// Pass the filter's full term set as `index_terms` for RS-style full
   /// indexing, or the single home term for IL/MOVE-style indexing.
-  void register_copy(FilterId global, std::span<const TermId> terms,
-                     std::span<const TermId> index_terms);
+  /// @returns the number of *new* posting entries added — 0 when the copy
+  /// was already fully registered (the repair pipeline's moved-work unit).
+  std::size_t register_copy(FilterId global, std::span<const TermId> terms,
+                            std::span<const TermId> index_terms);
+
+  /// True if this node holds a copy of the global filter.
+  [[nodiscard]] bool stores(FilterId global) const {
+    return global_to_local_.find(global) != global_to_local_.end();
+  }
 
   /// Packs the local inverted list into its flat posting arena (see
   /// InvertedIndex::finalize). Schemes call this once bulk registration is

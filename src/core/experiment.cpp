@@ -65,6 +65,7 @@ sim::RunMetrics run_dissemination(Scheme& scheme,
   for (std::uint32_t n = 0; n < c.size(); ++n) {
     acc_before += c.node(NodeId{n}).accounting_totals();
   }
+  const sim::FaultAccounting fault_before = c.fault_acc();
 
   auto state = std::make_unique<RunState>();
   state->collect_latencies = config.collect_latencies;
@@ -132,6 +133,7 @@ sim::RunMetrics run_dissemination(Scheme& scheme,
       acc_after.postings_scanned - acc_before.postings_scanned;
   m.match_acc.candidates_verified =
       acc_after.candidates_verified - acc_before.candidates_verified;
+  m.fault_acc = c.fault_acc().delta_since(fault_before);
   return std::move(*state).metrics;
 }
 

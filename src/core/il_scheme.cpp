@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/hash.hpp"
+
 namespace move::core {
 
 IlScheme::IlScheme(cluster::Cluster& cluster, IlOptions options)
@@ -60,33 +62,136 @@ IlScheme::group_terms_by_home(std::span<const TermId> doc_terms) const {
   return groups;
 }
 
-PublishPlan IlScheme::plan_publish(std::span<const TermId> doc_terms) {
-  PublishPlan plan;
+void IlScheme::serve_at_home_with_failover(NodeId home,
+                                           std::span<const TermId> terms,
+                                           std::span<const TermId> doc_terms,
+                                           PublishPlan& plan,
+                                           bool record_docs) {
   const auto& cost = cluster_->cost();
+  std::vector<FilterId> scratch;
 
-  std::vector<FilterId> local_matches;
-  for (auto& [home, terms] : group_terms_by_home(doc_terms)) {
-    if (!cluster_->alive(home)) continue;  // matches behind a dead home lost
+  const bool believed = cluster_->routing_believes_alive(home);
+  if (believed && cluster_->alive(home)) {
+    // Healthy path: one hop serving the whole term group. Identical cost
+    // structure (and zero FaultAccounting traffic) to the pre-failover
+    // implementation, so fault-free runs stay bit-identical.
     const auto& node = cluster_->node(home);
     const double transfer = cost.transfer_us(doc_terms.size());
     double service = cost.handle_base_us + cost.receive_service_us(transfer);
-    std::vector<FilterId> node_matches;
     for (TermId t : terms) {
-      const auto acc = node.match_single(t, doc_terms, options_.match,
-                                         local_matches);
+      const auto acc =
+          node.match_single(t, doc_terms, options_.match, scratch);
       service += cost.match_us(acc);
-      node_matches.insert(node_matches.end(), local_matches.begin(),
-                          local_matches.end());
-      cluster_->node(home).meta().record_document(t);
+      plan.matches.insert(plan.matches.end(), scratch.begin(), scratch.end());
+      if (record_docs) cluster_->node(home).meta().record_document(t);
     }
     plan.hops.push_back(Hop{home, transfer, service, {}});
-    plan.matches.insert(plan.matches.end(), node_matches.begin(),
-                        node_matches.end());
+    return;
+  }
+
+  auto& facc = cluster_->fault_acc();
+  double pending_timeout_us = 0.0;
+  if (believed) {
+    // Believed alive but actually dead: the publisher's contact times out
+    // before it moves on — the failure detector's lag, made visible.
+    ++facc.dead_contacts;
+    pending_timeout_us += cost.route_timeout_us;
+  }
+
+  // Per-term failover: each term walks its own ring-successor chain — the
+  // exact walk apply_repair_entries uses to place repaired copies, so a
+  // failed-over route lands where repair put the data.
+  for (TermId t : terms) {
+    const std::uint64_t key = common::mix64(t.value);
+    NodeId target{0};
+    bool found = false;
+    for (NodeId cand :
+         cluster_->ring().successors(key, options_.route_attempts)) {
+      ++facc.route_retries;
+      if (!cluster_->routing_believes_alive(cand)) continue;
+      if (!cluster_->alive(cand)) {
+        ++facc.dead_contacts;
+        pending_timeout_us += cost.route_timeout_us;
+        continue;
+      }
+      target = cand;
+      found = true;
+      break;
+    }
+    if (!found) {
+      ++facc.failed_routes;  // this term's matches are lost for this doc
+      continue;
+    }
+    ++facc.failovers;
+    const auto& node = cluster_->node(target);
+    double transfer = cost.transfer_us(doc_terms.size());
+    const double service_base =
+        cost.handle_base_us + cost.receive_service_us(transfer);
+    const auto acc = node.match_single(t, doc_terms, options_.match, scratch);
+    plan.matches.insert(plan.matches.end(), scratch.begin(), scratch.end());
+    if (record_docs) cluster_->node(target).meta().record_document(t);
+    // Detector lag surfaces as added publish latency, not service demand.
+    transfer += pending_timeout_us;
+    pending_timeout_us = 0.0;
+    plan.hops.push_back(
+        Hop{target, transfer, service_base + cost.match_us(acc), {}});
+  }
+}
+
+PublishPlan IlScheme::plan_publish(std::span<const TermId> doc_terms) {
+  PublishPlan plan;
+  for (auto& [home, terms] : group_terms_by_home(doc_terms)) {
+    serve_at_home_with_failover(home, terms, doc_terms, plan);
   }
   std::sort(plan.matches.begin(), plan.matches.end());
   plan.matches.erase(std::unique(plan.matches.begin(), plan.matches.end()),
                      plan.matches.end());
   return plan;
+}
+
+std::vector<RepairEntry> IlScheme::collect_repair_entries(NodeId node) const {
+  std::vector<RepairEntry> out;
+  if (registered_filters_ == nullptr) return out;
+  for (std::size_t i = 0; i < registered_filters_->size(); ++i) {
+    const FilterId global{static_cast<std::uint32_t>(i)};
+    for (TermId t : registered_filters_->row(i)) {
+      if (cluster_->ring().home_of_term(t) == node) {
+        out.push_back(RepairEntry{global, t});
+      }
+    }
+  }
+  return out;
+}
+
+std::size_t IlScheme::apply_repair_entries(
+    std::span<const RepairEntry> batch) {
+  if (registered_filters_ == nullptr) return 0;
+  std::size_t moved = 0;
+  for (const RepairEntry& e : batch) {
+    const auto terms = registered_filters_->row(e.filter.value);
+    NodeId dest = cluster_->ring().home_of_term(e.term);
+    if (!cluster_->alive(dest)) {
+      // Same bounded successor walk the routing failover takes.
+      const std::uint64_t key = common::mix64(e.term.value);
+      bool found = false;
+      for (NodeId cand :
+           cluster_->ring().successors(key, options_.route_attempts)) {
+        if (cluster_->alive(cand)) {
+          dest = cand;
+          found = true;
+          break;
+        }
+      }
+      if (!found) continue;  // nowhere live to repair to (yet)
+    }
+    const TermId one[] = {e.term};
+    moved += cluster_->node(dest).register_copy(e.filter, terms, one);
+  }
+  if (moved > 0) {
+    cluster_->fault_acc().repair_postings_moved += moved;
+    cluster_->seal_storage();
+  }
+  return moved;
 }
 
 }  // namespace move::core

@@ -23,6 +23,10 @@ struct IlOptions {
   bool use_bloom = true;
   double bloom_fpr = 0.01;
   std::uint64_t seed = 0x5eed11u;
+  /// Bound on the routing failover walk: primary home plus up to
+  /// `route_attempts` ring successors are tried before the route is declared
+  /// failed (and the term group's matches lost for this document).
+  std::size_t route_attempts = 8;
 };
 
 class IlScheme : public Scheme {
@@ -49,12 +53,37 @@ class IlScheme : public Scheme {
     return bloom_ ? &*bloom_ : nullptr;
   }
 
+  /// Entries homed (per term) on `node` — what a failure loses there, or
+  /// what a joiner takes over.
+  [[nodiscard]] std::vector<RepairEntry> collect_repair_entries(
+      NodeId node) const override;
+
+  /// Re-registers entries to the term home if alive, else the first live
+  /// ring successor within `route_attempts` — the same walk plan_publish's
+  /// failover takes, so repaired postings are found by failed-over routes.
+  std::size_t apply_repair_entries(
+      std::span<const RepairEntry> batch) override;
+
  protected:
   /// Terms of `doc_terms` that pass the Bloom pre-screen, grouped by their
   /// home node (one network hop per home regardless of how many of the
   /// document's terms live there).
   [[nodiscard]] std::vector<std::pair<NodeId, std::vector<TermId>>>
   group_terms_by_home(std::span<const TermId> doc_terms) const;
+
+  /// Serves `terms` of the current document at `home`, or — when the home
+  /// is unavailable per the routing view — fails each term over along its
+  /// own ring-successor walk (bounded by route_attempts). Healthy homes take
+  /// exactly the pre-failover single-hop path, so fault-free plans are
+  /// bit-identical to the non-faulting implementation. Updates the
+  /// cluster's FaultAccounting (dead contacts, retries, failovers, failed
+  /// routes) and charges `route_timeout_us` per believed-alive-but-dead
+  /// contact onto the eventual hop's transfer delay. `record_docs = false`
+  /// skips meta-store document recording (MoveScheme records at the home in
+  /// its own publish loop).
+  void serve_at_home_with_failover(NodeId home, std::span<const TermId> terms,
+                                   std::span<const TermId> doc_terms,
+                                   PublishPlan& plan, bool record_docs = true);
 
   cluster::Cluster* cluster_;
   IlOptions options_;

@@ -10,7 +10,7 @@ namespace move::core {
 MoveScheme::MoveScheme(cluster::Cluster& cluster, MoveOptions options)
     : IlScheme(cluster,
                IlOptions{options.match, options.use_bloom, options.bloom_fpr,
-                         options.seed}),
+                         options.seed, options.route_attempts}),
       move_options_(options) {}
 
 void MoveScheme::register_filters(const workload::TermSetTable& filters) {
@@ -252,20 +252,9 @@ void MoveScheme::build_term_grids(const workload::TraceStats& filter_stats,
 
 void MoveScheme::plan_at_home(NodeId home, std::span<const TermId> terms,
                               std::span<const TermId> doc_terms,
-                              const std::vector<bool>& alive,
                               PublishPlan& plan) {
-  if (!alive[home.value]) return;  // matches behind a dead, unallocated home
-  const auto& cost = cluster_->cost();
-  const double transfer = cost.transfer_us(doc_terms.size());
-  double service = cost.handle_base_us + cost.receive_service_us(transfer);
-  std::vector<FilterId> scratch;
-  for (TermId t : terms) {
-    const auto acc = cluster_->node(home).match_single(
-        t, doc_terms, move_options_.match, scratch);
-    service += cost.match_us(acc);
-    plan.matches.insert(plan.matches.end(), scratch.begin(), scratch.end());
-  }
-  plan.hops.push_back(Hop{home, transfer, service, {}});
+  // Meta recording is done once in plan_publish (record_docs = false here).
+  serve_at_home_with_failover(home, terms, doc_terms, plan, false);
 }
 
 void MoveScheme::plan_via_table(const ForwardingTable& table, NodeId home,
@@ -283,23 +272,44 @@ void MoveScheme::plan_via_table(const ForwardingTable& table, NodeId home,
   // locally with no second hop.
   if (home_alive &&
       common::uniform_below(rng_, table.partitions() + 1) == 0) {
-    plan_at_home(home, terms, doc_terms, alive, plan);
+    plan_at_home(home, terms, doc_terms, plan);
     return;
   }
 
   const auto row = table.pick_live_row(alive, rng_);
   if (!row.has_value()) {
     // Entire grid is dead; the home's own copy is the last resort.
-    plan_at_home(home, terms, doc_terms, alive, plan);
+    plan_at_home(home, terms, doc_terms, plan);
     return;
   }
 
-  // Build the partition fan-out (skipping dead columns — their subsets'
-  // matches are lost, which the availability metric accounts for).
+  // Build the partition fan-out column by column. A dead node is replaced
+  // by the same column from another partition row (every row carries a full
+  // copy of the column's filter subset); only a column dead in every row
+  // falls back to the home's own full copy.
+  auto& facc = cluster_->fault_acc();
   std::vector<Hop> fanout;
   std::vector<FilterId> scratch;
-  for (NodeId target : table.row(*row)) {
-    if (!alive[target.value]) continue;
+  bool column_lost = false;
+  for (std::uint32_t col = 0; col < table.columns(); ++col) {
+    NodeId target = table.at(*row, col);
+    if (!alive[target.value]) {
+      bool substituted = false;
+      for (std::uint32_t r = 0; r < table.partitions() && !substituted; ++r) {
+        if (r == *row) continue;
+        ++facc.route_retries;
+        const NodeId cand = table.at(r, col);
+        if (alive[cand.value]) {
+          target = cand;
+          substituted = true;
+          ++facc.failovers;
+        }
+      }
+      if (!substituted) {
+        column_lost = true;
+        continue;
+      }
+    }
     const bool same_rack =
         home_alive && topo.rack_of(target) == topo.rack_of(home);
     const double transfer = cost.transfer_us(doc_terms.size(), same_rack);
@@ -313,21 +323,39 @@ void MoveScheme::plan_via_table(const ForwardingTable& table, NodeId home,
     fanout.push_back(Hop{target, transfer, service, {}});
   }
   if (fanout.empty()) {
-    plan_at_home(home, terms, doc_terms, alive, plan);
+    plan_at_home(home, terms, doc_terms, plan);
     return;
   }
 
   if (home_alive) {
     // Two-hop route: the home only consults its forwarding table.
     const double transfer = cost.transfer_us(doc_terms.size());
-    const double service =
+    double service =
         cost.handle_base_us + cost.receive_service_us(transfer) +
         cost.forward_decision_us * static_cast<double>(terms.size());
+    if (column_lost) {
+      // Some column has no live copy in any row: the home's own full filter
+      // set is the last resort, matched inline on the forwarding hop (its
+      // matches subsume every lost column's subset).
+      ++facc.failovers;
+      for (TermId t : terms) {
+        const auto acc = cluster_->node(home).match_single(
+            t, doc_terms, move_options_.match, scratch);
+        service += cost.match_us(acc);
+        plan.matches.insert(plan.matches.end(), scratch.begin(),
+                            scratch.end());
+      }
+    }
     plan.hops.push_back(Hop{home, transfer, service, std::move(fanout)});
   } else {
     // Home is down: the publisher (full-membership routing) sends straight
     // to the partition nodes.
     for (Hop& h : fanout) plan.hops.push_back(std::move(h));
+    if (column_lost) {
+      // Home down AND a column lost everywhere: the term-successor walk is
+      // the last resort — it reaches the home copies repair re-registered.
+      plan_at_home(home, terms, doc_terms, plan);
+    }
   }
 }
 
@@ -352,6 +380,16 @@ double MoveScheme::routable_availability() const {
         ok = true;  // the home's own copy serves as the last resort
         break;
       }
+      // A repaired home copy on the term's successor walk also routes: the
+      // failover stops at the first live candidate, so only that node's
+      // store decides.
+      for (NodeId cand : cluster_->ring().successors(
+               common::mix64(t.value), move_options_.route_attempts)) {
+        if (!cluster_->alive(cand)) continue;
+        ok = cluster_->node(cand).stores(f);
+        break;
+      }
+      if (ok) break;
       if (move_options_.per_node_aggregation) {
         const auto& table = tables_[home.value];
         if (table.has_value() && column_reachable(*table, f)) {
@@ -389,7 +427,7 @@ PublishPlan MoveScheme::plan_publish(std::span<const TermId> doc_terms) {
       if (table.has_value()) {
         plan_via_table(*table, home, terms, doc_terms, alive, plan);
       } else {
-        plan_at_home(home, terms, doc_terms, alive, plan);
+        plan_at_home(home, terms, doc_terms, plan);
       }
     } else {
       // Per-term tables: each term routes independently.
@@ -399,7 +437,7 @@ PublishPlan MoveScheme::plan_publish(std::span<const TermId> doc_terms) {
         if (it != term_tables_.end()) {
           plan_via_table(it->second, home, one, doc_terms, alive, plan);
         } else {
-          plan_at_home(home, one, doc_terms, alive, plan);
+          plan_at_home(home, one, doc_terms, plan);
         }
       }
     }

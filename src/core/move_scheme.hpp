@@ -41,6 +41,8 @@ struct MoveOptions {
   double capacity = 3e6;
   bool per_node_aggregation = true;
   std::uint64_t seed = 0x5eed33u;
+  /// Bound on the ring-successor failover walk (see IlOptions).
+  std::size_t route_attempts = 8;
 };
 
 class MoveScheme : public IlScheme {
@@ -135,10 +137,10 @@ class MoveScheme : public IlScheme {
                       std::span<const TermId> doc_terms,
                       const std::vector<bool>& alive, PublishPlan& plan);
 
-  /// IL-style direct service at the home node.
+  /// IL-style direct service at the home node, failing over along the
+  /// term-successor walk when the home is down (see IlScheme).
   void plan_at_home(NodeId home, std::span<const TermId> terms,
-                    std::span<const TermId> doc_terms,
-                    const std::vector<bool>& alive, PublishPlan& plan);
+                    std::span<const TermId> doc_terms, PublishPlan& plan);
 
   MoveOptions move_options_;
   const workload::TermSetTable* filters_ = nullptr;  ///< set by register_filters

@@ -7,9 +7,18 @@
 
 namespace move::core {
 
+namespace {
+/// Extra successors tried when every owner of a filter is down.
+constexpr std::uint32_t kEmergencyWalk = 8;
+}  // namespace
+
 RsScheme::RsScheme(cluster::Cluster& cluster, RsOptions options)
     : cluster_(&cluster), options_(options) {
   if (options_.replicas == 0) options_.replicas = 1;
+}
+
+std::uint64_t RsScheme::filter_key(FilterId filter) const {
+  return common::mix64(common::hash_combine(options_.seed, filter.value));
 }
 
 void RsScheme::register_filters(const workload::TermSetTable& filters) {
@@ -20,8 +29,7 @@ void RsScheme::register_filters(const workload::TermSetTable& filters) {
     const auto terms = filters.row(i);
     // Hash of the filter's unique name decides the home; replicas go to the
     // ring successors, as a key/value store would place them.
-    const std::uint64_t key = common::mix64(
-        common::hash_combine(options_.seed, global.value));
+    const std::uint64_t key = filter_key(global);
     const NodeId home = cluster_->ring().home_of_hash(key);
     cluster_->node(home).register_copy(global, terms, terms);
     for (NodeId succ :
@@ -38,6 +46,64 @@ void RsScheme::rebuild() {
   }
   cluster_->wipe_storage();
   register_filters(*registered_filters_);
+}
+
+std::vector<RepairEntry> RsScheme::collect_repair_entries(
+    NodeId node) const {
+  std::vector<RepairEntry> out;
+  if (registered_filters_ == nullptr) return out;
+  for (std::size_t i = 0; i < registered_filters_->size(); ++i) {
+    const FilterId global{static_cast<std::uint32_t>(i)};
+    const std::uint64_t key = filter_key(global);
+    bool involved = cluster_->ring().home_of_hash(key) == node;
+    if (!involved) {
+      for (NodeId succ :
+           cluster_->ring().successors(key, options_.replicas - 1)) {
+        if (succ == node) {
+          involved = true;
+          break;
+        }
+      }
+    }
+    if (involved) out.push_back(RepairEntry{global, TermId{0}});
+  }
+  return out;
+}
+
+std::size_t RsScheme::apply_repair_entries(
+    std::span<const RepairEntry> batch) {
+  if (registered_filters_ == nullptr) return 0;
+  std::size_t moved = 0;
+  for (const RepairEntry& e : batch) {
+    const auto terms = registered_filters_->row(e.filter.value);
+    const std::uint64_t key = filter_key(e.filter);
+    std::vector<NodeId> owners{cluster_->ring().home_of_hash(key)};
+    for (NodeId succ :
+         cluster_->ring().successors(key, options_.replicas - 1)) {
+      owners.push_back(succ);
+    }
+    bool live_copy = false;
+    for (NodeId owner : owners) {
+      if (!cluster_->alive(owner)) continue;
+      moved += cluster_->node(owner).register_copy(e.filter, terms, terms);
+      live_copy = true;
+    }
+    if (!live_copy) {
+      // Every owner is down: one emergency copy on the first live node
+      // further along the walk keeps the filter matchable under flooding.
+      for (NodeId cand : cluster_->ring().successors(
+               key, options_.replicas - 1 + kEmergencyWalk)) {
+        if (!cluster_->alive(cand)) continue;
+        moved += cluster_->node(cand).register_copy(e.filter, terms, terms);
+        break;
+      }
+    }
+  }
+  if (moved > 0) {
+    cluster_->fault_acc().repair_postings_moved += moved;
+    cluster_->seal_storage();
+  }
+  return moved;
 }
 
 PublishPlan RsScheme::plan_publish(std::span<const TermId> doc_terms) {

@@ -43,7 +43,21 @@ class RsScheme : public Scheme {
   }
   [[nodiscard]] cluster::Cluster& cluster() override { return *cluster_; }
 
+  /// Filters whose replica set (home + ring successors of the filter key)
+  /// includes `node`. The term field is unused — RS places whole filters.
+  [[nodiscard]] std::vector<RepairEntry> collect_repair_entries(
+      NodeId node) const override;
+
+  /// Restores the replica invariant for each entry: every live owner gets
+  /// its copy back; if no owner is live, one emergency copy goes to the
+  /// first live successor beyond the owner set (flooding will find it).
+  std::size_t apply_repair_entries(
+      std::span<const RepairEntry> batch) override;
+
  private:
+  /// The hash the filter's placement is derived from (its "unique name").
+  [[nodiscard]] std::uint64_t filter_key(FilterId filter) const;
+
   cluster::Cluster* cluster_;
   RsOptions options_;
   const workload::TermSetTable* registered_filters_ = nullptr;

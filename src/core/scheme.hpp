@@ -36,6 +36,14 @@ struct PublishPlan {
   std::vector<FilterId> matches;    ///< union of matches over scheduled hops
 };
 
+/// One registration unit the repair pipeline re-replicates: a filter under
+/// the home term it was registered with (term unused by schemes that place
+/// whole filters, e.g. RS).
+struct RepairEntry {
+  FilterId filter;
+  TermId term;
+};
+
 class Scheme {
  public:
   virtual ~Scheme() = default;
@@ -66,6 +74,30 @@ class Scheme {
   /// Fraction of registered filters with at least one copy on a live node
   /// (Fig. 9d availability).
   [[nodiscard]] virtual double filter_availability() const = 0;
+
+  // --- incremental repair (the fault subsystem's re-replication pipeline) ---
+
+  /// Registration entries whose placement involves `node` under the current
+  /// ring — the units lost when `node` fails, or owed to it when it joins.
+  /// The repair pipeline collects these once per membership event and
+  /// re-applies them in bounded batches (no full rebuild()). Default: none
+  /// (scheme does not participate in repair).
+  [[nodiscard]] virtual std::vector<RepairEntry> collect_repair_entries(
+      NodeId node) const {
+    (void)node;
+    return {};
+  }
+
+  /// Re-registers a batch of entries onto their current best placement:
+  /// the primary owner if alive, else a bounded ring-successor walk (the
+  /// same rule the routing failover uses, so repaired copies are exactly
+  /// where failover looks). Idempotent — already-present copies add
+  /// nothing. @returns posting entries actually added (repair volume).
+  virtual std::size_t apply_repair_entries(
+      std::span<const RepairEntry> batch) {
+    (void)batch;
+    return 0;
+  }
 
   [[nodiscard]] virtual cluster::Cluster& cluster() = 0;
 };

@@ -1,0 +1,207 @@
+#include "fault/churn_runner.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+
+namespace move::fault {
+
+namespace {
+
+/// Per-run completion bookkeeping (mirrors the driver in core/experiment).
+struct ChurnState {
+  std::vector<std::uint32_t> outstanding;
+  std::vector<double> publish_time_us;
+  sim::RunMetrics metrics;
+  sim::Time start_us = 0;
+  sim::Time last_completion_us = 0;
+  bool collect_latencies = false;
+  kv::KeyValueStore* registry = nullptr;
+
+  void complete_doc(std::size_t doc, sim::Time at) {
+    ++metrics.documents_completed;
+    last_completion_us = std::max(last_completion_us, at);
+    if (collect_latencies) {
+      metrics.latencies_us.push_back(at - publish_time_us[doc]);
+    }
+    if (registry != nullptr) {
+      // The delivery registry is the kv substrate under churn: writes for
+      // dead owners park as hints and drain when the owner recovers.
+      registry->put("doc/" + std::to_string(doc), "1");
+    }
+  }
+
+  void complete_hop(std::size_t doc, sim::Time at) {
+    if (--outstanding[doc] == 0) complete_doc(doc, at);
+  }
+};
+
+std::uint32_t count_hops(const std::vector<core::Hop>& hops) {
+  std::uint32_t n = 0;
+  for (const core::Hop& h : hops) n += 1 + count_hops(h.then);
+  return n;
+}
+
+void schedule_hop(cluster::Cluster& c, ChurnState& state, std::size_t doc,
+                  const core::Hop& hop) {
+  c.engine().schedule_after(hop.transfer_us, [&c, &state, doc, hop] {
+    c.server(hop.node).submit(hop.service_us,
+                              [&c, &state, doc, hop](sim::Time done) {
+      for (const core::Hop& child : hop.then) {
+        schedule_hop(c, state, doc, child);
+      }
+      state.complete_hop(doc, done);
+    });
+  });
+}
+
+}  // namespace
+
+ChurnResult run_churn(core::Scheme& scheme,
+                      const workload::TermSetTable& docs,
+                      const FaultPlan& plan, const ChurnConfig& config) {
+  auto& c = scheme.cluster();
+  c.reset_servers();
+
+  ChurnResult result;
+
+  // Optional gossip-backed routing view (detached again before returning).
+  kv::GossipMembership membership(config.gossip);
+  if (config.attach_membership) c.attach_membership(&membership);
+
+  // Delivery registry over the cluster's own ring/liveness.
+  std::unique_ptr<kv::KeyValueStore> registry;
+  if (config.registry_replicas > 0) {
+    registry = std::make_unique<kv::KeyValueStore>(
+        c.ring(), config.registry_replicas,
+        [&c](NodeId n) { return n.value < c.size() && c.alive(n); });
+    registry->attach_fault_accounting(&c.fault_acc());
+  }
+
+  FaultInjector injector(scheme, plan, config.injector, registry.get());
+
+  index::MatchAccounting acc_before;
+  for (std::uint32_t n = 0; n < c.size(); ++n) {
+    acc_before += c.node(NodeId{n}).accounting_totals();
+  }
+  const sim::FaultAccounting fault_before = c.fault_acc();
+
+  auto state = std::make_unique<ChurnState>();
+  state->collect_latencies = config.collect_latencies;
+  state->registry = registry.get();
+  state->outstanding.assign(docs.size(), 0);
+  state->publish_time_us.assign(docs.size(), 0.0);
+  state->start_us = c.engine().now();
+  state->last_completion_us = state->start_us;
+  state->metrics.documents_published = docs.size();
+
+  const double gap_us = config.inject_rate_per_sec > 0.0
+                            ? 1'000'000.0 / config.inject_rate_per_sec
+                            : 0.0;
+  for (std::size_t i = 0; i < docs.size(); ++i) {
+    const sim::Time inject_at =
+        state->start_us + gap_us * static_cast<double>(i);
+    c.engine().schedule_at(inject_at, [&scheme, &c, &state_ref = *state, i,
+                                       &docs] {
+      auto publish_plan = scheme.plan_publish(docs.row(i));
+      state_ref.publish_time_us[i] = c.engine().now();
+      state_ref.metrics.notifications += publish_plan.matches.size();
+      const std::uint32_t hops = count_hops(publish_plan.hops);
+      if (hops == 0) {
+        // Nothing to serve (no subscribed terms or all routes failed): the
+        // document still completes, instantly.
+        state_ref.complete_doc(i, c.engine().now());
+        return;
+      }
+      state_ref.outstanding[i] = hops;
+      for (const core::Hop& hop : publish_plan.hops) {
+        schedule_hop(c, state_ref, i, hop);
+      }
+    });
+  }
+
+  const sim::Time inject_span =
+      gap_us * static_cast<double>(docs.empty() ? 0 : docs.size() - 1);
+  const sim::Time horizon =
+      std::max(plan.horizon_us(), inject_span) + config.sample_interval_us;
+  injector.arm(horizon);
+
+  // Sampled execution: advance the clock one bucket at a time, snapshot the
+  // timeline between buckets, then drain whatever is left.
+  std::uint64_t completed_at_last_sample = 0;
+  const double dt_sec = config.sample_interval_us / 1'000'000.0;
+  double availability_weighted = 0.0;
+  sim::Time sampled_span = 0.0;
+  for (sim::Time t = config.sample_interval_us; t <= horizon;
+       t += config.sample_interval_us) {
+    c.engine().run_until(state->start_us + t);
+    ChurnSample s;
+    s.t_us = t;
+    const std::uint64_t completed = state->metrics.documents_completed;
+    s.throughput_per_sec =
+        static_cast<double>(completed - completed_at_last_sample) / dt_sec;
+    completed_at_last_sample = completed;
+    s.availability = scheme.filter_availability();
+    s.live_nodes = c.live_count();
+    s.handoff_queue_depth =
+        registry != nullptr ? registry->handoff_queue_depth() : 0;
+    s.repair_backlog = injector.repair_backlog();
+    s.fault = c.fault_acc().delta_since(fault_before);
+    result.min_availability = std::min(result.min_availability,
+                                       s.availability);
+    availability_weighted += s.availability * config.sample_interval_us;
+    sampled_span += config.sample_interval_us;
+    if (s.availability < 1.0) {
+      result.unavailable_us += config.sample_interval_us;
+    }
+    result.samples.push_back(s);
+  }
+  c.engine().run();  // drain stragglers past the horizon
+  if (sampled_span > 0) {
+    result.mean_availability = availability_weighted / sampled_span;
+  }
+
+  auto& m = state->metrics;
+  m.makespan_us = state->last_completion_us - state->start_us;
+  m.node_busy_us.resize(c.size());
+  m.node_docs.resize(c.size());
+  m.node_queue_wait_us.resize(c.size());
+  m.node_max_queue_depth.resize(c.size());
+  for (std::uint32_t n = 0; n < c.size(); ++n) {
+    const auto& server = c.server(NodeId{n});
+    m.node_busy_us[n] = server.busy_us();
+    m.node_docs[n] = server.jobs_served();
+    m.node_queue_wait_us[n] = server.queue_wait_us();
+    m.node_max_queue_depth[n] = server.max_queue_depth();
+  }
+  m.node_storage = scheme.storage_per_node();
+  index::MatchAccounting acc_after;
+  for (std::uint32_t n = 0; n < c.size(); ++n) {
+    acc_after += c.node(NodeId{n}).accounting_totals();
+  }
+  m.match_acc.lists_retrieved =
+      acc_after.lists_retrieved - acc_before.lists_retrieved;
+  m.match_acc.postings_scanned =
+      acc_after.postings_scanned - acc_before.postings_scanned;
+  m.match_acc.candidates_verified =
+      acc_after.candidates_verified - acc_before.candidates_verified;
+  m.fault_acc = c.fault_acc().delta_since(fault_before);
+
+  result.timeline = injector.timeline();
+  if (registry != nullptr) {
+    result.registry_hints_parked = m.fault_acc.hints_parked;
+    result.registry_hints_drained = m.fault_acc.hints_drained;
+    std::size_t readable = 0;
+    for (std::size_t i = 0; i < docs.size(); ++i) {
+      readable += registry->contains("doc/" + std::to_string(i));
+    }
+    result.registry_readable = readable;
+  }
+
+  if (config.attach_membership) c.attach_membership(nullptr);
+  c.revive_all();
+  result.metrics = std::move(m);
+  return result;
+}
+
+}  // namespace move::fault

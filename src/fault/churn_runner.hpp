@@ -1,0 +1,70 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "fault/fault_injector.hpp"
+#include "kv/gossip.hpp"
+
+/// Dynamic churn timelines: one dissemination run with a FaultPlan armed on
+/// the same virtual clock, sampled at a fixed cadence. This is what extends
+/// the paper's static Fig. 9c/9d points into throughput/availability *vs
+/// time* curves — failures dent the curve, hinted handoff and incremental
+/// repair pull it back up before (or after) the nodes themselves return.
+namespace move::fault {
+
+struct ChurnConfig {
+  /// Document injection rate (as core::RunConfig::inject_rate_per_sec).
+  double inject_rate_per_sec = 1000.0;
+  bool collect_latencies = false;  ///< latency vectors are rarely needed here
+  /// Virtual-time sampling cadence for the timeline.
+  sim::Time sample_interval_us = 50'000.0;
+  FaultInjectorOptions injector;
+  /// Attach a gossip membership so routing runs on the (lagging) failure
+  /// detector instead of ground truth.
+  bool attach_membership = false;
+  kv::GossipConfig gossip;
+  /// Completed documents are recorded in a replicated KV store (the
+  /// delivery registry), which exercises hinted handoff under the same
+  /// churn; 0 replicas disables the registry.
+  std::size_t registry_replicas = 3;
+};
+
+/// One point of the churn timeline (times relative to the run start).
+struct ChurnSample {
+  sim::Time t_us = 0;
+  double throughput_per_sec = 0;  ///< docs completed in this bucket / dt
+  double availability = 1.0;      ///< scheme->filter_availability()
+  std::size_t live_nodes = 0;
+  std::size_t handoff_queue_depth = 0;  ///< registry hints parked
+  std::size_t repair_backlog = 0;       ///< entries awaiting re-application
+  sim::FaultAccounting fault;           ///< cumulative run totals so far
+};
+
+struct ChurnResult {
+  std::vector<ChurnSample> samples;
+  sim::RunMetrics metrics;   ///< whole-run totals (incl. fault_acc delta)
+  FaultTimeline timeline;    ///< what the injector executed
+  /// Time-weighted mean / min of the sampled availability.
+  double mean_availability = 1.0;
+  double min_availability = 1.0;
+  /// Sampled virtual time during which availability < 1 (the
+  /// unavailability window; repair shrinks it below the node downtime).
+  sim::Time unavailable_us = 0;
+  /// Delivery-registry keys readable at the end (vs documents completed).
+  std::size_t registry_readable = 0;
+  std::uint64_t registry_hints_parked = 0;
+  std::uint64_t registry_hints_drained = 0;
+};
+
+/// Runs `docs` through `scheme` while executing `plan` on the same virtual
+/// clock. Resets the cluster's servers; liveness is restored (revive_all)
+/// before returning so the cluster is reusable. Deterministic for a fixed
+/// (scheme state, docs, plan, config).
+[[nodiscard]] ChurnResult run_churn(core::Scheme& scheme,
+                                    const workload::TermSetTable& docs,
+                                    const FaultPlan& plan,
+                                    const ChurnConfig& config = {});
+
+}  // namespace move::fault

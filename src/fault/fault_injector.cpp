@@ -1,0 +1,137 @@
+#include "fault/fault_injector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace move::fault {
+
+FaultInjector::FaultInjector(core::Scheme& scheme, FaultPlan plan,
+                             FaultInjectorOptions options,
+                             kv::KeyValueStore* store)
+    : scheme_(&scheme), cluster_(&scheme.cluster()), plan_(std::move(plan)),
+      options_(options), store_(store), rng_(plan_.seed()) {}
+
+void FaultInjector::arm(sim::Time horizon_us) {
+  if (armed_) throw std::logic_error("FaultInjector::arm called twice");
+  armed_ = true;
+  auto& engine = cluster_->engine();
+  const sim::Time start = engine.now();
+
+  for (const FaultEvent& event : plan_.sorted_events()) {
+    engine.schedule_at(start + event.at_us,
+                       [this, event] { execute(event); });
+  }
+
+  // Membership anti-entropy: a finite train of gossip ticks, so the failure
+  // detector's view lags reality by the suspicion window instead of being
+  // oracle-fresh — and the event queue still drains at the horizon.
+  if (cluster_->membership() != nullptr &&
+      options_.gossip_rounds_per_tick > 0 && options_.gossip_tick_us > 0) {
+    for (sim::Time t = options_.gossip_tick_us; t <= horizon_us;
+         t += options_.gossip_tick_us) {
+      engine.schedule_at(start + t, [this] {
+        if (auto* m = cluster_->membership()) {
+          m->run_rounds(options_.gossip_rounds_per_tick);
+        }
+      });
+    }
+  }
+}
+
+void FaultInjector::execute(const FaultEvent& event) {
+  switch (event.kind) {
+    case FaultEvent::Kind::kFail:
+      on_fail(event.node);
+      break;
+    case FaultEvent::Kind::kRecover:
+      on_recover(event.node);
+      break;
+    case FaultEvent::Kind::kFailFraction: {
+      // Same exact-count selection rule as Cluster::fail_fraction, but
+      // routed through on_fail so each victim feeds the repair queue.
+      auto live = cluster_->live_nodes();
+      const auto target = std::min<std::size_t>(
+          live.size(),
+          static_cast<std::size_t>(std::ceil(
+              event.fraction * static_cast<double>(live.size()))));
+      for (std::size_t k = 0; k < target; ++k) {
+        const auto pick = k + common::uniform_below(rng_, live.size() - k);
+        std::swap(live[k], live[pick]);
+        on_fail(live[k]);
+      }
+      break;
+    }
+    case FaultEvent::Kind::kAddNode:
+      on_add_node();
+      break;
+  }
+}
+
+void FaultInjector::on_fail(NodeId node) {
+  if (node.value >= cluster_->size() || !cluster_->alive(node)) return;
+  cluster_->fail_node(node);
+  const sim::Time now = cluster_->engine().now();
+  if (timeline_.failures == 0) timeline_.first_failure_us = now;
+  ++timeline_.failures;
+  down_since_[node.value] = now;
+  enqueue_repair(node);
+}
+
+void FaultInjector::on_recover(NodeId node) {
+  if (node.value >= cluster_->size() || cluster_->alive(node)) return;
+  cluster_->revive_node(node);
+  const sim::Time now = cluster_->engine().now();
+  ++timeline_.recoveries;
+  timeline_.last_recovery_us = now;
+  if (auto it = down_since_.find(node.value); it != down_since_.end()) {
+    timeline_.total_downtime_us += now - it->second;
+    down_since_.erase(it);
+  }
+  if (store_ != nullptr) {
+    timeline_.hints_drained += store_->drain_hints(node);
+  }
+}
+
+void FaultInjector::on_add_node() {
+  const NodeId joined = cluster_->add_node();
+  ++timeline_.joins;
+  // The joiner homes a slice of the term space now: migrate those entries
+  // through the repair pipeline instead of a full rebuild, and re-spread the
+  // store's keys under the grown ring.
+  enqueue_repair(joined);
+  if (store_ != nullptr) store_->rebalance();
+}
+
+void FaultInjector::enqueue_repair(NodeId node) {
+  if (!options_.enable_repair) return;
+  for (core::RepairEntry e : scheme_->collect_repair_entries(node)) {
+    repair_queue_.push_back(e);
+  }
+  if (!repair_queue_.empty()) schedule_repair_pump();
+}
+
+void FaultInjector::schedule_repair_pump() {
+  if (pump_scheduled_) return;
+  pump_scheduled_ = true;
+  cluster_->engine().schedule_after(options_.repair_interval_us,
+                                    [this] { pump_repair(); });
+}
+
+void FaultInjector::pump_repair() {
+  pump_scheduled_ = false;
+  if (repair_queue_.empty()) return;
+  const std::size_t n =
+      std::min(options_.repair_batch, repair_queue_.size());
+  std::vector<core::RepairEntry> batch(repair_queue_.begin(),
+                                       repair_queue_.begin() +
+                                           static_cast<std::ptrdiff_t>(n));
+  repair_queue_.erase(repair_queue_.begin(),
+                      repair_queue_.begin() + static_cast<std::ptrdiff_t>(n));
+  scheme_->apply_repair_entries(batch);
+  ++timeline_.repair_batches;
+  timeline_.repair_entries_applied += n;
+  if (!repair_queue_.empty()) schedule_repair_pump();
+}
+
+}  // namespace move::fault

@@ -1,0 +1,97 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "core/scheme.hpp"
+#include "fault/fault_plan.hpp"
+#include "kv/kv_store.hpp"
+
+/// Executes a FaultPlan through the cluster's event engine, wiring the
+/// recovery machinery end-to-end:
+///  * fail events crash nodes (liveness + gossip heartbeat) and, when repair
+///    is enabled, enqueue the lost registration entries;
+///  * a repair pump re-applies queued entries in bounded batches on a fixed
+///    virtual-time cadence — incremental re-replication, never a full
+///    rebuild();
+///  * recover events revive nodes and drain the KeyValueStore's hinted
+///    handoff queues toward them;
+///  * add events join a fresh node and enqueue the entries it now homes
+///    (incremental migration through the same repair pipeline).
+/// Everything runs on the virtual clock from explicit seeds, so a plan
+/// replays bit-identically.
+namespace move::fault {
+
+struct FaultInjectorOptions {
+  bool enable_repair = true;
+  /// Entries re-applied per repair pump invocation.
+  std::size_t repair_batch = 512;
+  /// Virtual-time cadence of the repair pump.
+  sim::Time repair_interval_us = 10'000.0;
+  /// Gossip rounds run per membership tick; 0 disables the ticks even when
+  /// the cluster has a membership attached.
+  std::size_t gossip_rounds_per_tick = 1;
+  sim::Time gossip_tick_us = 5'000.0;
+};
+
+/// What the injector observed while executing the plan.
+struct FaultTimeline {
+  std::uint64_t failures = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t joins = 0;
+  double total_downtime_us = 0.0;  ///< summed over nodes (recovered only)
+  sim::Time first_failure_us = 0;
+  sim::Time last_recovery_us = 0;
+  std::uint64_t repair_batches = 0;
+  std::uint64_t repair_entries_applied = 0;  ///< entries offered to repair
+  std::uint64_t hints_drained = 0;           ///< via the attached store
+};
+
+class FaultInjector {
+ public:
+  /// `store` (optional) is the hinted-handoff KV store to drain on node
+  /// recovery; it must outlive the injector. The scheme's cluster supplies
+  /// the engine, liveness, and (optionally) the gossip membership.
+  FaultInjector(core::Scheme& scheme, FaultPlan plan,
+                FaultInjectorOptions options = {},
+                kv::KeyValueStore* store = nullptr);
+
+  /// Schedules every plan event (relative to engine now) plus — when the
+  /// cluster has a membership and gossip ticks are enabled — a finite train
+  /// of gossip ticks up to `horizon_us`, so the event queue still drains.
+  /// Call once, before running the engine.
+  void arm(sim::Time horizon_us);
+
+  [[nodiscard]] const FaultTimeline& timeline() const noexcept {
+    return timeline_;
+  }
+  /// Repair entries collected but not yet re-applied.
+  [[nodiscard]] std::size_t repair_backlog() const noexcept {
+    return repair_queue_.size();
+  }
+
+ private:
+  void execute(const FaultEvent& event);
+  void on_fail(NodeId node);
+  void on_recover(NodeId node);
+  void on_add_node();
+  void enqueue_repair(NodeId node);
+  void schedule_repair_pump();
+  void pump_repair();
+
+  core::Scheme* scheme_;
+  cluster::Cluster* cluster_;
+  FaultPlan plan_;
+  FaultInjectorOptions options_;
+  kv::KeyValueStore* store_;
+  common::SplitMix64 rng_;
+  FaultTimeline timeline_;
+  std::deque<core::RepairEntry> repair_queue_;
+  bool pump_scheduled_ = false;
+  bool armed_ = false;
+  std::unordered_map<std::uint32_t, sim::Time> down_since_;
+};
+
+}  // namespace move::fault

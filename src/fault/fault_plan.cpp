@@ -1,0 +1,83 @@
+#include "fault/fault_plan.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace move::fault {
+
+FaultPlan& FaultPlan::fail(NodeId node, sim::Time at_us) {
+  events_.push_back(
+      FaultEvent{at_us, FaultEvent::Kind::kFail, node, 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::recover(NodeId node, sim::Time at_us) {
+  events_.push_back(
+      FaultEvent{at_us, FaultEvent::Kind::kRecover, node, 0.0});
+  return *this;
+}
+
+FaultPlan& FaultPlan::fail_fraction(double fraction, sim::Time at_us) {
+  if (fraction < 0.0 || fraction > 1.0) {
+    throw std::invalid_argument("FaultPlan::fail_fraction: bad fraction");
+  }
+  events_.push_back(
+      FaultEvent{at_us, FaultEvent::Kind::kFailFraction, NodeId{0}, fraction});
+  return *this;
+}
+
+FaultPlan& FaultPlan::add_node(sim::Time at_us) {
+  events_.push_back(
+      FaultEvent{at_us, FaultEvent::Kind::kAddNode, NodeId{0}, 0.0});
+  return *this;
+}
+
+std::vector<FaultEvent> FaultPlan::sorted_events() const {
+  std::vector<FaultEvent> out = events_;
+  std::stable_sort(out.begin(), out.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at_us < b.at_us;
+                   });
+  return out;
+}
+
+sim::Time FaultPlan::horizon_us() const noexcept {
+  sim::Time h = 0;
+  for (const FaultEvent& e : events_) h = std::max(h, e.at_us);
+  return h;
+}
+
+FaultPlan FaultPlan::random_churn(std::uint64_t seed,
+                                  std::size_t cluster_size,
+                                  sim::Time horizon_us, std::size_t faults,
+                                  double mean_downtime_us) {
+  FaultPlan plan(seed);
+  if (cluster_size < 2 || horizon_us <= 0.0) return plan;
+  common::SplitMix64 rng(seed);
+
+  // Distinct victims, at most half the cluster: the routing failover's
+  // bounded successor walk then always finds a live node.
+  const std::size_t max_faults = std::max<std::size_t>(1, cluster_size / 2);
+  const std::size_t count = std::min(faults, max_faults);
+  std::vector<std::uint32_t> ids(cluster_size);
+  for (std::size_t i = 0; i < cluster_size; ++i) {
+    ids[i] = static_cast<std::uint32_t>(i);
+  }
+  for (std::size_t k = 0; k < count; ++k) {
+    const auto pick = k + common::uniform_below(rng, ids.size() - k);
+    std::swap(ids[k], ids[pick]);
+  }
+
+  for (std::size_t k = 0; k < count; ++k) {
+    const double t_fail =
+        horizon_us * (0.1 + 0.45 * common::uniform_unit(rng));
+    const double downtime =
+        mean_downtime_us * (0.5 + common::uniform_unit(rng));
+    const double t_recover = std::min(t_fail + downtime, horizon_us * 0.9);
+    plan.fail(NodeId{ids[k]}, t_fail);
+    plan.recover(NodeId{ids[k]}, t_recover);
+  }
+  return plan;
+}
+
+}  // namespace move::fault

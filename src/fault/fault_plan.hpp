@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "sim/event_engine.hpp"
+
+/// Scripted fault timelines — the deterministic input to the fault-injection
+/// subsystem. A FaultPlan is a seeded list of membership events placed on
+/// the virtual clock; the FaultInjector schedules them onto the cluster's
+/// event engine so failures land *during* a dissemination run, not between
+/// runs. Same seed + same plan => bit-identical execution.
+namespace move::fault {
+
+struct FaultEvent {
+  enum class Kind {
+    kFail,          ///< crash one node (data kept)
+    kRecover,       ///< revive one crashed node
+    kFailFraction,  ///< crash ceil(fraction * live) distinct live nodes
+    kAddNode,       ///< join a fresh node (triggers incremental migration)
+  };
+
+  sim::Time at_us = 0;      ///< relative to the run's start
+  Kind kind = Kind::kFail;
+  NodeId node{0};           ///< kFail / kRecover target
+  double fraction = 0.0;    ///< kFailFraction only
+};
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(std::uint64_t seed = 0xfa177e57ULL) : seed_(seed) {}
+
+  FaultPlan& fail(NodeId node, sim::Time at_us);
+  FaultPlan& recover(NodeId node, sim::Time at_us);
+  FaultPlan& fail_fraction(double fraction, sim::Time at_us);
+  FaultPlan& add_node(sim::Time at_us);
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  /// Events ordered by time; ties keep insertion order (stable), so the
+  /// script's textual order is the tiebreak rule.
+  [[nodiscard]] std::vector<FaultEvent> sorted_events() const;
+
+  /// Latest event time (0 for an empty plan).
+  [[nodiscard]] sim::Time horizon_us() const noexcept;
+
+  /// Deterministic random churn: `faults` fail/recover cycles on distinct
+  /// nodes (at most half the cluster, so the bounded failover walk always
+  /// finds a live successor). Failures land in [0.1, 0.55] * horizon; each
+  /// node recovers after roughly `mean_downtime_us` (x0.5..x1.5), capped at
+  /// 0.9 * horizon. Fully reproducible from `seed`.
+  static FaultPlan random_churn(std::uint64_t seed, std::size_t cluster_size,
+                                sim::Time horizon_us, std::size_t faults,
+                                double mean_downtime_us);
+
+ private:
+  std::uint64_t seed_;
+  std::vector<FaultEvent> events_;
+};
+
+}  // namespace move::fault

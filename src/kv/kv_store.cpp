@@ -30,16 +30,99 @@ std::vector<NodeId> KeyValueStore::owners(std::string_view key) const {
   return out;
 }
 
+void KeyValueStore::park_hint(std::uint64_t key_hash, NodeId target,
+                              std::string_view key, std::string_view value) {
+  // The hint holder is the first live node on the successor walk that is
+  // NOT itself an owner — Dynamo's "next node on the preference list".
+  const auto owner_set = owners(key);
+  const auto is_owner = [&](NodeId n) {
+    return std::find(owner_set.begin(), owner_set.end(), n) !=
+           owner_set.end();
+  };
+  for (NodeId cand :
+       ring_->successors(key_hash, owner_set.size() + replicas_ + 4)) {
+    if (is_owner(cand) || !alive(cand)) continue;
+    auto& queue = hints_[cand.value];
+    // Overwrite an existing hint for the same (target, key): last write
+    // wins, exactly as it would on the owner itself.
+    for (auto it = queue.rbegin(); it != queue.rend(); ++it) {
+      if (it->target == target.value && it->key == key) {
+        it->value = std::string(value);
+        return;
+      }
+    }
+    queue.push_back(Hint{target.value, std::string(key), std::string(value)});
+    if (m_hints_parked_) m_hints_parked_->inc();
+    if (fault_acc_ != nullptr) ++fault_acc_->hints_parked;
+    return;
+  }
+  // No live stand-in either: the write is simply sloppy-lost for this owner.
+}
+
 std::size_t KeyValueStore::put(std::string_view key, std::string_view value) {
   if (m_puts_) m_puts_->inc();
+  const std::uint64_t h = common::fnv1a64(key);
   std::size_t written = 0;
   for (NodeId node : owners(key)) {
-    if (!alive(node)) continue;
+    if (!alive(node)) {
+      park_hint(h, node, key, value);
+      continue;
+    }
     shard(node).insert_or_assign(std::string(key), std::string(value));
     ++written;
   }
   if (m_replica_writes_) m_replica_writes_->add(written);
   return written;
+}
+
+std::size_t KeyValueStore::drain_hints(NodeId recovered) {
+  std::size_t delivered = 0;
+  // Inbound: hints targeted at the recovered node, parked on live holders.
+  for (auto& [holder, queue] : hints_) {
+    if (!alive(NodeId{holder})) continue;  // holder down: hints unavailable
+    auto keep = queue.begin();
+    for (auto it = queue.begin(); it != queue.end(); ++it) {
+      if (it->target == recovered.value) {
+        shard(recovered).insert_or_assign(it->key, it->value);
+        ++delivered;
+      } else {
+        if (keep != it) *keep = std::move(*it);
+        ++keep;
+      }
+    }
+    queue.erase(keep, queue.end());
+  }
+  // Outbound: hints the recovered node itself was holding, now deliverable.
+  if (auto held = hints_.find(recovered.value); held != hints_.end()) {
+    auto& queue = held->second;
+    auto keep = queue.begin();
+    for (auto it = queue.begin(); it != queue.end(); ++it) {
+      if (alive(NodeId{it->target})) {
+        shard(NodeId{it->target}).insert_or_assign(it->key, it->value);
+        ++delivered;
+      } else {
+        if (keep != it) *keep = std::move(*it);
+        ++keep;
+      }
+    }
+    queue.erase(keep, queue.end());
+  }
+  if (delivered > 0) {
+    if (m_hints_drained_) m_hints_drained_->add(delivered);
+    if (fault_acc_ != nullptr) fault_acc_->hints_drained += delivered;
+  }
+  return delivered;
+}
+
+std::size_t KeyValueStore::handoff_queue_depth() const {
+  std::size_t n = 0;
+  for (const auto& [holder, queue] : hints_) n += queue.size();
+  return n;
+}
+
+std::size_t KeyValueStore::hints_on(NodeId holder) const {
+  auto it = hints_.find(holder.value);
+  return it == hints_.end() ? 0 : it->second.size();
 }
 
 std::optional<std::string> KeyValueStore::get(std::string_view key) const {
@@ -65,6 +148,10 @@ std::size_t KeyValueStore::erase(std::string_view key) {
   const std::string k(key);
   for (auto& [node, data] : shards_) {
     removed += data.erase(k);
+  }
+  // Parked hints for the key would resurrect it on drain — scrub them too.
+  for (auto& [holder, queue] : hints_) {
+    std::erase_if(queue, [&](const Hint& hint) { return hint.key == k; });
   }
   return removed;
 }
@@ -93,6 +180,8 @@ void KeyValueStore::attach_metrics(obs::Registry& registry,
   m_replica_writes_ = &registry.counter(p + ".replica_writes");
   m_erases_ = &registry.counter(p + ".erases");
   m_rebalances_ = &registry.counter(p + ".rebalances");
+  m_hints_parked_ = &registry.counter(p + ".hints_parked");
+  m_hints_drained_ = &registry.counter(p + ".hints_drained");
 }
 
 void KeyValueStore::export_metrics(obs::Registry& registry,
@@ -100,6 +189,8 @@ void KeyValueStore::export_metrics(obs::Registry& registry,
   const std::string p(prefix);
   registry.gauge(p + ".total_entries")
       .set(static_cast<double>(total_entries()));
+  registry.gauge(p + ".handoff_queue_depth")
+      .set(static_cast<double>(handoff_queue_depth()));
   for (const NodeId node : ring_->members()) {
     registry.gauge(obs::labeled(p + ".keys", "node", node.value))
         .set(static_cast<double>(keys_on(node)));

@@ -10,6 +10,7 @@
 #include "common/types.hpp"
 #include "kv/ring.hpp"
 #include "kv/topology.hpp"
+#include "sim/fault_accounting.hpp"
 
 namespace move::obs {
 class Counter;
@@ -23,10 +24,16 @@ class Registry;
 ///
 /// Dynamo-style semantics, simplified to what MOVE needs:
 ///  * a key is owned by its home node plus `replicas - 1` ring successors;
-///  * put writes every live owner (sloppy write, no hinted handoff);
+///  * put writes every live owner; writes destined for a *dead* owner are
+///    parked as hints on the first live ring successor outside the owner
+///    set (Dynamo's hinted handoff) and delivered when the owner recovers;
 ///  * get reads the first live owner holding the key;
 ///  * node liveness is supplied by the caller (the Cluster), so failure
 ///    experiments compose naturally.
+///
+/// Hints live on their holder: if the holder dies before draining, its
+/// parked hints are unavailable until the holder itself recovers — exactly
+/// the sloppy-quorum durability story the chaos tests probe.
 namespace move::kv {
 
 class KeyValueStore {
@@ -51,8 +58,10 @@ class KeyValueStore {
     return topology_ != nullptr;
   }
 
-  /// Writes `value` under `key` on every live owner.
-  /// @returns number of replicas written (0 if all owners are down).
+  /// Writes `value` under `key` on every live owner; for each dead owner a
+  /// hint is parked on the first live non-owner successor (if any).
+  /// @returns number of owner replicas written directly (hints excluded; 0
+  /// if all owners are down).
   std::size_t put(std::string_view key, std::string_view value);
 
   /// Reads the value from the first live owner that has it.
@@ -78,6 +87,20 @@ class KeyValueStore {
   /// simulator's stand-in for Cassandra's range streaming.
   void rebalance();
 
+  // --- hinted handoff -------------------------------------------------------
+
+  /// Drains hints involving a node that just recovered: hints *targeted at*
+  /// it (held by live holders) are delivered to its shard, and hints *held
+  /// by* it are delivered to their live targets (undeliverable ones stay
+  /// parked). Call on every node recovery.
+  /// @returns number of hinted writes delivered.
+  std::size_t drain_hints(NodeId recovered);
+
+  /// Total hinted writes currently parked (cluster-wide queue depth).
+  [[nodiscard]] std::size_t handoff_queue_depth() const;
+  /// Hinted writes parked on one holder node.
+  [[nodiscard]] std::size_t hints_on(NodeId holder) const;
+
   [[nodiscard]] std::size_t replicas() const noexcept { return replicas_; }
 
   /// Attaches live op counters (`<prefix>.puts`, `.gets`, `.get_hits`,
@@ -92,11 +115,26 @@ class KeyValueStore {
   void export_metrics(obs::Registry& registry,
                       std::string_view prefix = "kv.store") const;
 
+  /// Optional failure-accounting sink (e.g. the Cluster's): park/drain
+  /// volumes are added to it alongside the registry counters.
+  void attach_fault_accounting(sim::FaultAccounting* acc) noexcept {
+    fault_acc_ = acc;
+  }
+
  private:
+  /// One write parked for a dead owner, stored FIFO on its holder.
+  struct Hint {
+    std::uint32_t target;  ///< the dead owner this write is destined for
+    std::string key;
+    std::string value;
+  };
+
   [[nodiscard]] bool alive(NodeId node) const {
     return !alive_ || alive_(node);
   }
   std::unordered_map<std::string, std::string>& shard(NodeId node);
+  void park_hint(std::uint64_t key_hash, NodeId target, std::string_view key,
+                 std::string_view value);
 
   const HashRing* ring_;
   std::size_t replicas_;
@@ -108,10 +146,16 @@ class KeyValueStore {
   obs::Counter* m_replica_writes_ = nullptr;
   obs::Counter* m_erases_ = nullptr;
   obs::Counter* m_rebalances_ = nullptr;
+  obs::Counter* m_hints_parked_ = nullptr;
+  obs::Counter* m_hints_drained_ = nullptr;
+  sim::FaultAccounting* fault_acc_ = nullptr;
   // Sparse per-node shards, keyed by node id (nodes can join later).
   std::unordered_map<std::uint32_t,
                      std::unordered_map<std::string, std::string>>
       shards_;
+  // Parked hints keyed by holder node, FIFO per holder (delivery applies in
+  // park order, so last write wins as it would on the owner).
+  std::unordered_map<std::uint32_t, std::vector<Hint>> hints_;
 };
 
 }  // namespace move::kv

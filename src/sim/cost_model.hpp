@@ -32,6 +32,11 @@ struct CostModel {
   // --- disk/CPU on the serving node ---------------------------------------
   double handle_base_us = 25.0;     ///< fixed per-document receive/dispatch
   double forward_decision_us = 5.0; ///< forwarding-table lookup at a home
+  /// Publisher-side timeout burned per contact of a node the membership
+  /// view believed alive but that is actually down — the latency price of
+  /// failure-detector lag during failover routing. Added to the transfer
+  /// delay of the eventual hop, not to any server's busy time.
+  double route_timeout_us = 500.0;
   double seek_per_list_us = 40.0;  ///< posting-list retrieval (cached disk)
   double scan_per_posting_us = 0.4; ///< per posting entry scanned (y_p)
   double verify_per_candidate_us = 0.8;  ///< per candidate verified

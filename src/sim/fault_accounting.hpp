@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+
+/// Failure-path accounting shared by the routing, handoff, and repair
+/// machinery. Plain integers (the simulated path is single-threaded);
+/// accumulated on the Cluster across a run and snapshotted as a delta into
+/// RunMetrics, exactly like MatchAccounting. Header-only and dependency-free
+/// so the kv layer can report into it without linking the simulator.
+namespace move::sim {
+
+struct FaultAccounting {
+  /// Term groups (or flooded targets) for which no live serving node was
+  /// found within the bounded failover walk — their matches are lost.
+  std::uint64_t failed_routes = 0;
+  /// Candidate nodes examined beyond the primary target during failover.
+  std::uint64_t route_retries = 0;
+  /// Contacts sent to a node believed alive that was actually dead — the
+  /// failure detector's lag, each charged a routing timeout.
+  std::uint64_t dead_contacts = 0;
+  /// Term services completed on a non-primary node (ring successor or a
+  /// substitute grid row) after the primary was unavailable.
+  std::uint64_t failovers = 0;
+  /// Hinted-handoff writes parked on stand-in nodes / later delivered.
+  std::uint64_t hints_parked = 0;
+  std::uint64_t hints_drained = 0;
+  /// Posting entries re-registered by the repair pipeline (re-replication).
+  std::uint64_t repair_postings_moved = 0;
+
+  FaultAccounting& operator+=(const FaultAccounting& o) noexcept {
+    failed_routes += o.failed_routes;
+    route_retries += o.route_retries;
+    dead_contacts += o.dead_contacts;
+    failovers += o.failovers;
+    hints_parked += o.hints_parked;
+    hints_drained += o.hints_drained;
+    repair_postings_moved += o.repair_postings_moved;
+    return *this;
+  }
+  /// Element-wise delta (for before/after run snapshots).
+  [[nodiscard]] FaultAccounting delta_since(
+      const FaultAccounting& before) const noexcept {
+    FaultAccounting d;
+    d.failed_routes = failed_routes - before.failed_routes;
+    d.route_retries = route_retries - before.route_retries;
+    d.dead_contacts = dead_contacts - before.dead_contacts;
+    d.failovers = failovers - before.failovers;
+    d.hints_parked = hints_parked - before.hints_parked;
+    d.hints_drained = hints_drained - before.hints_drained;
+    d.repair_postings_moved =
+        repair_postings_moved - before.repair_postings_moved;
+    return d;
+  }
+};
+
+}  // namespace move::sim

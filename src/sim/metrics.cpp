@@ -67,6 +67,20 @@ void RunMetrics::export_metrics(obs::Registry& registry) const {
   registry.gauge("run.match.candidates_verified")
       .set(static_cast<double>(match_acc.candidates_verified));
   registry.gauge("run.postings_per_sec").set(postings_per_sec());
+  registry.gauge("run.fault.failed_routes")
+      .set(static_cast<double>(fault_acc.failed_routes));
+  registry.gauge("run.fault.route_retries")
+      .set(static_cast<double>(fault_acc.route_retries));
+  registry.gauge("run.fault.dead_contacts")
+      .set(static_cast<double>(fault_acc.dead_contacts));
+  registry.gauge("run.fault.failovers")
+      .set(static_cast<double>(fault_acc.failovers));
+  registry.gauge("run.fault.hints_parked")
+      .set(static_cast<double>(fault_acc.hints_parked));
+  registry.gauge("run.fault.hints_drained")
+      .set(static_cast<double>(fault_acc.hints_drained));
+  registry.gauge("run.fault.repair_postings_moved")
+      .set(static_cast<double>(fault_acc.repair_postings_moved));
   for (std::size_t n = 0; n < node_busy_us.size(); ++n) {
     registry.gauge(obs::labeled("run.node.busy_us", "node", n))
         .set(node_busy_us[n]);

@@ -5,6 +5,7 @@
 
 #include "index/inverted_index.hpp"
 #include "sim/event_engine.hpp"
+#include "sim/fault_accounting.hpp"
 
 namespace move::obs {
 class Registry;
@@ -35,6 +36,11 @@ struct RunMetrics {
   /// independent of the virtual-time cost attached to it. Lets benches
   /// report postings/sec next to docs/sec.
   index::MatchAccounting match_acc;
+
+  /// Failure-path accounting for the run (delta of the cluster's
+  /// FaultAccounting totals): failovers, retries, lost routes, handoff and
+  /// repair volume. All zero on a healthy run.
+  FaultAccounting fault_acc;
 
   /// Paper's headline metric: completed documents per (virtual) second.
   [[nodiscard]] double throughput_per_sec() const noexcept {

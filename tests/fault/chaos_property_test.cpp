@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fault/churn_runner.hpp"
+#include "fault_test_util.hpp"
+
+/// Chaos/property layer for the failure path: random churn scripts applied
+/// to every scheme, checked after every step against brute-force truth.
+///
+/// Invariants (per step, per document):
+///  * matches are sorted and unique — no document is delivered to the same
+///    filter twice, whatever failover paths fired;
+///  * matches ⊆ brute-force truth — failover never invents matches;
+///  * every filter the conservative reachability gate guarantees (≥1 live
+///    replica home, see fault_test_util.hpp) is still matched — losing
+///    unreachable filters is allowed, losing reachable ones is a bug.
+namespace move::fault {
+namespace {
+
+using testutil::SchemeKind;
+
+void check_invariants(SchemeKind kind, cluster::Cluster& c,
+                      core::Scheme& scheme, const char* context) {
+  const auto& w = testutil::shared_workload();
+  for (std::size_t d = 0; d < w.docs_.size(); d += 3) {
+    const auto plan = scheme.plan_publish(w.docs_.row(d));
+    const auto& truth = w.truth(d);
+    // No double delivery: strictly ascending filter ids.
+    for (std::size_t i = 1; i < plan.matches.size(); ++i) {
+      ASSERT_LT(plan.matches[i - 1].value, plan.matches[i].value)
+          << context << " doc " << d << ": duplicate/unsorted delivery";
+    }
+    // No invented matches.
+    for (FilterId f : plan.matches) {
+      ASSERT_TRUE(std::binary_search(
+          truth.begin(), truth.end(), f,
+          [](FilterId a, FilterId b) { return a.value < b.value; }))
+          << context << " doc " << d << ": spurious match " << f.value;
+    }
+    // No reachable filter lost.
+    for (FilterId f : truth) {
+      if (!testutil::guaranteed_reachable(kind, c, f, w.docs_.row(d))) {
+        continue;
+      }
+      ASSERT_TRUE(std::binary_search(
+          plan.matches.begin(), plan.matches.end(), f,
+          [](FilterId a, FilterId b) { return a.value < b.value; }))
+          << context << " doc " << d << ": lost reachable filter " << f.value;
+    }
+  }
+}
+
+class ChaosProperty : public ::testing::TestWithParam<SchemeKind> {};
+
+TEST_P(ChaosProperty, ReachableFiltersSurviveScriptedChurn) {
+  const SchemeKind kind = GetParam();
+  for (std::uint64_t seed : {0x11u, 0x22u, 0x33u}) {
+    cluster::Cluster c(testutil::small_cluster());
+    auto scheme = testutil::make_scheme(kind, c);
+    common::SplitMix64 rng(seed);
+
+    check_invariants(kind, c, *scheme, "healthy");
+
+    // Wave 1: two failures.
+    std::vector<NodeId> downed;
+    for (int i = 0; i < 2; ++i) {
+      auto live = c.live_nodes();
+      const NodeId victim = live[common::uniform_below(rng, live.size())];
+      c.fail_node(victim);
+      downed.push_back(victim);
+    }
+    check_invariants(kind, c, *scheme, "after wave 1");
+
+    // Wave 2: two more (4/10 down — within the failover walk's budget).
+    for (int i = 0; i < 2; ++i) {
+      auto live = c.live_nodes();
+      const NodeId victim = live[common::uniform_below(rng, live.size())];
+      c.fail_node(victim);
+      downed.push_back(victim);
+    }
+    check_invariants(kind, c, *scheme, "after wave 2");
+
+    // Partial recovery.
+    c.revive_node(downed[common::uniform_below(rng, downed.size())]);
+    check_invariants(kind, c, *scheme, "after partial recovery");
+
+    // Full recovery: with every node back (data was kept, fail is not
+    // decommission) matching must be exactly brute force again.
+    c.revive_all();
+    for (std::size_t d = 0; d < testutil::shared_workload().docs_.size();
+         d += 3) {
+      const auto plan =
+          scheme->plan_publish(testutil::shared_workload().docs_.row(d));
+      ASSERT_EQ(plan.matches, testutil::shared_workload().truth(d))
+          << testutil::scheme_name(kind) << " seed " << seed << " doc " << d;
+    }
+  }
+}
+
+// After the repair pipeline re-applies every entry lost with the failed
+// nodes, matching is *exactly* brute force even while the nodes stay dead:
+// repair places copies where the routing failover walk looks (the unified
+// agreement rule), so nothing reachable-by-walk is missing any more.
+TEST_P(ChaosProperty, RepairRestoresExactMatchingWhileNodesAreDown) {
+  const SchemeKind kind = GetParam();
+  const auto& w = testutil::shared_workload();
+  cluster::Cluster c(testutil::small_cluster());
+  auto scheme = testutil::make_scheme(kind, c);
+
+  common::SplitMix64 rng(0xbeef);
+  std::vector<NodeId> victims;
+  for (int i = 0; i < 3; ++i) {
+    auto live = c.live_nodes();
+    const NodeId v = live[common::uniform_below(rng, live.size())];
+    c.fail_node(v);
+    victims.push_back(v);
+  }
+
+  std::vector<core::RepairEntry> entries;
+  for (NodeId v : victims) {
+    const auto lost = scheme->collect_repair_entries(v);
+    entries.insert(entries.end(), lost.begin(), lost.end());
+  }
+  ASSERT_FALSE(entries.empty());
+
+  std::size_t moved = 0;
+  for (std::size_t i = 0; i < entries.size(); i += 256) {
+    const auto n = std::min<std::size_t>(256, entries.size() - i);
+    moved += scheme->apply_repair_entries(
+        std::span<const core::RepairEntry>(entries.data() + i, n));
+  }
+  EXPECT_GT(moved, 0u);
+
+  for (std::size_t d = 0; d < w.docs_.size(); ++d) {
+    ASSERT_EQ(scheme->plan_publish(w.docs_.row(d)).matches, w.truth(d))
+        << testutil::scheme_name(kind) << " doc " << d;
+  }
+  EXPECT_EQ(scheme->filter_availability(), 1.0);
+
+  // Repair is idempotent: a second pass over the same entries moves nothing.
+  EXPECT_EQ(scheme->apply_repair_entries(
+                std::span<const core::RepairEntry>(entries)),
+            0u);
+  c.revive_all();
+}
+
+// End-to-end chaos through the churn runner: documents injected while a
+// random plan fails and recovers nodes mid-flight. Every document completes,
+// every completion survives in the delivery registry (hinted handoff), and
+// the backlog/queues are empty once the dust settles.
+TEST_P(ChaosProperty, NoCompletedDocumentLostUnderRandomChurn) {
+  const SchemeKind kind = GetParam();
+  const auto& w = testutil::shared_workload();
+  cluster::Cluster c(testutil::small_cluster());
+  auto scheme = testutil::make_scheme(kind, c);
+
+  const auto plan =
+      FaultPlan::random_churn(0x5eed, c.size(), 30'000.0, 3, 8'000.0);
+  ChurnConfig cfg;
+  cfg.inject_rate_per_sec = 2'000.0;
+  cfg.sample_interval_us = 5'000.0;
+  cfg.injector.repair_batch = 4'096;
+  cfg.injector.repair_interval_us = 2'000.0;
+  const auto result = run_churn(*scheme, w.docs_, plan, cfg);
+
+  EXPECT_EQ(result.timeline.failures, 3u);
+  EXPECT_EQ(result.timeline.recoveries, 3u);
+  EXPECT_EQ(result.metrics.documents_completed, w.docs_.size());
+  EXPECT_EQ(result.registry_readable, w.docs_.size())
+      << "a completed document's registry entry was lost";
+  ASSERT_FALSE(result.samples.empty());
+  EXPECT_EQ(result.samples.back().handoff_queue_depth, 0u);
+  EXPECT_EQ(result.samples.back().repair_backlog, 0u);
+  EXPECT_EQ(result.samples.back().availability, 1.0);
+  EXPECT_EQ(c.live_count(), c.size());  // run_churn revives before returning
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, ChaosProperty,
+                         ::testing::Values(SchemeKind::kIl, SchemeKind::kMove,
+                                           SchemeKind::kRs),
+                         [](const auto& info) {
+                           return testutil::scheme_name(info.param);
+                         });
+
+}  // namespace
+}  // namespace move::fault

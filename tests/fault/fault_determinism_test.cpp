@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <utility>
+
+#include "fault/churn_runner.hpp"
+#include "fault_test_util.hpp"
+
+/// Determinism golden tests: the whole failure path — scripted injection,
+/// failover routing, hinted handoff, incremental repair — replays
+/// bit-identically from (seed, plan), on this thread or any other. Every
+/// comparison below is exact (including doubles): a single stray
+/// wall-clock read, unseeded draw, or address-dependent iteration order
+/// anywhere in the pipeline fails this test.
+namespace move::fault {
+namespace {
+
+using testutil::SchemeKind;
+
+FaultPlan golden_plan(std::size_t cluster_size) {
+  return FaultPlan::random_churn(0x601dULL, cluster_size, 30'000.0, 3,
+                                 8'000.0);
+}
+
+ChurnResult run_once(SchemeKind kind) {
+  const auto& w = testutil::shared_workload();
+  cluster::Cluster c(testutil::small_cluster());
+  auto scheme = testutil::make_scheme(kind, c);
+  const auto plan = golden_plan(c.size());
+  ChurnConfig cfg;
+  cfg.inject_rate_per_sec = 2'000.0;
+  cfg.sample_interval_us = 5'000.0;
+  cfg.collect_latencies = true;
+  cfg.injector.repair_batch = 1'024;
+  cfg.injector.repair_interval_us = 2'000.0;
+  return run_churn(*scheme, w.docs_, plan, cfg);
+}
+
+void expect_identical(const ChurnResult& a, const ChurnResult& b) {
+  // Whole-run metrics, exact.
+  EXPECT_EQ(a.metrics.documents_published, b.metrics.documents_published);
+  EXPECT_EQ(a.metrics.documents_completed, b.metrics.documents_completed);
+  EXPECT_EQ(a.metrics.notifications, b.metrics.notifications);
+  EXPECT_EQ(a.metrics.makespan_us, b.metrics.makespan_us);
+  EXPECT_EQ(a.metrics.latencies_us, b.metrics.latencies_us);
+  EXPECT_EQ(a.metrics.node_busy_us, b.metrics.node_busy_us);
+  EXPECT_EQ(a.metrics.node_docs, b.metrics.node_docs);
+  EXPECT_EQ(a.metrics.node_queue_wait_us, b.metrics.node_queue_wait_us);
+  EXPECT_EQ(a.metrics.node_storage, b.metrics.node_storage);
+  // Failure accounting, field by field.
+  EXPECT_EQ(a.metrics.fault_acc.failed_routes, b.metrics.fault_acc.failed_routes);
+  EXPECT_EQ(a.metrics.fault_acc.route_retries, b.metrics.fault_acc.route_retries);
+  EXPECT_EQ(a.metrics.fault_acc.dead_contacts, b.metrics.fault_acc.dead_contacts);
+  EXPECT_EQ(a.metrics.fault_acc.failovers, b.metrics.fault_acc.failovers);
+  EXPECT_EQ(a.metrics.fault_acc.hints_parked, b.metrics.fault_acc.hints_parked);
+  EXPECT_EQ(a.metrics.fault_acc.hints_drained, b.metrics.fault_acc.hints_drained);
+  EXPECT_EQ(a.metrics.fault_acc.repair_postings_moved,
+            b.metrics.fault_acc.repair_postings_moved);
+  // Injector timeline.
+  EXPECT_EQ(a.timeline.failures, b.timeline.failures);
+  EXPECT_EQ(a.timeline.recoveries, b.timeline.recoveries);
+  EXPECT_EQ(a.timeline.total_downtime_us, b.timeline.total_downtime_us);
+  EXPECT_EQ(a.timeline.repair_batches, b.timeline.repair_batches);
+  EXPECT_EQ(a.timeline.repair_entries_applied, b.timeline.repair_entries_applied);
+  EXPECT_EQ(a.timeline.hints_drained, b.timeline.hints_drained);
+  // Registry + availability aggregates.
+  EXPECT_EQ(a.registry_readable, b.registry_readable);
+  EXPECT_EQ(a.registry_hints_parked, b.registry_hints_parked);
+  EXPECT_EQ(a.registry_hints_drained, b.registry_hints_drained);
+  EXPECT_EQ(a.mean_availability, b.mean_availability);
+  EXPECT_EQ(a.min_availability, b.min_availability);
+  EXPECT_EQ(a.unavailable_us, b.unavailable_us);
+  // Every sample of the timeline, exact.
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    EXPECT_EQ(a.samples[i].t_us, b.samples[i].t_us) << "sample " << i;
+    EXPECT_EQ(a.samples[i].throughput_per_sec, b.samples[i].throughput_per_sec)
+        << "sample " << i;
+    EXPECT_EQ(a.samples[i].availability, b.samples[i].availability)
+        << "sample " << i;
+    EXPECT_EQ(a.samples[i].live_nodes, b.samples[i].live_nodes)
+        << "sample " << i;
+    EXPECT_EQ(a.samples[i].handoff_queue_depth,
+              b.samples[i].handoff_queue_depth)
+        << "sample " << i;
+    EXPECT_EQ(a.samples[i].repair_backlog, b.samples[i].repair_backlog)
+        << "sample " << i;
+    EXPECT_EQ(a.samples[i].fault.failovers, b.samples[i].fault.failovers)
+        << "sample " << i;
+    EXPECT_EQ(a.samples[i].fault.repair_postings_moved,
+              b.samples[i].fault.repair_postings_moved)
+        << "sample " << i;
+  }
+}
+
+class FaultDeterminism : public ::testing::TestWithParam<SchemeKind> {};
+
+TEST_P(FaultDeterminism, SamePlanSameSeedIsBitIdentical) {
+  const auto first = run_once(GetParam());
+  const auto second = run_once(GetParam());
+  expect_identical(first, second);
+  // The run actually exercised the failure path.
+  EXPECT_EQ(first.timeline.failures, 3u);
+  EXPECT_GT(first.timeline.repair_entries_applied, 0u);
+  if (GetParam() != SchemeKind::kRs) {
+    // RS keeps availability through its untouched replicas; with only three
+    // failures no filter loses its whole owner set, so repair may legally
+    // move nothing. IL/MOVE lose term homes outright and must re-replicate.
+    EXPECT_GT(first.metrics.fault_acc.repair_postings_moved, 0u);
+  }
+}
+
+TEST_P(FaultDeterminism, IdenticalAcrossThreads) {
+  const auto here = run_once(GetParam());
+  ChurnResult there;
+  std::thread worker(
+      [&there, kind = GetParam()] { there = run_once(kind); });
+  worker.join();
+  expect_identical(here, there);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, FaultDeterminism,
+                         ::testing::Values(SchemeKind::kIl, SchemeKind::kMove,
+                                           SchemeKind::kRs),
+                         [](const auto& info) {
+                           return testutil::scheme_name(info.param);
+                         });
+
+}  // namespace
+}  // namespace move::fault

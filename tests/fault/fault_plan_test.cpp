@@ -1,0 +1,208 @@
+#include "fault/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "cluster/cluster.hpp"
+#include "common/rng.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault_test_util.hpp"
+
+namespace move::fault {
+namespace {
+
+TEST(FaultPlan, EmptyPlanHasZeroHorizon) {
+  FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  EXPECT_EQ(plan.horizon_us(), 0.0);
+  EXPECT_TRUE(plan.sorted_events().empty());
+}
+
+TEST(FaultPlan, SortedEventsOrderByTimeStableOnTies) {
+  FaultPlan plan;
+  plan.fail(NodeId{3}, 500.0)
+      .recover(NodeId{3}, 2'000.0)
+      .fail(NodeId{1}, 100.0)
+      .fail(NodeId{2}, 500.0);  // same time as the first: insertion order
+  const auto sorted = plan.sorted_events();
+  ASSERT_EQ(sorted.size(), 4u);
+  EXPECT_EQ(sorted[0].node, NodeId{1});
+  EXPECT_EQ(sorted[1].node, NodeId{3});
+  EXPECT_EQ(sorted[2].node, NodeId{2});
+  EXPECT_EQ(sorted[3].kind, FaultEvent::Kind::kRecover);
+  EXPECT_EQ(plan.horizon_us(), 2'000.0);
+  // The script itself keeps textual order.
+  EXPECT_EQ(plan.events()[0].node, NodeId{3});
+}
+
+TEST(FaultPlan, FailFractionValidatesRange) {
+  FaultPlan plan;
+  EXPECT_THROW(plan.fail_fraction(-0.1, 0.0), std::invalid_argument);
+  EXPECT_THROW(plan.fail_fraction(1.5, 0.0), std::invalid_argument);
+  plan.fail_fraction(0.25, 1'000.0);
+  ASSERT_EQ(plan.events().size(), 1u);
+  EXPECT_EQ(plan.events()[0].kind, FaultEvent::Kind::kFailFraction);
+  EXPECT_EQ(plan.events()[0].fraction, 0.25);
+}
+
+TEST(FaultPlan, RandomChurnIsDeterministicPerSeed) {
+  const auto a = FaultPlan::random_churn(77, 20, 100'000.0, 5, 10'000.0);
+  const auto b = FaultPlan::random_churn(77, 20, 100'000.0, 5, 10'000.0);
+  ASSERT_EQ(a.events().size(), b.events().size());
+  for (std::size_t i = 0; i < a.events().size(); ++i) {
+    EXPECT_EQ(a.events()[i].at_us, b.events()[i].at_us);
+    EXPECT_EQ(a.events()[i].kind, b.events()[i].kind);
+    EXPECT_EQ(a.events()[i].node, b.events()[i].node);
+  }
+}
+
+TEST(FaultPlan, RandomChurnPairsFailuresWithRecoveries) {
+  constexpr double kHorizon = 200'000.0;
+  const auto plan = FaultPlan::random_churn(123, 16, kHorizon, 6, 20'000.0);
+  std::set<std::uint32_t> victims;
+  std::size_t fails = 0, recovers = 0;
+  for (const auto& e : plan.events()) {
+    if (e.kind == FaultEvent::Kind::kFail) {
+      ++fails;
+      victims.insert(e.node.value);
+      EXPECT_GE(e.at_us, 0.1 * kHorizon);
+      EXPECT_LE(e.at_us, 0.55 * kHorizon);
+    } else {
+      ASSERT_EQ(e.kind, FaultEvent::Kind::kRecover);
+      ++recovers;
+      EXPECT_LE(e.at_us, 0.9 * kHorizon);
+    }
+  }
+  EXPECT_EQ(fails, 6u);
+  EXPECT_EQ(recovers, 6u);
+  EXPECT_EQ(victims.size(), 6u);  // distinct nodes
+  // Every victim recovers strictly after it fails.
+  for (std::uint32_t v : victims) {
+    double failed_at = -1.0, recovered_at = -1.0;
+    for (const auto& e : plan.events()) {
+      if (e.node.value != v) continue;
+      (e.kind == FaultEvent::Kind::kFail ? failed_at : recovered_at) = e.at_us;
+    }
+    EXPECT_GT(recovered_at, failed_at) << "node " << v;
+  }
+}
+
+TEST(FaultPlan, RandomChurnCapsVictimsAtHalfTheCluster) {
+  // Asking for more fail/recover cycles than cluster_size/2 distinct nodes
+  // can supply must clamp, keeping the bounded-failover guarantee intact.
+  const auto plan = FaultPlan::random_churn(9, 6, 50'000.0, 40, 5'000.0);
+  std::set<std::uint32_t> victims;
+  for (const auto& e : plan.events()) {
+    if (e.kind == FaultEvent::Kind::kFail) victims.insert(e.node.value);
+  }
+  EXPECT_LE(victims.size(), 3u);
+}
+
+// Regression for the fail_fraction off-by-under-count: the kill count must
+// be exact over the *currently live* set, even when some nodes are already
+// down (the old draw-with-replacement loop could double-pick a victim or
+// count an already-dead node toward the quota).
+TEST(ClusterFailFraction, KillsExactCountOfLiveNodes) {
+  cluster::Cluster c(cluster::ClusterConfig{.num_nodes = 20, .num_racks = 4});
+  common::SplitMix64 rng(42);
+  for (std::uint32_t i = 0; i < 6; ++i) c.fail_node(NodeId{i});
+  ASSERT_EQ(c.live_count(), 14u);
+  c.fail_fraction(0.5, rng);  // ceil(0.5 * 14) = 7 more
+  EXPECT_EQ(c.live_count(), 7u);
+  c.fail_fraction(1.0, rng);
+  EXPECT_EQ(c.live_count(), 0u);
+  c.revive_all();
+  EXPECT_EQ(c.live_count(), 20u);
+  c.fail_fraction(0.0, rng);
+  EXPECT_EQ(c.live_count(), 20u);
+  c.fail_fraction(0.01, rng);  // ceil rounds up: at least one victim
+  EXPECT_EQ(c.live_count(), 19u);
+}
+
+// --- FaultInjector: plans executed on the virtual clock ---------------------
+
+TEST(FaultInjector, ExecutesEventsAtTheirVirtualTimes) {
+  cluster::Cluster c(testutil::small_cluster());
+  auto scheme = testutil::make_scheme(testutil::SchemeKind::kIl, c);
+
+  FaultPlan plan;
+  plan.fail(NodeId{4}, 1'000.0).recover(NodeId{4}, 3'500.0);
+  FaultInjectorOptions opts;
+  opts.enable_repair = false;
+  FaultInjector injector(*scheme, plan, opts);
+  injector.arm(5'000.0);
+
+  const double start = c.engine().now();
+  c.engine().run_until(start + 1'500.0);
+  EXPECT_FALSE(c.alive(NodeId{4}));
+  EXPECT_EQ(injector.timeline().failures, 1u);
+  EXPECT_EQ(injector.timeline().recoveries, 0u);
+  c.engine().run();
+  EXPECT_TRUE(c.alive(NodeId{4}));
+  EXPECT_EQ(injector.timeline().recoveries, 1u);
+  EXPECT_EQ(injector.timeline().total_downtime_us, 2'500.0);
+  EXPECT_GE(injector.timeline().first_failure_us, start + 1'000.0);
+  EXPECT_GE(injector.timeline().last_recovery_us, start + 3'500.0);
+}
+
+TEST(FaultInjector, ArmTwiceThrows) {
+  cluster::Cluster c(testutil::small_cluster());
+  auto scheme = testutil::make_scheme(testutil::SchemeKind::kIl, c);
+  FaultInjector injector(*scheme, FaultPlan{});
+  injector.arm(1'000.0);
+  EXPECT_THROW(injector.arm(1'000.0), std::logic_error);
+}
+
+TEST(FaultInjector, FailFractionEventKillsExactCount) {
+  cluster::Cluster c(testutil::small_cluster());  // 10 nodes
+  auto scheme = testutil::make_scheme(testutil::SchemeKind::kIl, c);
+  FaultPlan plan;
+  plan.fail_fraction(0.3, 500.0);  // ceil(0.3 * 10) = 3 victims
+  FaultInjectorOptions opts;
+  opts.enable_repair = false;
+  FaultInjector injector(*scheme, plan, opts);
+  injector.arm(1'000.0);
+  c.engine().run();
+  EXPECT_EQ(c.live_count(), 7u);
+  EXPECT_EQ(injector.timeline().failures, 3u);
+  c.revive_all();
+}
+
+TEST(FaultInjector, RepairPumpDrainsBacklogInBoundedBatches) {
+  cluster::Cluster c(testutil::small_cluster());
+  auto scheme = testutil::make_scheme(testutil::SchemeKind::kIl, c);
+  FaultPlan plan;
+  plan.fail(NodeId{2}, 100.0);
+  FaultInjectorOptions opts;
+  opts.repair_batch = 64;
+  opts.repair_interval_us = 50.0;
+  FaultInjector injector(*scheme, plan, opts);
+  injector.arm(200.0);
+  c.engine().run();
+  EXPECT_EQ(injector.repair_backlog(), 0u);
+  EXPECT_GT(injector.timeline().repair_entries_applied, 0u);
+  // Bounded batches: the pump ran at least entries/batch times.
+  EXPECT_GE(injector.timeline().repair_batches,
+            injector.timeline().repair_entries_applied / 64);
+  EXPECT_GT(c.fault_acc().repair_postings_moved, 0u);
+  c.revive_all();
+}
+
+TEST(FaultInjector, AddNodeEventJoinsAndMigrates) {
+  cluster::Cluster c(testutil::small_cluster());
+  auto scheme = testutil::make_scheme(testutil::SchemeKind::kIl, c);
+  const std::size_t before = c.size();
+  FaultPlan plan;
+  plan.add_node(1'000.0);
+  FaultInjector injector(*scheme, plan, FaultInjectorOptions{});
+  injector.arm(2'000.0);
+  c.engine().run();
+  EXPECT_EQ(c.size(), before + 1);
+  EXPECT_TRUE(c.alive(NodeId{static_cast<std::uint32_t>(before)}));
+  EXPECT_EQ(injector.timeline().joins, 1u);
+}
+
+}  // namespace
+}  // namespace move::fault

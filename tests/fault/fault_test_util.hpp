@@ -1,0 +1,151 @@
+#pragma once
+
+#include <algorithm>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "core/il_scheme.hpp"
+#include "core/move_scheme.hpp"
+#include "core/rs_scheme.hpp"
+#include "index/brute_force.hpp"
+#include "index/filter_store.hpp"
+#include "workload/corpus.hpp"
+#include "workload/query_trace.hpp"
+#include "workload/trace_stats.hpp"
+
+/// Shared workload, cluster shape, and scheme factory for the fault-path
+/// tests. Smaller than the core scheme workload (chaos runs each doc through
+/// plan_publish many times per churn step) but built from the same
+/// generators, with brute-force ground truth computed once.
+namespace move::fault::testutil {
+
+constexpr std::size_t kVocab = 800;
+constexpr std::size_t kFilters = 1'500;
+constexpr std::size_t kDocs = 60;
+constexpr std::size_t kNodes = 10;
+
+class ChaosWorkload {
+ public:
+  ChaosWorkload() {
+    workload::QueryTraceConfig qcfg;
+    qcfg.num_filters = kFilters;
+    qcfg.vocabulary_size = kVocab;
+    qcfg.head_count = 40;
+    filters_ = workload::QueryTraceGenerator(qcfg).generate();
+
+    auto ccfg = workload::CorpusConfig::trec_wt_like(0.002, kVocab);
+    ccfg.head_count = 40;
+    docs_ = workload::CorpusGenerator(ccfg).generate(kDocs);
+
+    for (std::size_t i = 0; i < filters_.size(); ++i) {
+      reference_.add(filters_.row(i));
+    }
+    filter_stats_ = workload::compute_stats(filters_, kVocab);
+    corpus_stats_ = workload::compute_stats(docs_, kVocab);
+    truth_.reserve(kDocs);
+    for (std::size_t d = 0; d < docs_.size(); ++d) {
+      truth_.push_back(index::brute_force_match(reference_, docs_.row(d), {}));
+    }
+  }
+
+  [[nodiscard]] const std::vector<FilterId>& truth(std::size_t doc) const {
+    return truth_[doc];
+  }
+
+  workload::TermSetTable filters_;
+  workload::TermSetTable docs_;
+  index::FilterStore reference_;
+  workload::TraceStats filter_stats_;
+  workload::TraceStats corpus_stats_;
+
+ private:
+  std::vector<std::vector<FilterId>> truth_;
+};
+
+inline const ChaosWorkload& shared_workload() {
+  static const ChaosWorkload w;
+  return w;
+}
+
+inline cluster::ClusterConfig small_cluster(std::size_t nodes = kNodes) {
+  cluster::ClusterConfig cfg;
+  cfg.num_nodes = nodes;
+  cfg.num_racks = 2;
+  return cfg;
+}
+
+enum class SchemeKind { kIl, kMove, kRs };
+
+inline const char* scheme_name(SchemeKind kind) {
+  switch (kind) {
+    case SchemeKind::kIl: return "IL";
+    case SchemeKind::kMove: return "MOVE";
+    case SchemeKind::kRs: return "RS";
+  }
+  return "?";
+}
+
+/// Builds a fully registered (and, for MOVE, allocated) scheme over `c`.
+inline std::unique_ptr<core::Scheme> make_scheme(SchemeKind kind,
+                                                 cluster::Cluster& c) {
+  const ChaosWorkload& w = shared_workload();
+  switch (kind) {
+    case SchemeKind::kIl: {
+      auto s = std::make_unique<core::IlScheme>(c);
+      s->register_filters(w.filters_);
+      return s;
+    }
+    case SchemeKind::kMove: {
+      core::MoveOptions opts;
+      opts.capacity = 600;  // P=1500 over 10 nodes
+      auto s = std::make_unique<core::MoveScheme>(c, opts);
+      s->register_filters(w.filters_);
+      s->allocate(w.filter_stats_, w.corpus_stats_);
+      return s;
+    }
+    case SchemeKind::kRs: {
+      auto s = std::make_unique<core::RsScheme>(c);
+      s->register_filters(w.filters_);
+      return s;
+    }
+  }
+  return nullptr;
+}
+
+/// Conservative reachability gate: does the scheme *guarantee* filter `f`
+/// is found for a matching document under the current liveness, without any
+/// repair having run? IL/MOVE index a filter at the home of each of its
+/// terms, but only the homes of terms the *document* contains are contacted
+/// (matching is overlap-based, so a matching filter may share just a few
+/// terms with the doc) — one live home among those suffices, the failover
+/// walk only ever adds more. RS replicates the whole filter on its key's
+/// owner set, so one live owner suffices (flooding visits every live node).
+inline bool guaranteed_reachable(SchemeKind kind, const cluster::Cluster& c,
+                                 FilterId f,
+                                 std::span<const TermId> doc_terms) {
+  const ChaosWorkload& w = shared_workload();
+  if (kind == SchemeKind::kRs) {
+    const core::RsOptions defaults;
+    const std::uint64_t key =
+        common::mix64(common::hash_combine(defaults.seed, f.value));
+    if (c.alive(c.ring().home_of_hash(key))) return true;
+    for (NodeId owner : c.ring().successors(key, defaults.replicas - 1)) {
+      if (c.alive(owner)) return true;
+    }
+    return false;
+  }
+  for (TermId t : w.filters_.row(f.value)) {
+    if (!std::binary_search(doc_terms.begin(), doc_terms.end(), t,
+                            [](TermId a, TermId b) {
+                              return a.value < b.value;
+                            })) {
+      continue;  // this term's home is never contacted for this document
+    }
+    if (c.alive(c.ring().home_of_term(t))) return true;
+  }
+  return false;
+}
+
+}  // namespace move::fault::testutil

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fault/fault_injector.hpp"
+#include "fault_test_util.hpp"
+#include "kv/gossip.hpp"
+
+/// Gossip membership under cluster-driven churn: fail/recover events flow
+/// from the Cluster into the attached GossipMembership (heartbeats freeze
+/// and thaw), the injector's virtual-time ticks run the rounds, and the
+/// routing belief (`routing_believes_alive`) lags then converges. The pure
+/// membership-layer churn properties live in kv/gossip_test.cpp; these
+/// tests cover the integration the failure path actually routes on.
+namespace move::fault {
+namespace {
+
+/// Detection bound: suspicion window plus the push-pull epidemic diameter.
+std::size_t detection_bound(std::size_t nodes, const kv::GossipConfig& cfg) {
+  return cfg.suspicion_rounds +
+         2 * static_cast<std::size_t>(std::ceil(std::log2(double(nodes))));
+}
+
+TEST(GossipChurn, RoutingBeliefLagsThenConvergesAfterFailure) {
+  cluster::Cluster c(testutil::small_cluster(16));
+  kv::GossipMembership m;
+  c.attach_membership(&m);  // seeds full mutual knowledge
+  ASSERT_TRUE(m.converged());
+
+  c.fail_node(NodeId{5});
+  // The failure detector has not run yet: routing still believes in node 5.
+  EXPECT_TRUE(c.routing_believes_alive(NodeId{5}));
+  EXPECT_FALSE(c.alive(NodeId{5}));
+
+  const kv::GossipConfig cfg;
+  m.run_rounds(detection_bound(16, cfg));
+  EXPECT_FALSE(c.routing_believes_alive(NodeId{5}));
+  EXPECT_TRUE(m.converged());
+  EXPECT_EQ(m.false_suspicions(), 0u);
+
+  c.revive_node(NodeId{5});
+  m.run_rounds(detection_bound(16, cfg));
+  EXPECT_TRUE(c.routing_believes_alive(NodeId{5}));
+  EXPECT_TRUE(m.converged());
+  EXPECT_EQ(m.false_suspicions(), 0u);
+  c.attach_membership(nullptr);
+}
+
+TEST(GossipChurn, InjectorTicksConvergeScriptedChurnWithinBoundedRounds) {
+  cluster::Cluster c(testutil::small_cluster(16));
+  auto scheme = testutil::make_scheme(testutil::SchemeKind::kIl, c);
+  kv::GossipMembership m;
+  c.attach_membership(&m);
+
+  // Three nodes fail early, recover late; gossip ticks every 1000 virtual
+  // microseconds drive the rounds between the membership events.
+  FaultPlan plan;
+  plan.fail(NodeId{2}, 2'000.0).fail(NodeId{7}, 2'000.0)
+      .fail(NodeId{11}, 3'000.0);
+  plan.recover(NodeId{2}, 30'000.0).recover(NodeId{7}, 30'000.0)
+      .recover(NodeId{11}, 31'000.0);
+  FaultInjectorOptions opts;
+  opts.enable_repair = false;
+  opts.gossip_rounds_per_tick = 1;
+  opts.gossip_tick_us = 1'000.0;
+  FaultInjector injector(*scheme, plan, opts);
+
+  const kv::GossipConfig cfg;
+  const double bound_us =
+      static_cast<double>(detection_bound(16, cfg)) * opts.gossip_tick_us;
+  const double horizon = 31'000.0 + bound_us + 2'000.0;
+  const double start = c.engine().now();
+  injector.arm(horizon);
+
+  // Mid-outage checkpoint: past the detection bound, every crash is known
+  // to the routing layer (belief == ground truth again).
+  c.engine().run_until(start + 3'000.0 + bound_us);
+  for (std::uint32_t n : {2u, 7u, 11u}) {
+    EXPECT_FALSE(c.routing_believes_alive(NodeId{n})) << "node " << n;
+  }
+  EXPECT_EQ(c.live_count(), 13u);
+
+  // Drain past recovery + bound: converged, everyone believed alive again.
+  c.engine().run();
+  EXPECT_EQ(c.live_count(), 16u);
+  for (std::uint32_t n = 0; n < 16; ++n) {
+    EXPECT_TRUE(c.routing_believes_alive(NodeId{n})) << "node " << n;
+  }
+  EXPECT_TRUE(m.converged());
+  // Quiescent-cluster guarantee: the detector suspected only real crashes.
+  EXPECT_GT(m.suspicions(), 0u);
+  EXPECT_EQ(m.false_suspicions(), 0u);
+  c.attach_membership(nullptr);
+}
+
+TEST(GossipChurn, QuiescentTicksAddNoSuspicions) {
+  cluster::Cluster c(testutil::small_cluster(12));
+  auto scheme = testutil::make_scheme(testutil::SchemeKind::kIl, c);
+  kv::GossipMembership m;
+  c.attach_membership(&m);
+
+  FaultInjectorOptions opts;
+  opts.enable_repair = false;
+  opts.gossip_tick_us = 500.0;
+  FaultInjector injector(*scheme, FaultPlan{}, opts);
+  injector.arm(20'000.0);
+  c.engine().run();  // ~40 gossip rounds, nobody fails
+
+  EXPECT_GT(m.rounds_elapsed(), 0u);
+  EXPECT_EQ(m.suspicions(), 0u);
+  EXPECT_EQ(m.false_suspicions(), 0u);
+  EXPECT_TRUE(m.converged());
+  c.attach_membership(nullptr);
+}
+
+}  // namespace
+}  // namespace move::fault

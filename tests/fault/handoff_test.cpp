@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/hash.hpp"
+#include "kv/kv_store.hpp"
+#include "sim/fault_accounting.hpp"
+
+/// KeyValueStore hinted handoff: writes for dead owners park on the first
+/// live non-owner successor and drain when the owner (or the holder)
+/// recovers — the Dynamo sloppy-quorum story the chaos layer builds on.
+namespace move::kv {
+namespace {
+
+constexpr std::uint32_t kNodes = 10;
+
+class HandoffFixture : public ::testing::Test {
+ protected:
+  HandoffFixture() : alive_(kNodes, true) {
+    for (std::uint32_t i = 0; i < kNodes; ++i) ring_.add_node(NodeId{i});
+    store_ = std::make_unique<KeyValueStore>(
+        ring_, 3, [this](NodeId n) { return alive_[n.value]; });
+  }
+
+  void kill(NodeId n) { alive_[n.value] = false; }
+  void revive(NodeId n) { alive_[n.value] = true; }
+
+  /// The one node currently holding parked hints (asserts exactly one).
+  NodeId sole_holder() const {
+    std::vector<NodeId> holders;
+    for (std::uint32_t i = 0; i < kNodes; ++i) {
+      if (store_->hints_on(NodeId{i}) > 0) holders.push_back(NodeId{i});
+    }
+    EXPECT_EQ(holders.size(), 1u);
+    return holders.empty() ? NodeId{0} : holders[0];
+  }
+
+  HashRing ring_;
+  std::vector<bool> alive_;
+  std::unique_ptr<KeyValueStore> store_;
+};
+
+TEST_F(HandoffFixture, DeadOwnerWriteParksOnLiveNonOwnerSuccessor) {
+  const auto owners = store_->owners("k");
+  kill(owners[1]);
+  EXPECT_EQ(store_->put("k", "v"), 2u);  // two live owners written directly
+  EXPECT_EQ(store_->handoff_queue_depth(), 1u);
+  const NodeId holder = sole_holder();
+  EXPECT_TRUE(alive_[holder.value]);
+  EXPECT_EQ(std::find(owners.begin(), owners.end(), holder), owners.end())
+      << "hint must be parked outside the owner set";
+  // The holder is the *first* live non-owner on the key's successor walk.
+  for (NodeId n : ring_.successors(common::fnv1a64("k"), kNodes - 1)) {
+    if (std::find(owners.begin(), owners.end(), n) != owners.end()) continue;
+    if (!alive_[n.value]) continue;
+    EXPECT_EQ(n, holder);
+    break;
+  }
+}
+
+TEST_F(HandoffFixture, DrainDeliversToRecoveredOwner) {
+  const auto owners = store_->owners("k");
+  kill(owners[1]);
+  store_->put("k", "v");
+  revive(owners[1]);
+  EXPECT_EQ(store_->drain_hints(owners[1]), 1u);
+  EXPECT_EQ(store_->handoff_queue_depth(), 0u);
+  // The recovered owner can now serve the key on its own.
+  kill(owners[0]);
+  kill(owners[2]);
+  ASSERT_TRUE(store_->get("k").has_value());
+  EXPECT_EQ(store_->get("k").value(), "v");
+}
+
+TEST_F(HandoffFixture, RepeatedWritesCollapseToOneHintLastWriteWins) {
+  const auto owners = store_->owners("k");
+  kill(owners[0]);
+  store_->put("k", "v1");
+  store_->put("k", "v2");
+  store_->put("k", "v3");
+  EXPECT_EQ(store_->handoff_queue_depth(), 1u);  // (target, key) deduped
+  revive(owners[0]);
+  EXPECT_EQ(store_->drain_hints(owners[0]), 1u);
+  kill(owners[1]);
+  kill(owners[2]);
+  EXPECT_EQ(store_->get("k").value(), "v3");
+}
+
+TEST_F(HandoffFixture, HintsOnDeadHolderWaitForTheHolder) {
+  const auto owners = store_->owners("k");
+  kill(owners[1]);
+  store_->put("k", "v");
+  const NodeId holder = sole_holder();
+  kill(holder);
+  revive(owners[1]);
+  // The target is back, but its hint sits on a dead holder: undeliverable.
+  EXPECT_EQ(store_->drain_hints(owners[1]), 0u);
+  EXPECT_EQ(store_->handoff_queue_depth(), 1u);
+  // Once the holder itself recovers, its outbound hints deliver.
+  revive(holder);
+  EXPECT_EQ(store_->drain_hints(holder), 1u);
+  EXPECT_EQ(store_->handoff_queue_depth(), 0u);
+  kill(owners[0]);
+  kill(owners[2]);
+  EXPECT_EQ(store_->get("k").value(), "v");
+}
+
+TEST_F(HandoffFixture, AllOwnersDeadParksOneHintPerOwner) {
+  const auto owners = store_->owners("k");
+  for (NodeId o : owners) kill(o);
+  EXPECT_EQ(store_->put("k", "v"), 0u);
+  EXPECT_EQ(store_->handoff_queue_depth(), 3u);
+  EXPECT_FALSE(store_->contains("k"));  // no live owner holds it yet
+  for (NodeId o : owners) {
+    revive(o);
+    store_->drain_hints(o);
+  }
+  EXPECT_EQ(store_->handoff_queue_depth(), 0u);
+  EXPECT_TRUE(store_->contains("k"));
+  EXPECT_EQ(store_->get("k").value(), "v");
+}
+
+TEST_F(HandoffFixture, EraseScrubsParkedHints) {
+  const auto owners = store_->owners("k");
+  kill(owners[2]);
+  store_->put("k", "v");
+  ASSERT_EQ(store_->handoff_queue_depth(), 1u);
+  store_->erase("k");
+  EXPECT_EQ(store_->handoff_queue_depth(), 0u);
+  revive(owners[2]);
+  EXPECT_EQ(store_->drain_hints(owners[2]), 0u);
+  EXPECT_FALSE(store_->contains("k"));
+}
+
+TEST_F(HandoffFixture, FaultAccountingTracksParkAndDrainVolumes) {
+  sim::FaultAccounting acc;
+  store_->attach_fault_accounting(&acc);
+  const auto owners = store_->owners("k");
+  kill(owners[0]);
+  store_->put("k", "v");
+  EXPECT_EQ(acc.hints_parked, 1u);
+  EXPECT_EQ(acc.hints_drained, 0u);
+  revive(owners[0]);
+  store_->drain_hints(owners[0]);
+  EXPECT_EQ(acc.hints_parked, 1u);
+  EXPECT_EQ(acc.hints_drained, 1u);
+}
+
+TEST_F(HandoffFixture, HealthyPutsParkNothing) {
+  for (int i = 0; i < 50; ++i) {
+    store_->put("key/" + std::to_string(i), "v");
+  }
+  EXPECT_EQ(store_->handoff_queue_depth(), 0u);
+  for (std::uint32_t i = 0; i < kNodes; ++i) {
+    EXPECT_EQ(store_->hints_on(NodeId{i}), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace move::kv
