@@ -1,0 +1,209 @@
+// Figure 10 (extension): dissemination over a *lossy* network. The paper's
+// experiments assume a reliable datacenter fabric; this bench drops that
+// assumption and sweeps per-attempt message loss over the schemes, with the
+// net layer's end-to-end reliability (timeouts, jittered retries under one
+// deadline, receiver-side dedup) switched on and off:
+//   * with retries, delivery ratio holds at 1.0 through 5% loss — the
+//     reliability layer earns its retry traffic;
+//   * without retries, delivery ratio tracks ~ (1 - loss)^hops and documents
+//     silently go incomplete.
+// A second experiment scripts a partition at T/3 healed at 2T/3 (via
+// FaultPlan net events) and samples the timeline: breakers trip on the
+// unreachable side, routing fails over, and the heal restores delivery.
+// Machine-readable output in BENCH_fig10_lossy.json.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_report.hpp"
+#include "bench_util.hpp"
+#include "fault/churn_runner.hpp"
+
+using namespace move;
+
+namespace {
+
+std::unique_ptr<core::Scheme> make_scheme(const char* name,
+                                          cluster::Cluster& c,
+                                          const bench::PaperDefaults& d,
+                                          const bench::FilterWorkload& filters,
+                                          const workload::TraceStats& corpus) {
+  std::unique_ptr<core::Scheme> scheme;
+  if (name[0] == 'm') {
+    auto s = std::make_unique<core::MoveScheme>(c, bench::move_options(d));
+    s->register_filters(filters.table);
+    s->allocate(filters.stats, corpus);
+    scheme = std::move(s);
+  } else if (name[0] == 'i') {
+    scheme = std::make_unique<core::IlScheme>(c);
+    scheme->register_filters(filters.table);
+  } else {
+    scheme = std::make_unique<core::RsScheme>(c);
+    scheme->register_filters(filters.table);
+  }
+  return scheme;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Figure 10 (lossy network)",
+                      "delivery ratio & throughput vs link loss; partitions");
+  const bench::PaperDefaults d;
+  const auto filters = bench::make_filters(d.filters);
+  const auto docs = bench::wt_generator(filters.vocabulary)
+                        .generate(d.batch_docs);
+  const auto corpus_stats = workload::compute_stats(docs, filters.vocabulary);
+
+  const double inject_rate = 2'000.0;
+  const sim::Time span_us =
+      1'000'000.0 * static_cast<double>(d.batch_docs) / inject_rate;
+
+  // One link shape across the sweep: WAN-ish latency with jitter and a
+  // small duplication rate, so dedup is always exercised; only `loss`
+  // varies. Retry policy derived from the cost model for an average
+  // document transfer.
+  const sim::CostModel cost;
+  const double avg_transfer =
+      cost.transfer_us(65) * cost.cross_rack_penalty;  // WT-like documents
+  const net::RetryPolicy retry_on = net::RetryPolicy::for_transfer(
+      cost, avg_transfer);
+
+  const auto base_config = [&](double loss, bool retries) {
+    fault::ChurnConfig cfg;
+    cfg.inject_rate_per_sec = inject_rate;
+    cfg.sample_interval_us = span_us / 20.0;
+    cfg.net.link.loss = loss;
+    cfg.net.link.latency_base_us = 40.0;
+    cfg.net.link.latency_jitter_us = 20.0;
+    cfg.net.link.duplicate = 0.005;
+    cfg.net.retry = retry_on;
+    cfg.net.retry.enabled = retries;
+    return cfg;
+  };
+
+  bench::BenchReporter report("fig10_lossy");
+  report.meta()["nodes"] = d.nodes;
+  report.meta()["filters"] = filters.table.size();
+  report.meta()["docs"] = d.batch_docs;
+  report.meta()["inject_rate_per_sec"] = inject_rate;
+  report.meta()["retry_timeout_us"] = retry_on.timeout_us;
+  report.meta()["retry_max_attempts"] = retry_on.max_attempts;
+  report.meta()["retry_deadline_us"] = retry_on.deadline_us;
+
+  const auto fill_net = [](obs::Json& row, const sim::RunMetrics& m) {
+    row["metrics"]["delivery_ratio"] = m.net_acc.delivery_ratio();
+    row["metrics"]["doc_completion_ratio"] =
+        m.documents_published > 0
+            ? static_cast<double>(m.documents_completed) /
+                  static_cast<double>(m.documents_published)
+            : 1.0;
+    row["metrics"]["messages"] = m.net_acc.messages;
+    row["metrics"]["retries"] = m.net_acc.retries;
+    row["metrics"]["timeouts"] = m.net_acc.timeouts;
+    row["metrics"]["drops"] = m.net_acc.drops;
+    row["metrics"]["duplicates"] = m.net_acc.duplicates;
+    row["metrics"]["dup_suppressed"] = m.net_acc.dup_suppressed;
+    row["metrics"]["expired"] = m.net_acc.expired;
+    row["metrics"]["breaker_trips"] = m.net_acc.breaker_trips;
+    row["metrics"]["shed"] = m.net_acc.shed;
+  };
+
+  // --- sweep: loss x scheme x {retries on, off} ----------------------------
+  const double losses[] = {0.0, 0.01, 0.05, 0.1};
+  const char* names[] = {"move", "il", "rs"};
+
+  std::printf("P=%zu, N=%zu, Q=%zu docs at %.0f/s\n\n", filters.table.size(),
+              d.nodes, d.batch_docs, inject_rate);
+  std::printf("%-6s %-6s %-8s %-12s %-10s %-10s %-10s %-8s\n", "scheme",
+              "loss", "retries", "tput/s", "dlv_ratio", "doc_ratio",
+              "retries#", "expired");
+
+  for (const char* name : names) {
+    for (const double loss : losses) {
+      for (const bool retries : {true, false}) {
+        if (!retries && loss == 0.0) continue;  // nothing to ablate at 0
+        cluster::Cluster c(bench::cluster_config(d, d.nodes));
+        auto scheme = make_scheme(name, c, d, filters, corpus_stats);
+        const fault::FaultPlan plan(0xf1610ULL);  // no node churn: loss only
+        const auto cfg = base_config(loss, retries);
+        const auto result = fault::run_churn(*scheme, docs, plan, cfg);
+        const auto& m = result.metrics;
+
+        auto& row = report.add_row(std::string(name) +
+                                   (retries ? "" : "_noretry"));
+        row["knobs"]["loss"] = loss;
+        row["knobs"]["retries"] = retries;
+        bench::BenchReporter::fill_run_metrics(row, m);
+        fill_net(row, m);
+
+        std::printf("%-6s %-6.2f %-8s %-12.4g %-10.6f %-10.6f %-10llu "
+                    "%-8llu\n",
+                    name, loss, retries ? "on" : "off",
+                    m.throughput_per_sec(), m.net_acc.delivery_ratio(),
+                    m.documents_published > 0
+                        ? static_cast<double>(m.documents_completed) /
+                              static_cast<double>(m.documents_published)
+                        : 1.0,
+                    static_cast<unsigned long long>(m.net_acc.retries),
+                    static_cast<unsigned long long>(m.net_acc.expired));
+      }
+    }
+  }
+
+  // --- partition / heal timeline -------------------------------------------
+  // Cut the upper half of the cluster away from the lower half (publisher
+  // side) at T/3; heal at 2T/3. Link keeps 1% loss so retries stay busy.
+  std::printf("\npartition timeline: cut upper half at T/3, heal at 2T/3\n");
+  std::printf("%-6s %-12s %-10s %-12s %-10s %-10s\n", "scheme", "tput/s",
+              "dlv_ratio", "brk_trips", "expired", "healed");
+  for (const char* name : names) {
+    cluster::Cluster c(bench::cluster_config(d, d.nodes));
+    auto scheme = make_scheme(name, c, d, filters, corpus_stats);
+
+    std::vector<NodeId> lower, upper;
+    for (std::size_t n = 0; n < d.nodes; ++n) {
+      (n < d.nodes / 2 ? lower : upper)
+          .push_back(NodeId{static_cast<std::uint32_t>(n)});
+    }
+    fault::FaultPlan plan(0xf1611ULL);
+    plan.partition("split", lower, upper, span_us / 3.0);
+    plan.heal("split", 2.0 * span_us / 3.0);
+
+    const auto cfg = base_config(0.01, true);
+    const auto result = fault::run_churn(*scheme, docs, plan, cfg);
+    const auto& m = result.metrics;
+
+    for (const auto& s : result.samples) {
+      auto& row = report.add_row(std::string(name) + "_partition");
+      row["knobs"]["t_us"] = s.t_us;
+      row["metrics"]["throughput_per_sec"] = s.throughput_per_sec;
+      row["metrics"]["delivery_ratio"] = s.net.delivery_ratio();
+      row["metrics"]["messages"] = s.net.messages;
+      row["metrics"]["drops"] = s.net.drops;
+      row["metrics"]["retries"] = s.net.retries;
+      row["metrics"]["expired"] = s.net.expired;
+      row["metrics"]["breaker_trips"] = s.net.breaker_trips;
+      row["metrics"]["breaker_fast_fails"] = s.net.breaker_fast_fails;
+    }
+    auto& summary = report.add_row(std::string(name) + "_partition_summary");
+    bench::BenchReporter::fill_run_metrics(summary, m);
+    fill_net(summary, m);
+    summary["metrics"]["partitions_started"] =
+        result.timeline.partitions_started;
+    summary["metrics"]["partitions_healed"] =
+        result.timeline.partitions_healed;
+
+    std::printf("%-6s %-12.4g %-10.6f %-12llu %-10llu %-10llu\n", name,
+                m.throughput_per_sec(), m.net_acc.delivery_ratio(),
+                static_cast<unsigned long long>(m.net_acc.breaker_trips),
+                static_cast<unsigned long long>(m.net_acc.expired),
+                static_cast<unsigned long long>(
+                    result.timeline.partitions_healed));
+  }
+
+  std::printf("\n(expected: delivery ratio 1.0 through 5%% loss with "
+              "retries, < 1 without; partition dents delivery until the "
+              "heal)\n");
+  return report.write() ? 0 : 1;
+}

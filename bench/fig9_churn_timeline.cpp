@@ -142,6 +142,5 @@ int main() {
 
   std::printf("\n(expected: availability dips at T/3, recovers via repair "
               "before 2T/3; hints drain at 2T/3)\n");
-  report.write();
-  return 0;
+  return report.write() ? 0 : 1;
 }

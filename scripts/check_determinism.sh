@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Runs each given bench binary twice (same seeds, same scale) and requires
+# the machine-readable BENCH_*.json outputs to be byte-identical. The bench
+# JSON is pure virtual-clock/seeded data — no wall-clock fields — so a plain
+# diff is the whole check; any divergence means an unseeded draw, a
+# wall-clock read, or address-dependent iteration order crept into the
+# pipeline. Normalization below is defensive: should a volatile field ever
+# be added to the schema, extend STRIP_KEYS rather than weakening the diff.
+#
+# Usage: check_determinism.sh <bench-binary> [<bench-binary>...]
+# Env:   MOVE_BENCH_SCALE  workload scale for the runs (default 0.02 — the
+#        check cares about byte-identity, not statistical fidelity, so the
+#        smallest workload that still exercises every code path wins)
+set -euo pipefail
+
+if [ "$#" -lt 1 ]; then
+  echo "usage: $0 <bench-binary> [<bench-binary>...]" >&2
+  exit 2
+fi
+
+scale="${MOVE_BENCH_SCALE:-0.02}"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+# Keys whose values are allowed to differ between runs (none today).
+STRIP_KEYS='^$'
+
+normalize() {
+  # Drop lines whose key matches STRIP_KEYS (e.g. future timestamps).
+  grep -Ev "\"(${STRIP_KEYS})\":" "$1" || true
+}
+
+status=0
+for bin in "$@"; do
+  name="$(basename "$bin")"
+  if [ ! -x "$bin" ]; then
+    echo "FAIL $name: not an executable: $bin" >&2
+    status=1
+    continue
+  fi
+  for run in 1 2; do
+    out="$tmp/$name/$run"
+    mkdir -p "$out"
+    if ! MOVE_BENCH_SCALE="$scale" MOVE_BENCH_OUT="$out" "$bin" \
+        >"$out/stdout.log" 2>&1; then
+      echo "FAIL $name: run $run exited nonzero (log: $out/stdout.log)" >&2
+      sed 's/^/    /' "$out/stdout.log" | tail -20 >&2
+      exit 1
+    fi
+  done
+
+  jsons=("$tmp/$name/1"/BENCH_*.json)
+  if [ ! -e "${jsons[0]}" ]; then
+    echo "FAIL $name: produced no BENCH_*.json" >&2
+    status=1
+    continue
+  fi
+  for f1 in "${jsons[@]}"; do
+    f2="$tmp/$name/2/$(basename "$f1")"
+    if [ ! -e "$f2" ]; then
+      echo "FAIL $name: second run did not produce $(basename "$f1")" >&2
+      status=1
+      continue
+    fi
+    if diff -u <(normalize "$f1") <(normalize "$f2") >"$tmp/diff.out"; then
+      echo "OK   $name: $(basename "$f1") identical across runs"
+    else
+      echo "FAIL $name: $(basename "$f1") differs between identical runs" >&2
+      head -40 "$tmp/diff.out" >&2
+      status=1
+    fi
+  done
+done
+
+exit "$status"

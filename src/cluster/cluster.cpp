@@ -92,6 +92,7 @@ void Cluster::attach_membership(kv::GossipMembership* membership) {
 
 bool Cluster::routing_believes_alive(NodeId subject) const {
   if (subject.value >= alive_.size()) return false;
+  if (routing_veto_ && routing_veto_(subject)) return false;
   if (membership_ == nullptr) return alive_[subject.value];
   for (std::uint32_t i = 0; i < alive_.size(); ++i) {
     if (alive_[i]) return membership_->believes_alive(NodeId{i}, subject);

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string_view>
 #include <vector>
 
@@ -95,8 +96,18 @@ class Cluster {
   /// Liveness as routing sees it: with a membership attached, the belief of
   /// the lowest-id truly-live node (the coordinator a publisher proxies
   /// through) — which can lag reality in both directions; without one,
-  /// ground truth. Used by the schemes' failover paths.
+  /// ground truth. Used by the schemes' failover paths. A routing veto (the
+  /// transport's circuit breakers) overrides either source: a vetoed node
+  /// is treated as dead so publishes fail over away from it.
   [[nodiscard]] bool routing_believes_alive(NodeId subject) const;
+
+  /// Extra routing-level health input consulted by routing_believes_alive:
+  /// return true to veto (treat as dead). Used to feed the net layer's
+  /// per-destination circuit breakers back into failover routing. Pass an
+  /// empty function to detach. The callable must outlive the cluster or be
+  /// detached first.
+  using RoutingVetoFn = std::function<bool(NodeId)>;
+  void set_routing_veto(RoutingVetoFn veto) { routing_veto_ = std::move(veto); }
 
   /// Failure-path counters shared by routing failover, hinted handoff, and
   /// the repair pipeline. Mutable-by-design (the schemes update it from
@@ -147,6 +158,7 @@ class Cluster {
   std::vector<sim::FifoServer> servers_;
   std::vector<bool> alive_;
   kv::GossipMembership* membership_ = nullptr;
+  RoutingVetoFn routing_veto_;
   mutable sim::FaultAccounting fault_acc_;
 };
 

@@ -1,6 +1,16 @@
 #include "common/rng.hpp"
 
+#include "common/hash.hpp"
+
 namespace move::common {
+
+SplitMix64 named_stream(std::uint64_t seed,
+                        std::string_view subsystem) noexcept {
+  // Mix the subsystem name's hash into the seed through one SplitMix64 step
+  // so streams for different names are decorrelated even for tiny seeds.
+  SplitMix64 mixer(seed ^ fnv1a64(subsystem));
+  return SplitMix64(mixer());
+}
 
 std::uint64_t uniform_below(SplitMix64& rng, std::uint64_t bound) noexcept {
   if (bound <= 1) return 0;

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <string_view>
 
 /// Deterministic random number generation.
 ///
@@ -41,6 +42,15 @@ class SplitMix64 {
  private:
   std::uint64_t state_;
 };
+
+/// Named per-subsystem stream of a master seed. Each subsystem that draws
+/// randomness ("net", "fault", "workload", ...) derives its own stream from
+/// the experiment's one seed, so adding draws to one subsystem never
+/// perturbs another's sequence — the property the determinism goldens rely
+/// on when a new randomized layer (e.g. the lossy network) is bolted onto
+/// an existing seeded pipeline. Same (seed, name) => same stream, always.
+[[nodiscard]] SplitMix64 named_stream(std::uint64_t seed,
+                                      std::string_view subsystem) noexcept;
 
 /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
 [[nodiscard]] std::uint64_t uniform_below(SplitMix64& rng,

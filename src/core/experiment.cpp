@@ -37,17 +37,28 @@ std::uint32_t count_hops(const std::vector<Hop>& hops) {
 }
 
 /// Schedules one hop: network delay, then serial service at the target
-/// node's FIFO server, then the dependent hops.
-void schedule_hop(cluster::Cluster& c, RunState& state, std::size_t doc,
-                  const Hop& hop) {
-  c.engine().schedule_after(hop.transfer_us, [&c, &state, doc, hop] {
-    c.server(hop.node).submit(hop.service_us, [&c, &state, doc,
+/// node's FIFO server, then the dependent hops. With a transport the
+/// network delay is a `send` (loss / retries / dedup apply; an expired or
+/// shed hop never serves, leaving its document incomplete); without one it
+/// is a plain engine delay — the identical single event.
+void schedule_hop(cluster::Cluster& c, net::Transport* net, RunState& state,
+                  std::size_t doc, NodeId src, const Hop& hop) {
+  auto arrive = [&c, net, &state, doc, hop] {
+    c.server(hop.node).submit(hop.service_us, [&c, net, &state, doc,
                                                hop](sim::Time done) {
       // Children depart when the parent finishes serving (forwarding).
-      for (const Hop& child : hop.then) schedule_hop(c, state, doc, child);
+      for (const Hop& child : hop.then) {
+        schedule_hop(c, net, state, doc, hop.node, child);
+      }
       state.complete_hop(doc, done);
     });
-  });
+  };
+  if (net != nullptr) {
+    net->send(src, hop.node, hop.transfer_us, net::Priority::kNormal,
+              [arrive](sim::Time) { arrive(); });
+  } else {
+    c.engine().schedule_after(hop.transfer_us, arrive);
+  }
 }
 
 }  // namespace
@@ -66,6 +77,9 @@ sim::RunMetrics run_dissemination(Scheme& scheme,
     acc_before += c.node(NodeId{n}).accounting_totals();
   }
   const sim::FaultAccounting fault_before = c.fault_acc();
+  const sim::NetAccounting net_before =
+      config.transport != nullptr ? config.transport->accounting()
+                                  : sim::NetAccounting{};
 
   auto state = std::make_unique<RunState>();
   state->collect_latencies = config.collect_latencies;
@@ -83,8 +97,8 @@ sim::RunMetrics run_dissemination(Scheme& scheme,
   for (std::size_t i = 0; i < docs.size(); ++i) {
     const sim::Time inject_at =
         state->start_us + gap_us * static_cast<double>(i);
-    c.engine().schedule_at(inject_at, [&scheme, &c, &state_ref = *state, i,
-                                       &docs] {
+    c.engine().schedule_at(inject_at, [&scheme, &c, &config,
+                                       &state_ref = *state, i, &docs] {
       auto plan = scheme.plan_publish(docs.row(i));
       state_ref.publish_time_us[i] = c.engine().now();
       state_ref.metrics.notifications += plan.matches.size();
@@ -102,7 +116,8 @@ sim::RunMetrics run_dissemination(Scheme& scheme,
       }
       state_ref.outstanding[i] = hops;
       for (const Hop& hop : plan.hops) {
-        schedule_hop(c, state_ref, i, hop);
+        schedule_hop(c, config.transport, state_ref, i, net::kClientNode,
+                     hop);
       }
     });
   }
@@ -134,6 +149,9 @@ sim::RunMetrics run_dissemination(Scheme& scheme,
   m.match_acc.candidates_verified =
       acc_after.candidates_verified - acc_before.candidates_verified;
   m.fault_acc = c.fault_acc().delta_since(fault_before);
+  if (config.transport != nullptr) {
+    m.net_acc = config.transport->accounting().delta_since(net_before);
+  }
   return std::move(*state).metrics;
 }
 

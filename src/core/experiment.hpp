@@ -3,6 +3,7 @@
 #include <cstdint>
 
 #include "core/scheme.hpp"
+#include "net/transport.hpp"
 #include "sim/metrics.hpp"
 #include "workload/term_set_table.hpp"
 
@@ -20,6 +21,12 @@ struct RunConfig {
   double inject_rate_per_sec = 1000.0;
   /// Collect per-document latencies (costs memory at large Q).
   bool collect_latencies = true;
+  /// Optional message layer: when set, every publish hop rides it (loss,
+  /// retries, dedup, breakers — see move::net), and the run's net
+  /// accounting delta lands in RunMetrics::net_acc. The transport must run
+  /// on the scheme's cluster engine and outlive the run. nullptr keeps the
+  /// pre-net direct scheduling — bit-identical, zero overhead.
+  net::Transport* transport = nullptr;
 };
 
 /// Executes one dissemination run of `docs` through `scheme`.

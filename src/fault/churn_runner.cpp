@@ -42,13 +42,18 @@ std::uint32_t count_hops(const std::vector<core::Hop>& hops) {
   return n;
 }
 
-void schedule_hop(cluster::Cluster& c, ChurnState& state, std::size_t doc,
-                  const core::Hop& hop) {
-  c.engine().schedule_after(hop.transfer_us, [&c, &state, doc, hop] {
+void schedule_hop(cluster::Cluster& c, net::Transport& net, ChurnState& state,
+                  std::size_t doc, NodeId src, const core::Hop& hop) {
+  // The hop's transfer is a transport send: on a pass-through link this is
+  // exactly one engine event (bit-identical to scheduling directly); on a
+  // lossy link the reliability layer retries it, and an expired/shed hop
+  // simply never serves — its document stays incomplete.
+  net.send(src, hop.node, hop.transfer_us, net::Priority::kNormal,
+           [&c, &net, &state, doc, hop](sim::Time) {
     c.server(hop.node).submit(hop.service_us,
-                              [&c, &state, doc, hop](sim::Time done) {
+                              [&c, &net, &state, doc, hop](sim::Time done) {
       for (const core::Hop& child : hop.then) {
-        schedule_hop(c, state, doc, child);
+        schedule_hop(c, net, state, doc, hop.node, child);
       }
       state.complete_hop(doc, done);
     });
@@ -78,7 +83,23 @@ ChurnResult run_churn(core::Scheme& scheme,
     registry->attach_fault_accounting(&c.fault_acc());
   }
 
-  FaultInjector injector(scheme, plan, config.injector, registry.get());
+  // The message layer every publish hop (and, when lossy, every control
+  // RPC) rides. Seed 0 derives the net stream from the plan seed so one
+  // seed reproduces the whole run.
+  net::NetOptions net_options = config.net;
+  if (net_options.seed == 0) net_options.seed = plan.seed();
+  net::Transport transport(c.engine(), net_options);
+  transport.set_queue_depth_fn([&c](NodeId n) -> std::size_t {
+    if (n.value >= c.size()) return 0;
+    return c.server(n).queue_depth(c.engine().now());
+  });
+  // Tripped breakers look dead to routing, so publishes fail over away from
+  // unresponsive destinations just as they do from crashed ones.
+  c.set_routing_veto(
+      [&transport](NodeId n) { return transport.breaker_open(n); });
+
+  FaultInjector injector(scheme, plan, config.injector, registry.get(),
+                         &transport);
 
   index::MatchAccounting acc_before;
   for (std::uint32_t n = 0; n < c.size(); ++n) {
@@ -101,8 +122,8 @@ ChurnResult run_churn(core::Scheme& scheme,
   for (std::size_t i = 0; i < docs.size(); ++i) {
     const sim::Time inject_at =
         state->start_us + gap_us * static_cast<double>(i);
-    c.engine().schedule_at(inject_at, [&scheme, &c, &state_ref = *state, i,
-                                       &docs] {
+    c.engine().schedule_at(inject_at, [&scheme, &c, &transport,
+                                       &state_ref = *state, i, &docs] {
       auto publish_plan = scheme.plan_publish(docs.row(i));
       state_ref.publish_time_us[i] = c.engine().now();
       state_ref.metrics.notifications += publish_plan.matches.size();
@@ -114,8 +135,19 @@ ChurnResult run_churn(core::Scheme& scheme,
         return;
       }
       state_ref.outstanding[i] = hops;
+      // First-level hops depart from the coordinator the publisher proxies
+      // through — the lowest-id live node, the same convention routing's
+      // membership view uses. (Irrelevant on a pass-through link; under a
+      // partition it puts the publisher on one side of the cut.)
+      NodeId publisher = net::kClientNode;
+      for (std::uint32_t n = 0; n < c.size(); ++n) {
+        if (c.alive(NodeId{n})) {
+          publisher = NodeId{n};
+          break;
+        }
+      }
       for (const core::Hop& hop : publish_plan.hops) {
-        schedule_hop(c, state_ref, i, hop);
+        schedule_hop(c, transport, state_ref, i, publisher, hop);
       }
     });
   }
@@ -147,6 +179,7 @@ ChurnResult run_churn(core::Scheme& scheme,
         registry != nullptr ? registry->handoff_queue_depth() : 0;
     s.repair_backlog = injector.repair_backlog();
     s.fault = c.fault_acc().delta_since(fault_before);
+    s.net = transport.accounting();
     result.min_availability = std::min(result.min_availability,
                                        s.availability);
     availability_weighted += s.availability * config.sample_interval_us;
@@ -186,6 +219,7 @@ ChurnResult run_churn(core::Scheme& scheme,
   m.match_acc.candidates_verified =
       acc_after.candidates_verified - acc_before.candidates_verified;
   m.fault_acc = c.fault_acc().delta_since(fault_before);
+  m.net_acc = transport.accounting();  // fresh transport: totals == delta
 
   result.timeline = injector.timeline();
   if (registry != nullptr) {
@@ -199,6 +233,7 @@ ChurnResult run_churn(core::Scheme& scheme,
   }
 
   if (config.attach_membership) c.attach_membership(nullptr);
+  c.set_routing_veto(nullptr);  // the transport dies with this frame
   c.revive_all();
   result.metrics = std::move(m);
   return result;

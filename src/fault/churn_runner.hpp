@@ -6,6 +6,7 @@
 #include "core/experiment.hpp"
 #include "fault/fault_injector.hpp"
 #include "kv/gossip.hpp"
+#include "net/transport.hpp"
 
 /// Dynamic churn timelines: one dissemination run with a FaultPlan armed on
 /// the same virtual clock, sampled at a fixed cadence. This is what extends
@@ -29,6 +30,11 @@ struct ChurnConfig {
   /// delivery registry), which exercises hinted handoff under the same
   /// churn; 0 replicas disables the registry.
   std::size_t registry_replicas = 3;
+  /// Message-layer configuration. Every publish hop rides the transport;
+  /// the default LinkModel is an exact pass-through, so a churn run without
+  /// net faults stays bit-identical to the pre-net layer. A seed of 0
+  /// derives the net stream from the plan's seed.
+  net::NetOptions net;
 };
 
 /// One point of the churn timeline (times relative to the run start).
@@ -40,6 +46,7 @@ struct ChurnSample {
   std::size_t handoff_queue_depth = 0;  ///< registry hints parked
   std::size_t repair_backlog = 0;       ///< entries awaiting re-application
   sim::FaultAccounting fault;           ///< cumulative run totals so far
+  sim::NetAccounting net;               ///< cumulative transport totals so far
 };
 
 struct ChurnResult {

@@ -8,12 +8,18 @@ namespace move::fault {
 
 FaultInjector::FaultInjector(core::Scheme& scheme, FaultPlan plan,
                              FaultInjectorOptions options,
-                             kv::KeyValueStore* store)
+                             kv::KeyValueStore* store,
+                             net::Transport* transport)
     : scheme_(&scheme), cluster_(&scheme.cluster()), plan_(std::move(plan)),
-      options_(options), store_(store), rng_(plan_.seed()) {}
+      options_(options), store_(store), transport_(transport),
+      rng_(plan_.seed()) {}
 
 void FaultInjector::arm(sim::Time horizon_us) {
   if (armed_) throw std::logic_error("FaultInjector::arm called twice");
+  if (transport_ == nullptr && plan_.has_net_events()) {
+    throw std::logic_error(
+        "FaultInjector::arm: plan has net events but no transport attached");
+  }
   armed_ = true;
   auto& engine = cluster_->engine();
   const sim::Time start = engine.now();
@@ -65,6 +71,35 @@ void FaultInjector::execute(const FaultEvent& event) {
     case FaultEvent::Kind::kAddNode:
       on_add_node();
       break;
+    case FaultEvent::Kind::kSetLoss:
+    case FaultEvent::Kind::kPartition:
+    case FaultEvent::Kind::kHeal:
+      on_net_event(event);
+      break;
+  }
+}
+
+void FaultInjector::on_net_event(const FaultEvent& event) {
+  switch (event.kind) {
+    case FaultEvent::Kind::kSetLoss: {
+      net::LinkModel link = transport_->link();
+      link.loss = event.fraction;
+      transport_->set_link(link);
+      ++timeline_.loss_changes;
+      break;
+    }
+    case FaultEvent::Kind::kPartition:
+      transport_->partitions().add(event.label, event.side_a, event.side_b,
+                                   event.bidirectional);
+      ++timeline_.partitions_started;
+      break;
+    case FaultEvent::Kind::kHeal:
+      if (transport_->partitions().heal(event.label)) {
+        ++timeline_.partitions_healed;
+      }
+      break;
+    default:
+      break;
   }
 }
 
@@ -75,6 +110,12 @@ void FaultInjector::on_fail(NodeId node) {
   if (timeline_.failures == 0) timeline_.first_failure_us = now;
   ++timeline_.failures;
   down_since_[node.value] = now;
+  if (store_ != nullptr) {
+    // The failure detector saw this holder die: evacuate any hints it was
+    // parking to the next live stand-in so they survive the holder's death
+    // instead of being stranded until it recovers.
+    timeline_.hints_reparked += store_->repark_hints(node);
+  }
   enqueue_repair(node);
 }
 
@@ -89,8 +130,38 @@ void FaultInjector::on_recover(NodeId node) {
     down_since_.erase(it);
   }
   if (store_ != nullptr) {
-    timeline_.hints_drained += store_->drain_hints(node);
+    // The drain is an RPC to the recovered node; on a lossy transport it
+    // can arrive late (or, after all resends, not at all).
+    send_control(node,
+                 [this, node] {
+                   timeline_.hints_drained += store_->drain_hints(node);
+                 },
+                 options_.control_resends);
   }
+}
+
+void FaultInjector::send_control(NodeId dst, std::function<void()> apply,
+                                 std::size_t resends_left) {
+  if (transport_ == nullptr || transport_->pass_through()) {
+    apply();
+    return;
+  }
+  ++timeline_.control_rpcs;
+  transport_->send(
+      net::kClientNode, dst, options_.control_transfer_us,
+      net::Priority::kHigh, [apply](sim::Time) { apply(); },
+      [this, dst, apply, resends_left](net::SendOutcome) {
+        if (resends_left == 0) {
+          ++timeline_.control_dropped;
+          return;
+        }
+        // Re-send after a pause (never inline: a breaker fast-fail would
+        // otherwise loop at the same virtual instant).
+        cluster_->engine().schedule_after(
+            options_.control_retry_us, [this, dst, apply, resends_left] {
+              send_control(dst, apply, resends_left - 1);
+            });
+      });
 }
 
 void FaultInjector::on_add_node() {
@@ -128,9 +199,28 @@ void FaultInjector::pump_repair() {
                                            static_cast<std::ptrdiff_t>(n));
   repair_queue_.erase(repair_queue_.begin(),
                       repair_queue_.begin() + static_cast<std::ptrdiff_t>(n));
-  scheme_->apply_repair_entries(batch);
-  ++timeline_.repair_batches;
-  timeline_.repair_entries_applied += n;
+  // The batch apply is an RPC to the repair coordinator (the lowest-id live
+  // node, matching the routing convention); on a lossy transport it rides
+  // the reliability layer like everything else.
+  NodeId coordinator{0};
+  bool found = false;
+  for (std::uint32_t i = 0; i < cluster_->size(); ++i) {
+    if (cluster_->alive(NodeId{i})) {
+      coordinator = NodeId{i};
+      found = true;
+      break;
+    }
+  }
+  auto apply = [this, batch = std::move(batch), n] {
+    scheme_->apply_repair_entries(batch);
+    ++timeline_.repair_batches;
+    timeline_.repair_entries_applied += n;
+  };
+  if (found) {
+    send_control(coordinator, std::move(apply), options_.control_resends);
+  } else {
+    apply();  // whole cluster down: degenerate, apply in place
+  }
   if (!repair_queue_.empty()) schedule_repair_pump();
 }
 

@@ -2,12 +2,14 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
 #include "core/scheme.hpp"
 #include "fault/fault_plan.hpp"
 #include "kv/kv_store.hpp"
+#include "net/transport.hpp"
 
 /// Executes a FaultPlan through the cluster's event engine, wiring the
 /// recovery machinery end-to-end:
@@ -34,6 +36,17 @@ struct FaultInjectorOptions {
   /// the cluster has a membership attached.
   std::size_t gossip_rounds_per_tick = 1;
   sim::Time gossip_tick_us = 5'000.0;
+
+  /// Control-plane RPC shape when a *lossy* transport is attached: repair
+  /// batches and recovery hint-drains then ride the transport as kHigh
+  /// messages (client -> coordinator/target) instead of executing
+  /// synchronously. Each RPC that terminally fails is re-sent after
+  /// `control_retry_us`, up to `control_resends` times, then dropped.
+  /// With a pass-through (or absent) transport these are unused and the
+  /// control plane stays synchronous — bit-identical to the pre-net layer.
+  double control_transfer_us = 120.0;
+  sim::Time control_retry_us = 10'000.0;
+  std::size_t control_resends = 6;
 };
 
 /// What the injector observed while executing the plan.
@@ -47,6 +60,12 @@ struct FaultTimeline {
   std::uint64_t repair_batches = 0;
   std::uint64_t repair_entries_applied = 0;  ///< entries offered to repair
   std::uint64_t hints_drained = 0;           ///< via the attached store
+  std::uint64_t hints_reparked = 0;   ///< hints moved off a dying holder
+  std::uint64_t loss_changes = 0;     ///< kSetLoss events executed
+  std::uint64_t partitions_started = 0;
+  std::uint64_t partitions_healed = 0;
+  std::uint64_t control_rpcs = 0;     ///< control ops sent via the transport
+  std::uint64_t control_dropped = 0;  ///< control ops lost after all resends
 };
 
 class FaultInjector {
@@ -54,9 +73,13 @@ class FaultInjector {
   /// `store` (optional) is the hinted-handoff KV store to drain on node
   /// recovery; it must outlive the injector. The scheme's cluster supplies
   /// the engine, liveness, and (optionally) the gossip membership.
+  /// `transport` (optional) is the message layer the plan's net events
+  /// (kSetLoss / kPartition / kHeal) act on; net events in a plan without a
+  /// transport attached throw at arm() time.
   FaultInjector(core::Scheme& scheme, FaultPlan plan,
                 FaultInjectorOptions options = {},
-                kv::KeyValueStore* store = nullptr);
+                kv::KeyValueStore* store = nullptr,
+                net::Transport* transport = nullptr);
 
   /// Schedules every plan event (relative to engine now) plus — when the
   /// cluster has a membership and gossip ticks are enabled — a finite train
@@ -77,6 +100,11 @@ class FaultInjector {
   void on_fail(NodeId node);
   void on_recover(NodeId node);
   void on_add_node();
+  void on_net_event(const FaultEvent& event);
+  /// Runs `apply` at `dst` — synchronously without a lossy transport, as a
+  /// kHigh transport RPC (with bounded resends) otherwise.
+  void send_control(NodeId dst, std::function<void()> apply,
+                    std::size_t resends_left);
   void enqueue_repair(NodeId node);
   void schedule_repair_pump();
   void pump_repair();
@@ -86,6 +114,7 @@ class FaultInjector {
   FaultPlan plan_;
   FaultInjectorOptions options_;
   kv::KeyValueStore* store_;
+  net::Transport* transport_;
   common::SplitMix64 rng_;
   FaultTimeline timeline_;
   std::deque<core::RepairEntry> repair_queue_;

@@ -32,6 +32,45 @@ FaultPlan& FaultPlan::add_node(sim::Time at_us) {
   return *this;
 }
 
+FaultPlan& FaultPlan::set_loss(double loss, sim::Time at_us) {
+  if (loss < 0.0 || loss > 1.0) {
+    throw std::invalid_argument("FaultPlan::set_loss: bad probability");
+  }
+  events_.push_back(
+      FaultEvent{at_us, FaultEvent::Kind::kSetLoss, NodeId{0}, loss});
+  return *this;
+}
+
+FaultPlan& FaultPlan::partition(std::string name, std::vector<NodeId> side_a,
+                                std::vector<NodeId> side_b, sim::Time at_us,
+                                bool bidirectional) {
+  FaultEvent e{at_us, FaultEvent::Kind::kPartition, NodeId{0}, 0.0};
+  e.label = std::move(name);
+  e.side_a = std::move(side_a);
+  e.side_b = std::move(side_b);
+  e.bidirectional = bidirectional;
+  events_.push_back(std::move(e));
+  return *this;
+}
+
+FaultPlan& FaultPlan::heal(std::string name, sim::Time at_us) {
+  FaultEvent e{at_us, FaultEvent::Kind::kHeal, NodeId{0}, 0.0};
+  e.label = std::move(name);
+  events_.push_back(std::move(e));
+  return *this;
+}
+
+bool FaultPlan::has_net_events() const noexcept {
+  for (const FaultEvent& e : events_) {
+    if (e.kind == FaultEvent::Kind::kSetLoss ||
+        e.kind == FaultEvent::Kind::kPartition ||
+        e.kind == FaultEvent::Kind::kHeal) {
+      return true;
+    }
+  }
+  return false;
+}
+
 std::vector<FaultEvent> FaultPlan::sorted_events() const {
   std::vector<FaultEvent> out = events_;
   std::stable_sort(out.begin(), out.end(),

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -20,12 +21,21 @@ struct FaultEvent {
     kRecover,       ///< revive one crashed node
     kFailFraction,  ///< crash ceil(fraction * live) distinct live nodes
     kAddNode,       ///< join a fresh node (triggers incremental migration)
+    kSetLoss,       ///< change the transport's link loss probability
+    kPartition,     ///< start a named partition between two node sets
+    kHeal,          ///< end a previously started named partition
   };
 
   sim::Time at_us = 0;      ///< relative to the run's start
   Kind kind = Kind::kFail;
   NodeId node{0};           ///< kFail / kRecover target
-  double fraction = 0.0;    ///< kFailFraction only
+  double fraction = 0.0;    ///< kFailFraction fraction / kSetLoss probability
+
+  // --- net events only (kPartition / kHeal) --------------------------------
+  std::string label;            ///< partition name (heal targets it)
+  std::vector<NodeId> side_a;   ///< kPartition: one side of the cut
+  std::vector<NodeId> side_b;   ///< kPartition: the other side
+  bool bidirectional = true;    ///< false: only a->b traffic is cut
 };
 
 class FaultPlan {
@@ -37,10 +47,27 @@ class FaultPlan {
   FaultPlan& fail_fraction(double fraction, sim::Time at_us);
   FaultPlan& add_node(sim::Time at_us);
 
+  // --- net events (require a transport attached to the injector) -----------
+
+  /// Sets the transport's uniform link-loss probability at `at_us`.
+  FaultPlan& set_loss(double loss, sim::Time at_us);
+  /// Starts a named partition cutting traffic between the two sides
+  /// (both directions unless `bidirectional` is false, in which case only
+  /// side_a -> side_b messages are cut — asymmetric, e.g. acks still pass).
+  FaultPlan& partition(std::string name, std::vector<NodeId> side_a,
+                       std::vector<NodeId> side_b, sim::Time at_us,
+                       bool bidirectional = true);
+  /// Heals the named partition (no-op if it never started or already healed).
+  FaultPlan& heal(std::string name, sim::Time at_us);
+
   [[nodiscard]] const std::vector<FaultEvent>& events() const noexcept {
     return events_;
   }
   [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  /// True when the plan contains transport-level events (loss / partition /
+  /// heal) — runners use this to decide whether control-plane traffic must
+  /// be routed through the transport.
+  [[nodiscard]] bool has_net_events() const noexcept;
   [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
 
   /// Events ordered by time; ties keep insertion order (stable), so the

@@ -30,7 +30,7 @@ std::vector<NodeId> KeyValueStore::owners(std::string_view key) const {
   return out;
 }
 
-void KeyValueStore::park_hint(std::uint64_t key_hash, NodeId target,
+bool KeyValueStore::park_hint(std::uint64_t key_hash, NodeId target,
                               std::string_view key, std::string_view value) {
   // The hint holder is the first live node on the successor walk that is
   // NOT itself an owner — Dynamo's "next node on the preference list".
@@ -48,15 +48,16 @@ void KeyValueStore::park_hint(std::uint64_t key_hash, NodeId target,
     for (auto it = queue.rbegin(); it != queue.rend(); ++it) {
       if (it->target == target.value && it->key == key) {
         it->value = std::string(value);
-        return;
+        return true;
       }
     }
     queue.push_back(Hint{target.value, std::string(key), std::string(value)});
     if (m_hints_parked_) m_hints_parked_->inc();
     if (fault_acc_ != nullptr) ++fault_acc_->hints_parked;
-    return;
+    return true;
   }
   // No live stand-in either: the write is simply sloppy-lost for this owner.
+  return false;
 }
 
 std::size_t KeyValueStore::put(std::string_view key, std::string_view value) {
@@ -112,6 +113,32 @@ std::size_t KeyValueStore::drain_hints(NodeId recovered) {
     if (fault_acc_ != nullptr) fault_acc_->hints_drained += delivered;
   }
   return delivered;
+}
+
+std::size_t KeyValueStore::repark_hints(NodeId failed_holder) {
+  auto held = hints_.find(failed_holder.value);
+  if (held == hints_.end() || held->second.empty()) return 0;
+  // Detach the queue first: re-parking goes through park_hint, which must
+  // not walk back onto the dying holder's own queue mid-iteration.
+  std::vector<Hint> queue = std::move(held->second);
+  hints_.erase(held);
+  std::size_t moved = 0;
+  for (Hint& hint : queue) {
+    const NodeId target{hint.target};
+    if (alive(target)) {
+      // The owner came back while the hint sat on the (now dead) holder:
+      // deliver straight to it, exactly what drain would have done.
+      shard(target).insert_or_assign(hint.key, hint.value);
+      if (m_hints_drained_) m_hints_drained_->inc();
+      if (fault_acc_ != nullptr) ++fault_acc_->hints_drained;
+      ++moved;
+      continue;
+    }
+    if (park_hint(common::fnv1a64(hint.key), target, hint.key, hint.value)) {
+      ++moved;
+    }
+  }
+  return moved;
 }
 
 std::size_t KeyValueStore::handoff_queue_depth() const {

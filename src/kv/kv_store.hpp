@@ -33,7 +33,10 @@ class Registry;
 ///
 /// Hints live on their holder: if the holder dies before draining, its
 /// parked hints are unavailable until the holder itself recovers — exactly
-/// the sloppy-quorum durability story the chaos tests probe.
+/// the sloppy-quorum durability story the chaos tests probe. A failure
+/// detector that *observes* the holder's death can do better by calling
+/// repark_hints(holder), which evacuates the hints to the next live
+/// stand-in (the FaultInjector does this on every scripted failure).
 namespace move::kv {
 
 class KeyValueStore {
@@ -96,6 +99,16 @@ class KeyValueStore {
   /// @returns number of hinted writes delivered.
   std::size_t drain_hints(NodeId recovered);
 
+  /// Evacuates hints off a holder that just died: each hint it was parking
+  /// is delivered directly when its target is meanwhile alive, and
+  /// re-parked on the next live non-owner successor otherwise — so hints
+  /// survive the death of their holder instead of being stranded until the
+  /// holder recovers. Call *after* the holder's liveness flips to dead (the
+  /// FaultInjector does); a hint with no live stand-in left is dropped,
+  /// which is the same sloppy-quorum loss as the original park.
+  /// @returns number of hints moved (delivered + re-parked).
+  std::size_t repark_hints(NodeId failed_holder);
+
   /// Total hinted writes currently parked (cluster-wide queue depth).
   [[nodiscard]] std::size_t handoff_queue_depth() const;
   /// Hinted writes parked on one holder node.
@@ -133,7 +146,9 @@ class KeyValueStore {
     return !alive_ || alive_(node);
   }
   std::unordered_map<std::string, std::string>& shard(NodeId node);
-  void park_hint(std::uint64_t key_hash, NodeId target, std::string_view key,
+  /// @returns true if the write was parked (or refreshed an existing hint);
+  /// false if no live stand-in existed and the write was sloppy-lost.
+  bool park_hint(std::uint64_t key_hash, NodeId target, std::string_view key,
                  std::string_view value);
 
   const HashRing* ring_;

@@ -1,0 +1,56 @@
+#include "net/link_model.hpp"
+
+#include <algorithm>
+
+namespace move::net {
+
+namespace {
+
+std::vector<std::uint32_t> sorted_ids(const std::vector<NodeId>& nodes) {
+  std::vector<std::uint32_t> out;
+  out.reserve(nodes.size());
+  for (NodeId n : nodes) out.push_back(n.value);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+bool contains(const std::vector<std::uint32_t>& side, NodeId n) noexcept {
+  return std::binary_search(side.begin(), side.end(), n.value);
+}
+
+}  // namespace
+
+void PartitionSet::add(std::string name, std::vector<NodeId> side_a,
+                       std::vector<NodeId> side_b, bool bidirectional) {
+  heal(name);
+  partitions_.push_back(Partition{std::move(name), sorted_ids(side_a),
+                                  sorted_ids(side_b), bidirectional});
+}
+
+bool PartitionSet::heal(std::string_view name) {
+  const auto it = std::find_if(
+      partitions_.begin(), partitions_.end(),
+      [name](const Partition& p) { return p.name == name; });
+  if (it == partitions_.end()) return false;
+  partitions_.erase(it);
+  return true;
+}
+
+bool PartitionSet::blocks(NodeId src, NodeId dst) const noexcept {
+  for (const Partition& p : partitions_) {
+    if (contains(p.side_a, src) && contains(p.side_b, dst)) return true;
+    if (p.bidirectional && contains(p.side_b, src) &&
+        contains(p.side_a, dst)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool PartitionSet::active(std::string_view name) const noexcept {
+  return std::any_of(partitions_.begin(), partitions_.end(),
+                     [name](const Partition& p) { return p.name == name; });
+}
+
+}  // namespace move::net

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+/// Link-level fault model for the simulated network: what the wire between
+/// two nodes can do to a message attempt. All faults are drawn from an
+/// explicit SplitMix64 stream (the "net" named stream), so a lossy run
+/// replays bit-identically; a default-constructed LinkModel is an exact
+/// pass-through that draws nothing.
+namespace move::net {
+
+/// The id the transport uses for the external publisher client — it is not
+/// a cluster node, so it can never be inside a partition, but its links
+/// still lose and duplicate messages like any other.
+inline constexpr NodeId kClientNode{0xffffffffu};
+
+struct LinkModel {
+  /// Per-attempt probability the message vanishes on the wire.
+  double loss = 0.0;
+  /// Extra one-way latency added to every delivery, plus a uniform jitter
+  /// in [0, latency_jitter_us).
+  double latency_base_us = 0.0;
+  double latency_jitter_us = 0.0;
+  /// Probability an attempt is delivered twice (the second copy trails by
+  /// a uniform delay in (0, duplicate_gap_us]); receiver-side dedup is what
+  /// keeps this from double-counting.
+  double duplicate = 0.0;
+  double duplicate_gap_us = 400.0;
+  /// Probability a delivery is held back by an extra uniform delay in
+  /// (0, reorder_delay_us] — enough to leapfrog later sends (and, when it
+  /// exceeds the sender's timeout, to race its own retry into the dedup
+  /// window).
+  double reorder = 0.0;
+  double reorder_delay_us = 3'000.0;
+
+  /// True when the link perturbs nothing: no draw, no added latency, no
+  /// extra copies. The transport's zero-cost fast path keys off this.
+  [[nodiscard]] bool pass_through() const noexcept {
+    return loss <= 0.0 && latency_base_us <= 0.0 &&
+           latency_jitter_us <= 0.0 && duplicate <= 0.0 && reorder <= 0.0;
+  }
+};
+
+/// Named partitions over the node id space. A partition cuts traffic from
+/// side A to side B (and, when bidirectional, B to A); multiple partitions
+/// can be live at once and heal independently on the virtual clock —
+/// exactly the shape FaultPlan's `partition` / `heal` actions script.
+class PartitionSet {
+ public:
+  /// Starts a named partition. Re-adding an active name replaces it (the
+  /// script's latest word wins). Nodes absent from both sides (including
+  /// kClientNode) are unaffected.
+  void add(std::string name, std::vector<NodeId> side_a,
+           std::vector<NodeId> side_b, bool bidirectional = true);
+
+  /// Heals (removes) the named partition. Unknown names are a no-op so
+  /// heal events commute with plans that never started the cut.
+  /// @returns true if a partition was actually removed.
+  bool heal(std::string_view name);
+
+  /// Drops every active partition.
+  void clear() noexcept { partitions_.clear(); }
+
+  /// True if any active partition blocks a message from `src` to `dst`.
+  [[nodiscard]] bool blocks(NodeId src, NodeId dst) const noexcept;
+
+  [[nodiscard]] bool active(std::string_view name) const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept {
+    return partitions_.size();
+  }
+  [[nodiscard]] bool empty() const noexcept { return partitions_.empty(); }
+
+ private:
+  struct Partition {
+    std::string name;
+    std::vector<std::uint32_t> side_a;  // sorted for binary_search
+    std::vector<std::uint32_t> side_b;
+    bool bidirectional = true;
+  };
+
+  std::vector<Partition> partitions_;
+};
+
+}  // namespace move::net

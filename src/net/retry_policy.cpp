@@ -1,0 +1,39 @@
+#include "net/retry_policy.hpp"
+
+#include <algorithm>
+
+namespace move::net {
+
+double RetryPolicy::backoff_us(std::size_t retry_index,
+                               common::SplitMix64& rng) const noexcept {
+  const double base = std::max(0.0, backoff_base_us);
+  double cap = std::max(base, backoff_cap_us);
+  // Exponential ceiling for this retry, saturating at the cap (shift-safe).
+  double ceiling = base;
+  for (std::size_t k = 0; k < retry_index && ceiling < cap; ++k) {
+    ceiling *= 2.0;
+  }
+  ceiling = std::min(ceiling, cap);
+  // Full jitter over [base, ceiling]: decorrelates retry storms without
+  // ever retrying faster than the base.
+  return base + (ceiling - base) * common::uniform_unit(rng);
+}
+
+RetryPolicy RetryPolicy::for_transfer(const sim::CostModel& cost,
+                                      double transfer_us) noexcept {
+  RetryPolicy p;
+  // Ack timeout: a full round trip of the healthy transfer plus the cost
+  // model's routing-timeout margin (the same constant the failover path
+  // charges per dead contact), so a timeout is evidence, not impatience.
+  p.timeout_us = 2.0 * transfer_us + cost.route_timeout_us;
+  p.backoff_base_us = std::max(50.0, 0.5 * transfer_us);
+  p.backoff_cap_us = std::max(p.backoff_base_us, 16.0 * p.backoff_base_us);
+  // Deadline funds every allowed attempt at worst-case backoff, no more:
+  // max_attempts timeouts plus (max_attempts - 1) capped waits.
+  p.deadline_us =
+      static_cast<double>(p.max_attempts) * p.timeout_us +
+      static_cast<double>(p.max_attempts - 1) * p.backoff_cap_us;
+  return p;
+}
+
+}  // namespace move::net

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "sim/cost_model.hpp"
+
+/// End-to-end retry/backoff policy for one RPC class. The per-attempt
+/// timeout is derived from the cost model (a round trip plus the routing
+/// timeout margin), retries back off exponentially with jitter, and the
+/// whole message lives under one end-to-end deadline — the retry budget —
+/// so a dead destination costs bounded publisher time, never a livelock.
+namespace move::net {
+
+struct RetryPolicy {
+  /// Master switch: with retries disabled a lost attempt is simply a lost
+  /// message (the ablation fig10 uses to show the reliability layer earns
+  /// its cost).
+  bool enabled = true;
+  /// Total wire attempts allowed per message (first try included).
+  std::size_t max_attempts = 6;
+  /// Sender-side ack timeout per attempt.
+  double timeout_us = 2'500.0;
+  /// Exponential backoff: retry k (0-based) waits a uniform jittered delay
+  /// in [base, min(cap, base * 2^k)].
+  double backoff_base_us = 250.0;
+  double backoff_cap_us = 8'000.0;
+  /// End-to-end deadline relative to the first send. A retry is only
+  /// scheduled if its own timeout would still expire within the deadline,
+  /// so the total budget (all waits + all timeouts) never exceeds it.
+  double deadline_us = 80'000.0;
+
+  /// Jittered exponential backoff before retry `retry_index` (0-based).
+  /// Always in [backoff_base_us, backoff_cap_us].
+  [[nodiscard]] double backoff_us(std::size_t retry_index,
+                                  common::SplitMix64& rng) const noexcept;
+
+  /// Would scheduling another attempt at `now` (microseconds since the
+  /// first send) still respect the deadline? `backoff` is the wait chosen
+  /// for it.
+  [[nodiscard]] bool attempt_fits_deadline(double now_since_send_us,
+                                           double backoff) const noexcept {
+    return now_since_send_us + backoff + timeout_us <= deadline_us;
+  }
+
+  /// Policy derived from the cost model for a message whose healthy
+  /// transfer costs `transfer_us`: timeout covers a full round trip plus
+  /// the model's routing-timeout margin, and the deadline funds every
+  /// allowed attempt at worst-case backoff.
+  [[nodiscard]] static RetryPolicy for_transfer(const sim::CostModel& cost,
+                                                double transfer_us) noexcept;
+};
+
+}  // namespace move::net

@@ -1,0 +1,235 @@
+#include "net/transport.hpp"
+
+#include <algorithm>
+
+namespace move::net {
+
+/// Sender-side state of one logical message, shared by the attempt,
+/// delivery, and timeout events through a shared_ptr.
+struct Transport::Pending {
+  NodeId src{0};
+  NodeId dst{0};
+  double transfer_us = 0.0;
+  Priority priority = Priority::kNormal;
+  std::uint64_t key = 0;
+  double sent_at = 0.0;       ///< first attempt time (deadline anchor)
+  std::size_t attempts = 0;   ///< wire attempts made so far
+  bool done = false;          ///< a terminal outcome was decided
+  bool delivered = false;     ///< on_deliver already fired (dedup gate)
+  DeliverFn on_deliver;
+  FailFn on_fail;
+};
+
+Transport::Transport(sim::EventEngine& engine, NetOptions options)
+    : engine_(&engine), options_(options),
+      rng_(common::named_stream(options.seed, "net")) {}
+
+void Transport::send(NodeId src, NodeId dst, double transfer_us,
+                     Priority priority, DeliverFn on_deliver,
+                     FailFn on_fail) {
+  ++acc_.messages;
+
+  // Zero-cost pass-through: lossless link, no partitions. One engine event,
+  // no randomness, no timers — bit-identical to scheduling the delivery
+  // directly, which is what keeps fault-free runs byte-for-byte unchanged.
+  // Loopback (src == dst) never traverses the wire, so it takes the same
+  // reliable path whatever the link model says.
+  if (pass_through() || src == dst) {
+    ++acc_.attempts;
+    ++acc_.delivered;
+    engine_->schedule_after(
+        transfer_us, [this, cb = std::move(on_deliver)] { cb(engine_->now()); });
+    return;
+  }
+
+  auto p = std::make_shared<Pending>();
+  p->src = src;
+  p->dst = dst;
+  p->transfer_us = transfer_us;
+  p->priority = priority;
+  p->key = next_key_++;
+  p->sent_at = engine_->now();
+  p->on_deliver = std::move(on_deliver);
+  p->on_fail = std::move(on_fail);
+  ++inflight_;
+
+  // Fail fast against an open breaker: routing should have failed over
+  // already (the veto), so anything landing here is charged immediately
+  // instead of burning the full retry budget on a known-bad destination.
+  if (breaker_open(dst)) {
+    ++acc_.breaker_fast_fails;
+    fail(p, SendOutcome::kBreakerOpen);
+    return;
+  }
+  start_attempt(p);
+}
+
+void Transport::start_attempt(const std::shared_ptr<Pending>& p) {
+  if (p->done) return;
+  ++acc_.attempts;
+  ++p->attempts;
+  const double now = engine_->now();
+  const LinkModel& link = options_.link;
+
+  const bool cut = partitions_.blocks(p->src, p->dst);
+  const bool lost = cut || common::bernoulli(rng_, link.loss);
+  if (lost) {
+    ++acc_.drops;
+  } else {
+    double delay = p->transfer_us + link.latency_base_us;
+    if (link.latency_jitter_us > 0.0) {
+      delay += link.latency_jitter_us * common::uniform_unit(rng_);
+    }
+    if (link.reorder > 0.0 && common::bernoulli(rng_, link.reorder)) {
+      delay += link.reorder_delay_us * common::uniform_unit(rng_);
+    }
+    engine_->schedule_after(delay, [this, p] { deliver(p); });
+    if (link.duplicate > 0.0 && common::bernoulli(rng_, link.duplicate)) {
+      ++acc_.duplicates;
+      const double gap =
+          link.duplicate_gap_us * common::uniform_unit(rng_);
+      engine_->schedule_after(delay + gap, [this, p] { deliver(p); });
+    }
+  }
+
+  // The sender cannot know the attempt was dropped — it waits for the ack
+  // timeout either way. now is re-read inside the callback via engine_.
+  (void)now;
+  engine_->schedule_after(options_.retry.timeout_us,
+                          [this, p] { on_timeout(p); });
+}
+
+void Transport::deliver(const std::shared_ptr<Pending>& p) {
+  if (p->done) {
+    // A late or duplicated copy of a message already decided (delivered,
+    // shed, or expired): suppressed at the receiver.
+    ++acc_.dup_suppressed;
+    return;
+  }
+  const double now = engine_->now();
+
+  // Receiver-side idempotency: a key inside the dedup window was already
+  // applied — this copy is a retry racing its delayed original (or a link
+  // duplicate). Suppress; do not re-run the application callback.
+  auto& window = dedup_[p->dst.value];
+  purge_dedup(window, now);
+  if (p->delivered || window.seen.contains(p->key)) {
+    ++acc_.dup_suppressed;
+    return;
+  }
+
+  // Admission control: shed low classes once the serial service queue at
+  // the destination exceeds the bound — explicit outcome, not silent queue
+  // growth. kHigh is never shed.
+  if (options_.shed_queue_bound > 0 && queue_depth_ &&
+      p->priority != Priority::kHigh) {
+    const std::size_t depth = queue_depth_(p->dst);
+    const std::size_t bound = p->priority == Priority::kBulk
+                                  ? options_.shed_queue_bound
+                                  : 4 * options_.shed_queue_bound;
+    if (depth >= bound) {
+      ++acc_.shed;
+      fail(p, SendOutcome::kShed);
+      return;
+    }
+  }
+
+  window.seen.insert(p->key);
+  window.expiry.emplace_back(now + options_.dedup_window_us, p->key);
+  ++acc_.delivered;
+  p->delivered = true;
+  record_success(p->dst);
+
+  // The ack travels dst -> src; an asymmetric partition that blocks that
+  // direction leaves the sender timing out and retrying a message that
+  // already landed — dedup absorbs the retries until the deadline expires.
+  if (!partitions_.blocks(p->dst, p->src)) {
+    p->done = true;
+    --inflight_;
+  }
+  p->on_deliver(now);
+}
+
+void Transport::on_timeout(const std::shared_ptr<Pending>& p) {
+  if (p->done) return;
+  ++acc_.timeouts;
+  record_timeout(p->dst);
+
+  const RetryPolicy& retry = options_.retry;
+  if (!retry.enabled || p->attempts >= retry.max_attempts) {
+    fail(p, SendOutcome::kExpired);
+    return;
+  }
+  const double backoff = retry.backoff_us(p->attempts - 1, rng_);
+  const double since_send = engine_->now() - p->sent_at;
+  if (!retry.attempt_fits_deadline(since_send, backoff)) {
+    fail(p, SendOutcome::kExpired);
+    return;
+  }
+  ++acc_.retries;
+  engine_->schedule_after(backoff, [this, p] { start_attempt(p); });
+}
+
+void Transport::fail(const std::shared_ptr<Pending>& p, SendOutcome outcome) {
+  if (p->done) return;
+  p->done = true;
+  --inflight_;
+  if (outcome == SendOutcome::kExpired && !p->delivered) ++acc_.expired;
+  if (!p->delivered && p->on_fail) p->on_fail(outcome);
+}
+
+bool Transport::breaker_open(NodeId dst) const noexcept {
+  const auto it = breakers_.find(dst.value);
+  if (it == breakers_.end()) return false;
+  const Breaker& b = it->second;
+  return b.tripped && engine_->now() < b.open_until;
+}
+
+void Transport::record_timeout(NodeId dst) {
+  auto& b = breakers_[dst.value];
+  if (b.cooldown_us <= 0.0) b.cooldown_us = options_.breaker.cooldown_us;
+  const double now = engine_->now();
+  if (b.tripped) {
+    if (now >= b.open_until) {
+      // Half-open probe failed: reopen with doubled cooldown.
+      b.open_until = now + b.cooldown_us;
+      b.cooldown_us = std::min(2.0 * b.cooldown_us,
+                               options_.breaker.max_cooldown_us);
+      ++acc_.breaker_trips;
+    }
+    return;
+  }
+  if (++b.consecutive_timeouts >= options_.breaker.trip_after) {
+    b.tripped = true;
+    b.open_until = now + b.cooldown_us;
+    b.cooldown_us = std::min(2.0 * b.cooldown_us,
+                             options_.breaker.max_cooldown_us);
+    b.consecutive_timeouts = 0;
+    ++acc_.breaker_trips;
+  }
+}
+
+void Transport::record_success(NodeId dst) {
+  const auto it = breakers_.find(dst.value);
+  if (it == breakers_.end()) return;
+  Breaker& b = it->second;
+  b.consecutive_timeouts = 0;
+  b.tripped = false;
+  b.open_until = 0.0;
+  b.cooldown_us = options_.breaker.cooldown_us;
+}
+
+void Transport::purge_dedup(DedupWindow& w, double now) {
+  while (!w.expiry.empty() && w.expiry.front().first <= now) {
+    w.seen.erase(w.expiry.front().second);
+    w.expiry.pop_front();
+  }
+}
+
+std::size_t Transport::dedup_entries() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [node, w] : dedup_) n += w.seen.size();
+  return n;
+}
+
+}  // namespace move::net

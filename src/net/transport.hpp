@@ -1,0 +1,165 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "net/link_model.hpp"
+#include "net/retry_policy.hpp"
+#include "sim/event_engine.hpp"
+#include "sim/net_accounting.hpp"
+
+/// The message layer interposed between the schemes/KvStore control plane
+/// and the event engine. Every routed RPC (publish hop, hint drain, repair
+/// batch) becomes a `send`: the LinkModel and PartitionSet decide what the
+/// wire does to each attempt, and an end-to-end reliability layer on top —
+/// per-attempt timeouts, bounded jittered-exponential retries under one
+/// deadline, receiver-side idempotency-key dedup, per-destination circuit
+/// breakers, and receiver admission control — decides what the application
+/// observes: delivered exactly once, shed, or expired.
+///
+/// Zero-cost pass-through: while the link is lossless and no partition is
+/// active, `send` draws no randomness and schedules exactly one engine
+/// event (the delivery), so a run with the transport interposed is
+/// bit-identical to one without it.
+namespace move::net {
+
+/// Admission-control priority. Under queue pressure the receiver sheds the
+/// lowest class first; kHigh is never shed.
+enum class Priority : std::uint8_t { kBulk = 0, kNormal = 1, kHigh = 2 };
+
+/// Terminal outcome of one logical send, reported to `on_fail` (delivery
+/// reports through `on_deliver` instead).
+enum class SendOutcome : std::uint8_t {
+  kExpired,      ///< retry budget / end-to-end deadline exhausted
+  kShed,         ///< receiver admission control rejected the message
+  kBreakerOpen,  ///< destination breaker open: failed fast, no attempt
+};
+
+struct BreakerOptions {
+  /// Consecutive attempt timeouts to one destination that trip its breaker.
+  std::size_t trip_after = 5;
+  /// How long a tripped breaker stays open before a half-open probe is
+  /// allowed through; doubles on every reopen up to the cap.
+  double cooldown_us = 20'000.0;
+  double max_cooldown_us = 160'000.0;
+};
+
+struct NetOptions {
+  LinkModel link;
+  RetryPolicy retry;
+  BreakerOptions breaker;
+  /// How long a delivered idempotency key is remembered at the receiver.
+  /// Must exceed the retry deadline so no late retry slips past dedup; the
+  /// expiry sweep is what keeps dedup memory bounded.
+  double dedup_window_us = 250'000.0;
+  /// Receiver queue depth at which admission control starts shedding kBulk
+  /// messages (kNormal sheds at 4x this). 0 disables admission control.
+  std::size_t shed_queue_bound = 0;
+  /// Seed for the transport's own named "net" randomness stream.
+  std::uint64_t seed = 0x4e70001ULL;
+};
+
+class Transport {
+ public:
+  using DeliverFn = std::function<void(sim::Time)>;
+  using FailFn = std::function<void(SendOutcome)>;
+  using QueueDepthFn = std::function<std::size_t(NodeId)>;
+
+  Transport(sim::EventEngine& engine, NetOptions options);
+
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  /// Receiver queue-depth oracle for admission control (e.g. the cluster's
+  /// FifoServer depth). Without one, nothing is ever shed.
+  void set_queue_depth_fn(QueueDepthFn fn) { queue_depth_ = std::move(fn); }
+
+  /// Swaps the global link model (FaultPlan's `set_loss` lands here).
+  void set_link(const LinkModel& link) { options_.link = link; }
+  [[nodiscard]] const LinkModel& link() const noexcept {
+    return options_.link;
+  }
+
+  [[nodiscard]] PartitionSet& partitions() noexcept { return partitions_; }
+  [[nodiscard]] const PartitionSet& partitions() const noexcept {
+    return partitions_;
+  }
+
+  [[nodiscard]] const NetOptions& options() const noexcept {
+    return options_;
+  }
+
+  /// True while the transport is configured as an exact pass-through:
+  /// lossless link, no active partition.
+  [[nodiscard]] bool pass_through() const noexcept {
+    return options_.link.pass_through() && partitions_.empty();
+  }
+
+  /// Sends one logical message from `src` to `dst` whose healthy one-way
+  /// transfer costs `transfer_us`. `on_deliver` fires exactly once at the
+  /// receiver (never twice, whatever the link duplicates or retries race);
+  /// `on_fail` (optional) fires instead if the message is shed, expired,
+  /// or breaker-rejected. Exactly one of the two fires per send, except
+  /// that an asymmetric partition can deliver *and* later expire the
+  /// sender's retry loop (delivered wins: on_fail is suppressed).
+  void send(NodeId src, NodeId dst, double transfer_us, Priority priority,
+            DeliverFn on_deliver, FailFn on_fail = nullptr);
+
+  /// Is the destination's circuit breaker currently open? Routing wires
+  /// this into `Cluster::routing_believes_alive` so tripped destinations
+  /// fail over exactly like dead ones.
+  [[nodiscard]] bool breaker_open(NodeId dst) const noexcept;
+
+  [[nodiscard]] const sim::NetAccounting& accounting() const noexcept {
+    return acc_;
+  }
+
+  /// Idempotency keys currently remembered across all receivers (the
+  /// dedup-window memory-bound tests watch this).
+  [[nodiscard]] std::size_t dedup_entries() const noexcept;
+
+  /// Logical sends whose outcome is still undecided.
+  [[nodiscard]] std::size_t inflight() const noexcept { return inflight_; }
+
+ private:
+  struct Pending;
+
+  struct Breaker {
+    std::size_t consecutive_timeouts = 0;
+    bool tripped = false;
+    double open_until = 0.0;
+    double cooldown_us = 0.0;
+  };
+
+  struct DedupWindow {
+    std::unordered_set<std::uint64_t> seen;
+    std::deque<std::pair<double, std::uint64_t>> expiry;  // (expire_at, key)
+  };
+
+  void start_attempt(const std::shared_ptr<Pending>& p);
+  void deliver(const std::shared_ptr<Pending>& p);
+  void on_timeout(const std::shared_ptr<Pending>& p);
+  void fail(const std::shared_ptr<Pending>& p, SendOutcome outcome);
+  void record_timeout(NodeId dst);
+  void record_success(NodeId dst);
+  void purge_dedup(DedupWindow& w, double now);
+
+  sim::EventEngine* engine_;
+  NetOptions options_;
+  PartitionSet partitions_;
+  common::SplitMix64 rng_;
+  QueueDepthFn queue_depth_;
+  sim::NetAccounting acc_;
+  std::uint64_t next_key_ = 1;
+  std::size_t inflight_ = 0;
+  std::unordered_map<std::uint32_t, Breaker> breakers_;
+  std::unordered_map<std::uint32_t, DedupWindow> dedup_;
+};
+
+}  // namespace move::net

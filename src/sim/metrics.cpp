@@ -81,6 +81,34 @@ void RunMetrics::export_metrics(obs::Registry& registry) const {
       .set(static_cast<double>(fault_acc.hints_drained));
   registry.gauge("run.fault.repair_postings_moved")
       .set(static_cast<double>(fault_acc.repair_postings_moved));
+  // Net gauges appear only when a transport actually carried messages, so
+  // registries exported from pre-net (or transport-less) runs stay
+  // byte-identical to the previous layout.
+  if (net_acc.messages > 0) {
+    registry.gauge("run.net.messages")
+        .set(static_cast<double>(net_acc.messages));
+    registry.gauge("run.net.attempts")
+        .set(static_cast<double>(net_acc.attempts));
+    registry.gauge("run.net.delivered")
+        .set(static_cast<double>(net_acc.delivered));
+    registry.gauge("run.net.drops").set(static_cast<double>(net_acc.drops));
+    registry.gauge("run.net.duplicates")
+        .set(static_cast<double>(net_acc.duplicates));
+    registry.gauge("run.net.dup_suppressed")
+        .set(static_cast<double>(net_acc.dup_suppressed));
+    registry.gauge("run.net.retries")
+        .set(static_cast<double>(net_acc.retries));
+    registry.gauge("run.net.timeouts")
+        .set(static_cast<double>(net_acc.timeouts));
+    registry.gauge("run.net.expired")
+        .set(static_cast<double>(net_acc.expired));
+    registry.gauge("run.net.breaker_trips")
+        .set(static_cast<double>(net_acc.breaker_trips));
+    registry.gauge("run.net.breaker_fast_fails")
+        .set(static_cast<double>(net_acc.breaker_fast_fails));
+    registry.gauge("run.net.shed").set(static_cast<double>(net_acc.shed));
+    registry.gauge("run.net.delivery_ratio").set(net_acc.delivery_ratio());
+  }
   for (std::size_t n = 0; n < node_busy_us.size(); ++n) {
     registry.gauge(obs::labeled("run.node.busy_us", "node", n))
         .set(node_busy_us[n]);

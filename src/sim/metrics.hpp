@@ -6,6 +6,7 @@
 #include "index/inverted_index.hpp"
 #include "sim/event_engine.hpp"
 #include "sim/fault_accounting.hpp"
+#include "sim/net_accounting.hpp"
 
 namespace move::obs {
 class Registry;
@@ -41,6 +42,13 @@ struct RunMetrics {
   /// FaultAccounting totals): failovers, retries, lost routes, handoff and
   /// repair volume. All zero on a healthy run.
   FaultAccounting fault_acc;
+
+  /// Message-layer accounting for the run (delta of the transport's
+  /// totals): sends, drops, dups, retries, timeouts, breaker trips, shed
+  /// messages. All zero when no transport is interposed; exported as
+  /// `run.net.*` gauges only then non-trivial, so healthy-run outputs stay
+  /// byte-identical to the pre-net layout.
+  NetAccounting net_acc;
 
   /// Paper's headline metric: completed documents per (virtual) second.
   [[nodiscard]] double throughput_per_sec() const noexcept {

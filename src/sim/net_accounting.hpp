@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+
+/// Message-layer accounting shared by the transport, its circuit breakers,
+/// and the admission controller. Plain integers (the simulated path is
+/// single-threaded); accumulated on the Transport across a run and
+/// snapshotted as a delta into RunMetrics, exactly like FaultAccounting and
+/// MatchAccounting. Header-only and dependency-free so the metrics layer can
+/// carry it without linking the net library.
+namespace move::sim {
+
+struct NetAccounting {
+  /// Logical end-to-end sends (one per RPC, however many wire attempts).
+  std::uint64_t messages = 0;
+  /// Wire attempts, including the first try of every message.
+  std::uint64_t attempts = 0;
+  /// Messages delivered to their receiver exactly once (dedup applied).
+  std::uint64_t delivered = 0;
+  /// Attempts lost on the wire (link loss or an active partition).
+  std::uint64_t drops = 0;
+  /// Extra copies the link itself injected (duplication fault).
+  std::uint64_t duplicates = 0;
+  /// Deliveries suppressed by the receiver's idempotency-key dedup window.
+  std::uint64_t dup_suppressed = 0;
+  /// Re-sends after an attempt timed out.
+  std::uint64_t retries = 0;
+  /// Attempt timeouts observed by the sender.
+  std::uint64_t timeouts = 0;
+  /// Messages abandoned: retry budget or end-to-end deadline exhausted.
+  std::uint64_t expired = 0;
+  /// Circuit breakers tripped open (consecutive-timeout threshold crossed).
+  std::uint64_t breaker_trips = 0;
+  /// Sends failed fast because the destination's breaker was open.
+  std::uint64_t breaker_fast_fails = 0;
+  /// Messages shed by receiver-side admission control (queue over bound).
+  std::uint64_t shed = 0;
+
+  /// End-to-end delivery ratio: what fraction of logical sends made it.
+  [[nodiscard]] double delivery_ratio() const noexcept {
+    if (messages == 0) return 1.0;
+    return static_cast<double>(delivered) / static_cast<double>(messages);
+  }
+
+  NetAccounting& operator+=(const NetAccounting& o) noexcept {
+    messages += o.messages;
+    attempts += o.attempts;
+    delivered += o.delivered;
+    drops += o.drops;
+    duplicates += o.duplicates;
+    dup_suppressed += o.dup_suppressed;
+    retries += o.retries;
+    timeouts += o.timeouts;
+    expired += o.expired;
+    breaker_trips += o.breaker_trips;
+    breaker_fast_fails += o.breaker_fast_fails;
+    shed += o.shed;
+    return *this;
+  }
+
+  /// Element-wise delta (for before/after run snapshots).
+  [[nodiscard]] NetAccounting delta_since(
+      const NetAccounting& before) const noexcept {
+    NetAccounting d;
+    d.messages = messages - before.messages;
+    d.attempts = attempts - before.attempts;
+    d.delivered = delivered - before.delivered;
+    d.drops = drops - before.drops;
+    d.duplicates = duplicates - before.duplicates;
+    d.dup_suppressed = dup_suppressed - before.dup_suppressed;
+    d.retries = retries - before.retries;
+    d.timeouts = timeouts - before.timeouts;
+    d.expired = expired - before.expired;
+    d.breaker_trips = breaker_trips - before.breaker_trips;
+    d.breaker_fast_fails = breaker_fast_fails - before.breaker_fast_fails;
+    d.shed = shed - before.shed;
+    return d;
+  }
+};
+
+}  // namespace move::sim

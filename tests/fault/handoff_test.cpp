@@ -149,6 +149,78 @@ TEST_F(HandoffFixture, FaultAccountingTracksParkAndDrainVolumes) {
   EXPECT_EQ(acc.hints_drained, 1u);
 }
 
+TEST_F(HandoffFixture, ReparkMovesHintsOffDyingHolderToNextLiveSuccessor) {
+  const auto owners = store_->owners("k");
+  kill(owners[1]);
+  store_->put("k", "v");
+  const NodeId holder = sole_holder();
+  // The holder dies while still loaded with hints. Evacuating it re-parks
+  // the hint on the next live non-owner successor instead of letting it
+  // wait out the holder's own recovery.
+  kill(holder);
+  EXPECT_EQ(store_->repark_hints(holder), 1u);
+  EXPECT_EQ(store_->hints_on(holder), 0u);
+  EXPECT_EQ(store_->handoff_queue_depth(), 1u);  // moved, not dropped
+  const NodeId next = sole_holder();
+  EXPECT_NE(next, holder);
+  EXPECT_TRUE(alive_[next.value]);
+  EXPECT_EQ(std::find(owners.begin(), owners.end(), next), owners.end());
+  // The re-parked hint drains through the normal path once the target
+  // recovers — the dead former holder never has to come back.
+  revive(owners[1]);
+  EXPECT_EQ(store_->drain_hints(owners[1]), 1u);
+  EXPECT_EQ(store_->handoff_queue_depth(), 0u);
+  kill(owners[0]);
+  kill(owners[2]);
+  EXPECT_EQ(store_->get("k").value(), "v");
+}
+
+TEST_F(HandoffFixture, ReparkDeliversDirectlyWhenTargetIsAlreadyBack) {
+  sim::FaultAccounting acc;
+  store_->attach_fault_accounting(&acc);
+  const auto owners = store_->owners("k");
+  kill(owners[1]);
+  store_->put("k", "v");
+  const NodeId holder = sole_holder();
+  // Target recovers first, then the holder dies before anyone drained it.
+  revive(owners[1]);
+  kill(holder);
+  EXPECT_EQ(store_->repark_hints(holder), 1u);
+  // A live target needs no second parking spot: the hint lands directly.
+  EXPECT_EQ(store_->handoff_queue_depth(), 0u);
+  EXPECT_EQ(acc.hints_drained, 1u);
+  kill(owners[0]);
+  kill(owners[2]);
+  EXPECT_EQ(store_->get("k").value(), "v");
+}
+
+TEST_F(HandoffFixture, ReparkWithNothingParkedIsANoop) {
+  EXPECT_EQ(store_->repark_hints(NodeId{4}), 0u);
+  EXPECT_EQ(store_->handoff_queue_depth(), 0u);
+}
+
+TEST_F(HandoffFixture, ReparkWalksPastDeadCandidates) {
+  const auto owners = store_->owners("k");
+  kill(owners[1]);
+  store_->put("k", "v");
+  const NodeId holder = sole_holder();
+  // Kill the would-be next holder too: the evacuation must keep walking
+  // the successor ring until it finds somewhere live to park.
+  kill(holder);
+  EXPECT_EQ(store_->repark_hints(holder), 1u);
+  const NodeId second = sole_holder();
+  kill(second);
+  EXPECT_EQ(store_->repark_hints(second), 1u);
+  const NodeId third = sole_holder();
+  EXPECT_TRUE(alive_[third.value]);
+  EXPECT_NE(third, holder);
+  EXPECT_NE(third, second);
+  EXPECT_EQ(store_->handoff_queue_depth(), 1u);
+  revive(owners[1]);
+  EXPECT_EQ(store_->drain_hints(owners[1]), 1u);
+  EXPECT_EQ(store_->get("k").has_value(), true);
+}
+
 TEST_F(HandoffFixture, HealthyPutsParkNothing) {
   for (int i = 0; i < 50; ++i) {
     store_->put("key/" + std::to_string(i), "v");

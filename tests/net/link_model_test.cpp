@@ -1,0 +1,131 @@
+#include "net/link_model.hpp"
+
+#include <gtest/gtest.h>
+
+/// LinkModel's pass-through predicate (the transport's zero-cost fast path
+/// keys off it) and PartitionSet's named-cut semantics.
+namespace move::net {
+namespace {
+
+TEST(LinkModel, DefaultIsExactPassThrough) {
+  EXPECT_TRUE(LinkModel{}.pass_through());
+}
+
+TEST(LinkModel, AnyPerturbingKnobDefeatsPassThrough) {
+  {
+    LinkModel l;
+    l.loss = 0.01;
+    EXPECT_FALSE(l.pass_through());
+  }
+  {
+    LinkModel l;
+    l.latency_base_us = 1.0;
+    EXPECT_FALSE(l.pass_through());
+  }
+  {
+    LinkModel l;
+    l.latency_jitter_us = 1.0;
+    EXPECT_FALSE(l.pass_through());
+  }
+  {
+    LinkModel l;
+    l.duplicate = 0.01;
+    EXPECT_FALSE(l.pass_through());
+  }
+  {
+    LinkModel l;
+    l.reorder = 0.01;
+    EXPECT_FALSE(l.pass_through());
+  }
+}
+
+TEST(LinkModel, ShapeOnlyKnobsDoNotDefeatPassThrough) {
+  // The gap/delay parameters only matter once their probability is nonzero.
+  LinkModel l;
+  l.duplicate_gap_us = 9'999.0;
+  l.reorder_delay_us = 9'999.0;
+  EXPECT_TRUE(l.pass_through());
+}
+
+TEST(PartitionSet, EmptyBlocksNothing) {
+  const PartitionSet p;
+  EXPECT_TRUE(p.empty());
+  EXPECT_FALSE(p.blocks(NodeId{0}, NodeId{1}));
+}
+
+TEST(PartitionSet, BidirectionalCutBlocksBothWays) {
+  PartitionSet p;
+  p.add("split", {NodeId{0}, NodeId{1}}, {NodeId{2}, NodeId{3}});
+  EXPECT_TRUE(p.blocks(NodeId{0}, NodeId{2}));
+  EXPECT_TRUE(p.blocks(NodeId{3}, NodeId{1}));
+  // Same side stays connected.
+  EXPECT_FALSE(p.blocks(NodeId{0}, NodeId{1}));
+  EXPECT_FALSE(p.blocks(NodeId{2}, NodeId{3}));
+}
+
+TEST(PartitionSet, AsymmetricCutBlocksOneDirectionOnly) {
+  PartitionSet p;
+  p.add("acks", {NodeId{1}}, {NodeId{0}}, /*bidirectional=*/false);
+  EXPECT_TRUE(p.blocks(NodeId{1}, NodeId{0}));
+  EXPECT_FALSE(p.blocks(NodeId{0}, NodeId{1}));
+}
+
+TEST(PartitionSet, UninvolvedNodesAndClientAreUnaffected) {
+  PartitionSet p;
+  p.add("split", {NodeId{0}}, {NodeId{1}});
+  EXPECT_FALSE(p.blocks(NodeId{0}, NodeId{5}));
+  EXPECT_FALSE(p.blocks(NodeId{5}, NodeId{1}));
+  // The external publisher id is never a cluster node, so no scripted
+  // partition can isolate it.
+  EXPECT_FALSE(p.blocks(kClientNode, NodeId{0}));
+  EXPECT_FALSE(p.blocks(NodeId{1}, kClientNode));
+}
+
+TEST(PartitionSet, HealRemovesExactlyTheNamedCut) {
+  PartitionSet p;
+  p.add("a", {NodeId{0}}, {NodeId{1}});
+  p.add("b", {NodeId{2}}, {NodeId{3}});
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_TRUE(p.active("a"));
+  EXPECT_TRUE(p.heal("a"));
+  EXPECT_FALSE(p.active("a"));
+  EXPECT_FALSE(p.blocks(NodeId{0}, NodeId{1}));
+  EXPECT_TRUE(p.blocks(NodeId{2}, NodeId{3}));
+  // Healing an unknown or already-healed name is a no-op, not an error.
+  EXPECT_FALSE(p.heal("a"));
+  EXPECT_FALSE(p.heal("never-started"));
+}
+
+TEST(PartitionSet, ReAddingAnActiveNameReplacesIt) {
+  PartitionSet p;
+  p.add("split", {NodeId{0}}, {NodeId{1}});
+  p.add("split", {NodeId{2}}, {NodeId{3}});
+  EXPECT_EQ(p.size(), 1u);
+  EXPECT_FALSE(p.blocks(NodeId{0}, NodeId{1}));  // the old cut is gone
+  EXPECT_TRUE(p.blocks(NodeId{2}, NodeId{3}));
+}
+
+TEST(PartitionSet, OverlappingCutsComposeUntilBothHeal) {
+  PartitionSet p;
+  p.add("a", {NodeId{0}}, {NodeId{1}});
+  p.add("b", {NodeId{0}}, {NodeId{1}, NodeId{2}});
+  EXPECT_TRUE(p.blocks(NodeId{0}, NodeId{1}));
+  p.heal("a");
+  EXPECT_TRUE(p.blocks(NodeId{0}, NodeId{1}));  // "b" still cuts it
+  p.heal("b");
+  EXPECT_FALSE(p.blocks(NodeId{0}, NodeId{1}));
+  EXPECT_TRUE(p.empty());
+}
+
+TEST(PartitionSet, ClearDropsEverything) {
+  PartitionSet p;
+  p.add("a", {NodeId{0}}, {NodeId{1}});
+  p.add("b", {NodeId{2}}, {NodeId{3}});
+  p.clear();
+  EXPECT_TRUE(p.empty());
+  EXPECT_FALSE(p.blocks(NodeId{0}, NodeId{1}));
+  EXPECT_FALSE(p.blocks(NodeId{2}, NodeId{3}));
+}
+
+}  // namespace
+}  // namespace move::net

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "fault/churn_runner.hpp"
+#include "fault/fault_injector.hpp"
+
+#include "../fault/fault_test_util.hpp"
+
+/// Chaos passes for the message layer: documents disseminated through a
+/// lossy / duplicating / partitioned transport while nodes churn. The core
+/// invariants are the same as the fault chaos suite — sorted-unique
+/// deliveries, no invented matches, heal + repair converges back to the
+/// brute-force oracle — plus the net layer's own: retries hold the
+/// delivery ratio at 1.0 through moderate loss, and without them documents
+/// silently go incomplete.
+namespace move::fault {
+namespace {
+
+using testutil::SchemeKind;
+
+ChurnConfig lossy_config(double loss, bool retries = true) {
+  ChurnConfig cfg;
+  cfg.inject_rate_per_sec = 2'000.0;
+  cfg.sample_interval_us = 5'000.0;
+  cfg.injector.repair_batch = 4'096;
+  cfg.injector.repair_interval_us = 2'000.0;
+  cfg.net.link.loss = loss;
+  cfg.net.link.latency_base_us = 40.0;
+  cfg.net.link.latency_jitter_us = 20.0;
+  cfg.net.link.duplicate = 0.01;
+  cfg.net.retry.enabled = retries;
+  return cfg;
+}
+
+/// Post-run oracle check on the (healed, revived) cluster: publishing every
+/// document again must match brute force exactly — sorted, unique, nothing
+/// invented, nothing lost.
+void expect_exact_matching(core::Scheme& scheme, const char* context) {
+  const auto& w = testutil::shared_workload();
+  for (std::size_t d = 0; d < w.docs_.size(); ++d) {
+    const auto plan = scheme.plan_publish(w.docs_.row(d));
+    for (std::size_t i = 1; i < plan.matches.size(); ++i) {
+      ASSERT_LT(plan.matches[i - 1].value, plan.matches[i].value)
+          << context << " doc " << d << ": duplicate/unsorted delivery";
+    }
+    ASSERT_EQ(plan.matches, w.truth(d)) << context << " doc " << d;
+  }
+}
+
+class NetChaos : public ::testing::TestWithParam<SchemeKind> {};
+
+TEST_P(NetChaos, ModerateLossWithRetriesDeliversEveryDocument) {
+  const auto& w = testutil::shared_workload();
+  cluster::Cluster c(testutil::small_cluster());
+  auto scheme = testutil::make_scheme(GetParam(), c);
+
+  // Node churn *and* a lossy link at once.
+  const auto plan =
+      FaultPlan::random_churn(0x10551ULL, c.size(), 30'000.0, 3, 8'000.0);
+  const auto result = run_churn(*scheme, w.docs_, plan, lossy_config(0.05));
+
+  EXPECT_EQ(result.metrics.documents_completed, w.docs_.size());
+  EXPECT_EQ(result.metrics.net_acc.delivery_ratio(), 1.0);
+  EXPECT_GT(result.metrics.net_acc.drops, 0u);
+  EXPECT_GT(result.metrics.net_acc.retries, 0u);
+  EXPECT_EQ(result.registry_readable, w.docs_.size())
+      << "a completed document's registry entry was lost";
+  expect_exact_matching(*scheme, "after lossy churn");
+}
+
+TEST_P(NetChaos, WithoutRetriesHighLossLosesDocuments) {
+  const auto& w = testutil::shared_workload();
+  cluster::Cluster c(testutil::small_cluster());
+  auto scheme = testutil::make_scheme(GetParam(), c);
+
+  const FaultPlan plan(0x0107eULL);  // no churn: the link is the only fault
+  const auto result =
+      run_churn(*scheme, w.docs_, plan, lossy_config(0.3, /*retries=*/false));
+
+  EXPECT_LT(result.metrics.net_acc.delivery_ratio(), 1.0);
+  EXPECT_GT(result.metrics.net_acc.expired, 0u);
+  EXPECT_LT(result.metrics.documents_completed, w.docs_.size());
+  // The registry records exactly the completions that happened — an
+  // incomplete document never fakes its way in.
+  EXPECT_EQ(result.registry_readable, result.metrics.documents_completed);
+}
+
+TEST_P(NetChaos, ScriptedLossAndPartitionHealConvergeToTheOracle) {
+  const auto& w = testutil::shared_workload();
+  cluster::Cluster c(testutil::small_cluster());
+  auto scheme = testutil::make_scheme(GetParam(), c);
+
+  // Script the wire itself: loss turns on, a partition cuts the upper half
+  // away mid-run, both heal before the end.
+  std::vector<NodeId> lower, upper;
+  for (std::uint32_t n = 0; n < c.size(); ++n) {
+    (n < c.size() / 2 ? lower : upper).push_back(NodeId{n});
+  }
+  FaultPlan plan(0x5c217ULL);
+  plan.set_loss(0.2, 4'000.0);
+  plan.partition("split", lower, upper, 8'000.0);
+  plan.heal("split", 20'000.0);
+  plan.set_loss(0.0, 24'000.0);
+
+  // Deep retry budget and no breaker: every message cut by the partition
+  // is *guaranteed* attempts on the healed, loss-free wire (attempt 12 of
+  // a send at the cut's start lands well past 24ms), so completion is
+  // deterministic rather than a jitter gamble.
+  auto cfg = lossy_config(0.0);
+  cfg.net.retry.max_attempts = 12;
+  cfg.net.retry.deadline_us = 160'000.0;
+  cfg.net.breaker.trip_after = 1'000'000;
+  const auto result = run_churn(*scheme, w.docs_, plan, cfg);
+
+  EXPECT_EQ(result.timeline.loss_changes, 2u);
+  EXPECT_EQ(result.timeline.partitions_started, 1u);
+  EXPECT_EQ(result.timeline.partitions_healed, 1u);
+  EXPECT_GT(result.metrics.net_acc.drops, 0u);
+  // Once the wire healed, the retry deadline (80ms) is comfortably inside
+  // the post-heal tail, so everything still completes.
+  EXPECT_EQ(result.metrics.documents_completed, w.docs_.size());
+  EXPECT_EQ(result.registry_readable, w.docs_.size());
+  expect_exact_matching(*scheme, "after scripted loss+partition");
+}
+
+TEST_P(NetChaos, LossyChurnWithRepairStillRestoresExactMatching) {
+  // The strongest composite: node churn, link loss, duplication, and a
+  // partition, with incremental repair running throughout. After the dust
+  // settles matching is exactly brute force again.
+  const auto& w = testutil::shared_workload();
+  cluster::Cluster c(testutil::small_cluster());
+  auto scheme = testutil::make_scheme(GetParam(), c);
+
+  std::vector<NodeId> lower, upper;
+  for (std::uint32_t n = 0; n < c.size(); ++n) {
+    (n < c.size() / 2 ? lower : upper).push_back(NodeId{n});
+  }
+  auto plan =
+      FaultPlan::random_churn(0xc0111deULL, c.size(), 30'000.0, 2, 6'000.0);
+  plan.partition("mid", lower, upper, 10'000.0);
+  plan.heal("mid", 18'000.0);
+
+  const auto result = run_churn(*scheme, w.docs_, plan, lossy_config(0.02));
+
+  EXPECT_EQ(result.timeline.failures, 2u);
+  EXPECT_EQ(result.timeline.partitions_healed, 1u);
+  ASSERT_FALSE(result.samples.empty());
+  EXPECT_EQ(result.samples.back().repair_backlog, 0u);
+  expect_exact_matching(*scheme, "after lossy churn with repair");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, NetChaos,
+                         ::testing::Values(SchemeKind::kIl, SchemeKind::kMove,
+                                           SchemeKind::kRs),
+                         [](const auto& info) {
+                           return testutil::scheme_name(info.param);
+                         });
+
+TEST(NetChaosGuards, NetEventsWithoutTransportThrowAtArm) {
+  cluster::Cluster c(testutil::small_cluster());
+  auto scheme = testutil::make_scheme(SchemeKind::kIl, c);
+  FaultPlan plan(0x9a2dULL);
+  plan.set_loss(0.5, 1'000.0);
+  FaultInjector injector(*scheme, plan);  // no transport attached
+  EXPECT_THROW(injector.arm(10'000.0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace move::fault

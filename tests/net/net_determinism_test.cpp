@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+
+#include "common/hash.hpp"
+#include "core/experiment.hpp"
+#include "fault/churn_runner.hpp"
+#include "net/transport.hpp"
+
+#include "../fault/fault_test_util.hpp"
+
+/// Determinism of the message layer, in three tiers:
+///  * a *pass-through* transport is bit-identical to no transport at all
+///    (the zero-cost property every pre-net bench output relies on);
+///  * a *lossy* run replays bit-identically from (seed, plan), net counters
+///    included;
+///  * golden hashes: the churn pipeline's PR-3-era outputs (metrics,
+///    timeline, samples — everything that predates the net layer) hash to
+///    the same constants as before the transport was interposed. A change
+///    to any of these constants means the lossless path perturbed an
+///    existing seeded pipeline — exactly the regression the per-subsystem
+///    named rng streams exist to prevent.
+namespace move::fault {
+namespace {
+
+using testutil::SchemeKind;
+
+// --- tier 1: pass-through == direct scheduling ----------------------------
+
+TEST(NetDeterminism, PassThroughTransportMatchesDirectSchedulingExactly) {
+  const auto& w = testutil::shared_workload();
+  for (const SchemeKind kind :
+       {SchemeKind::kIl, SchemeKind::kMove, SchemeKind::kRs}) {
+    cluster::Cluster c_direct(testutil::small_cluster());
+    auto direct = testutil::make_scheme(kind, c_direct);
+    core::RunConfig cfg;
+    cfg.inject_rate_per_sec = 2'000.0;
+    const auto m_direct = core::run_dissemination(*direct, w.docs_, cfg);
+
+    cluster::Cluster c_net(testutil::small_cluster());
+    auto via_net = testutil::make_scheme(kind, c_net);
+    net::Transport transport(c_net.engine(), {});
+    ASSERT_TRUE(transport.pass_through());
+    core::RunConfig cfg_net = cfg;
+    cfg_net.transport = &transport;
+    const auto m_net = core::run_dissemination(*via_net, w.docs_, cfg_net);
+
+    // Exact doubles everywhere: the fast path schedules the identical
+    // single event per hop and draws no randomness.
+    EXPECT_EQ(m_direct.makespan_us, m_net.makespan_us);
+    EXPECT_EQ(m_direct.latencies_us, m_net.latencies_us);
+    EXPECT_EQ(m_direct.documents_completed, m_net.documents_completed);
+    EXPECT_EQ(m_direct.notifications, m_net.notifications);
+    EXPECT_EQ(m_direct.node_busy_us, m_net.node_busy_us);
+    EXPECT_EQ(m_direct.node_docs, m_net.node_docs);
+    EXPECT_EQ(m_direct.node_queue_wait_us, m_net.node_queue_wait_us);
+    EXPECT_EQ(m_direct.node_max_queue_depth, m_net.node_max_queue_depth);
+    // The transport still accounted for every hop it carried.
+    EXPECT_GT(m_net.net_acc.messages, 0u);
+    EXPECT_EQ(m_net.net_acc.delivered, m_net.net_acc.messages);
+    EXPECT_EQ(m_net.net_acc.drops, 0u);
+    EXPECT_EQ(m_net.net_acc.retries, 0u);
+    EXPECT_EQ(m_direct.net_acc.messages, 0u);  // no transport, no accounting
+  }
+}
+
+// --- tier 2: lossy runs replay bit-identically ----------------------------
+
+ChurnResult run_lossy(SchemeKind kind) {
+  const auto& w = testutil::shared_workload();
+  cluster::Cluster c(testutil::small_cluster());
+  auto scheme = testutil::make_scheme(kind, c);
+  const auto plan =
+      FaultPlan::random_churn(0x10552ULL, c.size(), 30'000.0, 3, 8'000.0);
+  ChurnConfig cfg;
+  cfg.inject_rate_per_sec = 2'000.0;
+  cfg.sample_interval_us = 5'000.0;
+  cfg.collect_latencies = true;
+  cfg.injector.repair_batch = 1'024;
+  cfg.injector.repair_interval_us = 2'000.0;
+  cfg.net.link.loss = 0.05;
+  cfg.net.link.latency_base_us = 40.0;
+  cfg.net.link.latency_jitter_us = 20.0;
+  cfg.net.link.duplicate = 0.01;
+  cfg.net.link.reorder = 0.05;
+  return run_churn(*scheme, w.docs_, plan, cfg);
+}
+
+void expect_identical_with_net(const ChurnResult& a, const ChurnResult& b) {
+  EXPECT_EQ(a.metrics.documents_completed, b.metrics.documents_completed);
+  EXPECT_EQ(a.metrics.makespan_us, b.metrics.makespan_us);
+  EXPECT_EQ(a.metrics.latencies_us, b.metrics.latencies_us);
+  EXPECT_EQ(a.metrics.node_busy_us, b.metrics.node_busy_us);
+  EXPECT_EQ(a.metrics.node_docs, b.metrics.node_docs);
+  EXPECT_EQ(a.metrics.fault_acc.failovers, b.metrics.fault_acc.failovers);
+  EXPECT_EQ(a.metrics.fault_acc.hints_parked,
+            b.metrics.fault_acc.hints_parked);
+  // The net layer's own randomness is a named stream of the plan seed:
+  // every wire-level count replays exactly.
+  EXPECT_EQ(a.metrics.net_acc.messages, b.metrics.net_acc.messages);
+  EXPECT_EQ(a.metrics.net_acc.attempts, b.metrics.net_acc.attempts);
+  EXPECT_EQ(a.metrics.net_acc.delivered, b.metrics.net_acc.delivered);
+  EXPECT_EQ(a.metrics.net_acc.drops, b.metrics.net_acc.drops);
+  EXPECT_EQ(a.metrics.net_acc.duplicates, b.metrics.net_acc.duplicates);
+  EXPECT_EQ(a.metrics.net_acc.dup_suppressed,
+            b.metrics.net_acc.dup_suppressed);
+  EXPECT_EQ(a.metrics.net_acc.retries, b.metrics.net_acc.retries);
+  EXPECT_EQ(a.metrics.net_acc.timeouts, b.metrics.net_acc.timeouts);
+  EXPECT_EQ(a.metrics.net_acc.expired, b.metrics.net_acc.expired);
+  EXPECT_EQ(a.metrics.net_acc.breaker_trips,
+            b.metrics.net_acc.breaker_trips);
+  EXPECT_EQ(a.metrics.net_acc.shed, b.metrics.net_acc.shed);
+  EXPECT_EQ(a.timeline.failures, b.timeline.failures);
+  EXPECT_EQ(a.timeline.hints_reparked, b.timeline.hints_reparked);
+  EXPECT_EQ(a.timeline.control_rpcs, b.timeline.control_rpcs);
+  EXPECT_EQ(a.timeline.control_dropped, b.timeline.control_dropped);
+  EXPECT_EQ(a.registry_readable, b.registry_readable);
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    EXPECT_EQ(a.samples[i].throughput_per_sec,
+              b.samples[i].throughput_per_sec)
+        << "sample " << i;
+    EXPECT_EQ(a.samples[i].net.attempts, b.samples[i].net.attempts)
+        << "sample " << i;
+    EXPECT_EQ(a.samples[i].net.drops, b.samples[i].net.drops)
+        << "sample " << i;
+    EXPECT_EQ(a.samples[i].net.retries, b.samples[i].net.retries)
+        << "sample " << i;
+  }
+}
+
+class NetDeterminismLossy : public ::testing::TestWithParam<SchemeKind> {};
+
+TEST_P(NetDeterminismLossy, LossyChurnReplaysBitIdentically) {
+  const auto first = run_lossy(GetParam());
+  const auto second = run_lossy(GetParam());
+  expect_identical_with_net(first, second);
+  // The run actually exercised the wire faults.
+  EXPECT_GT(first.metrics.net_acc.drops, 0u);
+  EXPECT_GT(first.metrics.net_acc.retries, 0u);
+  EXPECT_GT(first.metrics.net_acc.dup_suppressed, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, NetDeterminismLossy,
+                         ::testing::Values(SchemeKind::kIl, SchemeKind::kMove,
+                                           SchemeKind::kRs),
+                         [](const auto& info) {
+                           return testutil::scheme_name(info.param);
+                         });
+
+// --- tier 3: golden hashes of the pre-net pipeline ------------------------
+
+std::uint64_t fold(std::uint64_t h, std::uint64_t v) {
+  return common::hash_combine(h, v);
+}
+std::uint64_t fold(std::uint64_t h, double v) {
+  return common::hash_combine(h, std::bit_cast<std::uint64_t>(v));
+}
+
+template <typename Vec>
+std::uint64_t fold_vec(std::uint64_t h, const Vec& v) {
+  h = fold(h, static_cast<std::uint64_t>(v.size()));
+  for (const auto& x : v) {
+    if constexpr (std::is_floating_point_v<std::decay_t<decltype(x)>>) {
+      h = fold(h, static_cast<double>(x));
+    } else {
+      h = fold(h, static_cast<std::uint64_t>(x));
+    }
+  }
+  return h;
+}
+
+/// Hashes exactly the outputs that existed before the net layer: whole-run
+/// metrics, fault accounting, injector timeline, registry aggregates, and
+/// every timeline sample. Deliberately excludes net counters and
+/// hints_reparked (both new), so the constant certifies "the lossless
+/// transport changed nothing", not "nothing was added".
+std::uint64_t golden_hash(const ChurnResult& r) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  const auto& m = r.metrics;
+  h = fold(h, m.documents_published);
+  h = fold(h, m.documents_completed);
+  h = fold(h, m.notifications);
+  h = fold(h, m.makespan_us);
+  h = fold_vec(h, m.latencies_us);
+  h = fold_vec(h, m.node_busy_us);
+  h = fold_vec(h, m.node_docs);
+  h = fold_vec(h, m.node_queue_wait_us);
+  h = fold_vec(h, m.node_storage);
+  h = fold(h, m.fault_acc.failed_routes);
+  h = fold(h, m.fault_acc.route_retries);
+  h = fold(h, m.fault_acc.dead_contacts);
+  h = fold(h, m.fault_acc.failovers);
+  h = fold(h, m.fault_acc.hints_parked);
+  h = fold(h, m.fault_acc.hints_drained);
+  h = fold(h, m.fault_acc.repair_postings_moved);
+  h = fold(h, r.timeline.failures);
+  h = fold(h, r.timeline.recoveries);
+  h = fold(h, r.timeline.total_downtime_us);
+  h = fold(h, r.timeline.repair_batches);
+  h = fold(h, r.timeline.repair_entries_applied);
+  h = fold(h, r.timeline.hints_drained);
+  h = fold(h, static_cast<std::uint64_t>(r.registry_readable));
+  h = fold(h, r.registry_hints_parked);
+  h = fold(h, r.registry_hints_drained);
+  h = fold(h, r.mean_availability);
+  h = fold(h, r.min_availability);
+  h = fold(h, r.unavailable_us);
+  h = fold(h, static_cast<std::uint64_t>(r.samples.size()));
+  for (const auto& s : r.samples) {
+    h = fold(h, s.t_us);
+    h = fold(h, s.throughput_per_sec);
+    h = fold(h, s.availability);
+    h = fold(h, static_cast<std::uint64_t>(s.live_nodes));
+    h = fold(h, static_cast<std::uint64_t>(s.handoff_queue_depth));
+    h = fold(h, static_cast<std::uint64_t>(s.repair_backlog));
+    h = fold(h, s.fault.failovers);
+    h = fold(h, s.fault.repair_postings_moved);
+  }
+  return h;
+}
+
+/// The exact run shape of the PR 3 determinism goldens (same plan seed,
+/// same churn config, default — lossless — net).
+ChurnResult run_golden(SchemeKind kind) {
+  const auto& w = testutil::shared_workload();
+  cluster::Cluster c(testutil::small_cluster());
+  auto scheme = testutil::make_scheme(kind, c);
+  const auto plan =
+      FaultPlan::random_churn(0x601dULL, c.size(), 30'000.0, 3, 8'000.0);
+  ChurnConfig cfg;
+  cfg.inject_rate_per_sec = 2'000.0;
+  cfg.sample_interval_us = 5'000.0;
+  cfg.collect_latencies = true;
+  cfg.injector.repair_batch = 1'024;
+  cfg.injector.repair_interval_us = 2'000.0;
+  return run_churn(*scheme, w.docs_, plan, cfg);
+}
+
+struct Golden {
+  SchemeKind kind;
+  std::uint64_t hash;
+};
+
+// Captured from the pre-net pipeline (PR 3 head). If one of these moves,
+// the "zero-cost pass-through" contract broke somewhere.
+constexpr Golden kGoldens[] = {
+    {SchemeKind::kIl, 0xc6192f4e4ea8d621ULL},
+    {SchemeKind::kMove, 0x64fb37cf71c2bb51ULL},
+    {SchemeKind::kRs, 0xd091f05d8a93e000ULL},
+};
+
+TEST(NetDeterminism, LosslessNetLeavesPr3GoldenHashesUnchanged) {
+  for (const Golden& g : kGoldens) {
+    const std::uint64_t h = golden_hash(run_golden(g.kind));
+    EXPECT_EQ(h, g.hash)
+        << testutil::scheme_name(g.kind) << ": pre-net pipeline hash moved to "
+        << std::hex << "0x" << h
+        << " — the lossless transport is no longer a zero-cost pass-through";
+  }
+}
+
+}  // namespace
+}  // namespace move::fault

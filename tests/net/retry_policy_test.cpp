@@ -1,0 +1,143 @@
+#include "net/retry_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "sim/cost_model.hpp"
+
+/// Property tests for the retry/backoff policy: jittered exponential backoff
+/// stays inside [base, cap], and the retry budget can never push an
+/// attempt's timeout past the end-to-end deadline.
+namespace move::net {
+namespace {
+
+TEST(RetryPolicy, BackoffAlwaysWithinBaseAndCap) {
+  const RetryPolicy p;
+  common::SplitMix64 rng(0xbac0ff);
+  for (std::size_t k = 0; k < 12; ++k) {
+    // Per-retry ceiling: base * 2^k, saturating at the cap.
+    const double ceiling =
+        std::min(p.backoff_cap_us,
+                 p.backoff_base_us * std::pow(2.0, static_cast<double>(k)));
+    for (int draw = 0; draw < 2'000; ++draw) {
+      const double b = p.backoff_us(k, rng);
+      ASSERT_GE(b, p.backoff_base_us) << "retry " << k;
+      ASSERT_LE(b, ceiling) << "retry " << k;
+      ASSERT_LE(b, p.backoff_cap_us) << "retry " << k;
+    }
+  }
+}
+
+TEST(RetryPolicy, FirstRetryIsExactlyBaseLaterOnesAreJittered) {
+  const RetryPolicy p;
+  common::SplitMix64 rng(0x717e5);
+  // Retry 0's ceiling equals the base: no room to jitter, so the first
+  // retry is deterministic even on a jittered policy.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(p.backoff_us(0, rng), p.backoff_base_us);
+  }
+  // From retry 1 on the window is open and the draws actually spread.
+  double lo = 1e300, hi = 0.0;
+  for (int i = 0; i < 2'000; ++i) {
+    const double b = p.backoff_us(1, rng);
+    lo = std::min(lo, b);
+    hi = std::max(hi, b);
+  }
+  const double ceiling = 2.0 * p.backoff_base_us;
+  EXPECT_LT(lo, p.backoff_base_us + 0.2 * p.backoff_base_us);
+  EXPECT_GT(hi, ceiling - 0.2 * p.backoff_base_us);
+}
+
+TEST(RetryPolicy, BackoffEnvelopeGrowsToTheCap) {
+  const RetryPolicy p;
+  common::SplitMix64 rng(0x9709);
+  // For a deep retry index the ceiling saturates at the cap, and with full
+  // jitter the observed maximum should approach it.
+  double hi = 0.0;
+  for (int i = 0; i < 5'000; ++i) hi = std::max(hi, p.backoff_us(10, rng));
+  EXPECT_GT(hi, 0.95 * p.backoff_cap_us);
+  EXPECT_LE(hi, p.backoff_cap_us);
+}
+
+TEST(RetryPolicy, RetryBudgetNeverExceedsDeadline) {
+  // Replay the transport's retry loop shape: an attempt is only scheduled
+  // when attempt_fits_deadline says its own timeout still lands inside the
+  // deadline. Whatever the jitter draws, the instant of the *last* possible
+  // timeout stays <= deadline_us.
+  const RetryPolicy p;
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    common::SplitMix64 rng(seed);
+    for (int trial = 0; trial < 200; ++trial) {
+      double t = 0.0;  // virtual microseconds since the first send
+      std::size_t attempts = 1;
+      while (true) {
+        t += p.timeout_us;  // this attempt's ack timeout fires
+        ASSERT_LE(t, p.deadline_us) << "an attempt timed out past the deadline";
+        if (attempts >= p.max_attempts) break;
+        const double backoff = p.backoff_us(attempts - 1, rng);
+        if (!p.attempt_fits_deadline(t, backoff)) break;
+        t += backoff;
+        ++attempts;
+      }
+      ASSERT_LE(attempts, p.max_attempts);
+    }
+  }
+}
+
+TEST(RetryPolicy, TightDeadlineCutsTheAttemptBudgetShort) {
+  RetryPolicy p;
+  p.deadline_us = 2.0 * p.timeout_us;  // room for barely two attempts
+  common::SplitMix64 rng(0x7);
+  std::size_t attempts = 1;
+  double t = p.timeout_us;
+  while (attempts < p.max_attempts) {
+    const double backoff = p.backoff_us(attempts - 1, rng);
+    if (!p.attempt_fits_deadline(t, backoff)) break;
+    t += backoff + p.timeout_us;
+    ++attempts;
+  }
+  EXPECT_LT(attempts, p.max_attempts);
+  EXPECT_LE(t, p.deadline_us);
+}
+
+TEST(RetryPolicy, ForTransferDerivesFromTheCostModel) {
+  const sim::CostModel cost;
+  const double transfer = cost.transfer_us(65) * cost.cross_rack_penalty;
+  const RetryPolicy p = RetryPolicy::for_transfer(cost, transfer);
+
+  // The ack timeout is evidence, not impatience: a full healthy round trip
+  // plus the routing-timeout margin always fits inside it.
+  EXPECT_GE(p.timeout_us, 2.0 * transfer + cost.route_timeout_us);
+  EXPECT_GE(p.backoff_cap_us, p.backoff_base_us);
+
+  // The deadline funds every allowed attempt at worst-case backoff: the
+  // budget property above then holds with zero slack.
+  EXPECT_GE(p.deadline_us,
+            static_cast<double>(p.max_attempts) * p.timeout_us +
+                static_cast<double>(p.max_attempts - 1) * p.backoff_cap_us);
+
+  // And the worst-case schedule indeed uses every attempt.
+  common::SplitMix64 rng(0xc057);
+  double t = p.timeout_us;
+  std::size_t attempts = 1;
+  while (attempts < p.max_attempts &&
+         p.attempt_fits_deadline(t, p.backoff_cap_us)) {
+    t += p.backoff_cap_us + p.timeout_us;
+    ++attempts;
+  }
+  EXPECT_EQ(attempts, p.max_attempts);
+}
+
+TEST(RetryPolicy, BackoffSequenceIsDeterministicPerSeed) {
+  const RetryPolicy p;
+  common::SplitMix64 a(42), b(42);
+  for (std::size_t k = 0; k < 32; ++k) {
+    EXPECT_EQ(p.backoff_us(k % 6, a), p.backoff_us(k % 6, b));
+  }
+}
+
+}  // namespace
+}  // namespace move::net

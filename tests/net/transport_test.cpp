@@ -1,0 +1,410 @@
+#include "net/transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_engine.hpp"
+
+/// Transport end-to-end semantics on a bare event engine: exactly-once
+/// delivery under loss/duplication/reordering, breaker trip/half-open/reset,
+/// admission shedding by priority, dedup-window memory bounds, and the
+/// zero-cost pass-through the determinism goldens rely on.
+namespace move::net {
+namespace {
+
+constexpr NodeId kSrc{0};
+constexpr NodeId kDst{1};
+
+/// A breaker that never trips, for tests about loss/retry/dedup alone.
+NetOptions no_breaker(NetOptions o = {}) {
+  o.breaker.trip_after = 1'000'000;
+  return o;
+}
+
+TEST(Transport, PassThroughDeliversOnceWithOneEventAndNoRandomness) {
+  sim::EventEngine engine;
+  Transport net(engine, {});
+  ASSERT_TRUE(net.pass_through());
+
+  int delivered = 0;
+  double at = -1.0;
+  net.send(kSrc, kDst, 100.0, Priority::kNormal, [&](sim::Time t) {
+    ++delivered;
+    at = t;
+  });
+  engine.run();
+
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(at, 100.0);  // exactly the transfer time: no latency, no jitter
+  const auto& acc = net.accounting();
+  EXPECT_EQ(acc.messages, 1u);
+  EXPECT_EQ(acc.attempts, 1u);
+  EXPECT_EQ(acc.delivered, 1u);
+  EXPECT_EQ(acc.drops, 0u);
+  EXPECT_EQ(acc.retries, 0u);
+  EXPECT_EQ(acc.timeouts, 0u);
+  EXPECT_EQ(acc.duplicates, 0u);
+  EXPECT_EQ(acc.expired, 0u);
+  // No timers, no dedup state: the fast path leaves nothing behind.
+  EXPECT_EQ(net.dedup_entries(), 0u);
+  EXPECT_EQ(net.inflight(), 0u);
+  EXPECT_TRUE(engine.idle());
+}
+
+TEST(Transport, LoopbackIsImmuneToTheLink) {
+  sim::EventEngine engine;
+  NetOptions o = no_breaker();
+  o.link.loss = 1.0;  // the wire eats everything...
+  Transport net(engine, o);
+
+  int delivered = 0;
+  net.send(kDst, kDst, 50.0, Priority::kNormal,
+           [&](sim::Time) { ++delivered; });
+  engine.run();
+  // ...but a node talking to itself never touches the wire.
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(net.accounting().drops, 0u);
+  EXPECT_EQ(net.accounting().expired, 0u);
+}
+
+TEST(Transport, LossyLinkRetriesToExactlyOnceDelivery) {
+  sim::EventEngine engine;
+  NetOptions o = no_breaker();
+  o.link.loss = 0.3;
+  o.link.latency_base_us = 10.0;
+  o.link.latency_jitter_us = 5.0;
+  // A deep retry budget: at 30% loss, ten attempts make an unlucky total
+  // loss (0.3^10) vanishingly rare even over hundreds of messages.
+  o.retry.max_attempts = 10;
+  o.retry.deadline_us = 200'000.0;
+  Transport net(engine, o);
+
+  constexpr int kMessages = 300;
+  std::vector<int> delivered(kMessages, 0);
+  int failed = 0;
+  for (int i = 0; i < kMessages; ++i) {
+    net.send(kSrc, kDst, 100.0, Priority::kNormal,
+             [&delivered, i](sim::Time) { ++delivered[i]; },
+             [&failed](SendOutcome) { ++failed; });
+  }
+  engine.run();
+
+  for (int i = 0; i < kMessages; ++i) {
+    ASSERT_EQ(delivered[i], 1) << "message " << i;
+  }
+  EXPECT_EQ(failed, 0);
+  const auto& acc = net.accounting();
+  EXPECT_EQ(acc.messages, static_cast<std::uint64_t>(kMessages));
+  EXPECT_EQ(acc.delivered, static_cast<std::uint64_t>(kMessages));
+  EXPECT_EQ(acc.delivery_ratio(), 1.0);
+  EXPECT_GT(acc.drops, 0u);
+  EXPECT_GT(acc.retries, 0u);
+  EXPECT_EQ(acc.timeouts, acc.retries);  // every timeout earned its retry
+  EXPECT_EQ(net.inflight(), 0u);
+}
+
+TEST(Transport, WithoutRetriesLossIsLoss) {
+  sim::EventEngine engine;
+  NetOptions o = no_breaker();
+  o.link.loss = 0.5;
+  o.retry.enabled = false;
+  Transport net(engine, o);
+
+  constexpr int kMessages = 400;
+  int delivered = 0, expired = 0;
+  for (int i = 0; i < kMessages; ++i) {
+    net.send(kSrc, kDst, 100.0, Priority::kNormal,
+             [&](sim::Time) { ++delivered; },
+             [&](SendOutcome outcome) {
+               EXPECT_EQ(outcome, SendOutcome::kExpired);
+               ++expired;
+             });
+  }
+  engine.run();
+
+  EXPECT_EQ(delivered + expired, kMessages);  // exactly one outcome per send
+  EXPECT_GT(expired, 0);
+  EXPECT_LT(net.accounting().delivery_ratio(), 1.0);
+  EXPECT_EQ(net.accounting().attempts, static_cast<std::uint64_t>(kMessages));
+  EXPECT_EQ(net.accounting().retries, 0u);
+  EXPECT_EQ(net.accounting().expired, static_cast<std::uint64_t>(expired));
+}
+
+TEST(Transport, LinkDuplicatesAreSuppressedAtTheReceiver) {
+  sim::EventEngine engine;
+  NetOptions o = no_breaker();
+  o.link.duplicate = 1.0;  // every attempt arrives twice
+  o.link.latency_base_us = 5.0;
+  Transport net(engine, o);
+
+  constexpr int kMessages = 50;
+  std::vector<int> delivered(kMessages, 0);
+  for (int i = 0; i < kMessages; ++i) {
+    net.send(kSrc, kDst, 20.0, Priority::kNormal,
+             [&delivered, i](sim::Time) { ++delivered[i]; });
+  }
+  engine.run();
+
+  for (int i = 0; i < kMessages; ++i) {
+    ASSERT_EQ(delivered[i], 1) << "message " << i;
+  }
+  const auto& acc = net.accounting();
+  EXPECT_EQ(acc.duplicates, static_cast<std::uint64_t>(kMessages));
+  EXPECT_EQ(acc.dup_suppressed, static_cast<std::uint64_t>(kMessages));
+  EXPECT_EQ(acc.delivered, static_cast<std::uint64_t>(kMessages));
+}
+
+TEST(Transport, ReorderedCopiesRacingRetriesStayExactlyOnce) {
+  sim::EventEngine engine;
+  NetOptions o = no_breaker();
+  o.link.reorder = 1.0;
+  o.link.reorder_delay_us = 8'000.0;  // often beyond the 2.5ms ack timeout
+  o.link.latency_base_us = 10.0;
+  Transport net(engine, o);
+
+  constexpr int kMessages = 200;
+  std::vector<int> delivered(kMessages, 0);
+  for (int i = 0; i < kMessages; ++i) {
+    net.send(kSrc, kDst, 50.0, Priority::kNormal,
+             [&delivered, i](sim::Time) { ++delivered[i]; });
+  }
+  engine.run();
+
+  // Held-back originals race the retries they provoked; whichever copy
+  // lands first wins and every later one is suppressed.
+  for (int i = 0; i < kMessages; ++i) {
+    ASSERT_EQ(delivered[i], 1) << "message " << i;
+  }
+  EXPECT_GT(net.accounting().retries, 0u);
+  EXPECT_GT(net.accounting().dup_suppressed, 0u);
+  EXPECT_EQ(net.accounting().delivered,
+            static_cast<std::uint64_t>(kMessages));
+}
+
+TEST(Transport, PartitionExpiresTheSendWithinTheDeadline) {
+  sim::EventEngine engine;
+  NetOptions o = no_breaker();
+  Transport net(engine, o);
+  net.partitions().add("cut", {kSrc}, {kDst});
+  ASSERT_FALSE(net.pass_through());  // an active partition defeats the fast path
+
+  int delivered = 0, failed = 0;
+  double failed_at = -1.0;
+  const double sent_at = engine.now();
+  net.send(kSrc, kDst, 100.0, Priority::kNormal,
+           [&](sim::Time) { ++delivered; },
+           [&](SendOutcome outcome) {
+             EXPECT_EQ(outcome, SendOutcome::kExpired);
+             ++failed;
+             failed_at = engine.now();
+           });
+  engine.run();
+
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(failed, 1);
+  const auto& acc = net.accounting();
+  EXPECT_EQ(acc.expired, 1u);
+  EXPECT_EQ(acc.drops, acc.attempts);  // every attempt died on the cut
+  EXPECT_LE(acc.attempts,
+            static_cast<std::uint64_t>(o.retry.max_attempts));
+  // The end-to-end deadline bounds how long the sender was strung along.
+  EXPECT_LE(failed_at - sent_at, o.retry.deadline_us);
+
+  // After the heal the same link delivers again.
+  net.partitions().heal("cut");
+  net.send(kSrc, kDst, 100.0, Priority::kNormal,
+           [&](sim::Time) { ++delivered; });
+  engine.run();
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(Transport, AsymmetricAckCutDeliversOnceAndSuppressesTheFailure) {
+  sim::EventEngine engine;
+  NetOptions o = no_breaker();
+  Transport net(engine, o);
+  // Data path src->dst is clean; only the ack path dst->src is cut.
+  net.partitions().add("acks", {kDst}, {kSrc}, /*bidirectional=*/false);
+
+  int delivered = 0, failed = 0;
+  net.send(kSrc, kDst, 100.0, Priority::kNormal,
+           [&](sim::Time) { ++delivered; },
+           [&](SendOutcome) { ++failed; });
+  engine.run();
+
+  // The receiver applied the message exactly once; the sender kept
+  // retrying blind until the deadline, dedup absorbing every copy. The
+  // delivery wins: no failure callback, nothing counted expired.
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(failed, 0);
+  const auto& acc = net.accounting();
+  EXPECT_EQ(acc.delivered, 1u);
+  EXPECT_EQ(acc.expired, 0u);
+  EXPECT_GT(acc.timeouts, 0u);
+  EXPECT_GT(acc.dup_suppressed, 0u);
+  EXPECT_EQ(net.inflight(), 0u);
+}
+
+TEST(Transport, BreakerTripsFailsFastAndRecoversViaHalfOpenProbe) {
+  sim::EventEngine engine;
+  NetOptions o;  // default breaker: trip after 5 consecutive timeouts
+  Transport net(engine, o);
+  net.partitions().add("cut", {kSrc}, {kDst});
+
+  int failed = 0;
+  SendOutcome last = SendOutcome::kExpired;
+  const auto on_fail = [&](SendOutcome outcome) {
+    ++failed;
+    last = outcome;
+  };
+
+  // One doomed message burns its full retry budget (6 timeouts) and trips
+  // the destination's breaker along the way.
+  net.send(kSrc, kDst, 100.0, Priority::kNormal, [](sim::Time) {}, on_fail);
+  engine.run();
+  EXPECT_EQ(failed, 1);
+  EXPECT_TRUE(net.breaker_open(kDst));
+  EXPECT_GE(net.accounting().breaker_trips, 1u);
+
+  // While open, sends to that destination fail fast: no wire attempt, no
+  // retry budget burned.
+  const auto attempts_before = net.accounting().attempts;
+  net.send(kSrc, kDst, 100.0, Priority::kNormal, [](sim::Time) {}, on_fail);
+  engine.run();
+  EXPECT_EQ(failed, 2);
+  EXPECT_EQ(last, SendOutcome::kBreakerOpen);
+  EXPECT_EQ(net.accounting().attempts, attempts_before);
+  EXPECT_EQ(net.accounting().breaker_fast_fails, 1u);
+
+  // Other destinations are unaffected: breakers are per-destination.
+  int elsewhere = 0;
+  net.send(kSrc, NodeId{2}, 100.0, Priority::kNormal,
+           [&](sim::Time) { ++elsewhere; });
+  engine.run();
+  EXPECT_EQ(elsewhere, 1);
+
+  // Heal the cut and wait out the cooldown: the next send is the half-open
+  // probe, it succeeds, and the breaker closes fully.
+  net.partitions().heal("cut");
+  int delivered = 0;
+  engine.schedule_after(2.0 * o.breaker.max_cooldown_us, [&] {
+    EXPECT_FALSE(net.breaker_open(kDst));
+    net.send(kSrc, kDst, 100.0, Priority::kNormal,
+             [&](sim::Time) { ++delivered; }, on_fail);
+  });
+  engine.run();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(failed, 2);
+  EXPECT_FALSE(net.breaker_open(kDst));
+}
+
+TEST(Transport, FailedHalfOpenProbeReopensWithDoubledCooldown) {
+  sim::EventEngine engine;
+  Transport net(engine, {});
+  net.partitions().add("cut", {kSrc}, {kDst});
+
+  net.send(kSrc, kDst, 100.0, Priority::kNormal, [](sim::Time) {});
+  engine.run();
+  ASSERT_TRUE(net.breaker_open(kDst));
+  const auto trips_after_first = net.accounting().breaker_trips;
+
+  // Past the cooldown the breaker admits a probe; with the cut still up the
+  // probe times out and the breaker reopens (another trip, longer cooldown).
+  engine.schedule_after(2.0 * net.options().breaker.max_cooldown_us, [&] {
+    ASSERT_FALSE(net.breaker_open(kDst));
+    net.send(kSrc, kDst, 100.0, Priority::kNormal, [](sim::Time) {});
+  });
+  engine.run();
+  EXPECT_GT(net.accounting().breaker_trips, trips_after_first);
+}
+
+TEST(Transport, AdmissionControlShedsByPriority) {
+  sim::EventEngine engine;
+  NetOptions o = no_breaker();
+  o.link.latency_base_us = 1.0;  // defeat the pass-through fast path
+  o.shed_queue_bound = 2;        // kBulk sheds at 2, kNormal at 8
+  Transport net(engine, o);
+
+  std::size_t depth = 0;
+  net.set_queue_depth_fn([&depth](NodeId) { return depth; });
+
+  const auto outcome_of = [&](Priority priority) {
+    int delivered = 0;
+    bool shed = false;
+    net.send(kSrc, kDst, 10.0, priority, [&](sim::Time) { ++delivered; },
+             [&](SendOutcome out) { shed = (out == SendOutcome::kShed); });
+    engine.run();
+    EXPECT_TRUE(delivered == 1 || shed);
+    return shed ? "shed" : "delivered";
+  };
+
+  depth = 1;  // under every bound
+  EXPECT_STREQ(outcome_of(Priority::kBulk), "delivered");
+  depth = 2;  // at the bulk bound
+  EXPECT_STREQ(outcome_of(Priority::kBulk), "shed");
+  EXPECT_STREQ(outcome_of(Priority::kNormal), "delivered");
+  depth = 8;  // at 4x: normal sheds too, high never does
+  EXPECT_STREQ(outcome_of(Priority::kNormal), "shed");
+  EXPECT_STREQ(outcome_of(Priority::kHigh), "delivered");
+  depth = 1'000'000;
+  EXPECT_STREQ(outcome_of(Priority::kHigh), "delivered");
+  EXPECT_EQ(net.accounting().shed, 2u);
+}
+
+TEST(Transport, DedupWindowExpiresAndKeepsMemoryBounded) {
+  sim::EventEngine engine;
+  NetOptions o = no_breaker();
+  o.link.duplicate = 1.0;  // exercise dedup on every message
+  o.link.latency_base_us = 2.0;
+  o.dedup_window_us = 5'000.0;
+  Transport net(engine, o);
+
+  constexpr int kMessages = 64;
+  for (int i = 0; i < kMessages; ++i) {
+    net.send(kSrc, kDst, 10.0, Priority::kNormal, [](sim::Time) {});
+  }
+  engine.run();
+  // All delivered keys are inside the window: remembered.
+  EXPECT_EQ(net.accounting().delivered, static_cast<std::uint64_t>(kMessages));
+  EXPECT_EQ(net.dedup_entries(), static_cast<std::size_t>(kMessages));
+
+  // One more delivery to the same receiver after the window has passed
+  // sweeps every expired key: memory is bounded by the window, not the
+  // run's total message count.
+  engine.schedule_after(2.0 * o.dedup_window_us, [&] {
+    net.send(kSrc, kDst, 10.0, Priority::kNormal, [](sim::Time) {});
+  });
+  engine.run();
+  EXPECT_EQ(net.dedup_entries(), 1u);
+}
+
+TEST(Transport, LossySequenceReplaysBitIdentically) {
+  const auto run_once = [] {
+    sim::EventEngine engine;
+    NetOptions o = no_breaker();
+    o.link.loss = 0.2;
+    o.link.latency_jitter_us = 30.0;
+    o.link.duplicate = 0.1;
+    o.seed = 0xd5eed;
+    Transport net(engine, o);
+    std::vector<double> delivery_times;
+    for (int i = 0; i < 100; ++i) {
+      net.send(kSrc, NodeId{static_cast<std::uint32_t>(1 + i % 4)}, 50.0,
+               Priority::kNormal,
+               [&delivery_times](sim::Time t) { delivery_times.push_back(t); });
+    }
+    engine.run();
+    return std::make_pair(delivery_times, net.accounting());
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_EQ(a.first, b.first);  // exact doubles: same draws, same schedule
+  EXPECT_EQ(a.second.attempts, b.second.attempts);
+  EXPECT_EQ(a.second.drops, b.second.drops);
+  EXPECT_EQ(a.second.retries, b.second.retries);
+  EXPECT_EQ(a.second.duplicates, b.second.duplicates);
+  EXPECT_EQ(a.second.dup_suppressed, b.second.dup_suppressed);
+}
+
+}  // namespace
+}  // namespace move::net
