@@ -1,0 +1,223 @@
+// Figure 11 (extension): online workload adaptation. The paper's renewal
+// scheme (§V) re-allocates offline between runs; move::adapt keeps the
+// estimate fresh with bounded-memory sketches and migrates filter sets
+// LIVE, so adaptation overlaps dissemination. This bench streams an
+// A->B(->A->B) drifting corpus through the online control loop and sweeps
+//   drift profile   x   {full, incremental} re-allocation   x   sketch budget
+// recording per-window throughput. The figure of merit is the worst-window
+// dip: full re-allocation moves every home in one unpaced burst (the
+// offline scheme's cost profile, its service charged on the receiving
+// nodes), incremental moves only the drifted homes in paced bounded
+// batches — at equal sketch budget its dip must be strictly shallower.
+// Machine-readable output in BENCH_fig11_adapt.json.
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "adapt/online.hpp"
+#include "bench_report.hpp"
+#include "bench_util.hpp"
+#include "net/transport.hpp"
+
+using namespace move;
+
+namespace {
+
+/// `switches` distribution changes over a fixed-length stream: phases
+/// alternate between two rank permutations of the same corpus shape.
+workload::TermSetTable make_stream(std::size_t vocabulary,
+                                   std::size_t total_docs,
+                                   std::size_t switches) {
+  const std::size_t phases = switches + 1;
+  const std::size_t per_phase = total_docs / phases;
+  workload::TermSetTable out;
+  for (std::size_t ph = 0; ph < phases; ++ph) {
+    auto cfg = workload::CorpusConfig::trec_wt_like(bench::scale(),
+                                                    vocabulary);
+    if (ph % 2 == 1) cfg.seed ^= 0xd21f7;  // the drift ablation's B phase
+    const auto docs = workload::CorpusGenerator(cfg).generate(per_phase);
+    for (std::size_t i = 0; i < docs.size(); ++i) out.add(docs.row(i));
+  }
+  return out;
+}
+
+struct Budget {
+  const char* name;
+  std::size_t top_k;
+  std::size_t cm_width;
+};
+
+struct Outcome {
+  double dip_depth = 0.0;
+  double worst_tp = 0.0;
+  double median_tp = 0.0;
+  std::size_t dip_windows = 0;
+  adapt::OnlineResult result;
+};
+
+double median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t mid = v.size() / 2;
+  return v.size() % 2 == 1 ? v[mid] : 0.5 * (v[mid - 1] + v[mid]);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Figure 11 (online adaptation)",
+                      "worst-window throughput dip: full vs incremental "
+                      "live re-allocation");
+  const bench::PaperDefaults d;
+  const auto filters = bench::make_filters(d.filters);
+  const auto corpus_stats = [&] {
+    // Allocate from phase-A statistics only — phase B is what the online
+    // loop has to discover on its own.
+    auto cfg = workload::CorpusConfig::trec_wt_like(bench::scale(),
+                                                    filters.vocabulary);
+    const auto warm = workload::CorpusGenerator(cfg).generate(d.batch_docs);
+    return workload::compute_stats(warm, filters.vocabulary);
+  }();
+
+  const std::size_t total_docs = 2 * d.batch_docs;
+  const std::size_t window_docs = total_docs / 10;  // 10 observation windows
+
+  bench::BenchReporter report("fig11_adapt");
+  report.meta()["nodes"] = d.nodes;
+  report.meta()["filters"] = filters.table.size();
+  report.meta()["docs"] = total_docs;
+  report.meta()["window_docs"] = window_docs;
+  report.meta()["migration_batch"] = fault::kDefaultMigrationBatch;
+
+  const Budget budgets[] = {{"lo", 256, 512}, {"hi", 1024, 2048}};
+  const std::size_t drift_switches[] = {1, 3};
+
+  std::printf("P=%zu, N=%zu, %zu docs in windows of %zu\n\n",
+              filters.table.size(), d.nodes, total_docs, window_docs);
+  std::printf("%-34s %-10s %-10s %-9s %-8s %-10s %-8s\n", "config",
+              "median/s", "worst/s", "dip", "dipwin", "moved", "stall_ms");
+
+  // dip ordering verdict per (drift, budget): incremental < full required.
+  std::map<std::string, double> dips;
+
+  for (const std::size_t switches : drift_switches) {
+    const auto stream =
+        make_stream(filters.vocabulary, total_docs, switches);
+    for (const Budget& b : budgets) {
+      for (const bool full : {true, false}) {
+        cluster::Cluster c(bench::cluster_config(d, d.nodes));
+        core::MoveScheme scheme(c, bench::move_options(d));
+        scheme.register_filters(filters.table);
+        scheme.allocate(filters.stats, corpus_stats);
+        // Pass-through transport: migration batches and publish hops share
+        // the message layer (and its accounting) at zero perturbation.
+        net::Transport transport(c.engine(), {});
+
+        adapt::OnlineOptions opts;
+        opts.window_docs = window_docs;
+        opts.min_observations = 50;
+        opts.run.inject_rate_per_sec = 5'000.0;
+        opts.run.collect_latencies = false;
+        opts.run.transport = &transport;
+        opts.estimator.filter_top_k = b.top_k;
+        opts.estimator.doc_top_k = b.top_k;
+        opts.estimator.cm_width = b.cm_width;
+        opts.full_reallocation = full;
+
+        Outcome o;
+        o.result = adapt::run_online(scheme, stream, opts);
+
+        std::vector<double> tps;
+        for (const auto& w : o.result.windows) {
+          tps.push_back(w.throughput_per_sec);
+        }
+        o.median_tp = median(tps);
+        o.worst_tp = tps.empty()
+                         ? 0.0
+                         : *std::min_element(tps.begin(), tps.end());
+        o.dip_depth =
+            o.median_tp > 0.0 ? 1.0 - o.worst_tp / o.median_tp : 0.0;
+        for (const double tp : tps) {
+          if (tp < 0.9 * o.median_tp) ++o.dip_windows;
+        }
+
+        const std::string config = std::string(full ? "full" : "incremental") +
+                                   "_" + b.name + "_drift" +
+                                   std::to_string(switches);
+        const auto& m = o.result.metrics;
+        const auto& acc = m.adapt_acc;
+
+        for (std::size_t w = 0; w < o.result.windows.size(); ++w) {
+          const auto& win = o.result.windows[w];
+          auto& row = report.add_row(config + "_windows");
+          row["knobs"]["window"] = w;
+          row["metrics"]["throughput_per_sec"] = win.throughput_per_sec;
+          row["metrics"]["l1"] = win.l1;
+          row["metrics"]["drifted"] = win.drifted;
+          row["metrics"]["homes_started"] = win.homes_started;
+          row["metrics"]["postings_moved"] = win.postings_moved;
+        }
+
+        auto& row = report.add_row(config);
+        row["knobs"]["mode"] = full ? "full" : "incremental";
+        row["knobs"]["sketch_budget"] = b.name;
+        row["knobs"]["drift_switches"] = switches;
+        bench::BenchReporter::fill_run_metrics(row, m);
+        row["metrics"]["dip_depth"] = o.dip_depth;
+        row["metrics"]["worst_window_tput"] = o.worst_tp;
+        row["metrics"]["median_window_tput"] = o.median_tp;
+        row["metrics"]["dip_windows"] = o.dip_windows;
+        row["metrics"]["reallocations"] = o.result.reallocations;
+        row["metrics"]["homes_migrated"] = acc.homes_migrated;
+        row["metrics"]["homes_aborted"] = acc.homes_aborted;
+        row["metrics"]["postings_moved"] = acc.postings_moved;
+        row["metrics"]["entries_retired"] = acc.entries_retired;
+        row["metrics"]["migration_batches"] = acc.migration_batches;
+        row["metrics"]["sketch_bytes"] = acc.sketch_bytes;
+        row["metrics"]["sketch_error_bound"] = acc.sketch_error_bound;
+        row["metrics"]["stall_us"] = acc.stall_us;
+        row["metrics"]["terms_drifted"] = acc.terms_drifted;
+
+        dips[config] = o.dip_depth;
+
+        std::printf("%-34s %-10.4g %-10.4g %-9.4f %-8zu %-10llu %-8.2f\n",
+                    config.c_str(), o.median_tp, o.worst_tp, o.dip_depth,
+                    o.dip_windows,
+                    static_cast<unsigned long long>(acc.postings_moved),
+                    acc.stall_us / 1e3);
+      }
+    }
+  }
+
+  // The acceptance gate: at equal sketch budget and drift profile, the
+  // incremental dip must be strictly shallower than the full one.
+  bool ordered = true;
+  std::printf("\ndip ordering (incremental < full at equal budget):\n");
+  for (const std::size_t switches : drift_switches) {
+    for (const Budget& b : budgets) {
+      const std::string suffix =
+          std::string("_") + b.name + "_drift" + std::to_string(switches);
+      const double inc = dips["incremental" + suffix];
+      const double ful = dips["full" + suffix];
+      const bool ok = inc < ful;
+      ordered = ordered && ok;
+      std::printf("  %-22s incremental %.4f  vs  full %.4f   %s\n",
+                  suffix.c_str() + 1, inc, ful, ok ? "ok" : "VIOLATED");
+    }
+  }
+  // Below scale 0.02 the windows are too small for the dip to resolve
+  // (a handful of allocated homes, phase switches landing mid-window), so
+  // the verdicts are printed but not enforced — the determinism gate runs
+  // at 0.02 and EXPERIMENTS.md reports 0.1, both enforced.
+  const bool enforce = bench::scale() >= 0.02;
+  if (!ordered) {
+    std::printf("\n%s: full re-allocation did not cost more than "
+                "incremental migration%s\n", enforce ? "FAIL" : "note",
+                enforce ? "" : " (scale too small to enforce)");
+  }
+
+  return report.write() && (ordered || !enforce) ? 0 : 1;
+}

@@ -1,0 +1,105 @@
+#include "adapt/count_min.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/hash.hpp"
+
+namespace move::adapt {
+
+CountMin::CountMin(std::size_t width, std::size_t depth, std::uint64_t seed)
+    : width_(width), depth_(depth), seed_(seed) {
+  if (width == 0 || depth == 0) {
+    throw std::invalid_argument("CountMin width/depth must be positive");
+  }
+  cells_.assign(width_ * depth_, 0);
+}
+
+std::size_t CountMin::cell(std::size_t row, TermId term) const {
+  // Independent-enough row hashes from one seed: mix the term with a
+  // per-row derived constant (deterministic across platforms, like every
+  // hash in the pipeline).
+  const std::uint64_t h = common::mix64(
+      common::hash_combine(seed_ + row, term.value));
+  return row * width_ + static_cast<std::size_t>(h % width_);
+}
+
+void CountMin::add(TermId term, std::uint64_t weight) {
+  for (std::size_t row = 0; row < depth_; ++row) {
+    cells_[cell(row, term)] += weight;
+  }
+  total_ += weight;
+}
+
+std::uint64_t CountMin::estimate(TermId term) const {
+  std::uint64_t best = cells_[cell(0, term)];
+  for (std::size_t row = 1; row < depth_; ++row) {
+    best = std::min(best, cells_[cell(row, term)]);
+  }
+  return best;
+}
+
+double CountMin::epsilon() const noexcept {
+  return std::exp(1.0) / static_cast<double>(width_);
+}
+
+void CountMin::clear() {
+  std::fill(cells_.begin(), cells_.end(), 0);
+  total_ = 0;
+}
+
+WindowedCountMin::WindowedCountMin(std::size_t width, std::size_t depth,
+                                   std::size_t windows, std::uint64_t seed) {
+  if (windows == 0) {
+    throw std::invalid_argument("WindowedCountMin needs >= 1 window");
+  }
+  buckets_.reserve(windows);
+  for (std::size_t w = 0; w < windows; ++w) {
+    // Every bucket uses the same hash family so per-bucket estimates of one
+    // term hit the same cells and the summed estimate stays one-sided.
+    buckets_.emplace_back(width, depth, seed);
+  }
+}
+
+void WindowedCountMin::add(TermId term, std::uint64_t weight) {
+  buckets_[current_].add(term, weight);
+}
+
+void WindowedCountMin::rotate() {
+  current_ = (current_ + 1) % buckets_.size();
+  buckets_[current_].clear();
+}
+
+std::uint64_t WindowedCountMin::estimate(TermId term) const {
+  std::uint64_t sum = 0;
+  for (const CountMin& b : buckets_) sum += b.estimate(term);
+  return sum;
+}
+
+std::uint64_t WindowedCountMin::window_total() const noexcept {
+  std::uint64_t sum = 0;
+  for (const CountMin& b : buckets_) sum += b.total();
+  return sum;
+}
+
+double WindowedCountMin::error_bound() const noexcept {
+  double sum = 0;
+  for (const CountMin& b : buckets_) {
+    sum += b.epsilon() * static_cast<double>(b.total());
+  }
+  return sum;
+}
+
+std::size_t WindowedCountMin::memory_bytes() const noexcept {
+  std::size_t sum = 0;
+  for (const CountMin& b : buckets_) sum += b.memory_bytes();
+  return sum;
+}
+
+void WindowedCountMin::clear() {
+  for (CountMin& b : buckets_) b.clear();
+  current_ = 0;
+}
+
+}  // namespace move::adapt

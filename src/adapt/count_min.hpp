@@ -1,0 +1,98 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+/// Count-Min sketch (Cormode & Muthukrishnan) plus a ring-buffered windowed
+/// variant.
+///
+/// The plain sketch answers point queries with one-sided error: the
+/// estimate never underestimates, and overestimates by more than
+/// `epsilon() * total()` only with probability exp(-depth) per query (the
+/// property suite checks both across seeds). The windowed variant keeps
+/// `windows` independent buckets in a ring; `rotate()` retires the oldest
+/// bucket wholesale, so the estimate covers exactly the last `windows`
+/// observation windows with O(width * depth * windows) memory — the adapt
+/// layer's bounded-memory replacement for the meta store's exact per-term
+/// document counters, which grow with the live vocabulary.
+namespace move::adapt {
+
+class CountMin {
+ public:
+  CountMin(std::size_t width, std::size_t depth, std::uint64_t seed);
+
+  void add(TermId term, std::uint64_t weight = 1);
+
+  /// Point estimate — min over rows; `>= true count`, always.
+  [[nodiscard]] std::uint64_t estimate(TermId term) const;
+
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  [[nodiscard]] std::size_t width() const noexcept { return width_; }
+  [[nodiscard]] std::size_t depth() const noexcept { return depth_; }
+
+  /// Classic additive-error factor: an estimate exceeds the true count by
+  /// more than `epsilon() * total()` with probability at most exp(-depth).
+  [[nodiscard]] double epsilon() const noexcept;
+
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    return cells_.capacity() * sizeof(std::uint64_t);
+  }
+
+  void clear();
+
+ private:
+  [[nodiscard]] std::size_t cell(std::size_t row, TermId term) const;
+
+  std::size_t width_;
+  std::size_t depth_;
+  std::uint64_t seed_;
+  std::vector<std::uint64_t> cells_;  // row-major, width_ * depth_
+  std::uint64_t total_ = 0;
+};
+
+/// Ring of `windows` Count-Min buckets; adds land in the current bucket,
+/// estimates sum all live buckets, and rotate() clears the oldest so
+/// retired traffic stops contributing — a sliding window in O(1) per
+/// rotation with no per-item timestamps.
+class WindowedCountMin {
+ public:
+  WindowedCountMin(std::size_t width, std::size_t depth, std::size_t windows,
+                   std::uint64_t seed);
+
+  void add(TermId term, std::uint64_t weight = 1);
+
+  /// Advances the ring: the oldest bucket is cleared and becomes current.
+  void rotate();
+
+  /// Estimate over the live window span (sum of per-bucket estimates; each
+  /// bucket is one-sided, so the sum never underestimates either).
+  [[nodiscard]] std::uint64_t estimate(TermId term) const;
+
+  /// Total stream weight across the live window span.
+  [[nodiscard]] std::uint64_t window_total() const noexcept;
+
+  /// Additive error bound over the window span: sum of per-bucket bounds.
+  [[nodiscard]] double error_bound() const noexcept;
+
+  [[nodiscard]] std::size_t windows() const noexcept {
+    return buckets_.size();
+  }
+  /// The bucket accumulating the CURRENT (not yet rotated) window — the
+  /// un-smeared view drift detection compares window-over-window, while
+  /// `estimate()` keeps the multi-window smoothing allocation wants.
+  [[nodiscard]] const CountMin& current() const noexcept {
+    return buckets_[current_];
+  }
+  [[nodiscard]] std::size_t memory_bytes() const noexcept;
+
+  void clear();
+
+ private:
+  std::vector<CountMin> buckets_;
+  std::size_t current_ = 0;
+};
+
+}  // namespace move::adapt

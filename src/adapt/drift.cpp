@@ -1,0 +1,71 @@
+#include "adapt/drift.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace move::adapt {
+
+DriftReport DriftDetector::observe(
+    std::span<const std::pair<TermId, double>> shares) {
+  std::vector<std::pair<TermId, double>> current(shares.begin(), shares.end());
+  std::sort(current.begin(), current.end());
+
+  DriftReport report;
+  if (!has_previous_) {
+    previous_ = std::move(current);
+    has_previous_ = true;
+    return report;
+  }
+
+  // Merge-walk the two term-sorted snapshots: L1 over the union, overlap
+  // over the intersection, and the per-term deltas in one pass.
+  std::size_t i = 0;
+  std::size_t j = 0;
+  std::size_t common = 0;
+  double l1 = 0.0;
+  while (i < previous_.size() || j < current.size()) {
+    TermId term{0};
+    double before = 0.0;
+    double after = 0.0;
+    if (j >= current.size() ||
+        (i < previous_.size() && previous_[i].first < current[j].first)) {
+      term = previous_[i].first;
+      before = previous_[i].second;
+      ++i;
+    } else if (i >= previous_.size() || current[j].first < previous_[i].first) {
+      term = current[j].first;
+      after = current[j].second;
+      ++j;
+    } else {
+      term = previous_[i].first;
+      before = previous_[i].second;
+      after = current[j].second;
+      ++i;
+      ++j;
+      ++common;
+    }
+    const double delta = std::abs(after - before);
+    l1 += delta;
+    if (delta > options_.term_threshold) {
+      report.drifted_terms.push_back(term);
+    }
+  }
+  report.l1 = 0.5 * l1;
+  const std::size_t smaller = std::min(previous_.size(), current.size());
+  report.topk_overlap =
+      smaller == 0 ? 1.0
+                   : static_cast<double>(common) / static_cast<double>(smaller);
+  report.drifted = report.l1 > options_.l1_threshold ||
+                   report.topk_overlap < options_.min_overlap;
+  if (!report.drifted) report.drifted_terms.clear();
+
+  previous_ = std::move(current);
+  return report;
+}
+
+void DriftDetector::reset() {
+  previous_.clear();
+  has_previous_ = false;
+}
+
+}  // namespace move::adapt

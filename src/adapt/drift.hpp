@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+/// Window-over-window drift detection on the estimated document-term
+/// distribution.
+///
+/// The adaptive controller hands the detector one top-k share snapshot per
+/// observation window; the detector compares it against the previous
+/// window's snapshot with two complementary statistics:
+///  * normalized L1 distance over the union of both top-k sets (half the
+///    sum of absolute share differences, in [0, 1] — total variation
+///    restricted to the heads), and
+///  * top-k set overlap (|A ∩ B| / min(|A|, |B|), in [0, 1]).
+/// Either statistic crossing its threshold flags the window as drifted;
+/// the per-term share deltas then name WHICH terms moved, so re-allocation
+/// touches only the drifted homes instead of the full trace (the point of
+/// the incremental path).
+namespace move::adapt {
+
+struct DriftOptions {
+  /// L1 distance above this flags drift (0.15 = 15% of probability mass
+  /// moved between windows).
+  double l1_threshold = 0.15;
+  /// Top-k overlap below this flags drift even when L1 is small (the heads
+  /// swapped identity without moving much mass).
+  double min_overlap = 0.5;
+  /// A term whose share moved by more than this is reported as drifted.
+  double term_threshold = 0.004;
+};
+
+struct DriftReport {
+  double l1 = 0.0;
+  double topk_overlap = 1.0;
+  bool drifted = false;
+  std::vector<TermId> drifted_terms;  ///< ascending, |Δshare| > threshold
+};
+
+class DriftDetector {
+ public:
+  explicit DriftDetector(DriftOptions options = {}) : options_(options) {}
+
+  /// Compares this window's (term, share) snapshot against the previous
+  /// one and remembers it. The first window never reports drift (there is
+  /// nothing to compare against).
+  DriftReport observe(std::span<const std::pair<TermId, double>> shares);
+
+  void reset();
+
+  [[nodiscard]] const DriftOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  DriftOptions options_;
+  std::vector<std::pair<TermId, double>> previous_;  // sorted by term
+  bool has_previous_ = false;
+};
+
+}  // namespace move::adapt

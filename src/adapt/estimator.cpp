@@ -1,0 +1,93 @@
+#include "adapt/estimator.hpp"
+
+#include <algorithm>
+
+namespace move::adapt {
+
+WorkloadEstimator::WorkloadEstimator(EstimatorOptions options)
+    : options_(options),
+      filter_terms_(options.filter_top_k),
+      doc_terms_(options.doc_top_k),
+      doc_window_(options.cm_width, options.cm_depth, options.cm_windows,
+                  options.seed) {}
+
+void WorkloadEstimator::on_document_term(TermId term) {
+  doc_terms_.offer(term);
+  doc_window_.add(term);
+}
+
+void WorkloadEstimator::on_filter_term(TermId term) {
+  filter_terms_.offer(term);
+}
+
+void WorkloadEstimator::rotate_window() { doc_window_.rotate(); }
+
+std::vector<std::pair<TermId, double>> WorkloadEstimator::window_shares(
+    std::size_t k) const {
+  // Drift compares consecutive windows, so the snapshot must be the
+  // CURRENT window's bucket alone — summing the whole ring would smear an
+  // abrupt distribution switch across cm_windows snapshots and dilute the
+  // window-over-window L1 below any sane threshold.
+  const CountMin& bucket = doc_window_.current();
+  const std::uint64_t total = bucket.total();
+  std::vector<std::pair<TermId, double>> shares;
+  if (total == 0) return shares;
+
+  // Candidates come from the Space-Saving heads; their magnitude from the
+  // current window's counts, so a term that was hot three windows ago but
+  // is still tracked shows no share once its traffic stops.
+  for (const SketchEntry& e : doc_terms_.entries_by_count()) {
+    const std::uint64_t est = bucket.estimate(e.term);
+    if (est == 0) continue;
+    shares.emplace_back(e.term,
+                        static_cast<double>(est) / static_cast<double>(total));
+  }
+  std::sort(shares.begin(), shares.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  if (shares.size() > k) shares.resize(k);
+  return shares;
+}
+
+std::vector<core::AllocationInput> WorkloadEstimator::estimate_inputs(
+    const kv::HashRing& ring, std::size_t cluster_size) const {
+  std::vector<core::AllocationInput> inputs(cluster_size);
+
+  const std::uint64_t filter_total = filter_terms_.total();
+  if (filter_total > 0) {
+    for (const SketchEntry& e : filter_terms_.entries_by_count()) {
+      const NodeId home = ring.home_of_term(e.term);
+      if (home.value >= cluster_size) continue;
+      inputs[home.value].p += static_cast<double>(e.count) /
+                              static_cast<double>(filter_total);
+    }
+  }
+
+  const std::uint64_t doc_total = doc_window_.window_total();
+  if (doc_total > 0) {
+    for (const SketchEntry& e : doc_terms_.entries_by_count()) {
+      const std::uint64_t est = doc_window_.estimate(e.term);
+      if (est == 0) continue;
+      const NodeId home = ring.home_of_term(e.term);
+      if (home.value >= cluster_size) continue;
+      inputs[home.value].q += static_cast<double>(est) /
+                              static_cast<double>(doc_total);
+    }
+  }
+  return inputs;
+}
+
+std::size_t WorkloadEstimator::memory_bytes() const {
+  return filter_terms_.memory_bytes() + doc_terms_.memory_bytes() +
+         doc_window_.memory_bytes();
+}
+
+void WorkloadEstimator::clear() {
+  filter_terms_.clear();
+  doc_terms_.clear();
+  doc_window_.clear();
+}
+
+}  // namespace move::adapt

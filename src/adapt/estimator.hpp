@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "adapt/count_min.hpp"
+#include "adapt/space_saving.hpp"
+#include "core/allocation.hpp"
+#include "core/workload_observer.hpp"
+#include "kv/ring.hpp"
+
+/// Streaming replacement for the meta stores' exact p'/q' counters (§V).
+///
+/// Popularity p_i (filters per term) feeds a Space-Saving sketch — filter
+/// registrations are heavy-tailed, so the heads the allocation actually
+/// reacts to are exactly what Space-Saving guarantees to retain.
+/// Frequency q_i (documents per term) feeds a Space-Saving candidate set
+/// for WHICH terms are hot plus a windowed Count-Min for HOW hot they were
+/// over the last few observation windows, so old traffic ages out the way
+/// reset_document_counters() used to forget it, but in bounded memory.
+///
+/// The estimator produces the same per-home AllocationInput aggregates
+/// MoveScheme::allocate_from_observed() built from exact counters; the
+/// difference is the tail: terms outside the sketches contribute nothing,
+/// which perturbs allocations by at most the sketch error bounds the test
+/// suite asserts.
+namespace move::adapt {
+
+struct EstimatorOptions {
+  /// Space-Saving capacity for the filter-popularity sketch.
+  std::size_t filter_top_k = 512;
+  /// Space-Saving capacity for the document-term candidate set.
+  std::size_t doc_top_k = 512;
+  /// Count-Min geometry for the windowed frequency estimate.
+  std::size_t cm_width = 1024;
+  std::size_t cm_depth = 4;
+  /// Ring depth: how many observation windows the q estimate spans.
+  std::size_t cm_windows = 4;
+  std::uint64_t seed = 0xada9705eULL;
+};
+
+class WorkloadEstimator final : public core::WorkloadObserver {
+ public:
+  explicit WorkloadEstimator(EstimatorOptions options = {});
+
+  // --- WorkloadObserver ----------------------------------------------------
+  void on_document_term(TermId term) override;
+  void on_filter_term(TermId term) override;
+
+  /// Closes the current observation window: the windowed frequency ring
+  /// advances (the oldest window's documents stop counting).
+  void rotate_window();
+
+  /// Top-`k` (term, share) snapshot of the CURRENT observation window's
+  /// document-term distribution — the drift detector's input (one bucket,
+  /// not the smoothed ring, so consecutive snapshots see an abrupt switch
+  /// at full strength). Order is deterministic (share desc, term asc).
+  [[nodiscard]] std::vector<std::pair<TermId, double>> window_shares(
+      std::size_t k) const;
+
+  /// Per-home (p', q') aggregates under `ring`, same shape the exact
+  /// collector produced: p from the filter sketch (share of tracked
+  /// registrations), q from the windowed frequency estimate of the tracked
+  /// document terms.
+  [[nodiscard]] std::vector<core::AllocationInput> estimate_inputs(
+      const kv::HashRing& ring, std::size_t cluster_size) const;
+
+  /// Additive error bound on any single windowed q estimate, in documents
+  /// (the Count-Min epsilon * window total, summed over live buckets).
+  [[nodiscard]] double q_error_bound() const noexcept {
+    return doc_window_.error_bound();
+  }
+
+  /// Total bytes across all three sketches — bounded by the options, not
+  /// by the stream.
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+  [[nodiscard]] const SpaceSaving& filter_sketch() const noexcept {
+    return filter_terms_;
+  }
+  [[nodiscard]] const SpaceSaving& doc_sketch() const noexcept {
+    return doc_terms_;
+  }
+  [[nodiscard]] const WindowedCountMin& doc_window() const noexcept {
+    return doc_window_;
+  }
+
+  void clear();
+
+ private:
+  EstimatorOptions options_;
+  SpaceSaving filter_terms_;   // p_i numerators
+  SpaceSaving doc_terms_;      // q_i candidate heads
+  WindowedCountMin doc_window_;  // q_i windowed counts
+};
+
+}  // namespace move::adapt

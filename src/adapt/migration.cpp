@@ -1,0 +1,269 @@
+#include "adapt/migration.hpp"
+
+#include <algorithm>
+
+namespace move::adapt {
+
+namespace {
+
+bool same_grid(const std::optional<core::ForwardingTable>& a,
+               const std::optional<core::ForwardingTable>& b) {
+  if (a.has_value() != b.has_value()) return false;
+  if (!a.has_value()) return true;
+  if (a->partitions() != b->partitions() || a->columns() != b->columns()) {
+    return false;
+  }
+  for (std::uint32_t r = 0; r < a->partitions(); ++r) {
+    for (std::uint32_t c = 0; c < a->columns(); ++c) {
+      if (a->at(r, c) != b->at(r, c)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+MigrationPlanner::MigrationPlanner(core::MoveScheme& scheme,
+                                   net::Transport* transport,
+                                   MigrationOptions options)
+    : scheme_(&scheme),
+      cluster_(&scheme.cluster()),
+      transport_(transport),
+      options_(options),
+      migrating_(cluster_->size(), 0) {
+  if (options_.batch_entries == 0) {
+    options_.batch_entries = fault::kDefaultMigrationBatch;
+  }
+}
+
+bool MigrationPlanner::stale(const HomeMigration& hm) const {
+  return hm.generation != scheme_->build_generation();
+}
+
+std::size_t MigrationPlanner::start(
+    const std::vector<core::AllocationInput>& inputs,
+    std::span<const NodeId> homes) {
+  if (migrating_.size() < cluster_->size()) {
+    migrating_.resize(cluster_->size(), 0);
+  }
+  const auto allocs = scheme_->plan_allocations(inputs);
+
+  // Re-derive the FULL placement exactly as build_grids would: every home
+  // with entries, hottest first, against a zero-start cumulative load
+  // vector. Planning is thus a pure function of `inputs` — replanning with
+  // unchanged estimates reproduces the installed grids exactly, so a
+  // converged cluster never migrates (the no-op fixed point the control
+  // loop's stability depends on).
+  std::vector<std::uint32_t> plan_order(cluster_->size());
+  for (std::uint32_t m = 0; m < cluster_->size(); ++m) plan_order[m] = m;
+  std::sort(plan_order.begin(), plan_order.end(),
+            [&](std::uint32_t a, std::uint32_t b) {
+              return inputs[a].q * inputs[a].p > inputs[b].q * inputs[b].p;
+            });
+
+  std::vector<double> slot_load(cluster_->size(), 0.0);
+  std::vector<std::optional<core::ForwardingTable>> planned(cluster_->size());
+  for (std::uint32_t m : plan_order) {
+    if (scheme_->home_entries(NodeId{m}).empty()) continue;
+    auto table = scheme_->plan_grid(NodeId{m}, allocs[m], slot_load);
+    if (!table.has_value()) continue;
+    const double share =
+        inputs[m].p * inputs[m].q /
+        (static_cast<double>(table->partitions()) * table->columns());
+    for (NodeId n : table->all_nodes()) slot_load[n.value] += share;
+    planned[m] = std::move(table);
+  }
+
+  // Migrate only the requested homes (all of them when `homes` is empty)
+  // whose planned grid differs from the installed one, hottest first.
+  std::vector<NodeId> order(homes.begin(), homes.end());
+  if (order.empty()) {
+    for (std::uint32_t m = 0; m < cluster_->size(); ++m) {
+      if (!scheme_->home_entries(NodeId{m}).empty()) {
+        order.push_back(NodeId{m});
+      }
+    }
+  }
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    const double wa = inputs[a.value].p * inputs[a.value].q;
+    const double wb = inputs[b.value].p * inputs[b.value].q;
+    if (wa != wb) return wa > wb;
+    return a.value < b.value;
+  });
+
+  std::size_t started = 0;
+  for (NodeId home : order) {
+    if (migrating_[home.value]) continue;  // in-flight move finishes first
+    if (scheme_->home_entries(home).empty()) continue;
+    if (same_grid(planned[home.value], scheme_->tables()[home.value])) {
+      continue;
+    }
+    start_home(home, allocs[home.value], std::move(planned[home.value]));
+    ++started;
+  }
+  return started;
+}
+
+void MigrationPlanner::start_home(NodeId home, const core::Allocation& alloc,
+                                  std::optional<core::ForwardingTable> table) {
+  auto hm = std::make_shared<HomeMigration>();
+  hm->home = home;
+  hm->alloc = alloc;
+  hm->table = std::move(table);
+  hm->generation = scheme_->build_generation();
+  hm->started_us = cluster_->engine().now();
+  migrating_[home.value] = 1;
+  ++active_;
+
+  if (hm->table.has_value()) {
+    // Group the home's entries by receiving node (a filter is copied to
+    // every row of its column), then chunk each group into bounded batches.
+    // Node-id order keeps the batch sequence deterministic.
+    std::vector<std::vector<core::MoveScheme::HomeEntry>> per_node(
+        cluster_->size());
+    std::vector<std::vector<NodeId>> column_nodes(hm->table->columns());
+    for (std::uint32_t c = 0; c < hm->table->columns(); ++c) {
+      column_nodes[c] = hm->table->column_nodes(c);
+    }
+    for (const auto& e : scheme_->home_entries(home)) {
+      for (NodeId n : column_nodes[hm->table->column_of(e.filter)]) {
+        per_node[n.value].push_back(e);
+      }
+    }
+    for (std::uint32_t n = 0; n < per_node.size(); ++n) {
+      const auto& entries = per_node[n];
+      for (std::size_t at = 0; at < entries.size();
+           at += options_.batch_entries) {
+        const std::size_t len =
+            std::min(options_.batch_entries, entries.size() - at);
+        Batch b;
+        b.target = NodeId{n};
+        b.entries.assign(entries.begin() + static_cast<std::ptrdiff_t>(at),
+                         entries.begin() +
+                             static_cast<std::ptrdiff_t>(at + len));
+        hm->batches.push_back(std::move(b));
+      }
+    }
+  }
+
+  if (hm->batches.empty()) {
+    // Grid shrank to nothing (or nothing to copy): the swap is pure
+    // bookkeeping — install immediately, retire what the old grid held.
+    finish(hm);
+    return;
+  }
+  dispatch(hm);
+}
+
+void MigrationPlanner::dispatch(const std::shared_ptr<HomeMigration>& hm) {
+  if (hm->aborted) return;
+  if (options_.paced) {
+    if (hm->next_batch < hm->batches.size()) {
+      send_batch(hm, hm->next_batch++, options_.max_resends);
+    }
+    return;
+  }
+  // Unpaced: the full-reallocation burst — every batch departs at once.
+  while (hm->next_batch < hm->batches.size()) {
+    send_batch(hm, hm->next_batch++, options_.max_resends);
+  }
+}
+
+void MigrationPlanner::send_batch(const std::shared_ptr<HomeMigration>& hm,
+                                  std::size_t idx, std::size_t resends_left) {
+  if (hm->aborted) return;
+  const Batch& b = hm->batches[idx];
+  const double transfer =
+      options_.batch_base_transfer_us +
+      options_.per_entry_transfer_us * static_cast<double>(b.entries.size());
+  ++progress_.migration_rpcs;
+
+  auto deliver = [this, hm, idx](sim::Time) {
+    if (hm->aborted) return;
+    const Batch& batch = hm->batches[idx];
+    const double service = options_.per_entry_service_us *
+                           static_cast<double>(batch.entries.size());
+    // Registration occupies the receiver like any other job — migration
+    // competes with document matching for the node's serial server, which
+    // is precisely the throughput dip the adaptive path must bound.
+    cluster_->server(batch.target)
+        .submit(service, [this, hm, idx](sim::Time) { apply_batch(hm, idx); });
+  };
+  auto fail = [this, hm, idx, resends_left](net::SendOutcome) {
+    ++progress_.migration_rpcs_dropped;
+    if (hm->aborted) return;
+    if (resends_left == 0) {
+      abort(hm);
+      return;
+    }
+    cluster_->engine().schedule_after(
+        options_.resend_pause_us, [this, hm, idx, resends_left] {
+          send_batch(hm, idx, resends_left - 1);
+        });
+  };
+
+  if (transport_ != nullptr) {
+    transport_->send(hm->home, b.target, transfer, net::Priority::kHigh,
+                     std::move(deliver), std::move(fail));
+  } else {
+    cluster_->engine().schedule_after(
+        transfer, [deliver = std::move(deliver)] { deliver(0); });
+  }
+}
+
+void MigrationPlanner::apply_batch(const std::shared_ptr<HomeMigration>& hm,
+                                   std::size_t idx) {
+  if (hm->aborted) return;
+  if (stale(*hm)) {
+    abort(hm);  // the world was rebuilt under this migration
+    return;
+  }
+  const Batch& b = hm->batches[idx];
+  for (const auto& e : b.entries) {
+    progress_.postings_moved += scheme_->apply_grid_entry(b.target, e);
+  }
+  ++progress_.migration_batches;
+  ++hm->completed;
+  if (hm->completed == hm->batches.size()) {
+    finish(hm);
+  } else if (options_.paced) {
+    dispatch(hm);
+  }
+}
+
+void MigrationPlanner::finish(const std::shared_ptr<HomeMigration>& hm) {
+  if (hm->aborted) return;
+  if (stale(*hm)) {
+    abort(hm);
+    return;
+  }
+  // Every copy is in place: swap the table (routing flips to the new grid
+  // atomically — the double-registration window closes), then retire the
+  // displaced copies the old grid no longer serves.
+  auto old =
+      scheme_->install_table(hm->home, std::move(hm->table), hm->alloc);
+  if (old.has_value()) {
+    progress_.entries_retired +=
+        scheme_->retire_displaced_copies(hm->home, *old);
+  }
+  ++progress_.homes_migrated;
+  progress_.migration_inflight_us +=
+      cluster_->engine().now() - hm->started_us;
+  migrating_[hm->home.value] = 0;
+  --active_;
+  hm->aborted = true;  // terminal: late duplicate callbacks become no-ops
+}
+
+void MigrationPlanner::abort(const std::shared_ptr<HomeMigration>& hm) {
+  if (hm->aborted) return;
+  hm->aborted = true;
+  // The old table keeps routing (it never stopped); copies already placed
+  // are idempotent surplus a future successful migration will retire.
+  ++progress_.homes_aborted;
+  progress_.migration_inflight_us +=
+      cluster_->engine().now() - hm->started_us;
+  migrating_[hm->home.value] = 0;
+  --active_;
+}
+
+}  // namespace move::adapt

@@ -1,0 +1,123 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/move_scheme.hpp"
+#include "fault/fault_plan.hpp"
+#include "net/transport.hpp"
+#include "sim/adapt_accounting.hpp"
+
+/// Incremental live re-allocation (the renewal scheme of §V made online).
+///
+/// Given fresh per-home workload estimates, the planner diffs each home's
+/// current allocation (n_i, alpha_i -> partitions x columns) against the
+/// re-solved one and moves only the homes that changed, one bounded batch
+/// at a time, over the transport as high-priority RPCs:
+///
+///   plan new grid -> copy entries in batches -> install table -> retire
+///   displaced copies
+///
+/// The *double-registration window* is the correctness core: while batches
+/// are in flight the OLD table keeps routing (its grid still holds complete
+/// column copies), and the new table is installed only after every batch
+/// has been delivered AND serviced at its receiver. Matching therefore
+/// stays exact at every instant — plan_publish deduplicates matches, so
+/// transiently duplicated copies cannot double-deliver, and no route ever
+/// sees a partially-copied grid. If a batch exhausts its resends (lossy
+/// transport) the home's migration aborts and the old table simply stays —
+/// still exact, just un-adapted; already-copied entries are idempotent
+/// no-ops for a later attempt.
+///
+/// Migration work is REAL work: each delivered batch occupies the receiving
+/// node's FIFO server for per_entry_service_us per entry, competing with
+/// document matching — which is exactly the throughput dip fig11 measures,
+/// and why incremental (few drifted homes, paced batches) beats full
+/// re-allocation (every home, all batches in one burst).
+namespace move::adapt {
+
+struct MigrationOptions {
+  /// Entries per migration RPC — defaults to the batch knob shared with
+  /// the fault layer's join migration (see fault::kDefaultMigrationBatch).
+  std::size_t batch_entries = fault::kDefaultMigrationBatch;
+  /// Wire cost of one batch: base + per-entry payload.
+  double batch_base_transfer_us = 120.0;
+  double per_entry_transfer_us = 0.05;
+  /// Receiver-side service charged per entry (index insert + store write),
+  /// queued on the node's FIFO server like any other work.
+  double per_entry_service_us = 0.6;
+  /// Bounded resends after a terminal send failure, then the home aborts.
+  std::size_t max_resends = 6;
+  sim::Time resend_pause_us = 10'000.0;
+  /// Paced mode sends a home's batches one at a time (the next departs when
+  /// the previous was serviced); unpaced dispatches them all at once —
+  /// the stop-the-world behavior of a full re-allocation.
+  bool paced = true;
+};
+
+class MigrationPlanner {
+ public:
+  /// `transport` may be null: batches then ride plain engine delays with
+  /// identical timing (the pass-through contract). Scheme and transport
+  /// must outlive the planner.
+  MigrationPlanner(core::MoveScheme& scheme, net::Transport* transport,
+                   MigrationOptions options = {});
+
+  /// Re-solves the allocation from `inputs` and starts migrating `homes`
+  /// (every home with entries when `homes` is empty). Homes whose planned
+  /// grid is unchanged are skipped; a home already migrating is skipped
+  /// (the in-flight move finishes first). Events land on the scheme's
+  /// cluster engine; run it to make progress.
+  /// @returns homes whose migration actually started.
+  std::size_t start(const std::vector<core::AllocationInput>& inputs,
+                    std::span<const NodeId> homes);
+
+  /// No migration in flight (all installed or aborted).
+  [[nodiscard]] bool idle() const noexcept { return active_ == 0; }
+  [[nodiscard]] std::size_t active_homes() const noexcept { return active_; }
+
+  /// Cumulative counters since construction (the run.adapt.* source).
+  [[nodiscard]] const sim::AdaptAccounting& progress() const noexcept {
+    return progress_;
+  }
+
+ private:
+  struct Batch {
+    NodeId target{0};
+    std::vector<core::MoveScheme::HomeEntry> entries;
+  };
+  struct HomeMigration {
+    NodeId home{0};
+    core::Allocation alloc;
+    std::optional<core::ForwardingTable> table;  // the planned new grid
+    std::vector<Batch> batches;
+    std::size_t next_batch = 0;   // paced dispatch cursor
+    std::size_t completed = 0;    // batches serviced at their receivers
+    std::uint64_t generation = 0; // scheme build generation at start
+    sim::Time started_us = 0;
+    bool aborted = false;
+  };
+
+  void start_home(NodeId home, const core::Allocation& alloc,
+                  std::optional<core::ForwardingTable> table);
+  void dispatch(const std::shared_ptr<HomeMigration>& hm);
+  void send_batch(const std::shared_ptr<HomeMigration>& hm, std::size_t idx,
+                  std::size_t resends_left);
+  void apply_batch(const std::shared_ptr<HomeMigration>& hm, std::size_t idx);
+  void finish(const std::shared_ptr<HomeMigration>& hm);
+  void abort(const std::shared_ptr<HomeMigration>& hm);
+  [[nodiscard]] bool stale(const HomeMigration& hm) const;
+
+  core::MoveScheme* scheme_;
+  cluster::Cluster* cluster_;
+  net::Transport* transport_;
+  MigrationOptions options_;
+  sim::AdaptAccounting progress_;
+  std::vector<char> migrating_;  // per home: a migration is in flight
+  std::size_t active_ = 0;
+};
+
+}  // namespace move::adapt

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "adapt/drift.hpp"
+#include "adapt/estimator.hpp"
+#include "adapt/migration.hpp"
+#include "core/adaptive.hpp"
+#include "core/experiment.hpp"
+#include "core/move_scheme.hpp"
+
+/// run_online — the §V renewal scheme as a continuously operating control
+/// loop (contrast core::run_adaptive, the offline stop-the-world variant):
+///
+///   window of documents -> sketch-estimated p'/q' -> drift check ->
+///   incremental migration of drifted homes, OVERLAPPED with the next
+///   window's traffic -> repeat.
+///
+/// Differences from run_adaptive, in order of importance:
+///  * estimation is streaming (Space-Saving + windowed Count-Min via the
+///    scheme's WorkloadObserver hook) — bounded memory, no exact meta
+///    counters on the hot path;
+///  * re-allocation triggers only when the drift detector fires, and moves
+///    only the drifted homes (or everything, unpaced, when
+///    `full_reallocation` is set — the fig11 baseline);
+///  * moves are live: bounded high-priority batches with a
+///    double-registration window, so matching stays exact mid-migration
+///    and documents keep flowing while filters travel.
+namespace move::adapt {
+
+struct OnlineOptions {
+  /// Documents per observation window.
+  std::size_t window_docs = 1'000;
+  /// Skip the drift check while a window saw fewer documents than this.
+  std::size_t min_observations = 100;
+  core::RunConfig run;
+  EstimatorOptions estimator;
+  DriftOptions drift;
+  MigrationOptions migration;
+  /// Snapshot size handed to the drift detector per window.
+  std::size_t drift_top_k = 64;
+  /// Baseline mode: every drift re-allocates ALL homes in one unpaced
+  /// burst — the offline renewal scheme's cost profile, for comparison.
+  bool full_reallocation = false;
+};
+
+/// One observation window's outcome (fig11's per-window series).
+struct OnlineWindow {
+  std::size_t docs = 0;
+  double throughput_per_sec = 0.0;
+  double l1 = 0.0;               ///< drift distance vs the previous window
+  bool drifted = false;
+  std::size_t homes_started = 0;  ///< migrations kicked off after this window
+  std::uint64_t postings_moved = 0;  ///< cumulative at window close
+};
+
+struct OnlineResult {
+  sim::RunMetrics metrics;            ///< aggregated; adapt_acc filled
+  std::vector<OnlineWindow> windows;
+  std::size_t reallocations = 0;      ///< windows that triggered migration
+};
+
+/// Streams `docs` through `scheme` in windows with the adaptive control
+/// loop engaged. The scheme must be registered and allocated; a transport
+/// in `options.run` carries both documents and migration batches. The
+/// observer is attached for the duration and detached before returning.
+[[nodiscard]] OnlineResult run_online(core::MoveScheme& scheme,
+                                      const workload::TermSetTable& docs,
+                                      const OnlineOptions& options);
+
+}  // namespace move::adapt

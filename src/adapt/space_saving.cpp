@@ -1,0 +1,108 @@
+#include "adapt/space_saving.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace move::adapt {
+
+SpaceSaving::SpaceSaving(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("SpaceSaving capacity must be positive");
+  }
+  heap_.reserve(capacity);
+  slot_of_.reserve(capacity);
+}
+
+void SpaceSaving::swap_slots(std::size_t a, std::size_t b) {
+  std::swap(heap_[a], heap_[b]);
+  slot_of_[heap_[a].term] = a;
+  slot_of_[heap_[b].term] = b;
+}
+
+void SpaceSaving::sift_up(std::size_t slot) {
+  while (slot > 0) {
+    const std::size_t parent = (slot - 1) / 2;
+    if (heap_[parent].count <= heap_[slot].count) break;
+    swap_slots(parent, slot);
+    slot = parent;
+  }
+}
+
+void SpaceSaving::sift_down(std::size_t slot) {
+  const std::size_t n = heap_.size();
+  while (true) {
+    const std::size_t left = 2 * slot + 1;
+    const std::size_t right = left + 1;
+    std::size_t smallest = slot;
+    if (left < n && heap_[left].count < heap_[smallest].count) {
+      smallest = left;
+    }
+    if (right < n && heap_[right].count < heap_[smallest].count) {
+      smallest = right;
+    }
+    if (smallest == slot) break;
+    swap_slots(smallest, slot);
+    slot = smallest;
+  }
+}
+
+void SpaceSaving::offer(TermId term, std::uint64_t weight) {
+  total_ += weight;
+  if (auto it = slot_of_.find(term); it != slot_of_.end()) {
+    heap_[it->second].count += weight;
+    sift_down(it->second);  // count grew: move away from the min root
+    return;
+  }
+  if (heap_.size() < capacity_) {
+    heap_.push_back(SketchEntry{term, weight, 0});
+    slot_of_[term] = heap_.size() - 1;
+    sift_up(heap_.size() - 1);
+    return;
+  }
+  // Full: the newcomer takes over the minimum entry, inheriting its count
+  // as the recorded error (the newcomer may have occurred up to min times
+  // before without being tracked).
+  SketchEntry& root = heap_[0];
+  slot_of_.erase(root.term);
+  const std::uint64_t inherited = root.count;
+  root = SketchEntry{term, inherited + weight, inherited};
+  slot_of_[term] = 0;
+  sift_down(0);
+}
+
+std::uint64_t SpaceSaving::estimate(TermId term) const {
+  auto it = slot_of_.find(term);
+  return it == slot_of_.end() ? min_count() : heap_[it->second].count;
+}
+
+std::uint64_t SpaceSaving::error(TermId term) const {
+  auto it = slot_of_.find(term);
+  return it == slot_of_.end() ? min_count() : heap_[it->second].error;
+}
+
+std::vector<SketchEntry> SpaceSaving::entries_by_count() const {
+  std::vector<SketchEntry> out = heap_;
+  std::sort(out.begin(), out.end(),
+            [](const SketchEntry& a, const SketchEntry& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.term < b.term;
+            });
+  return out;
+}
+
+std::size_t SpaceSaving::memory_bytes() const {
+  // Reserved heap storage plus the hash map's node footprint (bucket array
+  // + one node per tracked term, both O(capacity)).
+  return heap_.capacity() * sizeof(SketchEntry) +
+         slot_of_.bucket_count() * sizeof(void*) +
+         slot_of_.size() * (sizeof(std::pair<TermId, std::size_t>) +
+                            2 * sizeof(void*));
+}
+
+void SpaceSaving::clear() {
+  heap_.clear();
+  slot_of_.clear();
+  total_ = 0;
+}
+
+}  // namespace move::adapt

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+/// Space-Saving top-k sketch (Metwally et al., "Efficient Computation of
+/// Frequent and Top-k Elements in Data Streams").
+///
+/// Tracks at most `capacity` terms with counts that never underestimate:
+/// when a new term arrives at a full sketch, it replaces the current minimum
+/// and inherits its count as both starting value and recorded error. The
+/// classic guarantees (asserted by the sketch property suite) are:
+///  * `estimate(t) >= true_count(t)` for every tracked term,
+///  * `estimate(t) - error(t) <= true_count(t)` (the error brackets the
+///    overestimate),
+///  * `min_count() <= total() / capacity`, and
+///  * every term whose true count exceeds `min_count()` is tracked — the
+///    guaranteed-top-k containment the adapt layer's popularity estimate
+///    relies on.
+///
+/// Backed by a min-heap over counts plus a term -> heap-slot map, so an
+/// offer is O(log capacity) and memory is O(capacity), independent of the
+/// stream length or vocabulary size — the point of replacing the meta
+/// store's exact per-term counters on the hot path.
+namespace move::adapt {
+
+struct SketchEntry {
+  TermId term{0};
+  std::uint64_t count = 0;  ///< overestimate of the term's stream weight
+  std::uint64_t error = 0;  ///< max possible overestimation for this entry
+};
+
+class SpaceSaving {
+ public:
+  explicit SpaceSaving(std::size_t capacity);
+
+  /// Observes `weight` occurrences of `term`.
+  void offer(TermId term, std::uint64_t weight = 1);
+
+  [[nodiscard]] bool tracked(TermId term) const {
+    return slot_of_.find(term) != slot_of_.end();
+  }
+  /// Count upper bound: the tracked count, or `min_count()` for untracked
+  /// terms (an untracked term cannot have occurred more often than that).
+  [[nodiscard]] std::uint64_t estimate(TermId term) const;
+  /// Overestimation bound for a tracked term (0 if never evicted-in);
+  /// `min_count()` for untracked terms.
+  [[nodiscard]] std::uint64_t error(TermId term) const;
+
+  /// Smallest tracked count (0 while the sketch is under capacity).
+  [[nodiscard]] std::uint64_t min_count() const {
+    return heap_.size() < capacity_ || heap_.empty() ? 0 : heap_[0].count;
+  }
+  /// Total stream weight observed since construction / clear().
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Tracked entries, highest count first (count ties: lower term first, so
+  /// the order is deterministic across runs).
+  [[nodiscard]] std::vector<SketchEntry> entries_by_count() const;
+
+  /// Bytes held by the sketch — constant once warm, whatever the stream.
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+  void clear();
+
+ private:
+  void sift_up(std::size_t slot);
+  void sift_down(std::size_t slot);
+  void swap_slots(std::size_t a, std::size_t b);
+
+  std::size_t capacity_;
+  std::vector<SketchEntry> heap_;  // min-heap on count
+  std::unordered_map<TermId, std::size_t> slot_of_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace move::adapt

@@ -26,6 +26,18 @@ class MetaStore {
     ++total_docs_;
   }
 
+  /// Reverses record_filter when a copy's posting entry is unregistered
+  /// (live migration retiring a displaced grid copy). Clamped at zero —
+  /// a double-retire cannot drive the popularity stats negative.
+  void remove_filter(TermId term, std::uint64_t copies = 1) {
+    auto it = filters_per_term_.find(term);
+    if (it == filters_per_term_.end()) return;
+    const std::uint64_t dec = copies < it->second ? copies : it->second;
+    it->second -= dec;
+    if (it->second == 0) filters_per_term_.erase(it);
+    total_filters_ -= dec;
+  }
+
   [[nodiscard]] std::uint64_t filters_for(TermId term) const {
     auto it = filters_per_term_.find(term);
     return it == filters_per_term_.end() ? 0 : it->second;

@@ -14,6 +14,7 @@ std::size_t StorageNode::register_copy(FilterId global,
     local = store_.add(terms);
     global_to_local_.emplace(global, local);
     local_to_global_.push_back(global);
+    posting_refs_.push_back(0);
   }
   // Index under each requested term, skipping lists that already reference
   // this copy (re-registration of the same filter under the same term).
@@ -26,10 +27,38 @@ std::size_t StorageNode::register_copy(FilterId global,
       const TermId one[] = {term};
       index_.add(local, one);
       meta_.record_filter(term);
+      ++posting_refs_[local.value];
       ++added;
     }
   }
   return added;
+}
+
+std::size_t StorageNode::unregister_copy(FilterId global,
+                                         std::span<const TermId> index_terms) {
+  auto it = global_to_local_.find(global);
+  if (it == global_to_local_.end()) return 0;
+  const FilterId local = it->second;
+  std::size_t removed = 0;
+  for (TermId term : index_terms) {
+    const auto list = index_.postings(term);
+    if (std::binary_search(list.begin(), list.end(), local)) {
+      const TermId one[] = {term};
+      index_.remove(local, one);
+      meta_.remove_filter(term);
+      ++removed;
+    }
+  }
+  if (removed == 0) return 0;
+  auto& refs = posting_refs_[local.value];
+  refs -= removed < refs ? static_cast<std::uint32_t>(removed) : refs;
+  if (refs == 0) {
+    // Last posting gone: retire the copy. The arena row stays (flat
+    // storage cannot shrink) but is unreachable and stops being counted.
+    retired_term_slots_ += store_.terms(local).size();
+    global_to_local_.erase(it);
+  }
+  return removed;
 }
 
 void StorageNode::translate(std::vector<FilterId>& ids) const {
@@ -68,11 +97,15 @@ void StorageNode::clear() {
   meta_ = MetaStore();
   global_to_local_.clear();
   local_to_global_.clear();
+  posting_refs_.clear();
+  retired_term_slots_ = 0;
   reset_accounting();
 }
 
 std::vector<FilterId> StorageNode::stored_filters() const {
-  std::vector<FilterId> out = local_to_global_;
+  std::vector<FilterId> out;
+  out.reserve(global_to_local_.size());
+  for (const auto& [global, local] : global_to_local_) out.push_back(global);
   std::sort(out.begin(), out.end());
   return out;
 }

@@ -36,6 +36,18 @@ class StorageNode {
   std::size_t register_copy(FilterId global, std::span<const TermId> terms,
                             std::span<const TermId> index_terms);
 
+  /// Reverses register_copy for the given index terms: removes this node's
+  /// posting entries for `global` under each of `index_terms` (terms that
+  /// never indexed the copy are skipped). When the last posting entry
+  /// referencing the copy is gone the copy itself is retired: stores()
+  /// turns false, its term slots stop counting, and stored_count() drops.
+  /// The FilterStore row is not reclaimed (flat arenas cannot shrink) but
+  /// is unreachable — no posting list references it — so matching is
+  /// unaffected. The live-migration retire path's moved-work unit.
+  /// @returns the number of posting entries actually removed.
+  std::size_t unregister_copy(FilterId global,
+                              std::span<const TermId> index_terms);
+
   /// True if this node holds a copy of the global filter.
   [[nodiscard]] bool stores(FilterId global) const {
     return global_to_local_.find(global) != global_to_local_.end();
@@ -63,12 +75,14 @@ class StorageNode {
   [[nodiscard]] std::vector<FilterId> stored_filters() const;
 
   /// Number of filter copies stored (the paper's storage-cost unit).
+  /// Retired copies (see unregister_copy) no longer count.
   [[nodiscard]] std::size_t stored_count() const noexcept {
-    return local_to_global_.size();
+    return global_to_local_.size();
   }
-  /// Term slots consumed by stored copies (finer-grained storage cost).
+  /// Term slots consumed by stored copies (finer-grained storage cost);
+  /// retired copies' slots are excluded even though the arena keeps them.
   [[nodiscard]] std::size_t term_slots() const noexcept {
-    return store_.term_slots();
+    return store_.term_slots() - retired_term_slots_;
   }
 
   [[nodiscard]] const index::InvertedIndex& index() const noexcept {
@@ -105,6 +119,10 @@ class StorageNode {
   MetaStore meta_;
   std::unordered_map<FilterId, FilterId> global_to_local_;
   std::vector<FilterId> local_to_global_;
+  /// Posting entries currently referencing each local copy; a copy retires
+  /// when its count returns to zero.
+  std::vector<std::uint32_t> posting_refs_;
+  std::size_t retired_term_slots_ = 0;
   // Plain integers, mutable: match_* are logically const reads driven by the
   // single-threaded simulator; accounting is a side-band observation. The
   // scratch is likewise reused across the node's (serial) matches so the

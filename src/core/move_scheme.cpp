@@ -15,6 +15,7 @@ MoveScheme::MoveScheme(cluster::Cluster& cluster, MoveOptions options)
 
 void MoveScheme::register_filters(const workload::TermSetTable& filters) {
   filters_ = &filters;
+  ++build_generation_;
   home_entries_.assign(cluster_->size(), {});
   allocations_.assign(cluster_->size(), Allocation{});
   tables_.assign(cluster_->size(), std::nullopt);
@@ -112,6 +113,80 @@ void MoveScheme::reset_observation_window() {
   }
 }
 
+void MoveScheme::set_workload_observer(WorkloadObserver* observer) {
+  observer_ = observer;
+  if (observer_ == nullptr) return;
+  // Warm the popularity side: the registered set IS the p_i ground truth at
+  // attach time (registration happened before the observer existed).
+  for (const auto& entries : home_entries_) {
+    for (const HomeEntry& e : entries) observer_->on_filter_term(e.term);
+  }
+}
+
+AllocationParams MoveScheme::make_allocation_params() const {
+  AllocationParams params;
+  params.cluster_size = cluster_->size();
+  params.total_filters = static_cast<double>(registered_);
+  params.capacity = move_options_.capacity;
+  params.rule = move_options_.rule;
+  params.ratio = move_options_.ratio;
+  params.beta = cluster_->cost().beta(params.total_filters, 500.0);
+  return params;
+}
+
+std::vector<Allocation> MoveScheme::plan_allocations(
+    const std::vector<AllocationInput>& inputs) const {
+  // Same seed derivation as build_grids: the rounding stream replays from
+  // scratch on every call, so planning is deterministic and side-effect
+  // free no matter how often the adaptive controller re-plans.
+  common::SplitMix64 rng(move_options_.seed ^ 0xa110ca7eULL);
+  return compute_allocations(inputs, make_allocation_params(), rng);
+}
+
+std::optional<ForwardingTable> MoveScheme::plan_grid(
+    NodeId home, const Allocation& alloc,
+    std::span<const double> slot_load) const {
+  return make_grid(home, alloc, 0x5a5aULL, slot_load);
+}
+
+std::size_t MoveScheme::apply_grid_entry(NodeId target,
+                                         const HomeEntry& entry) {
+  const TermId one[] = {entry.term};
+  return cluster_->node(target).register_copy(
+      entry.filter, filters_->row(entry.filter.value), one);
+}
+
+std::optional<ForwardingTable> MoveScheme::install_table(
+    NodeId home, std::optional<ForwardingTable> table,
+    const Allocation& alloc) {
+  std::optional<ForwardingTable> old = std::move(tables_[home.value]);
+  tables_[home.value] = std::move(table);
+  allocations_[home.value] = alloc;
+  return old;
+}
+
+std::size_t MoveScheme::retire_displaced_copies(
+    NodeId home, const ForwardingTable& old_table) {
+  std::size_t removed = 0;
+  const auto& fresh = tables_[home.value];
+  std::vector<char> needed(cluster_->size(), 0);
+  for (const HomeEntry& e : home_entries_[home.value]) {
+    std::fill(needed.begin(), needed.end(), 0);
+    needed[home.value] = 1;  // the home's own full copy never retires
+    if (fresh.has_value()) {
+      for (NodeId n : fresh->column_nodes(fresh->column_of(e.filter))) {
+        needed[n.value] = 1;
+      }
+    }
+    const TermId one[] = {e.term};
+    for (NodeId n : old_table.column_nodes(old_table.column_of(e.filter))) {
+      if (needed[n.value]) continue;
+      removed += cluster_->node(n).unregister_copy(e.filter, one);
+    }
+  }
+  return removed;
+}
+
 std::optional<ForwardingTable> MoveScheme::make_grid(
     NodeId home, const Allocation& alloc, std::uint64_t salt,
     std::span<const double> slot_load) const {
@@ -155,16 +230,8 @@ void MoveScheme::copy_entries(const ForwardingTable& table,
 }
 
 void MoveScheme::build_grids(const std::vector<AllocationInput>& inputs) {
-  AllocationParams params;
-  params.cluster_size = cluster_->size();
-  params.total_filters = static_cast<double>(registered_);
-  params.capacity = move_options_.capacity;
-  params.rule = move_options_.rule;
-  params.ratio = move_options_.ratio;
-  params.beta = cluster_->cost().beta(params.total_filters, 500.0);
-
   common::SplitMix64 rng(move_options_.seed ^ 0xa110ca7eULL);
-  allocations_ = compute_allocations(inputs, params, rng);
+  allocations_ = compute_allocations(inputs, make_allocation_params(), rng);
 
   // Place the hottest homes first and track the document-rate share each
   // grid slot will carry, so the weighted selection spreads hot grids
@@ -208,16 +275,8 @@ void MoveScheme::build_term_grids(const workload::TraceStats& filter_stats,
     term_of_input.push_back(static_cast<std::uint32_t>(t));
   }
 
-  AllocationParams params;
-  params.cluster_size = cluster_->size();
-  params.total_filters = static_cast<double>(registered_);
-  params.capacity = move_options_.capacity;
-  params.rule = move_options_.rule;
-  params.ratio = move_options_.ratio;
-  params.beta = cluster_->cost().beta(params.total_filters, 500.0);
-
   common::SplitMix64 rng(move_options_.seed ^ 0x7e4aa110ULL);
-  const auto allocs = compute_allocations(inputs, params, rng);
+  const auto allocs = compute_allocations(inputs, make_allocation_params(), rng);
 
   term_tables_.clear();
   // Group the home entries by term once (home_entries_ are per home node).
@@ -420,7 +479,13 @@ PublishPlan MoveScheme::plan_publish(std::span<const TermId> doc_terms) {
   }
 
   for (auto& [home, terms] : group_terms_by_home(doc_terms)) {
-    for (TermId t : terms) cluster_->node(home).meta().record_document(t);
+    if (observer_ != nullptr) {
+      // Adaptive mode: bounded sketches replace the exact meta counters on
+      // the hot path (same event stream, different sink).
+      for (TermId t : terms) observer_->on_document_term(t);
+    } else {
+      for (TermId t : terms) cluster_->node(home).meta().record_document(t);
+    }
 
     if (move_options_.per_node_aggregation) {
       const auto& table = tables_[home.value];

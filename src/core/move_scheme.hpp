@@ -1,12 +1,14 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "core/allocation.hpp"
 #include "core/forwarding_table.hpp"
 #include "core/il_scheme.hpp"
+#include "core/workload_observer.hpp"
 #include "kv/placement.hpp"
 #include "workload/trace_stats.hpp"
 
@@ -47,6 +49,13 @@ struct MoveOptions {
 
 class MoveScheme : public IlScheme {
  public:
+  /// One (filter, home-term) registration on a home node — the unit both
+  /// allocation copying and live migration move around.
+  struct HomeEntry {
+    FilterId filter;
+    TermId term;  ///< the home term under which the filter registered here
+  };
+
   MoveScheme(cluster::Cluster& cluster, MoveOptions options);
 
   [[nodiscard]] std::string_view name() const override { return "Move"; }
@@ -102,16 +111,70 @@ class MoveScheme : public IlScheme {
     return term_tables_;
   }
 
- private:
-  struct HomeEntry {
-    FilterId filter;
-    TermId term;  ///< the home term under which the filter registered here
-  };
+  // --- adaptive-layer hooks (move::adapt) ----------------------------------
 
+  /// Redirects publish-time document-term recording to `observer` instead
+  /// of the per-home meta stores (the exact counters stop accumulating).
+  /// On attach, the registered (filter, home-term) set is replayed through
+  /// on_filter_term so the popularity side starts warm. Pass nullptr to
+  /// detach; with no observer the hot path is bit-identical to the
+  /// pre-adapt implementation.
+  void set_workload_observer(WorkloadObserver* observer);
+
+  /// Registrations homed on `home` (what a migration of that home moves).
+  [[nodiscard]] std::span<const HomeEntry> home_entries(NodeId home) const {
+    return home_entries_[home.value];
+  }
+
+  /// Re-runs the allocation solver on `inputs` without touching any state —
+  /// the same factor rule, capacity, and (replayed) rounding stream
+  /// build_grids uses, so a later install reproduces what a full
+  /// allocate_from_observed() would have computed.
+  [[nodiscard]] std::vector<Allocation> plan_allocations(
+      const std::vector<AllocationInput>& inputs) const;
+
+  /// Plans the replica grid a fresh allocation would build for `home`
+  /// (same placement salt as build_grids; no copies are registered).
+  /// `slot_load` carries cumulative per-node document-rate shares so
+  /// planned grids spread; callers replay build_grids' hot-first walk from
+  /// a zero vector so planning stays a pure function of the inputs.
+  [[nodiscard]] std::optional<ForwardingTable> plan_grid(
+      NodeId home, const Allocation& alloc,
+      std::span<const double> slot_load) const;
+
+  /// Registers one home entry's copy on `target` (the receiver-side apply
+  /// of a migration batch). @returns new posting entries added (0 if the
+  /// copy was already there).
+  std::size_t apply_grid_entry(NodeId target, const HomeEntry& entry);
+
+  /// Atomically swaps `home`'s forwarding table and allocation, ending the
+  /// double-registration window: routing switches from the old grid to the
+  /// new one in one step, so every publish sees a fully-copied grid.
+  /// @returns the displaced table (for retire_displaced_copies).
+  std::optional<ForwardingTable> install_table(
+      NodeId home, std::optional<ForwardingTable> table,
+      const Allocation& alloc);
+
+  /// Unregisters `home`'s entry copies from nodes of `old_table` that the
+  /// currently installed placement no longer needs (the home's own full
+  /// copy is never touched). @returns posting entries removed.
+  std::size_t retire_displaced_copies(NodeId home,
+                                      const ForwardingTable& old_table);
+
+  /// Bumped by every register_filters/rebuild; in-flight migrations check
+  /// it and abandon themselves when the world was rebuilt under them.
+  [[nodiscard]] std::uint64_t build_generation() const noexcept {
+    return build_generation_;
+  }
+
+ private:
   /// Computes per-home (p', q') aggregates from trace statistics.
   [[nodiscard]] std::vector<AllocationInput> aggregate_inputs(
       const workload::TraceStats& filter_stats,
       const workload::TraceStats& corpus_stats) const;
+
+  /// The solver parameters build_grids and plan_allocations share.
+  [[nodiscard]] AllocationParams make_allocation_params() const;
 
   void build_grids(const std::vector<AllocationInput>& inputs);
   void build_term_grids(const workload::TraceStats& filter_stats,
@@ -156,6 +219,8 @@ class MoveScheme : public IlScheme {
   /// allocation after a membership change.
   std::optional<std::pair<workload::TraceStats, workload::TraceStats>>
       last_stats_;
+  WorkloadObserver* observer_ = nullptr;
+  std::uint64_t build_generation_ = 0;
 };
 
 }  // namespace move::core

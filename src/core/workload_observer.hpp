@@ -1,0 +1,28 @@
+#pragma once
+
+#include "common/types.hpp"
+
+/// Hot-path workload taps for the adaptive layer.
+///
+/// When an observer is attached to a MoveScheme, publish-time document-term
+/// recording goes to the observer INSTEAD of the per-home meta stores'
+/// exact counters — the observer (adapt::WorkloadEstimator) keeps bounded
+/// sketches instead of unbounded hash maps. With no observer attached the
+/// scheme's behavior is bit-identical to the pre-adapt code path.
+namespace move::core {
+
+class WorkloadObserver {
+ public:
+  virtual ~WorkloadObserver() = default;
+
+  /// One document term passed the Bloom pre-screen and is being served
+  /// (the event the meta store's record_document counted).
+  virtual void on_document_term(TermId term) = 0;
+
+  /// One (filter, home-term) registration exists — replayed for the whole
+  /// registered set when the observer attaches, so the popularity side
+  /// starts warm.
+  virtual void on_filter_term(TermId term) = 0;
+};
+
+}  // namespace move::core

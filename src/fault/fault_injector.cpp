@@ -192,8 +192,10 @@ void FaultInjector::schedule_repair_pump() {
 void FaultInjector::pump_repair() {
   pump_scheduled_ = false;
   if (repair_queue_.empty()) return;
-  const std::size_t n =
-      std::min(options_.repair_batch, repair_queue_.size());
+  const std::size_t batch_limit = options_.repair_batch != 0
+                                      ? options_.repair_batch
+                                      : plan_.migration_batch();
+  const std::size_t n = std::min(batch_limit, repair_queue_.size());
   std::vector<core::RepairEntry> batch(repair_queue_.begin(),
                                        repair_queue_.begin() +
                                            static_cast<std::ptrdiff_t>(n));

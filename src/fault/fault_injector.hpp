@@ -28,8 +28,11 @@ namespace move::fault {
 
 struct FaultInjectorOptions {
   bool enable_repair = true;
-  /// Entries re-applied per repair pump invocation.
-  std::size_t repair_batch = 512;
+  /// Entries re-applied per repair pump invocation. 0 (the default) defers
+  /// to the plan's shared migration_batch knob — kDefaultMigrationBatch
+  /// unless the plan overrides it — so join migration and the adapt
+  /// layer's live re-allocation stay sized by one constant.
+  std::size_t repair_batch = 0;
   /// Virtual-time cadence of the repair pump.
   sim::Time repair_interval_us = 10'000.0;
   /// Gossip rounds run per membership tick; 0 disables the ticks even when

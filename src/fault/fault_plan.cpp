@@ -60,6 +60,11 @@ FaultPlan& FaultPlan::heal(std::string name, sim::Time at_us) {
   return *this;
 }
 
+FaultPlan& FaultPlan::migration_batch(std::size_t entries) {
+  migration_batch_ = entries == 0 ? kDefaultMigrationBatch : entries;
+  return *this;
+}
+
 bool FaultPlan::has_net_events() const noexcept {
   for (const FaultEvent& e : events_) {
     if (e.kind == FaultEvent::Kind::kSetLoss ||

@@ -15,6 +15,16 @@
 /// runs. Same seed + same plan => bit-identical execution.
 namespace move::fault {
 
+/// The one batch-sizing knob every bulk registration move shares: the
+/// kAddNode join migration pumped by the FaultInjector and the adapt
+/// layer's live re-allocation planner both move entries in batches of this
+/// many by default, so the two paths cannot silently drift apart (see
+/// DESIGN.md "Online adaptation"). Override per plan via
+/// FaultPlan::migration_batch(), per injector via
+/// FaultInjectorOptions::repair_batch, or per planner via
+/// adapt::MigrationOptions::batch_entries.
+inline constexpr std::size_t kDefaultMigrationBatch = 512;
+
 struct FaultEvent {
   enum class Kind {
     kFail,          ///< crash one node (data kept)
@@ -60,6 +70,13 @@ class FaultPlan {
   /// Heals the named partition (no-op if it never started or already healed).
   FaultPlan& heal(std::string name, sim::Time at_us);
 
+  /// Overrides the shared migration/repair batch size for everything
+  /// executing this plan (defaults to kDefaultMigrationBatch).
+  FaultPlan& migration_batch(std::size_t entries);
+  [[nodiscard]] std::size_t migration_batch() const noexcept {
+    return migration_batch_;
+  }
+
   [[nodiscard]] const std::vector<FaultEvent>& events() const noexcept {
     return events_;
   }
@@ -89,6 +106,7 @@ class FaultPlan {
  private:
   std::uint64_t seed_;
   std::vector<FaultEvent> events_;
+  std::size_t migration_batch_ = kDefaultMigrationBatch;
 };
 
 }  // namespace move::fault

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+
+/// Online-adaptation accounting (the `run.adapt.*` gauges): what the
+/// adaptive control loop observed, decided, and moved during a run. Plain
+/// integers/doubles on the same snapshot-delta pattern as FaultAccounting /
+/// NetAccounting; all zero when the adapt layer is not engaged, and the
+/// gauges are only exported then non-trivial, so non-adaptive runs' outputs
+/// stay byte-identical to the pre-adapt layout.
+namespace move::sim {
+
+struct AdaptAccounting {
+  /// Observation windows the controller closed.
+  std::uint64_t windows = 0;
+  /// Windows whose drift check triggered a re-allocation.
+  std::uint64_t reallocations = 0;
+  /// Terms the drift detector flagged, summed over windows.
+  std::uint64_t terms_drifted = 0;
+  /// Home nodes whose grid migration completed / was abandoned.
+  std::uint64_t homes_migrated = 0;
+  std::uint64_t homes_aborted = 0;
+  /// Migration batch RPCs sent / terminally lost (after resends).
+  std::uint64_t migration_rpcs = 0;
+  std::uint64_t migration_rpcs_dropped = 0;
+  /// Batches applied at their receivers.
+  std::uint64_t migration_batches = 0;
+  /// Posting entries copied onto new grids / retired from displaced ones.
+  std::uint64_t postings_moved = 0;
+  std::uint64_t entries_retired = 0;
+  /// Bytes held by the workload sketches (bounded by config, not stream).
+  double sketch_bytes = 0.0;
+  /// Additive error bound on a windowed q estimate, in documents.
+  double sketch_error_bound = 0.0;
+  /// Virtual time spent with at least the named home's migration in flight,
+  /// summed over homes (start -> install/abort).
+  double migration_inflight_us = 0.0;
+  /// Virtual time the controller spent draining migrations after the last
+  /// window (documents were no longer flowing — pure adaptation overhead).
+  double stall_us = 0.0;
+
+  AdaptAccounting& operator+=(const AdaptAccounting& o) noexcept {
+    windows += o.windows;
+    reallocations += o.reallocations;
+    terms_drifted += o.terms_drifted;
+    homes_migrated += o.homes_migrated;
+    homes_aborted += o.homes_aborted;
+    migration_rpcs += o.migration_rpcs;
+    migration_rpcs_dropped += o.migration_rpcs_dropped;
+    migration_batches += o.migration_batches;
+    postings_moved += o.postings_moved;
+    entries_retired += o.entries_retired;
+    sketch_bytes += o.sketch_bytes;
+    sketch_error_bound += o.sketch_error_bound;
+    migration_inflight_us += o.migration_inflight_us;
+    stall_us += o.stall_us;
+    return *this;
+  }
+
+  /// Element-wise delta (for before/after run snapshots).
+  [[nodiscard]] AdaptAccounting delta_since(
+      const AdaptAccounting& before) const noexcept {
+    AdaptAccounting d;
+    d.windows = windows - before.windows;
+    d.reallocations = reallocations - before.reallocations;
+    d.terms_drifted = terms_drifted - before.terms_drifted;
+    d.homes_migrated = homes_migrated - before.homes_migrated;
+    d.homes_aborted = homes_aborted - before.homes_aborted;
+    d.migration_rpcs = migration_rpcs - before.migration_rpcs;
+    d.migration_rpcs_dropped =
+        migration_rpcs_dropped - before.migration_rpcs_dropped;
+    d.migration_batches = migration_batches - before.migration_batches;
+    d.postings_moved = postings_moved - before.postings_moved;
+    d.entries_retired = entries_retired - before.entries_retired;
+    d.sketch_bytes = sketch_bytes - before.sketch_bytes;
+    d.sketch_error_bound = sketch_error_bound - before.sketch_error_bound;
+    d.migration_inflight_us =
+        migration_inflight_us - before.migration_inflight_us;
+    d.stall_us = stall_us - before.stall_us;
+    return d;
+  }
+};
+
+}  // namespace move::sim

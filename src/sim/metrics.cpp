@@ -109,6 +109,36 @@ void RunMetrics::export_metrics(obs::Registry& registry) const {
     registry.gauge("run.net.shed").set(static_cast<double>(net_acc.shed));
     registry.gauge("run.net.delivery_ratio").set(net_acc.delivery_ratio());
   }
+  // Adapt gauges appear only when the online-adaptation controller actually
+  // ran (same conditional-export convention as the net block above).
+  if (adapt_acc.windows > 0) {
+    registry.gauge("run.adapt.windows")
+        .set(static_cast<double>(adapt_acc.windows));
+    registry.gauge("run.adapt.reallocations")
+        .set(static_cast<double>(adapt_acc.reallocations));
+    registry.gauge("run.adapt.terms_drifted")
+        .set(static_cast<double>(adapt_acc.terms_drifted));
+    registry.gauge("run.adapt.homes_migrated")
+        .set(static_cast<double>(adapt_acc.homes_migrated));
+    registry.gauge("run.adapt.homes_aborted")
+        .set(static_cast<double>(adapt_acc.homes_aborted));
+    registry.gauge("run.adapt.migration_rpcs")
+        .set(static_cast<double>(adapt_acc.migration_rpcs));
+    registry.gauge("run.adapt.migration_rpcs_dropped")
+        .set(static_cast<double>(adapt_acc.migration_rpcs_dropped));
+    registry.gauge("run.adapt.migration_batches")
+        .set(static_cast<double>(adapt_acc.migration_batches));
+    registry.gauge("run.adapt.postings_moved")
+        .set(static_cast<double>(adapt_acc.postings_moved));
+    registry.gauge("run.adapt.entries_retired")
+        .set(static_cast<double>(adapt_acc.entries_retired));
+    registry.gauge("run.adapt.sketch_bytes").set(adapt_acc.sketch_bytes);
+    registry.gauge("run.adapt.sketch_error_bound")
+        .set(adapt_acc.sketch_error_bound);
+    registry.gauge("run.adapt.migration_inflight_us")
+        .set(adapt_acc.migration_inflight_us);
+    registry.gauge("run.adapt.stall_us").set(adapt_acc.stall_us);
+  }
   for (std::size_t n = 0; n < node_busy_us.size(); ++n) {
     registry.gauge(obs::labeled("run.node.busy_us", "node", n))
         .set(node_busy_us[n]);

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "index/inverted_index.hpp"
+#include "sim/adapt_accounting.hpp"
 #include "sim/event_engine.hpp"
 #include "sim/fault_accounting.hpp"
 #include "sim/net_accounting.hpp"
@@ -49,6 +50,12 @@ struct RunMetrics {
   /// `run.net.*` gauges only then non-trivial, so healthy-run outputs stay
   /// byte-identical to the pre-net layout.
   NetAccounting net_acc;
+
+  /// Online-adaptation accounting (sketch footprint, drift decisions,
+  /// migration volume, stall time). Filled only by adapt::run_online;
+  /// exported as `run.adapt.*` gauges only when windows > 0, so
+  /// non-adaptive runs stay byte-identical to the pre-adapt layout.
+  AdaptAccounting adapt_acc;
 
   /// Paper's headline metric: completed documents per (virtual) second.
   [[nodiscard]] double throughput_per_sec() const noexcept {

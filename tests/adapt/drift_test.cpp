@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "adapt/drift.hpp"
+
+namespace move::adapt {
+namespace {
+
+using Shares = std::vector<std::pair<TermId, double>>;
+
+Shares head(std::initializer_list<std::pair<std::uint32_t, double>> items) {
+  Shares out;
+  for (const auto& [t, s] : items) out.emplace_back(TermId{t}, s);
+  return out;
+}
+
+TEST(DriftDetector, FirstWindowNeverDrifts) {
+  DriftDetector det;
+  const auto snap = head({{1, 0.5}, {2, 0.3}, {3, 0.2}});
+  const DriftReport r = det.observe(snap);
+  EXPECT_FALSE(r.drifted);
+  EXPECT_DOUBLE_EQ(r.l1, 0.0);
+  EXPECT_TRUE(r.drifted_terms.empty());
+}
+
+TEST(DriftDetector, IdenticalWindowsDoNotDrift) {
+  DriftDetector det;
+  const auto snap = head({{1, 0.5}, {2, 0.3}, {3, 0.2}});
+  (void)det.observe(snap);
+  const DriftReport r = det.observe(snap);
+  EXPECT_FALSE(r.drifted);
+  EXPECT_DOUBLE_EQ(r.l1, 0.0);
+  EXPECT_DOUBLE_EQ(r.topk_overlap, 1.0);
+  EXPECT_TRUE(r.drifted_terms.empty());
+}
+
+TEST(DriftDetector, SmallNoiseStaysBelowThreshold) {
+  DriftDetector det;  // l1_threshold 0.15, min_overlap 0.5
+  (void)det.observe(head({{1, 0.50}, {2, 0.30}, {3, 0.20}}));
+  // Same head set, shares jittered by 2 points: L1 = 0.5 * 0.04 = 0.02.
+  const DriftReport r = det.observe(head({{1, 0.48}, {2, 0.32}, {3, 0.20}}));
+  EXPECT_FALSE(r.drifted);
+  EXPECT_NEAR(r.l1, 0.02, 1e-12);
+  EXPECT_DOUBLE_EQ(r.topk_overlap, 1.0);
+}
+
+TEST(DriftDetector, DisjointHeadsDriftWithNamedTerms) {
+  DriftDetector det;
+  (void)det.observe(head({{1, 0.5}, {2, 0.3}, {3, 0.2}}));
+  // The head set is replaced wholesale: overlap 0, all mass moved.
+  const DriftReport r = det.observe(head({{10, 0.5}, {11, 0.3}, {12, 0.2}}));
+  EXPECT_TRUE(r.drifted);
+  EXPECT_DOUBLE_EQ(r.topk_overlap, 0.0);
+  EXPECT_NEAR(r.l1, 1.0, 1e-12);
+  // Every term moved by more than term_threshold, ascending order.
+  const std::vector<TermId> expected{TermId{1},  TermId{2},  TermId{3},
+                                     TermId{10}, TermId{11}, TermId{12}};
+  EXPECT_EQ(r.drifted_terms, expected);
+}
+
+TEST(DriftDetector, MassShiftWithinSameHeadDrifts) {
+  DriftDetector det;
+  (void)det.observe(head({{1, 0.70}, {2, 0.20}, {3, 0.10}}));
+  // Same identity, inverted mass: overlap stays 1 but L1 = 0.6.
+  const DriftReport r = det.observe(head({{1, 0.10}, {2, 0.20}, {3, 0.70}}));
+  EXPECT_TRUE(r.drifted);
+  EXPECT_DOUBLE_EQ(r.topk_overlap, 1.0);
+  EXPECT_NEAR(r.l1, 0.6, 1e-12);
+  // Term 2 did not move; 1 and 3 did.
+  const std::vector<TermId> expected{TermId{1}, TermId{3}};
+  EXPECT_EQ(r.drifted_terms, expected);
+}
+
+TEST(DriftDetector, HeadSwapWithLittleMassTripsOverlapGuard) {
+  DriftOptions opts;
+  opts.l1_threshold = 0.9;  // L1 alone would never fire here
+  DriftDetector det(opts);
+  (void)det.observe(head({{1, 0.26}, {2, 0.26}, {3, 0.24}, {4, 0.24}}));
+  // Three of four head slots changed identity: overlap 0.25 < 0.5.
+  const DriftReport r =
+      det.observe(head({{1, 0.26}, {7, 0.26}, {8, 0.24}, {9, 0.24}}));
+  EXPECT_TRUE(r.drifted);
+  EXPECT_DOUBLE_EQ(r.topk_overlap, 0.25);
+}
+
+TEST(DriftDetector, DriftedTermsClearedWhenBelowThresholds) {
+  DriftDetector det;
+  (void)det.observe(head({{1, 0.5}, {2, 0.5}}));
+  (void)det.observe(head({{3, 0.5}, {4, 0.5}}));  // drifts
+  const DriftReport r = det.observe(head({{3, 0.5}, {4, 0.5}}));
+  EXPECT_FALSE(r.drifted);
+  EXPECT_TRUE(r.drifted_terms.empty());
+}
+
+TEST(DriftDetector, ResetForgetsThePreviousWindow) {
+  DriftDetector det;
+  (void)det.observe(head({{1, 0.5}, {2, 0.5}}));
+  det.reset();
+  const DriftReport r = det.observe(head({{8, 0.5}, {9, 0.5}}));
+  EXPECT_FALSE(r.drifted) << "first window after reset must not drift";
+}
+
+}  // namespace
+}  // namespace move::adapt

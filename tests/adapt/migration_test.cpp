@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+#include <vector>
+
+#include "adapt/migration.hpp"
+#include "net/transport.hpp"
+
+#include "../fault/fault_test_util.hpp"
+
+/// The double-registration window under the microscope: matching must be
+/// EXACTLY the brute-force oracle at every engine step of a live migration
+/// — before, during (old table still routes, copies transiently
+/// duplicated), and after (new table installed, displaced copies retired)
+/// — and under a lossy transport or node churn the planner may abort, but
+/// exactness still holds because the old table never stopped being valid.
+namespace move::adapt {
+namespace {
+
+namespace testutil = fault::testutil;
+using testutil::SchemeKind;
+
+std::unique_ptr<core::MoveScheme> make_move(cluster::Cluster& c) {
+  auto s = testutil::make_scheme(SchemeKind::kMove, c);
+  return std::unique_ptr<core::MoveScheme>(
+      static_cast<core::MoveScheme*>(s.release()));
+}
+
+/// Crafted per-home workload estimates with the hotness order inverted
+/// relative to node id, so the re-solved grids genuinely differ from the
+/// installed ones and migrations have real work to do.
+std::vector<core::AllocationInput> inverted_inputs(std::size_t nodes) {
+  std::vector<core::AllocationInput> inputs(nodes);
+  double psum = 0;
+  double qsum = 0;
+  for (std::size_t i = 0; i < nodes; ++i) {
+    inputs[i].p = static_cast<double>(nodes - i);
+    inputs[i].q = static_cast<double>((nodes - i) * (nodes - i));
+    psum += inputs[i].p;
+    qsum += inputs[i].q;
+  }
+  for (auto& in : inputs) {
+    in.p /= psum;
+    in.q /= qsum;
+  }
+  return inputs;
+}
+
+void expect_exact(core::MoveScheme& scheme, const char* context,
+                  std::size_t stride = 1) {
+  const auto& w = testutil::shared_workload();
+  for (std::size_t d = 0; d < w.docs_.size(); d += stride) {
+    const auto plan = scheme.plan_publish(w.docs_.row(d));
+    ASSERT_EQ(plan.matches, w.truth(d)) << context << " doc " << d;
+  }
+}
+
+std::uint64_t total_term_slots(const cluster::Cluster& c) {
+  std::uint64_t sum = 0;
+  for (std::uint32_t n = 0; n < c.size(); ++n) {
+    sum += c.node(NodeId{n}).term_slots();
+  }
+  return sum;
+}
+
+TEST(Migration, MatchingStaysExactAtEveryStepOfALiveMigration) {
+  cluster::Cluster c(testutil::small_cluster());
+  auto scheme = make_move(c);
+  expect_exact(*scheme, "baseline");
+  const std::uint64_t slots_before = total_term_slots(c);
+
+  MigrationOptions opts;
+  opts.batch_entries = 64;  // many small batches -> many observable steps
+  MigrationPlanner planner(*scheme, nullptr, opts);
+
+  const auto inputs = inverted_inputs(c.size());
+  const std::size_t started = planner.start(inputs, {});
+  ASSERT_GT(started, 0u) << "crafted inputs failed to change any grid";
+  // A home whose planned grid is empty swaps synchronously, so in-flight
+  // can be below started.
+  EXPECT_LE(planner.active_homes(), started);
+
+  // Step the virtual clock in small slices and re-check the oracle at each
+  // one: this observes the scheme with batches half-applied, with copies
+  // doubly registered, and right after each install/retire.
+  std::size_t steps = 0;
+  while (!planner.idle()) {
+    ASSERT_LT(steps++, 100'000u) << "migration failed to make progress";
+    c.engine().run_until(c.engine().now() + 250.0);
+    expect_exact(*scheme, "mid-migration", 7);
+  }
+  EXPECT_GT(steps, 2u) << "batching produced no observable intermediate step";
+
+  const auto& acc = planner.progress();
+  EXPECT_EQ(acc.homes_migrated, started);
+  EXPECT_EQ(acc.homes_aborted, 0u);
+  EXPECT_GT(acc.postings_moved, 0u);
+  EXPECT_GT(acc.migration_batches, started);  // batch_entries = 64 forced >1
+  EXPECT_GT(acc.entries_retired, 0u) << "no displaced copy was retired";
+
+  // Full sweep on the settled cluster, and storage did not balloon: copies
+  // the new placement no longer needs were actually unregistered.
+  expect_exact(*scheme, "after install");
+  EXPECT_LT(total_term_slots(c), slots_before * 3);
+}
+
+TEST(Migration, ConvergedPlanIsANoOp) {
+  cluster::Cluster c(testutil::small_cluster());
+  auto scheme = make_move(c);
+  MigrationPlanner planner(*scheme, nullptr, {});
+
+  const auto inputs = inverted_inputs(c.size());
+  ASSERT_GT(planner.start(inputs, {}), 0u);
+  c.engine().run();
+  ASSERT_TRUE(planner.idle());
+
+  // Same estimates again: every re-solved grid now matches the installed
+  // one (plan_allocations replays its rounding stream), so nothing starts.
+  EXPECT_EQ(planner.start(inputs, {}), 0u);
+  EXPECT_TRUE(planner.idle());
+  expect_exact(*scheme, "after convergence");
+}
+
+TEST(Migration, TargetedHomeListMigratesOnlyThoseHomes) {
+  cluster::Cluster c(testutil::small_cluster());
+  auto scheme = make_move(c);
+  MigrationPlanner planner(*scheme, nullptr, {});
+
+  const auto inputs = inverted_inputs(c.size());
+  const std::vector<NodeId> homes{NodeId{0}, NodeId{3}};
+  const std::size_t started = planner.start(inputs, homes);
+  EXPECT_LE(started, homes.size());
+  c.engine().run();
+  EXPECT_TRUE(planner.idle());
+  EXPECT_EQ(planner.progress().homes_migrated, started);
+  expect_exact(*scheme, "after targeted migration");
+}
+
+TEST(Migration, LossyTransportCompletesOrAbortsButStaysExact) {
+  const auto& w = testutil::shared_workload();
+  for (double loss : {0.2, 0.3}) {
+    cluster::Cluster c(testutil::small_cluster());
+    auto scheme = make_move(c);
+
+    net::NetOptions nopts;
+    nopts.link.loss = loss;
+    nopts.link.latency_base_us = 40.0;
+    nopts.link.latency_jitter_us = 20.0;
+    nopts.link.duplicate = 0.02;  // dedup + idempotent apply must absorb it
+    nopts.retry.enabled = false;  // planner-level resends carry the load
+    net::Transport transport(c.engine(), nopts);
+
+    MigrationOptions opts;
+    opts.batch_entries = 96;
+    opts.max_resends = 3;  // small budget so aborts actually happen
+    opts.resend_pause_us = 1'000.0;
+    MigrationPlanner planner(*scheme, &transport, opts);
+
+    const std::size_t started = planner.start(inverted_inputs(c.size()), {});
+    ASSERT_GT(started, 0u);
+    c.engine().run();
+    ASSERT_TRUE(planner.idle());
+
+    const auto& acc = planner.progress();
+    EXPECT_EQ(acc.homes_migrated + acc.homes_aborted, started);
+    EXPECT_GT(acc.migration_rpcs_dropped, 0u)
+        << "loss " << loss << " never dropped a batch";
+
+    // Whatever mix of installed and aborted homes resulted, matching is
+    // exact: installed homes have complete new grids, aborted homes kept
+    // their old (still complete) ones.
+    for (std::size_t d = 0; d < w.docs_.size(); ++d) {
+      const auto plan = scheme->plan_publish(w.docs_.row(d));
+      ASSERT_EQ(plan.matches, w.truth(d))
+          << "loss " << loss << " doc " << d << " (aborted "
+          << acc.homes_aborted << "/" << started << ")";
+    }
+  }
+}
+
+TEST(Migration, ChurnDuringMigrationIsExactAfterRevival) {
+  cluster::Cluster c(testutil::small_cluster());
+  auto scheme = make_move(c);
+  MigrationOptions opts;
+  opts.batch_entries = 64;
+  MigrationPlanner planner(*scheme, nullptr, opts);
+
+  const std::size_t started = planner.start(inverted_inputs(c.size()), {});
+  ASSERT_GT(started, 0u);
+
+  // Fail two nodes while batches are in flight, let everything settle,
+  // then revive: no copy may have been lost or double-registered.
+  c.engine().run_until(c.engine().now() + 400.0);
+  c.fail_node(NodeId{2});
+  c.fail_node(NodeId{7});
+  c.engine().run();
+  ASSERT_TRUE(planner.idle());
+  c.revive_all();
+  expect_exact(*scheme, "after churn + revival");
+}
+
+TEST(Migration, RebuildUnderMigrationAbortsStaleMoves) {
+  const auto& w = testutil::shared_workload();
+  cluster::Cluster c(testutil::small_cluster());
+  auto scheme = make_move(c);
+  MigrationOptions opts;
+  opts.batch_entries = 32;  // long in-flight phase
+  MigrationPlanner planner(*scheme, nullptr, opts);
+
+  const std::size_t started = planner.start(inverted_inputs(c.size()), {});
+  ASSERT_GT(started, 0u);
+  c.engine().run_until(c.engine().now() + 300.0);
+
+  // The world is rebuilt mid-flight (a registration burst): every pending
+  // migration must notice the generation bump and abandon itself instead
+  // of applying batches planned against the old placement.
+  scheme->register_filters(w.filters_);
+  scheme->allocate(w.filter_stats_, w.corpus_stats_);
+  c.engine().run();
+  ASSERT_TRUE(planner.idle());
+  EXPECT_EQ(planner.progress().homes_aborted +
+                planner.progress().homes_migrated,
+            started);
+  EXPECT_GT(planner.progress().homes_aborted, 0u)
+      << "rebuild mid-flight aborted nothing";
+  expect_exact(*scheme, "after rebuild under migration");
+}
+
+}  // namespace
+}  // namespace move::adapt

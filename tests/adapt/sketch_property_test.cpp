@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "adapt/count_min.hpp"
+#include "adapt/space_saving.hpp"
+#include "common/rng.hpp"
+
+/// Property suite for the streaming estimators: the classic Space-Saving
+/// and Count-Min guarantees, checked against exact counts across several
+/// seeded heavy-tailed streams. These bounds are what licenses replacing
+/// the meta stores' exact counters with sketches on the hot path.
+namespace move::adapt {
+namespace {
+
+constexpr std::size_t kUniverse = 4'000;
+constexpr std::size_t kStream = 50'000;
+
+/// Heavy-tailed stream: cubing a uniform [0,1) draw concentrates mass on
+/// low ranks (roughly the shape of the paper's term popularity traces).
+std::vector<TermId> make_stream(std::uint64_t seed, std::size_t n = kStream) {
+  common::SplitMix64 rng(seed);
+  std::vector<TermId> stream;
+  stream.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double u = common::uniform_unit(rng);
+    const auto rank = static_cast<std::uint32_t>(
+        static_cast<double>(kUniverse) * u * u * u);
+    stream.push_back(TermId{std::min<std::uint32_t>(rank, kUniverse - 1)});
+  }
+  return stream;
+}
+
+std::unordered_map<TermId, std::uint64_t> exact_counts(
+    const std::vector<TermId>& stream) {
+  std::unordered_map<TermId, std::uint64_t> counts;
+  for (TermId t : stream) ++counts[t];
+  return counts;
+}
+
+TEST(SpaceSaving, EstimateBracketsTrueCount) {
+  for (std::uint64_t seed : {1u, 7u, 42u, 1337u, 90125u}) {
+    SpaceSaving ss(128);
+    const auto stream = make_stream(seed);
+    for (TermId t : stream) ss.offer(t);
+    const auto exact = exact_counts(stream);
+
+    ASSERT_LE(ss.size(), 128u);
+    EXPECT_EQ(ss.total(), stream.size());
+    for (const SketchEntry& e : ss.entries_by_count()) {
+      auto it = exact.find(e.term);
+      const std::uint64_t truth = it == exact.end() ? 0 : it->second;
+      // Never underestimates...
+      EXPECT_GE(e.count, truth) << "term " << e.term.value;
+      // ...and the recorded error brackets the overestimate.
+      EXPECT_LE(e.count - e.error, truth) << "term " << e.term.value;
+    }
+  }
+}
+
+TEST(SpaceSaving, GuaranteedTopKContainment) {
+  for (std::uint64_t seed : {3u, 11u, 2026u}) {
+    SpaceSaving ss(128);
+    const auto stream = make_stream(seed);
+    for (TermId t : stream) ss.offer(t);
+    const auto exact = exact_counts(stream);
+
+    // min_count bounds: no tracked minimum can exceed total/capacity.
+    EXPECT_LE(ss.min_count(), ss.total() / 128);
+    // Containment: any term truly more frequent than the sketch minimum
+    // MUST be tracked — the guarantee the popularity estimate leans on.
+    for (const auto& [term, count] : exact) {
+      if (count > ss.min_count()) {
+        EXPECT_TRUE(ss.tracked(term))
+            << "term " << term.value << " count " << count << " min "
+            << ss.min_count();
+      }
+    }
+  }
+}
+
+TEST(SpaceSaving, MemoryBoundedByCapacityNotStream) {
+  SpaceSaving ss(64);
+  const auto stream = make_stream(5);
+  for (std::size_t i = 0; i < 1'000; ++i) ss.offer(stream[i]);
+  const std::size_t warm = ss.memory_bytes();
+  for (std::size_t i = 1'000; i < stream.size(); ++i) ss.offer(stream[i]);
+  EXPECT_EQ(ss.memory_bytes(), warm);  // constant once warm
+}
+
+TEST(SpaceSaving, WeightedOffersAccumulate) {
+  SpaceSaving ss(8);
+  ss.offer(TermId{1}, 10);
+  ss.offer(TermId{1}, 5);
+  ss.offer(TermId{2}, 3);
+  EXPECT_EQ(ss.estimate(TermId{1}), 15u);
+  EXPECT_EQ(ss.estimate(TermId{2}), 3u);
+  EXPECT_EQ(ss.error(TermId{1}), 0u);  // never evicted-in
+  EXPECT_EQ(ss.total(), 18u);
+}
+
+TEST(CountMin, NeverUnderestimates) {
+  for (std::uint64_t seed : {2u, 19u, 777u, 31415u}) {
+    CountMin cm(512, 4, seed);
+    const auto stream = make_stream(seed ^ 0xabcdef);
+    for (TermId t : stream) cm.add(t);
+    const auto exact = exact_counts(stream);
+    for (const auto& [term, count] : exact) {
+      EXPECT_GE(cm.estimate(term), count) << "term " << term.value;
+    }
+    // Terms never seen still never report negative (one-sided by
+    // construction) and stay within the additive bound most of the time.
+    EXPECT_GE(cm.estimate(TermId{kUniverse + 5}), 0u);
+  }
+}
+
+TEST(CountMin, AdditiveErrorBoundHoldsForMostTerms) {
+  for (std::uint64_t seed : {5u, 23u, 4242u}) {
+    CountMin cm(512, 4, seed);
+    const auto stream = make_stream(seed);
+    for (TermId t : stream) cm.add(t);
+    const auto exact = exact_counts(stream);
+
+    const double bound = cm.epsilon() * static_cast<double>(cm.total());
+    std::size_t violations = 0;
+    for (const auto& [term, count] : exact) {
+      if (static_cast<double>(cm.estimate(term) - count) > bound) {
+        ++violations;
+      }
+    }
+    // The bound fails per query with probability <= exp(-depth) ~ 1.8%;
+    // allow generous slack for the fixed seeds.
+    EXPECT_LE(violations, exact.size() / 10)
+        << violations << " of " << exact.size() << " over bound " << bound;
+  }
+}
+
+TEST(WindowedCountMin, RotationAgesOutOldTraffic) {
+  WindowedCountMin wcm(256, 4, 3, 99);
+  const TermId hot{17};
+  for (int i = 0; i < 1'000; ++i) wcm.add(hot);
+  EXPECT_GE(wcm.estimate(hot), 1'000u);
+  EXPECT_EQ(wcm.window_total(), 1'000u);
+
+  // After `windows` rotations with no further traffic the term is gone —
+  // every bucket that saw it has been cleared.
+  wcm.rotate();
+  wcm.rotate();
+  EXPECT_GE(wcm.estimate(hot), 1'000u);  // still inside the window span
+  wcm.rotate();
+  EXPECT_EQ(wcm.estimate(hot), 0u);
+  EXPECT_EQ(wcm.window_total(), 0u);
+}
+
+TEST(WindowedCountMin, EstimateSumsLiveBucketsOneSided) {
+  WindowedCountMin wcm(512, 4, 4, 7);
+  const auto stream = make_stream(13, 20'000);
+  // Track truth for the live windows only: the last 3 full buckets plus
+  // the current one (3 rotations survive out of 4 with `windows == 4`).
+  std::unordered_map<TermId, std::uint64_t> live;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    wcm.add(stream[i]);
+    if (i >= 5'000) ++live[stream[i]];  // first bucket will have aged out
+    if (i % 5'000 == 4'999) wcm.rotate();
+  }
+  // 4 rotations over 20k adds with 4 windows => the [0,5k) bucket aged
+  // out; [5k,10k), [10k,15k), [15k,20k) are live. Estimates must never
+  // undercount the live-window truth.
+  EXPECT_EQ(wcm.window_total(), 15'000u);
+  for (const auto& [term, count] : live) {
+    EXPECT_GE(wcm.estimate(term), count) << "term " << term.value;
+  }
+}
+
+TEST(WindowedCountMin, MemoryBoundedByGeometry) {
+  WindowedCountMin wcm(128, 4, 4, 3);
+  const std::size_t fresh = wcm.memory_bytes();
+  const auto stream = make_stream(21);
+  for (TermId t : stream) wcm.add(t);
+  EXPECT_EQ(wcm.memory_bytes(), fresh);
+}
+
+}  // namespace
+}  // namespace move::adapt
