@@ -1,0 +1,145 @@
+// Fig. 12 (repo extension) — real-clock executor vs DES prediction.
+//
+// The fig8-style sweep (filters P × docs Q × nodes N, all three schemes)
+// run through BOTH executors: the discrete-event simulator predicts each
+// scheme's throughput on the virtual clock, then move::rt replays the same
+// plans on real std::threads with each hop's modeled service time burned as
+// CPU, and we report measured wall-clock throughput against the prediction.
+// A ratio near 1 means the DES cost model survives contact with a real
+// scheduler at this node count; deviations localize where the model is
+// optimistic (e.g. N workers > physical cores serializes what the DES runs
+// in parallel).
+//
+// Env:
+//   MOVE_BENCH_DES_ONLY=1    skip the rt half (used by the determinism
+//                            gate: the DES rows are byte-reproducible, the
+//                            measured wall-clock rows by design are not)
+//   MOVE_RT_SERVICE_SCALE=x  fraction of modeled service burned per hop
+//                            (default 1.0; lower trades fidelity for speed)
+
+#include <cstdlib>
+
+#include "cluster_sweep.hpp"
+#include "rt/executor.hpp"
+
+using namespace move;
+
+namespace {
+
+bool des_only() {
+  const char* env = std::getenv("MOVE_BENCH_DES_ONLY");
+  return env != nullptr && std::atoi(env) != 0;
+}
+
+double rt_service_scale() {
+  if (const char* env = std::getenv("MOVE_RT_SERVICE_SCALE")) {
+    const double v = std::atof(env);
+    if (v >= 0.0) return v;
+  }
+  return 1.0;
+}
+
+/// The rt twin of SchemeSet::run_metrics: same burst injection rate, same
+/// batch-cycling rule, measured on the wall clock.
+rt::RtRunMetrics run_rt_burst(core::Scheme& scheme,
+                              const workload::TermSetTable& docs,
+                              std::size_t batch) {
+  rt::RtRunConfig rc;
+  rc.inject_rate_per_sec = bench::kBurstRate;
+  rc.service_scale = rt_service_scale();
+  if (batch == docs.size()) return rt::run_dissemination(scheme, docs, rc);
+  workload::TermSetTable subset;
+  for (std::size_t i = 0; i < batch; ++i) {
+    subset.add(docs.row(i % docs.size()));
+  }
+  return rt::run_dissemination(scheme, subset, rc);
+}
+
+struct SweepPoint {
+  double p_paper;     // filters at paper scale (scaled by MOVE_BENCH_SCALE)
+  std::size_t docs;   // Q
+  std::size_t nodes;  // N
+};
+
+}  // namespace
+
+int main() {
+  bench::print_banner("Figure 12",
+                      "real-clock executor throughput vs DES prediction");
+  const bench::PaperDefaults d;
+  const double s = bench::scale();
+  const bool skip_rt = des_only();
+  const double svc = rt_service_scale();
+
+  // One mini-sweep per axis around the paper's defaults — enough points to
+  // see each knob's trend without a full cross product.
+  const SweepPoint points[] = {
+      {1e5, 200, 10}, {1e6, 200, 10}, {4e6, 200, 10},  // P sweep
+      {1e6, 50, 10},  {1e6, 400, 10},                  // Q sweep
+      {1e6, 200, 20},                                  // N sweep
+  };
+
+  const auto max_filters = static_cast<std::size_t>(4e6 * s);
+  const auto filters = bench::make_filters(max_filters);
+  std::size_t max_docs = 0;
+  for (const auto& pt : points) max_docs = std::max(max_docs, pt.docs);
+  const auto docs = bench::wt_generator(filters.vocabulary).generate(max_docs);
+  const auto corpus_stats = workload::compute_stats(docs, filters.vocabulary);
+
+  bench::BenchReporter report("fig12_rt");
+  report.meta()["des_only"] = skip_rt;
+  report.meta()["rt_service_scale"] = svc;
+  if (skip_rt) {
+    std::printf("MOVE_BENCH_DES_ONLY=1: skipping the measured rt half\n");
+  }
+  std::printf("%-10s %-6s %-4s %-6s %-12s %-12s %-8s\n", "P", "Q", "N",
+              "scheme", "des_tput", "rt_tput", "ratio");
+
+  for (const auto& pt : points) {
+    const auto p = static_cast<std::size_t>(pt.p_paper * s);
+    if (p == 0 || p > filters.table.size()) continue;
+    bench::SchemeSet set(d, filters, corpus_stats, p, pt.nodes);
+
+    const std::pair<const char*, core::Scheme*> schemes[] = {
+        {"move", &set.move_scheme()},
+        {"rs", &set.rs_scheme()},
+        {"il", &set.il_scheme()},
+    };
+    for (const auto& [name, scheme] : schemes) {
+      const auto des_m = bench::SchemeSet::run_metrics(*scheme, docs, pt.docs);
+      obs::Json& row = report.add_row(name);
+      row["knobs"]["P"] = static_cast<double>(p);
+      row["knobs"]["Q"] = static_cast<double>(pt.docs);
+      row["knobs"]["N"] = static_cast<double>(pt.nodes);
+      obs::Json& metrics = row["metrics"];
+      metrics["des_throughput_per_sec"] = des_m.throughput_per_sec();
+      metrics["des_makespan_us"] = des_m.makespan_us;
+      metrics["documents_completed"] = des_m.documents_completed;
+      metrics["notifications"] = des_m.notifications;
+
+      double rt_tput = 0.0;
+      double ratio = 0.0;
+      if (!skip_rt) {
+        const auto rt_m = run_rt_burst(*scheme, docs, pt.docs);
+        rt_tput = rt_m.throughput_per_sec();
+        const double des_tput = des_m.throughput_per_sec();
+        ratio = des_tput > 0.0 ? rt_tput / des_tput : 0.0;
+        metrics["rt_throughput_per_sec"] = rt_tput;
+        metrics["rt_wall_makespan_us"] = rt_m.wall_makespan_us;
+        metrics["rt_publish_wall_us"] = rt_m.publish_wall_us;
+        metrics["rt_documents_completed"] = rt_m.documents_completed;
+        metrics["rt_envelopes_processed"] = rt_m.envelopes_processed;
+        metrics["rt_over_des_ratio"] = ratio;
+        if (rt_m.documents_completed != rt_m.documents_published) {
+          std::printf("WARN %s: rt completed %llu of %llu documents\n", name,
+                      static_cast<unsigned long long>(rt_m.documents_completed),
+                      static_cast<unsigned long long>(rt_m.documents_published));
+        }
+      }
+      std::printf("%-10zu %-6zu %-4zu %-6s %-12.4g %-12.4g %-8.3g\n", p,
+                  pt.docs, pt.nodes, name, des_m.throughput_per_sec(), rt_tput,
+                  ratio);
+    }
+  }
+  return report.write() ? 0 : 1;
+}

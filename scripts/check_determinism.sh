@@ -7,6 +7,13 @@
 # pipeline. Normalization below is defensive: should a volatile field ever
 # be added to the schema, extend STRIP_KEYS rather than weakening the diff.
 #
+# Benches with a real-clock (measured wall-time) half honor
+# MOVE_BENCH_DES_ONLY=1, exported below: only their deterministic DES rows
+# are emitted and diffed; the measured rt half is exempt from this gate by
+# design (wall-clock numbers are not byte-reproducible, and pretending
+# otherwise would force us to strip exactly the fields the bench exists to
+# report).
+#
 # Usage: check_determinism.sh <bench-binary> [<bench-binary>...]
 # Env:   MOVE_BENCH_SCALE  workload scale for the runs (default 0.02 — the
 #        check cares about byte-identity, not statistical fidelity, so the
@@ -19,6 +26,7 @@ if [ "$#" -lt 1 ]; then
 fi
 
 scale="${MOVE_BENCH_SCALE:-0.02}"
+export MOVE_BENCH_DES_ONLY=1
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 

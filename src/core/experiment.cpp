@@ -13,12 +13,14 @@ struct RunState {
   std::vector<std::uint32_t> outstanding;  // per doc: hops not yet completed
   std::vector<double> publish_time_us;
   bool collect_latencies = true;
+  sim::DeliveryLog* delivery_log = nullptr;
   sim::Time last_completion_us = 0;
   sim::Time start_us = 0;
 
   void complete_hop(std::size_t doc, sim::Time at) {
     if (--outstanding[doc] == 0) {
       ++metrics.documents_completed;
+      if (delivery_log != nullptr) delivery_log->completed[doc] = 1;
       last_completion_us = std::max(last_completion_us, at);
       if (collect_latencies) {
         metrics.latencies_us.push_back(at - publish_time_us[doc]);
@@ -26,15 +28,6 @@ struct RunState {
     }
   }
 };
-
-/// Recursively counts the hops in a plan tree.
-std::uint32_t count_hops(const std::vector<Hop>& hops) {
-  std::uint32_t n = 0;
-  for (const Hop& h : hops) {
-    n += 1 + count_hops(h.then);
-  }
-  return n;
-}
 
 /// Schedules one hop: network delay, then serial service at the target
 /// node's FIFO server, then the dependent hops. With a transport the
@@ -63,6 +56,14 @@ void schedule_hop(cluster::Cluster& c, net::Transport* net, RunState& state,
 
 }  // namespace
 
+std::uint32_t count_plan_hops(const std::vector<Hop>& hops) {
+  std::uint32_t n = 0;
+  for (const Hop& h : hops) {
+    n += 1 + count_plan_hops(h.then);
+  }
+  return n;
+}
+
 sim::RunMetrics run_dissemination(Scheme& scheme,
                                   const workload::TermSetTable& docs,
                                   const RunConfig& config) {
@@ -81,8 +82,10 @@ sim::RunMetrics run_dissemination(Scheme& scheme,
       config.transport != nullptr ? config.transport->accounting()
                                   : sim::NetAccounting{};
 
+  if (config.delivery_log != nullptr) config.delivery_log->reset(docs.size());
   auto state = std::make_unique<RunState>();
   state->collect_latencies = config.collect_latencies;
+  state->delivery_log = config.delivery_log;
   state->outstanding.assign(docs.size(), 0);
   state->publish_time_us.assign(docs.size(), 0.0);
   state->start_us = c.engine().now();
@@ -102,11 +105,17 @@ sim::RunMetrics run_dissemination(Scheme& scheme,
       auto plan = scheme.plan_publish(docs.row(i));
       state_ref.publish_time_us[i] = c.engine().now();
       state_ref.metrics.notifications += plan.matches.size();
-      const std::uint32_t hops = count_hops(plan.hops);
+      if (state_ref.delivery_log != nullptr) {
+        state_ref.delivery_log->matches[i] = plan.matches;
+      }
+      const std::uint32_t hops = count_plan_hops(plan.hops);
       if (hops == 0) {
         // Nothing to do (no subscribed terms, or all owners dead): the
         // document still completes, instantly.
         ++state_ref.metrics.documents_completed;
+        if (state_ref.delivery_log != nullptr) {
+          state_ref.delivery_log->completed[i] = 1;
+        }
         state_ref.last_completion_us =
             std::max(state_ref.last_completion_us, c.engine().now());
         if (state_ref.collect_latencies) {

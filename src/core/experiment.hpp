@@ -4,6 +4,7 @@
 
 #include "core/scheme.hpp"
 #include "net/transport.hpp"
+#include "sim/delivery_log.hpp"
 #include "sim/metrics.hpp"
 #include "workload/term_set_table.hpp"
 
@@ -27,7 +28,16 @@ struct RunConfig {
   /// on the scheme's cluster engine and outlive the run. nullptr keeps the
   /// pre-net direct scheduling — bit-identical, zero overhead.
   net::Transport* transport = nullptr;
+  /// Optional per-document delivery record (reset to docs.size() by the
+  /// run): planned match set at plan time, completed flag once every hop
+  /// finished. The DES half of the rt differential suite's currency —
+  /// rt::run_dissemination fills the identical struct.
+  sim::DeliveryLog* delivery_log = nullptr;
 };
+
+/// Hops in a plan tree, counted recursively — the per-document completion
+/// denominator shared by the DES driver and the rt executor.
+[[nodiscard]] std::uint32_t count_plan_hops(const std::vector<Hop>& hops);
 
 /// Executes one dissemination run of `docs` through `scheme`.
 /// Resets the cluster's servers; does NOT reset filter placement or node

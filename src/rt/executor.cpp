@@ -1,0 +1,145 @@
+#include "rt/executor.hpp"
+
+#include "core/experiment.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace move::rt {
+
+namespace {
+
+using std::chrono::steady_clock;
+
+double us_since(steady_clock::time_point start,
+                steady_clock::time_point end) noexcept {
+  return std::chrono::duration<double, std::micro>(end - start).count();
+}
+
+/// Burns ~`us` microseconds of CPU on the calling worker — the rt stand-in
+/// for the DES FifoServer charging service_us. A spin (not a sleep) so the
+/// worker genuinely occupies its core the way a matching node would.
+void burn_service(double us) {
+  if (us <= 0.0) return;
+  const auto deadline =
+      steady_clock::now() + std::chrono::duration<double, std::micro>(us);
+  while (steady_clock::now() < deadline) {
+    // spin
+  }
+}
+
+/// Shared run state; workers touch it only through atomics or
+/// distinct-per-document slots.
+struct RtRunState {
+  std::vector<std::atomic<std::uint32_t>> outstanding;
+  std::atomic<std::uint64_t> completed{0};
+  std::atomic<std::int64_t> last_completion_ns{0};
+  sim::DeliveryLog* log = nullptr;
+  steady_clock::time_point start;
+  double service_scale = 1.0;
+
+  explicit RtRunState(std::size_t docs) : outstanding(docs) {}
+
+  void stamp_completion(std::size_t doc) {
+    completed.fetch_add(1, std::memory_order_relaxed);
+    if (log != nullptr) log->completed[doc] = 1;
+    const std::int64_t now_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                    steady_clock::now() - start)
+                                    .count();
+    std::int64_t prev = last_completion_ns.load(std::memory_order_relaxed);
+    while (prev < now_ns && !last_completion_ns.compare_exchange_weak(
+                                prev, now_ns, std::memory_order_relaxed)) {
+    }
+  }
+};
+
+/// Ships one hop to its node's worker: the delivery continuation burns the
+/// modeled service, forwards the children from the worker thread, and
+/// decrements the document's outstanding-hop count. A terminally failed
+/// send (shed / expired / breaker) strands the hop's whole subtree, leaving
+/// the document incomplete — the same semantics as a DES on_fail.
+void ship_hop(Runtime& runtime, RtRunState& state, std::size_t doc,
+              NodeId src, const core::Hop& hop) {
+  // The hop subtree is copied into the closure: the envelope owns its RPC
+  // payload like a real wire message owns its bytes.
+  runtime.transport().send(
+      src, hop.node, net::Priority::kNormal,
+      [&runtime, &state, doc, hop] {
+        burn_service(hop.service_us * state.service_scale);
+        for (const core::Hop& child : hop.then) {
+          ship_hop(runtime, state, doc, hop.node, child);
+        }
+        if (state.outstanding[doc].fetch_sub(1, std::memory_order_acq_rel) ==
+            1) {
+          state.stamp_completion(doc);
+        }
+      });
+}
+
+}  // namespace
+
+RtRunMetrics run_dissemination(core::Scheme& scheme,
+                               const workload::TermSetTable& docs,
+                               const RtRunConfig& config,
+                               sim::DeliveryLog* delivery_log) {
+  auto& c = scheme.cluster();
+  Runtime runtime(c.size(), config.net);
+
+  if (delivery_log != nullptr) delivery_log->reset(docs.size());
+  auto state = std::make_unique<RtRunState>(docs.size());
+  state->log = delivery_log;
+  state->service_scale = config.service_scale;
+  state->start = steady_clock::now();
+
+  RtRunMetrics m;
+  m.documents_published = docs.size();
+
+  const double gap_us = config.inject_rate_per_sec > 0.0
+                            ? 1'000'000.0 / config.inject_rate_per_sec
+                            : 0.0;
+
+  for (std::size_t i = 0; i < docs.size(); ++i) {
+    if (gap_us > 0.0) {
+      std::this_thread::sleep_until(
+          state->start +
+          std::chrono::duration<double, std::micro>(gap_us *
+                                                    static_cast<double>(i)));
+    }
+    // Planning (and therefore matching) happens here on the publisher,
+    // serially — the same place the DES does it. plan_publish is the one
+    // scheme entry point the run uses, so cluster state is read
+    // single-threadedly while workers only execute cost/forwarding work.
+    auto plan = scheme.plan_publish(docs.row(i));
+    m.notifications += plan.matches.size();
+    if (delivery_log != nullptr) {
+      delivery_log->matches[i] = plan.matches;
+    }
+    const std::uint32_t hops = core::count_plan_hops(plan.hops);
+    if (hops == 0) {
+      state->stamp_completion(i);
+      continue;
+    }
+    state->outstanding[i].store(hops, std::memory_order_relaxed);
+    for (const core::Hop& hop : plan.hops) {
+      ship_hop(runtime, *state, i, net::kClientNode, hop);
+    }
+  }
+  const auto publish_end = steady_clock::now();
+  runtime.quiesce();
+  runtime.stop();
+
+  m.documents_completed = state->completed.load(std::memory_order_acquire);
+  m.publish_wall_us = us_since(state->start, publish_end);
+  const double last_ns =
+      static_cast<double>(state->last_completion_ns.load());
+  m.wall_makespan_us = std::max(last_ns / 1'000.0, m.publish_wall_us);
+  m.envelopes_processed = runtime.envelopes_processed();
+  m.net_acc = runtime.transport().accounting();
+  return m;
+}
+
+}  // namespace move::rt

@@ -1,0 +1,119 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+/// Real-clock runtime primitives.
+///
+/// Unlike everything under src/sim, this subsystem runs on actual hardware
+/// threads and the wall clock. The simulated cluster's mailbox (the
+/// EventEngine queue) becomes a real bounded lock-free MPSC ring per node.
+namespace move::rt {
+
+/// Bounded lock-free multi-producer queue (Vyukov bounded-MPMC algorithm,
+/// used here with a single consumer per mailbox). Capacity is rounded up to
+/// a power of two; `try_push` fails (returns false) when the ring is full —
+/// backpressure is the caller's policy (the transport retries or sheds),
+/// never a hidden block inside the queue.
+///
+/// T must be default-constructible and movable. Each slot carries a
+/// sequence counter: producers claim a slot by CAS on the tail, publish the
+/// value with a release store of seq, and the consumer acquires it — the
+/// only synchronization points, so pushes from many worker threads never
+/// contend on a lock.
+template <typename T>
+class MpscQueue {
+ public:
+  explicit MpscQueue(std::size_t capacity_hint) {
+    std::size_t cap = 2;
+    while (cap < capacity_hint) cap <<= 1;
+    mask_ = cap - 1;
+    cells_ = std::make_unique<Cell[]>(cap);
+    for (std::size_t i = 0; i < cap; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  MpscQueue(const MpscQueue&) = delete;
+  MpscQueue& operator=(const MpscQueue&) = delete;
+
+  /// Enqueues `v`; false when the ring is full (value left intact for the
+  /// caller to retry or shed). Safe from any number of threads.
+  [[nodiscard]] bool try_push(T& v) {
+    Cell* cell;
+    std::size_t pos = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->seq.load(std::memory_order_acquire);
+      const auto diff = static_cast<std::intptr_t>(seq) -
+                        static_cast<std::intptr_t>(pos);
+      if (diff == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // full: the slot one lap back is still occupied
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+    cell->value = std::move(v);
+    cell->seq.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Dequeues into `out`; false when empty. Single consumer by contract
+  /// (the algorithm tolerates more, but each mailbox has one owner worker).
+  [[nodiscard]] bool try_pop(T& out) {
+    Cell* cell;
+    std::size_t pos = head_.load(std::memory_order_relaxed);
+    for (;;) {
+      cell = &cells_[pos & mask_];
+      const std::size_t seq = cell->seq.load(std::memory_order_acquire);
+      const auto diff = static_cast<std::intptr_t>(seq) -
+                        static_cast<std::intptr_t>(pos + 1);
+      if (diff == 0) {
+        if (head_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          break;
+        }
+      } else if (diff < 0) {
+        return false;  // empty
+      } else {
+        pos = head_.load(std::memory_order_relaxed);
+      }
+    }
+    out = std::move(cell->value);
+    cell->value = T{};  // drop payload resources before the slot is reused
+    cell->seq.store(pos + mask_ + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Racy size estimate — used only for admission-control shedding
+  /// decisions, where an off-by-a-few answer just moves the shed threshold
+  /// by a message.
+  [[nodiscard]] std::size_t size_approx() const noexcept {
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    return tail >= head ? tail - head : 0;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return mask_ + 1; }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> seq{0};
+    T value{};
+  };
+
+  std::size_t mask_ = 0;
+  std::unique_ptr<Cell[]> cells_;
+  alignas(64) std::atomic<std::size_t> tail_{0};  // producers
+  alignas(64) std::atomic<std::size_t> head_{0};  // the owner worker
+};
+
+}  // namespace move::rt

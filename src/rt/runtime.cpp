@@ -1,0 +1,271 @@
+#include "rt/runtime.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+
+namespace move::rt {
+
+namespace {
+
+using std::chrono::steady_clock;
+
+/// Dense breaker index: cluster nodes map to their id, the external client
+/// to the extra trailing slot.
+std::size_t breaker_index(NodeId id, std::size_t num_nodes) noexcept {
+  return id == net::kClientNode ? num_nodes
+                                : std::min<std::size_t>(id.value, num_nodes);
+}
+
+/// Uniform [0,1) from a hash — the per-(key,attempt) link-fault draw. Using
+/// a pure function of (seed, key, attempt) instead of a shared RNG stream
+/// keeps the draw thread-safe, contention-free, and independent of thread
+/// interleaving, so a lossy rt run replays its drop pattern exactly.
+double hashed_unit(std::uint64_t seed, std::uint64_t key,
+                   std::uint64_t salt) noexcept {
+  const std::uint64_t h =
+      common::mix64(common::hash_combine(common::hash_combine(seed, key), salt));
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+// --- RtTransport -----------------------------------------------------------
+
+RtTransport::RtTransport(Runtime& runtime, RtOptions options)
+    : runtime_(&runtime), options_(std::move(options)) {
+  breakers_.resize(runtime.size() + 1);
+  for (auto& b : breakers_) b = std::make_unique<Breaker>();
+}
+
+bool RtTransport::link_drops(std::uint64_t key,
+                             std::size_t attempt) const noexcept {
+  if (options_.link.loss <= 0.0) return false;
+  return hashed_unit(options_.seed, key, 0x10550000ULL + attempt) <
+         options_.link.loss;
+}
+
+bool RtTransport::link_duplicates(std::uint64_t key) const noexcept {
+  if (options_.link.duplicate <= 0.0) return false;
+  return hashed_unit(options_.seed, key, 0xd0b1eULL) < options_.link.duplicate;
+}
+
+RtTransport::Breaker& RtTransport::breaker_for(NodeId dst) const {
+  return *breakers_[breaker_index(dst, runtime_->size())];
+}
+
+bool RtTransport::breaker_open(NodeId dst) const {
+  Breaker& b = breaker_for(dst);
+  std::lock_guard lock(b.mutex);
+  if (!b.tripped) return false;
+  if (steady_clock::now() < b.open_until) return true;
+  // Half-open: let the next send probe; a success closes it fully, a
+  // timeout re-trips with a doubled cooldown (record_timeout).
+  return false;
+}
+
+void RtTransport::record_timeout(NodeId dst) {
+  acc_.timeouts.fetch_add(1, std::memory_order_relaxed);
+  Breaker& b = breaker_for(dst);
+  std::lock_guard lock(b.mutex);
+  ++b.consecutive_timeouts;
+  if (b.consecutive_timeouts < options_.breaker.trip_after && !b.tripped) {
+    return;
+  }
+  const double cooldown =
+      b.cooldown_us <= 0.0
+          ? options_.breaker.cooldown_us
+          : std::min(b.cooldown_us * 2.0, options_.breaker.max_cooldown_us);
+  if (!b.tripped || steady_clock::now() >= b.open_until) {
+    b.tripped = true;
+    b.cooldown_us = cooldown;
+    b.open_until = steady_clock::now() +
+                   std::chrono::microseconds(static_cast<long>(cooldown));
+    acc_.breaker_trips.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void RtTransport::record_success(NodeId dst) {
+  Breaker& b = breaker_for(dst);
+  std::lock_guard lock(b.mutex);
+  b.consecutive_timeouts = 0;
+  b.tripped = false;
+  b.cooldown_us = 0.0;
+}
+
+void RtTransport::backoff(std::size_t retry_index) {
+  if (options_.backoff_scale <= 0.0) {
+    std::this_thread::yield();
+    return;
+  }
+  // The DES policy's jittered wait, scaled; jitter comes from the same
+  // deterministic hash family as the link draws.
+  common::SplitMix64 rng(common::hash_combine(options_.seed, retry_index));
+  const double wait_us =
+      options_.retry.backoff_us(retry_index, rng) * options_.backoff_scale;
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(static_cast<long>(wait_us)));
+}
+
+bool RtTransport::send(NodeId src, NodeId dst, net::Priority priority,
+                       std::function<void()> on_deliver) {
+  acc_.messages.fetch_add(1, std::memory_order_relaxed);
+  if (breaker_open(dst)) {
+    acc_.breaker_fast_fails.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  const std::uint64_t key = next_key_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t max_attempts =
+      options_.retry.enabled ? std::max<std::size_t>(1, options_.retry.max_attempts)
+                             : 1;
+  for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+    if (attempt > 0) {
+      acc_.retries.fetch_add(1, std::memory_order_relaxed);
+      backoff(attempt - 1);
+      if (breaker_open(dst)) {
+        acc_.breaker_fast_fails.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+    }
+    acc_.attempts.fetch_add(1, std::memory_order_relaxed);
+    if (link_drops(key, attempt)) {
+      acc_.drops.fetch_add(1, std::memory_order_relaxed);
+      record_timeout(dst);  // the sender would have waited out the ack
+      continue;
+    }
+    if (options_.shed_queue_bound > 0 &&
+        priority != net::Priority::kHigh) {
+      const std::size_t bound = priority == net::Priority::kBulk
+                                    ? options_.shed_queue_bound
+                                    : options_.shed_queue_bound * 4;
+      if (runtime_->queue_depth(dst) >= bound) {
+        acc_.shed.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+    }
+    Envelope envelope{key, src, dst, priority, false, std::move(on_deliver)};
+    const bool duplicate = link_duplicates(key);
+    Envelope copy;  // built before the move below consumes `envelope`
+    if (duplicate) {
+      copy = Envelope{key, src, dst, priority, true, envelope.on_deliver};
+    }
+    runtime_->push(dst, std::move(envelope));
+    if (duplicate) {
+      acc_.duplicates.fetch_add(1, std::memory_order_relaxed);
+      runtime_->push(dst, std::move(copy));
+    }
+    record_success(dst);
+    return true;
+  }
+  acc_.expired.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+sim::NetAccounting RtTransport::accounting() const {
+  sim::NetAccounting out;
+  out.messages = acc_.messages.load(std::memory_order_acquire);
+  out.attempts = acc_.attempts.load(std::memory_order_acquire);
+  out.delivered = acc_.delivered.load(std::memory_order_acquire);
+  out.drops = acc_.drops.load(std::memory_order_acquire);
+  out.duplicates = acc_.duplicates.load(std::memory_order_acquire);
+  out.dup_suppressed = acc_.dup_suppressed.load(std::memory_order_acquire);
+  out.retries = acc_.retries.load(std::memory_order_acquire);
+  out.timeouts = acc_.timeouts.load(std::memory_order_acquire);
+  out.expired = acc_.expired.load(std::memory_order_acquire);
+  out.breaker_trips = acc_.breaker_trips.load(std::memory_order_acquire);
+  out.breaker_fast_fails =
+      acc_.breaker_fast_fails.load(std::memory_order_acquire);
+  out.shed = acc_.shed.load(std::memory_order_acquire);
+  return out;
+}
+
+// --- Runtime ---------------------------------------------------------------
+
+Runtime::Runtime(std::size_t num_nodes, RtOptions options)
+    : options_(std::move(options)) {
+  workers_.reserve(num_nodes);
+  for (std::size_t i = 0; i < num_nodes; ++i) {
+    workers_.push_back(std::make_unique<Worker>(options_.mailbox_capacity));
+  }
+  transport_.reset(new RtTransport(*this, options_));
+  for (auto& w : workers_) {
+    Worker* worker = w.get();
+    worker->thread = std::thread([this, worker] { worker_loop(*worker); });
+  }
+}
+
+Runtime::~Runtime() { stop(); }
+
+void Runtime::push(NodeId dst, Envelope&& envelope) {
+  Worker& worker = *workers_[dst.value];
+  inflight_.fetch_add(1, std::memory_order_acq_rel);
+  // Full mailbox = backpressure, not loss: spin until the owner drains a
+  // slot. The owner is always draining (workers only block when idle), so
+  // this terminates; yields keep an oversubscribed host live.
+  while (!worker.mailbox.try_push(envelope)) {
+    std::this_thread::yield();
+  }
+}
+
+void Runtime::worker_loop(Worker& worker) {
+  Envelope envelope;
+  std::size_t idle_polls = 0;
+  for (;;) {
+    if (worker.mailbox.try_pop(envelope)) {
+      idle_polls = 0;
+      // Receiver-side idempotency-key dedup, count-bounded window. Single
+      // consumer: no lock needed on the worker's own window.
+      const bool fresh = worker.seen_keys.insert(envelope.key).second;
+      if (fresh) {
+        worker.seen_order.push_back(envelope.key);
+        if (worker.seen_order.size() > options_.dedup_window_keys) {
+          worker.seen_keys.erase(worker.seen_order.front());
+          worker.seen_order.pop_front();
+        }
+        if (envelope.on_deliver) envelope.on_deliver();
+        transport_->acc_.delivered.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        transport_->acc_.dup_suppressed.fetch_add(1,
+                                                  std::memory_order_relaxed);
+      }
+      envelope = Envelope{};  // release the closure before idling
+      processed_.fetch_add(1, std::memory_order_acq_rel);
+      inflight_.fetch_sub(1, std::memory_order_acq_rel);
+      continue;
+    }
+    if (stopping_.load(std::memory_order_acquire) &&
+        inflight_.load(std::memory_order_acquire) == 0) {
+      return;  // drained everywhere: no envelope can still reach us
+    }
+    ++idle_polls;
+    if (idle_polls < 64) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+}
+
+void Runtime::quiesce() {
+  std::size_t idle_polls = 0;
+  while (inflight_.load(std::memory_order_acquire) != 0) {
+    if (++idle_polls < 64) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+}
+
+void Runtime::stop() {
+  if (joined_) return;
+  stopping_.store(true, std::memory_order_release);
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+  joined_ = true;
+}
+
+}  // namespace move::rt

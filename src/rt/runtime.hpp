@@ -1,0 +1,188 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/link_model.hpp"
+#include "net/retry_policy.hpp"
+#include "net/transport.hpp"
+#include "rt/mpsc_queue.hpp"
+#include "sim/net_accounting.hpp"
+
+/// Real-clock multi-threaded executor: hosts the cluster nodes on actual
+/// std::threads, one mailbox-driven worker per node, with the reliability
+/// semantics of `net::Transport` (bounded retries, receiver idempotency-key
+/// dedup, per-destination circuit breakers, priority shedding) carried over
+/// behind a Transport-shaped interface — see docs/ARCHITECTURE.md § rt.
+///
+/// The wire is still a *shim*: `net::LinkModel`'s loss and duplication
+/// faults are drawn deterministically per (key, attempt) at the sender, so
+/// a lost attempt is observed as a timeout exactly as in the DES, while
+/// latency/jitter/reordering need no model at all — real queueing and real
+/// scheduling provide them. Two deliberate divergences from the DES
+/// transport, both load-tolerance choices: the retry budget is the attempt
+/// count (never the wall-clock deadline, which a loaded CI host would blow
+/// through spuriously), and breaker cooldowns run on the steady clock.
+namespace move::rt {
+
+/// One RPC envelope as it crosses a mailbox — the rt analogue of the
+/// Transport's in-flight message: idempotency key, route, priority, and the
+/// delivery continuation the owner worker runs.
+struct Envelope {
+  std::uint64_t key = 0;  ///< idempotency key (receiver dedups on this)
+  NodeId src{net::kClientNode};
+  NodeId dst{0};
+  net::Priority priority = net::Priority::kNormal;
+  bool link_duplicate = false;  ///< extra copy injected by the link shim
+  std::function<void()> on_deliver;
+};
+
+struct RtOptions {
+  /// Link fault shim. `loss` and `duplicate` are honored (drawn per
+  /// attempt from a deterministic hash of seed/key/attempt); the latency/
+  /// jitter/reorder fields are ignored — the real clock supplies those.
+  net::LinkModel link;
+  net::RetryPolicy retry;
+  net::BreakerOptions breaker;
+  /// Per-node mailbox capacity (rounded up to a power of two). A full
+  /// mailbox is backpressure: senders spin-retry the push (it is not a
+  /// drop and not a timeout).
+  std::size_t mailbox_capacity = 4096;
+  /// Receiver queue depth at which kBulk sends are shed (kNormal sheds at
+  /// 4x, kHigh never) — same contract as NetOptions. 0 disables shedding.
+  std::size_t shed_queue_bound = 0;
+  /// Receiver dedup window, in remembered keys per node (count-bounded
+  /// rather than time-bounded: real time is load-dependent).
+  std::size_t dedup_window_keys = 1 << 16;
+  /// Seed for the deterministic link-fault draws.
+  std::uint64_t seed = 0x4e70002ULL;
+  /// Fraction of the DES backoff actually slept before a retry; 0 retries
+  /// after a yield only (tests), 1 sleeps the policy's full jittered wait.
+  double backoff_scale = 0.0;
+};
+
+class Runtime;
+
+/// Sender half of the runtime: Transport-shaped `send` over the mailboxes.
+/// Thread-safe — publishers and forwarding workers all send through it.
+class RtTransport {
+ public:
+  /// Sends one logical RPC to `dst`'s worker. Returns true when the message
+  /// is enqueued for exactly-once delivery; false when it terminally failed
+  /// (shed, breaker-rejected, or retry budget exhausted) — the rt analogue
+  /// of the DES transport's on_fail.
+  bool send(NodeId src, NodeId dst, net::Priority priority,
+            std::function<void()> on_deliver);
+
+  [[nodiscard]] bool breaker_open(NodeId dst) const;
+
+  /// Consistent snapshot of the atomic counters in the DES accounting
+  /// shape, so rt and DES runs report through the same struct.
+  [[nodiscard]] sim::NetAccounting accounting() const;
+
+  [[nodiscard]] const RtOptions& options() const noexcept { return options_; }
+
+ private:
+  friend class Runtime;
+  RtTransport(Runtime& runtime, RtOptions options);
+
+  struct Breaker {
+    mutable std::mutex mutex;
+    std::size_t consecutive_timeouts = 0;
+    bool tripped = false;
+    std::chrono::steady_clock::time_point open_until{};
+    double cooldown_us = 0.0;
+  };
+
+  [[nodiscard]] bool link_drops(std::uint64_t key,
+                                std::size_t attempt) const noexcept;
+  [[nodiscard]] bool link_duplicates(std::uint64_t key) const noexcept;
+  void record_timeout(NodeId dst);
+  void record_success(NodeId dst);
+  [[nodiscard]] Breaker& breaker_for(NodeId dst) const;
+  void backoff(std::size_t retry_index);
+
+  Runtime* runtime_;
+  RtOptions options_;
+  std::atomic<std::uint64_t> next_key_{1};
+  // One breaker per node plus one for the external client id.
+  mutable std::vector<std::unique_ptr<Breaker>> breakers_;
+
+  struct Counters {
+    std::atomic<std::uint64_t> messages{0}, attempts{0}, delivered{0},
+        drops{0}, duplicates{0}, dup_suppressed{0}, retries{0}, timeouts{0},
+        expired{0}, breaker_trips{0}, breaker_fast_fails{0}, shed{0};
+  };
+  mutable Counters acc_;
+};
+
+/// The executor itself: one worker thread per cluster node, each draining
+/// its own MPSC mailbox. Envelope processing is node-serial (the rt
+/// analogue of the DES FifoServer): dedup by idempotency key, then run the
+/// delivery continuation on the owner thread.
+class Runtime {
+ public:
+  /// Spawns `num_nodes` workers. Node ids are the dense cluster ids; the
+  /// external client (net::kClientNode) produces but owns no mailbox.
+  Runtime(std::size_t num_nodes, RtOptions options);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  [[nodiscard]] RtTransport& transport() noexcept { return *transport_; }
+  [[nodiscard]] std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Blocks until no envelope is in flight anywhere (all mailboxes drained
+  /// and every delivery continuation returned). Callers must have finished
+  /// submitting first — sends racing quiesce() make "idle" a moving target.
+  void quiesce();
+
+  /// Signals shutdown and joins every worker. Workers drain their mailboxes
+  /// before exiting (destruction-drains like ThreadPool), so no accepted
+  /// envelope is lost. Idempotent; the destructor calls it.
+  void stop();
+
+  [[nodiscard]] std::uint64_t envelopes_processed() const noexcept {
+    return processed_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::size_t queue_depth(NodeId node) const {
+    return workers_[node.value]->mailbox.size_approx();
+  }
+
+ private:
+  friend class RtTransport;
+
+  struct Worker {
+    explicit Worker(std::size_t capacity) : mailbox(capacity) {}
+    MpscQueue<Envelope> mailbox;
+    std::thread thread;
+    // Single-consumer state: only the owner worker touches these.
+    std::unordered_set<std::uint64_t> seen_keys;
+    std::deque<std::uint64_t> seen_order;
+  };
+
+  void worker_loop(Worker& worker);
+  /// Blocking enqueue with spin-retry backpressure (mailbox full is never
+  /// a drop). Increments the inflight count on success.
+  void push(NodeId dst, Envelope&& envelope);
+
+  RtOptions options_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::unique_ptr<RtTransport> transport_;
+  std::atomic<std::uint64_t> inflight_{0};
+  std::atomic<std::uint64_t> processed_{0};
+  std::atomic<bool> stopping_{false};
+  bool joined_ = false;
+};
+
+}  // namespace move::rt

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+/// Per-document delivery record shared by the DES experiment driver and the
+/// rt executor — the common currency of the DES-equivalence differential
+/// suite. A document's *delivered-match set* is its planned match set if and
+/// only if every hop of its plan completed ("all matching filters are
+/// found", §VI-A3); an incomplete document delivered nothing. Comparing two
+/// executors' logs is therefore order-independent by construction: matches
+/// are sorted-unique FilterId sets keyed by document index.
+///
+/// Header-only and dependency-free (like NetAccounting) so core, rt, and
+/// the tests can all carry it without extra linkage.
+namespace move::sim {
+
+struct DeliveryLog {
+  /// Per-document planned match set (sorted, unique), recorded at plan
+  /// time by whichever executor runs the document.
+  std::vector<std::vector<FilterId>> matches;
+  /// 1 once every hop of the document's plan completed. Plain bytes:
+  /// writers touch distinct elements and synchronize with readers through
+  /// the executor's own quiesce/run barrier.
+  std::vector<std::uint8_t> completed;
+
+  void reset(std::size_t num_docs) {
+    matches.assign(num_docs, {});
+    completed.assign(num_docs, 0);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return matches.size(); }
+
+  [[nodiscard]] std::uint64_t completed_count() const noexcept {
+    std::uint64_t n = 0;
+    for (const std::uint8_t c : completed) n += c;
+    return n;
+  }
+
+  /// The delivered-match set of document `doc` (empty when incomplete).
+  [[nodiscard]] std::span<const FilterId> delivered(std::size_t doc) const {
+    if (doc >= matches.size() || completed[doc] == 0) return {};
+    return matches[doc];
+  }
+
+  /// Order-independent equality of delivered sets, document by document.
+  [[nodiscard]] bool equivalent(const DeliveryLog& other) const {
+    if (matches.size() != other.matches.size()) return false;
+    for (std::size_t d = 0; d < matches.size(); ++d) {
+      const auto a = delivered(d);
+      const auto b = other.delivered(d);
+      if (a.size() != b.size()) return false;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (a[i] != b[i]) return false;
+      }
+    }
+    return true;
+  }
+};
+
+}  // namespace move::sim

@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <set>
 
 namespace move::common {
@@ -35,13 +36,20 @@ TEST(ThreadPool, WaitIdleOnFreshPoolReturns) {
 TEST(ThreadPool, TasksRunOnMultipleThreads) {
   ThreadPool pool(4);
   std::mutex mutex;
+  std::condition_variable cv;
   std::set<std::thread::id> seen;
-  // Tasks long enough that one worker cannot drain the queue alone.
+  // A rendezvous, not a sleep: each task blocks (deadline-bounded) until a
+  // second distinct worker has arrived, so one worker cannot drain the
+  // queue alone — distribution is forced by construction rather than by a
+  // wall-clock duration a loaded host can violate.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
   for (int i = 0; i < 8; ++i) {
     pool.submit([&] {
-      std::this_thread::sleep_for(std::chrono::milliseconds(20));
-      std::lock_guard lock(mutex);
+      std::unique_lock lock(mutex);
       seen.insert(std::this_thread::get_id());
+      cv.notify_all();
+      cv.wait_until(lock, deadline, [&] { return seen.size() >= 2; });
     });
   }
   pool.wait_idle();
@@ -116,20 +124,25 @@ TEST(ThreadPool, CurrentWorkerIndexOutsidePoolIsSentinel) {
 TEST(ThreadPool, CurrentWorkerIndexIsStableAndInRange) {
   ThreadPool pool(4);
   std::mutex mutex;
+  std::condition_variable cv;
   std::set<std::size_t> seen;
   std::atomic<bool> out_of_range{false};
+  // Same rendezvous as TasksRunOnMultipleThreads: block each task until a
+  // second distinct worker index has checked in (no sleeps to outlast).
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
   for (int i = 0; i < 16; ++i) {
     pool.submit([&] {
       const std::size_t w = ThreadPool::current_worker_index();
       if (w >= pool.thread_count()) out_of_range.store(true);
-      std::this_thread::sleep_for(std::chrono::milliseconds(10));
-      std::lock_guard lock(mutex);
+      std::unique_lock lock(mutex);
       seen.insert(w);
+      cv.notify_all();
+      cv.wait_until(lock, deadline, [&] { return seen.size() >= 2; });
     });
   }
   pool.wait_idle();
   EXPECT_FALSE(out_of_range.load());
-  // Long-sleeping tasks force several distinct workers into action.
   EXPECT_GE(seen.size(), 2u);
   // Still a non-worker on the submitting thread.
   EXPECT_EQ(ThreadPool::current_worker_index(), ThreadPool::kNotAWorker);

@@ -1,0 +1,177 @@
+#include "rt/mpsc_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "rt/runtime.hpp"
+
+/// Unit and tsan-stress coverage for the bounded lock-free MPSC mailbox and
+/// the runtime's shutdown path. The stress shapes are the ones the tsan
+/// preset exists for: producer flood against a concurrent drain, and
+/// stop/join racing the last deliveries.
+namespace move::rt {
+namespace {
+
+TEST(MpscQueue, FifoSingleThread) {
+  MpscQueue<int> q(16);
+  for (int i = 0; i < 10; ++i) {
+    int v = i;
+    ASSERT_TRUE(q.try_push(v));
+  }
+  int out = -1;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(q.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_FALSE(q.try_pop(out));
+}
+
+TEST(MpscQueue, CapacityRoundsUpToPowerOfTwo) {
+  MpscQueue<int> q(5);
+  EXPECT_EQ(q.capacity(), 8u);
+  MpscQueue<int> q2(64);
+  EXPECT_EQ(q2.capacity(), 64u);
+}
+
+TEST(MpscQueue, FullPushFailsUntilPopFreesASlot) {
+  MpscQueue<int> q(4);
+  for (int i = 0; i < 4; ++i) {
+    int v = i;
+    ASSERT_TRUE(q.try_push(v));
+  }
+  int v = 99;
+  EXPECT_FALSE(q.try_push(v));
+  EXPECT_EQ(v, 99);  // a failed push leaves the value intact
+  int out = -1;
+  ASSERT_TRUE(q.try_pop(out));
+  EXPECT_EQ(out, 0);
+  ASSERT_TRUE(q.try_push(v));
+  EXPECT_EQ(q.size_approx(), 4u);
+}
+
+TEST(MpscQueue, MoveOnlyPayloadsMoveThrough) {
+  MpscQueue<std::unique_ptr<int>> q(8);
+  auto p = std::make_unique<int>(42);
+  ASSERT_TRUE(q.try_push(p));
+  EXPECT_EQ(p, nullptr);  // moved out on success
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(q.try_pop(out));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 42);
+}
+
+/// Producer flood through a deliberately small ring: producers spin-retry
+/// on full while one consumer drains concurrently. Per-producer FIFO order
+/// must survive (MPSC guarantees it), and nothing may be lost or invented.
+TEST(MpscQueueStress, ManyProducersOneConsumerKeepsEveryItemInOrder) {
+  constexpr std::uint32_t kProducers = 4;
+  constexpr std::uint32_t kPerProducer = 20'000;
+  MpscQueue<std::uint64_t> q(128);  // small on purpose: exercise full/retry
+
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (std::uint32_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (std::uint32_t i = 0; i < kPerProducer; ++i) {
+        std::uint64_t item = (static_cast<std::uint64_t>(p) << 32) | i;
+        while (!q.try_push(item)) std::this_thread::yield();
+      }
+    });
+  }
+
+  std::vector<std::uint32_t> next_expected(kProducers, 0);
+  std::uint64_t received = 0;
+  bool order_violated = false;
+  while (received < static_cast<std::uint64_t>(kProducers) * kPerProducer) {
+    std::uint64_t item = 0;
+    if (!q.try_pop(item)) {
+      std::this_thread::yield();
+      continue;
+    }
+    const auto p = static_cast<std::uint32_t>(item >> 32);
+    const auto i = static_cast<std::uint32_t>(item);
+    if (p >= kProducers || i != next_expected[p]) order_violated = true;
+    if (p < kProducers) ++next_expected[p];
+    ++received;
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_FALSE(order_violated);
+  for (std::uint32_t p = 0; p < kProducers; ++p) {
+    EXPECT_EQ(next_expected[p], kPerProducer);
+  }
+  std::uint64_t leftover = 0;
+  EXPECT_FALSE(q.try_pop(leftover));
+}
+
+/// The runtime shutdown path under load: four producer threads flood the
+/// transport, join, then stop() must drain every accepted envelope before
+/// the workers exit — accepted-but-undelivered is the bug tsan watches for.
+TEST(RuntimeStress, StopDrainsEveryAcceptedEnvelope) {
+  constexpr std::uint32_t kProducers = 4;
+  constexpr std::uint32_t kPerProducer = 5'000;
+  RtOptions opts;
+  opts.mailbox_capacity = 64;  // force backpressure on the push path
+  Runtime runtime(3, opts);
+
+  std::atomic<std::uint64_t> delivered{0};
+  std::atomic<std::uint64_t> accepted{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (std::uint32_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::uint32_t i = 0; i < kPerProducer; ++i) {
+        const NodeId dst{(p + i) % 3};
+        if (runtime.transport().send(net::kClientNode, dst,
+                                     net::Priority::kNormal,
+                                     [&delivered] {
+                                       delivered.fetch_add(
+                                           1, std::memory_order_relaxed);
+                                     })) {
+          accepted.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  runtime.stop();  // no quiesce first: stop itself must drain
+
+  EXPECT_EQ(accepted.load(), std::uint64_t{kProducers} * kPerProducer)
+      << "clean wire, no shedding: every send must be accepted";
+  EXPECT_EQ(delivered.load(), accepted.load());
+  EXPECT_EQ(runtime.envelopes_processed(), accepted.load());
+  runtime.stop();  // idempotent
+}
+
+/// Workers forwarding to each other mid-drain (the multi-producer shape the
+/// executor's child hops create) while the main thread waits on quiesce.
+TEST(RuntimeStress, WorkerToWorkerForwardingQuiesces) {
+  RtOptions opts;
+  opts.mailbox_capacity = 32;
+  Runtime runtime(4, opts);
+  std::atomic<std::uint64_t> leaf_deliveries{0};
+
+  constexpr std::uint32_t kRoots = 2'000;
+  for (std::uint32_t i = 0; i < kRoots; ++i) {
+    const NodeId first{i % 4};
+    const NodeId second{(i + 1) % 4};
+    runtime.transport().send(
+        net::kClientNode, first, net::Priority::kNormal,
+        [&runtime, &leaf_deliveries, first, second] {
+          runtime.transport().send(first, second, net::Priority::kNormal,
+                                   [&leaf_deliveries] {
+                                     leaf_deliveries.fetch_add(
+                                         1, std::memory_order_relaxed);
+                                   });
+        });
+  }
+  runtime.quiesce();
+  EXPECT_EQ(leaf_deliveries.load(), kRoots);
+  EXPECT_EQ(runtime.envelopes_processed(), std::uint64_t{kRoots} * 2);
+}
+
+}  // namespace
+}  // namespace move::rt

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "rt_test_util.hpp"
+
+/// The DES-equivalence differential suite: the same seeded workloads pushed
+/// through the discrete-event executor and the real-clock executor over
+/// twin clusters must produce identical delivered-match *sets* per document
+/// (order-independent), and both must equal the brute-force oracle — on a
+/// clean wire, through link loss, and across a quiesced churn sequence.
+namespace move::rt {
+namespace {
+
+using fault::testutil::kNodes;
+using testutil::doc_slice;
+using testutil::expect_des_rt_oracle_equal;
+using testutil::run_des;
+using testutil::run_rt;
+using testutil::SchemeKind;
+using testutil::shared_workload;
+using testutil::TwinSchemes;
+
+constexpr std::uint64_t kSeeds[] = {0xA1, 0xB2, 0xC3};
+
+class RtDifferential : public ::testing::TestWithParam<SchemeKind> {};
+
+/// Clean wire: the rt executor's thread interleavings must not change which
+/// filters any document reaches.
+TEST_P(RtDifferential, CleanWireMatchesDesAndOracle) {
+  const SchemeKind kind = GetParam();
+  const auto& docs = shared_workload().docs_;
+  for (std::uint64_t seed : kSeeds) {
+    TwinSchemes twins(kind);
+    const auto des_log = run_des(*twins.des, docs);
+    RtOptions opts;
+    opts.seed = seed;
+    const auto rt_log = run_rt(*twins.rt, docs, opts);
+    expect_des_rt_oracle_equal(des_log, rt_log, 0, "clean");
+    EXPECT_EQ(des_log.completed_count(), docs.size());
+    EXPECT_EQ(rt_log.completed_count(), docs.size());
+  }
+}
+
+/// 5% loss + 1% duplication on both executors' wires. The reliability layer
+/// (retries + dedup) must hold delivery at exactly-once on both sides, so
+/// the delivered sets still equal the oracle — and the rt accounting must
+/// prove faults actually fired rather than the test passing vacuously.
+TEST_P(RtDifferential, LossyLinkStaysExactlyOnce) {
+  const SchemeKind kind = GetParam();
+  const auto& docs = shared_workload().docs_;
+  for (std::uint64_t seed : kSeeds) {
+    TwinSchemes twins(kind);
+
+    net::NetOptions nopts;
+    nopts.link.loss = 0.05;
+    nopts.link.latency_base_us = 40.0;
+    nopts.link.latency_jitter_us = 20.0;
+    nopts.link.duplicate = 0.01;
+    nopts.seed = seed;
+    net::Transport transport(twins.des_cluster.engine(), nopts);
+    const auto des_log = run_des(*twins.des, docs, &transport);
+
+    RtOptions ropts;
+    ropts.link.loss = 0.05;
+    ropts.link.duplicate = 0.01;
+    ropts.seed = seed;
+    RtRunMetrics m;
+    const auto rt_log = run_rt(*twins.rt, docs, ropts, &m);
+
+    expect_des_rt_oracle_equal(des_log, rt_log, 0, "lossy");
+    EXPECT_EQ(rt_log.completed_count(), docs.size());
+    EXPECT_GT(m.net_acc.drops, 0u) << "loss shim never fired";
+    EXPECT_GT(m.net_acc.retries, 0u);
+    EXPECT_EQ(m.net_acc.expired, 0u)
+        << "a message exhausted its retry budget at 5% loss";
+  }
+}
+
+/// One-node churn as a phased, quiesced sequence (membership changes land
+/// at doc-index barriers so the twin clusters plan identically): publish,
+/// fail + repair, publish through the failure, revive, publish again. With
+/// repair applied, delivered sets must equal the oracle in *every* phase —
+/// including while the node is down.
+TEST_P(RtDifferential, QuiescedChurnPhasesStayExact) {
+  const SchemeKind kind = GetParam();
+  for (std::uint64_t seed : kSeeds) {
+    TwinSchemes twins(kind);
+    const NodeId victim{static_cast<std::uint32_t>(seed % kNodes)};
+    RtOptions opts;
+    opts.seed = seed;
+
+    const auto healthy_docs = doc_slice(0, 20);
+    expect_des_rt_oracle_equal(run_des(*twins.des, healthy_docs),
+                               run_rt(*twins.rt, healthy_docs, opts), 0,
+                               "churn/healthy");
+
+    twins.fail_node(victim);
+    twins.repair(victim);
+    const auto degraded_docs = doc_slice(20, 40);
+    expect_des_rt_oracle_equal(run_des(*twins.des, degraded_docs),
+                               run_rt(*twins.rt, degraded_docs, opts), 20,
+                               "churn/degraded");
+
+    twins.revive_node(victim);
+    const auto recovered_docs = doc_slice(40, 60);
+    expect_des_rt_oracle_equal(run_des(*twins.des, recovered_docs),
+                               run_rt(*twins.rt, recovered_docs, opts), 40,
+                               "churn/recovered");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchemes, RtDifferential,
+                         ::testing::Values(SchemeKind::kIl, SchemeKind::kMove,
+                                           SchemeKind::kRs),
+                         [](const auto& info) {
+                           return fault::testutil::scheme_name(info.param);
+                         });
+
+}  // namespace
+}  // namespace move::rt

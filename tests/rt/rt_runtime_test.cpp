@@ -1,0 +1,216 @@
+#include "rt/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+/// Transport-semantics coverage for the rt runtime: the reliability
+/// contracts carried over from net::Transport (retries, dedup, breakers,
+/// shedding) must hold on real threads, observed through the same
+/// sim::NetAccounting shape the DES reports.
+namespace move::rt {
+namespace {
+
+constexpr std::uint32_t kMessages = 2'000;
+
+/// Every message duplicated by the link: the receiver's idempotency-key
+/// window must suppress the extra copy, so application deliveries stay
+/// exactly-once while the wire sees twice the envelopes.
+TEST(RtTransport, DuplicatedLinkDeliversExactlyOnce) {
+  RtOptions opts;
+  opts.link.duplicate = 1.0;
+  Runtime runtime(4, opts);
+  std::atomic<std::uint64_t> delivered{0};
+  for (std::uint32_t i = 0; i < kMessages; ++i) {
+    ASSERT_TRUE(runtime.transport().send(
+        net::kClientNode, NodeId{i % 4}, net::Priority::kNormal,
+        [&delivered] { delivered.fetch_add(1, std::memory_order_relaxed); }));
+  }
+  runtime.quiesce();
+  EXPECT_EQ(delivered.load(), kMessages);
+  const auto acc = runtime.transport().accounting();
+  EXPECT_EQ(acc.duplicates, kMessages);
+  EXPECT_EQ(acc.dup_suppressed, kMessages);
+  EXPECT_EQ(acc.delivered, kMessages);
+  EXPECT_EQ(runtime.envelopes_processed(), std::uint64_t{kMessages} * 2);
+}
+
+/// 30% loss with a deep retry budget: every message must still land
+/// (P[16 straight drops] ~ 4e-9), and the accounting must show the work.
+TEST(RtTransport, RetriesRecoverHeavyLoss) {
+  RtOptions opts;
+  opts.link.loss = 0.3;
+  opts.retry.max_attempts = 16;
+  // At 30% loss a 5-streak of drops to one destination is routine; keep the
+  // breaker out so this test isolates the retry layer.
+  opts.breaker.trip_after = kMessages;
+  Runtime runtime(4, opts);
+  std::atomic<std::uint64_t> delivered{0};
+  for (std::uint32_t i = 0; i < kMessages; ++i) {
+    ASSERT_TRUE(runtime.transport().send(
+        net::kClientNode, NodeId{i % 4}, net::Priority::kNormal,
+        [&delivered] { delivered.fetch_add(1, std::memory_order_relaxed); }));
+  }
+  runtime.quiesce();
+  EXPECT_EQ(delivered.load(), kMessages);
+  const auto acc = runtime.transport().accounting();
+  EXPECT_GT(acc.drops, 0u);
+  EXPECT_GT(acc.retries, 0u);
+  EXPECT_EQ(acc.expired, 0u);
+  EXPECT_EQ(acc.delivered, kMessages);
+}
+
+/// Same loss with retries disabled (the fig10 ablation): dropped messages
+/// stay dropped, and every message is either delivered or expired.
+TEST(RtTransport, WithoutRetriesLossIsLoss) {
+  RtOptions opts;
+  opts.link.loss = 0.3;
+  opts.retry.enabled = false;
+  // One drop trips nothing: keep the breaker out of this ablation.
+  opts.breaker.trip_after = kMessages;
+  Runtime runtime(4, opts);
+  std::atomic<std::uint64_t> delivered{0};
+  std::uint64_t accepted = 0;
+  for (std::uint32_t i = 0; i < kMessages; ++i) {
+    if (runtime.transport().send(
+            net::kClientNode, NodeId{i % 4}, net::Priority::kNormal,
+            [&delivered] {
+              delivered.fetch_add(1, std::memory_order_relaxed);
+            })) {
+      ++accepted;
+    }
+  }
+  runtime.quiesce();
+  const auto acc = runtime.transport().accounting();
+  EXPECT_EQ(delivered.load(), accepted);
+  EXPECT_EQ(acc.delivered + acc.expired, kMessages);
+  EXPECT_GT(acc.expired, 0u);       // ~30% should be lost
+  EXPECT_LT(acc.expired, kMessages);  // ...but nowhere near all
+  EXPECT_EQ(acc.retries, 0u);
+}
+
+/// A black-holed destination (loss = 1.0) trips its breaker after the
+/// configured streak; later sends to it fast-fail without burning attempts,
+/// while other destinations stay unaffected.
+TEST(RtTransport, BreakerTripsOnBlackholedDestinationOnly) {
+  RtOptions opts;
+  opts.link.loss = 1.0;  // every attempt to every dst drops...
+  opts.retry.max_attempts = 3;
+  opts.breaker.trip_after = 5;
+  opts.breaker.cooldown_us = 60'000'000.0;  // stays open for the whole test
+  Runtime runtime(2, opts);
+
+  const NodeId dead{0};
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(runtime.transport().send(net::kClientNode, dead,
+                                          net::Priority::kNormal, [] {}));
+  }
+  EXPECT_TRUE(runtime.transport().breaker_open(dead));
+  EXPECT_FALSE(runtime.transport().breaker_open(NodeId{1}));
+  const auto acc = runtime.transport().accounting();
+  EXPECT_GE(acc.breaker_trips, 1u);
+  EXPECT_GT(acc.breaker_fast_fails, 0u);
+  EXPECT_GT(acc.expired, 0u);
+  EXPECT_EQ(acc.delivered, 0u);
+  // Fast-fails cost no wire attempts: attempts < 10 messages * 3.
+  EXPECT_LT(acc.attempts, 30u);
+}
+
+/// Priority shedding against a wedged receiver: with the worker blocked and
+/// the queue deep, kBulk sheds at the bound, kNormal at 4x, and kHigh is
+/// never shed.
+TEST(RtTransport, ShedsByPriorityUnderQueuePressure) {
+  RtOptions opts;
+  opts.shed_queue_bound = 1;
+  Runtime runtime(1, opts);
+  std::atomic<bool> release{false};
+  std::atomic<std::uint64_t> delivered{0};
+
+  // Wedge the single worker, then stack envelopes behind it.
+  ASSERT_TRUE(runtime.transport().send(net::kClientNode, NodeId{0},
+                                       net::Priority::kHigh, [&release] {
+                                         while (!release.load(
+                                             std::memory_order_acquire)) {
+                                           std::this_thread::yield();
+                                         }
+                                       }));
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(runtime.transport().send(
+        net::kClientNode, NodeId{0}, net::Priority::kHigh, [&delivered] {
+          delivered.fetch_add(1, std::memory_order_relaxed);
+        }));
+  }
+  // Depth is now >= 4x the bound: both lower priorities shed, kHigh never.
+  EXPECT_FALSE(runtime.transport().send(net::kClientNode, NodeId{0},
+                                        net::Priority::kBulk, [] {}));
+  EXPECT_FALSE(runtime.transport().send(net::kClientNode, NodeId{0},
+                                        net::Priority::kNormal, [] {}));
+  EXPECT_TRUE(runtime.transport().send(
+      net::kClientNode, NodeId{0}, net::Priority::kHigh, [&delivered] {
+        delivered.fetch_add(1, std::memory_order_relaxed);
+      }));
+  release.store(true, std::memory_order_release);
+  runtime.quiesce();
+  EXPECT_EQ(delivered.load(), 9u);
+  const auto acc = runtime.transport().accounting();
+  EXPECT_EQ(acc.shed, 2u);
+}
+
+/// Node-serial execution: every delivery for a node runs on that node's one
+/// worker thread, and distinct nodes run on distinct threads — the property
+/// that lets schemes keep per-node state lock-free.
+TEST(RtRuntime, EachNodeRunsOnExactlyOneDistinctThread) {
+  constexpr std::size_t kNodes = 3;
+  Runtime runtime(kNodes, {});
+  std::mutex mu;
+  std::vector<std::set<std::thread::id>> seen(kNodes);
+  for (std::uint32_t i = 0; i < 300; ++i) {
+    const NodeId dst{static_cast<std::uint32_t>(i % kNodes)};
+    runtime.transport().send(net::kClientNode, dst, net::Priority::kNormal,
+                             [&mu, &seen, dst] {
+                               std::lock_guard lock(mu);
+                               seen[dst.value].insert(
+                                   std::this_thread::get_id());
+                             });
+  }
+  runtime.quiesce();
+  std::set<std::thread::id> all;
+  for (std::size_t n = 0; n < kNodes; ++n) {
+    ASSERT_EQ(seen[n].size(), 1u) << "node " << n;
+    all.insert(*seen[n].begin());
+  }
+  EXPECT_EQ(all.size(), kNodes);  // no thread serves two nodes
+}
+
+/// The dedup window is count-bounded: once a key is evicted, a late copy of
+/// it would be delivered again — verify eviction really happens by watching
+/// the window not grow past its bound (indirectly: long runs stay bounded
+/// and exactly-once for fresh keys throughout).
+TEST(RtRuntime, DedupWindowStaysBoundedOverLongRuns) {
+  RtOptions opts;
+  opts.dedup_window_keys = 64;
+  opts.link.duplicate = 1.0;
+  Runtime runtime(1, opts);
+  std::atomic<std::uint64_t> delivered{0};
+  constexpr std::uint32_t kN = 5'000;  // many windows' worth of keys
+  for (std::uint32_t i = 0; i < kN; ++i) {
+    runtime.transport().send(net::kClientNode, NodeId{0},
+                             net::Priority::kNormal, [&delivered] {
+                               delivered.fetch_add(1,
+                                                   std::memory_order_relaxed);
+                             });
+  }
+  runtime.quiesce();
+  // Duplicates arrive back-to-back (well inside any window), so delivery
+  // stays exactly-once even though thousands of keys were evicted.
+  EXPECT_EQ(delivered.load(), kN);
+  EXPECT_EQ(runtime.transport().accounting().dup_suppressed, kN);
+}
+
+}  // namespace
+}  // namespace move::rt

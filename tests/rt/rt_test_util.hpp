@@ -1,0 +1,124 @@
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "core/experiment.hpp"
+#include "net/transport.hpp"
+#include "rt/executor.hpp"
+#include "sim/delivery_log.hpp"
+
+#include "../fault/fault_test_util.hpp"
+
+/// Shared harness for the DES-equivalence differential suite: the same
+/// seeded workload replayed through the discrete-event executor and the
+/// real-clock executor over identically-constructed clusters, compared
+/// document by document as delivered-match *sets* (order-independent)
+/// against each other and against the brute-force oracle.
+namespace move::rt::testutil {
+
+using fault::testutil::SchemeKind;
+using fault::testutil::shared_workload;
+
+/// A DES/rt twin: two clusters built from the same config (same internal
+/// seeds => identical rings, racks, placement) each carrying its own fully
+/// registered scheme instance. Membership events must be applied to both.
+struct TwinSchemes {
+  explicit TwinSchemes(SchemeKind kind,
+                       std::size_t nodes = fault::testutil::kNodes)
+      : des_cluster(fault::testutil::small_cluster(nodes)),
+        rt_cluster(fault::testutil::small_cluster(nodes)),
+        des(fault::testutil::make_scheme(kind, des_cluster)),
+        rt(fault::testutil::make_scheme(kind, rt_cluster)) {}
+
+  void fail_node(NodeId id) {
+    des_cluster.fail_node(id);
+    rt_cluster.fail_node(id);
+  }
+  void revive_node(NodeId id) {
+    des_cluster.revive_node(id);
+    rt_cluster.revive_node(id);
+  }
+
+  /// Incremental repair after a membership event at `node`, applied to both
+  /// twins (the bounded-batch pipeline's effect, without the pump).
+  void repair(NodeId node) {
+    const auto des_entries = des->collect_repair_entries(node);
+    des->apply_repair_entries(des_entries);
+    const auto rt_entries = rt->collect_repair_entries(node);
+    rt->apply_repair_entries(rt_entries);
+  }
+
+  cluster::Cluster des_cluster;
+  cluster::Cluster rt_cluster;
+  std::unique_ptr<core::Scheme> des;
+  std::unique_ptr<core::Scheme> rt;
+};
+
+/// Rows [begin, end) of the shared chaos corpus as their own table.
+inline workload::TermSetTable doc_slice(std::size_t begin, std::size_t end) {
+  const auto& w = shared_workload();
+  workload::TermSetTable out;
+  for (std::size_t d = begin; d < end; ++d) out.add(w.docs_.row(d));
+  return out;
+}
+
+/// One DES dissemination pass filling a delivery log. `transport` may be
+/// nullptr (clean wire).
+inline sim::DeliveryLog run_des(core::Scheme& scheme,
+                                const workload::TermSetTable& docs,
+                                net::Transport* transport = nullptr) {
+  sim::DeliveryLog log;
+  core::RunConfig rc;
+  rc.inject_rate_per_sec = 2'000.0;
+  rc.collect_latencies = false;
+  rc.transport = transport;
+  rc.delivery_log = &log;
+  (void)core::run_dissemination(scheme, docs, rc);
+  return log;
+}
+
+/// One rt dissemination pass filling a delivery log. service_scale is 0 —
+/// the differential suite checks semantics, not timing.
+inline sim::DeliveryLog run_rt(core::Scheme& scheme,
+                               const workload::TermSetTable& docs,
+                               const RtOptions& net = {},
+                               RtRunMetrics* metrics_out = nullptr) {
+  sim::DeliveryLog log;
+  RtRunConfig rc;
+  rc.net = net;
+  rc.service_scale = 0.0;
+  const auto m = rt::run_dissemination(scheme, docs, rc, &log);
+  if (metrics_out != nullptr) *metrics_out = m;
+  return log;
+}
+
+/// Asserts both logs delivered, per document, exactly the brute-force
+/// oracle's match set for the corresponding global document index.
+inline void expect_des_rt_oracle_equal(const sim::DeliveryLog& des,
+                                       const sim::DeliveryLog& rt,
+                                       std::size_t doc_offset,
+                                       const char* context) {
+  const auto& w = shared_workload();
+  ASSERT_EQ(des.size(), rt.size()) << context;
+  for (std::size_t d = 0; d < des.size(); ++d) {
+    const auto& truth = w.truth(doc_offset + d);
+    const auto des_set = des.delivered(d);
+    const auto rt_set = rt.delivered(d);
+    ASSERT_EQ(des_set.size(), truth.size())
+        << context << ": DES delivered set diverges from oracle, doc "
+        << doc_offset + d;
+    ASSERT_EQ(rt_set.size(), truth.size())
+        << context << ": rt delivered set diverges from oracle, doc "
+        << doc_offset + d;
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+      ASSERT_EQ(des_set[i], truth[i]) << context << " doc " << doc_offset + d;
+      ASSERT_EQ(rt_set[i], truth[i]) << context << " doc " << doc_offset + d;
+    }
+  }
+}
+
+}  // namespace move::rt::testutil
