@@ -11,18 +11,36 @@
 //                        barrier for the whole batch).
 //
 // against the default Zipf workload (MSN-like filters, TREC-WT-like docs)
-// under both kAnyTerm and kThreshold semantics. Emits
-// BENCH_matching_kernels.json with docs/sec and postings/sec per variant
-// plus the headline speedups in `meta`. All variants must agree on the
-// total number of (doc, filter) matches — checked at runtime.
+// under both kAnyTerm and kThreshold semantics.
+//
+// A second section sweeps the single-thread scratch kernel over a
+// filter-count axis (up to 10^5 filters) in four variants crossing the
+// PR's two fast-path levers:
+//
+//   * scalar     — forced-scalar dispatch, Bloom gate off, intersection-scan
+//                  verification: the faithful pre-SIMD baseline;
+//   * simd       — vector kernels (gathered epoch stamps, SIMD lower_bound)
+//                  plus the full-index O(1) count verification;
+//   * bloom      — scalar dispatch with the blocked-Bloom term-summary gate;
+//   * bloom_simd — everything on: the production configuration.
+//
+// Sweep documents are drawn from a vocabulary twice the filters' so a
+// realistic slice of document terms is unindexed — the traffic the summary
+// screens out. Emits BENCH_matching_kernels.json with docs/sec and
+// postings/sec per variant, per-row bloom_reject_rate, and the headline
+// speedups in `meta` (including bloom_simd vs scalar at the 10^5-filter
+// threshold point). All variants of a sweep point must agree on the total
+// number of (doc, filter) matches — checked at runtime.
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <iterator>
 #include <vector>
 
 #include "bench_report.hpp"
 #include "bench_util.hpp"
+#include "common/simd.hpp"
 #include "index/match_scratch.hpp"
 #include "index/parallel_matcher.hpp"
 #include "index/sift_matcher.hpp"
@@ -36,6 +54,9 @@ struct VariantResult {
   double postings_per_sec = 0.0;
   std::uint64_t postings_scanned = 0;
   std::uint64_t matches_total = 0;
+  std::uint64_t bloom_rejects = 0;
+  std::uint64_t postings_skipped = 0;
+  std::size_t docs_matched = 0;
 };
 
 using Clock = std::chrono::steady_clock;
@@ -46,6 +67,7 @@ double ms_since(Clock::time_point t0) {
 
 void finish(VariantResult& r, double wall_ms, std::size_t docs_matched) {
   r.wall_ms = wall_ms;
+  r.docs_matched = docs_matched;
   const double secs = wall_ms / 1e3;
   if (secs > 0) {
     r.docs_per_sec = static_cast<double>(docs_matched) / secs;
@@ -70,8 +92,54 @@ VariantResult time_sift(const workload::TermSetTable& docs, std::size_t reps,
   }
   const double wall = ms_since(t0);
   r.postings_scanned = acc.postings_scanned;
+  r.bloom_rejects = acc.bloom_rejects;
+  r.postings_skipped = acc.postings_skipped;
   finish(r, wall, reps * docs.size());
   return r;
+}
+
+// --- Variant sweep: dispatch x Bloom gate x verification ------------------
+
+struct SweepVariant {
+  const char* name;
+  bool force_scalar;  // route every kernel through its scalar twin
+  bool bloom_gate;    // MatchOptions::use_term_summary
+  bool count_verify;  // SiftMatcher full-index O(1) verification
+};
+
+// "scalar" is the faithful pre-SIMD baseline (what PR 2 shipped); the rest
+// switch on this PR's levers one at a time, ending at the default config.
+constexpr SweepVariant kSweepVariants[] = {
+    {"scalar", true, false, false},
+    {"simd", false, false, true},
+    {"bloom", true, true, false},
+    {"bloom_simd", false, true, true},
+};
+
+/// Restores the ambient dispatch (e.g. an inherited MOVE_FORCE_SCALAR=1) no
+/// matter how the sweep exits.
+struct ScopedForceScalar {
+  explicit ScopedForceScalar(bool on) : prev(simd::force_scalar()) {
+    simd::set_force_scalar(on);
+  }
+  ~ScopedForceScalar() { simd::set_force_scalar(prev); }
+  bool prev;
+};
+
+VariantResult time_sweep_variant(const SweepVariant& v,
+                                 const index::FilterStore& store,
+                                 const index::InvertedIndex& index,
+                                 const workload::TermSetTable& docs,
+                                 std::size_t reps,
+                                 index::MatchOptions opt) {
+  const ScopedForceScalar dispatch(v.force_scalar);
+  opt.use_term_summary = v.bloom_gate;
+  const index::SiftMatcher matcher(store, index, v.count_verify);
+  index::MatchScratch scratch;
+  return time_sift(docs, reps,
+                   [&](std::span<const TermId> d, std::vector<FilterId>& o) {
+                     return matcher.match(d, opt, o, scratch);
+                   });
 }
 
 std::uint64_t scanned_total(const index::ParallelMatcher& m) {
@@ -141,6 +209,40 @@ void report_variant(BenchReporter& report, const char* series,
   std::printf("%-18s %-10s %10.1f ms %12.0f docs/s %14.3g postings/s\n",
               series, semantics, r.wall_ms, r.docs_per_sec,
               r.postings_per_sec);
+}
+
+void report_sweep_row(BenchReporter& report, const SweepVariant& v,
+                      const char* semantics, std::size_t filters,
+                      std::size_t docs, std::size_t reps,
+                      const VariantResult& r) {
+  obs::Json& row = report.add_row("kernel_sweep");
+  row["knobs"]["variant"] = v.name;
+  row["knobs"]["force_scalar"] = v.force_scalar;
+  row["knobs"]["bloom_gate"] = v.bloom_gate;
+  row["knobs"]["count_verify"] = v.count_verify;
+  row["knobs"]["semantics"] = semantics;
+  row["knobs"]["filters"] = filters;
+  row["knobs"]["docs"] = docs;
+  row["knobs"]["reps"] = reps;
+  obs::Json& m = row["metrics"];
+  m["wall_ms"] = r.wall_ms;
+  m["docs_per_sec"] = r.docs_per_sec;
+  m["postings_per_sec"] = r.postings_per_sec;
+  m["postings_scanned"] = r.postings_scanned;
+  m["matches_total"] = r.matches_total;
+  m["bloom_rejects"] = r.bloom_rejects;
+  m["postings_skipped"] = r.postings_skipped;
+  m["bloom_reject_rate"] =
+      r.docs_matched > 0
+          ? static_cast<double>(r.bloom_rejects) /
+                static_cast<double>(r.docs_matched)
+          : 0.0;
+  std::printf("  %-11s %-10s %7zu filters %9.1f ms %11.0f docs/s "
+              "reject_rate %.3f\n",
+              v.name, semantics, filters, r.wall_ms, r.docs_per_sec,
+              r.docs_matched > 0 ? static_cast<double>(r.bloom_rejects) /
+                                       static_cast<double>(r.docs_matched)
+                                 : 0.0);
 }
 
 int run() {
@@ -237,6 +339,74 @@ int run() {
                 scratch_r.docs_per_sec / legacy_r.docs_per_sec,
                 par_batch_r.docs_per_sec / legacy_r.docs_per_sec);
   }
+  // --- Variant x filter-count sweep (single-thread scratch kernel) --------
+  std::printf("kernel sweep: dispatch x Bloom gate x verification "
+              "(compiled kernel: %s)\n",
+              simd::compiled_kernel());
+  const std::size_t sweep_counts[] = {10'000, 31'623, 100'000};
+  double scalar_100k = 0.0, bloom_simd_100k = 0.0;
+  for (const std::size_t count : sweep_counts) {
+    const auto sweep_filters = make_filters(count);
+    // Documents over TWICE the filters' vocabulary: a realistic slice of the
+    // term mass is unindexed — the traffic the term summary screens out.
+    auto sweep_gen = wt_generator(sweep_filters.vocabulary * 2);
+    const auto sweep_docs = sweep_gen.generate(128);
+    const std::size_t sweep_reps = count >= 100'000 ? 2 : 4;
+
+    index::FilterStore sweep_store;
+    index::InvertedIndex sweep_index;
+    for (std::size_t i = 0; i < sweep_filters.table.size(); ++i) {
+      const auto id = sweep_store.add(sweep_filters.table.row(i));
+      sweep_index.add(id, sweep_store.terms(id));
+    }
+    sweep_index.finalize();
+
+    for (const auto& [sem_name, opt] :
+         {std::pair{"any_term", index::MatchOptions{}},
+          std::pair{"threshold",
+                    index::MatchOptions{index::MatchSemantics::kThreshold,
+                                        0.7}}}) {
+      constexpr std::size_t kNumVariants = std::size(kSweepVariants);
+      VariantResult results[kNumVariants];
+      for (std::size_t v = 0; v < kNumVariants; ++v) {
+        results[v] =
+            time_sweep_variant(kSweepVariants[v], sweep_store, sweep_index,
+                               sweep_docs, sweep_reps, opt);
+        report_sweep_row(report, kSweepVariants[v], sem_name,
+                         sweep_filters.table.size(), sweep_docs.size(),
+                         sweep_reps, results[v]);
+        // Every variant of a sweep point must find the same match pairs.
+        if (results[v].matches_total != results[0].matches_total) {
+          std::fprintf(
+              stderr, "SWEEP MISMATCH (%zu filters, %s): %s=%llu scalar=%llu\n",
+              count, sem_name, kSweepVariants[v].name,
+              static_cast<unsigned long long>(results[v].matches_total),
+              static_cast<unsigned long long>(results[0].matches_total));
+          totals_agree = false;
+        }
+      }
+      const double base = results[0].docs_per_sec;
+      if (base > 0) {
+        std::printf("    -> vs scalar: simd %.2fx, bloom %.2fx, "
+                    "bloom_simd %.2fx\n",
+                    results[1].docs_per_sec / base,
+                    results[2].docs_per_sec / base,
+                    results[3].docs_per_sec / base);
+      }
+      if (opt.semantics == index::MatchSemantics::kThreshold &&
+          count == 100'000) {
+        scalar_100k = results[0].docs_per_sec;
+        bloom_simd_100k = results[3].docs_per_sec;
+      }
+    }
+  }
+  report.meta()["kernel"] = simd::compiled_kernel();
+  report.meta()["speedup_bloom_simd_vs_scalar_threshold_100000"] =
+      scalar_100k > 0 ? bloom_simd_100k / scalar_100k : 0.0;
+  std::printf("\nheadline: bloom_simd vs scalar @ 100k filters (threshold): "
+              "%.2fx\n",
+              scalar_100k > 0 ? bloom_simd_100k / scalar_100k : 0.0);
+
   report.meta()["variants_agree"] = totals_agree;
   if (!totals_agree) return 1;
   return report.write() ? 0 : 1;

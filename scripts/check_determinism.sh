@@ -14,14 +14,22 @@
 # otherwise would force us to strip exactly the fields the bench exists to
 # report).
 #
-# Usage: check_determinism.sh <bench-binary> [<bench-binary>...]
+# Binaries listed after `--simd-diff` get a different pairing: one run with
+# MOVE_FORCE_SCALAR=0 (whatever kernels the build compiled in) and one with
+# MOVE_FORCE_SCALAR=1 (every kernel routed through its scalar twin), and the
+# BENCH json must STILL be byte-identical. That is the dispatch contract of
+# src/common/simd.hpp — vectorization is an implementation detail that may
+# never leak into results or accounting — enforced end to end through a real
+# figure bench rather than just the unit matrix.
+#
+# Usage: check_determinism.sh <bench-binary>... [--simd-diff <bench-binary>...]
 # Env:   MOVE_BENCH_SCALE  workload scale for the runs (default 0.02 — the
 #        check cares about byte-identity, not statistical fidelity, so the
 #        smallest workload that still exercises every code path wins)
 set -euo pipefail
 
 if [ "$#" -lt 1 ]; then
-  echo "usage: $0 <bench-binary> [<bench-binary>...]" >&2
+  echo "usage: $0 <bench-binary>... [--simd-diff <bench-binary>...]" >&2
   exit 2
 fi
 
@@ -38,46 +46,90 @@ normalize() {
   grep -Ev "\"(${STRIP_KEYS})\":" "$1" || true
 }
 
-status=0
-for bin in "$@"; do
-  name="$(basename "$bin")"
-  if [ ! -x "$bin" ]; then
-    echo "FAIL $name: not an executable: $bin" >&2
-    status=1
+# Split the argument list: binaries before --simd-diff are diffed across two
+# identical runs; binaries after it are diffed across a SIMD vs forced-scalar
+# run pair.
+repeat_bins=()
+simd_bins=()
+mode=repeat
+for arg in "$@"; do
+  if [ "$arg" = "--simd-diff" ]; then
+    mode=simd
     continue
   fi
-  for run in 1 2; do
-    out="$tmp/$name/$run"
-    mkdir -p "$out"
-    if ! MOVE_BENCH_SCALE="$scale" MOVE_BENCH_OUT="$out" "$bin" \
-        >"$out/stdout.log" 2>&1; then
-      echo "FAIL $name: run $run exited nonzero (log: $out/stdout.log)" >&2
-      sed 's/^/    /' "$out/stdout.log" | tail -20 >&2
-      exit 1
-    fi
-  done
+  if [ "$mode" = repeat ]; then
+    repeat_bins+=("$arg")
+  else
+    simd_bins+=("$arg")
+  fi
+done
 
-  jsons=("$tmp/$name/1"/BENCH_*.json)
+status=0
+
+# run_once <bin> <outdir> <force_scalar ("" = leave unset)>
+run_once() {
+  local bin="$1" out="$2" force="$3"
+  mkdir -p "$out"
+  if ! env ${force:+MOVE_FORCE_SCALAR="$force"} \
+      MOVE_BENCH_SCALE="$scale" MOVE_BENCH_OUT="$out" "$bin" \
+      >"$out/stdout.log" 2>&1; then
+    echo "FAIL $(basename "$bin"): run exited nonzero (log: $out/stdout.log)" >&2
+    sed 's/^/    /' "$out/stdout.log" | tail -20 >&2
+    exit 1
+  fi
+}
+
+# diff_pair <name> <dir1> <dir2> <what> — byte-diffs every BENCH_*.json that
+# dir1 produced against its twin in dir2.
+diff_pair() {
+  local name="$1" d1="$2" d2="$3" what="$4"
+  local jsons=("$d1"/BENCH_*.json)
   if [ ! -e "${jsons[0]}" ]; then
     echo "FAIL $name: produced no BENCH_*.json" >&2
     status=1
-    continue
+    return
   fi
+  local f1 f2
   for f1 in "${jsons[@]}"; do
-    f2="$tmp/$name/2/$(basename "$f1")"
+    f2="$d2/$(basename "$f1")"
     if [ ! -e "$f2" ]; then
       echo "FAIL $name: second run did not produce $(basename "$f1")" >&2
       status=1
       continue
     fi
     if diff -u <(normalize "$f1") <(normalize "$f2") >"$tmp/diff.out"; then
-      echo "OK   $name: $(basename "$f1") identical across runs"
+      echo "OK   $name: $(basename "$f1") identical across $what"
     else
-      echo "FAIL $name: $(basename "$f1") differs between identical runs" >&2
+      echo "FAIL $name: $(basename "$f1") differs between $what" >&2
       head -40 "$tmp/diff.out" >&2
       status=1
     fi
   done
+}
+
+for bin in "${repeat_bins[@]+"${repeat_bins[@]}"}"; do
+  name="$(basename "$bin")"
+  if [ ! -x "$bin" ]; then
+    echo "FAIL $name: not an executable: $bin" >&2
+    status=1
+    continue
+  fi
+  run_once "$bin" "$tmp/$name/1" ""
+  run_once "$bin" "$tmp/$name/2" ""
+  diff_pair "$name" "$tmp/$name/1" "$tmp/$name/2" "identical runs"
+done
+
+for bin in "${simd_bins[@]+"${simd_bins[@]}"}"; do
+  name="$(basename "$bin")"
+  if [ ! -x "$bin" ]; then
+    echo "FAIL $name: not an executable: $bin" >&2
+    status=1
+    continue
+  fi
+  run_once "$bin" "$tmp/$name/simd" "0"
+  run_once "$bin" "$tmp/$name/scalar" "1"
+  diff_pair "$name" "$tmp/$name/simd" "$tmp/$name/scalar" \
+    "SIMD and forced-scalar runs"
 done
 
 exit "$status"

@@ -49,6 +49,8 @@ OnlineResult run_online(core::MoveScheme& scheme,
     m.match_acc.lists_retrieved += wm.match_acc.lists_retrieved;
     m.match_acc.postings_scanned += wm.match_acc.postings_scanned;
     m.match_acc.candidates_verified += wm.match_acc.candidates_verified;
+    m.match_acc.bloom_rejects += wm.match_acc.bloom_rejects;
+    m.match_acc.postings_skipped += wm.match_acc.postings_skipped;
     m.fault_acc += wm.fault_acc;
     m.net_acc += wm.net_acc;
 

@@ -1,0 +1,125 @@
+#include "bloom/blocked_bloom.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/hash.hpp"
+#include "common/simd.hpp"
+
+namespace move::bloom {
+
+namespace {
+
+/// One odd multiplier per block word (the Impala/Arrow split-block salts):
+/// lane i's bit index is the top 5 bits of `h32 * kSalt[i]`, so each insert
+/// sets exactly one bit in each of the block's eight words.
+constexpr std::uint32_t kSalt[8] = {0x47b6137bu, 0x44974d91u, 0x8824ad5bu,
+                                    0xa2b7289du, 0x705495c7u, 0x2df1424bu,
+                                    0x9efc4947u, 0x5c6bfb31u};
+
+/// Scalar twin of the lane-mask computation — bit-identical to the SIMD
+/// paths (u32 wraparound multiply + shift is the same math everywhere).
+inline void lane_masks(std::uint32_t h32, std::uint32_t out[8]) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    out[i] = 1u << ((h32 * kSalt[i]) >> 27);
+  }
+}
+
+}  // namespace
+
+BlockedBloomFilter::BlockedBloomFilter(std::size_t expected_items,
+                                       std::size_t bits_per_key) {
+  if (expected_items == 0) expected_items = 1;
+  if (bits_per_key == 0) bits_per_key = 1;
+  // Round the bit budget up to whole 256-bit blocks.
+  num_blocks_ = (expected_items * bits_per_key + 255) / 256;
+  num_blocks_ = std::max<std::size_t>(1, num_blocks_);
+  words_.assign(num_blocks_ * 8, 0);
+}
+
+std::size_t BlockedBloomFilter::block_of(std::uint64_t hash) const noexcept {
+  // Fast-range reduction of the high half onto [0, num_blocks): unbiased
+  // enough for summaries and cheaper than a modulo on the probe path.
+  const std::uint64_t hi = hash >> 32;
+  return static_cast<std::size_t>(
+      (hi * static_cast<std::uint64_t>(num_blocks_)) >> 32);
+}
+
+void BlockedBloomFilter::insert(TermId term) noexcept {
+  const std::uint64_t h = common::mix64(term.value);
+  std::uint32_t* block = words_.data() + block_of(h) * 8;
+  const auto h32 = static_cast<std::uint32_t>(h);
+#if defined(MOVE_SIMD_AVX2)
+  if (!simd::dispatch_scalar()) {
+    const __m256i salt = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(kSalt));
+    const __m256i shift =
+        _mm256_srli_epi32(_mm256_mullo_epi32(_mm256_set1_epi32(
+                              static_cast<int>(h32)), salt), 27);
+    const __m256i mask = _mm256_sllv_epi32(_mm256_set1_epi32(1), shift);
+    auto* p = reinterpret_cast<__m256i*>(block);
+    _mm256_storeu_si256(p, _mm256_or_si256(_mm256_loadu_si256(p), mask));
+    ++insertions_;
+    return;
+  }
+#endif
+  std::uint32_t mask[8];
+  lane_masks(h32, mask);
+  for (int i = 0; i < 8; ++i) block[i] |= mask[i];
+  ++insertions_;
+}
+
+bool BlockedBloomFilter::may_contain(TermId term) const noexcept {
+  const std::uint64_t h = common::mix64(term.value);
+  const std::uint32_t* block = words_.data() + block_of(h) * 8;
+  const auto h32 = static_cast<std::uint32_t>(h);
+#if defined(MOVE_SIMD_AVX2)
+  if (!simd::dispatch_scalar()) {
+    const __m256i salt = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(kSalt));
+    const __m256i shift =
+        _mm256_srli_epi32(_mm256_mullo_epi32(_mm256_set1_epi32(
+                              static_cast<int>(h32)), salt), 27);
+    const __m256i mask = _mm256_sllv_epi32(_mm256_set1_epi32(1), shift);
+    const __m256i b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(block));
+    return _mm256_testc_si256(b, mask) != 0;  // (~b & mask) == 0
+  }
+#elif defined(MOVE_SIMD_NEON) && defined(__aarch64__)
+  if (!simd::dispatch_scalar()) {
+    const uint32x4_t h_v = vdupq_n_u32(h32);
+    const uint32x4_t salt_lo = vld1q_u32(kSalt);
+    const uint32x4_t salt_hi = vld1q_u32(kSalt + 4);
+    const uint32x4_t one = vdupq_n_u32(1);
+    const uint32x4_t mask_lo = vshlq_u32(
+        one, vreinterpretq_s32_u32(vshrq_n_u32(vmulq_u32(h_v, salt_lo), 27)));
+    const uint32x4_t mask_hi = vshlq_u32(
+        one, vreinterpretq_s32_u32(vshrq_n_u32(vmulq_u32(h_v, salt_hi), 27)));
+    const uint32x4_t hit_lo =
+        vceqq_u32(vandq_u32(vld1q_u32(block), mask_lo), mask_lo);
+    const uint32x4_t hit_hi =
+        vceqq_u32(vandq_u32(vld1q_u32(block + 4), mask_hi), mask_hi);
+    return vminvq_u32(vandq_u32(hit_lo, hit_hi)) == 0xffffffffu;
+  }
+#endif
+  std::uint32_t mask[8];
+  lane_masks(h32, mask);
+  for (int i = 0; i < 8; ++i) {
+    if ((block[i] & mask[i]) == 0) return false;
+  }
+  return true;
+}
+
+void BlockedBloomFilter::clear() noexcept {
+  std::fill(words_.begin(), words_.end(), 0u);
+  insertions_ = 0;
+}
+
+double BlockedBloomFilter::fill_ratio() const noexcept {
+  std::size_t set = 0;
+  for (const std::uint32_t w : words_) set += std::popcount(w);
+  return static_cast<double>(set) /
+         static_cast<double>(words_.size() * 32);
+}
+
+}  // namespace move::bloom

@@ -1,0 +1,183 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+
+/// Portable SIMD kernel layer for the matching hot path.
+///
+/// One compile-time kernel set is selected from the target ISA — AVX2 on
+/// x86-64, NEON on AArch64, plain C++ otherwise — and every vector routine
+/// here ships a scalar twin that computes the *bit-identical* result. Which
+/// twin runs is decided per call by `dispatch_scalar()`:
+///
+///  * compile time: a build without AVX2/NEON only contains the scalar
+///    twins (zero dispatch overhead);
+///  * run time: setting `MOVE_FORCE_SCALAR=1` in the environment (or calling
+///    `set_force_scalar(true)` — the bench sweep's per-variant knob) routes
+///    every call to the scalar twin even in a SIMD build.
+///
+/// The contract that makes the determinism gate (`check_determinism.sh
+/// --simd-diff`) possible: **dispatch choice never changes results or
+/// accounting** — all routines are pure integer math over sorted u32 data,
+/// so scalar and vector paths agree bit-for-bit, and explicit prefetch
+/// (issued only on the SIMD path) has no architectural effect at all.
+///
+/// All routines operate on raw `std::uint32_t` arrays. The tagged id types
+/// (`TermId`, `FilterId`) are standard-layout wrappers around one u32, so
+/// callers pass `&ids[0].value` (see `as_u32` in the call sites) — the
+/// pointer addresses the member objects themselves, keeping the accesses
+/// within the aliasing rules.
+#if defined(__AVX2__)
+#define MOVE_SIMD_AVX2 1
+#include <immintrin.h>
+#elif defined(__ARM_NEON)
+#define MOVE_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace move::simd {
+
+/// Kernel set baked into this binary (what the ISA allows, before the
+/// runtime override): "avx2", "neon", or "scalar".
+[[nodiscard]] constexpr const char* compiled_kernel() noexcept {
+#if defined(MOVE_SIMD_AVX2)
+  return "avx2";
+#elif defined(MOVE_SIMD_NEON)
+  return "neon";
+#else
+  return "scalar";
+#endif
+}
+
+namespace detail {
+inline std::atomic<bool>& force_scalar_flag() {
+  static std::atomic<bool> flag{[] {
+    const char* env = std::getenv("MOVE_FORCE_SCALAR");
+    return env != nullptr && env[0] != '\0' &&
+           !(env[0] == '0' && env[1] == '\0');
+  }()};
+  return flag;
+}
+}  // namespace detail
+
+/// True when the scalar twins are forced (env MOVE_FORCE_SCALAR=1 at first
+/// use, or the last set_force_scalar call).
+[[nodiscard]] inline bool force_scalar() noexcept {
+  return detail::force_scalar_flag().load(std::memory_order_relaxed);
+}
+
+/// Runtime dispatch override — the bench sweep flips this per variant and
+/// tests use it to exercise both twins in one process.
+inline void set_force_scalar(bool force) noexcept {
+  detail::force_scalar_flag().store(force, std::memory_order_relaxed);
+}
+
+/// Kernel set in effect for the next dispatched call.
+[[nodiscard]] inline const char* active_kernel() noexcept {
+  return force_scalar() ? "scalar" : compiled_kernel();
+}
+
+/// True when a call should take the scalar twin.
+[[nodiscard]] inline bool dispatch_scalar() noexcept {
+#if defined(MOVE_SIMD_AVX2) || defined(MOVE_SIMD_NEON)
+  return force_scalar();
+#else
+  return true;
+#endif
+}
+
+/// Read-prefetch into all cache levels. Part of the SIMD kernel set: the
+/// scalar dispatch issues nothing, so MOVE_FORCE_SCALAR=1 really is the
+/// plain-C++ baseline.
+inline void prefetch(const void* p) noexcept {
+  if (dispatch_scalar()) return;
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/0, /*locality=*/3);
+#else
+  (void)p;
+#endif
+}
+
+namespace detail {
+
+inline std::size_t find_first_ge_scalar(const std::uint32_t* p, std::size_t n,
+                                        std::uint32_t key) noexcept {
+  std::size_t i = 0;
+  while (i < n && p[i] < key) ++i;
+  return i;
+}
+
+#if defined(MOVE_SIMD_AVX2)
+inline std::size_t find_first_ge_avx2(const std::uint32_t* p, std::size_t n,
+                                      std::uint32_t key) noexcept {
+  const __m256i k = _mm256_set1_epi32(static_cast<int>(key));
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + i));
+    // Unsigned v >= key  <=>  max_epu32(v, key) == v.
+    const __m256i ge = _mm256_cmpeq_epi32(_mm256_max_epu32(v, k), v);
+    const unsigned mask =
+        static_cast<unsigned>(_mm256_movemask_ps(_mm256_castsi256_ps(ge)));
+    if (mask != 0) return i + static_cast<std::size_t>(__builtin_ctz(mask));
+  }
+  return i + find_first_ge_scalar(p + i, n - i, key);
+}
+#elif defined(MOVE_SIMD_NEON)
+inline std::size_t find_first_ge_neon(const std::uint32_t* p, std::size_t n,
+                                      std::uint32_t key) noexcept {
+  const uint32x4_t k = vdupq_n_u32(key);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const uint32x4_t v = vld1q_u32(p + i);
+    const uint32x4_t ge = vcgeq_u32(v, k);
+    // Narrow each 32-bit lane to 16 bits and read out as one u64: every hit
+    // lane contributes 16 set bits, so ctz/16 is the first hit index.
+    const std::uint64_t mask =
+        vget_lane_u64(vreinterpret_u64_u16(vshrn_n_u32(ge, 16)), 0);
+    if (mask != 0) {
+      return i + static_cast<std::size_t>(__builtin_ctzll(mask)) / 16;
+    }
+  }
+  return i + find_first_ge_scalar(p + i, n - i, key);
+}
+#endif
+
+}  // namespace detail
+
+/// Index of the first element >= key in the sorted range [p, p+n); n if
+/// none. Linear vectorized scan — intended for the short windows the
+/// galloping intersection brackets, not whole posting lists.
+[[nodiscard]] inline std::size_t find_first_ge(const std::uint32_t* p,
+                                               std::size_t n,
+                                               std::uint32_t key) noexcept {
+#if defined(MOVE_SIMD_AVX2)
+  if (!dispatch_scalar()) return detail::find_first_ge_avx2(p, n, key);
+#elif defined(MOVE_SIMD_NEON)
+  if (!dispatch_scalar()) return detail::find_first_ge_neon(p, n, key);
+#endif
+  return detail::find_first_ge_scalar(p, n, key);
+}
+
+/// Lower bound over a sorted u32 range: classic halving until the window is
+/// one vector-sweep wide, then find_first_ge finishes it. Same result as
+/// std::lower_bound (index form).
+[[nodiscard]] inline std::size_t lower_bound_u32(const std::uint32_t* p,
+                                                 std::size_t n,
+                                                 std::uint32_t key) noexcept {
+  constexpr std::size_t kSweep = 32;
+  std::size_t lo = 0;
+  while (n - lo > kSweep) {
+    const std::size_t mid = lo + (n - lo) / 2;
+    if (p[mid] < key) {
+      lo = mid + 1;
+    } else {
+      n = mid;
+    }
+  }
+  return lo + find_first_ge(p + lo, n - lo, key);
+}
+
+}  // namespace move::simd

@@ -157,6 +157,9 @@ sim::RunMetrics run_dissemination(Scheme& scheme,
       acc_after.postings_scanned - acc_before.postings_scanned;
   m.match_acc.candidates_verified =
       acc_after.candidates_verified - acc_before.candidates_verified;
+  m.match_acc.bloom_rejects = acc_after.bloom_rejects - acc_before.bloom_rejects;
+  m.match_acc.postings_skipped =
+      acc_after.postings_skipped - acc_before.postings_skipped;
   m.fault_acc = c.fault_acc().delta_since(fault_before);
   if (config.transport != nullptr) {
     m.net_acc = config.transport->accounting().delta_since(net_before);

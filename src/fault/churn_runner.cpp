@@ -218,6 +218,9 @@ ChurnResult run_churn(core::Scheme& scheme,
       acc_after.postings_scanned - acc_before.postings_scanned;
   m.match_acc.candidates_verified =
       acc_after.candidates_verified - acc_before.candidates_verified;
+  m.match_acc.bloom_rejects = acc_after.bloom_rejects - acc_before.bloom_rejects;
+  m.match_acc.postings_skipped =
+      acc_after.postings_skipped - acc_before.postings_skipped;
   m.fault_acc = c.fault_acc().delta_since(fault_before);
   m.net_acc = transport.accounting();  // fresh transport: totals == delta
 

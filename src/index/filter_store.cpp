@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "common/simd.hpp"
+
 namespace move::index {
 
 FilterId FilterStore::add(std::span<const TermId> terms) {
@@ -35,25 +37,31 @@ constexpr std::size_t kGallopRatio = 16;
 
 /// |small ∩ large| by exponential + binary search of each small element in
 /// the (sorted) large side. O(|small| * log |large|) — the win when a 3-term
-/// filter is verified against a 6000-term TREC-AP article.
+/// filter is verified against a 6000-term TREC-AP article. The binary search
+/// tail runs through simd::lower_bound_u32, which finishes small windows
+/// with one vector compare instead of the last ~5 branchy halvings; the
+/// returned position is the lower bound by definition, so scalar and SIMD
+/// dispatches are interchangeable.
 std::size_t gallop_intersection(std::span<const TermId> small,
                                 std::span<const TermId> large) {
+  static_assert(sizeof(TermId) == sizeof(std::uint32_t));
+  const std::uint32_t* base = &large.data()->value;
+  const std::size_t n = large.size();
   std::size_t count = 0;
-  auto lo = large.begin();
+  std::size_t lo = 0;
   for (const TermId t : small) {
     // Exponential probe from the previous position keeps runs of nearby
     // values cheap; the binary search finishes within the bracketed window.
     std::size_t step = 1;
-    auto hi = lo;
-    while (hi != large.end() && *hi < t) {
+    std::size_t hi = lo;
+    while (hi < n && base[hi] < t.value) {
       lo = hi;
-      const std::size_t room = static_cast<std::size_t>(large.end() - hi);
-      hi += static_cast<std::ptrdiff_t>(std::min(step, room));
+      hi += std::min(step, n - hi);
       step *= 2;
     }
-    lo = std::lower_bound(lo, hi, t);
-    if (lo == large.end()) break;
-    if (*lo == t) {
+    lo += simd::lower_bound_u32(base + lo, hi - lo, t.value);
+    if (lo == n) break;
+    if (base[lo] == t.value) {
       ++count;
       ++lo;
     }
@@ -88,22 +96,27 @@ std::size_t FilterStore::intersection_size(
   return count;
 }
 
+std::size_t FilterStore::required_overlap(std::size_t filter_term_count,
+                                          const MatchOptions& options) {
+  switch (options.semantics) {
+    case MatchSemantics::kAnyTerm:
+      return 1;
+    case MatchSemantics::kAllTerms:
+      return filter_term_count;
+    case MatchSemantics::kThreshold: {
+      const auto needed = static_cast<std::size_t>(std::ceil(
+          options.threshold * static_cast<double>(filter_term_count)));
+      return std::max<std::size_t>(1, needed);
+    }
+  }
+  return 1;
+}
+
 bool FilterStore::matches(FilterId id, std::span<const TermId> doc_terms,
                           const MatchOptions& options) const {
   const auto filter_terms = terms(id);
-  const std::size_t common = intersection_size(doc_terms, filter_terms);
-  switch (options.semantics) {
-    case MatchSemantics::kAnyTerm:
-      return common >= 1;
-    case MatchSemantics::kAllTerms:
-      return common == filter_terms.size();
-    case MatchSemantics::kThreshold: {
-      const auto needed = static_cast<std::size_t>(std::ceil(
-          options.threshold * static_cast<double>(filter_terms.size())));
-      return common >= std::max<std::size_t>(1, needed);
-    }
-  }
-  return false;
+  return intersection_size(doc_terms, filter_terms) >=
+         required_overlap(filter_terms.size(), options);
 }
 
 }  // namespace move::index

@@ -29,6 +29,11 @@ enum class MatchSemantics {
 struct MatchOptions {
   MatchSemantics semantics = MatchSemantics::kAnyTerm;
   double threshold = 0.5;  ///< only used by kThreshold
+  /// Screen document terms against the index's blocked-Bloom term summary
+  /// before probing posting lists (no-op while the index is mutable — the
+  /// summary only exists frozen). Never changes results or the classic
+  /// accounting fields; off mainly for the bench's ungated baseline.
+  bool use_term_summary = true;
 };
 
 class FilterStore {
@@ -52,14 +57,32 @@ class FilterStore {
     return flat_terms_.size();
   }
 
+  /// Term count of a filter without materializing its span. O(1), noexcept;
+  /// the count-verification fast path (SiftMatcher full-index mode) calls
+  /// this per candidate instead of terms().size().
+  [[nodiscard]] std::size_t term_count(FilterId id) const noexcept {
+    return static_cast<std::size_t>(offsets_[id.value + 1] -
+                                    offsets_[id.value]);
+  }
+
   /// True if document terms (sorted) match the filter under `options`.
   [[nodiscard]] bool matches(FilterId id, std::span<const TermId> doc_terms,
                              const MatchOptions& options) const;
 
+  /// Smallest |d ∩ f| that satisfies `options` for a filter of
+  /// `filter_term_count` terms: 1 / |f| / max(1, ceil(theta*|f|)) for
+  /// any/all/threshold. `matches()` is exactly
+  /// `intersection_size(d, f) >= required_overlap(|f|, options)`; matchers
+  /// with an exact counter (full indexing) compare against this directly and
+  /// skip the intersection scan entirely.
+  [[nodiscard]] static std::size_t required_overlap(
+      std::size_t filter_term_count, const MatchOptions& options);
+
   /// |d ∩ f| for sorted inputs. Adaptive: linear merge for comparable
-  /// sizes, galloping (exponential + binary search of the smaller side into
-  /// the larger) when the sizes are skewed by >= 16x — the common shape when
-  /// a ~3-term filter is verified against a ~6000-term TREC-AP document.
+  /// sizes, galloping (exponential probe + SIMD-assisted binary search of
+  /// the smaller side into the larger — see simd::lower_bound_u32) when the
+  /// sizes are skewed by >= 16x — the common shape when a ~3-term filter is
+  /// verified against a ~6000-term TREC-AP document.
   [[nodiscard]] static std::size_t intersection_size(
       std::span<const TermId> doc_terms, std::span<const TermId> filter_terms);
 

@@ -39,15 +39,35 @@ void InvertedIndex::remove(FilterId filter,
 
 std::span<const FilterId> InvertedIndex::postings(TermId term) const {
   if (frozen_) {
-    const auto it = slot_of_.find(term);
-    if (it == slot_of_.end()) return {};
-    const auto begin = offsets_[it->second];
-    const auto end = offsets_[it->second + 1];
+    std::uint32_t slot;
+    if (!slot_table_.empty()) {
+      // Dense fast path: one predictable array load instead of a hash probe.
+      if (term.value >= slot_table_.size()) return {};
+      slot = slot_table_[term.value];
+      if (slot == kNoSlot) return {};
+    } else {
+      const auto it = slot_of_.find(term);
+      if (it == slot_of_.end()) return {};
+      slot = it->second;
+    }
+    const auto begin = offsets_[slot];
+    const auto end = offsets_[slot + 1];
     return {flat_postings_.data() + begin, end - begin};
   }
   const auto it = lists_.find(term);
   if (it == lists_.end()) return {};
   return it->second;
+}
+
+bool InvertedIndex::contains_term(TermId term) const {
+  if (frozen_) {
+    if (!slot_table_.empty()) {
+      return term.value < slot_table_.size() &&
+             slot_table_[term.value] != kNoSlot;
+    }
+    return slot_of_.contains(term);
+  }
+  return lists_.contains(term);
 }
 
 void InvertedIndex::finalize() {
@@ -73,6 +93,28 @@ void InvertedIndex::finalize() {
   }
   lists_.clear();
   frozen_ = true;
+
+  // Dense slot table: worth 4 bytes per id up to the max indexed term when
+  // the id space is reasonably filled (an IL home node indexing a thin slice
+  // of a huge vocabulary keeps the hash map instead). The bound is a
+  // deterministic function of the index contents, so identical registrations
+  // always pick the same lookup path.
+  slot_table_.clear();
+  if (!arena_terms_.empty()) {
+    const std::size_t span =
+        static_cast<std::size_t>(arena_terms_.back().value) + 1;
+    if (span <= 8 * arena_terms_.size() + 1024) {
+      slot_table_.assign(span, kNoSlot);
+      for (std::uint32_t slot = 0; slot < arena_terms_.size(); ++slot) {
+        slot_table_[arena_terms_[slot].value] = slot;
+      }
+    }
+  }
+
+  // Term summary: lets matchers reject zero-overlap documents (and skip
+  // absent terms) without probing the index at all.
+  summary_.emplace(arena_terms_.size());
+  for (const TermId term : arena_terms_) summary_->insert(term);
 }
 
 void InvertedIndex::thaw() {
@@ -88,6 +130,10 @@ void InvertedIndex::thaw() {
   arena_terms_.clear();
   offsets_.clear();
   flat_postings_.clear();
+  // The summary and slot table describe the arena being dropped; a mutated
+  // index must not screen against a stale term set.
+  slot_table_.clear();
+  summary_.reset();
   frozen_ = false;
 }
 

@@ -1,10 +1,12 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "bloom/blocked_bloom.hpp"
 #include "common/types.hpp"
 #include "index/filter_store.hpp"
 
@@ -25,9 +27,20 @@
 ///  * **frozen** (after finalize()): every posting list packed into one flat
 ///    `offsets_ + flat_postings_` arena mirroring FilterStore's layout, so a
 ///    match scans contiguous memory instead of pointer-chasing per-term heap
-///    blocks. Mutations transparently thaw back to mutable mode (rebuilding
-///    the per-term vectors), so freezing is purely an optimization — callers
-///    that interleave registration and matching stay correct.
+///    blocks. Freezing additionally builds the two matching fast-path
+///    structures:
+///      - a **term summary** — a blocked Bloom filter over every indexed
+///        term, which lets SiftMatcher reject documents with zero local
+///        overlap (and skip absent terms) without probing the index;
+///      - a **dense slot table** — a flat term -> slot array replacing the
+///        hash probe on postings() whenever term ids are dense enough to
+///        afford it.
+///    Mutations transparently thaw back to mutable mode (rebuilding the
+///    per-term vectors and *invalidating* summary and slot table — they
+///    describe only the frozen arena); a later finalize() rebuilds both.
+///    Freezing is purely an optimization — callers that interleave
+///    registration and matching stay correct, they just lose the fast path
+///    until they re-finalize.
 ///
 /// Invariant (both modes): every posting list is sorted ascending by
 /// FilterId. Registration appends ids in ascending order, so the common case
@@ -43,11 +56,23 @@ struct MatchAccounting {
   std::uint64_t lists_retrieved = 0;   ///< posting lists fetched (seeks)
   std::uint64_t postings_scanned = 0;  ///< posting entries read
   std::uint64_t candidates_verified = 0;  ///< filters checked against doc
+  /// Documents short-circuited by the term summary: no document term passed
+  /// the Bloom screen, so the match returned empty without touching a single
+  /// posting list. Exact — the summary has no false negatives.
+  std::uint64_t bloom_rejects = 0;
+  /// Index probes (posting-list retrievals) avoided by the term summary:
+  /// each counted term was screened out before its postings() lookup. Every
+  /// skipped probe is for a term with no local postings, so
+  /// lists_retrieved/postings_scanned are identical with the gate on or off
+  /// — the gate only removes wasted probes, never real IO.
+  std::uint64_t postings_skipped = 0;
 
   MatchAccounting& operator+=(const MatchAccounting& other) noexcept {
     lists_retrieved += other.lists_retrieved;
     postings_scanned += other.postings_scanned;
     candidates_verified += other.candidates_verified;
+    bloom_rejects += other.bloom_rejects;
+    postings_skipped += other.postings_skipped;
     return *this;
   }
 };
@@ -70,14 +95,14 @@ class InvertedIndex {
   [[nodiscard]] std::span<const FilterId> postings(TermId term) const;
 
   /// Packs all posting lists into the flat arena (terms ordered by TermId,
-  /// lists kept sorted as built). Idempotent; O(total postings).
+  /// lists kept sorted as built) and builds the frozen fast-path structures:
+  /// the blocked-Bloom term summary and, when term ids are dense, the flat
+  /// term->slot table. Idempotent; O(total postings).
   void finalize();
 
   [[nodiscard]] bool frozen() const noexcept { return frozen_; }
 
-  [[nodiscard]] bool contains_term(TermId term) const {
-    return frozen_ ? slot_of_.contains(term) : lists_.contains(term);
-  }
+  [[nodiscard]] bool contains_term(TermId term) const;
   [[nodiscard]] std::size_t distinct_terms() const noexcept {
     return frozen_ ? arena_terms_.size() : lists_.size();
   }
@@ -85,13 +110,30 @@ class InvertedIndex {
     return total_postings_;
   }
 
-  /// All indexed terms (ascending when frozen, unordered otherwise). Used to
-  /// build Bloom summaries.
+  /// All indexed terms (ascending when frozen, unordered otherwise).
   [[nodiscard]] std::vector<TermId> indexed_terms() const;
 
+  /// Blocked-Bloom summary of every indexed term, or nullptr while the
+  /// index is mutable. Part of the frozen/thaw contract: finalize() builds
+  /// it, any mutation (auto-thaw) invalidates it, re-finalize rebuilds it —
+  /// so a non-null summary is always in sync with the arena it summarizes.
+  [[nodiscard]] const bloom::BlockedBloomFilter* term_summary()
+      const noexcept {
+    return frozen_ && summary_ ? &*summary_ : nullptr;
+  }
+
+  /// True when postings() resolves terms through the dense slot table
+  /// instead of the hash map (frozen + dense term ids). Observability only.
+  [[nodiscard]] bool dense_lookup() const noexcept {
+    return !slot_table_.empty();
+  }
+
  private:
-  /// Rebuilds the per-term vectors from the arena and drops the arena.
+  /// Rebuilds the per-term vectors from the arena and drops the arena along
+  /// with the summary and slot table (which describe only the arena).
   void thaw();
+
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
 
   // Mutable mode: one vector per term. Empty (and unused) while frozen.
   std::unordered_map<TermId, std::vector<FilterId>> lists_;
@@ -99,11 +141,15 @@ class InvertedIndex {
 
   // Frozen mode: all lists packed into one arena. slot_of_ maps a term to
   // its slot s; its postings live at flat_postings_[offsets_[s]..offsets_[s+1]).
+  // When term ids are dense, slot_table_[term] holds the slot directly
+  // (kNoSlot if absent) and slot_of_ is bypassed on the lookup path.
   bool frozen_ = false;
   std::unordered_map<TermId, std::uint32_t> slot_of_;
   std::vector<TermId> arena_terms_;        // slot -> term, ascending
   std::vector<std::uint64_t> offsets_;     // arena_terms_.size() + 1
   std::vector<FilterId> flat_postings_;
+  std::vector<std::uint32_t> slot_table_;  // term -> slot, kNoSlot gaps
+  std::optional<bloom::BlockedBloomFilter> summary_;
 };
 
 }  // namespace move::index

@@ -1,10 +1,12 @@
 #pragma once
 
 #include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <span>
 #include <vector>
 
+#include "common/simd.hpp"
 #include "common/types.hpp"
 
 /// Reusable per-thread scratch state for the SIFT counter kernel.
@@ -25,11 +27,24 @@
 /// each filter the first time it is bumped, so candidate enumeration costs
 /// O(candidates), never O(filters).
 ///
+/// The counter pass over a whole posting list goes through `bump_list`, the
+/// vectorized kernel: on the SIMD dispatch (see common/simd.hpp) the epoch
+/// stamps of eight postings are gathered and compared per iteration — the
+/// epoch loads of a block miss the cache *in parallel* instead of serially —
+/// with explicit prefetch of the next block; posting values are prefetched
+/// ahead too. The scalar dispatch (`MOVE_FORCE_SCALAR=1`, or a build without
+/// AVX2/NEON) is a plain per-entry loop. Both produce identical counters AND
+/// identical first-touch order, so results, accounting, and candidate
+/// enumeration never depend on the dispatch choice.
+///
 /// One MatchScratch per thread: instances are not thread-safe, but distinct
 /// instances are fully independent, which is what ParallelMatcher's batch
 /// path exploits (one scratch per pool worker). The same instance may be
 /// reused across FilterStores of different sizes (the arrays grow
-/// monotonically; the epoch bump invalidates stale stamps).
+/// monotonically; the epoch bump invalidates stale stamps). Debug builds
+/// assert the epoch-collision invariant — no stamp is ever *ahead* of the
+/// current epoch — which is exactly what a reused worker scratch would
+/// violate if two back-to-back matches shared an epoch.
 namespace move::index {
 
 class MatchScratch {
@@ -52,6 +67,10 @@ class MatchScratch {
   /// Increments `local`'s counter, recording it as a candidate on first
   /// touch. Returns the updated count.
   std::uint32_t bump(std::uint32_t local) {
+    assert(epoch_ != 0 && "begin() must run before bump()");
+    assert(local < counts_.size() && "filter id beyond begin() size");
+    assert(epochs_[local] <= epoch_ &&
+           "epoch collision: scratch reused without begin()");
     if (epochs_[local] != epoch_) {
       epochs_[local] = epoch_;
       counts_[local] = 1;
@@ -61,8 +80,23 @@ class MatchScratch {
     return ++counts_[local];
   }
 
+  /// Counter pass over one whole posting list — equivalent to bump() per
+  /// entry (same counts, same first-touch order), vectorized on the SIMD
+  /// dispatch. This is the hot loop of threshold/conjunctive matching.
+  void bump_list(std::span<const FilterId> list) {
+#if defined(MOVE_SIMD_AVX2)
+    if (!simd::dispatch_scalar() && list.size() >= 16) {
+      bump_list_avx2(list);
+      return;
+    }
+#endif
+    for (const FilterId f : list) bump(f.value);
+  }
+
   /// Counter value for `local` in the current epoch (0 if untouched).
   [[nodiscard]] std::uint32_t count(std::uint32_t local) const {
+    assert(epochs_[local] <= epoch_ &&
+           "epoch collision: scratch reused without begin()");
     return epochs_[local] == epoch_ ? counts_[local] : 0;
   }
 
@@ -70,6 +104,13 @@ class MatchScratch {
   [[nodiscard]] std::span<const FilterId> candidates() const noexcept {
     return touched_;
   }
+
+  /// Current epoch stamp (diagnostic; used by the epoch-collision tests).
+  [[nodiscard]] std::uint32_t epoch() const noexcept { return epoch_; }
+
+  /// Test hook: plants an arbitrary epoch so the u32 wrap-around path is
+  /// reachable without 2^32 begin() calls. Not for production code.
+  void set_epoch_for_test(std::uint32_t epoch) noexcept { epoch_ = epoch; }
 
   /// Cursor buffer for the k-way posting-list merge (kAnyTerm union).
   /// Exposed so the matcher reuses one heap allocation across documents.
@@ -79,11 +120,68 @@ class MatchScratch {
   };
   [[nodiscard]] std::vector<Cursor>& cursors() noexcept { return cursors_; }
 
+  /// Reusable term buffer for the matcher's Bloom screen (the summary-
+  /// positive slice of the document's terms). Same single-allocation idea
+  /// as cursors().
+  [[nodiscard]] std::vector<TermId>& screened_terms() noexcept {
+    return screened_;
+  }
+
  private:
+#if defined(MOVE_SIMD_AVX2)
+  void bump_list_avx2(std::span<const FilterId> list) {
+    static_assert(sizeof(FilterId) == sizeof(std::uint32_t));
+    const auto* ids = &list.data()->value;  // member objects, contiguous
+    const std::size_t n = list.size();
+    const __m256i cur_epoch = _mm256_set1_epi32(static_cast<int>(epoch_));
+    const auto* epoch_base = reinterpret_cast<const int*>(epochs_.data());
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+      if (i + 16 <= n) {
+        simd::prefetch(ids + i + 8);
+        // Issue the next block's epoch lines early; the gather below then
+        // hits warmer lines.
+        simd::prefetch(&epochs_[ids[i + 8]]);
+        simd::prefetch(&epochs_[ids[i + 15]]);
+      }
+      const __m256i v =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ids + i));
+      // A lane duplicating an earlier lane of the SAME block would gather a
+      // stale stamp (read-before-write). Lists are sorted, so duplicates are
+      // adjacent — a cheap scalar sweep detects them exactly.
+      bool dup = false;
+      for (std::size_t k = 1; k < 8; ++k) {
+        dup |= ids[i + k] == ids[i + k - 1];
+      }
+      if (dup) {
+        for (std::size_t k = 0; k < 8; ++k) bump(ids[i + k]);
+        continue;
+      }
+      const __m256i stamps = _mm256_i32gather_epi32(epoch_base, v, 4);
+      const unsigned live = static_cast<unsigned>(_mm256_movemask_ps(
+          _mm256_castsi256_ps(_mm256_cmpeq_epi32(stamps, cur_epoch))));
+      for (std::size_t k = 0; k < 8; ++k) {
+        const std::uint32_t f = ids[i + k];
+        assert(epochs_[f] <= epoch_ &&
+               "epoch collision: scratch reused without begin()");
+        if (live & (1u << k)) {
+          ++counts_[f];
+        } else {
+          epochs_[f] = epoch_;
+          counts_[f] = 1;
+          touched_.push_back(FilterId{f});
+        }
+      }
+    }
+    for (; i < n; ++i) bump(ids[i]);
+  }
+#endif
+
   std::vector<std::uint32_t> counts_;
   std::vector<std::uint32_t> epochs_;
   std::vector<FilterId> touched_;
   std::vector<Cursor> cursors_;
+  std::vector<TermId> screened_;
   std::uint32_t epoch_ = 0;
 };
 

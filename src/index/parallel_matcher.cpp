@@ -19,6 +19,8 @@ void accumulate(ShardStats& into, const ShardStats& delta) noexcept {
   into.postings_scanned += delta.postings_scanned;
   into.candidates_verified += delta.candidates_verified;
   into.matches_emitted += delta.matches_emitted;
+  into.bloom_rejects += delta.bloom_rejects;
+  into.postings_skipped += delta.postings_skipped;
 }
 
 }  // namespace
@@ -81,6 +83,8 @@ void ParallelMatcher::match_shard(const Shard& shard,
   stats.lists_retrieved += acc.lists_retrieved;
   stats.postings_scanned += acc.postings_scanned;
   stats.candidates_verified += acc.candidates_verified;
+  stats.bloom_rejects += acc.bloom_rejects;
+  stats.postings_skipped += acc.postings_skipped;
   // match_lists returns ascending, deduplicated local ids; global_ids is
   // monotonic, so the translated result stays ascending and deduplicated.
   for (FilterId& id : out) id = shard.global_ids[id.value];
@@ -220,6 +224,16 @@ void ParallelMatcher::export_metrics(obs::Registry& registry,
       .set(static_cast<double>(totals.candidates_verified));
   registry.gauge(base + ".matches_emitted")
       .set(static_cast<double>(totals.matches_emitted));
+  // Bloom-gate counters: exported only when the gate actually fired, so
+  // runs without a summary (or with the gate off) keep their metric layout.
+  if (totals.bloom_rejects > 0) {
+    registry.gauge(base + ".bloom_rejects")
+        .set(static_cast<double>(totals.bloom_rejects));
+  }
+  if (totals.postings_skipped > 0) {
+    registry.gauge(base + ".postings_skipped")
+        .set(static_cast<double>(totals.postings_skipped));
+  }
 }
 
 }  // namespace move::index

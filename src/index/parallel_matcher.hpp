@@ -51,6 +51,8 @@ struct ShardStats {
   std::uint64_t postings_scanned = 0;
   std::uint64_t candidates_verified = 0;
   std::uint64_t matches_emitted = 0;  ///< pre-dedup matches from this shard
+  std::uint64_t bloom_rejects = 0;    ///< doc slices short-circuited by summary
+  std::uint64_t postings_skipped = 0;  ///< index probes avoided by summary
 };
 
 class ParallelMatcher {

@@ -77,13 +77,34 @@ std::vector<ScoredMatch> scored_match(const FilterStore& store,
                                       MatchScratch& scratch,
                                       MatchAccounting* accounting) {
   MatchAccounting acc;
+  // Bloom screen, as in SiftMatcher's scratch kernels: summary-negative
+  // terms provably have no postings, so skipping their probes changes no
+  // accounting; a document losing every term short-circuits.
+  auto& screened_buf = scratch.screened_terms();
+  std::span<const TermId> screened = doc_terms;
+  if (const auto* summary = index.term_summary(); summary != nullptr) {
+    screened_buf.clear();
+    for (const TermId t : doc_terms) {
+      if (summary->may_contain(t)) {
+        screened_buf.push_back(t);
+      } else {
+        ++acc.postings_skipped;
+      }
+    }
+    screened = screened_buf;
+    if (screened.empty() && !doc_terms.empty()) {
+      ++acc.bloom_rejects;
+      if (accounting) *accounting = acc;
+      return {};
+    }
+  }
   scratch.begin(store.size());
-  for (TermId term : doc_terms) {
+  for (TermId term : screened) {
     const auto list = index.postings(term);
     if (list.empty()) continue;
     ++acc.lists_retrieved;
     acc.postings_scanned += list.size();
-    for (FilterId f : list) scratch.bump(f.value);
+    scratch.bump_list(list);
   }
   auto out =
       score_candidates(store, doc_terms, options, scratch.candidates(), acc);

@@ -58,11 +58,35 @@ void union_lists(std::vector<Cursor>& cursors, MatchScratch& scratch,
   }
   scratch.begin(filter_count);
   for (const Cursor& c : cursors) {
-    for (const FilterId* p = c.cur; p != c.end; ++p) {
-      if (scratch.bump(p->value) == 1) out.push_back(*p);
+    scratch.bump_list({c.cur, static_cast<std::size_t>(c.end - c.cur)});
+  }
+  const auto candidates = scratch.candidates();
+  out.insert(out.end(), candidates.begin(), candidates.end());
+  std::sort(out.begin(), out.end());
+}
+
+/// Bloom screen over `terms`: returns the summary-positive slice (built in
+/// `buf`), counting each negative as a skipped index probe. Passes `terms`
+/// straight through when the gate is off or the index is mutable (no
+/// summary). Negatives provably have no postings, so downstream accounting
+/// is unchanged.
+std::span<const TermId> screen_terms(const InvertedIndex& index,
+                                     std::span<const TermId> terms,
+                                     const MatchOptions& options,
+                                     std::vector<TermId>& buf,
+                                     MatchAccounting& acc) {
+  const auto* summary =
+      options.use_term_summary ? index.term_summary() : nullptr;
+  if (summary == nullptr) return terms;
+  buf.clear();
+  for (const TermId t : terms) {
+    if (summary->may_contain(t)) {
+      buf.push_back(t);
+    } else {
+      ++acc.postings_skipped;
     }
   }
-  std::sort(out.begin(), out.end());
+  return buf;
 }
 
 }  // namespace
@@ -113,6 +137,15 @@ MatchAccounting SiftMatcher::match(std::span<const TermId> doc_terms,
   out.clear();
   MatchAccounting acc;
 
+  // Bloom screen: drop terms the frozen index provably does not hold. A
+  // document losing every term cannot match anything — short-circuit.
+  const auto screened = screen_terms(*index_, doc_terms, options,
+                                     scratch.screened_terms(), acc);
+  if (screened.empty()) {
+    if (!doc_terms.empty()) ++acc.bloom_rejects;
+    return acc;
+  }
+
   if (options.semantics == MatchSemantics::kAnyTerm) {
     // Every filter on a retrieved list shares that list's term with the
     // document, so the union of the lists IS the match set. Lists are sorted
@@ -120,7 +153,7 @@ MatchAccounting SiftMatcher::match(std::span<const TermId> doc_terms,
     // union_lists picks k-way merge or counter-stamping by list count.
     auto& cursors = scratch.cursors();
     cursors.clear();
-    for (TermId term : doc_terms) {
+    for (TermId term : screened) {
       const auto list = index_->postings(term);
       if (list.empty()) continue;
       ++acc.lists_retrieved;
@@ -132,18 +165,24 @@ MatchAccounting SiftMatcher::match(std::span<const TermId> doc_terms,
   }
 
   // Threshold / conjunctive: epoch-stamped counter pass, then verify each
-  // distinct candidate once against its stored term set.
+  // distinct candidate once. With the full-index guarantee the counter IS
+  // |d ∩ f| and verification is an O(1) compare; otherwise verify against
+  // the stored term set.
   scratch.begin(store_->size());
-  for (TermId term : doc_terms) {
+  for (TermId term : screened) {
     const auto list = index_->postings(term);
     if (list.empty()) continue;
     ++acc.lists_retrieved;
     acc.postings_scanned += list.size();
-    for (FilterId f : list) scratch.bump(f.value);
+    scratch.bump_list(list);
   }
   for (FilterId filter : scratch.candidates()) {
     ++acc.candidates_verified;
-    if (store_->matches(filter, doc_terms, options)) out.push_back(filter);
+    if (full_index_ ? count_satisfies(filter, scratch.count(filter.value),
+                                      options)
+                    : store_->matches(filter, doc_terms, options)) {
+      out.push_back(filter);
+    }
   }
   std::sort(out.begin(), out.end());
   return acc;
@@ -154,6 +193,15 @@ MatchAccounting SiftMatcher::match_single_list(
     const MatchOptions& options, std::vector<FilterId>& out) const {
   out.clear();
   MatchAccounting acc;
+  if (options.use_term_summary) {
+    if (const auto* summary = index_->term_summary();
+        summary != nullptr && !summary->may_contain(home_term)) {
+      // The home term is provably unindexed: skip the probe entirely.
+      ++acc.postings_skipped;
+      ++acc.bloom_rejects;
+      return acc;
+    }
+  }
   const auto list = index_->postings(home_term);
   if (list.empty()) return acc;
   acc.lists_retrieved = 1;
@@ -187,10 +235,17 @@ MatchAccounting SiftMatcher::match_lists(std::span<const TermId> home_terms,
   out.clear();
   MatchAccounting acc;
 
+  const auto screened = screen_terms(*index_, home_terms, options,
+                                     scratch.screened_terms(), acc);
+  if (screened.empty()) {
+    if (!home_terms.empty()) ++acc.bloom_rejects;
+    return acc;
+  }
+
   if (options.semantics == MatchSemantics::kAnyTerm) {
     auto& cursors = scratch.cursors();
     cursors.clear();
-    for (TermId term : home_terms) {
+    for (TermId term : screened) {
       const auto list = index_->postings(term);
       if (list.empty()) continue;
       ++acc.lists_retrieved;
@@ -202,19 +257,19 @@ MatchAccounting SiftMatcher::match_lists(std::span<const TermId> home_terms,
   }
 
   // A candidate appearing on several home lists is verified exactly once:
-  // the epoch stamp deduplicates across lists.
+  // the epoch stamp deduplicates across lists (the candidates() enumeration
+  // holds each filter once, in first-touch order).
   scratch.begin(store_->size());
-  for (TermId term : home_terms) {
+  for (TermId term : screened) {
     const auto list = index_->postings(term);
     if (list.empty()) continue;
     ++acc.lists_retrieved;
     acc.postings_scanned += list.size();
-    for (FilterId f : list) {
-      if (scratch.bump(f.value) == 1) {
-        ++acc.candidates_verified;
-        if (store_->matches(f, doc_terms, options)) out.push_back(f);
-      }
-    }
+    scratch.bump_list(list);
+  }
+  for (FilterId filter : scratch.candidates()) {
+    ++acc.candidates_verified;
+    if (store_->matches(filter, doc_terms, options)) out.push_back(filter);
   }
   std::sort(out.begin(), out.end());
   return acc;

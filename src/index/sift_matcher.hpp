@@ -25,14 +25,31 @@
 ///    clear, and kAnyTerm unions as k-way merges of the (sorted-by-
 ///    construction) posting lists instead of concat + sort + unique.
 /// Both return identical results and identical MatchAccounting.
+///
+/// **Term-summary gate** (scratch kernels, on by default via
+/// MatchOptions::use_term_summary): when the index is frozen, document terms
+/// are screened against its blocked-Bloom summary first; negatives skip the
+/// postings() probe (`postings_skipped`), and a document whose every term is
+/// screened out short-circuits to an empty result (`bloom_rejects`). The
+/// summary has no false negatives and absent terms have no postings, so the
+/// gate never changes results and never changes lists_retrieved /
+/// postings_scanned / candidates_verified.
 namespace move::index {
 
 class SiftMatcher {
  public:
   /// @param store   full filter term sets (for candidate verification)
   /// @param index   local inverted list (full or single-term mode)
-  SiftMatcher(const FilterStore& store, const InvertedIndex& index)
-      : store_(&store), index_(&index) {}
+  /// @param full_index  caller guarantee that `index` is a FULL index over
+  ///     `store` (every term of every filter posted, no duplicate postings).
+  ///     Under that guarantee the scratch kernel's counter already equals
+  ///     |d ∩ f|, so kAllTerms/kThreshold verification becomes an O(1)
+  ///     compare against FilterStore::required_overlap instead of an
+  ///     intersection scan. Results and accounting are identical either way;
+  ///     leave false (the default) for single-term / IL indexes.
+  explicit SiftMatcher(const FilterStore& store, const InvertedIndex& index,
+                       bool full_index = false)
+      : store_(&store), index_(&index), full_index_(full_index) {}
 
   /// Full SIFT match: retrieves the posting list of every document term that
   /// is locally indexed. With kAnyTerm semantics the counter pass alone
@@ -79,8 +96,18 @@ class SiftMatcher {
                               MatchScratch& scratch) const;
 
  private:
+  /// True when `filter`'s counter (== |d ∩ f| under the full_index
+  /// guarantee) satisfies `options`. The O(1) replacement for
+  /// store_->matches on the scratch kernel's verification pass.
+  [[nodiscard]] bool count_satisfies(FilterId filter, std::uint32_t count,
+                                     const MatchOptions& options) const {
+    return count >=
+           FilterStore::required_overlap(store_->term_count(filter), options);
+  }
+
   const FilterStore* store_;
   const InvertedIndex* index_;
+  bool full_index_ = false;
 };
 
 }  // namespace move::index

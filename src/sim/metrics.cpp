@@ -66,6 +66,17 @@ void RunMetrics::export_metrics(obs::Registry& registry) const {
       .set(static_cast<double>(match_acc.postings_scanned));
   registry.gauge("run.match.candidates_verified")
       .set(static_cast<double>(match_acc.candidates_verified));
+  // Bloom-gate counters appear only when the term-summary gate actually
+  // fired, so runs on mutable (never-finalized) indexes keep their previous
+  // metric layout byte-identical.
+  if (match_acc.bloom_rejects > 0) {
+    registry.gauge("run.match.bloom_rejects")
+        .set(static_cast<double>(match_acc.bloom_rejects));
+  }
+  if (match_acc.postings_skipped > 0) {
+    registry.gauge("run.match.postings_skipped")
+        .set(static_cast<double>(match_acc.postings_skipped));
+  }
   registry.gauge("run.postings_per_sec").set(postings_per_sec());
   registry.gauge("run.fault.failed_routes")
       .set(static_cast<double>(fault_acc.failed_routes));

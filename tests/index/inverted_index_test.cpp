@@ -164,6 +164,76 @@ TEST(InvertedIndex, RemoveAfterFinalizeThawsAndPrunes) {
   EXPECT_EQ(idx.total_postings(), 1u);
 }
 
+// --- Frozen fast-path structures: term summary + dense slot table ---------
+
+TEST(InvertedIndex, FinalizeBuildsTermSummary) {
+  InvertedIndex idx;
+  idx.add(FilterId{0}, ids({1, 2}));
+  idx.add(FilterId{1}, ids({2, 9}));
+  EXPECT_EQ(idx.term_summary(), nullptr);  // mutable: no summary
+  idx.finalize();
+  const auto* summary = idx.term_summary();
+  ASSERT_NE(summary, nullptr);
+  // No false negatives, ever.
+  EXPECT_TRUE(summary->may_contain(TermId{1}));
+  EXPECT_TRUE(summary->may_contain(TermId{2}));
+  EXPECT_TRUE(summary->may_contain(TermId{9}));
+  EXPECT_EQ(summary->insertion_count(), idx.distinct_terms());
+}
+
+// The frozen/thaw contract the class docs promise: any mutation of a frozen
+// index invalidates the summary (it describes the dropped arena), and a
+// re-finalize rebuilds it over the *current* term set. This is the
+// regression test for screening against a stale summary.
+TEST(InvertedIndex, MutateAfterFinalizeInvalidatesSummary) {
+  InvertedIndex idx;
+  idx.add(FilterId{0}, ids({1, 2}));
+  idx.finalize();
+  ASSERT_NE(idx.term_summary(), nullptr);
+
+  idx.add(FilterId{1}, ids({6}));  // auto-thaw
+  EXPECT_FALSE(idx.frozen());
+  EXPECT_EQ(idx.term_summary(), nullptr) << "stale summary survived a thaw";
+
+  idx.finalize();
+  const auto* rebuilt = idx.term_summary();
+  ASSERT_NE(rebuilt, nullptr);
+  EXPECT_TRUE(rebuilt->may_contain(TermId{6})) << "rebuild missed a new term";
+  EXPECT_EQ(rebuilt->insertion_count(), 3u);
+
+  // remove() must invalidate just the same.
+  idx.remove(FilterId{1}, ids({6}));
+  EXPECT_EQ(idx.term_summary(), nullptr);
+  idx.finalize();
+  ASSERT_NE(idx.term_summary(), nullptr);
+  EXPECT_EQ(idx.term_summary()->insertion_count(), 2u);
+}
+
+TEST(InvertedIndex, DenseAndSparseSlotLookupAgree) {
+  // Dense ids -> slot table; one astronomically sparse id -> hash fallback.
+  // Both must answer postings()/contains_term() identically.
+  InvertedIndex dense;
+  for (std::uint32_t t = 0; t < 64; ++t) {
+    dense.add(FilterId{t % 5}, ids({t}));
+  }
+  dense.finalize();
+  EXPECT_TRUE(dense.dense_lookup());
+  EXPECT_EQ(dense.postings(TermId{63}).size(), 1u);
+  EXPECT_TRUE(dense.postings(TermId{64}).empty());
+  EXPECT_TRUE(dense.postings(TermId{1u << 30}).empty());  // beyond the table
+
+  InvertedIndex sparse;
+  sparse.add(FilterId{0}, ids({3}));
+  sparse.add(FilterId{1}, ids({0x7fffffff}));  // span >> 8 * terms + 1024
+  sparse.finalize();
+  EXPECT_FALSE(sparse.dense_lookup());
+  EXPECT_EQ(sparse.postings(TermId{3}).size(), 1u);
+  EXPECT_EQ(sparse.postings(TermId{0x7fffffff}).size(), 1u);
+  EXPECT_TRUE(sparse.postings(TermId{4}).empty());
+  EXPECT_TRUE(sparse.contains_term(TermId{0x7fffffff}));
+  EXPECT_FALSE(sparse.contains_term(TermId{4}));
+}
+
 TEST(MatchAccounting, Accumulates) {
   MatchAccounting a{1, 10, 2};
   const MatchAccounting b{2, 5, 1};
@@ -171,6 +241,13 @@ TEST(MatchAccounting, Accumulates) {
   EXPECT_EQ(a.lists_retrieved, 3u);
   EXPECT_EQ(a.postings_scanned, 15u);
   EXPECT_EQ(a.candidates_verified, 3u);
+  EXPECT_EQ(a.bloom_rejects, 0u);
+  EXPECT_EQ(a.postings_skipped, 0u);
+
+  MatchAccounting c{1, 1, 1, 4, 9};
+  c += MatchAccounting{0, 0, 0, 1, 2};
+  EXPECT_EQ(c.bloom_rejects, 5u);
+  EXPECT_EQ(c.postings_skipped, 11u);
 }
 
 }  // namespace

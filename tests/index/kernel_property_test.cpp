@@ -1,0 +1,323 @@
+// Kernel equivalence property suite (`ctest -L kernels`).
+//
+// Every matching-kernel variant must produce the identical match set and
+// identical classic accounting, with brute force as ground truth, across:
+//   * dispatch: SIMD vs forced-scalar twins (MOVE_FORCE_SCALAR / the
+//     set_force_scalar knob),
+//   * the blocked-Bloom term-summary gate: on vs off,
+//   * verification: intersection-scan vs the full-index O(1) count compare,
+//   * semantics: kAnyTerm / kAllTerms / kThreshold at several thresholds,
+//   * workload seeds.
+// The asan and tsan presets run this binary too, and the CMake harness runs
+// it a second time with MOVE_FORCE_SCALAR=1 in the environment
+// (kernels_forced_scalar) so the env-var path itself is exercised.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "common/simd.hpp"
+#include "index/brute_force.hpp"
+#include "index/match_scratch.hpp"
+#include "index/scored_match.hpp"
+#include "index/sift_matcher.hpp"
+#include "workload/corpus.hpp"
+#include "workload/query_trace.hpp"
+
+namespace move::index {
+namespace {
+
+constexpr std::size_t kVocab = 600;
+
+struct ScopedForceScalar {
+  explicit ScopedForceScalar(bool on) : prev(simd::force_scalar()) {
+    simd::set_force_scalar(on);
+  }
+  ~ScopedForceScalar() { simd::set_force_scalar(prev); }
+  bool prev;
+};
+
+struct Workload {
+  workload::TermSetTable filters, docs;
+  FilterStore store;
+  InvertedIndex index;  // full index, frozen
+
+  explicit Workload(std::uint64_t seed, std::size_t num_filters = 1'200,
+                    std::size_t num_docs = 20) {
+    workload::QueryTraceConfig qcfg;
+    qcfg.num_filters = num_filters;
+    qcfg.vocabulary_size = kVocab;
+    qcfg.head_count = 25;
+    qcfg.seed = 0x6e51 + seed;
+    filters = workload::QueryTraceGenerator(qcfg).generate();
+    auto ccfg = workload::CorpusConfig::trec_wt_like(0.001, kVocab);
+    ccfg.seed = 0x0ced + seed;
+    docs = workload::CorpusGenerator(ccfg).generate(num_docs);
+    for (std::size_t i = 0; i < filters.size(); ++i) {
+      const auto id = store.add(filters.row(i));
+      index.add(id, store.terms(id));
+    }
+    index.finalize();
+  }
+};
+
+const MatchOptions kSemantics[] = {
+    {MatchSemantics::kAnyTerm, 0.0},
+    {MatchSemantics::kAllTerms, 0.0},
+    {MatchSemantics::kThreshold, 0.3},
+    {MatchSemantics::kThreshold, 0.6},
+    {MatchSemantics::kThreshold, 0.9},
+};
+
+// The core equivalence matrix: dispatch x gate x verification x semantics x
+// seeds, against brute force. Classic accounting must match the ungated
+// scalar reference exactly (bloom_rejects/postings_skipped may differ — they
+// only exist with the gate on).
+TEST(KernelProperty, AllVariantsMatchBruteForce) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const Workload w(seed);
+    const SiftMatcher scan_verify(w.store, w.index);
+    const SiftMatcher count_verify(w.store, w.index, /*full_index=*/true);
+    MatchScratch scratch;
+    std::vector<FilterId> out;
+    for (const MatchOptions& base : kSemantics) {
+      for (std::size_t d = 0; d < w.docs.size(); ++d) {
+        const auto doc = w.docs.row(d);
+        const auto expected = brute_force_match(w.store, doc, base);
+
+        // Reference accounting: scalar dispatch, gate off, scan verify.
+        MatchAccounting ref;
+        {
+          ScopedForceScalar scalar(true);
+          MatchOptions opt = base;
+          opt.use_term_summary = false;
+          ref = scan_verify.match(doc, opt, out, scratch);
+          ASSERT_EQ(out, expected) << "reference kernel diverged";
+        }
+
+        for (const bool force_scalar : {false, true}) {
+          ScopedForceScalar dispatch(force_scalar);
+          for (const bool gate : {false, true}) {
+            MatchOptions opt = base;
+            opt.use_term_summary = gate;
+            for (const SiftMatcher* m : {&scan_verify, &count_verify}) {
+              const auto acc = m->match(doc, opt, out, scratch);
+              ASSERT_EQ(out, expected)
+                  << "seed=" << seed << " doc=" << d
+                  << " sem=" << static_cast<int>(base.semantics)
+                  << " theta=" << base.threshold << " scalar=" << force_scalar
+                  << " gate=" << gate
+                  << " full_index=" << (m == &count_verify);
+              EXPECT_EQ(acc.lists_retrieved, ref.lists_retrieved);
+              EXPECT_EQ(acc.postings_scanned, ref.postings_scanned);
+              EXPECT_EQ(acc.candidates_verified, ref.candidates_verified);
+              if (!gate) {
+                EXPECT_EQ(acc.bloom_rejects, 0u);
+                EXPECT_EQ(acc.postings_skipped, 0u);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// match_lists (the sharded kernel) under the same dispatch x gate matrix:
+// the home-term union must equal concatenating per-term single-list results.
+TEST(KernelProperty, MatchListsInvariantUnderDispatchAndGate) {
+  const Workload w(4);
+  const SiftMatcher matcher(w.store, w.index);
+  MatchScratch scratch;
+  std::vector<FilterId> out, expected;
+  for (const MatchOptions& base : kSemantics) {
+    for (std::size_t d = 0; d < std::min<std::size_t>(w.docs.size(), 8); ++d) {
+      const auto doc = w.docs.row(d);
+      {
+        ScopedForceScalar scalar(true);
+        MatchOptions opt = base;
+        opt.use_term_summary = false;
+        (void)matcher.match_lists(doc, doc, opt, expected, scratch);
+      }
+      for (const bool force_scalar : {false, true}) {
+        ScopedForceScalar dispatch(force_scalar);
+        for (const bool gate : {false, true}) {
+          MatchOptions opt = base;
+          opt.use_term_summary = gate;
+          (void)matcher.match_lists(doc, doc, opt, out, scratch);
+          ASSERT_EQ(out, expected)
+              << "scalar=" << force_scalar << " gate=" << gate << " doc=" << d;
+        }
+      }
+    }
+  }
+}
+
+// scored_match: the hash-map kernel and the (gated, vectorized) scratch
+// kernel must return the same ranked list under every dispatch.
+TEST(KernelProperty, ScoredMatchKernelsAgree) {
+  const Workload w(5);
+  MatchScratch scratch;
+  const ScoredMatchOptions opts[] = {
+      {0.0, 0}, {0.2, 0}, {0.5, 10}, {0.0, 3}};
+  for (const auto& opt : opts) {
+    for (std::size_t d = 0; d < w.docs.size(); ++d) {
+      const auto doc = w.docs.row(d);
+      const auto expected = scored_match(w.store, w.index, doc, opt);
+      for (const bool force_scalar : {false, true}) {
+        ScopedForceScalar dispatch(force_scalar);
+        const auto got = scored_match(w.store, w.index, doc, opt, scratch);
+        ASSERT_EQ(got, expected)
+            << "min_score=" << opt.min_score << " top_k=" << opt.top_k
+            << " scalar=" << force_scalar << " doc=" << d;
+      }
+    }
+  }
+}
+
+// bump_list is the vectorized twin of a bump() loop: identical counts and
+// identical first-touch order, including sorted lists with adjacent
+// duplicates (the gather hazard the kernel must detect).
+TEST(KernelProperty, BumpListMatchesScalarBumps) {
+  std::vector<FilterId> list;
+  for (std::uint32_t i = 0; i < 300; ++i) {
+    const std::uint32_t v = (i * i) % 97;
+    list.push_back(FilterId{v});
+    if (i % 5 == 0) list.push_back(FilterId{v});  // duplicates
+  }
+  std::sort(list.begin(), list.end());
+
+  for (const bool force_scalar : {false, true}) {
+    ScopedForceScalar dispatch(force_scalar);
+    MatchScratch vectored, reference;
+    vectored.begin(97);
+    reference.begin(97);
+    vectored.bump_list(list);
+    for (const FilterId f : list) reference.bump(f.value);
+
+    const auto got = vectored.candidates();
+    const auto want = reference.candidates();
+    ASSERT_EQ(std::vector<FilterId>(got.begin(), got.end()),
+              std::vector<FilterId>(want.begin(), want.end()))
+        << "scalar=" << force_scalar;
+    for (std::uint32_t f = 0; f < 97; ++f) {
+      ASSERT_EQ(vectored.count(f), reference.count(f)) << "filter " << f;
+    }
+  }
+}
+
+// Epoch lifecycle: begin() advances the epoch (isolating back-to-back
+// matches on a reused scratch), and the u32 wrap falls back to a hard clear
+// instead of colliding with ancient stamps.
+TEST(KernelProperty, EpochAdvancesAndWrapsSafely) {
+  MatchScratch scratch;
+  scratch.begin(8);
+  const auto e1 = scratch.epoch();
+  scratch.bump(3);
+  scratch.bump(3);
+  EXPECT_EQ(scratch.count(3), 2u);
+
+  scratch.begin(8);
+  EXPECT_GT(scratch.epoch(), e1);
+  EXPECT_EQ(scratch.count(3), 0u) << "stale counter leaked across begin()";
+  EXPECT_TRUE(scratch.candidates().empty());
+
+  // Plant the wrap: the next begin() overflows the epoch, which must hard-
+  // clear every stamp rather than alias epoch 1 stamps from a former life.
+  scratch.bump(5);
+  scratch.set_epoch_for_test(0xffffffffu);
+  scratch.begin(8);
+  EXPECT_EQ(scratch.epoch(), 1u);
+  EXPECT_EQ(scratch.count(5), 0u) << "wrap aliased a stale stamp";
+  EXPECT_EQ(scratch.bump(5), 1u);
+  EXPECT_EQ(scratch.count(5), 1u);
+}
+
+// The gate's new accounting: a document whose terms are all provably absent
+// is rejected without a single probe, and each screened-out term is counted.
+// Terms are picked to be genuinely summary-negative (no false positive), so
+// the assertions are exact.
+TEST(KernelProperty, BloomRejectAccounting) {
+  FilterStore store;
+  InvertedIndex index;
+  std::vector<TermId> terms;
+  for (std::uint32_t t = 0; t < 100; ++t) {
+    terms.assign(1, TermId{t});
+    index.add(store.add(terms), terms);
+  }
+  index.finalize();
+  const auto* summary = index.term_summary();
+  ASSERT_NE(summary, nullptr);
+
+  std::vector<TermId> alien;
+  for (std::uint32_t t = 1'000'000; alien.size() < 5; ++t) {
+    if (!summary->may_contain(TermId{t})) alien.push_back(TermId{t});
+  }
+
+  const SiftMatcher matcher(store, index);
+  MatchScratch scratch;
+  std::vector<FilterId> out;
+  for (const MatchOptions& base : kSemantics) {
+    const auto acc = matcher.match(alien, base, out, scratch);
+    EXPECT_TRUE(out.empty());
+    EXPECT_EQ(acc.bloom_rejects, 1u);
+    EXPECT_EQ(acc.postings_skipped, alien.size());
+    EXPECT_EQ(acc.lists_retrieved, 0u);
+    EXPECT_EQ(acc.postings_scanned, 0u);
+    EXPECT_EQ(acc.candidates_verified, 0u);
+
+    // Gate off: same (empty) result, no gate accounting, still no probes
+    // hit (absent terms have no postings).
+    MatchOptions opt = base;
+    opt.use_term_summary = false;
+    const auto acc_off = matcher.match(alien, opt, out, scratch);
+    EXPECT_TRUE(out.empty());
+    EXPECT_EQ(acc_off.bloom_rejects, 0u);
+    EXPECT_EQ(acc_off.postings_skipped, 0u);
+  }
+
+  // A mixed document (one real term among aliens) must NOT be rejected.
+  std::vector<TermId> mixed = alien;
+  mixed.push_back(TermId{7});
+  std::sort(mixed.begin(), mixed.end());
+  const auto acc = matcher.match(mixed, kSemantics[0], out, scratch);
+  EXPECT_EQ(acc.bloom_rejects, 0u);
+  EXPECT_EQ(acc.postings_skipped, alien.size());
+  EXPECT_EQ(acc.lists_retrieved, 1u);
+  ASSERT_EQ(out.size(), 1u);
+
+  // match_single_list: an absent home term is one skipped probe + a reject.
+  const auto single = matcher.match_single_list(alien[0], mixed,
+                                                kSemantics[0], out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(single.bloom_rejects, 1u);
+  EXPECT_EQ(single.postings_skipped, 1u);
+  EXPECT_EQ(single.lists_retrieved, 0u);
+}
+
+// simd::find_first_ge / lower_bound_u32 against the std reference, both
+// dispatches, across window sizes spanning the vector width.
+TEST(KernelProperty, SimdLowerBoundMatchesStd) {
+  std::vector<std::uint32_t> data;
+  for (std::uint32_t i = 0; i < 1000; ++i) data.push_back(i * 3 + (i % 2));
+  for (const bool force_scalar : {false, true}) {
+    ScopedForceScalar dispatch(force_scalar);
+    for (std::size_t n : {0u, 1u, 3u, 7u, 8u, 9u, 31u, 32u, 33u, 1000u}) {
+      for (std::uint32_t key = 0; key < 3 * static_cast<std::uint32_t>(n) + 5;
+           key += 7) {
+        const auto want = static_cast<std::size_t>(
+            std::lower_bound(data.begin(), data.begin() + n, key) -
+            data.begin());
+        ASSERT_EQ(simd::find_first_ge(data.data(), n, key), want)
+            << "find_first_ge n=" << n << " key=" << key;
+        ASSERT_EQ(simd::lower_bound_u32(data.data(), n, key), want)
+            << "lower_bound n=" << n << " key=" << key;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace move::index

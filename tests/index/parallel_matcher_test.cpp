@@ -197,5 +197,54 @@ TEST(ParallelMatcher, ExportMetricsWritesShardGauges) {
   EXPECT_GT(value_of("index.parallel.postings_scanned"), 0.0);
 }
 
+// Back-to-back match_batch calls reuse each worker's MatchScratch. Epoch
+// isolation is what keeps one batch's counters from bleeding into the next —
+// a collision would trip the debug asserts in MatchScratch::bump and show up
+// here as wrong match sets. Alternate semantics between batches so stale
+// counters WOULD change results if they leaked.
+TEST(ParallelMatcher, BackToBackBatchesReuseWorkerScratchSafely) {
+  const auto& f = fx();
+  ParallelMatcher matcher(f.filters, 4, 3);
+  std::vector<std::span<const TermId>> spans;
+  for (std::size_t i = 0; i < 12; ++i) spans.push_back(f.docs.row(i));
+
+  const MatchOptions any{MatchSemantics::kAnyTerm, 0.0};
+  const MatchOptions thresh{MatchSemantics::kThreshold, 0.5};
+  for (int round = 0; round < 4; ++round) {
+    const MatchOptions& opt = (round % 2 == 0) ? any : thresh;
+    const auto batch = matcher.match_batch(spans, opt);
+    ASSERT_EQ(batch.size(), spans.size());
+    for (std::size_t d = 0; d < spans.size(); ++d) {
+      EXPECT_EQ(batch[d], brute_force_match(f.reference, spans[d], opt))
+          << "round=" << round << " doc=" << d;
+    }
+  }
+}
+
+// The summary gate's shard stats flow through the batch merge: probing
+// documents that contain shard-foreign terms produces postings_skipped on
+// the shards whose summaries screen them out, and the new counters
+// accumulate across batches like the classic ones.
+TEST(ParallelMatcher, BloomStatsAccumulateAcrossBatches) {
+  const auto& f = fx();
+  ParallelMatcher matcher(f.filters, 4, 2);
+  std::vector<std::span<const TermId>> spans;
+  for (std::size_t i = 0; i < 8; ++i) spans.push_back(f.docs.row(i));
+
+  auto skipped_total = [&] {
+    std::uint64_t total = 0;
+    for (const ShardStats& s : matcher.shard_stats()) {
+      total += s.postings_skipped;
+    }
+    return total;
+  };
+  (void)matcher.match_batch(spans, MatchOptions{});
+  const auto after_one = skipped_total();
+  (void)matcher.match_batch(spans, MatchOptions{});
+  EXPECT_EQ(skipped_total(), 2 * after_one);
+  matcher.reset_stats();
+  EXPECT_EQ(skipped_total(), 0u);
+}
+
 }  // namespace
 }  // namespace move::index
