@@ -14,23 +14,29 @@
 // under both kAnyTerm and kThreshold semantics.
 //
 // A second section sweeps the single-thread scratch kernel over a
-// filter-count axis (up to 10^5 filters) in four variants crossing the
-// PR's two fast-path levers:
+// filter-count axis (up to 10^6 filters) in six variants crossing the
+// fast-path levers with the index's two frozen storage modes:
 //
-//   * scalar     — forced-scalar dispatch, Bloom gate off, intersection-scan
-//                  verification: the faithful pre-SIMD baseline;
-//   * simd       — vector kernels (gathered epoch stamps, SIMD lower_bound)
-//                  plus the full-index O(1) count verification;
-//   * bloom      — scalar dispatch with the blocked-Bloom term-summary gate;
-//   * bloom_simd — everything on: the production configuration.
+//   * scalar      — forced-scalar dispatch, Bloom gate off, intersection-scan
+//                   verification: the faithful pre-SIMD baseline;
+//   * simd        — vector kernels (gathered epoch stamps, SIMD lower_bound)
+//                   plus the full-index O(1) count verification;
+//   * bloom       — scalar dispatch with the blocked-Bloom term-summary gate;
+//   * bloom_simd  — everything on: the production raw-postings configuration;
+//   * comp_scalar — scalar twin of `scalar` over delta-compressed posting
+//                   blocks (block-at-a-time decode feeding the bump kernel);
+//   * comp_simd   — `simd` over compressed blocks: decode streams into the
+//                   scratch buffer, the SIMD bump kernel consumes it.
 //
 // Sweep documents are drawn from a vocabulary twice the filters' so a
 // realistic slice of document terms is unindexed — the traffic the summary
 // screens out. Emits BENCH_matching_kernels.json with docs/sec and
-// postings/sec per variant, per-row bloom_reject_rate, and the headline
-// speedups in `meta` (including bloom_simd vs scalar at the 10^5-filter
-// threshold point). All variants of a sweep point must agree on the total
-// number of (doc, filter) matches — checked at runtime.
+// postings/sec per variant, per-row bloom_reject_rate, posting_bytes and
+// blocks_decoded, and the headline speedups in `meta` (including bloom_simd
+// vs scalar at the 10^5-filter threshold point and compressed vs raw at the
+// 10^6 point). All variants of a sweep point — every dispatch x gate x
+// storage-mode combination — must agree on the total number of
+// (doc, filter) matches; the runtime check fails the bench otherwise.
 
 #include <chrono>
 #include <cstdio>
@@ -56,6 +62,7 @@ struct VariantResult {
   std::uint64_t matches_total = 0;
   std::uint64_t bloom_rejects = 0;
   std::uint64_t postings_skipped = 0;
+  std::uint64_t blocks_decoded = 0;
   std::size_t docs_matched = 0;
 };
 
@@ -94,6 +101,7 @@ VariantResult time_sift(const workload::TermSetTable& docs, std::size_t reps,
   r.postings_scanned = acc.postings_scanned;
   r.bloom_rejects = acc.bloom_rejects;
   r.postings_skipped = acc.postings_skipped;
+  r.blocks_decoded = acc.blocks_decoded;
   finish(r, wall, reps * docs.size());
   return r;
 }
@@ -105,15 +113,20 @@ struct SweepVariant {
   bool force_scalar;  // route every kernel through its scalar twin
   bool bloom_gate;    // MatchOptions::use_term_summary
   bool count_verify;  // SiftMatcher full-index O(1) verification
+  bool compressed;    // match over the delta-compressed posting blocks
 };
 
-// "scalar" is the faithful pre-SIMD baseline (what PR 2 shipped); the rest
-// switch on this PR's levers one at a time, ending at the default config.
+// "scalar" is the faithful pre-SIMD baseline (what PR 2 shipped); the next
+// three switch on the fast-path levers one at a time, ending at the default
+// raw config; the comp_* pair reruns the two dispatch extremes over the
+// compressed storage mode, closing the scalar/simd x raw/compressed square.
 constexpr SweepVariant kSweepVariants[] = {
-    {"scalar", true, false, false},
-    {"simd", false, false, true},
-    {"bloom", true, true, false},
-    {"bloom_simd", false, true, true},
+    {"scalar", true, false, false, false},
+    {"simd", false, false, true, false},
+    {"bloom", true, true, false, false},
+    {"bloom_simd", false, true, true, false},
+    {"comp_scalar", true, false, false, true},
+    {"comp_simd", false, false, true, true},
 };
 
 /// Restores the ambient dispatch (e.g. an inherited MOVE_FORCE_SCALAR=1) no
@@ -128,13 +141,15 @@ struct ScopedForceScalar {
 
 VariantResult time_sweep_variant(const SweepVariant& v,
                                  const index::FilterStore& store,
-                                 const index::InvertedIndex& index,
+                                 const index::InvertedIndex& raw,
+                                 const index::InvertedIndex& compressed,
                                  const workload::TermSetTable& docs,
                                  std::size_t reps,
                                  index::MatchOptions opt) {
   const ScopedForceScalar dispatch(v.force_scalar);
   opt.use_term_summary = v.bloom_gate;
-  const index::SiftMatcher matcher(store, index, v.count_verify);
+  const index::SiftMatcher matcher(store, v.compressed ? compressed : raw,
+                                   v.count_verify);
   index::MatchScratch scratch;
   return time_sift(docs, reps,
                    [&](std::span<const TermId> d, std::vector<FilterId>& o) {
@@ -214,12 +229,13 @@ void report_variant(BenchReporter& report, const char* series,
 void report_sweep_row(BenchReporter& report, const SweepVariant& v,
                       const char* semantics, std::size_t filters,
                       std::size_t docs, std::size_t reps,
-                      const VariantResult& r) {
+                      std::uint64_t posting_bytes, const VariantResult& r) {
   obs::Json& row = report.add_row("kernel_sweep");
   row["knobs"]["variant"] = v.name;
   row["knobs"]["force_scalar"] = v.force_scalar;
   row["knobs"]["bloom_gate"] = v.bloom_gate;
   row["knobs"]["count_verify"] = v.count_verify;
+  row["knobs"]["compressed"] = v.compressed;
   row["knobs"]["semantics"] = semantics;
   row["knobs"]["filters"] = filters;
   row["knobs"]["docs"] = docs;
@@ -232,6 +248,8 @@ void report_sweep_row(BenchReporter& report, const SweepVariant& v,
   m["matches_total"] = r.matches_total;
   m["bloom_rejects"] = r.bloom_rejects;
   m["postings_skipped"] = r.postings_skipped;
+  m["blocks_decoded"] = r.blocks_decoded;
+  m["posting_bytes"] = posting_bytes;
   m["bloom_reject_rate"] =
       r.docs_matched > 0
           ? static_cast<double>(r.bloom_rejects) /
@@ -340,26 +358,36 @@ int run() {
                 par_batch_r.docs_per_sec / legacy_r.docs_per_sec);
   }
   // --- Variant x filter-count sweep (single-thread scratch kernel) --------
-  std::printf("kernel sweep: dispatch x Bloom gate x verification "
+  std::printf("kernel sweep: dispatch x Bloom gate x storage mode "
               "(compiled kernel: %s)\n",
               simd::compiled_kernel());
-  const std::size_t sweep_counts[] = {10'000, 31'623, 100'000};
+  const std::size_t sweep_counts[] = {10'000, 31'623, 100'000, 1'000'000};
   double scalar_100k = 0.0, bloom_simd_100k = 0.0;
+  double simd_1m = 0.0, comp_simd_1m = 0.0;
+  std::uint64_t raw_bytes_1m = 0, comp_bytes_1m = 0;
   for (const std::size_t count : sweep_counts) {
     const auto sweep_filters = make_filters(count);
     // Documents over TWICE the filters' vocabulary: a realistic slice of the
     // term mass is unindexed — the traffic the term summary screens out.
     auto sweep_gen = wt_generator(sweep_filters.vocabulary * 2);
     const auto sweep_docs = sweep_gen.generate(128);
-    const std::size_t sweep_reps = count >= 100'000 ? 2 : 4;
+    const std::size_t sweep_reps =
+        count >= 1'000'000 ? 1 : (count >= 100'000 ? 2 : 4);
 
     index::FilterStore sweep_store;
     index::InvertedIndex sweep_index;
+    index::InvertedIndex sweep_comp;
     for (std::size_t i = 0; i < sweep_filters.table.size(); ++i) {
       const auto id = sweep_store.add(sweep_filters.table.row(i));
       sweep_index.add(id, sweep_store.terms(id));
+      sweep_comp.add(id, sweep_store.terms(id));
     }
-    sweep_index.finalize();
+    index::InvertedIndex::FinalizeOptions raw_fo;
+    raw_fo.compress = false;
+    index::InvertedIndex::FinalizeOptions comp_fo;
+    comp_fo.compress = true;
+    sweep_index.finalize(raw_fo);
+    sweep_comp.finalize(comp_fo);
 
     for (const auto& [sem_name, opt] :
          {std::pair{"any_term", index::MatchOptions{}},
@@ -369,17 +397,22 @@ int run() {
       constexpr std::size_t kNumVariants = std::size(kSweepVariants);
       VariantResult results[kNumVariants];
       for (std::size_t v = 0; v < kNumVariants; ++v) {
+        const auto& variant = kSweepVariants[v];
         results[v] =
-            time_sweep_variant(kSweepVariants[v], sweep_store, sweep_index,
+            time_sweep_variant(variant, sweep_store, sweep_index, sweep_comp,
                                sweep_docs, sweep_reps, opt);
-        report_sweep_row(report, kSweepVariants[v], sem_name,
+        report_sweep_row(report, variant, sem_name,
                          sweep_filters.table.size(), sweep_docs.size(),
-                         sweep_reps, results[v]);
-        // Every variant of a sweep point must find the same match pairs.
+                         sweep_reps,
+                         (variant.compressed ? sweep_comp : sweep_index)
+                             .posting_storage_bytes(),
+                         results[v]);
+        // Every variant of a sweep point — every dispatch x gate x storage
+        // combination — must find the same match pairs.
         if (results[v].matches_total != results[0].matches_total) {
           std::fprintf(
               stderr, "SWEEP MISMATCH (%zu filters, %s): %s=%llu scalar=%llu\n",
-              count, sem_name, kSweepVariants[v].name,
+              count, sem_name, variant.name,
               static_cast<unsigned long long>(results[v].matches_total),
               static_cast<unsigned long long>(results[0].matches_total));
           totals_agree = false;
@@ -388,15 +421,24 @@ int run() {
       const double base = results[0].docs_per_sec;
       if (base > 0) {
         std::printf("    -> vs scalar: simd %.2fx, bloom %.2fx, "
-                    "bloom_simd %.2fx\n",
+                    "bloom_simd %.2fx, comp_scalar %.2fx, comp_simd %.2fx\n",
                     results[1].docs_per_sec / base,
                     results[2].docs_per_sec / base,
-                    results[3].docs_per_sec / base);
+                    results[3].docs_per_sec / base,
+                    results[4].docs_per_sec / base,
+                    results[5].docs_per_sec / base);
       }
       if (opt.semantics == index::MatchSemantics::kThreshold &&
           count == 100'000) {
         scalar_100k = results[0].docs_per_sec;
         bloom_simd_100k = results[3].docs_per_sec;
+      }
+      if (opt.semantics == index::MatchSemantics::kAnyTerm &&
+          count == 1'000'000) {
+        simd_1m = results[1].docs_per_sec;
+        comp_simd_1m = results[5].docs_per_sec;
+        raw_bytes_1m = sweep_index.posting_storage_bytes();
+        comp_bytes_1m = sweep_comp.posting_storage_bytes();
       }
     }
   }
@@ -406,6 +448,18 @@ int run() {
   std::printf("\nheadline: bloom_simd vs scalar @ 100k filters (threshold): "
               "%.2fx\n",
               scalar_100k > 0 ? bloom_simd_100k / scalar_100k : 0.0);
+  report.meta()["comp_vs_raw_simd_throughput_1000000"] =
+      simd_1m > 0 ? comp_simd_1m / simd_1m : 0.0;
+  report.meta()["comp_vs_raw_bytes_ratio_1000000"] =
+      comp_bytes_1m > 0 ? static_cast<double>(raw_bytes_1m) /
+                              static_cast<double>(comp_bytes_1m)
+                        : 0.0;
+  std::printf("headline: compressed vs raw @ 1M filters (any_term, simd): "
+              "%.2fx throughput, %.2fx smaller postings\n",
+              simd_1m > 0 ? comp_simd_1m / simd_1m : 0.0,
+              comp_bytes_1m > 0 ? static_cast<double>(raw_bytes_1m) /
+                                      static_cast<double>(comp_bytes_1m)
+                                : 0.0);
 
   report.meta()["variants_agree"] = totals_agree;
   if (!totals_agree) return 1;

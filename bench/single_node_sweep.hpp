@@ -98,7 +98,7 @@ inline SingleNodeBatch single_node_batch(const workload::TermSetTable& filters,
     // ParallelMatcher worker would scan for this document.
     for (TermId t : doc) {
       shard_scanned[common::mix64(t.value) % kProfileShards] +=
-          static_cast<double>(index.postings(t).size());
+          static_cast<double>(index.posting_count(t));
     }
   }
   if (common::mean(shard_scanned) > 0) {

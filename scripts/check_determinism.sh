@@ -22,14 +22,26 @@
 # never leak into results or accounting — enforced end to end through a real
 # figure bench rather than just the unit matrix.
 #
+# Binaries listed after `--codec-diff` get the storage-mode pairing: one run
+# with MOVE_INDEX_COMPRESSED=0 (frozen-raw postings) and one with
+# MOVE_INDEX_COMPRESSED=1 (delta-compressed posting blocks), and the BENCH
+# json must be byte-identical after stripping ONLY the codec's own gauges
+# (run.match.blocks_decoded, run.index.posting_bytes,
+# run.index.bytes_per_filter — the fields that *define* the storage mode).
+# That is the storage contract of src/index/inverted_index.hpp: compression
+# may never change matches, classic accounting, or timing on the virtual
+# clock.
+#
 # Usage: check_determinism.sh <bench-binary>... [--simd-diff <bench-binary>...]
+#                             [--codec-diff <bench-binary>...]
 # Env:   MOVE_BENCH_SCALE  workload scale for the runs (default 0.02 — the
 #        check cares about byte-identity, not statistical fidelity, so the
 #        smallest workload that still exercises every code path wins)
 set -euo pipefail
 
 if [ "$#" -lt 1 ]; then
-  echo "usage: $0 <bench-binary>... [--simd-diff <bench-binary>...]" >&2
+  echo "usage: $0 <bench-binary>... [--simd-diff <bench-binary>...]" \
+       "[--codec-diff <bench-binary>...]" >&2
   exit 2
 fi
 
@@ -40,37 +52,50 @@ trap 'rm -rf "$tmp"' EXIT
 
 # Keys whose values are allowed to differ between runs (none today).
 STRIP_KEYS='^$'
+# Gauges only the compressed storage mode emits — stripped ONLY for the
+# --codec-diff pairing, where they differ between modes by definition.
+CODEC_KEYS='run\.match\.blocks_decoded|run\.index\.posting_bytes|run\.index\.bytes_per_filter'
 
+# normalize <file> <extra-strip-regex>
 normalize() {
-  # Drop lines whose key matches STRIP_KEYS (e.g. future timestamps).
-  grep -Ev "\"(${STRIP_KEYS})\":" "$1" || true
+  # Drop lines whose key matches STRIP_KEYS (e.g. future timestamps) plus
+  # any pairing-specific keys.
+  grep -Ev "\"(${STRIP_KEYS}|${2:-^$})\":" "$1" || true
 }
 
-# Split the argument list: binaries before --simd-diff are diffed across two
-# identical runs; binaries after it are diffed across a SIMD vs forced-scalar
-# run pair.
+# Split the argument list: binaries before --simd-diff/--codec-diff are
+# diffed across two identical runs; binaries after --simd-diff across a SIMD
+# vs forced-scalar pair; binaries after --codec-diff across a raw vs
+# compressed-postings pair.
 repeat_bins=()
 simd_bins=()
+codec_bins=()
 mode=repeat
 for arg in "$@"; do
   if [ "$arg" = "--simd-diff" ]; then
     mode=simd
     continue
   fi
-  if [ "$mode" = repeat ]; then
-    repeat_bins+=("$arg")
-  else
-    simd_bins+=("$arg")
+  if [ "$arg" = "--codec-diff" ]; then
+    mode=codec
+    continue
   fi
+  case "$mode" in
+    repeat) repeat_bins+=("$arg") ;;
+    simd)   simd_bins+=("$arg") ;;
+    codec)  codec_bins+=("$arg") ;;
+  esac
 done
 
 status=0
 
 # run_once <bin> <outdir> <force_scalar ("" = leave unset)>
+#          [compressed ("" = leave unset)]
 run_once() {
-  local bin="$1" out="$2" force="$3"
+  local bin="$1" out="$2" force="$3" compressed="${4:-}"
   mkdir -p "$out"
   if ! env ${force:+MOVE_FORCE_SCALAR="$force"} \
+      ${compressed:+MOVE_INDEX_COMPRESSED="$compressed"} \
       MOVE_BENCH_SCALE="$scale" MOVE_BENCH_OUT="$out" "$bin" \
       >"$out/stdout.log" 2>&1; then
     echo "FAIL $(basename "$bin"): run exited nonzero (log: $out/stdout.log)" >&2
@@ -79,10 +104,10 @@ run_once() {
   fi
 }
 
-# diff_pair <name> <dir1> <dir2> <what> — byte-diffs every BENCH_*.json that
-# dir1 produced against its twin in dir2.
+# diff_pair <name> <dir1> <dir2> <what> [extra-strip-regex] — byte-diffs
+# every BENCH_*.json that dir1 produced against its twin in dir2.
 diff_pair() {
-  local name="$1" d1="$2" d2="$3" what="$4"
+  local name="$1" d1="$2" d2="$3" what="$4" extra="${5:-}"
   local jsons=("$d1"/BENCH_*.json)
   if [ ! -e "${jsons[0]}" ]; then
     echo "FAIL $name: produced no BENCH_*.json" >&2
@@ -97,7 +122,8 @@ diff_pair() {
       status=1
       continue
     fi
-    if diff -u <(normalize "$f1") <(normalize "$f2") >"$tmp/diff.out"; then
+    if diff -u <(normalize "$f1" "$extra") <(normalize "$f2" "$extra") \
+        >"$tmp/diff.out"; then
       echo "OK   $name: $(basename "$f1") identical across $what"
     else
       echo "FAIL $name: $(basename "$f1") differs between $what" >&2
@@ -130,6 +156,19 @@ for bin in "${simd_bins[@]+"${simd_bins[@]}"}"; do
   run_once "$bin" "$tmp/$name/scalar" "1"
   diff_pair "$name" "$tmp/$name/simd" "$tmp/$name/scalar" \
     "SIMD and forced-scalar runs"
+done
+
+for bin in "${codec_bins[@]+"${codec_bins[@]}"}"; do
+  name="$(basename "$bin")"
+  if [ ! -x "$bin" ]; then
+    echo "FAIL $name: not an executable: $bin" >&2
+    status=1
+    continue
+  fi
+  run_once "$bin" "$tmp/$name/raw" "" "0"
+  run_once "$bin" "$tmp/$name/compressed" "" "1"
+  diff_pair "$name" "$tmp/$name/raw" "$tmp/$name/compressed" \
+    "raw and compressed-postings runs" "$CODEC_KEYS"
 done
 
 exit "$status"

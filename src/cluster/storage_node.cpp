@@ -18,12 +18,12 @@ std::size_t StorageNode::register_copy(FilterId global,
   }
   // Index under each requested term, skipping lists that already reference
   // this copy (re-registration of the same filter under the same term).
-  // Posting lists are sorted by construction, so the membership probe is a
-  // binary search instead of a linear scan.
+  // posting_contains probes without thawing a frozen index: binary search
+  // on materialized lists, a single-block skip-directory seek on
+  // frozen-compressed ones.
   std::size_t added = 0;
   for (TermId term : index_terms) {
-    const auto list = index_.postings(term);
-    if (!std::binary_search(list.begin(), list.end(), local)) {
+    if (!index_.posting_contains(term, local)) {
       const TermId one[] = {term};
       index_.add(local, one);
       meta_.record_filter(term);
@@ -41,8 +41,7 @@ std::size_t StorageNode::unregister_copy(FilterId global,
   const FilterId local = it->second;
   std::size_t removed = 0;
   for (TermId term : index_terms) {
-    const auto list = index_.postings(term);
-    if (std::binary_search(list.begin(), list.end(), local)) {
+    if (index_.posting_contains(term, local)) {
       const TermId one[] = {term};
       index_.remove(local, one);
       meta_.remove_filter(term);
@@ -83,8 +82,8 @@ index::MatchAccounting StorageNode::match_single(
     const index::MatchOptions& options,
     std::vector<FilterId>& out_global) const {
   const index::SiftMatcher matcher(store_, index_);
-  const auto acc =
-      matcher.match_single_list(context_term, doc_terms, options, out_global);
+  const auto acc = matcher.match_single_list(context_term, doc_terms, options,
+                                             out_global, scratch_);
   translate(out_global);
   totals_ += acc;
   ++match_calls_;

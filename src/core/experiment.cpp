@@ -160,6 +160,16 @@ sim::RunMetrics run_dissemination(Scheme& scheme,
   m.match_acc.bloom_rejects = acc_after.bloom_rejects - acc_before.bloom_rejects;
   m.match_acc.postings_skipped =
       acc_after.postings_skipped - acc_before.postings_skipped;
+  m.match_acc.blocks_decoded =
+      acc_after.blocks_decoded - acc_before.blocks_decoded;
+  // Index-storage footprint across the cluster at run end: bytes of posting
+  // storage and live (reachable) filter copies. Together these yield the
+  // bytes-per-filter figure; non-zero blocks_decoded marks the run as
+  // compressed-mode.
+  for (std::uint32_t n = 0; n < c.size(); ++n) {
+    m.index_posting_bytes += c.node(NodeId{n}).index().posting_storage_bytes();
+    m.index_stored_filters += c.node(NodeId{n}).stored_count();
+  }
   m.fault_acc = c.fault_acc().delta_since(fault_before);
   if (config.transport != nullptr) {
     m.net_acc = config.transport->accounting().delta_since(net_before);

@@ -20,6 +20,11 @@ void FaultInjector::arm(sim::Time horizon_us) {
     throw std::logic_error(
         "FaultInjector::arm: plan has net events but no transport attached");
   }
+  if (!churn_sink_ && plan_.has_churn_events()) {
+    throw std::logic_error(
+        "FaultInjector::arm: plan has filter-churn events but no churn sink "
+        "attached (set_churn_sink)");
+  }
   armed_ = true;
   auto& engine = cluster_->engine();
   const sim::Time start = engine.now();
@@ -75,6 +80,11 @@ void FaultInjector::execute(const FaultEvent& event) {
     case FaultEvent::Kind::kPartition:
     case FaultEvent::Kind::kHeal:
       on_net_event(event);
+      break;
+    case FaultEvent::Kind::kFilterChurn:
+      churn_sink_(event.count);
+      ++timeline_.churn_events;
+      timeline_.churn_ops += event.count;
       break;
   }
 }

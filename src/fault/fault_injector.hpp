@@ -69,6 +69,8 @@ struct FaultTimeline {
   std::uint64_t partitions_healed = 0;
   std::uint64_t control_rpcs = 0;     ///< control ops sent via the transport
   std::uint64_t control_dropped = 0;  ///< control ops lost after all resends
+  std::uint64_t churn_events = 0;     ///< kFilterChurn events executed
+  std::uint64_t churn_ops = 0;        ///< churn ops pumped through the sink
 };
 
 class FaultInjector {
@@ -89,6 +91,15 @@ class FaultInjector {
   /// of gossip ticks up to `horizon_us`, so the event queue still drains.
   /// Call once, before running the engine.
   void arm(sim::Time horizon_us);
+
+  /// Attaches the consumer of kFilterChurn events: `sink(n)` must apply n
+  /// churn ops (typically by pulling a FilterChurnStream and applying each
+  /// op to a ChurnHarness or live scheme). Plans containing churn events
+  /// throw at arm() time if no sink is attached — same contract as net
+  /// events without a transport.
+  void set_churn_sink(std::function<void(std::uint32_t)> sink) {
+    churn_sink_ = std::move(sink);
+  }
 
   [[nodiscard]] const FaultTimeline& timeline() const noexcept {
     return timeline_;
@@ -118,6 +129,7 @@ class FaultInjector {
   FaultInjectorOptions options_;
   kv::KeyValueStore* store_;
   net::Transport* transport_;
+  std::function<void(std::uint32_t)> churn_sink_;
   common::SplitMix64 rng_;
   FaultTimeline timeline_;
   std::deque<core::RepairEntry> repair_queue_;

@@ -60,6 +60,16 @@ FaultPlan& FaultPlan::heal(std::string name, sim::Time at_us) {
   return *this;
 }
 
+FaultPlan& FaultPlan::filter_churn(std::uint32_t ops, sim::Time at_us) {
+  if (ops == 0) {
+    throw std::invalid_argument("FaultPlan::filter_churn: zero ops");
+  }
+  FaultEvent e{at_us, FaultEvent::Kind::kFilterChurn, NodeId{0}, 0.0};
+  e.count = ops;
+  events_.push_back(std::move(e));
+  return *this;
+}
+
 FaultPlan& FaultPlan::migration_batch(std::size_t entries) {
   migration_batch_ = entries == 0 ? kDefaultMigrationBatch : entries;
   return *this;
@@ -72,6 +82,13 @@ bool FaultPlan::has_net_events() const noexcept {
         e.kind == FaultEvent::Kind::kHeal) {
       return true;
     }
+  }
+  return false;
+}
+
+bool FaultPlan::has_churn_events() const noexcept {
+  for (const FaultEvent& e : events_) {
+    if (e.kind == FaultEvent::Kind::kFilterChurn) return true;
   }
   return false;
 }

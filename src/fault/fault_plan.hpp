@@ -34,12 +34,14 @@ struct FaultEvent {
     kSetLoss,       ///< change the transport's link loss probability
     kPartition,     ///< start a named partition between two node sets
     kHeal,          ///< end a previously started named partition
+    kFilterChurn,   ///< apply `count` filter register/unregister/edit ops
   };
 
   sim::Time at_us = 0;      ///< relative to the run's start
   Kind kind = Kind::kFail;
   NodeId node{0};           ///< kFail / kRecover target
   double fraction = 0.0;    ///< kFailFraction fraction / kSetLoss probability
+  std::uint32_t count = 0;  ///< kFilterChurn: churn ops to apply
 
   // --- net events only (kPartition / kHeal) --------------------------------
   std::string label;            ///< partition name (heal targets it)
@@ -70,6 +72,13 @@ class FaultPlan {
   /// Heals the named partition (no-op if it never started or already healed).
   FaultPlan& heal(std::string name, sim::Time at_us);
 
+  /// Applies `ops` filter-churn operations at `at_us`, pumped through the
+  /// injector's churn sink (see FaultInjector::set_churn_sink) — typically
+  /// a workload::FilterChurnStream feeding an index::ChurnHarness, driving
+  /// register/unregister/edit cycles (and their thaw/re-finalize churn)
+  /// mid-run. Plans with churn events require a sink at arm() time.
+  FaultPlan& filter_churn(std::uint32_t ops, sim::Time at_us);
+
   /// Overrides the shared migration/repair batch size for everything
   /// executing this plan (defaults to kDefaultMigrationBatch).
   FaultPlan& migration_batch(std::size_t entries);
@@ -85,6 +94,9 @@ class FaultPlan {
   /// heal) — runners use this to decide whether control-plane traffic must
   /// be routed through the transport.
   [[nodiscard]] bool has_net_events() const noexcept;
+  /// True when the plan contains kFilterChurn events — runners use this to
+  /// decide whether a churn sink must be attached before arm().
+  [[nodiscard]] bool has_churn_events() const noexcept;
   [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
 
   /// Events ordered by time; ties keep insertion order (stable), so the

@@ -1,0 +1,54 @@
+#include "index/churn_harness.hpp"
+
+#include <algorithm>
+
+namespace move::index {
+
+void ChurnHarness::apply(const workload::FilterChurnStream& stream,
+                         const workload::ChurnOp& op) {
+  switch (op.kind) {
+    case workload::ChurnOpKind::kRegister:
+      register_key(op.row, stream.row(op.row));
+      break;
+    case workload::ChurnOpKind::kUnregister:
+      unregister_key(op.row);
+      break;
+    case workload::ChurnOpKind::kEdit:
+      unregister_key(op.row);
+      register_key(op.new_row, stream.row(op.new_row));
+      break;
+  }
+  ++ops_;
+  if (options_.refinalize_every > 0 && ops_ % options_.refinalize_every == 0) {
+    refinalize();
+  }
+}
+
+void ChurnHarness::register_key(std::uint32_t key,
+                                std::span<const TermId> terms) {
+  const FilterId f = store_.add(terms);
+  index_.add(f, terms);  // full indexing; thaws a frozen index
+  live_.emplace(key, f);
+  if (on_register_term_) {
+    for (const TermId t : terms) on_register_term_(t);
+  }
+}
+
+void ChurnHarness::unregister_key(std::uint32_t key) {
+  const auto it = live_.find(key);
+  if (it == live_.end()) return;  // stream guarantees liveness; be lenient
+  const FilterId f = it->second;
+  index_.remove(f, store_.terms(f));
+  live_.erase(it);
+}
+
+void ChurnHarness::match_reference(std::span<const TermId> doc_terms,
+                                   std::vector<FilterId>& out) const {
+  out.clear();
+  for (const auto& [key, f] : live_) {
+    if (store_.matches(f, doc_terms, options_.match)) out.push_back(f);
+  }
+  std::sort(out.begin(), out.end());
+}
+
+}  // namespace move::index

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "index/filter_store.hpp"
+#include "index/inverted_index.hpp"
+#include "index/match_scratch.hpp"
+#include "index/sift_matcher.hpp"
+#include "workload/filter_churn.hpp"
+
+/// Applies a FilterChurnStream to a live FilterStore + InvertedIndex pair,
+/// driving the frozen/thaw contract the way a long-running deployment
+/// would: registrations thaw a sealed index, periodic re-finalize cycles
+/// freeze it back (into whichever storage mode the options pick — the
+/// churn-exactness suite and the fig13 churn section both run raw and
+/// compressed), and matching is available at every step, in every mode.
+///
+/// The harness keeps a key -> FilterId map of LIVE filters (pool rows are
+/// the keys; FilterStore rows are append-only, so an unregistered filter's
+/// arena row survives but becomes unreachable — no posting list references
+/// it). match_reference() brute-forces over exactly the live set, giving
+/// the oracle that the index-backed match() is compared against at every
+/// churn step.
+///
+/// `set_on_register_term` exposes each newly indexed term to an external
+/// observer (e.g. adapt::WorkloadEstimator::on_filter_term) without the
+/// index layer depending on the adapt layer.
+namespace move::index {
+
+class ChurnHarness {
+ public:
+  struct Options {
+    MatchOptions match;
+    /// Re-finalize after every N applied ops (0 = only on explicit
+    /// refinalize() calls). Each cycle freezes into `finalize`'s mode; the
+    /// next mutation thaws again — exactly the churn the issue targets.
+    std::size_t refinalize_every = 0;
+    InvertedIndex::FinalizeOptions finalize{};
+  };
+
+  ChurnHarness() : ChurnHarness(Options{}) {}
+  explicit ChurnHarness(Options options) : options_(options) {}
+
+  /// Applies one stream op (register / unregister / edit). `stream` supplies
+  /// the term sets; the op must come from that stream's sequence.
+  void apply(const workload::FilterChurnStream& stream,
+             const workload::ChurnOp& op);
+
+  /// Freezes the index under options_.finalize and counts the cycle.
+  void refinalize() { refinalize(options_.finalize); }
+
+  /// Freezes into an explicit mode (the mode-switch tests alternate raw and
+  /// compressed finalizes mid-stream without rebuilding the harness).
+  void refinalize(const InvertedIndex::FinalizeOptions& finalize) {
+    index_.finalize(finalize);
+    ++refinalize_cycles_;
+  }
+
+  /// Index-backed match over the live set (scratch kernel, so the Bloom
+  /// gate and SIMD bump path run whenever the index is frozen).
+  MatchAccounting match(std::span<const TermId> doc_terms,
+                        std::vector<FilterId>& out) const {
+    const SiftMatcher matcher(store_, index_, /*full_index=*/true);
+    return matcher.match(doc_terms, options_.match, out, scratch_);
+  }
+
+  /// Brute-force oracle: checks every LIVE filter against the document
+  /// directly, never touching the index. Ascending, deduplicated — the
+  /// exactness tests require match() == match_reference() after every op.
+  void match_reference(std::span<const TermId> doc_terms,
+                       std::vector<FilterId>& out) const;
+
+  [[nodiscard]] const FilterStore& store() const noexcept { return store_; }
+  [[nodiscard]] const InvertedIndex& index() const noexcept { return index_; }
+  [[nodiscard]] std::size_t live_count() const noexcept {
+    return live_.size();
+  }
+  [[nodiscard]] std::uint64_t ops_applied() const noexcept { return ops_; }
+  [[nodiscard]] std::uint64_t refinalize_cycles() const noexcept {
+    return refinalize_cycles_;
+  }
+
+  void set_on_register_term(std::function<void(TermId)> hook) {
+    on_register_term_ = std::move(hook);
+  }
+
+ private:
+  void register_key(std::uint32_t key, std::span<const TermId> terms);
+  void unregister_key(std::uint32_t key);
+
+  Options options_;
+  FilterStore store_;
+  InvertedIndex index_;
+  std::unordered_map<std::uint32_t, FilterId> live_;
+  std::function<void(TermId)> on_register_term_;
+  std::uint64_t ops_ = 0;
+  std::uint64_t refinalize_cycles_ = 0;
+  mutable MatchScratch scratch_;
+};
+
+}  // namespace move::index

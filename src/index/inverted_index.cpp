@@ -1,12 +1,42 @@
 #include "index/inverted_index.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
 
 namespace move::index {
 
+namespace {
+
+std::atomic<bool>& compressed_default_flag() {
+  static std::atomic<bool> flag{[] {
+    const char* env = std::getenv("MOVE_INDEX_COMPRESSED");
+    return env != nullptr && env[0] == '1';
+  }()};
+  return flag;
+}
+
+[[noreturn]] void throw_corrupt(codec::DecodeStatus status) {
+  throw std::runtime_error(
+      std::string("InvertedIndex: corrupt compressed arena: ") +
+      codec::to_string(status));
+}
+
+}  // namespace
+
+bool default_compressed_postings() noexcept {
+  return compressed_default_flag().load(std::memory_order_relaxed);
+}
+
+void set_default_compressed_postings(bool on) noexcept {
+  compressed_default_flag().store(on, std::memory_order_relaxed);
+}
+
 void InvertedIndex::add(FilterId filter, std::span<const TermId> index_terms) {
-  if (frozen_) thaw();
+  if (frozen()) thaw();
   for (TermId term : index_terms) {
     auto& list = lists_[term];
     if (list.empty() || list.back() < filter) {
@@ -26,7 +56,7 @@ void InvertedIndex::add(FilterId filter, std::span<const TermId> index_terms) {
 
 void InvertedIndex::remove(FilterId filter,
                            std::span<const TermId> index_terms) {
-  if (frozen_) thaw();
+  if (frozen()) thaw();
   for (TermId term : index_terms) {
     auto it = lists_.find(term);
     if (it == lists_.end()) continue;
@@ -37,19 +67,25 @@ void InvertedIndex::remove(FilterId filter,
   }
 }
 
+std::uint32_t InvertedIndex::find_slot(TermId term) const {
+  if (!slot_table_.empty()) {
+    // Dense fast path: one predictable array load instead of a hash probe.
+    if (term.value >= slot_table_.size()) return kNoSlot;
+    return slot_table_[term.value];
+  }
+  const auto it = slot_of_.find(term);
+  return it == slot_of_.end() ? kNoSlot : it->second;
+}
+
 std::span<const FilterId> InvertedIndex::postings(TermId term) const {
-  if (frozen_) {
-    std::uint32_t slot;
-    if (!slot_table_.empty()) {
-      // Dense fast path: one predictable array load instead of a hash probe.
-      if (term.value >= slot_table_.size()) return {};
-      slot = slot_table_[term.value];
-      if (slot == kNoSlot) return {};
-    } else {
-      const auto it = slot_of_.find(term);
-      if (it == slot_of_.end()) return {};
-      slot = it->second;
-    }
+  if (mode_ == StorageMode::kFrozenCompressed) {
+    throw std::logic_error(
+        "InvertedIndex::postings: frozen-compressed lists have no span; use "
+        "postings_into()/for_each_posting_block()");
+  }
+  if (mode_ == StorageMode::kFrozenRaw) {
+    const std::uint32_t slot = find_slot(term);
+    if (slot == kNoSlot) return {};
     const auto begin = offsets_[slot];
     const auto end = offsets_[slot + 1];
     return {flat_postings_.data() + begin, end - begin};
@@ -59,40 +95,166 @@ std::span<const FilterId> InvertedIndex::postings(TermId term) const {
   return it->second;
 }
 
-bool InvertedIndex::contains_term(TermId term) const {
-  if (frozen_) {
-    if (!slot_table_.empty()) {
-      return term.value < slot_table_.size() &&
-             slot_table_[term.value] != kNoSlot;
-    }
-    return slot_of_.contains(term);
+std::size_t InvertedIndex::posting_count(TermId term) const {
+  if (frozen()) {
+    const std::uint32_t slot = find_slot(term);
+    if (slot == kNoSlot) return 0;
+    return offsets_[slot + 1] - offsets_[slot];
   }
+  const auto it = lists_.find(term);
+  return it == lists_.end() ? 0 : it->second.size();
+}
+
+std::span<const FilterId> InvertedIndex::postings_into(
+    TermId term, std::vector<FilterId>& buf, MatchAccounting* acc) const {
+  if (mode_ != StorageMode::kFrozenCompressed) return postings(term);
+  const std::size_t n = posting_count(term);
+  buf.resize(n);
+  if (n > 0) decode_postings(term, buf, acc);
+  return buf;
+}
+
+std::size_t InvertedIndex::decode_block_at(std::uint32_t slot, std::size_t b,
+                                           std::size_t n,
+                                           FilterId* out) const {
+  const std::size_t count = std::min(block_size_, n - b * block_size_);
+  const std::uint64_t base = comp_byte_offsets_[slot];
+  const std::uint32_t skip_base = comp_skip_offsets_[slot];
+  const std::uint64_t begin =
+      b == 0 ? base : base + comp_skips_[skip_base + b - 1].byte_offset;
+  const std::size_t blocks = (n + block_size_ - 1) / block_size_;
+  const std::uint64_t end =
+      b + 1 < blocks ? base + comp_skips_[skip_base + b].byte_offset
+                     : comp_byte_offsets_[slot + 1];
+  const std::span<const std::uint8_t> bytes(comp_bytes_.data() + begin,
+                                            end - begin);
+  const codec::BlockDecode r =
+      b == 0 ? codec::decode_first_block(bytes,
+                                         static_cast<std::uint32_t>(count), out)
+             : codec::decode_block(bytes, comp_skips_[skip_base + b - 1].first_id,
+                                   static_cast<std::uint32_t>(count), out);
+  if (r.status != codec::DecodeStatus::kOk) throw_corrupt(r.status);
+  return count;
+}
+
+void InvertedIndex::decode_postings(TermId term, std::span<FilterId> out,
+                                    MatchAccounting* acc) const {
+  assert(mode_ == StorageMode::kFrozenCompressed);
+  const std::uint32_t slot = find_slot(term);
+  if (slot == kNoSlot) {
+    assert(out.empty());
+    return;
+  }
+  const std::size_t n = offsets_[slot + 1] - offsets_[slot];
+  assert(out.size() == n && "decode_postings needs posting_count(term) room");
+  const std::size_t blocks = (n + block_size_ - 1) / block_size_;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    decode_block_at(slot, b, n, out.data() + b * block_size_);
+    if (acc != nullptr) ++acc->blocks_decoded;
+  }
+}
+
+bool InvertedIndex::posting_contains(TermId term, FilterId filter) const {
+  if (mode_ == StorageMode::kMutable) {
+    const auto it = lists_.find(term);
+    if (it == lists_.end()) return false;
+    return std::binary_search(it->second.begin(), it->second.end(), filter);
+  }
+  if (mode_ == StorageMode::kFrozenRaw) {
+    const auto list = postings(term);
+    return std::binary_search(list.begin(), list.end(), filter);
+  }
+  const std::uint32_t slot = find_slot(term);
+  if (slot == kNoSlot) return false;
+  const std::size_t n = offsets_[slot + 1] - offsets_[slot];
+  // Seek the one block that could hold `filter` via the skip directory:
+  // block b >= 1 starts at skips[b-1].first_id, block 0 at the list head.
+  const std::uint32_t skip_base = comp_skip_offsets_[slot];
+  const std::uint32_t skip_count = comp_skip_offsets_[slot + 1] - skip_base;
+  std::size_t b = 0;
+  {
+    // First skip entry with first_id > filter ends the candidate range.
+    std::size_t lo = 0, hi = skip_count;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (comp_skips_[skip_base + mid].first_id <= filter.value) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    b = lo;  // candidate block index (0 = head block)
+  }
+  std::vector<FilterId> buf(std::min(block_size_, n - b * block_size_));
+  decode_block_at(slot, b, n, buf.data());
+  return std::binary_search(buf.begin(), buf.end(), filter);
+}
+
+bool InvertedIndex::contains_term(TermId term) const {
+  if (frozen()) return find_slot(term) != kNoSlot;
   return lists_.contains(term);
 }
 
-void InvertedIndex::finalize() {
-  if (frozen_) return;
+void InvertedIndex::finalize(const FinalizeOptions& options) {
+  const StorageMode want = options.compress ? StorageMode::kFrozenCompressed
+                                            : StorageMode::kFrozenRaw;
+  if (frozen()) {
+    if (mode_ == want &&
+        (want != StorageMode::kFrozenCompressed ||
+         block_size_ == options.block_size)) {
+      return;  // idempotent re-finalize into the same layout
+    }
+    thaw();  // switching frozen layouts re-packs through the mutable form
+  }
+  assert(options.block_size > 0);
   arena_terms_.clear();
   arena_terms_.reserve(lists_.size());
   for (const auto& [term, list] : lists_) arena_terms_.push_back(term);
   std::sort(arena_terms_.begin(), arena_terms_.end());
 
+  // offsets_ holds logical posting-count prefix sums in BOTH frozen modes;
+  // for frozen-raw they double as flat_postings_ element offsets.
   offsets_.assign(1, 0);
   offsets_.reserve(arena_terms_.size() + 1);
-  flat_postings_.clear();
-  flat_postings_.reserve(total_postings_);
   slot_of_.clear();
   slot_of_.reserve(arena_terms_.size());
+  flat_postings_.clear();
+  comp_bytes_.clear();
+  comp_skips_.clear();
+  comp_byte_offsets_.clear();
+  comp_skip_offsets_.clear();
+  block_size_ = options.block_size;
+  if (!options.compress) {
+    flat_postings_.reserve(total_postings_);
+  } else {
+    comp_byte_offsets_.assign(1, 0);
+    comp_skip_offsets_.assign(1, 0);
+  }
+
+  std::uint64_t count_prefix = 0;
   for (std::uint32_t slot = 0; slot < arena_terms_.size(); ++slot) {
     const auto& list = lists_.at(arena_terms_[slot]);
     assert(std::is_sorted(list.begin(), list.end()) &&
            "posting list must be sorted before freezing");
-    flat_postings_.insert(flat_postings_.end(), list.begin(), list.end());
-    offsets_.push_back(flat_postings_.size());
+    count_prefix += list.size();
+    offsets_.push_back(count_prefix);
     slot_of_.emplace(arena_terms_[slot], slot);
+    if (!options.compress) {
+      flat_postings_.insert(flat_postings_.end(), list.begin(), list.end());
+    } else {
+      codec::EncodedList enc = codec::encode_list(list, block_size_);
+      comp_bytes_.insert(comp_bytes_.end(), enc.bytes.begin(),
+                         enc.bytes.end());
+      comp_skips_.insert(comp_skips_.end(), enc.skips.begin(),
+                         enc.skips.end());
+      comp_byte_offsets_.push_back(comp_bytes_.size());
+      comp_skip_offsets_.push_back(
+          static_cast<std::uint32_t>(comp_skips_.size()));
+    }
   }
   lists_.clear();
-  frozen_ = true;
+  mode_ = options.compress ? StorageMode::kFrozenCompressed
+                           : StorageMode::kFrozenRaw;
 
   // Dense slot table: worth 4 bytes per id up to the max indexed term when
   // the id space is reasonably filled (an IL home node indexing a thin slice
@@ -119,26 +281,48 @@ void InvertedIndex::finalize() {
 
 void InvertedIndex::thaw() {
   lists_.reserve(arena_terms_.size());
+  std::vector<FilterId> decoded;
   for (std::uint32_t slot = 0; slot < arena_terms_.size(); ++slot) {
-    const auto begin = offsets_[slot];
-    const auto end = offsets_[slot + 1];
-    lists_.emplace(arena_terms_[slot],
-                   std::vector<FilterId>(flat_postings_.begin() + begin,
-                                         flat_postings_.begin() + end));
+    const std::size_t n = offsets_[slot + 1] - offsets_[slot];
+    if (mode_ == StorageMode::kFrozenCompressed) {
+      decoded.resize(n);
+      const std::size_t blocks = (n + block_size_ - 1) / block_size_;
+      for (std::size_t b = 0; b < blocks; ++b) {
+        decode_block_at(slot, b, n, decoded.data() + b * block_size_);
+      }
+      lists_.emplace(arena_terms_[slot], decoded);
+    } else {
+      const auto begin = offsets_[slot];
+      lists_.emplace(arena_terms_[slot],
+                     std::vector<FilterId>(flat_postings_.begin() + begin,
+                                           flat_postings_.begin() + begin + n));
+    }
   }
   slot_of_.clear();
   arena_terms_.clear();
   offsets_.clear();
   flat_postings_.clear();
+  comp_bytes_.clear();
+  comp_skips_.clear();
+  comp_byte_offsets_.clear();
+  comp_skip_offsets_.clear();
   // The summary and slot table describe the arena being dropped; a mutated
   // index must not screen against a stale term set.
   slot_table_.clear();
   summary_.reset();
-  frozen_ = false;
+  mode_ = StorageMode::kMutable;
+}
+
+std::uint64_t InvertedIndex::posting_storage_bytes() const noexcept {
+  if (mode_ == StorageMode::kFrozenCompressed) {
+    return comp_bytes_.size() +
+           comp_skips_.size() * sizeof(codec::SkipEntry);
+  }
+  return total_postings_ * sizeof(FilterId);
 }
 
 std::vector<TermId> InvertedIndex::indexed_terms() const {
-  if (frozen_) return arena_terms_;
+  if (frozen()) return arena_terms_;
   std::vector<TermId> terms;
   terms.reserve(lists_.size());
   for (const auto& [term, list] : lists_) terms.push_back(term);

@@ -9,6 +9,7 @@
 #include "bloom/blocked_bloom.hpp"
 #include "common/types.hpp"
 #include "index/filter_store.hpp"
+#include "index/posting_codec.hpp"
 
 /// Local inverted list over registered filters (Fig. 3, "local inverted
 /// list" store).
@@ -21,34 +22,63 @@
 ///    the posting list for t, even though it stores the filters' full term
 ///    sets (§III-B) — matching retrieves exactly one list.
 ///
-/// Two storage modes trade mutability for scan speed:
+/// THREE storage modes trade mutability against scan speed and footprint
+/// (storage_mode() reports the current one):
+///
 ///  * **mutable** (the default): one heap `std::vector` per term, cheap to
 ///    grow during registration;
-///  * **frozen** (after finalize()): every posting list packed into one flat
-///    `offsets_ + flat_postings_` arena mirroring FilterStore's layout, so a
-///    match scans contiguous memory instead of pointer-chasing per-term heap
-///    blocks. Freezing additionally builds the two matching fast-path
-///    structures:
-///      - a **term summary** — a blocked Bloom filter over every indexed
-///        term, which lets SiftMatcher reject documents with zero local
-///        overlap (and skip absent terms) without probing the index;
-///      - a **dense slot table** — a flat term -> slot array replacing the
-///        hash probe on postings() whenever term ids are dense enough to
-///        afford it.
-///    Mutations transparently thaw back to mutable mode (rebuilding the
-///    per-term vectors and *invalidating* summary and slot table — they
-///    describe only the frozen arena); a later finalize() rebuilds both.
-///    Freezing is purely an optimization — callers that interleave
-///    registration and matching stay correct, they just lose the fast path
-///    until they re-finalize.
+///  * **frozen-raw** (finalize() with compress=false): every posting list
+///    packed into one flat u32 arena mirroring FilterStore's layout, so a
+///    match scans contiguous memory instead of pointer-chasing per-term
+///    heap blocks;
+///  * **frozen-compressed** (finalize() with compress=true, or any
+///    finalize() while `MOVE_INDEX_COMPRESSED=1` /
+///    set_default_compressed_postings(true) is in effect): posting lists
+///    stored as delta varint/Rice/run blocks with per-block skip entries
+///    (see posting_codec.hpp) — >10x smaller than the raw arena on
+///    home-term-grouped node workloads, whose delta=1 runs collapse to one
+///    header byte per block. `postings()` cannot return a span in this mode
+///    and throws; readers go through `posting_count()` / `postings_into()` /
+///    `for_each_posting_block()` / `posting_contains()`, which work in every
+///    mode (and are zero-copy outside the compressed one).
 ///
-/// Invariant (both modes): every posting list is sorted ascending by
+/// Freezing (either frozen mode) additionally builds the two matching
+/// fast-path structures, identical across both frozen modes:
+///  - a **term summary** — a blocked Bloom filter over every indexed term,
+///    which lets SiftMatcher reject documents with zero local overlap (and
+///    skip absent terms) without probing the index;
+///  - a **dense slot table** — a flat term -> slot array replacing the hash
+///    probe whenever term ids are dense enough to afford it.
+///
+/// Thaw rules (the frozen/thaw contract, unchanged by compression): any
+/// mutation (add/remove) transparently thaws back to mutable mode,
+/// rebuilding the per-term vectors — decoding them first when the arena was
+/// compressed — and *invalidating* summary and slot table (they describe
+/// only the frozen arena); a later finalize() rebuilds both, in whichever
+/// storage mode it is asked for. Calling finalize() on an index frozen in
+/// the OTHER frozen mode re-packs it through the same thaw path. Freezing
+/// is purely an optimization — callers that interleave registration and
+/// matching stay correct, they just lose the fast path until they
+/// re-finalize.
+///
+/// Invariant (all modes): every posting list is sorted ascending by
 /// FilterId. Registration appends ids in ascending order, so the common case
 /// is a pure push_back; the rare out-of-order re-registration (a MOVE grid
 /// indexing an existing copy under a new term) falls back to a sorted
 /// insert. Matchers rely on this to skip per-match sorting (kAnyTerm unions
-/// become k-way merges).
+/// become k-way merges), and the compressed codec relies on it for
+/// non-negative deltas.
 namespace move::index {
+
+/// Process-wide default for finalize()'s compress choice, mirroring
+/// simd::force_scalar(): initialized from the MOVE_INDEX_COMPRESSED
+/// environment variable ("1" = compressed), overridable at runtime. Lets
+/// whole pipelines (cluster seal, ParallelMatcher construction, the figure
+/// benches) switch storage modes with zero call-site changes — the
+/// `check_determinism.sh --codec-diff` gate runs fig8a under both settings
+/// and requires byte-identical results.
+[[nodiscard]] bool default_compressed_postings() noexcept;
+void set_default_compressed_postings(bool on) noexcept;
 
 /// Disk/compute accounting for one match operation; the simulator turns
 /// these counters into latency via the CostModel.
@@ -66,6 +96,11 @@ struct MatchAccounting {
   /// lists_retrieved/postings_scanned are identical with the gate on or off
   /// — the gate only removes wasted probes, never real IO.
   std::uint64_t postings_skipped = 0;
+  /// Compressed posting blocks decoded. 0 outside frozen-compressed mode;
+  /// orthogonal to the classic counters (postings_scanned counts the same
+  /// entries whether they were decoded or read raw), so raw and compressed
+  /// runs differ ONLY in this counter.
+  std::uint64_t blocks_decoded = 0;
 
   MatchAccounting& operator+=(const MatchAccounting& other) noexcept {
     lists_retrieved += other.lists_retrieved;
@@ -73,12 +108,26 @@ struct MatchAccounting {
     candidates_verified += other.candidates_verified;
     bloom_rejects += other.bloom_rejects;
     postings_skipped += other.postings_skipped;
+    blocks_decoded += other.blocks_decoded;
     return *this;
   }
 };
 
 class InvertedIndex {
  public:
+  enum class StorageMode : std::uint8_t {
+    kMutable,
+    kFrozenRaw,
+    kFrozenCompressed,
+  };
+
+  /// How finalize() should freeze the index. Defaults pick up the
+  /// process-wide compression toggle at the moment of the call.
+  struct FinalizeOptions {
+    bool compress = default_compressed_postings();
+    std::size_t block_size = codec::kBlockSize;
+  };
+
   InvertedIndex() = default;
 
   /// Adds posting entries for `filter`: one per term in `index_terms`.
@@ -92,19 +141,88 @@ class InvertedIndex {
   void remove(FilterId filter, std::span<const TermId> index_terms);
 
   /// Posting list for a term (empty span if absent), sorted ascending.
+  /// Valid in mutable and frozen-raw modes; throws std::logic_error in
+  /// frozen-compressed mode (there is no materialized span to return) —
+  /// use postings_into() / for_each_posting_block() instead.
   [[nodiscard]] std::span<const FilterId> postings(TermId term) const;
 
-  /// Packs all posting lists into the flat arena (terms ordered by TermId,
-  /// lists kept sorted as built) and builds the frozen fast-path structures:
-  /// the blocked-Bloom term summary and, when term ids are dense, the flat
-  /// term->slot table. Idempotent; O(total postings).
-  void finalize();
+  /// Posting count of a term in any mode; O(1) when frozen.
+  [[nodiscard]] std::size_t posting_count(TermId term) const;
 
-  [[nodiscard]] bool frozen() const noexcept { return frozen_; }
+  /// Mode-independent list access: returns the term's postings as a span.
+  /// Mutable / frozen-raw: the internal storage, zero-copy (`buf` and `acc`
+  /// untouched). Frozen-compressed: decodes the whole list into `buf` and
+  /// returns a span of it, bumping acc->blocks_decoded when provided.
+  std::span<const FilterId> postings_into(TermId term,
+                                          std::vector<FilterId>& buf,
+                                          MatchAccounting* acc = nullptr) const;
+
+  /// Streams a term's postings block-at-a-time through `fn(span)` — the
+  /// matcher hot path. Mutable / frozen-raw: one call with the whole list,
+  /// zero-copy. Frozen-compressed: one call per decoded block (`buf` is the
+  /// reused decode buffer, resized to the block size), bumping
+  /// acc->blocks_decoded per block. Spans passed to `fn` are invalidated by
+  /// the next block.
+  template <typename Fn>
+  void for_each_posting_block(TermId term, std::vector<FilterId>& buf,
+                              Fn&& fn, MatchAccounting* acc = nullptr) const {
+    if (mode_ != StorageMode::kFrozenCompressed) {
+      const auto list = postings(term);
+      if (!list.empty()) fn(list);
+      return;
+    }
+    const std::uint32_t slot = find_slot(term);
+    if (slot == kNoSlot) return;
+    if (buf.size() < block_size_) buf.resize(block_size_);
+    const std::size_t n = offsets_[slot + 1] - offsets_[slot];
+    const std::size_t blocks = (n + block_size_ - 1) / block_size_;
+    for (std::size_t b = 0; b < blocks; ++b) {
+      const std::size_t count = decode_block_at(slot, b, n, buf.data());
+      if (acc != nullptr) ++acc->blocks_decoded;
+      fn(std::span<const FilterId>(buf.data(), count));
+    }
+  }
+
+  /// Decodes a term's whole list into caller storage (`out.size()` must be
+  /// posting_count(term)). Frozen-compressed mode only — the primitive
+  /// under postings_into() and the kAnyTerm union's arena materialization.
+  void decode_postings(TermId term, std::span<FilterId> out,
+                       MatchAccounting* acc = nullptr) const;
+
+  /// Membership probe (is `filter` on `term`'s list?) in any mode. Binary
+  /// search on materialized lists; in frozen-compressed mode seeks the
+  /// candidate block via the skip directory and decodes just that block.
+  [[nodiscard]] bool posting_contains(TermId term, FilterId filter) const;
+
+  /// Packs all posting lists into the frozen arena (terms ordered by
+  /// TermId, lists kept sorted as built) and builds the frozen fast-path
+  /// structures: the blocked-Bloom term summary and, when term ids are
+  /// dense, the flat term->slot table. `options.compress` selects
+  /// frozen-raw vs frozen-compressed (defaulting to the process-wide
+  /// toggle). Re-freezing into a different mode goes through thaw;
+  /// re-freezing into the same mode is a no-op. O(total postings).
+  void finalize(const FinalizeOptions& options);
+  void finalize() { finalize(FinalizeOptions{}); }
+
+  [[nodiscard]] bool frozen() const noexcept {
+    return mode_ != StorageMode::kMutable;
+  }
+  [[nodiscard]] StorageMode storage_mode() const noexcept { return mode_; }
+  [[nodiscard]] bool compressed() const noexcept {
+    return mode_ == StorageMode::kFrozenCompressed;
+  }
+  /// Block size of the compressed arena (meaningful only when compressed).
+  [[nodiscard]] std::size_t block_size() const noexcept { return block_size_; }
+
+  /// Bytes of posting storage in the current mode: 4 per posting for
+  /// mutable (logical; heap slack not counted) and frozen-raw, encoded
+  /// bytes + 8-byte skip entries for frozen-compressed. The numerator of
+  /// the bytes-per-filter figures (fig13).
+  [[nodiscard]] std::uint64_t posting_storage_bytes() const noexcept;
 
   [[nodiscard]] bool contains_term(TermId term) const;
   [[nodiscard]] std::size_t distinct_terms() const noexcept {
-    return frozen_ ? arena_terms_.size() : lists_.size();
+    return frozen() ? arena_terms_.size() : lists_.size();
   }
   [[nodiscard]] std::uint64_t total_postings() const noexcept {
     return total_postings_;
@@ -115,23 +233,34 @@ class InvertedIndex {
 
   /// Blocked-Bloom summary of every indexed term, or nullptr while the
   /// index is mutable. Part of the frozen/thaw contract: finalize() builds
-  /// it, any mutation (auto-thaw) invalidates it, re-finalize rebuilds it —
-  /// so a non-null summary is always in sync with the arena it summarizes.
+  /// it (in both frozen modes), any mutation (auto-thaw) invalidates it,
+  /// re-finalize rebuilds it — so a non-null summary is always in sync with
+  /// the arena it summarizes.
   [[nodiscard]] const bloom::BlockedBloomFilter* term_summary()
       const noexcept {
-    return frozen_ && summary_ ? &*summary_ : nullptr;
+    return frozen() && summary_ ? &*summary_ : nullptr;
   }
 
-  /// True when postings() resolves terms through the dense slot table
-  /// instead of the hash map (frozen + dense term ids). Observability only.
+  /// True when lookups resolve terms through the dense slot table instead
+  /// of the hash map (frozen + dense term ids). Observability only.
   [[nodiscard]] bool dense_lookup() const noexcept {
     return !slot_table_.empty();
   }
 
  private:
-  /// Rebuilds the per-term vectors from the arena and drops the arena along
-  /// with the summary and slot table (which describe only the arena).
+  /// Rebuilds the per-term vectors from the arena (decoding first when
+  /// compressed) and drops the arena along with the summary and slot table
+  /// (which describe only the arena).
   void thaw();
+
+  /// Slot of `term` in the frozen arena, kNoSlot if absent.
+  [[nodiscard]] std::uint32_t find_slot(TermId term) const;
+
+  /// Decodes block `b` of `slot` (list length `n`) into `out`; returns the
+  /// block's entry count. Throws std::runtime_error on a corrupt arena —
+  /// unreachable for arenas built by finalize().
+  std::size_t decode_block_at(std::uint32_t slot, std::size_t b,
+                              std::size_t n, FilterId* out) const;
 
   static constexpr std::uint32_t kNoSlot = 0xffffffffu;
 
@@ -139,15 +268,24 @@ class InvertedIndex {
   std::unordered_map<TermId, std::vector<FilterId>> lists_;
   std::uint64_t total_postings_ = 0;
 
-  // Frozen mode: all lists packed into one arena. slot_of_ maps a term to
-  // its slot s; its postings live at flat_postings_[offsets_[s]..offsets_[s+1]).
+  // Frozen modes: slot_of_ maps a term to its slot s; offsets_ holds the
+  // logical posting-count prefix sums (so posting_count is O(1) in both
+  // frozen modes). Frozen-raw postings live at
+  // flat_postings_[offsets_[s]..offsets_[s+1]); frozen-compressed bytes at
+  // comp_bytes_[comp_byte_offsets_[s]..comp_byte_offsets_[s+1]) with skip
+  // entries at comp_skips_[comp_skip_offsets_[s]..comp_skip_offsets_[s+1]).
   // When term ids are dense, slot_table_[term] holds the slot directly
   // (kNoSlot if absent) and slot_of_ is bypassed on the lookup path.
-  bool frozen_ = false;
+  StorageMode mode_ = StorageMode::kMutable;
   std::unordered_map<TermId, std::uint32_t> slot_of_;
   std::vector<TermId> arena_terms_;        // slot -> term, ascending
   std::vector<std::uint64_t> offsets_;     // arena_terms_.size() + 1
-  std::vector<FilterId> flat_postings_;
+  std::vector<FilterId> flat_postings_;    // frozen-raw only
+  std::vector<std::uint8_t> comp_bytes_;   // frozen-compressed only...
+  std::vector<codec::SkipEntry> comp_skips_;
+  std::vector<std::uint64_t> comp_byte_offsets_;
+  std::vector<std::uint32_t> comp_skip_offsets_;
+  std::size_t block_size_ = codec::kBlockSize;
   std::vector<std::uint32_t> slot_table_;  // term -> slot, kNoSlot gaps
   std::optional<bloom::BlockedBloomFilter> summary_;
 };

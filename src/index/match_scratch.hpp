@@ -127,6 +127,22 @@ class MatchScratch {
     return screened_;
   }
 
+  /// Reusable one-block buffer for frozen-compressed indexes: the matcher
+  /// decodes one posting block at a time into it and feeds the block to
+  /// bump_list(), so the threshold kernel stays allocation-free and
+  /// L1-resident regardless of list length.
+  [[nodiscard]] std::vector<FilterId>& decode_buffer() noexcept {
+    return decode_buf_;
+  }
+
+  /// Reusable arena for the kAnyTerm union on frozen-compressed indexes:
+  /// the retrieved lists are decoded back-to-back into it (one resize per
+  /// document, amortized to zero once warm) so the merge cursors have
+  /// stable contiguous spans to walk.
+  [[nodiscard]] std::vector<FilterId>& decode_arena() noexcept {
+    return decode_arena_;
+  }
+
  private:
 #if defined(MOVE_SIMD_AVX2)
   void bump_list_avx2(std::span<const FilterId> list) {
@@ -182,6 +198,8 @@ class MatchScratch {
   std::vector<FilterId> touched_;
   std::vector<Cursor> cursors_;
   std::vector<TermId> screened_;
+  std::vector<FilterId> decode_buf_;
+  std::vector<FilterId> decode_arena_;
   std::uint32_t epoch_ = 0;
 };
 

@@ -21,6 +21,7 @@ void accumulate(ShardStats& into, const ShardStats& delta) noexcept {
   into.matches_emitted += delta.matches_emitted;
   into.bloom_rejects += delta.bloom_rejects;
   into.postings_skipped += delta.postings_skipped;
+  into.blocks_decoded += delta.blocks_decoded;
 }
 
 }  // namespace
@@ -85,6 +86,7 @@ void ParallelMatcher::match_shard(const Shard& shard,
   stats.candidates_verified += acc.candidates_verified;
   stats.bloom_rejects += acc.bloom_rejects;
   stats.postings_skipped += acc.postings_skipped;
+  stats.blocks_decoded += acc.blocks_decoded;
   // match_lists returns ascending, deduplicated local ids; global_ids is
   // monotonic, so the translated result stays ascending and deduplicated.
   for (FilterId& id : out) id = shard.global_ids[id.value];
@@ -233,6 +235,12 @@ void ParallelMatcher::export_metrics(obs::Registry& registry,
   if (totals.postings_skipped > 0) {
     registry.gauge(base + ".postings_skipped")
         .set(static_cast<double>(totals.postings_skipped));
+  }
+  // Codec counter: only frozen-compressed shards decode blocks, so raw-mode
+  // runs keep their metric layout byte-identical.
+  if (totals.blocks_decoded > 0) {
+    registry.gauge(base + ".blocks_decoded")
+        .set(static_cast<double>(totals.blocks_decoded));
   }
 }
 

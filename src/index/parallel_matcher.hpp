@@ -53,6 +53,7 @@ struct ShardStats {
   std::uint64_t matches_emitted = 0;  ///< pre-dedup matches from this shard
   std::uint64_t bloom_rejects = 0;    ///< doc slices short-circuited by summary
   std::uint64_t postings_skipped = 0;  ///< index probes avoided by summary
+  std::uint64_t blocks_decoded = 0;  ///< compressed blocks decoded (0 on raw)
 };
 
 class ParallelMatcher {

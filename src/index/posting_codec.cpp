@@ -1,0 +1,466 @@
+#include "index/posting_codec.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <limits>
+
+namespace move::index::codec {
+
+namespace {
+
+constexpr std::uint8_t kVarintMode = 0xFF;
+constexpr std::uint8_t kMaxRiceK = 0x1F;  // headers 0x00..0x1F are Rice(k)
+constexpr std::uint8_t kRunMode = 0x20;   // every delta == 1, empty payload
+
+constexpr bool valid_header(std::uint8_t h) noexcept {
+  return h == kVarintMode || h == kRunMode || h <= kMaxRiceK;
+}
+
+std::size_t varint_len(std::uint32_t v) noexcept {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+void put_varint(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+/// MSB-first bit appender for the Rice payload.
+class BitWriter {
+ public:
+  explicit BitWriter(std::vector<std::uint8_t>& out) : out_(&out) {}
+
+  void put_unary(std::uint32_t q) {
+    for (std::uint32_t i = 0; i < q; ++i) put_bit(1);
+    put_bit(0);
+  }
+  void put_low_bits(std::uint32_t v, std::uint32_t k) {
+    for (std::uint32_t i = k; i-- > 0;) put_bit((v >> i) & 1u);
+  }
+  /// Pads the final partial byte with zero bits.
+  void flush() {
+    if (nbits_ > 0) {
+      out_->push_back(static_cast<std::uint8_t>(cur_ << (8 - nbits_)));
+      cur_ = 0;
+      nbits_ = 0;
+    }
+  }
+
+ private:
+  void put_bit(std::uint32_t b) {
+    cur_ = static_cast<std::uint8_t>((cur_ << 1) | (b & 1u));
+    if (++nbits_ == 8) {
+      out_->push_back(cur_);
+      cur_ = 0;
+      nbits_ = 0;
+    }
+  }
+  std::vector<std::uint8_t>* out_;
+  std::uint8_t cur_ = 0;
+  std::uint32_t nbits_ = 0;
+};
+
+/// MSB-first bit cursor over a byte range; reads report failure instead of
+/// running past the end. Keeps up to 64 pending bits top-aligned in `acc_`
+/// so a unary run is one leading-ones count and a k-bit field is one shift —
+/// the decode hot path never touches memory bit-by-bit.
+class BitReader {
+ public:
+  BitReader(const std::uint8_t* data, std::size_t size) noexcept
+      : data_(data), size_(size) {}
+
+  /// Unary run: counts one-bits up to the terminating zero. False if the
+  /// payload ends first or the run exceeds `cap` (an absurd quotient that
+  /// could only come from corruption — bounding it keeps corrupt blocks
+  /// O(payload) instead of O(2^32) without rejecting any legal encoding,
+  /// since the encoder would have picked varint long before).
+  [[nodiscard]] bool read_unary(std::uint32_t cap, std::uint32_t& q) noexcept {
+    q = 0;
+    for (;;) {
+      refill();
+      if (bits_ == 0) return false;  // input exhausted mid-run
+      const auto ones =
+          static_cast<std::uint32_t>(std::countl_one(acc_));
+      if (ones < bits_) {
+        q += ones;
+        if (q > cap) return false;
+        drop(ones + 1);  // the run plus its terminating zero
+        return true;
+      }
+      q += bits_;  // the whole buffer is ones; keep scanning
+      if (q > cap) return false;
+      acc_ = 0;
+      bits_ = 0;
+    }
+  }
+  [[nodiscard]] bool read_low_bits(std::uint32_t k,
+                                   std::uint32_t& v) noexcept {
+    if (k == 0) {
+      v = 0;
+      return true;
+    }
+    refill();  // k <= 32 < 57, so one refill covers any field
+    if (bits_ < k) return false;
+    v = static_cast<std::uint32_t>(acc_ >> (64 - k));
+    drop(k);
+    return true;
+  }
+  /// Bytes consumed so far: loaded bytes minus the still-unread whole bytes
+  /// buffered in `acc_` — a partially read byte (its padding bits pending)
+  /// already counts.
+  [[nodiscard]] std::size_t bytes_consumed() const noexcept {
+    return pos_ - bits_ / 8;
+  }
+
+ private:
+  void refill() noexcept {
+    if (bits_ > 56) return;
+    if (pos_ + 8 <= size_) {
+      // Bulk path: one big-endian 64-bit load (compilers fuse the byte
+      // composition into a single bswap'd load), of which the whole bytes
+      // that fit above the pending bits are kept.
+      const std::uint8_t* p = data_ + pos_;
+      const std::uint64_t w = static_cast<std::uint64_t>(p[0]) << 56 |
+                              static_cast<std::uint64_t>(p[1]) << 48 |
+                              static_cast<std::uint64_t>(p[2]) << 40 |
+                              static_cast<std::uint64_t>(p[3]) << 32 |
+                              static_cast<std::uint64_t>(p[4]) << 24 |
+                              static_cast<std::uint64_t>(p[5]) << 16 |
+                              static_cast<std::uint64_t>(p[6]) << 8 |
+                              static_cast<std::uint64_t>(p[7]);
+      const std::uint32_t n = (64 - bits_) >> 3;  // whole bytes with room
+      acc_ |= (w & (~std::uint64_t{0} << (64 - 8 * n))) >> bits_;
+      pos_ += n;
+      bits_ += 8 * n;
+      return;
+    }
+    while (bits_ <= 56 && pos_ < size_) {
+      acc_ |= static_cast<std::uint64_t>(data_[pos_++]) << (56 - bits_);
+      bits_ += 8;
+    }
+  }
+  void drop(std::uint32_t n) noexcept {
+    acc_ = n >= 64 ? 0 : acc_ << n;  // n == 64 when a full buffer of ones ends
+    bits_ -= n;
+  }
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  std::uint64_t acc_ = 0;
+  std::uint32_t bits_ = 0;
+};
+
+/// Reads one LEB128 u32. kTruncated if the range ends mid-codeword,
+/// kOverflow if the value needs more than 32 bits.
+DecodeStatus get_varint(const std::uint8_t* data, std::size_t size,
+                        std::size_t& pos, std::uint32_t& v) noexcept {
+  if (pos < size && data[pos] < 0x80) {  // 1-byte codeword, the common gap
+    v = data[pos++];
+    return DecodeStatus::kOk;
+  }
+  v = 0;
+  std::uint32_t shift = 0;
+  for (;;) {
+    if (pos >= size) return DecodeStatus::kTruncated;
+    const std::uint8_t byte = data[pos++];
+    if (shift >= 32 ||
+        (shift == 28 && (byte & 0x7F) > 0x0F)) {
+      return DecodeStatus::kOverflow;
+    }
+    v |= static_cast<std::uint32_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return DecodeStatus::kOk;
+    shift += 7;
+  }
+}
+
+/// Best Rice parameter and its payload bit cost for the given deltas, or
+/// k > kMaxRiceK when every parameter loses to varint.
+struct RiceChoice {
+  std::uint32_t k = kMaxRiceK + 1;
+  std::uint64_t bits = std::numeric_limits<std::uint64_t>::max();
+};
+
+RiceChoice pick_rice(std::span<const std::uint32_t> deltas) noexcept {
+  RiceChoice best;
+  for (std::uint32_t k = 0; k <= kMaxRiceK; ++k) {
+    std::uint64_t bits = 0;
+    for (const std::uint32_t d : deltas) {
+      bits += (static_cast<std::uint64_t>(d) >> k) + 1 + k;
+      if (bits >= best.bits) break;  // already worse; next k
+    }
+    if (bits < best.bits) best = RiceChoice{k, bits};
+  }
+  return best;
+}
+
+/// Appends one encoded block. `first_block` blocks lead with varint(first).
+void encode_block(std::span<const FilterId> block, bool first_block,
+                  std::vector<std::uint8_t>& out) {
+  assert(!block.empty());
+  // Deltas between consecutive ids (>= 0; duplicates are legal postings).
+  std::vector<std::uint32_t> deltas;
+  deltas.reserve(block.size() - 1);
+  for (std::size_t i = 1; i < block.size(); ++i) {
+    assert(block[i].value >= block[i - 1].value && "postings must be sorted");
+    deltas.push_back(block[i].value - block[i - 1].value);
+  }
+
+  // Dense run (every gap exactly 1 — the home-term-grouped bulk-load
+  // layout): the header alone carries the whole block. Zero payload always
+  // wins the byte-cost contest, and decode is an iota fill.
+  if (!deltas.empty() &&
+      std::all_of(deltas.begin(), deltas.end(),
+                  [](std::uint32_t d) { return d == 1; })) {
+    out.push_back(kRunMode);
+    if (first_block) put_varint(out, block.front().value);
+    return;
+  }
+
+  std::uint64_t varint_bytes = 0;
+  for (const std::uint32_t d : deltas) varint_bytes += varint_len(d);
+  const RiceChoice rice = pick_rice(deltas);
+  const std::uint64_t rice_bytes = (rice.bits + 7) / 8;
+
+  // Exact byte cost decides; ties go to varint (the named format).
+  if (rice.k <= kMaxRiceK && rice_bytes < varint_bytes) {
+    out.push_back(static_cast<std::uint8_t>(rice.k));
+    if (first_block) put_varint(out, block.front().value);
+    BitWriter bw(out);
+    for (const std::uint32_t d : deltas) {
+      bw.put_unary(d >> rice.k);
+      bw.put_low_bits(d, rice.k);
+    }
+    bw.flush();
+  } else {
+    out.push_back(kVarintMode);
+    if (first_block) put_varint(out, block.front().value);
+    for (const std::uint32_t d : deltas) put_varint(out, d);
+  }
+}
+
+/// Shared payload decode once the header and the first id are known.
+BlockDecode decode_payload(std::span<const std::uint8_t> bytes,
+                           std::uint8_t header, std::size_t payload_pos,
+                           std::uint32_t first, std::uint32_t count,
+                           FilterId* out) noexcept {
+  BlockDecode r;
+  out[r.produced++] = FilterId{first};
+  std::uint64_t cur = first;
+
+  if (header == kRunMode) {
+    if (payload_pos != bytes.size()) {
+      r.status = DecodeStatus::kTrailingBytes;
+      return r;
+    }
+    const std::uint64_t last = cur + count - 1;
+    if (last > std::numeric_limits<std::uint32_t>::max()) {
+      r.status = DecodeStatus::kOverflow;
+      return r;
+    }
+    for (std::uint32_t i = 1; i < count; ++i) {
+      out[r.produced++] = FilterId{first + i};
+    }
+    return r;
+  }
+
+  if (header == kVarintMode) {
+    std::size_t pos = payload_pos;
+    for (std::uint32_t i = 1; i < count; ++i) {
+      std::uint32_t d;
+      const DecodeStatus s = get_varint(bytes.data(), bytes.size(), pos, d);
+      if (s != DecodeStatus::kOk) {
+        r.status = s;
+        return r;
+      }
+      cur += d;
+      if (cur > std::numeric_limits<std::uint32_t>::max()) {
+        r.status = DecodeStatus::kOverflow;
+        return r;
+      }
+      out[r.produced++] = FilterId{static_cast<std::uint32_t>(cur)};
+    }
+    if (pos != bytes.size()) {
+      r.status = DecodeStatus::kTrailingBytes;
+      return r;
+    }
+    return r;
+  }
+
+  if (header > kMaxRiceK) {
+    r.status = DecodeStatus::kBadHeader;
+    return r;
+  }
+  const std::uint32_t k = header;
+  // A quotient beyond 32 - k bits cannot come from a 32-bit delta.
+  const std::uint32_t cap =
+      k >= 32 ? 0 : (std::numeric_limits<std::uint32_t>::max() >> k);
+  BitReader br(bytes.data() + payload_pos, bytes.size() - payload_pos);
+  for (std::uint32_t i = 1; i < count; ++i) {
+    std::uint32_t q, low;
+    if (!br.read_unary(cap, q)) {
+      r.status = DecodeStatus::kTruncated;
+      return r;
+    }
+    if (!br.read_low_bits(k, low)) {
+      r.status = DecodeStatus::kTruncated;
+      return r;
+    }
+    const std::uint64_t d = (static_cast<std::uint64_t>(q) << k) | low;
+    cur += d;
+    if (cur > std::numeric_limits<std::uint32_t>::max()) {
+      r.status = DecodeStatus::kOverflow;
+      return r;
+    }
+    out[r.produced++] = FilterId{static_cast<std::uint32_t>(cur)};
+  }
+  if (payload_pos + br.bytes_consumed() != bytes.size()) {
+    r.status = DecodeStatus::kTrailingBytes;
+    return r;
+  }
+  return r;
+}
+
+}  // namespace
+
+const char* to_string(DecodeStatus status) noexcept {
+  switch (status) {
+    case DecodeStatus::kOk: return "ok";
+    case DecodeStatus::kBadHeader: return "bad block header";
+    case DecodeStatus::kTruncated: return "truncated block payload";
+    case DecodeStatus::kOverflow: return "posting id overflows 32 bits";
+    case DecodeStatus::kTrailingBytes: return "trailing bytes after block";
+    case DecodeStatus::kBadCount: return "inconsistent count/skip table";
+    case DecodeStatus::kOutOfOrder: return "block first id out of order";
+  }
+  return "unknown";
+}
+
+EncodedList encode_list(std::span<const FilterId> postings,
+                        std::size_t block_size) {
+  assert(block_size > 0);
+  EncodedList enc;
+  if (postings.empty()) return enc;
+  const std::size_t blocks = (postings.size() + block_size - 1) / block_size;
+  enc.skips.reserve(blocks > 0 ? blocks - 1 : 0);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::size_t begin = b * block_size;
+    const std::size_t count = std::min(block_size, postings.size() - begin);
+    if (b > 0) {
+      enc.skips.push_back(
+          SkipEntry{postings[begin].value,
+                    static_cast<std::uint32_t>(enc.bytes.size())});
+    }
+    encode_block(postings.subspan(begin, count), b == 0, enc.bytes);
+  }
+  return enc;
+}
+
+BlockDecode decode_first_block(std::span<const std::uint8_t> bytes,
+                               std::uint32_t count, FilterId* out) noexcept {
+  BlockDecode r;
+  if (count == 0) {
+    r.status = DecodeStatus::kBadCount;
+    return r;
+  }
+  if (bytes.empty()) {
+    r.status = DecodeStatus::kTruncated;
+    return r;
+  }
+  const std::uint8_t header = bytes[0];
+  if (!valid_header(header)) {
+    r.status = DecodeStatus::kBadHeader;
+    return r;
+  }
+  std::size_t pos = 1;
+  std::uint32_t first;
+  const DecodeStatus s = get_varint(bytes.data(), bytes.size(), pos, first);
+  if (s != DecodeStatus::kOk) {
+    r.status = s;
+    return r;
+  }
+  return decode_payload(bytes, header, pos, first, count, out);
+}
+
+BlockDecode decode_block(std::span<const std::uint8_t> bytes,
+                         std::uint32_t first, std::uint32_t count,
+                         FilterId* out) noexcept {
+  BlockDecode r;
+  if (count == 0) {
+    r.status = DecodeStatus::kBadCount;
+    return r;
+  }
+  if (bytes.empty()) {
+    r.status = DecodeStatus::kTruncated;
+    return r;
+  }
+  const std::uint8_t header = bytes[0];
+  if (!valid_header(header)) {
+    r.status = DecodeStatus::kBadHeader;
+    return r;
+  }
+  return decode_payload(bytes, header, 1, first, count, out);
+}
+
+DecodeStatus decode_list(const EncodedList& enc, std::size_t posting_count,
+                         std::size_t block_size, std::vector<FilterId>& out) {
+  out.clear();
+  if (block_size == 0) return DecodeStatus::kBadCount;
+  if (posting_count == 0) {
+    if (!enc.bytes.empty() || !enc.skips.empty()) {
+      return DecodeStatus::kTrailingBytes;
+    }
+    return DecodeStatus::kOk;
+  }
+  const std::size_t blocks = (posting_count + block_size - 1) / block_size;
+  if (enc.skips.size() != blocks - 1) return DecodeStatus::kBadCount;
+
+  // Validate the skip directory before touching any payload: offsets must be
+  // strictly increasing (every block is at least one header byte) and inside
+  // the byte range — this is what rejects corrupted length fields cleanly.
+  std::size_t prev_off = 0;
+  for (const SkipEntry& s : enc.skips) {
+    if (s.byte_offset <= prev_off || s.byte_offset >= enc.bytes.size()) {
+      return DecodeStatus::kBadCount;
+    }
+    prev_off = s.byte_offset;
+  }
+
+  out.resize(posting_count);
+  const std::span<const std::uint8_t> bytes(enc.bytes);
+  std::size_t produced_total = 0;
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::size_t begin = b == 0 ? 0 : enc.skips[b - 1].byte_offset;
+    const std::size_t end =
+        b + 1 < blocks ? enc.skips[b].byte_offset : enc.bytes.size();
+    const std::uint32_t count = static_cast<std::uint32_t>(
+        std::min(block_size, posting_count - b * block_size));
+    const auto block_bytes = bytes.subspan(begin, end - begin);
+    const BlockDecode r =
+        b == 0 ? decode_first_block(block_bytes, count,
+                                    out.data() + produced_total)
+               : decode_block(block_bytes, enc.skips[b - 1].first_id, count,
+                              out.data() + produced_total);
+    if (b > 0 && r.produced > 0 && produced_total > 0 &&
+        out[produced_total].value < out[produced_total - 1].value) {
+      out.resize(produced_total + r.produced);
+      return DecodeStatus::kOutOfOrder;
+    }
+    produced_total += r.produced;
+    if (r.status != DecodeStatus::kOk) {
+      out.resize(produced_total);
+      return r.status;
+    }
+  }
+  return DecodeStatus::kOk;
+}
+
+}  // namespace move::index::codec

@@ -1,0 +1,121 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+/// Delta-compressed posting blocks — the frozen-compressed storage mode of
+/// InvertedIndex (see its doc-comment for the mode contract).
+///
+/// A posting list (FilterIds, sorted ascending, duplicates allowed) is cut
+/// into fixed-size logical blocks of `block_size` entries (the last block may
+/// be short). Each block is encoded independently as
+///
+///     [1-byte mode header][payload]
+///
+/// where the payload holds the block's count-1 *deltas* (gaps between
+/// consecutive ids; >= 0 because duplicates are legal). Two payload modes,
+/// chosen per block by exact byte cost at encode time (deterministic — the
+/// same list always encodes to the same bytes):
+///
+///  * `0xFF` — **varint**: each delta as LEB128 (7 bits per byte, low bits
+///    first, high bit = continuation). The mode that names the format; wins
+///    on wild gap distributions.
+///  * `0x00..0x1F` — **Rice(k)**: each delta d as (d >> k) one-bits, a zero
+///    bit, then the k low bits of d, MSB-first; the block padded with zero
+///    bits to a byte boundary. Wins on the geometric-ish gaps of a dense
+///    home-node id space, where it reaches ~log2(mean gap) + 1.5 bits per
+///    posting — the sub-byte regime plain varint (>= 1 byte) can never hit.
+///  * `0x20` — **run**: every delta is exactly 1 and the payload is EMPTY —
+///    the header alone carries the block. This is the home-term-grouped
+///    bulk-load layout (a StorageNode draining MoveScheme's per-home entry
+///    stream assigns consecutive local ids per home list), where it costs
+///    ~0.06 bits per posting and decodes as an iota fill, faster than
+///    scanning raw postings. Zero payload always wins the byte-cost
+///    contest, so the choice stays deterministic.
+///
+/// The FIRST block of a list additionally prefixes its payload with the
+/// varint of the first id itself (it has no predecessor). Every later block
+/// gets its first id from its SkipEntry, which also holds the block's byte
+/// offset relative to the list's byte base — so a matcher can seek to any
+/// block (galloping, SIMD bump_list, Bloom-gated short-circuit) without
+/// decoding its predecessors, and per-block counts are implied by the list's
+/// posting count and `block_size`.
+///
+/// The decoder is *checked*: it never reads outside the given byte range and
+/// returns a DecodeStatus instead of trusting the stream — truncated
+/// payloads, unknown headers, overflowing deltas, trailing bytes, and
+/// inconsistent skip tables are all rejected cleanly (the property/fuzz
+/// suite under `ctest -L codec` drives corrupted corpora through it under
+/// asan).
+namespace move::index::codec {
+
+/// Postings per block. 128 keeps a block's decode buffer L1-resident while
+/// amortizing the 8-byte skip entry to 0.0625 bytes per posting.
+inline constexpr std::size_t kBlockSize = 128;
+
+/// Directory entry for every block after a list's first: where it starts
+/// (relative to the list's byte base) and the id it starts with.
+struct SkipEntry {
+  std::uint32_t first_id = 0;     ///< first posting id in the block
+  std::uint32_t byte_offset = 0;  ///< block start, relative to the list base
+};
+
+enum class DecodeStatus : std::uint8_t {
+  kOk = 0,
+  kBadHeader,      ///< unknown block-mode byte
+  kTruncated,      ///< payload ended mid-codeword (or block range too small)
+  kOverflow,       ///< delta/id does not fit 32 bits (corrupt stream)
+  kTrailingBytes,  ///< block decoded fully but bytes remain
+  kBadCount,       ///< impossible entry count or inconsistent skip table
+  kOutOfOrder,     ///< a block's first id precedes its predecessor's last
+};
+
+[[nodiscard]] const char* to_string(DecodeStatus status) noexcept;
+
+/// One encoded posting list: the concatenated block bytes plus the skip
+/// directory (one entry per block after the first; empty for lists of at
+/// most `block_size` postings).
+struct EncodedList {
+  std::vector<std::uint8_t> bytes;
+  std::vector<SkipEntry> skips;
+};
+
+/// Encodes `postings` (sorted ascending, duplicates allowed) into blocks of
+/// `block_size`. Deterministic; an empty list encodes to empty bytes.
+[[nodiscard]] EncodedList encode_list(std::span<const FilterId> postings,
+                                      std::size_t block_size = kBlockSize);
+
+/// Outcome of a single-block decode: `produced` ids were written to the
+/// output (== count iff status is kOk; on error it is the prefix decoded
+/// before the fault, never more than count).
+struct BlockDecode {
+  DecodeStatus status = DecodeStatus::kOk;
+  std::uint32_t produced = 0;
+};
+
+/// Decodes a list's FIRST block: `bytes` must be exactly the block's byte
+/// range, `count` its entry count (>= 1), `out` room for `count` ids.
+[[nodiscard]] BlockDecode decode_first_block(std::span<const std::uint8_t> bytes,
+                                             std::uint32_t count,
+                                             FilterId* out) noexcept;
+
+/// Decodes a later block whose first id (`first`) comes from its SkipEntry.
+[[nodiscard]] BlockDecode decode_block(std::span<const std::uint8_t> bytes,
+                                       std::uint32_t first, std::uint32_t count,
+                                       FilterId* out) noexcept;
+
+/// Decodes a whole encoded list of `posting_count` ids into `out`
+/// (overwritten). Validates the skip directory (monotonic in-range offsets,
+/// per-block first ids not regressing) before touching any payload, so a
+/// corrupted length field is rejected without a single out-of-bounds read.
+/// On error `out` holds the prefix decoded so far.
+[[nodiscard]] DecodeStatus decode_list(const EncodedList& enc,
+                                       std::size_t posting_count,
+                                       std::size_t block_size,
+                                       std::vector<FilterId>& out);
+
+}  // namespace move::index::codec

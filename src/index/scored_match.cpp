@@ -55,8 +55,12 @@ std::vector<ScoredMatch> scored_match(const FilterStore& store,
                                       MatchAccounting* accounting) {
   MatchAccounting acc;
   std::unordered_map<FilterId, std::uint32_t> counts;
+  // postings_into is zero-copy outside frozen-compressed mode; inside it,
+  // each list decodes into this reused buffer (this is the reference
+  // kernel, not a hot path).
+  std::vector<FilterId> decode_buf;
   for (TermId term : doc_terms) {
-    const auto list = index.postings(term);
+    const auto list = index.postings_into(term, decode_buf, &acc);
     if (list.empty()) continue;
     ++acc.lists_retrieved;
     acc.postings_scanned += list.size();
@@ -100,11 +104,21 @@ std::vector<ScoredMatch> scored_match(const FilterStore& store,
   }
   scratch.begin(store.size());
   for (TermId term : screened) {
-    const auto list = index.postings(term);
-    if (list.empty()) continue;
-    ++acc.lists_retrieved;
-    acc.postings_scanned += list.size();
-    scratch.bump_list(list);
+    // Block-at-a-time on a frozen-compressed index (decodes reuse the
+    // scratch buffer and feed the SIMD bump kernel unchanged); one
+    // zero-copy call otherwise.
+    bool retrieved = false;
+    index.for_each_posting_block(
+        term, scratch.decode_buffer(),
+        [&](std::span<const FilterId> block) {
+          if (!retrieved) {
+            retrieved = true;
+            ++acc.lists_retrieved;
+          }
+          acc.postings_scanned += block.size();
+          scratch.bump_list(block);
+        },
+        &acc);
   }
   auto out =
       score_candidates(store, doc_terms, options, scratch.candidates(), acc);

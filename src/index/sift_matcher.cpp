@@ -65,6 +65,62 @@ void union_lists(std::vector<Cursor>& cursors, MatchScratch& scratch,
   std::sort(out.begin(), out.end());
 }
 
+/// Gathers the non-empty posting lists of `terms` as merge cursors for the
+/// kAnyTerm union. Mutable / frozen-raw: cursors point straight into index
+/// storage, zero-copy. Frozen-compressed: the lists are decoded
+/// back-to-back into the scratch arena first (sized up front so the spans
+/// stay stable while later lists decode).
+void gather_cursors(const InvertedIndex& index, std::span<const TermId> terms,
+                    MatchScratch& scratch, MatchAccounting& acc) {
+  auto& cursors = scratch.cursors();
+  cursors.clear();
+  if (!index.compressed()) {
+    for (TermId term : terms) {
+      const auto list = index.postings(term);
+      if (list.empty()) continue;
+      ++acc.lists_retrieved;
+      acc.postings_scanned += list.size();
+      cursors.push_back(Cursor{list.data(), list.data() + list.size()});
+    }
+    return;
+  }
+  auto& arena = scratch.decode_arena();
+  std::size_t total = 0;
+  for (TermId term : terms) total += index.posting_count(term);
+  if (arena.size() < total) arena.resize(total);
+  std::size_t off = 0;
+  for (TermId term : terms) {
+    const std::size_t n = index.posting_count(term);
+    if (n == 0) continue;
+    ++acc.lists_retrieved;
+    acc.postings_scanned += n;
+    index.decode_postings(term, {arena.data() + off, n}, &acc);
+    cursors.push_back(Cursor{arena.data() + off, arena.data() + off + n});
+    off += n;
+  }
+}
+
+/// Counter pass over one term's whole list, block-at-a-time on a
+/// frozen-compressed index (each decoded block goes straight through
+/// bump_list, so the SIMD kernel runs unchanged on compressed storage) and
+/// as a single zero-copy call otherwise. Accounting is identical across
+/// modes except blocks_decoded.
+void bump_term(const InvertedIndex& index, TermId term, MatchScratch& scratch,
+               MatchAccounting& acc) {
+  bool retrieved = false;
+  index.for_each_posting_block(
+      term, scratch.decode_buffer(),
+      [&](std::span<const FilterId> block) {
+        if (!retrieved) {
+          retrieved = true;
+          ++acc.lists_retrieved;
+        }
+        acc.postings_scanned += block.size();
+        scratch.bump_list(block);
+      },
+      &acc);
+}
+
 /// Bloom screen over `terms`: returns the summary-positive slice (built in
 /// `buf`), counting each negative as a skipped index probe. Passes `terms`
 /// straight through when the gate is off or the index is mutable (no
@@ -96,11 +152,15 @@ MatchAccounting SiftMatcher::match(std::span<const TermId> doc_terms,
                                    std::vector<FilterId>& out) const {
   out.clear();
   MatchAccounting acc;
+  // Mode-independent list access: zero-copy outside frozen-compressed mode,
+  // a whole-list decode into this reused buffer inside it (the legacy
+  // kernel is the reference baseline, not a hot path).
+  std::vector<FilterId> decode_buf;
 
   if (options.semantics == MatchSemantics::kAnyTerm) {
     // Counter pass alone decides: any posting hit is a match.
     for (TermId term : doc_terms) {
-      const auto list = index_->postings(term);
+      const auto list = index_->postings_into(term, decode_buf, &acc);
       if (list.empty() && !index_->contains_term(term)) continue;
       ++acc.lists_retrieved;
       acc.postings_scanned += list.size();
@@ -114,7 +174,7 @@ MatchAccounting SiftMatcher::match(std::span<const TermId> doc_terms,
   // Threshold / conjunctive: accumulate hit counts, then test.
   std::unordered_map<FilterId, std::uint32_t> counts;
   for (TermId term : doc_terms) {
-    const auto list = index_->postings(term);
+    const auto list = index_->postings_into(term, decode_buf, &acc);
     if (list.empty() && !index_->contains_term(term)) continue;
     ++acc.lists_retrieved;
     acc.postings_scanned += list.size();
@@ -151,16 +211,8 @@ MatchAccounting SiftMatcher::match(std::span<const TermId> doc_terms,
     // document, so the union of the lists IS the match set. Lists are sorted
     // by construction, so no per-match sort of raw postings is needed —
     // union_lists picks k-way merge or counter-stamping by list count.
-    auto& cursors = scratch.cursors();
-    cursors.clear();
-    for (TermId term : screened) {
-      const auto list = index_->postings(term);
-      if (list.empty()) continue;
-      ++acc.lists_retrieved;
-      acc.postings_scanned += list.size();
-      cursors.push_back(Cursor{list.data(), list.data() + list.size()});
-    }
-    union_lists(cursors, scratch, store_->size(), out);
+    gather_cursors(*index_, screened, scratch, acc);
+    union_lists(scratch.cursors(), scratch, store_->size(), out);
     return acc;
   }
 
@@ -170,11 +222,7 @@ MatchAccounting SiftMatcher::match(std::span<const TermId> doc_terms,
   // the stored term set.
   scratch.begin(store_->size());
   for (TermId term : screened) {
-    const auto list = index_->postings(term);
-    if (list.empty()) continue;
-    ++acc.lists_retrieved;
-    acc.postings_scanned += list.size();
-    scratch.bump_list(list);
+    bump_term(*index_, term, scratch, acc);
   }
   for (FilterId filter : scratch.candidates()) {
     ++acc.candidates_verified;
@@ -191,6 +239,23 @@ MatchAccounting SiftMatcher::match(std::span<const TermId> doc_terms,
 MatchAccounting SiftMatcher::match_single_list(
     TermId home_term, std::span<const TermId> doc_terms,
     const MatchOptions& options, std::vector<FilterId>& out) const {
+  std::vector<FilterId> decode_buf;
+  return match_single_list_impl(home_term, doc_terms, options, out,
+                                decode_buf);
+}
+
+MatchAccounting SiftMatcher::match_single_list(
+    TermId home_term, std::span<const TermId> doc_terms,
+    const MatchOptions& options, std::vector<FilterId>& out,
+    MatchScratch& scratch) const {
+  return match_single_list_impl(home_term, doc_terms, options, out,
+                                scratch.decode_buffer());
+}
+
+MatchAccounting SiftMatcher::match_single_list_impl(
+    TermId home_term, std::span<const TermId> doc_terms,
+    const MatchOptions& options, std::vector<FilterId>& out,
+    std::vector<FilterId>& decode_buf) const {
   out.clear();
   MatchAccounting acc;
   if (options.use_term_summary) {
@@ -202,28 +267,33 @@ MatchAccounting SiftMatcher::match_single_list(
       return acc;
     }
   }
-  const auto list = index_->postings(home_term);
-  if (list.empty()) return acc;
-  acc.lists_retrieved = 1;
-  acc.postings_scanned = list.size();
 
   // The list is sorted by construction, so the result needs no sort; only
   // adjacent duplicates (a filter indexed twice under the same term) must be
-  // skipped.
-  if (options.semantics == MatchSemantics::kAnyTerm) {
-    // Every filter on this list contains home_term, which the document also
-    // contains — all are matches, no verification needed.
-    for (FilterId f : list) {
-      if (out.empty() || out.back() != f) out.push_back(f);
-    }
-  } else {
-    for (FilterId f : list) {
-      ++acc.candidates_verified;
-      if (store_->matches(f, doc_terms, options)) {
-        if (out.empty() || out.back() != f) out.push_back(f);
-      }
-    }
-  }
+  // skipped — out.back() carries the dedup across block boundaries, so the
+  // block-at-a-time decode of a frozen-compressed index changes nothing.
+  const bool any_term = options.semantics == MatchSemantics::kAnyTerm;
+  index_->for_each_posting_block(
+      home_term, decode_buf,
+      [&](std::span<const FilterId> block) {
+        acc.lists_retrieved = 1;
+        acc.postings_scanned += block.size();
+        if (any_term) {
+          // Every filter on this list contains home_term, which the document
+          // also contains — all are matches, no verification needed.
+          for (FilterId f : block) {
+            if (out.empty() || out.back() != f) out.push_back(f);
+          }
+        } else {
+          for (FilterId f : block) {
+            ++acc.candidates_verified;
+            if (store_->matches(f, doc_terms, options)) {
+              if (out.empty() || out.back() != f) out.push_back(f);
+            }
+          }
+        }
+      },
+      &acc);
   return acc;
 }
 
@@ -243,16 +313,8 @@ MatchAccounting SiftMatcher::match_lists(std::span<const TermId> home_terms,
   }
 
   if (options.semantics == MatchSemantics::kAnyTerm) {
-    auto& cursors = scratch.cursors();
-    cursors.clear();
-    for (TermId term : screened) {
-      const auto list = index_->postings(term);
-      if (list.empty()) continue;
-      ++acc.lists_retrieved;
-      acc.postings_scanned += list.size();
-      cursors.push_back(Cursor{list.data(), list.data() + list.size()});
-    }
-    union_lists(cursors, scratch, store_->size(), out);
+    gather_cursors(*index_, screened, scratch, acc);
+    union_lists(scratch.cursors(), scratch, store_->size(), out);
     return acc;
   }
 
@@ -261,11 +323,7 @@ MatchAccounting SiftMatcher::match_lists(std::span<const TermId> home_terms,
   // holds each filter once, in first-touch order).
   scratch.begin(store_->size());
   for (TermId term : screened) {
-    const auto list = index_->postings(term);
-    if (list.empty()) continue;
-    ++acc.lists_retrieved;
-    acc.postings_scanned += list.size();
-    scratch.bump_list(list);
+    bump_term(*index_, term, scratch, acc);
   }
   for (FilterId filter : scratch.candidates()) {
     ++acc.candidates_verified;

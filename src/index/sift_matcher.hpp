@@ -34,6 +34,14 @@
 /// summary has no false negatives and absent terms have no postings, so the
 /// gate never changes results and never changes lists_retrieved /
 /// postings_scanned / candidates_verified.
+///
+/// **Storage modes**: every kernel runs unmodified on all three InvertedIndex
+/// storage modes. On a frozen-compressed index the counter pass streams
+/// block-at-a-time decodes through MatchScratch::bump_list (the SIMD kernel
+/// sees the same spans it would on raw storage) and the kAnyTerm union
+/// decodes the retrieved lists into the scratch arena before merging.
+/// Results and the classic accounting counters are identical across modes;
+/// only MatchAccounting::blocks_decoded distinguishes them.
 namespace move::index {
 
 class SiftMatcher {
@@ -84,6 +92,15 @@ class SiftMatcher {
                                     const MatchOptions& options,
                                     std::vector<FilterId>& out) const;
 
+  /// match_single_list with a caller-provided scratch: on a
+  /// frozen-compressed index the block decodes reuse scratch's buffer
+  /// instead of a per-call allocation. Results and accounting identical.
+  MatchAccounting match_single_list(TermId home_term,
+                                    std::span<const TermId> doc_terms,
+                                    const MatchOptions& options,
+                                    std::vector<FilterId>& out,
+                                    MatchScratch& scratch) const;
+
   /// Union of match_single_list over several home terms, deduplicated via
   /// `scratch`'s epoch stamps (each candidate is verified at most once even
   /// when it appears on many lists). `out` is ascending, deduplicated —
@@ -96,6 +113,13 @@ class SiftMatcher {
                               MatchScratch& scratch) const;
 
  private:
+  MatchAccounting match_single_list_impl(TermId home_term,
+                                         std::span<const TermId> doc_terms,
+                                         const MatchOptions& options,
+                                         std::vector<FilterId>& out,
+                                         std::vector<FilterId>& decode_buf)
+      const;
+
   /// True when `filter`'s counter (== |d ∩ f| under the full_index
   /// guarantee) satisfies `options`. The O(1) replacement for
   /// store_->matches on the scratch kernel's verification pass.

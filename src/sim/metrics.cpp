@@ -77,6 +77,21 @@ void RunMetrics::export_metrics(obs::Registry& registry) const {
     registry.gauge("run.match.postings_skipped")
         .set(static_cast<double>(match_acc.postings_skipped));
   }
+  // Codec gauges appear only when compressed blocks were actually decoded,
+  // so raw-mode runs keep the pre-codec layout byte-identical — and the
+  // `check_determinism.sh --codec-diff` gate needs to strip exactly these
+  // three keys to compare raw vs compressed outputs.
+  if (match_acc.blocks_decoded > 0) {
+    registry.gauge("run.match.blocks_decoded")
+        .set(static_cast<double>(match_acc.blocks_decoded));
+    registry.gauge("run.index.posting_bytes")
+        .set(static_cast<double>(index_posting_bytes));
+    if (index_stored_filters > 0) {
+      registry.gauge("run.index.bytes_per_filter")
+          .set(static_cast<double>(index_posting_bytes) /
+               static_cast<double>(index_stored_filters));
+    }
+  }
   registry.gauge("run.postings_per_sec").set(postings_per_sec());
   registry.gauge("run.fault.failed_routes")
       .set(static_cast<double>(fault_acc.failed_routes));

@@ -39,6 +39,15 @@ struct RunMetrics {
   /// report postings/sec next to docs/sec.
   index::MatchAccounting match_acc;
 
+  /// Cluster-wide index-storage snapshot at run end: bytes of posting
+  /// storage (raw arena or compressed blocks + skips, see
+  /// InvertedIndex::posting_storage_bytes) and live stored filter copies.
+  /// Exported as `run.index.*` gauges — with the derived bytes_per_filter —
+  /// only when blocks were decoded (i.e. compressed mode), so raw-mode
+  /// outputs stay byte-identical to the pre-codec layout.
+  std::uint64_t index_posting_bytes = 0;
+  std::uint64_t index_stored_filters = 0;
+
   /// Failure-path accounting for the run (delta of the cluster's
   /// FaultAccounting totals): failovers, retries, lost routes, handoff and
   /// repair volume. All zero on a healthy run.

@@ -1,0 +1,110 @@
+#include "workload/filter_churn.hpp"
+
+#include <stdexcept>
+
+namespace move::workload {
+
+FilterChurnStream::FilterChurnStream(TermSetTable pool,
+                                     FilterChurnConfig config)
+    : pool_(std::move(pool)),
+      config_(config),
+      rng_(common::named_stream(config.seed, "filter-churn")),
+      bootstrap_left_(config.initial_live) {
+  if (pool_.size() < config_.initial_live + 1) {
+    throw std::invalid_argument(
+        "FilterChurnStream: pool smaller than initial_live + 1");
+  }
+  if (config_.register_weight + config_.unregister_weight +
+          config_.edit_weight <=
+      0.0) {
+    throw std::invalid_argument("FilterChurnStream: all weights zero");
+  }
+  pos_.assign(pool_.size(), kNowhere);
+  live_rows_.reserve(pool_.size());
+  // Stack ordered so row 0 registers first: bootstrap ids are sequential.
+  dead_rows_.reserve(pool_.size());
+  for (std::size_t r = pool_.size(); r-- > 0;) {
+    dead_rows_.push_back(static_cast<std::uint32_t>(r));
+  }
+}
+
+std::uint32_t FilterChurnStream::pick_live() {
+  return live_rows_[common::uniform_below(rng_, live_rows_.size())];
+}
+
+void FilterChurnStream::make_live(std::uint32_t r) {
+  pos_[r] = static_cast<std::uint32_t>(live_rows_.size());
+  live_rows_.push_back(r);
+}
+
+void FilterChurnStream::make_dead(std::uint32_t r) {
+  const std::uint32_t at = pos_[r];
+  const std::uint32_t last = live_rows_.back();
+  live_rows_[at] = last;
+  pos_[last] = at;
+  live_rows_.pop_back();
+  pos_[r] = kNowhere;
+  dead_rows_.push_back(r);
+}
+
+ChurnOp FilterChurnStream::next() {
+  ++ops_;
+  if (bootstrap_left_ > 0) {
+    --bootstrap_left_;
+    const std::uint32_t r = dead_rows_.back();
+    dead_rows_.pop_back();
+    make_live(r);
+    return ChurnOp{ChurnOpKind::kRegister, r, 0};
+  }
+
+  const double total = config_.register_weight + config_.unregister_weight +
+                       config_.edit_weight;
+  double draw = common::uniform_unit(rng_) * total;
+  ChurnOpKind kind = ChurnOpKind::kEdit;
+  if (draw < config_.register_weight) {
+    kind = ChurnOpKind::kRegister;
+  } else if (draw < config_.register_weight + config_.unregister_weight) {
+    kind = ChurnOpKind::kUnregister;
+  }
+  // Deterministic fallbacks keep every op valid: a register with no dead
+  // rows flips to unregister (pool exhausted), an unregister/edit with
+  // nothing live flips to register, an edit with no spare dead row
+  // degrades to unregister.
+  if (kind == ChurnOpKind::kRegister && dead_rows_.empty()) {
+    kind = ChurnOpKind::kUnregister;
+  }
+  if (kind != ChurnOpKind::kRegister && live_rows_.empty()) {
+    kind = ChurnOpKind::kRegister;
+  }
+  if (kind == ChurnOpKind::kEdit && dead_rows_.empty()) {
+    kind = ChurnOpKind::kUnregister;
+  }
+
+  switch (kind) {
+    case ChurnOpKind::kRegister: {
+      const std::uint32_t r = dead_rows_.back();
+      dead_rows_.pop_back();
+      make_live(r);
+      return ChurnOp{ChurnOpKind::kRegister, r, 0};
+    }
+    case ChurnOpKind::kUnregister: {
+      const std::uint32_t r = pick_live();
+      make_dead(r);
+      return ChurnOp{ChurnOpKind::kUnregister, r, 0};
+    }
+    case ChurnOpKind::kEdit:
+      break;
+  }
+  const std::uint32_t old_row = pick_live();
+  make_dead(old_row);
+  // make_dead pushed old_row on top of the dead stack, and the stack held
+  // at least one other row (checked above) — an edit must register a
+  // DIFFERENT term set, so claim the row beneath the top.
+  const std::uint32_t replacement = dead_rows_[dead_rows_.size() - 2];
+  dead_rows_[dead_rows_.size() - 2] = dead_rows_.back();
+  dead_rows_.pop_back();
+  make_live(replacement);
+  return ChurnOp{ChurnOpKind::kEdit, old_row, replacement};
+}
+
+}  // namespace move::workload

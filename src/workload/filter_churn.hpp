@@ -1,0 +1,96 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "workload/term_set_table.hpp"
+
+/// Seeded continuous filter-churn workload: an endless stream of
+/// register / unregister / edit operations over a pre-generated pool of
+/// filter term sets (typically QueryTraceGenerator output, so churned
+/// filters follow the same MSN-like statistics as the static trace).
+///
+/// The stream is pure op generation — it tracks only which pool rows are
+/// live and never touches an index. A harness (index::ChurnHarness, the
+/// fig13 churn section, fault::FaultInjector's churn sink) applies the ops
+/// to real state; the split keeps the generator reusable across layers and
+/// the dependency direction clean (index links workload, not vice versa).
+///
+/// Determinism: the op sequence is a function of (pool, config.seed) alone.
+/// Ops are always valid by construction — unregister/edit target a live
+/// row, register/edit claim a dead row — with deterministic fallbacks when
+/// a side is exhausted (e.g. an unregister draw with nothing live becomes a
+/// register), so consumers never need to skip ops.
+namespace move::workload {
+
+enum class ChurnOpKind : std::uint8_t {
+  kRegister,    ///< row becomes live
+  kUnregister,  ///< row becomes dead
+  kEdit,        ///< row retires, new_row registers (new term set, new id)
+};
+
+/// One churn step. Pool rows double as stable filter keys: a row is live
+/// between its register and its unregister, and an edit is exactly
+/// unregister(row) + register(new_row) — modelling a subscriber changing
+/// their keyword set (flat filter stores are append-only, so an edit mints
+/// a fresh id rather than rewriting in place).
+struct ChurnOp {
+  ChurnOpKind kind = ChurnOpKind::kRegister;
+  std::uint32_t row = 0;      ///< pool row registered / unregistered / retired
+  std::uint32_t new_row = 0;  ///< kEdit only: replacement pool row
+};
+
+struct FilterChurnConfig {
+  /// Rows registered up front (the first `initial_live` ops are
+  /// deterministic registers of rows 0..initial_live-1) so the steady-state
+  /// stream churns a populated index.
+  std::size_t initial_live = 1024;
+  /// Steady-state op mix (normalized internally; must not all be zero).
+  double register_weight = 0.35;
+  double unregister_weight = 0.35;
+  double edit_weight = 0.30;
+  std::uint64_t seed = 0x5eedc4a2ULL;
+};
+
+class FilterChurnStream {
+ public:
+  /// `pool` supplies the term sets (row i = filter key i); it must hold at
+  /// least config.initial_live + 1 rows.
+  FilterChurnStream(TermSetTable pool, FilterChurnConfig config);
+
+  /// Produces the next op and updates the live/dead bookkeeping.
+  ChurnOp next();
+
+  /// Term set of a pool row (valid whether live or dead).
+  [[nodiscard]] std::span<const TermId> row(std::uint32_t r) const {
+    return pool_.row(r);
+  }
+
+  [[nodiscard]] std::size_t live_count() const noexcept {
+    return live_rows_.size();
+  }
+  [[nodiscard]] bool is_live(std::uint32_t r) const {
+    return pos_[r] != kNowhere;
+  }
+  [[nodiscard]] const TermSetTable& pool() const noexcept { return pool_; }
+  [[nodiscard]] std::uint64_t ops_emitted() const noexcept { return ops_; }
+
+ private:
+  static constexpr std::uint32_t kNowhere = 0xffffffffu;
+
+  [[nodiscard]] std::uint32_t pick_live();
+  void make_live(std::uint32_t r);
+  void make_dead(std::uint32_t r);
+
+  TermSetTable pool_;
+  FilterChurnConfig config_;
+  common::SplitMix64 rng_;
+  std::vector<std::uint32_t> live_rows_;  // unordered; swap-pop removal
+  std::vector<std::uint32_t> dead_rows_;  // stack; top = next register
+  std::vector<std::uint32_t> pos_;        // row -> index in live_rows_
+  std::uint64_t ops_ = 0;
+  std::size_t bootstrap_left_ = 0;
+};
+
+}  // namespace move::workload

@@ -190,6 +190,50 @@ TEST(FaultInjector, RepairPumpDrainsBacklogInBoundedBatches) {
   c.revive_all();
 }
 
+TEST(FaultPlan, FilterChurnBuilderRecordsOpsAndValidates) {
+  FaultPlan plan;
+  EXPECT_FALSE(plan.has_churn_events());
+  EXPECT_THROW(plan.filter_churn(0, 100.0), std::invalid_argument);
+  plan.filter_churn(250, 1'000.0).filter_churn(50, 2'000.0);
+  EXPECT_TRUE(plan.has_churn_events());
+  ASSERT_EQ(plan.events().size(), 2u);
+  EXPECT_EQ(plan.events()[0].kind, FaultEvent::Kind::kFilterChurn);
+  EXPECT_EQ(plan.events()[0].count, 250u);
+  EXPECT_EQ(plan.events()[0].at_us, 1'000.0);
+  EXPECT_EQ(plan.events()[1].count, 50u);
+  EXPECT_EQ(plan.horizon_us(), 2'000.0);
+}
+
+TEST(FaultInjector, ChurnEventsRequireASink) {
+  cluster::Cluster c(testutil::small_cluster());
+  auto scheme = testutil::make_scheme(testutil::SchemeKind::kIl, c);
+  FaultPlan plan;
+  plan.filter_churn(100, 500.0);
+  FaultInjector injector(*scheme, plan);
+  EXPECT_THROW(injector.arm(1'000.0), std::logic_error);
+}
+
+TEST(FaultInjector, ChurnEventsPumpTheSinkAtTheirVirtualTimes) {
+  cluster::Cluster c(testutil::small_cluster());
+  auto scheme = testutil::make_scheme(testutil::SchemeKind::kIl, c);
+  FaultPlan plan;
+  plan.filter_churn(120, 500.0).filter_churn(80, 1'500.0);
+  FaultInjectorOptions opts;
+  opts.enable_repair = false;
+  FaultInjector injector(*scheme, plan, opts);
+  std::uint64_t pumped = 0;
+  injector.set_churn_sink([&pumped](std::uint32_t n) { pumped += n; });
+  injector.arm(2'000.0);
+
+  const double start = c.engine().now();
+  c.engine().run_until(start + 1'000.0);
+  EXPECT_EQ(pumped, 120u);  // only the first burst has fired
+  c.engine().run();
+  EXPECT_EQ(pumped, 200u);
+  EXPECT_EQ(injector.timeline().churn_events, 2u);
+  EXPECT_EQ(injector.timeline().churn_ops, 200u);
+}
+
 TEST(FaultInjector, AddNodeEventJoinsAndMigrates) {
   cluster::Cluster c(testutil::small_cluster());
   auto scheme = testutil::make_scheme(testutil::SchemeKind::kIl, c);

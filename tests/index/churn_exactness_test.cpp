@@ -1,0 +1,180 @@
+#include "index/churn_harness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "workload/filter_churn.hpp"
+#include "workload/query_trace.hpp"
+
+// Churn-exactness suite (`ctest -L codec`): a seeded 10k-step
+// register/unregister/edit stream drives a FilterStore + InvertedIndex pair
+// through continuous thaw / re-finalize cycles — in raw AND compressed
+// frozen modes — with the index-backed match checked against the
+// brute-force-over-live-set oracle at every step. The codec_forced_scalar
+// registration re-runs this whole binary under MOVE_FORCE_SCALAR=1, so the
+// equivalence also holds on the scalar bump kernel.
+namespace move::index {
+namespace {
+
+constexpr std::size_t kSteps = 10'000;
+
+workload::TermSetTable make_pool(std::uint64_t seed, std::size_t rows) {
+  auto cfg = workload::QueryTraceConfig::msn_like(0.01);
+  cfg.num_filters = rows;
+  cfg.seed = seed;
+  return workload::QueryTraceGenerator(cfg).generate(rows);
+}
+
+/// One churn document per step, drawn from the same vocabulary as the pool.
+workload::TermSetTable make_docs(std::uint64_t seed, std::size_t count) {
+  auto cfg = workload::QueryTraceConfig::msn_like(0.01);
+  cfg.num_filters = count;
+  cfg.seed = seed ^ 0xd0c70ull;
+  return workload::QueryTraceGenerator(cfg).generate(count);
+}
+
+struct ChurnCase {
+  bool compress = false;
+  MatchSemantics semantics = MatchSemantics::kAnyTerm;
+  std::size_t refinalize_every = 0;
+};
+
+void run_churn(const ChurnCase& case_) {
+  workload::FilterChurnConfig ccfg;
+  ccfg.initial_live = 600;
+  ccfg.seed = 0xc4a2ull + static_cast<std::uint64_t>(case_.compress);
+  workload::FilterChurnStream stream(make_pool(0x900d, 2048), ccfg);
+
+  ChurnHarness::Options opts;
+  opts.match.semantics = case_.semantics;
+  opts.match.threshold = 0.5;
+  opts.refinalize_every = case_.refinalize_every;
+  opts.finalize.compress = case_.compress;
+  ChurnHarness harness(opts);
+
+  const auto docs = make_docs(0x900d, 512);
+  std::vector<FilterId> got, want;
+  std::uint64_t checked = 0;
+  for (std::size_t step = 0; step < kSteps; ++step) {
+    harness.apply(stream, stream.next());
+    // Matching mid-churn hits every storage mode: mutable right after a
+    // mutation, frozen-raw/compressed right after an auto-refinalize.
+    const auto doc = docs.row(step % docs.size());
+    harness.match(doc, got);
+    harness.match_reference(doc, want);
+    ASSERT_EQ(got, want) << "step " << step << " mode "
+                         << static_cast<int>(harness.index().storage_mode());
+    ++checked;
+  }
+  EXPECT_EQ(checked, kSteps);
+  EXPECT_EQ(harness.live_count(), stream.live_count());
+  if (case_.refinalize_every > 0) {
+    EXPECT_GE(harness.refinalize_cycles(),
+              kSteps / case_.refinalize_every);
+  }
+}
+
+TEST(ChurnExactness, RawModeAnyTerm10k) {
+  run_churn({/*compress=*/false, MatchSemantics::kAnyTerm,
+             /*refinalize_every=*/257});
+}
+
+TEST(ChurnExactness, CompressedModeAnyTerm10k) {
+  run_churn({/*compress=*/true, MatchSemantics::kAnyTerm,
+             /*refinalize_every=*/257});
+}
+
+TEST(ChurnExactness, CompressedModeThreshold10k) {
+  run_churn({/*compress=*/true, MatchSemantics::kThreshold,
+             /*refinalize_every=*/129});
+}
+
+TEST(ChurnExactness, NeverFinalizedStaysExact) {
+  // refinalize_every = 0: the index stays mutable the whole stream (no
+  // Bloom gate, no frozen arenas) — the oracle must still agree.
+  run_churn({/*compress=*/true, MatchSemantics::kAnyTerm,
+             /*refinalize_every=*/0});
+}
+
+TEST(ChurnExactness, ExplicitModeSwitchesMidStream) {
+  // Alternate raw / compressed / thawed phases explicitly, matching after
+  // each transition.
+  workload::FilterChurnConfig ccfg;
+  ccfg.initial_live = 400;
+  workload::FilterChurnStream stream(make_pool(0xfade, 1024), ccfg);
+  ChurnHarness::Options opts;
+  opts.match.semantics = MatchSemantics::kAllTerms;
+  ChurnHarness harness(opts);
+  const auto docs = make_docs(0xfade, 64);
+
+  std::vector<FilterId> got, want;
+  for (std::size_t phase = 0; phase < 24; ++phase) {
+    for (std::size_t i = 0; i < 100; ++i) {
+      harness.apply(stream, stream.next());
+    }
+    InvertedIndex::FinalizeOptions fo;
+    switch (phase % 3) {
+      case 0:
+        fo.compress = false;
+        harness.refinalize(fo);
+        break;
+      case 1:
+        fo.compress = true;
+        harness.refinalize(fo);
+        break;
+      default:
+        break;  // stay thawed (the churn ops above already thawed it)
+    }
+    for (std::size_t d = 0; d < docs.size(); ++d) {
+      harness.match(docs.row(d), got);
+      harness.match_reference(docs.row(d), want);
+      ASSERT_EQ(got, want) << "phase " << phase << " doc " << d;
+    }
+  }
+}
+
+TEST(ChurnExactness, EditRetiresOldTermSet) {
+  // Directed regression: an edit's old term set must stop matching and the
+  // new one must start, across a compressed re-finalize.
+  workload::TermSetTable pool;
+  const std::vector<TermId> old_terms{TermId{10}, TermId{11}};
+  const std::vector<TermId> new_terms{TermId{20}, TermId{21}};
+  pool.add(old_terms);
+  pool.add(new_terms);
+
+  workload::FilterChurnConfig ccfg;
+  ccfg.initial_live = 1;
+  workload::FilterChurnStream stream(pool, ccfg);
+
+  ChurnHarness::Options opts;
+  opts.match.semantics = MatchSemantics::kAnyTerm;
+  opts.finalize.compress = true;
+  ChurnHarness harness(opts);
+  harness.apply(stream, stream.next());  // bootstrap: register row 0
+  harness.refinalize();
+
+  std::vector<FilterId> out;
+  harness.match(old_terms, out);
+  ASSERT_EQ(out.size(), 1u);
+
+  // Force the edit deterministically rather than sampling the stream.
+  workload::ChurnOp edit;
+  edit.kind = workload::ChurnOpKind::kEdit;
+  edit.row = 0;
+  edit.new_row = 1;
+  harness.apply(stream, edit);
+  harness.refinalize();
+
+  harness.match(old_terms, out);
+  EXPECT_TRUE(out.empty()) << "edited-away term set still matches";
+  harness.match(new_terms, out);
+  EXPECT_EQ(out.size(), 1u);
+  harness.match_reference(new_terms, out);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+}  // namespace
+}  // namespace move::index

@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "index/posting_codec.hpp"
+
+// Fuzz-style robustness suite for the checked posting-block decoder
+// (`ctest -L codec`, runs under the asan preset): a seeded corpus generator
+// (checked in below — no external fuzzer) produces valid encoded lists,
+// then deterministic corruption families — truncation, bit flips, length-
+// field (count and skip-directory) corruption — drive the decoder through
+// every rejection path. The decoder must never read out of bounds (asan
+// enforces), never produce more than the claimed entry count, and fail with
+// a clean DecodeStatus instead of trusting the stream.
+namespace move::index {
+namespace {
+
+using codec::DecodeStatus;
+using codec::EncodedList;
+
+struct CorpusEntry {
+  EncodedList enc;
+  std::size_t count = 0;
+};
+
+/// Seeded corpus: lists across the coder's regimes (tiny, one-block,
+/// multi-block, dense Rice-friendly gaps, wild varint gaps, duplicates,
+/// u32-boundary ids). Deterministic — the same seed always yields the same
+/// corpus, so a failure reproduces from the test log alone.
+std::vector<CorpusEntry> generate_corpus(std::uint64_t seed) {
+  common::SplitMix64 rng(seed);
+  std::vector<CorpusEntry> corpus;
+  const std::size_t sizes[] = {1, 2, 5, 127, 128, 129, 300, 1000};
+  for (const std::size_t n : sizes) {
+    for (int shape = 0; shape < 4; ++shape) {
+      std::vector<FilterId> list;
+      std::uint64_t cur = 0;
+      for (std::size_t i = 0; i < n && cur <= 0xffffffffull; ++i) {
+        list.push_back(FilterId{static_cast<std::uint32_t>(cur)});
+        switch (shape) {
+          case 0: cur += 1 + common::uniform_below(rng, 8); break;
+          case 1: cur += common::uniform_below(rng, 1u << 16); break;
+          case 2: cur += common::uniform_below(rng, 2); break;  // dups
+          default:
+            cur += common::uniform_below(rng, 8) == 0
+                       ? (1ull << 30)
+                       : 1 + common::uniform_below(rng, 3);
+        }
+      }
+      corpus.push_back({codec::encode_list(list), list.size()});
+    }
+  }
+  return corpus;
+}
+
+/// Decode helper asserting the universal safety invariants: a defined
+/// status, never more output than claimed, and (on success) a
+/// non-decreasing id sequence — deltas are unsigned and the cross-block
+/// order check rejects regressions, so even a corrupt-but-accepted stream
+/// must stay sorted.
+DecodeStatus checked_decode(const EncodedList& enc, std::size_t count,
+                            std::vector<FilterId>& out) {
+  const DecodeStatus status =
+      codec::decode_list(enc, count, codec::kBlockSize, out);
+  EXPECT_LE(out.size(), count);
+  if (status == DecodeStatus::kOk) {
+    EXPECT_EQ(out.size(), count);
+    EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+  }
+  return status;
+}
+
+TEST(PostingCodecFuzz, TruncationIsRejected) {
+  for (const auto& entry : generate_corpus(0xf022)) {
+    if (entry.enc.bytes.empty()) continue;
+    std::vector<FilterId> out;
+    // Chop 1, 2, 4, ... bytes and a byte-by-byte sweep of the tail.
+    for (std::size_t cut = 1; cut <= entry.enc.bytes.size(); cut *= 2) {
+      EncodedList trunc = entry.enc;
+      trunc.bytes.resize(trunc.bytes.size() - cut);
+      const auto status = checked_decode(trunc, entry.count, out);
+      EXPECT_NE(status, DecodeStatus::kOk)
+          << "truncated by " << cut << " of " << entry.enc.bytes.size()
+          << " bytes yet accepted";
+    }
+    // Empty stream with a nonzero count.
+    EncodedList empty;
+    EXPECT_NE(checked_decode(empty, entry.count, out), DecodeStatus::kOk);
+  }
+}
+
+TEST(PostingCodecFuzz, BitFlipsNeverCrashOrOverproduce) {
+  common::SplitMix64 rng(0xb17f11b5ull);
+  for (const auto& entry : generate_corpus(0xabc)) {
+    if (entry.enc.bytes.empty()) continue;
+    std::vector<FilterId> out;
+    // 64 random single-bit flips per entry; every byte of small streams.
+    const std::size_t flips = std::max<std::size_t>(
+        64, std::min<std::size_t>(entry.enc.bytes.size(), 256));
+    for (std::size_t k = 0; k < flips; ++k) {
+      EncodedList mut = entry.enc;
+      const std::size_t byte = common::uniform_below(rng, mut.bytes.size());
+      const std::size_t bit = common::uniform_below(rng, 8);
+      mut.bytes[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      // A flip may still decode (e.g. a changed Rice remainder) — the
+      // invariants inside checked_decode are the whole assertion.
+      (void)checked_decode(mut, entry.count, out);
+    }
+  }
+}
+
+TEST(PostingCodecFuzz, HeaderByteCorruptionIsRejectedOrSafe) {
+  for (const auto& entry : generate_corpus(0x7ead)) {
+    if (entry.enc.bytes.empty()) continue;
+    std::vector<FilterId> out;
+    EncodedList mut = entry.enc;
+    // Byte 0 is always the first block's mode header; every value in the
+    // reserved range (between the run mode 0x20 and varint 0xFF) must be
+    // rejected as kBadHeader.
+    for (int h = 0x21; h < 0xff; h += 13) {
+      mut.bytes[0] = static_cast<std::uint8_t>(h);
+      EXPECT_EQ(checked_decode(mut, entry.count, out),
+                DecodeStatus::kBadHeader)
+          << "reserved header " << h;
+    }
+    // 0x20 is the run mode: flipping a header to it is a VALID mode byte,
+    // so the decoder may accept (a one-entry block reads back identically)
+    // or must reject cleanly on any payload/trailing mismatch — the
+    // invariants inside checked_decode are the assertion either way.
+    mut.bytes[0] = 0x20;
+    (void)checked_decode(mut, entry.count, out);
+  }
+}
+
+TEST(PostingCodecFuzz, CountCorruptionNeverOverproduces) {
+  for (const auto& entry : generate_corpus(0xc047)) {
+    std::vector<FilterId> out;
+    const std::size_t lies[] = {0,
+                                entry.count / 2,
+                                entry.count + 1,
+                                entry.count + codec::kBlockSize,
+                                entry.count * 2 + 1};
+    for (const std::size_t lie : lies) {
+      if (lie == entry.count) continue;
+      // Whatever the status, the decoder must respect the (lying) count as
+      // an output bound and stay in bounds — checked_decode asserts it.
+      (void)checked_decode(entry.enc, lie, out);
+    }
+    // A zero-count claim against a nonempty stream is always rejected.
+    if (!entry.enc.bytes.empty()) {
+      EXPECT_NE(checked_decode(entry.enc, 0, out), DecodeStatus::kOk);
+    }
+  }
+}
+
+TEST(PostingCodecFuzz, SkipDirectoryCorruptionIsRejected) {
+  for (const auto& entry : generate_corpus(0x5717)) {
+    if (entry.enc.skips.empty()) continue;
+    std::vector<FilterId> out;
+
+    {  // Offset beyond the byte stream.
+      EncodedList mut = entry.enc;
+      mut.skips[0].byte_offset =
+          static_cast<std::uint32_t>(mut.bytes.size() + 17);
+      EXPECT_EQ(checked_decode(mut, entry.count, out),
+                DecodeStatus::kBadCount);
+    }
+    {  // Non-monotonic offsets (block ranges would go negative).
+      EncodedList mut = entry.enc;
+      mut.skips.back().byte_offset = 0;
+      EXPECT_EQ(checked_decode(mut, entry.count, out),
+                DecodeStatus::kBadCount);
+    }
+    {  // Wrong directory size for the claimed count.
+      EncodedList mut = entry.enc;
+      mut.skips.pop_back();
+      EXPECT_EQ(checked_decode(mut, entry.count, out),
+                DecodeStatus::kBadCount);
+    }
+    {  // Regressing first_id: accepted blocks must stay sorted, so the
+       // cross-block order check fires.
+      EncodedList mut = entry.enc;
+      mut.skips[0].first_id = 0;
+      const auto status = checked_decode(mut, entry.count, out);
+      if (entry.enc.skips[0].first_id != 0) {
+        EXPECT_NE(status, DecodeStatus::kOk) << "regressing first_id passed";
+      }
+    }
+  }
+}
+
+TEST(PostingCodecFuzz, SingleBlockPrimitivesBoundsChecked) {
+  // decode_first_block / decode_block over truncated-to-every-length
+  // prefixes of a valid block: no crash, never more than count produced.
+  common::SplitMix64 rng(0xdeadull);
+  std::vector<FilterId> list;
+  std::uint64_t cur = 5;
+  for (std::size_t i = 0; i < codec::kBlockSize; ++i) {
+    list.push_back(FilterId{static_cast<std::uint32_t>(cur)});
+    cur += 1 + common::uniform_below(rng, 300);
+  }
+  const EncodedList enc = codec::encode_list(list);
+  ASSERT_TRUE(enc.skips.empty());
+  std::vector<FilterId> out(list.size());
+  for (std::size_t len = 0; len <= enc.bytes.size(); ++len) {
+    const auto r = codec::decode_first_block(
+        std::span<const std::uint8_t>(enc.bytes.data(), len),
+        static_cast<std::uint32_t>(list.size()), out.data());
+    EXPECT_LE(r.produced, list.size());
+    if (len == enc.bytes.size()) {
+      EXPECT_EQ(r.status, DecodeStatus::kOk);
+      EXPECT_TRUE(std::equal(list.begin(), list.end(), out.begin()));
+    } else {
+      EXPECT_NE(r.status, DecodeStatus::kOk) << "prefix len " << len;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace move::index

@@ -1,0 +1,401 @@
+#include "index/posting_codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "index/brute_force.hpp"
+#include "index/filter_store.hpp"
+#include "index/inverted_index.hpp"
+#include "index/match_scratch.hpp"
+#include "index/sift_matcher.hpp"
+#include "workload/query_trace.hpp"
+
+// Property suite for the posting-block codec and the frozen-compressed
+// index mode (`ctest -L codec`): random posting lists across seeds x sizes
+// x id distributions round-trip bit-identically, and compressed-mode match
+// results equal the uncompressed and brute-force oracles for kAnyTerm and
+// kThreshold semantics. The whole binary is re-run with MOVE_FORCE_SCALAR=1
+// (codec_forced_scalar registration), so every property below also holds on
+// the scalar bump kernel.
+namespace move::index {
+namespace {
+
+using codec::DecodeStatus;
+using codec::EncodedList;
+
+/// Id distributions the round-trip sweep draws lists from. Each stresses a
+/// different part of the coder: dense favors Rice with tiny k, clustered
+/// mixes tiny in-run gaps with huge between-run jumps (block mode choice),
+/// sparse drives varint multi-byte deltas, boundary exercises the u32 edge
+/// including delta == u32max, duplicate produces zero deltas.
+enum class Dist { kDense, kClustered, kSparse, kBoundary, kDuplicate };
+
+std::vector<FilterId> random_list(common::SplitMix64& rng, std::size_t n,
+                                  Dist dist) {
+  std::vector<std::uint32_t> vals;
+  vals.reserve(n);
+  switch (dist) {
+    case Dist::kDense: {
+      // Gaps 0..15: the home-node regime, mean gap ~8.
+      std::uint64_t cur = common::uniform_below(rng, 1000);
+      for (std::size_t i = 0; i < n && cur <= 0xffffffffull; ++i) {
+        vals.push_back(static_cast<std::uint32_t>(cur));
+        cur += common::uniform_below(rng, 16);
+        ++cur;
+      }
+      break;
+    }
+    case Dist::kClustered: {
+      std::uint64_t cur = 0;
+      for (std::size_t i = 0; i < n && cur <= 0xffffffffull; ++i) {
+        vals.push_back(static_cast<std::uint32_t>(cur));
+        // 1-in-16 chance of a long jump, else a tight gap.
+        cur += common::uniform_below(rng, 16) == 0
+                   ? common::uniform_below(rng, 1u << 20)
+                   : common::uniform_below(rng, 4) + 1;
+      }
+      break;
+    }
+    case Dist::kSparse: {
+      for (std::size_t i = 0; i < n; ++i) {
+        vals.push_back(static_cast<std::uint32_t>(
+            common::uniform_below(rng, 0x100000000ull)));
+      }
+      std::sort(vals.begin(), vals.end());
+      vals.erase(std::unique(vals.begin(), vals.end()), vals.end());
+      break;
+    }
+    case Dist::kBoundary: {
+      const std::uint32_t kMax = std::numeric_limits<std::uint32_t>::max();
+      vals = {0, 1, kMax - 1, kMax};
+      while (vals.size() < n) {
+        vals.push_back(static_cast<std::uint32_t>(
+            common::uniform_below(rng, 0x100000000ull)));
+      }
+      std::sort(vals.begin(), vals.end());
+      vals.erase(std::unique(vals.begin(), vals.end()), vals.end());
+      break;
+    }
+    case Dist::kDuplicate: {
+      std::uint64_t cur = common::uniform_below(rng, 100);
+      for (std::size_t i = 0; i < n && cur <= 0xffffffffull; ++i) {
+        vals.push_back(static_cast<std::uint32_t>(cur));
+        // Half the entries repeat their predecessor (delta 0).
+        if (common::uniform_below(rng, 2) == 0) {
+          cur += common::uniform_below(rng, 64) + 1;
+        }
+      }
+      break;
+    }
+  }
+  std::vector<FilterId> out;
+  out.reserve(vals.size());
+  for (const std::uint32_t v : vals) out.push_back(FilterId{v});
+  return out;
+}
+
+TEST(PostingCodec, RoundTripAcrossSeedsSizesDistributions) {
+  const std::size_t kSizes[] = {0,  1,   2,   3,   127, 128,
+                                129, 200, 256, 1000, 4096};
+  const Dist kDists[] = {Dist::kDense, Dist::kClustered, Dist::kSparse,
+                         Dist::kBoundary, Dist::kDuplicate};
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    common::SplitMix64 rng(seed * 0x9e3779b9ull);
+    for (const std::size_t n : kSizes) {
+      for (const Dist dist : kDists) {
+        const auto list = random_list(rng, n, dist);
+        const EncodedList enc = codec::encode_list(list);
+        std::vector<FilterId> back;
+        const auto status =
+            codec::decode_list(enc, list.size(), codec::kBlockSize, back);
+        ASSERT_EQ(status, DecodeStatus::kOk)
+            << "seed=" << seed << " n=" << n
+            << " dist=" << static_cast<int>(dist) << " -> "
+            << codec::to_string(status);
+        ASSERT_EQ(back.size(), list.size());
+        EXPECT_TRUE(std::equal(back.begin(), back.end(), list.begin()))
+            << "round-trip mismatch at seed=" << seed << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(PostingCodec, EncodingIsDeterministic) {
+  common::SplitMix64 rng(42);
+  const auto list = random_list(rng, 1000, Dist::kClustered);
+  const EncodedList a = codec::encode_list(list);
+  const EncodedList b = codec::encode_list(list);
+  EXPECT_EQ(a.bytes, b.bytes);
+  ASSERT_EQ(a.skips.size(), b.skips.size());
+  for (std::size_t i = 0; i < a.skips.size(); ++i) {
+    EXPECT_EQ(a.skips[i].first_id, b.skips[i].first_id);
+    EXPECT_EQ(a.skips[i].byte_offset, b.skips[i].byte_offset);
+  }
+}
+
+TEST(PostingCodec, NonDefaultBlockSizesRoundTrip) {
+  common::SplitMix64 rng(7);
+  const auto list = random_list(rng, 777, Dist::kClustered);
+  for (const std::size_t bs : {1ul, 2ul, 7ul, 64ul, 1024ul}) {
+    const EncodedList enc = codec::encode_list(list, bs);
+    std::vector<FilterId> back;
+    ASSERT_EQ(codec::decode_list(enc, list.size(), bs, back),
+              DecodeStatus::kOk)
+        << "block_size=" << bs;
+    EXPECT_TRUE(std::equal(back.begin(), back.end(), list.begin()));
+  }
+}
+
+TEST(PostingCodec, DenseRunsUseTheRunModeAndRoundTrip) {
+  // A home-term-grouped bulk load produces lists of consecutive local ids.
+  // Those must encode as run blocks — one 0x20 header byte per block, empty
+  // payload — and decode back bit-identically through the iota-fill path.
+  for (const std::uint32_t base : {0u, 127u, 4096u, 0xfffffc00u}) {
+    for (const std::size_t n : {2ul, 127ul, 128ul, 129ul, 1000ul}) {
+      if (base > std::numeric_limits<std::uint32_t>::max() - (n - 1)) continue;
+      std::vector<FilterId> list;
+      for (std::size_t i = 0; i < n; ++i) {
+        list.push_back(FilterId{base + static_cast<std::uint32_t>(i)});
+      }
+      const EncodedList enc = codec::encode_list(list);
+      // Byte cost is exactly one header per block plus varint(base).
+      const std::size_t blocks =
+          (n + codec::kBlockSize - 1) / codec::kBlockSize;
+      std::size_t vl = 1;
+      for (std::uint32_t v = base; v >= 0x80; v >>= 7) ++vl;
+      EXPECT_EQ(enc.bytes.size(), blocks + vl) << "base=" << base
+                                               << " n=" << n;
+      EXPECT_EQ(enc.bytes[0], 0x20);
+      std::vector<FilterId> back;
+      ASSERT_EQ(codec::decode_list(enc, n, codec::kBlockSize, back),
+                DecodeStatus::kOk);
+      EXPECT_TRUE(std::equal(back.begin(), back.end(), list.begin()));
+    }
+  }
+  // A run broken by one duplicate falls back to a bit-coded mode and still
+  // round-trips.
+  std::vector<FilterId> broken;
+  for (std::uint32_t i = 0; i < 64; ++i) broken.push_back(FilterId{i});
+  broken.push_back(FilterId{63});
+  for (std::uint32_t i = 64; i < 128; ++i) broken.push_back(FilterId{i});
+  const EncodedList enc = codec::encode_list(broken);
+  EXPECT_NE(enc.bytes[0], 0x20);
+  std::vector<FilterId> back;
+  ASSERT_EQ(codec::decode_list(enc, broken.size(), codec::kBlockSize, back),
+            DecodeStatus::kOk);
+  EXPECT_TRUE(std::equal(back.begin(), back.end(), broken.begin()));
+}
+
+TEST(PostingCodec, SkipDirectoryShapeMatchesBlockCount) {
+  common::SplitMix64 rng(9);
+  for (const std::size_t n : {1ul, 128ul, 129ul, 400ul}) {
+    const auto list = random_list(rng, n, Dist::kDense);
+    const EncodedList enc = codec::encode_list(list);
+    const std::size_t blocks =
+        (list.size() + codec::kBlockSize - 1) / codec::kBlockSize;
+    EXPECT_EQ(enc.skips.size(), blocks == 0 ? 0 : blocks - 1);
+    // Each skip's first_id must be the actual first id of its block.
+    for (std::size_t s = 0; s < enc.skips.size(); ++s) {
+      EXPECT_EQ(enc.skips[s].first_id,
+                list[(s + 1) * codec::kBlockSize].value);
+    }
+  }
+}
+
+TEST(PostingCodec, EmptyListEncodesEmpty) {
+  const EncodedList enc = codec::encode_list({});
+  EXPECT_TRUE(enc.bytes.empty());
+  EXPECT_TRUE(enc.skips.empty());
+  std::vector<FilterId> back{FilterId{99}};
+  EXPECT_EQ(codec::decode_list(enc, 0, codec::kBlockSize, back),
+            DecodeStatus::kOk);
+  EXPECT_TRUE(back.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Index-level equivalence: compressed mode must be invisible to matching.
+
+struct Workbench {
+  FilterStore store;
+  InvertedIndex raw;         // frozen-raw
+  InvertedIndex compressed;  // frozen-compressed
+  workload::TermSetTable docs;
+};
+
+Workbench build_workbench(std::uint64_t seed, std::size_t filters,
+                          std::size_t doc_count) {
+  Workbench wb;
+  auto cfg = workload::QueryTraceConfig::msn_like(0.01);
+  cfg.num_filters = filters;
+  cfg.seed = seed;
+  const workload::QueryTraceGenerator gen(cfg);
+  const auto trace = gen.generate(filters);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const FilterId f = wb.store.add(trace.row(i));
+    wb.raw.add(f, trace.row(i));
+    wb.compressed.add(f, trace.row(i));
+  }
+  wb.raw.finalize(InvertedIndex::FinalizeOptions{/*compress=*/false});
+  wb.compressed.finalize(InvertedIndex::FinalizeOptions{/*compress=*/true});
+
+  auto doc_cfg = cfg;
+  doc_cfg.seed = seed ^ 0xd0c5ull;
+  const workload::QueryTraceGenerator doc_gen(doc_cfg);
+  wb.docs = doc_gen.generate(doc_count);
+  return wb;
+}
+
+TEST(CompressedIndexMatch, EqualsRawAndBruteForceAnyTerm) {
+  const auto wb = build_workbench(0x11, 3000, 300);
+  ASSERT_EQ(wb.compressed.storage_mode(),
+            InvertedIndex::StorageMode::kFrozenCompressed);
+  MatchOptions opt;
+  opt.semantics = MatchSemantics::kAnyTerm;
+  const SiftMatcher raw_m(wb.store, wb.raw, /*full_index=*/true);
+  const SiftMatcher comp_m(wb.store, wb.compressed, /*full_index=*/true);
+  MatchScratch rs, cs;
+  std::vector<FilterId> raw_out, comp_out, legacy_out;
+  for (std::size_t d = 0; d < wb.docs.size(); ++d) {
+    const auto doc = wb.docs.row(d);
+    const auto ra = raw_m.match(doc, opt, raw_out, rs);
+    const auto ca = comp_m.match(doc, opt, comp_out, cs);
+    ASSERT_EQ(comp_out, raw_out) << "doc " << d;
+    EXPECT_EQ(comp_out, brute_force_match(wb.store, doc, opt));
+    // Legacy hash-map kernel agrees in compressed mode too.
+    comp_m.match(doc, opt, legacy_out);
+    EXPECT_EQ(legacy_out, comp_out);
+    // Classic counters identical; only blocks_decoded may differ.
+    EXPECT_EQ(ca.lists_retrieved, ra.lists_retrieved);
+    EXPECT_EQ(ca.postings_scanned, ra.postings_scanned);
+    EXPECT_EQ(ca.candidates_verified, ra.candidates_verified);
+    EXPECT_EQ(ca.bloom_rejects, ra.bloom_rejects);
+    EXPECT_EQ(ca.postings_skipped, ra.postings_skipped);
+    EXPECT_EQ(ra.blocks_decoded, 0u);
+  }
+}
+
+TEST(CompressedIndexMatch, EqualsRawAndBruteForceThreshold) {
+  const auto wb = build_workbench(0x22, 3000, 300);
+  MatchOptions opt;
+  opt.semantics = MatchSemantics::kThreshold;
+  opt.threshold = 0.5;
+  const SiftMatcher raw_m(wb.store, wb.raw, /*full_index=*/true);
+  const SiftMatcher comp_m(wb.store, wb.compressed, /*full_index=*/true);
+  MatchScratch rs, cs;
+  std::vector<FilterId> raw_out, comp_out;
+  std::uint64_t blocks = 0;
+  for (std::size_t d = 0; d < wb.docs.size(); ++d) {
+    const auto doc = wb.docs.row(d);
+    raw_m.match(doc, opt, raw_out, rs);
+    const auto ca = comp_m.match(doc, opt, comp_out, cs);
+    blocks += ca.blocks_decoded;
+    ASSERT_EQ(comp_out, raw_out) << "doc " << d;
+    EXPECT_EQ(comp_out, brute_force_match(wb.store, doc, opt));
+  }
+  EXPECT_GT(blocks, 0u) << "compressed matching never decoded a block";
+}
+
+TEST(CompressedIndexMatch, SingleListAndMatchListsAgree) {
+  const auto wb = build_workbench(0x33, 2000, 0);
+  MatchOptions opt;
+  opt.semantics = MatchSemantics::kAllTerms;
+  const SiftMatcher raw_m(wb.store, wb.raw, /*full_index=*/true);
+  const SiftMatcher comp_m(wb.store, wb.compressed, /*full_index=*/true);
+  MatchScratch rs, cs;
+  std::vector<FilterId> raw_out, comp_out;
+  // Use each filter's own term set as the document: nonempty result rows.
+  for (std::size_t i = 0; i < 200; ++i) {
+    const auto doc = wb.store.terms(FilterId{static_cast<std::uint32_t>(i)});
+    const TermId home = doc.front();
+    raw_m.match_single_list(home, doc, opt, raw_out);
+    comp_m.match_single_list(home, doc, opt, comp_out);
+    ASSERT_EQ(comp_out, raw_out) << "filter " << i;
+    raw_m.match_lists(doc, doc, opt, raw_out, rs);
+    comp_m.match_lists(doc, doc, opt, comp_out, cs);
+    ASSERT_EQ(comp_out, raw_out) << "filter " << i;
+  }
+}
+
+TEST(CompressedIndex, ThawRebuildsExactLists) {
+  const auto cfg = workload::QueryTraceConfig::msn_like(0.01);
+  workload::QueryTraceGenerator gen(cfg);
+  const auto trace = gen.generate(2000);
+  InvertedIndex idx;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    idx.add(FilterId{static_cast<std::uint32_t>(i)}, trace.row(i));
+  }
+  InvertedIndex mirror;  // stays mutable; the reference
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    mirror.add(FilterId{static_cast<std::uint32_t>(i)}, trace.row(i));
+  }
+  idx.finalize(InvertedIndex::FinalizeOptions{/*compress=*/true});
+  EXPECT_TRUE(idx.compressed());
+  EXPECT_THROW((void)idx.postings(TermId{0}), std::logic_error);
+  // Mutation thaws, decoding every list back to per-term vectors.
+  idx.add(FilterId{999999}, trace.row(0));
+  mirror.add(FilterId{999999}, trace.row(0));
+  EXPECT_EQ(idx.storage_mode(), InvertedIndex::StorageMode::kMutable);
+  for (const TermId t : mirror.indexed_terms()) {
+    const auto got = idx.postings(t);
+    const auto want = mirror.postings(t);
+    ASSERT_EQ(got.size(), want.size()) << "term " << t.value;
+    EXPECT_TRUE(std::equal(got.begin(), got.end(), want.begin()));
+  }
+  // Re-finalize into raw, then back to compressed: mode switches re-pack.
+  idx.finalize(InvertedIndex::FinalizeOptions{/*compress=*/false});
+  EXPECT_EQ(idx.storage_mode(), InvertedIndex::StorageMode::kFrozenRaw);
+  idx.finalize(InvertedIndex::FinalizeOptions{/*compress=*/true});
+  EXPECT_EQ(idx.storage_mode(), InvertedIndex::StorageMode::kFrozenCompressed);
+  EXPECT_EQ(idx.total_postings(), mirror.total_postings());
+}
+
+TEST(CompressedIndex, PostingContainsAgreesAcrossModes) {
+  const auto wb = build_workbench(0x44, 2000, 0);
+  common::SplitMix64 rng(5);
+  for (const TermId t : wb.raw.indexed_terms()) {
+    const auto list = wb.raw.postings(t);
+    // Every present id is found; a probe between ids is not.
+    for (std::size_t k = 0; k < std::min<std::size_t>(list.size(), 5); ++k) {
+      const FilterId present =
+          list[common::uniform_below(rng, list.size())];
+      EXPECT_TRUE(wb.compressed.posting_contains(t, present));
+    }
+    const FilterId absent{0xfffffffeu};
+    EXPECT_EQ(wb.compressed.posting_contains(t, absent),
+              std::binary_search(list.begin(), list.end(), absent));
+  }
+}
+
+TEST(CompressedIndex, StorageBytesShrinkOnDenseIds) {
+  // Dense local ids (the home-node shape): compressed storage must be
+  // well under the 4-byte-per-posting raw arena.
+  const auto wb = build_workbench(0x55, 20000, 0);
+  const auto raw_bytes = wb.raw.posting_storage_bytes();
+  const auto comp_bytes = wb.compressed.posting_storage_bytes();
+  EXPECT_EQ(raw_bytes, wb.raw.total_postings() * sizeof(FilterId));
+  EXPECT_LT(comp_bytes, raw_bytes) << "compression made postings bigger";
+}
+
+TEST(CompressedIndex, EnvDefaultSelectsMode) {
+  // set_default_compressed_postings is the programmatic face of
+  // MOVE_INDEX_COMPRESSED; finalize() with no options follows it.
+  const bool before = default_compressed_postings();
+  InvertedIndex idx;
+  idx.add(FilterId{0}, std::vector<TermId>{TermId{1}, TermId{2}});
+  set_default_compressed_postings(true);
+  idx.finalize();
+  EXPECT_TRUE(idx.compressed());
+  idx.add(FilterId{1}, std::vector<TermId>{TermId{2}});  // thaw
+  set_default_compressed_postings(false);
+  idx.finalize();
+  EXPECT_EQ(idx.storage_mode(), InvertedIndex::StorageMode::kFrozenRaw);
+  set_default_compressed_postings(before);
+}
+
+}  // namespace
+}  // namespace move::index
